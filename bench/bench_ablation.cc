@@ -1,0 +1,96 @@
+// Ablation (ours, beyond the paper): the cost of the design choices
+// DESIGN.md calls out —
+//   1. ciphertext layout: per-point (paper-faithful uniform permutation)
+//      vs packed (slot packing, block permutation),
+//   2. masking polynomial degree D (leakage-hardness vs depth),
+// measured on the same dataset and query.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/session.h"
+#include "data/generators.h"
+
+namespace {
+
+using namespace sknn;        // NOLINT
+using namespace sknn::core;  // NOLINT
+
+int RunOne(const data::Dataset& dataset, Layout layout, size_t degree,
+           int coord_bits, const bench::BenchArgs& args,
+           bool compress = true) {
+  ProtocolConfig cfg;
+  cfg.k = 5;
+  cfg.dims = dataset.dims();
+  cfg.coord_bits = coord_bits;
+  cfg.poly_degree = degree;
+  cfg.layout = layout;
+  cfg.preset = args.preset;
+  cfg.compress_indicators = compress;
+  cfg.levels = cfg.MinimumLevels();
+  auto session = SecureKnnSession::Create(cfg, dataset, 42);
+  if (!session.ok()) {
+    std::fprintf(stderr, "setup failed (%s, D=%zu): %s\n", LayoutName(layout),
+                 degree, session.status().ToString().c_str());
+    return 1;
+  }
+  auto query = data::UniformQuery(dataset.dims(), (1u << coord_bits) - 1, 5);
+  auto r = (*session)->RunQuery(query);
+  if (!r.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 r.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%-10s %2zu %7zu %5s %12.2f %12.2f %14s %14s\n",
+              LayoutName(layout), degree, cfg.levels,
+              compress ? "yes" : "no", r->timings.total_query_seconds(),
+              (*session)->setup_report().setup_seconds,
+              bench::HumanBytes(r->ab_link.total_bytes()).c_str(),
+              bench::HumanBytes((*session)->setup_report().encrypted_db_bytes)
+                  .c_str());
+  return 0;
+}
+
+int Run(const bench::BenchArgs& args) {
+  bench::PrintHeader("Ablation — layout mode and masking degree",
+                     "design choices of this reproduction (DESIGN.md section 3)");
+  const size_t n = args.full ? 2000 : 400;
+  const size_t d = 8;
+  // 3-bit coordinates keep a positive coefficient budget for the D=3
+  // masking polynomial inside the 33-bit plaintext space.
+  const int coord_bits = 3;
+  data::Dataset dataset =
+      data::UniformDataset(n, d, (1u << coord_bits) - 1, 7);
+  std::printf("n=%zu d=%zu k=5 preset=%s\n\n", n, d,
+              bench::PresetName(args.preset));
+  std::printf("%-10s %2s %7s %5s %12s %12s %14s %14s\n", "layout", "D",
+              "levels", "cmpr", "query(s)", "setup(s)", "wire bytes",
+              "db bytes");
+  for (Layout layout : {Layout::kPerPoint, Layout::kPacked}) {
+    for (size_t degree : {size_t{1}, size_t{2}, size_t{3}}) {
+      if (RunOne(dataset, layout, degree, coord_bits, args) != 0) return 1;
+    }
+  }
+  // Indicator seed-compression ablation at the default degree.
+  if (RunOne(dataset, Layout::kPerPoint, 2, coord_bits, args,
+             /*compress=*/false) != 0) {
+    return 1;
+  }
+  if (RunOne(dataset, Layout::kPacked, 2, coord_bits, args,
+             /*compress=*/false) != 0) {
+    return 1;
+  }
+  std::printf(
+      "\npacked trades the uniform point-level permutation for block-level "
+      "mixing (Party B additionally learns block co-residence) and wins "
+      "large factors in time and bytes; each extra masking degree costs "
+      "one modulus level; disabling indicator seed-compression (cmpr=no) "
+      "roughly doubles the B->A share of the wire bytes.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return Run(sknn::bench::ParseArgs(argc, argv));
+}

@@ -1,0 +1,20 @@
+// Figure 5: running time vs database size n, with d=2 and k=5 fixed
+// (uniform synthetic data). Paper: 23 s at n=20000 rising linearly to
+// ~3 min at n=200000.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  auto args = sknn::bench::ParseArgs(argc, argv);
+  sknn::bench::PrintHeader("Figure 5 — time vs n (d=2, k=5)",
+                           "Kesarwani et al., EDBT 2018, Figure 5");
+  std::vector<sknn::bench::SweepPoint> points;
+  const std::vector<size_t> ns =
+      args.full ? std::vector<size_t>{20000, 60000, 100000, 140000, 200000}
+                : std::vector<size_t>{20000, 100000, 200000};
+  for (size_t n : ns) points.push_back({n, 2, 5});
+  return sknn::bench::RunSyntheticSweep(
+      "paper (HElib, 4-core 2.8GHz): 23 s at n=20000 -> ~180 s at n=200000 "
+      "(linear in n)",
+      points, args);
+}

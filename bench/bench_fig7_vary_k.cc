@@ -1,0 +1,21 @@
+// Figure 7: running time vs k, with n=200000 and d=2 fixed (uniform
+// synthetic data). Paper: <2 min at k=1 rising linearly to ~8 min at k=20.
+// Default run uses n=50000; --full uses the paper's n=200000.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  auto args = sknn::bench::ParseArgs(argc, argv);
+  sknn::bench::PrintHeader("Figure 7 — time vs k (n=200000, d=2)",
+                           "Kesarwani et al., EDBT 2018, Figure 7");
+  const size_t n = args.full ? 200000 : 50000;
+  std::vector<sknn::bench::SweepPoint> points;
+  const std::vector<size_t> ks = args.full
+                                     ? std::vector<size_t>{1, 5, 10, 15, 20}
+                                     : std::vector<size_t>{1, 10, 20};
+  for (size_t k : ks) points.push_back({n, 2, k});
+  return sknn::bench::RunSyntheticSweep(
+      "paper (HElib, 4-core 2.8GHz, n=200000): <120 s at k=1 -> ~480 s at "
+      "k=20 (linear in k)",
+      points, args);
+}

@@ -1,0 +1,190 @@
+// Micro-benchmarks of the substrate operations (google-benchmark): NTT,
+// BGV primitive operations, Paillier, and bignum kernels. These are the
+// per-operation costs behind every figure; useful for regression tracking
+// and for translating the figure shapes to other hardware.
+
+#include <benchmark/benchmark.h>
+
+#include "bgv/context.h"
+#include "bgv/decryptor.h"
+#include "bgv/encoder.h"
+#include "bgv/encryptor.h"
+#include "bgv/evaluator.h"
+#include "bgv/keys.h"
+#include "common/rng.h"
+#include "crypto/paillier.h"
+#include "math/bigint.h"
+#include "math/ntt.h"
+#include "math/prime.h"
+
+namespace {
+
+using namespace sknn;  // NOLINT
+
+// ---------- NTT ----------
+
+void BM_NttForward(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto primes = GenerateNttPrimes(58, 2 * n, 1);
+  auto tables = NttTables::Create(n, primes.value()[0]);
+  Chacha20Rng rng(uint64_t{1});
+  std::vector<uint64_t> a;
+  rng.SampleUniformMod(primes.value()[0], n, &a);
+  for (auto _ : state) {
+    tables->ForwardNtt(&a);
+    benchmark::DoNotOptimize(a.data());
+  }
+}
+BENCHMARK(BM_NttForward)->Arg(1024)->Arg(4096)->Arg(8192);
+
+// ---------- BGV fixture ----------
+
+struct BgvFixture {
+  std::shared_ptr<const bgv::BgvContext> ctx;
+  std::unique_ptr<Chacha20Rng> rng;
+  bgv::SecretKey sk;
+  bgv::PublicKey pk;
+  bgv::RelinKeys rk;
+  bgv::GaloisKeys gk;
+  std::unique_ptr<bgv::BatchEncoder> encoder;
+  std::unique_ptr<bgv::Encryptor> encryptor;
+  std::unique_ptr<bgv::Decryptor> decryptor;
+  std::unique_ptr<bgv::Evaluator> evaluator;
+  bgv::Ciphertext ct_a, ct_b;
+
+  explicit BgvFixture(size_t n_pow) {
+    auto preset = n_pow == 1024 ? bgv::SecurityPreset::kToy
+                                : bgv::SecurityPreset::kBench;
+    auto params = bgv::BgvParams::Create(preset, 4, 33);
+    ctx = bgv::BgvContext::Create(params.value()).value();
+    rng = std::make_unique<Chacha20Rng>(uint64_t{7});
+    bgv::KeyGenerator keygen(ctx, rng.get());
+    sk = keygen.GenerateSecretKey();
+    pk = keygen.GeneratePublicKey(sk);
+    rk = keygen.GenerateRelinKeys(sk);
+    gk = keygen.GeneratePowerOfTwoRotationKeys(sk);
+    encoder = std::make_unique<bgv::BatchEncoder>(ctx);
+    encryptor = std::make_unique<bgv::Encryptor>(ctx, pk, rng.get());
+    decryptor = std::make_unique<bgv::Decryptor>(ctx, sk);
+    evaluator = std::make_unique<bgv::Evaluator>(ctx);
+    std::vector<uint64_t> v(ctx->n());
+    for (auto& x : v) x = rng->UniformBelow(1 << 10);
+    auto pt = encoder->Encode(v);
+    ct_a = encryptor->Encrypt(pt.value()).value();
+    ct_b = encryptor->Encrypt(pt.value()).value();
+  }
+};
+
+void BM_BgvEncrypt(benchmark::State& state) {
+  BgvFixture f(static_cast<size_t>(state.range(0)));
+  auto pt = f.encoder->EncodeScalar(123);
+  for (auto _ : state) {
+    auto ct = f.encryptor->Encrypt(pt);
+    benchmark::DoNotOptimize(ct);
+  }
+}
+BENCHMARK(BM_BgvEncrypt)->Arg(1024)->Arg(4096);
+
+void BM_BgvDecryptLevel0(benchmark::State& state) {
+  BgvFixture f(static_cast<size_t>(state.range(0)));
+  bgv::Ciphertext ct = f.ct_a;
+  f.evaluator->ModSwitchToLevelInplace(&ct, 0).ok();
+  for (auto _ : state) {
+    auto pt = f.decryptor->Decrypt(ct);
+    benchmark::DoNotOptimize(pt);
+  }
+}
+BENCHMARK(BM_BgvDecryptLevel0)->Arg(1024)->Arg(4096);
+
+void BM_BgvMultiplyRelin(benchmark::State& state) {
+  BgvFixture f(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto ct = f.evaluator->MultiplyRelin(f.ct_a, f.ct_b, f.rk);
+    benchmark::DoNotOptimize(ct);
+  }
+}
+BENCHMARK(BM_BgvMultiplyRelin)->Arg(1024)->Arg(4096);
+
+void BM_BgvRotate(benchmark::State& state) {
+  BgvFixture f(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    bgv::Ciphertext ct = f.ct_a;
+    f.evaluator->RotateRowsInplace(&ct, 1, f.gk).ok();
+    benchmark::DoNotOptimize(ct);
+  }
+}
+BENCHMARK(BM_BgvRotate)->Arg(1024)->Arg(4096);
+
+void BM_BgvModSwitch(benchmark::State& state) {
+  BgvFixture f(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    bgv::Ciphertext ct = f.ct_a;
+    f.evaluator->ModSwitchToNextInplace(&ct).ok();
+    benchmark::DoNotOptimize(ct);
+  }
+}
+BENCHMARK(BM_BgvModSwitch)->Arg(1024)->Arg(4096);
+
+// ---------- Paillier ----------
+
+void BM_PaillierEncrypt(benchmark::State& state) {
+  Chacha20Rng rng(uint64_t{9});
+  auto kp = paillier::GeneratePaillierKeys(
+      static_cast<size_t>(state.range(0)), &rng);
+  paillier::PaillierEncryptor enc(kp->pk, &rng);
+  for (auto _ : state) {
+    auto ct = enc.EncryptU64(12345);
+    benchmark::DoNotOptimize(ct);
+  }
+}
+BENCHMARK(BM_PaillierEncrypt)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_PaillierDecrypt(benchmark::State& state) {
+  Chacha20Rng rng(uint64_t{10});
+  auto kp = paillier::GeneratePaillierKeys(
+      static_cast<size_t>(state.range(0)), &rng);
+  paillier::PaillierEncryptor enc(kp->pk, &rng);
+  paillier::PaillierDecryptor dec(kp->pk, kp->sk);
+  auto ct = enc.EncryptU64(12345).value();
+  for (auto _ : state) {
+    auto pt = dec.Decrypt(ct);
+    benchmark::DoNotOptimize(pt);
+  }
+}
+BENCHMARK(BM_PaillierDecrypt)->Arg(256)->Arg(512)->Arg(1024);
+
+// ---------- bignum ----------
+
+void BM_BigUintModMul(benchmark::State& state) {
+  Chacha20Rng rng(uint64_t{11});
+  const size_t bits = static_cast<size_t>(state.range(0));
+  BigUint m = BigUint::RandomBits(bits, &rng);
+  if (!m.IsOdd()) m = BigUint::Add(m, BigUint(1));
+  MontgomeryCtx ctx(m);
+  BigUint a = ctx.ToMont(BigUint::RandomBelow(m, &rng));
+  BigUint b = ctx.ToMont(BigUint::RandomBelow(m, &rng));
+  for (auto _ : state) {
+    auto c = ctx.MulMont(a, b);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_BigUintModMul)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_BigUintModExp(benchmark::State& state) {
+  Chacha20Rng rng(uint64_t{12});
+  const size_t bits = static_cast<size_t>(state.range(0));
+  BigUint m = BigUint::RandomBits(bits, &rng);
+  if (!m.IsOdd()) m = BigUint::Add(m, BigUint(1));
+  MontgomeryCtx ctx(m);
+  BigUint base = BigUint::RandomBelow(m, &rng);
+  BigUint e = BigUint::RandomBits(bits, &rng);
+  for (auto _ : state) {
+    auto c = ctx.PowMod(base, e);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_BigUintModExp)->Arg(512)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

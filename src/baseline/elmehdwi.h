@@ -1,0 +1,76 @@
+#ifndef SKNN_BASELINE_ELMEHDWI_H_
+#define SKNN_BASELINE_ELMEHDWI_H_
+
+#include <memory>
+#include <vector>
+
+#include "baseline/subprotocols.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "core/metrics.h"
+#include "data/dataset.h"
+
+// The Elmehdwi–Samanthula–Jiang secure k-NN protocol (ICDE 2014) — the
+// state-of-the-art baseline the paper compares against. Paillier-based,
+// exact, with the characteristic O(k) interactive structure:
+//   1. SSED: encrypted squared distances (one batched SM round),
+//   2. SBD: bit decomposition of every distance (l rounds),
+//   3. k iterations of { SMIN_n tournament; oblivious argmin via masked
+//      differences; exclusion by forcing the chosen distance to max;
+//      oblivious record retrieval }.
+//
+// Outputs the exact k nearest records in encrypted form.
+
+namespace sknn {
+namespace baseline {
+
+struct BaselineConfig {
+  size_t k = 5;
+  // Paillier modulus size. 512+ for realism; tests use smaller.
+  size_t paillier_bits = 512;
+  // Bound: plaintext values (coordinates and distances) fit value_bits
+  // bits. Derived from data when zero.
+  size_t value_bits = 0;
+  uint64_t seed = 1;
+};
+
+struct BaselineResult {
+  std::vector<std::vector<uint64_t>> neighbours;
+  size_t k = 0;
+  core::OpCounts c1_ops;
+  core::OpCounts c2_ops;
+  uint64_t rounds = 0;
+  uint64_t bytes = 0;
+  double query_seconds = 0;
+};
+
+class ElmehdwiSknn {
+ public:
+  // Sets up keys and the encrypted database.
+  static StatusOr<std::unique_ptr<ElmehdwiSknn>> Create(
+      const BaselineConfig& config, const data::Dataset& dataset);
+
+  // Runs one exact k-NN query.
+  StatusOr<BaselineResult> RunQuery(const std::vector<uint64_t>& query);
+
+  size_t value_bits() const { return value_bits_; }
+
+ private:
+  ElmehdwiSknn() = default;
+
+  BaselineConfig config_;
+  data::Dataset dataset_;
+  size_t value_bits_ = 0;
+  std::unique_ptr<Chacha20Rng> rng_;
+  std::unique_ptr<CloudC2> c2_;
+  std::unique_ptr<Subprotocols> c1_;
+  std::unique_ptr<paillier::PaillierDecryptor> client_dec_;
+  // Encrypted database: db_[i][j] = Enc(point i, dim j).
+  std::vector<std::vector<BigUint>> db_;
+};
+
+}  // namespace baseline
+}  // namespace sknn
+
+#endif  // SKNN_BASELINE_ELMEHDWI_H_

@@ -1,0 +1,333 @@
+#include "baseline/subprotocols.h"
+
+#include "common/logging.h"
+
+namespace sknn {
+namespace baseline {
+namespace {
+
+// Statistical blinding parameter (bits of mask slack).
+constexpr size_t kKappa = 40;
+
+}  // namespace
+
+CloudC2::CloudC2(paillier::PaillierPublicKey pk,
+                 paillier::PaillierSecretKey sk, uint64_t seed)
+    : rng_(seed), enc_(pk, &rng_), dec_(std::move(pk), std::move(sk)) {}
+
+Subprotocols::Subprotocols(paillier::PaillierPublicKey pk, CloudC2* c2,
+                           size_t value_bits, uint64_t seed)
+    : pk_(pk), c2_(c2), value_bits_(value_bits), rng_(seed),
+      enc_(std::move(pk), &rng_) {
+  // Products of two masked values must stay below N: 2*(vb + kappa) slack.
+  SKNN_CHECK_LT(2 * (value_bits + kKappa) + 2, pk_.n.BitLength());
+}
+
+BigUint Subprotocols::RandomMask() {
+  return BigUint::RandomBits(value_bits_ + kKappa, &rng_);
+}
+
+StatusOr<BigUint> Subprotocols::SecureMultiply(const BigUint& ca,
+                                               const BigUint& cb) {
+  SKNN_ASSIGN_OR_RETURN(std::vector<BigUint> out,
+                        SecureMultiplyBatch({ca}, {cb}));
+  return out[0];
+}
+
+StatusOr<std::vector<BigUint>> Subprotocols::SecureMultiplyBatch(
+    const std::vector<BigUint>& ca, const std::vector<BigUint>& cb) {
+  if (ca.size() != cb.size()) {
+    return InvalidArgumentError("SM batch size mismatch");
+  }
+  std::vector<BigUint> out(ca.size());
+  std::vector<BigUint> ra(ca.size()), rb(ca.size());
+  std::vector<BigUint> hs(ca.size());
+  // C1 -> C2: blinded operands.
+  for (size_t i = 0; i < ca.size(); ++i) {
+    ra[i] = RandomMask();
+    rb[i] = RandomMask();
+    SKNN_ASSIGN_OR_RETURN(BigUint era, enc_.Encrypt(ra[i]));
+    SKNN_ASSIGN_OR_RETURN(BigUint erb, enc_.Encrypt(rb[i]));
+    ops_.encryptions += 2;
+    BigUint ca_blind = enc_.Add(ca[i], era);
+    BigUint cb_blind = enc_.Add(cb[i], erb);
+    ops_.he_additions += 2;
+    CountTransfer(ca_blind);
+    CountTransfer(cb_blind);
+    // C2: decrypt, multiply in the clear, re-encrypt.
+    SKNN_ASSIGN_OR_RETURN(BigUint a_blind, c2_->dec().Decrypt(ca_blind));
+    SKNN_ASSIGN_OR_RETURN(BigUint b_blind, c2_->dec().Decrypt(cb_blind));
+    c2_->ops().decryptions += 2;
+    BigUint h = BigUint::MulMod(a_blind, b_blind, pk_.n);
+    SKNN_ASSIGN_OR_RETURN(hs[i], c2_->enc().Encrypt(h));
+    c2_->ops().encryptions += 1;
+    CountTransfer(hs[i]);
+  }
+  CountRound();
+  // C1: strip the blinding: ab = h - a*rb - b*ra - ra*rb.
+  for (size_t i = 0; i < ca.size(); ++i) {
+    BigUint neg_rb = BigUint::Sub(pk_.n, BigUint::Mod(rb[i], pk_.n));
+    BigUint neg_ra = BigUint::Sub(pk_.n, BigUint::Mod(ra[i], pk_.n));
+    BigUint t1 = enc_.MulPlain(ca[i], neg_rb);
+    BigUint t2 = enc_.MulPlain(cb[i], neg_ra);
+    ops_.he_plain_ops += 2;
+    BigUint rr = BigUint::MulMod(ra[i], rb[i], pk_.n);
+    BigUint neg_rr = rr.IsZero() ? rr : BigUint::Sub(pk_.n, rr);
+    BigUint acc = enc_.Add(enc_.Add(hs[i], t1), t2);
+    SKNN_ASSIGN_OR_RETURN(acc, enc_.AddPlain(acc, neg_rr));
+    ops_.he_additions += 3;
+    out[i] = std::move(acc);
+  }
+  return out;
+}
+
+StatusOr<BigUint> Subprotocols::SecureSquaredDistance(
+    const std::vector<BigUint>& cp, const std::vector<BigUint>& cq) {
+  if (cp.size() != cq.size() || cp.empty()) {
+    return InvalidArgumentError("SSED dimension mismatch");
+  }
+  // diff_i = p_i - q_i (homomorphic), then one batched SM squares all
+  // dimensions in a single round, then sum.
+  std::vector<BigUint> diffs(cp.size());
+  for (size_t i = 0; i < cp.size(); ++i) {
+    diffs[i] = enc_.Add(cp[i], enc_.Negate(cq[i]));
+    ops_.he_additions += 1;
+    ops_.he_plain_ops += 1;
+  }
+  SKNN_ASSIGN_OR_RETURN(std::vector<BigUint> squares,
+                        SecureMultiplyBatch(diffs, diffs));
+  BigUint sum = squares[0];
+  for (size_t i = 1; i < squares.size(); ++i) {
+    sum = enc_.Add(sum, squares[i]);
+    ops_.he_additions += 1;
+  }
+  return sum;
+}
+
+StatusOr<std::vector<BigUint>> Subprotocols::SecureBitDecompose(
+    const BigUint& cx) {
+  SKNN_ASSIGN_OR_RETURN(std::vector<std::vector<BigUint>> out,
+                        SecureBitDecomposeBatch({cx}));
+  return out[0];
+}
+
+StatusOr<std::vector<std::vector<BigUint>>>
+Subprotocols::SecureBitDecomposeBatch(const std::vector<BigUint>& cxs) {
+  const size_t l = value_bits_;
+  const BigUint two(2);
+  SKNN_ASSIGN_OR_RETURN(BigUint inv2, BigUint::InvMod(two, pk_.n));
+  std::vector<std::vector<BigUint>> bits(cxs.size());
+  for (auto& b : bits) b.reserve(l);
+  std::vector<BigUint> cz = cxs;
+  for (size_t i = 0; i < l; ++i) {
+    // One round extracts bit i of every value in the batch.
+    for (size_t v = 0; v < cz.size(); ++v) {
+      BigUint r = RandomMask();
+      SKNN_ASSIGN_OR_RETURN(BigUint er, enc_.Encrypt(r));
+      ops_.encryptions += 1;
+      BigUint cy = enc_.Add(cz[v], er);
+      ops_.he_additions += 1;
+      CountTransfer(cy);
+      SKNN_ASSIGN_OR_RETURN(BigUint y, c2_->dec().Decrypt(cy));
+      c2_->ops().decryptions += 1;
+      SKNN_ASSIGN_OR_RETURN(BigUint cbeta,
+                            c2_->enc().EncryptU64(y.IsOdd() ? 1 : 0));
+      c2_->ops().encryptions += 1;
+      CountTransfer(cbeta);
+      // Unflip by r's parity: bit = beta XOR (r mod 2).
+      BigUint cbit;
+      if (r.IsOdd()) {
+        SKNN_ASSIGN_OR_RETURN(
+            cbit, enc_.AddPlain(enc_.Negate(cbeta), BigUint(1)));
+        ops_.he_plain_ops += 1;
+        ops_.he_additions += 1;
+      } else {
+        cbit = cbeta;
+      }
+      // z <- (z - bit) / 2 (exact since z - bit is even).
+      BigUint cz_minus = enc_.Add(cz[v], enc_.Negate(cbit));
+      ops_.he_additions += 1;
+      ops_.he_plain_ops += 1;
+      cz[v] = enc_.MulPlain(cz_minus, inv2);
+      ops_.he_plain_ops += 1;
+      bits[v].push_back(std::move(cbit));
+    }
+    CountRound();
+  }
+  return bits;
+}
+
+StatusOr<Subprotocols::MinResult> Subprotocols::SecureMin(
+    const std::vector<BigUint>& u_bits, const std::vector<BigUint>& v_bits) {
+  SKNN_ASSIGN_OR_RETURN(std::vector<MinResult> out,
+                        SecureMinBatch({{u_bits, v_bits}}));
+  return std::move(out[0]);
+}
+
+StatusOr<std::vector<Subprotocols::MinResult>> Subprotocols::SecureMinBatch(
+    const std::vector<std::pair<std::vector<BigUint>,
+                                std::vector<BigUint>>>& pairs) {
+  const size_t l = value_bits_;
+  const size_t m = pairs.size();
+  if (m == 0) return InvalidArgumentError("empty SMIN batch");
+  for (const auto& [u, v] : pairs) {
+    if (u.size() != l || v.size() != l) {
+      return InvalidArgumentError("SMIN expects value_bits-long inputs");
+    }
+  }
+  // Coin flip per pair hides which operand plays "x" in the comparison C2
+  // resolves.
+  std::vector<bool> flip(m);
+  for (size_t p = 0; p < m; ++p) flip[p] = rng_.UniformBelow(2) == 1;
+  auto x_of = [&](size_t p) -> const std::vector<BigUint>& {
+    return flip[p] ? pairs[p].second : pairs[p].first;
+  };
+  auto y_of = [&](size_t p) -> const std::vector<BigUint>& {
+    return flip[p] ? pairs[p].first : pairs[p].second;
+  };
+
+  // Stage 1: all bit products x_i*y_i in one batched SM round; XORs follow
+  // locally: x XOR y = x + y - 2xy.
+  std::vector<BigUint> xs, ys;
+  xs.reserve(m * l);
+  ys.reserve(m * l);
+  for (size_t p = 0; p < m; ++p) {
+    for (size_t i = 0; i < l; ++i) {
+      xs.push_back(x_of(p)[i]);
+      ys.push_back(y_of(p)[i]);
+    }
+  }
+  SKNN_ASSIGN_OR_RETURN(std::vector<BigUint> xy, SecureMultiplyBatch(xs, ys));
+  const BigUint minus_two = BigUint::Sub(pk_.n, BigUint(2));
+
+  // Stage 2: DGK comparison terms c_i = y_i - x_i + 1 + 3*sum_{j>i} xor_j
+  // (j more significant); x > y iff some c_i == 0. Multiplicatively
+  // randomized and permuted; C2 reports one coin-masked bit per pair.
+  std::vector<BigUint> lambdas(m);
+  for (size_t p = 0; p < m; ++p) {
+    std::vector<BigUint> diff_xor(l);
+    for (size_t i = 0; i < l; ++i) {
+      BigUint minus_2xy = enc_.MulPlain(xy[p * l + i], minus_two);
+      diff_xor[i] = enc_.Add(enc_.Add(x_of(p)[i], y_of(p)[i]), minus_2xy);
+      ops_.he_plain_ops += 1;
+      ops_.he_additions += 2;
+    }
+    std::vector<BigUint> c_terms(l);
+    BigUint prefix;
+    bool have_prefix = false;
+    for (size_t idx = l; idx-- > 0;) {
+      BigUint ci = enc_.Add(y_of(p)[idx], enc_.Negate(x_of(p)[idx]));
+      SKNN_ASSIGN_OR_RETURN(ci, enc_.AddPlain(ci, BigUint(1)));
+      ops_.he_additions += 2;
+      ops_.he_plain_ops += 2;
+      if (have_prefix) {
+        ci = enc_.Add(ci, enc_.MulPlain(prefix, BigUint(3)));
+        ops_.he_additions += 1;
+        ops_.he_plain_ops += 1;
+      }
+      c_terms[idx] = std::move(ci);
+      if (!have_prefix) {
+        prefix = diff_xor[idx];
+        have_prefix = true;
+      } else {
+        prefix = enc_.Add(prefix, diff_xor[idx]);
+        ops_.he_additions += 1;
+      }
+    }
+    std::vector<size_t> perm = rng_.RandomPermutation(l);
+    bool any_zero = false;
+    for (size_t i = 0; i < l; ++i) {
+      BigUint rand_factor =
+          BigUint::Add(BigUint::RandomBits(40, &rng_), BigUint(1));
+      BigUint masked = enc_.MulPlain(c_terms[perm[i]], rand_factor);
+      ops_.he_plain_ops += 1;
+      CountTransfer(masked);
+      SKNN_ASSIGN_OR_RETURN(BigUint val, c2_->dec().Decrypt(masked));
+      c2_->ops().decryptions += 1;
+      if (val.IsZero()) any_zero = true;
+    }
+    SKNN_ASSIGN_OR_RETURN(lambdas[p],
+                          c2_->enc().EncryptU64(any_zero ? 1 : 0));
+    c2_->ops().encryptions += 1;
+    CountTransfer(lambdas[p]);
+  }
+  CountRound();
+
+  // Stage 3: u_is_min per pair, then min_i = v_i + b*(u_i - v_i) via one
+  // more batched SM round.
+  std::vector<MinResult> results(m);
+  std::vector<BigUint> b_vec, u_minus_v;
+  b_vec.reserve(m * l);
+  u_minus_v.reserve(m * l);
+  for (size_t p = 0; p < m; ++p) {
+    BigUint u_is_min;
+    if (!flip[p]) {
+      // x = u: lambda == (u > v); u_is_min = 1 - lambda.
+      SKNN_ASSIGN_OR_RETURN(
+          u_is_min, enc_.AddPlain(enc_.Negate(lambdas[p]), BigUint(1)));
+      ops_.he_plain_ops += 1;
+      ops_.he_additions += 1;
+    } else {
+      // x = v: lambda == (v > u); if equal, v is picked (same value).
+      u_is_min = lambdas[p];
+    }
+    for (size_t i = 0; i < l; ++i) {
+      b_vec.push_back(u_is_min);
+      BigUint duv =
+          enc_.Add(pairs[p].first[i], enc_.Negate(pairs[p].second[i]));
+      ops_.he_additions += 1;
+      ops_.he_plain_ops += 1;
+      u_minus_v.push_back(std::move(duv));
+    }
+    results[p].u_is_min = std::move(u_is_min);
+  }
+  SKNN_ASSIGN_OR_RETURN(std::vector<BigUint> picked,
+                        SecureMultiplyBatch(b_vec, u_minus_v));
+  for (size_t p = 0; p < m; ++p) {
+    results[p].min_bits.resize(l);
+    for (size_t i = 0; i < l; ++i) {
+      results[p].min_bits[i] =
+          enc_.Add(pairs[p].second[i], picked[p * l + i]);
+      ops_.he_additions += 1;
+    }
+  }
+  return results;
+}
+
+StatusOr<std::vector<BigUint>> Subprotocols::SecureMinN(
+    const std::vector<std::vector<BigUint>>& values_bits) {
+  if (values_bits.empty()) return InvalidArgumentError("SMIN_n of nothing");
+  std::vector<std::vector<BigUint>> current = values_bits;
+  while (current.size() > 1) {
+    // One tournament level: all pairwise SMINs share their rounds.
+    std::vector<std::pair<std::vector<BigUint>, std::vector<BigUint>>> pairs;
+    for (size_t i = 0; i + 1 < current.size(); i += 2) {
+      pairs.emplace_back(std::move(current[i]), std::move(current[i + 1]));
+    }
+    std::vector<std::vector<BigUint>> next;
+    if (!pairs.empty()) {
+      SKNN_ASSIGN_OR_RETURN(std::vector<MinResult> level,
+                            SecureMinBatch(pairs));
+      for (MinResult& r : level) next.push_back(std::move(r.min_bits));
+    }
+    if (current.size() % 2 == 1) next.push_back(std::move(current.back()));
+    current = std::move(next);
+  }
+  return current[0];
+}
+
+BigUint Subprotocols::BitsToValue(const std::vector<BigUint>& bits) {
+  SKNN_CHECK(!bits.empty());
+  BigUint acc = bits[0];
+  BigUint power(2);
+  for (size_t i = 1; i < bits.size(); ++i) {
+    acc = enc_.Add(acc, enc_.MulPlain(bits[i], power));
+    ops_.he_additions += 1;
+    ops_.he_plain_ops += 1;
+    power = BigUint::Mul(power, BigUint(2));
+  }
+  return acc;
+}
+
+}  // namespace baseline
+}  // namespace sknn

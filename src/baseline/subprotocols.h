@@ -1,0 +1,128 @@
+#ifndef SKNN_BASELINE_SUBPROTOCOLS_H_
+#define SKNN_BASELINE_SUBPROTOCOLS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "core/metrics.h"
+#include "crypto/paillier.h"
+
+// Building blocks of the Elmehdwi–Samanthula–Jiang baseline (ICDE 2014),
+// the protocol the paper compares against ("Yousef et al."). Two
+// non-colluding clouds: C1 holds the Paillier-encrypted data, C2 holds the
+// secret key. Every subprotocol is exact; blinding uses statistically
+// masking randomizers over the bounded value domain (documented deviation:
+// the original SBD is probabilistic with retries, ours chooses masks that
+// avoid modular wrap so one pass always succeeds).
+//
+// All methods count operations into the two clouds' OpCounts and count a
+// round each time the C1->C2->C1 interaction pattern completes.
+
+namespace sknn {
+namespace baseline {
+
+// The C2 side: decryption oracle duties of the key-holding cloud.
+class CloudC2 {
+ public:
+  CloudC2(paillier::PaillierPublicKey pk, paillier::PaillierSecretKey sk,
+          uint64_t seed);
+
+  const paillier::PaillierEncryptor& enc() const { return enc_; }
+  const paillier::PaillierDecryptor& dec() const { return dec_; }
+  core::OpCounts& ops() { return ops_; }
+  Chacha20Rng& rng() { return rng_; }
+
+ private:
+  Chacha20Rng rng_;
+  paillier::PaillierEncryptor enc_;
+  paillier::PaillierDecryptor dec_;
+  core::OpCounts ops_;
+};
+
+// The C1 side plus the interactive subprotocols (C1 drives, C2 assists).
+class Subprotocols {
+ public:
+  // `value_bits` bounds every plaintext value handled (distances fit in
+  // value_bits bits); masks are sized so no modular wrap can occur.
+  Subprotocols(paillier::PaillierPublicKey pk, CloudC2* c2, size_t value_bits,
+               uint64_t seed);
+
+  // SM: Enc(a), Enc(b) -> Enc(a*b). One C1->C2->C1 round.
+  StatusOr<BigUint> SecureMultiply(const BigUint& ca, const BigUint& cb);
+
+  // Batched SM (one logical round for the whole batch, as in the paper).
+  StatusOr<std::vector<BigUint>> SecureMultiplyBatch(
+      const std::vector<BigUint>& ca, const std::vector<BigUint>& cb);
+
+  // SSED: encrypted points -> Enc(squared euclidean distance).
+  StatusOr<BigUint> SecureSquaredDistance(const std::vector<BigUint>& cp,
+                                          const std::vector<BigUint>& cq);
+
+  // SBD: Enc(x) -> [Enc(x_0), ..., Enc(x_{l-1})] (LSB first), l =
+  // value_bits. l rounds.
+  StatusOr<std::vector<BigUint>> SecureBitDecompose(const BigUint& cx);
+
+  // Batched SBD over many values: still l rounds total (one per bit
+  // position across the whole batch), as in the paper.
+  StatusOr<std::vector<std::vector<BigUint>>> SecureBitDecomposeBatch(
+      const std::vector<BigUint>& cxs);
+
+  // SMIN over two bit-decomposed values: returns the encrypted bits of
+  // min(u, v) plus Enc(u < v ? 1 : 0). C2 learns only a coin-flipped
+  // comparison outcome. Constant rounds.
+  struct MinResult {
+    std::vector<BigUint> min_bits;
+    BigUint u_is_min;  // Enc(1) if u <= v else Enc(0)
+  };
+  StatusOr<MinResult> SecureMin(const std::vector<BigUint>& u_bits,
+                                const std::vector<BigUint>& v_bits);
+
+  // Batched SMIN over independent pairs: three interaction rounds for the
+  // whole batch (the paper evaluates one tournament level in parallel).
+  StatusOr<std::vector<MinResult>> SecureMinBatch(
+      const std::vector<std::pair<std::vector<BigUint>,
+                                  std::vector<BigUint>>>& pairs);
+
+  // SMIN_n: tournament minimum of n bit-decomposed values; returns the
+  // encrypted bits of the global minimum. ceil(log2 n) batched levels.
+  StatusOr<std::vector<BigUint>> SecureMinN(
+      const std::vector<std::vector<BigUint>>& values_bits);
+
+  // Recomposes bits into Enc(x) locally.
+  BigUint BitsToValue(const std::vector<BigUint>& bits);
+
+  const paillier::PaillierEncryptor& enc() const { return enc_; }
+  core::OpCounts& ops() { return ops_; }
+  uint64_t rounds() const { return rounds_; }
+  uint64_t bytes_exchanged() const { return bytes_; }
+  size_t value_bits() const { return value_bits_; }
+  Chacha20Rng& rng() { return rng_; }
+
+  // Accounting helpers (also used by the top-level protocol driver).
+  void CountRound() { ++rounds_; }
+  void CountTransfer(const BigUint& ciphertext) {
+    bytes_ += (ciphertext.BitLength() + 7) / 8;
+  }
+
+ private:
+  // A blinding randomizer that cannot wrap: uniform in [0, 2^{mask_bits}).
+  BigUint RandomMask();
+
+  paillier::PaillierPublicKey pk_;
+  CloudC2* c2_;
+  size_t value_bits_;
+  Chacha20Rng rng_;
+  paillier::PaillierEncryptor enc_;
+  core::OpCounts ops_;
+  uint64_t rounds_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace baseline
+}  // namespace sknn
+
+#endif  // SKNN_BASELINE_SUBPROTOCOLS_H_

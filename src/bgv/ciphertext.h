@@ -1,0 +1,50 @@
+#ifndef SKNN_BGV_CIPHERTEXT_H_
+#define SKNN_BGV_CIPHERTEXT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "math/rns_poly.h"
+
+// BGV plaintext and ciphertext value types.
+
+namespace sknn {
+namespace bgv {
+
+// A plaintext polynomial in R_t, stored as n coefficients in [0, t).
+// Batched plaintexts are produced by BatchEncoder; scalar plaintexts
+// (constant polynomials) act on every slot uniformly.
+struct Plaintext {
+  std::vector<uint64_t> coeffs;
+
+  bool IsZero() const {
+    for (uint64_t c : coeffs) {
+      if (c != 0) return false;
+    }
+    return true;
+  }
+};
+
+// A BGV ciphertext at some level. c.size() == 2 normally; 3 transiently
+// after tensoring (before relinearization). Polynomials are kept in NTT
+// form over the first level+1 data primes.
+//
+// `scale` is the BGV correction factor: decrypting yields scale * m (mod t).
+// Modulus switching multiplies it by q_dropped^{-1} and ciphertext
+// multiplication multiplies the factors; the Decryptor divides it out and
+// the Evaluator reconciles mismatched factors on addition.
+struct Ciphertext {
+  size_t level = 0;
+  uint64_t scale = 1;
+  std::vector<RnsPoly> c;
+
+  size_t size() const { return c.size(); }
+  size_t num_components() const {
+    return c.empty() ? 0 : c[0].num_components();
+  }
+};
+
+}  // namespace bgv
+}  // namespace sknn
+
+#endif  // SKNN_BGV_CIPHERTEXT_H_

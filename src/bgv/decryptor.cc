@@ -1,0 +1,123 @@
+#include "bgv/decryptor.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "math/bigint.h"
+
+namespace sknn {
+namespace bgv {
+
+Decryptor::Decryptor(std::shared_ptr<const BgvContext> ctx, SecretKey sk)
+    : ctx_(std::move(ctx)), sk_(std::move(sk)) {}
+
+RnsPoly Decryptor::DotWithSecret(const Ciphertext& ct) const {
+  SKNN_CHECK_GE(ct.size(), 2u);
+  const size_t comps = ct.level + 1;
+  const RnsBase& base = ctx_->key_base();
+
+  RnsPoly s_restricted = ZeroPoly(ctx_->n(), comps, /*ntt_form=*/true);
+  for (size_t i = 0; i < comps; ++i) {
+    s_restricted.comp[i] = sk_.s_ntt.comp[i];
+  }
+  RnsPoly v = ct.c[0];
+  SKNN_CHECK(v.ntt_form);
+  RnsPoly s_power = s_restricted;
+  for (size_t idx = 1; idx < ct.size(); ++idx) {
+    AddMulInplace(&v, ct.c[idx], s_power, base);
+    if (idx + 1 < ct.size()) {
+      MulPointwiseInplace(&s_power, s_restricted, base);
+    }
+  }
+  FromNttInplace(&v, base);
+  return v;
+}
+
+StatusOr<Plaintext> Decryptor::Decrypt(const Ciphertext& ct) const {
+  if (ct.size() < 2) return InvalidArgumentError("ciphertext too small");
+  if (ct.level > ctx_->max_level()) {
+    return InvalidArgumentError("ciphertext level out of range");
+  }
+  RnsPoly v = DotWithSecret(ct);
+  const uint64_t t = ctx_->t();
+  const Modulus& t_mod = ctx_->plain_modulus();
+  // Undo the tracked BGV correction factor: raw = scale * m.
+  const uint64_t correction = InvModPrime(ct.scale % t, t);
+
+  Plaintext pt;
+  pt.coeffs.assign(ctx_->n(), 0);
+  if (ct.level == 0) {
+    // Fast path: single prime, 64-bit arithmetic only.
+    const uint64_t q0 = ctx_->key_base().modulus(0).value();
+    for (size_t c = 0; c < ctx_->n(); ++c) {
+      const int64_t centered = CenterMod(v.comp[0][c], q0);
+      const uint64_t raw = ToUnsignedMod(centered, t);
+      pt.coeffs[c] = t_mod.MulMod(raw, correction);
+    }
+    return pt;
+  }
+  // General path: CRT reconstruction per coefficient.
+  std::vector<uint64_t> moduli(ct.level + 1);
+  for (size_t i = 0; i <= ct.level; ++i) {
+    moduli[i] = ctx_->key_base().modulus(i).value();
+  }
+  BigUint big_q(1);
+  for (uint64_t q : moduli) big_q = BigUint::Mul(big_q, BigUint(q));
+  BigUint half_q = big_q.ShiftRight(1);
+  std::vector<uint64_t> residues(moduli.size());
+  for (size_t c = 0; c < ctx_->n(); ++c) {
+    for (size_t i = 0; i < moduli.size(); ++i) residues[i] = v.comp[i][c];
+    BigUint value = BigUint::CrtReconstruct(residues, moduli);
+    uint64_t raw;
+    if (BigUint::Compare(value, half_q) > 0) {
+      // Negative representative: -(Q - value) mod t.
+      const uint64_t mag = BigUint::Sub(big_q, value).ModU64(t);
+      raw = mag == 0 ? 0 : t - mag;
+    } else {
+      raw = value.ModU64(t);
+    }
+    pt.coeffs[c] = t_mod.MulMod(raw, correction);
+  }
+  return pt;
+}
+
+StatusOr<double> Decryptor::NoiseBudgetBits(const Ciphertext& ct) const {
+  if (ct.size() < 2) return InvalidArgumentError("ciphertext too small");
+  RnsPoly v = DotWithSecret(ct);
+  const uint64_t t = ctx_->t();
+
+  std::vector<uint64_t> moduli(ct.level + 1);
+  for (size_t i = 0; i <= ct.level; ++i) {
+    moduli[i] = ctx_->key_base().modulus(i).value();
+  }
+  BigUint big_q(1);
+  for (uint64_t q : moduli) big_q = BigUint::Mul(big_q, BigUint(q));
+  BigUint half_q = big_q.ShiftRight(1);
+
+  // Noise is v - m_hat where m_hat is the centered residue of v mod t;
+  // track the maximum magnitude over all coefficients.
+  size_t max_noise_bits = 0;
+  std::vector<uint64_t> residues(moduli.size());
+  for (size_t c = 0; c < ctx_->n(); ++c) {
+    for (size_t i = 0; i < moduli.size(); ++i) residues[i] = v.comp[i][c];
+    BigUint value = BigUint::CrtReconstruct(residues, moduli);
+    bool negative = BigUint::Compare(value, half_q) > 0;
+    BigUint mag = negative ? BigUint::Sub(big_q, value) : value;
+    // Remove the plaintext part: centered residue of +-mag modulo t.
+    uint64_t m_res = mag.ModU64(t);
+    BigUint noise_mag;
+    if (m_res <= t / 2) {
+      noise_mag = BigUint::Sub(mag, BigUint(m_res));
+    } else {
+      noise_mag = BigUint::Add(mag, BigUint(t - m_res));
+    }
+    max_noise_bits = std::max(max_noise_bits, noise_mag.BitLength());
+  }
+  const double q_bits =
+      static_cast<double>(big_q.BitLength());
+  const double budget = q_bits - 1.0 - static_cast<double>(max_noise_bits);
+  return budget > 0 ? budget : 0.0;
+}
+
+}  // namespace bgv
+}  // namespace sknn

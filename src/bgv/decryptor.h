@@ -1,0 +1,42 @@
+#ifndef SKNN_BGV_DECRYPTOR_H_
+#define SKNN_BGV_DECRYPTOR_H_
+
+#include <memory>
+
+#include "bgv/ciphertext.h"
+#include "bgv/context.h"
+#include "bgv/keys.h"
+#include "common/status.h"
+#include "common/statusor.h"
+
+// BGV decryption and exact noise measurement.
+
+namespace sknn {
+namespace bgv {
+
+class Decryptor {
+ public:
+  Decryptor(std::shared_ptr<const BgvContext> ctx, SecretKey sk);
+
+  // Decrypts a ciphertext of size 2 or 3 at any level. Applies the modulus
+  // switching correction factor so the result equals the originally
+  // encrypted plaintext.
+  StatusOr<Plaintext> Decrypt(const Ciphertext& ct) const;
+
+  // Remaining noise budget in bits: log2(Q_level / (2 * |noise|)).
+  // Decryption fails (garbage output) when this reaches 0. Exact
+  // computation via CRT reconstruction; intended for tests and diagnostics.
+  StatusOr<double> NoiseBudgetBits(const Ciphertext& ct) const;
+
+ private:
+  // v = sum_i c_i * s^i over the ciphertext's components, coefficient form.
+  RnsPoly DotWithSecret(const Ciphertext& ct) const;
+
+  std::shared_ptr<const BgvContext> ctx_;
+  SecretKey sk_;
+};
+
+}  // namespace bgv
+}  // namespace sknn
+
+#endif  // SKNN_BGV_DECRYPTOR_H_

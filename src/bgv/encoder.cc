@@ -1,0 +1,49 @@
+#include "bgv/encoder.h"
+
+#include "common/logging.h"
+
+namespace sknn {
+namespace bgv {
+
+BatchEncoder::BatchEncoder(std::shared_ptr<const BgvContext> ctx)
+    : ctx_(std::move(ctx)) {}
+
+StatusOr<Plaintext> BatchEncoder::Encode(
+    const std::vector<uint64_t>& values) const {
+  if (values.size() > slot_count()) {
+    return InvalidArgumentError("too many values for slot count");
+  }
+  const uint64_t t = ctx_->t();
+  Plaintext pt;
+  pt.coeffs.assign(ctx_->n(), 0);
+  const std::vector<size_t>& map = ctx_->slot_index_map();
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i] >= t) {
+      return InvalidArgumentError("slot value exceeds plaintext modulus");
+    }
+    pt.coeffs[map[i]] = values[i];
+  }
+  ctx_->plain_ntt().InverseNtt(&pt.coeffs);
+  return pt;
+}
+
+std::vector<uint64_t> BatchEncoder::Decode(const Plaintext& pt) const {
+  SKNN_CHECK_EQ(pt.coeffs.size(), ctx_->n());
+  std::vector<uint64_t> evals = pt.coeffs;
+  ctx_->plain_ntt().ForwardNtt(&evals);
+  const std::vector<size_t>& map = ctx_->slot_index_map();
+  std::vector<uint64_t> values(ctx_->n());
+  for (size_t i = 0; i < values.size(); ++i) values[i] = evals[map[i]];
+  return values;
+}
+
+Plaintext BatchEncoder::EncodeScalar(uint64_t value) const {
+  SKNN_CHECK_LT(value, ctx_->t());
+  Plaintext pt;
+  pt.coeffs.assign(ctx_->n(), 0);
+  pt.coeffs[0] = value;
+  return pt;
+}
+
+}  // namespace bgv
+}  // namespace sknn

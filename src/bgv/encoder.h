@@ -1,0 +1,43 @@
+#ifndef SKNN_BGV_ENCODER_H_
+#define SKNN_BGV_ENCODER_H_
+
+#include <memory>
+#include <vector>
+
+#include "bgv/ciphertext.h"
+#include "bgv/context.h"
+#include "common/status.h"
+#include "common/statusor.h"
+
+// Smart–Vercauteren batching: because t ≡ 1 (mod 2n), x^n + 1 splits into n
+// linear factors mod t and R_t ≅ Z_t^n. Encode maps a vector of n slot
+// values to the unique polynomial taking those values at the evaluation
+// points; Decode inverts. Homomorphic ring operations then act slot-wise.
+
+namespace sknn {
+namespace bgv {
+
+class BatchEncoder {
+ public:
+  explicit BatchEncoder(std::shared_ptr<const BgvContext> ctx);
+
+  size_t slot_count() const { return ctx_->n(); }
+  size_t row_size() const { return ctx_->row_size(); }
+
+  // Encodes up to slot_count() values (each < t); missing slots are zero.
+  StatusOr<Plaintext> Encode(const std::vector<uint64_t>& values) const;
+  // Decodes all slots.
+  std::vector<uint64_t> Decode(const Plaintext& pt) const;
+
+  // Constant-polynomial plaintext: the same scalar in every slot, with no
+  // NTT cost and minimal noise impact when multiplied.
+  Plaintext EncodeScalar(uint64_t value) const;
+
+ private:
+  std::shared_ptr<const BgvContext> ctx_;
+};
+
+}  // namespace bgv
+}  // namespace sknn
+
+#endif  // SKNN_BGV_ENCODER_H_

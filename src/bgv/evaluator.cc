@@ -1,0 +1,404 @@
+#include "bgv/evaluator.h"
+
+#include "bgv/sampling.h"
+#include "common/logging.h"
+
+namespace sknn {
+namespace bgv {
+
+Evaluator::Evaluator(std::shared_ptr<const BgvContext> ctx)
+    : ctx_(std::move(ctx)) {}
+
+Status Evaluator::CheckCt(const Ciphertext& a) const {
+  if (a.size() < 2) return InvalidArgumentError("ciphertext too small");
+  if (a.level > ctx_->max_level()) {
+    return InvalidArgumentError("ciphertext level out of range");
+  }
+  if (a.num_components() != a.level + 1) {
+    return InternalError("ciphertext level/component mismatch");
+  }
+  if (a.c[0].n != ctx_->n()) {
+    return InvalidArgumentError(
+        "ciphertext ring degree does not match this evaluator's context");
+  }
+  return Status::Ok();
+}
+
+Status Evaluator::Equalize(Ciphertext* a, Ciphertext* b) const {
+  while (a->level > b->level) SKNN_RETURN_IF_ERROR(ModSwitchToNextInplace(a));
+  while (b->level > a->level) SKNN_RETURN_IF_ERROR(ModSwitchToNextInplace(b));
+  return Status::Ok();
+}
+
+Status Evaluator::MatchScale(Ciphertext* a, const Ciphertext& b) const {
+  if (a->scale == b.scale) return Status::Ok();
+  // Multiply a by (scale_b / scale_a) mod t so both carry scale_b.
+  const Modulus& t_mod = ctx_->plain_modulus();
+  const uint64_t ratio =
+      t_mod.MulMod(b.scale, InvModPrime(a->scale, ctx_->t()));
+  SKNN_RETURN_IF_ERROR(MultiplyScalarInplace(a, ratio));
+  // MultiplyScalarInplace scaled the content, not the tracked factor.
+  a->scale = b.scale;
+  return Status::Ok();
+}
+
+Status Evaluator::AddInplace(Ciphertext* a, const Ciphertext& b) const {
+  SKNN_RETURN_IF_ERROR(CheckCt(*a));
+  SKNN_RETURN_IF_ERROR(CheckCt(b));
+  Ciphertext b_copy;
+  const Ciphertext* rhs = &b;
+  if (a->level != b.level) {
+    b_copy = b;
+    SKNN_RETURN_IF_ERROR(Equalize(a, &b_copy));
+    rhs = &b_copy;
+  }
+  if (a->size() != rhs->size()) {
+    return InvalidArgumentError("ciphertext size mismatch in Add");
+  }
+  SKNN_RETURN_IF_ERROR(MatchScale(a, *rhs));
+  for (size_t i = 0; i < a->size(); ++i) {
+    sknn::AddInplace(&a->c[i], rhs->c[i], ctx_->key_base());
+  }
+  return Status::Ok();
+}
+
+Status Evaluator::SubInplace(Ciphertext* a, const Ciphertext& b) const {
+  SKNN_RETURN_IF_ERROR(CheckCt(*a));
+  SKNN_RETURN_IF_ERROR(CheckCt(b));
+  Ciphertext b_copy;
+  const Ciphertext* rhs = &b;
+  if (a->level != b.level) {
+    b_copy = b;
+    SKNN_RETURN_IF_ERROR(Equalize(a, &b_copy));
+    rhs = &b_copy;
+  }
+  if (a->size() != rhs->size()) {
+    return InvalidArgumentError("ciphertext size mismatch in Sub");
+  }
+  SKNN_RETURN_IF_ERROR(MatchScale(a, *rhs));
+  for (size_t i = 0; i < a->size(); ++i) {
+    sknn::SubInplace(&a->c[i], rhs->c[i], ctx_->key_base());
+  }
+  return Status::Ok();
+}
+
+void Evaluator::NegateInplace(Ciphertext* a) const {
+  for (RnsPoly& p : a->c) sknn::NegateInplace(&p, ctx_->key_base());
+}
+
+Status Evaluator::AddPlainInplace(Ciphertext* a, const Plaintext& pt) const {
+  SKNN_RETURN_IF_ERROR(CheckCt(*a));
+  if (pt.coeffs.size() != ctx_->n()) {
+    return InvalidArgumentError("plaintext degree mismatch");
+  }
+  // Scale the addend by the ciphertext's correction factor so that it
+  // lands on the plaintext with weight one after decryption.
+  Plaintext scaled = pt;
+  if (a->scale != 1) {
+    const Modulus& t_mod = ctx_->plain_modulus();
+    for (uint64_t& c : scaled.coeffs) c = t_mod.MulMod(c, a->scale);
+  }
+  RnsPoly m = LiftPlainCentered(*ctx_, scaled.coeffs, a->level + 1);
+  ToNttInplace(&m, ctx_->key_base());
+  sknn::AddInplace(&a->c[0], m, ctx_->key_base());
+  return Status::Ok();
+}
+
+Status Evaluator::SubPlainInplace(Ciphertext* a, const Plaintext& pt) const {
+  Plaintext negated = pt;
+  const uint64_t t = ctx_->t();
+  for (uint64_t& c : negated.coeffs) c = NegMod(c, t);
+  return AddPlainInplace(a, negated);
+}
+
+StatusOr<Ciphertext> Evaluator::Multiply(const Ciphertext& a,
+                                         const Ciphertext& b) const {
+  SKNN_RETURN_IF_ERROR(CheckCt(a));
+  SKNN_RETURN_IF_ERROR(CheckCt(b));
+  if (a.size() != 2 || b.size() != 2) {
+    return InvalidArgumentError("Multiply requires size-2 ciphertexts");
+  }
+  Ciphertext x = a;
+  Ciphertext y = b;
+  SKNN_RETURN_IF_ERROR(Equalize(&x, &y));
+  const RnsBase& base = ctx_->key_base();
+  Ciphertext out;
+  out.level = x.level;
+  out.scale = ctx_->plain_modulus().MulMod(x.scale, y.scale);
+  RnsPoly d0 = MulPointwise(x.c[0], y.c[0], base);
+  RnsPoly d1 = MulPointwise(x.c[0], y.c[1], base);
+  AddMulInplace(&d1, x.c[1], y.c[0], base);
+  RnsPoly d2 = MulPointwise(x.c[1], y.c[1], base);
+  out.c.push_back(std::move(d0));
+  out.c.push_back(std::move(d1));
+  out.c.push_back(std::move(d2));
+  return out;
+}
+
+void Evaluator::KeySwitchCore(size_t level, const RnsPoly& target,
+                              const KSwitchKey& ksk, RnsPoly* u0,
+                              RnsPoly* u1) const {
+  SKNN_CHECK(!target.ntt_form);
+  SKNN_CHECK_EQ(target.num_components(), level + 1);
+  const size_t n = ctx_->n();
+  const size_t sp_key_idx = ctx_->special_index();
+  const RnsBase& base = ctx_->key_base();
+
+  // Accumulators over the extended base: components 0..level (data primes)
+  // plus one slot for the special prime.
+  const size_t ext = level + 2;
+  std::vector<std::vector<uint64_t>> acc0(ext, std::vector<uint64_t>(n, 0));
+  std::vector<std::vector<uint64_t>> acc1(ext, std::vector<uint64_t>(n, 0));
+
+  std::vector<uint64_t> digit(n);
+  for (size_t i = 0; i <= level; ++i) {
+    const std::vector<uint64_t>& d = target.comp[i];
+    SKNN_CHECK_EQ(ksk.digits.size(), ctx_->num_data_primes());
+    const RnsPoly& kb = ksk.digits[i].first;
+    const RnsPoly& ka = ksk.digits[i].second;
+    for (size_t j = 0; j < ext; ++j) {
+      const size_t key_idx = (j <= level) ? j : sp_key_idx;
+      const Modulus& mod = base.modulus(key_idx);
+      const NttTables& ntt = base.ntt(key_idx);
+      const uint64_t q = mod.value();
+      // Lift digit i (integers < q_i) into Z_q.
+      for (size_t c = 0; c < n; ++c) digit[c] = mod.Reduce(d[c]);
+      ntt.ForwardNtt(digit.data());
+      const uint64_t* kbv = kb.comp[key_idx].data();
+      const uint64_t* kav = ka.comp[key_idx].data();
+      uint64_t* a0 = acc0[j].data();
+      uint64_t* a1 = acc1[j].data();
+      for (size_t c = 0; c < n; ++c) {
+        a0[c] = AddMod(a0[c], mod.MulMod(digit[c], kbv[c]), q);
+        a1[c] = AddMod(a1[c], mod.MulMod(digit[c], kav[c]), q);
+      }
+    }
+  }
+
+  // Inverse NTT all accumulator components (back to coefficient form).
+  for (size_t j = 0; j < ext; ++j) {
+    const size_t key_idx = (j <= level) ? j : sp_key_idx;
+    base.ntt(key_idx).InverseNtt(acc0[j].data());
+    base.ntt(key_idx).InverseNtt(acc1[j].data());
+  }
+
+  // Divide by the special prime with t-preserving rounding:
+  //   delta = t * [acc_sp * t^{-1}]_sp (centered), out = (acc - delta)/sp.
+  const uint64_t sp = base.modulus(sp_key_idx).value();
+  const uint64_t t_inv_sp = ctx_->t_inv_mod_sp();
+  *u0 = ZeroPoly(n, level + 1, /*ntt_form=*/false);
+  *u1 = ZeroPoly(n, level + 1, /*ntt_form=*/false);
+  const Modulus sp_mod(sp);
+  for (int which = 0; which < 2; ++which) {
+    const auto& acc = which == 0 ? acc0 : acc1;
+    RnsPoly* out = which == 0 ? u0 : u1;
+    for (size_t c = 0; c < n; ++c) {
+      const uint64_t r = sp_mod.MulMod(acc[level + 1][c], t_inv_sp);
+      const int64_t r_centered = CenterMod(r, sp);
+      for (size_t j = 0; j <= level; ++j) {
+        const Modulus& mod = base.modulus(j);
+        const uint64_t q = mod.value();
+        const uint64_t delta =
+            mod.MulMod(ctx_->t_mod_q(j), ToUnsignedMod(r_centered, q));
+        const uint64_t diff = SubMod(acc[j][c], delta, q);
+        out->comp[j][c] = mod.MulMod(diff, ctx_->sp_inv_mod_q(j));
+      }
+    }
+  }
+  ToNttInplace(u0, base);
+  ToNttInplace(u1, base);
+}
+
+Status Evaluator::RelinearizeInplace(Ciphertext* a,
+                                     const RelinKeys& rk) const {
+  if (a->size() != 3) {
+    return InvalidArgumentError("Relinearize requires a size-3 ciphertext");
+  }
+  RnsPoly d2 = a->c[2];
+  FromNttInplace(&d2, ctx_->key_base());
+  RnsPoly u0, u1;
+  KeySwitchCore(a->level, d2, rk.key, &u0, &u1);
+  sknn::AddInplace(&a->c[0], u0, ctx_->key_base());
+  sknn::AddInplace(&a->c[1], u1, ctx_->key_base());
+  a->c.pop_back();
+  return Status::Ok();
+}
+
+StatusOr<Ciphertext> Evaluator::MultiplyRelin(const Ciphertext& a,
+                                              const Ciphertext& b,
+                                              const RelinKeys& rk,
+                                              bool mod_switch) const {
+  SKNN_ASSIGN_OR_RETURN(Ciphertext out, Multiply(a, b));
+  SKNN_RETURN_IF_ERROR(RelinearizeInplace(&out, rk));
+  if (mod_switch && out.level > 0) {
+    SKNN_RETURN_IF_ERROR(ModSwitchToNextInplace(&out));
+  }
+  return out;
+}
+
+Status Evaluator::MultiplyPlainInplace(Ciphertext* a,
+                                       const Plaintext& pt) const {
+  SKNN_RETURN_IF_ERROR(CheckCt(*a));
+  if (pt.coeffs.size() != ctx_->n()) {
+    return InvalidArgumentError("plaintext degree mismatch");
+  }
+  if (pt.IsZero()) {
+    return InvalidArgumentError(
+        "multiplying by the zero plaintext produces a transparent "
+        "ciphertext; subtract instead");
+  }
+  RnsPoly m = LiftPlainCentered(*ctx_, pt.coeffs, a->level + 1);
+  ToNttInplace(&m, ctx_->key_base());
+  for (RnsPoly& p : a->c) MulPointwiseInplace(&p, m, ctx_->key_base());
+  return Status::Ok();
+}
+
+Status Evaluator::MultiplyScalarInplace(Ciphertext* a,
+                                        uint64_t scalar_mod_t) const {
+  SKNN_RETURN_IF_ERROR(CheckCt(*a));
+  if (scalar_mod_t >= ctx_->t()) {
+    return InvalidArgumentError("scalar exceeds plaintext modulus");
+  }
+  if (scalar_mod_t == 0) {
+    return InvalidArgumentError("scalar multiply by zero is transparent");
+  }
+  const int64_t centered = CenterMod(scalar_mod_t, ctx_->t());
+  const size_t comps = a->level + 1;
+  std::vector<uint64_t> per_prime(comps);
+  for (size_t i = 0; i < comps; ++i) {
+    per_prime[i] =
+        ToUnsignedMod(centered, ctx_->key_base().modulus(i).value());
+  }
+  for (RnsPoly& p : a->c) {
+    MulScalarInplace(&p, per_prime, ctx_->key_base());
+  }
+  return Status::Ok();
+}
+
+RnsPoly Evaluator::DropLastComponent(const RnsPoly& poly, size_t level) const {
+  SKNN_CHECK(!poly.ntt_form);
+  SKNN_CHECK_EQ(poly.num_components(), level + 1);
+  SKNN_CHECK_GE(level, 1u);
+  const size_t n = ctx_->n();
+  const RnsBase& base = ctx_->key_base();
+  const uint64_t q_last = base.modulus(level).value();
+  const Modulus& last_mod = base.modulus(level);
+  const uint64_t t_inv = ctx_->t_inv_mod_q(level);
+
+  RnsPoly out = ZeroPoly(n, level, /*ntt_form=*/false);
+  for (size_t c = 0; c < n; ++c) {
+    const uint64_t r = last_mod.MulMod(poly.comp[level][c], t_inv);
+    const int64_t r_centered = CenterMod(r, q_last);
+    for (size_t j = 0; j < level; ++j) {
+      const Modulus& mod = base.modulus(j);
+      const uint64_t q = mod.value();
+      const uint64_t delta =
+          mod.MulMod(ctx_->t_mod_q(j), ToUnsignedMod(r_centered, q));
+      const uint64_t diff = SubMod(poly.comp[j][c], delta, q);
+      out.comp[j][c] = mod.MulMod(diff, ctx_->q_inv_mod_q(level, j));
+    }
+  }
+  return out;
+}
+
+Status Evaluator::ModSwitchToNextInplace(Ciphertext* a) const {
+  SKNN_RETURN_IF_ERROR(CheckCt(*a));
+  if (a->level == 0) {
+    return FailedPreconditionError("already at the lowest level");
+  }
+  for (RnsPoly& p : a->c) {
+    FromNttInplace(&p, ctx_->key_base());
+    p = DropLastComponent(p, a->level);
+    ToNttInplace(&p, ctx_->key_base());
+  }
+  a->scale = ctx_->plain_modulus().MulMod(a->scale, ctx_->q_inv_mod_t(a->level));
+  a->level -= 1;
+  return Status::Ok();
+}
+
+Status Evaluator::ModSwitchToLevelInplace(Ciphertext* a, size_t level) const {
+  if (level > a->level) {
+    return InvalidArgumentError("cannot mod switch upward");
+  }
+  while (a->level > level) {
+    SKNN_RETURN_IF_ERROR(ModSwitchToNextInplace(a));
+  }
+  return Status::Ok();
+}
+
+Status Evaluator::ApplyGaloisInplace(Ciphertext* a, uint64_t galois_elt,
+                                     const GaloisKeys& gk) const {
+  SKNN_RETURN_IF_ERROR(CheckCt(*a));
+  if (a->size() != 2) {
+    return InvalidArgumentError("ApplyGalois requires a size-2 ciphertext");
+  }
+  auto it = gk.keys.find(galois_elt);
+  if (it == gk.keys.end()) {
+    return NotFoundError("missing Galois key for element " +
+                         std::to_string(galois_elt));
+  }
+  const RnsBase& base = ctx_->key_base();
+  RnsPoly c0 = a->c[0];
+  RnsPoly c1 = a->c[1];
+  FromNttInplace(&c0, base);
+  FromNttInplace(&c1, base);
+  RnsPoly c0_tau = ApplyGaloisCoeff(c0, galois_elt, base);
+  RnsPoly c1_tau = ApplyGaloisCoeff(c1, galois_elt, base);
+  ToNttInplace(&c0_tau, base);
+
+  RnsPoly u0, u1;
+  KeySwitchCore(a->level, c1_tau, it->second, &u0, &u1);
+  sknn::AddInplace(&u0, c0_tau, base);
+  a->c[0] = std::move(u0);
+  a->c[1] = std::move(u1);
+  return Status::Ok();
+}
+
+Status Evaluator::RotateRowsInplace(Ciphertext* a, int step,
+                                    const GaloisKeys& gk) const {
+  if (step == 0) return Status::Ok();
+  const size_t row = ctx_->row_size();
+  // Normalize into (-row, row).
+  step = static_cast<int>(((step % static_cast<int>(row)) +
+                           static_cast<int>(row)) %
+                          static_cast<int>(row));
+  if (step == 0) return Status::Ok();
+  // Decompose into available power-of-two keys when the exact key is
+  // missing.
+  const uint64_t elt = ctx_->GaloisEltForRotation(step);
+  if (gk.Has(elt)) {
+    return ApplyGaloisInplace(a, elt, gk);
+  }
+  for (size_t bit = 0; (size_t{1} << bit) < row; ++bit) {
+    if (step & (1 << bit)) {
+      const uint64_t e = ctx_->GaloisEltForRotation(1 << bit);
+      SKNN_RETURN_IF_ERROR(ApplyGaloisInplace(a, e, gk));
+    }
+  }
+  return Status::Ok();
+}
+
+Status Evaluator::RotateColumnsInplace(Ciphertext* a,
+                                       const GaloisKeys& gk) const {
+  return ApplyGaloisInplace(a, ctx_->GaloisEltForColumnSwap(), gk);
+}
+
+Status Evaluator::FoldRowsInplace(Ciphertext* a, size_t block,
+                                  const GaloisKeys& gk) const {
+  if (block == 0 || (block & (block - 1)) != 0) {
+    return InvalidArgumentError("fold block must be a power of two");
+  }
+  if (block > ctx_->row_size()) {
+    return InvalidArgumentError("fold block exceeds row size");
+  }
+  for (size_t step = 1; step < block; step <<= 1) {
+    Ciphertext rotated = *a;
+    SKNN_RETURN_IF_ERROR(
+        RotateRowsInplace(&rotated, static_cast<int>(step), gk));
+    SKNN_RETURN_IF_ERROR(AddInplace(a, rotated));
+  }
+  return Status::Ok();
+}
+
+}  // namespace bgv
+}  // namespace sknn

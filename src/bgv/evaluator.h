@@ -1,0 +1,88 @@
+#ifndef SKNN_BGV_EVALUATOR_H_
+#define SKNN_BGV_EVALUATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "bgv/ciphertext.h"
+#include "bgv/context.h"
+#include "bgv/keys.h"
+#include "common/status.h"
+#include "common/statusor.h"
+
+// Homomorphic operations on BGV ciphertexts.
+//
+// Levels: fresh ciphertexts sit at max_level(); every ct-ct multiplication
+// should be followed by ModSwitchToNextInplace (the Multiply helpers do it
+// on request). Binary operations equalize operand levels automatically by
+// switching the higher one down.
+
+namespace sknn {
+namespace bgv {
+
+class Evaluator {
+ public:
+  explicit Evaluator(std::shared_ptr<const BgvContext> ctx);
+
+  // --- linear operations (no noise growth beyond addition) ---
+  Status AddInplace(Ciphertext* a, const Ciphertext& b) const;
+  Status SubInplace(Ciphertext* a, const Ciphertext& b) const;
+  void NegateInplace(Ciphertext* a) const;
+  // a += Enc(pt) without encryption (transparent addend).
+  Status AddPlainInplace(Ciphertext* a, const Plaintext& pt) const;
+  Status SubPlainInplace(Ciphertext* a, const Plaintext& pt) const;
+
+  // --- multiplications ---
+  // Tensor product; result has size 3 and must be relinearized before any
+  // further multiplication. Operand levels are equalized.
+  StatusOr<Ciphertext> Multiply(const Ciphertext& a, const Ciphertext& b) const;
+  // Keyswitches the quadratic component back to size 2.
+  Status RelinearizeInplace(Ciphertext* a, const RelinKeys& rk) const;
+  // Multiply + relinearize + modulus switch (the common idiom).
+  StatusOr<Ciphertext> MultiplyRelin(const Ciphertext& a, const Ciphertext& b,
+                                     const RelinKeys& rk,
+                                     bool mod_switch = true) const;
+  // Slot-wise product with an encoded plaintext.
+  Status MultiplyPlainInplace(Ciphertext* a, const Plaintext& pt) const;
+  // Product with a scalar (constant polynomial): cheaper, noise grows by
+  // |scalar| only.
+  Status MultiplyScalarInplace(Ciphertext* a, uint64_t scalar_mod_t) const;
+
+  // --- level management ---
+  Status ModSwitchToNextInplace(Ciphertext* a) const;
+  Status ModSwitchToLevelInplace(Ciphertext* a, size_t level) const;
+
+  // --- rotations ---
+  // Cyclically rotates both slot rows left by `step` (negative: right).
+  Status RotateRowsInplace(Ciphertext* a, int step, const GaloisKeys& gk) const;
+  // Swaps the two slot rows.
+  Status RotateColumnsInplace(Ciphertext* a, const GaloisKeys& gk) const;
+  // Applies an arbitrary Galois automorphism (a key for it must exist).
+  Status ApplyGaloisInplace(Ciphertext* a, uint64_t galois_elt,
+                            const GaloisKeys& gk) const;
+  // Sums an arbitrary contiguous power-of-two block: after this call every
+  // slot j holds sum_{r<block} input[j+r] (within rows). Used for the
+  // distance fold.
+  Status FoldRowsInplace(Ciphertext* a, size_t block, const GaloisKeys& gk) const;
+
+ private:
+  Status CheckCt(const Ciphertext& a) const;
+  // Equalizes ciphertext levels by switching the higher one down.
+  Status Equalize(Ciphertext* a, Ciphertext* b) const;
+  // Rescales a's content so it carries b's scale factor (no-op when equal).
+  Status MatchScale(Ciphertext* a, const Ciphertext& b) const;
+  // Core key switch: given `target` (coefficient form, level+1 components),
+  // returns the rounded (u0, u1) contribution in NTT form at the same level.
+  void KeySwitchCore(size_t level, const RnsPoly& target,
+                     const KSwitchKey& ksk, RnsPoly* u0, RnsPoly* u1) const;
+  // Drops the last RNS component of a poly with BGV rounding (coefficient
+  // form in, coefficient form out).
+  RnsPoly DropLastComponent(const RnsPoly& poly, size_t level) const;
+
+  std::shared_ptr<const BgvContext> ctx_;
+};
+
+}  // namespace bgv
+}  // namespace sknn
+
+#endif  // SKNN_BGV_EVALUATOR_H_

@@ -1,0 +1,106 @@
+#include "bgv/keys.h"
+
+#include "bgv/sampling.h"
+#include "common/logging.h"
+
+namespace sknn {
+namespace bgv {
+
+KeyGenerator::KeyGenerator(std::shared_ptr<const BgvContext> ctx,
+                           Chacha20Rng* rng)
+    : ctx_(std::move(ctx)), rng_(rng) {}
+
+SecretKey KeyGenerator::GenerateSecretKey() {
+  SecretKey sk;
+  const size_t all = ctx_->key_base().size();
+  sk.s_coeff = SampleTernaryPoly(*ctx_, all, rng_);
+  sk.s_ntt = sk.s_coeff;
+  ToNttInplace(&sk.s_ntt, ctx_->key_base());
+  return sk;
+}
+
+PublicKey KeyGenerator::GeneratePublicKey(const SecretKey& sk) {
+  const size_t data = ctx_->num_data_primes();
+  PublicKey pk;
+  pk.a = SampleUniformPoly(*ctx_, data, rng_);
+  RnsPoly e = SampleGaussianPoly(*ctx_, data, rng_);
+  // b = -(a*s + t*e) over the data primes.
+  std::vector<uint64_t> t_mod(data);
+  for (size_t i = 0; i < data; ++i) t_mod[i] = ctx_->t_mod_q(i);
+  MulScalarInplace(&e, t_mod, ctx_->key_base());
+  ToNttInplace(&e, ctx_->key_base());
+
+  RnsPoly s_data = ZeroPoly(ctx_->n(), data, /*ntt_form=*/true);
+  for (size_t i = 0; i < data; ++i) s_data.comp[i] = sk.s_ntt.comp[i];
+
+  pk.b = MulPointwise(pk.a, s_data, ctx_->key_base());
+  AddInplace(&pk.b, e, ctx_->key_base());
+  NegateInplace(&pk.b, ctx_->key_base());
+  return pk;
+}
+
+KSwitchKey KeyGenerator::MakeKSwitchKey(const RnsPoly& s_prime_ntt,
+                                        const SecretKey& sk) {
+  const size_t data = ctx_->num_data_primes();
+  const size_t all = ctx_->key_base().size();
+  KSwitchKey ksk;
+  ksk.digits.reserve(data);
+  for (size_t i = 0; i < data; ++i) {
+    RnsPoly a_i = SampleUniformPoly(*ctx_, all, rng_);
+    RnsPoly e_i = SampleGaussianPoly(*ctx_, all, rng_);
+    std::vector<uint64_t> t_mod(all);
+    for (size_t j = 0; j < data; ++j) t_mod[j] = ctx_->t_mod_q(j);
+    t_mod[data] = ctx_->t_mod_sp();
+    MulScalarInplace(&e_i, t_mod, ctx_->key_base());
+    ToNttInplace(&e_i, ctx_->key_base());
+
+    RnsPoly b_i = MulPointwise(a_i, sk.s_ntt, ctx_->key_base());
+    AddInplace(&b_i, e_i, ctx_->key_base());
+    NegateInplace(&b_i, ctx_->key_base());
+    // Payload: add sp * s' on the i-th RNS component only. In NTT form the
+    // CRT indicator of component i is simply "touch only component i".
+    const Modulus& qi = ctx_->key_base().modulus(i);
+    const uint64_t factor = ctx_->sp_mod_q(i);
+    const uint64_t factor_shoup = ShoupPrecompute(factor, qi.value());
+    for (size_t c = 0; c < ctx_->n(); ++c) {
+      const uint64_t payload = MulModShoup(s_prime_ntt.comp[i][c], factor,
+                                           factor_shoup, qi.value());
+      b_i.comp[i][c] = AddMod(b_i.comp[i][c], payload, qi.value());
+    }
+    ksk.digits.emplace_back(std::move(b_i), std::move(a_i));
+  }
+  return ksk;
+}
+
+RelinKeys KeyGenerator::GenerateRelinKeys(const SecretKey& sk) {
+  RnsPoly s_squared = MulPointwise(sk.s_ntt, sk.s_ntt, ctx_->key_base());
+  RelinKeys rk;
+  rk.key = MakeKSwitchKey(s_squared, sk);
+  return rk;
+}
+
+GaloisKeys KeyGenerator::GenerateGaloisKeys(
+    const SecretKey& sk, const std::vector<uint64_t>& galois_elts) {
+  GaloisKeys gk;
+  for (uint64_t elt : galois_elts) {
+    if (gk.Has(elt)) continue;
+    RnsPoly s_tau =
+        ApplyGaloisCoeff(sk.s_coeff, elt, ctx_->key_base());
+    ToNttInplace(&s_tau, ctx_->key_base());
+    gk.keys.emplace(elt, MakeKSwitchKey(s_tau, sk));
+  }
+  return gk;
+}
+
+GaloisKeys KeyGenerator::GeneratePowerOfTwoRotationKeys(const SecretKey& sk) {
+  std::vector<uint64_t> elts;
+  for (size_t step = 1; step < ctx_->row_size(); step <<= 1) {
+    elts.push_back(ctx_->GaloisEltForRotation(static_cast<int>(step)));
+    elts.push_back(ctx_->GaloisEltForRotation(-static_cast<int>(step)));
+  }
+  elts.push_back(ctx_->GaloisEltForColumnSwap());
+  return GenerateGaloisKeys(sk, elts);
+}
+
+}  // namespace bgv
+}  // namespace sknn

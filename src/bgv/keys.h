@@ -1,0 +1,79 @@
+#ifndef SKNN_BGV_KEYS_H_
+#define SKNN_BGV_KEYS_H_
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "bgv/context.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "math/rns_poly.h"
+
+// BGV key material and the key generator.
+
+namespace sknn {
+namespace bgv {
+
+// Secret key s (ternary), stored in NTT form over the full key base
+// (all data primes + the special prime), plus a coefficient-form copy used
+// to derive Galois-rotated keys.
+struct SecretKey {
+  RnsPoly s_ntt;
+  RnsPoly s_coeff;
+};
+
+// Public encryption key (b, a) with b = -(a*s + t*e), in NTT form over all
+// data primes (encryption at level l uses the first l+1 components).
+struct PublicKey {
+  RnsPoly b;
+  RnsPoly a;
+};
+
+// Key-switching key from some secret s' to s: one (b_i, a_i) pair per data
+// prime (RNS decomposition digits), each over the full key base in NTT
+// form. b_i = -(a_i*s + t*e_i) + sp * indicator_i * s'.
+struct KSwitchKey {
+  std::vector<std::pair<RnsPoly, RnsPoly>> digits;
+};
+
+// Relinearization key: switches s^2 -> s.
+struct RelinKeys {
+  KSwitchKey key;
+};
+
+// Galois keys: switches tau_g(s) -> s for each supported Galois element.
+struct GaloisKeys {
+  std::map<uint64_t, KSwitchKey> keys;
+
+  bool Has(uint64_t galois_elt) const { return keys.count(galois_elt) > 0; }
+};
+
+// Generates all key material from a seeded RNG (reproducible keygen).
+class KeyGenerator {
+ public:
+  KeyGenerator(std::shared_ptr<const BgvContext> ctx, Chacha20Rng* rng);
+
+  SecretKey GenerateSecretKey();
+  PublicKey GeneratePublicKey(const SecretKey& sk);
+  RelinKeys GenerateRelinKeys(const SecretKey& sk);
+  // One key per Galois element; helpers below pick elements for rotations.
+  GaloisKeys GenerateGaloisKeys(const SecretKey& sk,
+                                const std::vector<uint64_t>& galois_elts);
+  // Keys for all power-of-two row rotations (1, 2, ..., row_size/2) in both
+  // directions plus the column swap — enough to compose any rotation.
+  GaloisKeys GeneratePowerOfTwoRotationKeys(const SecretKey& sk);
+
+ private:
+  KSwitchKey MakeKSwitchKey(const RnsPoly& s_prime_ntt, const SecretKey& sk);
+
+  std::shared_ptr<const BgvContext> ctx_;
+  Chacha20Rng* rng_;
+};
+
+}  // namespace bgv
+}  // namespace sknn
+
+#endif  // SKNN_BGV_KEYS_H_

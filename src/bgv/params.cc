@@ -1,0 +1,182 @@
+#include "bgv/params.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "math/prime.h"
+
+namespace sknn {
+namespace bgv {
+namespace {
+
+// Homomorphic encryption standard (ternary secret, classical attacks):
+// maximum log2(QP) for 128-bit security per ring degree.
+struct SecurityRow {
+  size_t n;
+  double max_logqp_128;
+};
+constexpr SecurityRow kSecurityTable[] = {
+    {1024, 27},  {2048, 54},   {4096, 109},
+    {8192, 218}, {16384, 438}, {32768, 881},
+};
+
+int DataPrimeBitsForPreset(SecurityPreset preset) {
+  switch (preset) {
+    case SecurityPreset::kToy:
+      return 45;
+    default:
+      return 58;
+  }
+}
+
+int SpecialPrimeBitsForPreset(SecurityPreset preset) {
+  switch (preset) {
+    case SecurityPreset::kToy:
+      return 50;
+    default:
+      return 60;
+  }
+}
+
+size_t RingDegreeForPreset(SecurityPreset preset) {
+  switch (preset) {
+    case SecurityPreset::kToy:
+      return 1024;
+    case SecurityPreset::kBench:
+      return 4096;
+    case SecurityPreset::kDefault:
+      return 8192;
+    case SecurityPreset::kParanoid:
+      return 16384;
+  }
+  return 8192;
+}
+
+}  // namespace
+
+double BgvParams::TotalModulusBits() const {
+  double bits = std::log2(static_cast<double>(special_prime));
+  for (uint64_t q : data_primes) bits += std::log2(static_cast<double>(q));
+  return bits;
+}
+
+std::string BgvParams::DebugString() const {
+  std::ostringstream os;
+  os << "BgvParams{n=" << n << ", t=" << plain_modulus << ", q=[";
+  for (size_t i = 0; i < data_primes.size(); ++i) {
+    if (i) os << ", ";
+    os << data_primes[i];
+  }
+  os << "], sp=" << special_prime << ", logQP=" << TotalModulusBits()
+     << ", est_security=" << EstimateSecurityBits(n, TotalModulusBits())
+     << "}";
+  return os.str();
+}
+
+StatusOr<BgvParams> BgvParams::Create(SecurityPreset preset, size_t levels,
+                                      int plain_bits) {
+  return CreateCustom(RingDegreeForPreset(preset), plain_bits, levels,
+                      DataPrimeBitsForPreset(preset),
+                      SpecialPrimeBitsForPreset(preset));
+}
+
+StatusOr<BgvParams> BgvParams::CreateCustom(size_t n, int plain_bits,
+                                            size_t levels,
+                                            int data_prime_bits,
+                                            int special_prime_bits) {
+  if (levels < 1) return InvalidArgumentError("need at least one data prime");
+  BgvParams p;
+  p.n = n;
+  const uint64_t congruence = 2 * static_cast<uint64_t>(n);
+  // Plaintext prime: smallest suitable prime of the requested size, chosen
+  // from a different bit size than the ciphertext primes so they never
+  // collide.
+  SKNN_ASSIGN_OR_RETURN(std::vector<uint64_t> t_candidates,
+                        GenerateNttPrimes(plain_bits, congruence, 1));
+  p.plain_modulus = t_candidates[0];
+
+  std::vector<uint64_t> exclude = {p.plain_modulus};
+  if (special_prime_bits == data_prime_bits) {
+    SKNN_ASSIGN_OR_RETURN(
+        std::vector<uint64_t> all,
+        GenerateNttPrimes(data_prime_bits, congruence, levels + 1, exclude));
+    p.special_prime = all[0];
+    p.data_primes.assign(all.begin() + 1, all.end());
+  } else {
+    SKNN_ASSIGN_OR_RETURN(
+        std::vector<uint64_t> sp,
+        GenerateNttPrimes(special_prime_bits, congruence, 1, exclude));
+    p.special_prime = sp[0];
+    exclude.push_back(p.special_prime);
+    SKNN_ASSIGN_OR_RETURN(
+        p.data_primes,
+        GenerateNttPrimes(data_prime_bits, congruence, levels, exclude));
+  }
+  SKNN_RETURN_IF_ERROR(p.Validate());
+  return p;
+}
+
+Status BgvParams::Validate() const {
+  if (n < 8 || (n & (n - 1)) != 0) {
+    return InvalidArgumentError("ring degree must be a power of two >= 8");
+  }
+  const uint64_t congruence = 2 * static_cast<uint64_t>(n);
+  auto check_prime = [&](uint64_t q, const char* what) -> Status {
+    if (!IsPrime(q)) {
+      return InvalidArgumentError(std::string(what) + " is not prime");
+    }
+    if (q % congruence != 1) {
+      return InvalidArgumentError(std::string(what) + " != 1 mod 2n");
+    }
+    return Status::Ok();
+  };
+  SKNN_RETURN_IF_ERROR(check_prime(plain_modulus, "plain modulus"));
+  SKNN_RETURN_IF_ERROR(check_prime(special_prime, "special prime"));
+  if (data_primes.empty()) {
+    return InvalidArgumentError("no data primes");
+  }
+  for (uint64_t q : data_primes) {
+    SKNN_RETURN_IF_ERROR(check_prime(q, "data prime"));
+    if (q == plain_modulus) {
+      return InvalidArgumentError("data prime equals plain modulus");
+    }
+    if (q == special_prime) {
+      return InvalidArgumentError("data prime equals special prime");
+    }
+  }
+  for (size_t i = 0; i < data_primes.size(); ++i) {
+    for (size_t j = i + 1; j < data_primes.size(); ++j) {
+      if (data_primes[i] == data_primes[j]) {
+        return InvalidArgumentError("duplicate data primes");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+double EstimateSecurityBits(size_t n, double total_modulus_bits) {
+  // Linear interpolation in log-domain over the standard's 128-bit rows:
+  // security scales roughly like n / logQP.
+  double max_logqp = 0;
+  for (const auto& row : kSecurityTable) {
+    if (row.n == n) max_logqp = row.max_logqp_128;
+  }
+  if (max_logqp == 0) {
+    // Interpolate n between table rows.
+    for (size_t i = 0; i + 1 < std::size(kSecurityTable); ++i) {
+      if (n > kSecurityTable[i].n && n < kSecurityTable[i + 1].n) {
+        double f = (std::log2(static_cast<double>(n)) -
+                    std::log2(static_cast<double>(kSecurityTable[i].n)));
+        max_logqp = kSecurityTable[i].max_logqp_128 *
+                    std::pow(kSecurityTable[i + 1].max_logqp_128 /
+                                 kSecurityTable[i].max_logqp_128,
+                             f);
+      }
+    }
+  }
+  if (max_logqp == 0) return 0;
+  return 128.0 * max_logqp / total_modulus_bits;
+}
+
+}  // namespace bgv
+}  // namespace sknn

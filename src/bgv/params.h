@@ -1,0 +1,68 @@
+#ifndef SKNN_BGV_PARAMS_H_
+#define SKNN_BGV_PARAMS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+
+// Encryption parameters for the BGV levelled FHE scheme.
+//
+// A parameter set fixes the ring degree n (power of two), the plaintext
+// prime t (t ≡ 1 mod 2n so the ring splits into n slots), the chain of data
+// primes q_0..q_L, and one special prime used only inside key switching.
+// Fresh ciphertexts live at level L (all data primes); each multiplication
+// is followed by a modulus switch that drops one prime.
+
+namespace sknn {
+namespace bgv {
+
+// Convenience presets trading performance for lattice security. The
+// *measured* security of any parameter set is reported by
+// EstimateSecurityBits(); benchmarks print it so scaled-down runs stay
+// honest.
+enum class SecurityPreset {
+  kToy,       // n=1024,  fast unit tests; not secure
+  kBench,     // n=4096,  benchmark harness on small machines; reduced security
+  kDefault,   // n=8192,  ~100-bit security with the default chain
+  kParanoid,  // n=16384, >= 128-bit security with the default chain
+};
+
+struct BgvParams {
+  size_t n = 0;                       // ring degree
+  uint64_t plain_modulus = 0;         // t, prime, t = 1 mod 2n
+  std::vector<uint64_t> data_primes;  // q_0 .. q_L
+  uint64_t special_prime = 0;         // key-switching prime
+
+  // Number of levels (highest level index L).
+  size_t max_level() const { return data_primes.size() - 1; }
+  // Total bits of Q*P (drives the security estimate).
+  double TotalModulusBits() const;
+  std::string DebugString() const;
+
+  // Builds a parameter set from a preset with `levels` data primes
+  // (levels >= 1 means indices 0..levels-1, i.e. max_level = levels-1) and
+  // a plaintext prime near 2^plain_bits.
+  static StatusOr<BgvParams> Create(SecurityPreset preset, size_t levels = 4,
+                                    int plain_bits = 33);
+
+  // Fully custom construction; validates every constraint.
+  static StatusOr<BgvParams> CreateCustom(size_t n, int plain_bits,
+                                          size_t levels, int data_prime_bits,
+                                          int special_prime_bits);
+
+  // Validates primality, congruences, distinctness.
+  Status Validate() const;
+};
+
+// Heuristic security estimate (classical, ternary secret) interpolated from
+// the homomorphic encryption standard table: returns the approximate bit
+// security of ring degree n with total modulus `total_modulus_bits`.
+double EstimateSecurityBits(size_t n, double total_modulus_bits);
+
+}  // namespace bgv
+}  // namespace sknn
+
+#endif  // SKNN_BGV_PARAMS_H_

@@ -1,0 +1,68 @@
+#include "bgv/sampling.h"
+
+#include "common/logging.h"
+
+namespace sknn {
+namespace bgv {
+namespace {
+
+// Builds an RNS polynomial from one vector of signed values.
+RnsPoly FromSigned(const BgvContext& ctx, size_t components,
+                   const std::vector<int64_t>& values) {
+  RnsPoly p = ZeroPoly(ctx.n(), components, /*ntt_form=*/false);
+  for (size_t i = 0; i < components; ++i) {
+    const uint64_t q = ctx.key_base().modulus(i).value();
+    for (size_t j = 0; j < ctx.n(); ++j) {
+      p.comp[i][j] = ToUnsignedMod(values[j], q);
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+RnsPoly SampleUniformPoly(const BgvContext& ctx, size_t components,
+                          Chacha20Rng* rng) {
+  RnsPoly p = ZeroPoly(ctx.n(), components, /*ntt_form=*/true);
+  for (size_t i = 0; i < components; ++i) {
+    rng->SampleUniformMod(ctx.key_base().modulus(i).value(), ctx.n(),
+                          &p.comp[i]);
+  }
+  return p;
+}
+
+RnsPoly SampleTernaryPoly(const BgvContext& ctx, size_t components,
+                          Chacha20Rng* rng) {
+  std::vector<int64_t> values(ctx.n());
+  for (size_t j = 0; j < ctx.n(); ++j) {
+    values[j] = static_cast<int64_t>(rng->UniformBelow(3)) - 1;
+  }
+  return FromSigned(ctx, components, values);
+}
+
+RnsPoly SampleGaussianPoly(const BgvContext& ctx, size_t components,
+                           Chacha20Rng* rng) {
+  // Sample once against a large reference modulus, then recentre.
+  const uint64_t ref = uint64_t{1} << 62;
+  std::vector<uint64_t> raw;
+  rng->SampleGaussian(ref, kNoiseSigma, ctx.n(), &raw);
+  std::vector<int64_t> values(ctx.n());
+  for (size_t j = 0; j < ctx.n(); ++j) values[j] = CenterMod(raw[j], ref);
+  return FromSigned(ctx, components, values);
+}
+
+RnsPoly LiftPlainCentered(const BgvContext& ctx,
+                          const std::vector<uint64_t>& coeffs_mod_t,
+                          size_t components) {
+  SKNN_CHECK_EQ(coeffs_mod_t.size(), ctx.n());
+  const uint64_t t = ctx.t();
+  std::vector<int64_t> values(ctx.n());
+  for (size_t j = 0; j < ctx.n(); ++j) {
+    SKNN_CHECK_LT(coeffs_mod_t[j], t);
+    values[j] = CenterMod(coeffs_mod_t[j], t);
+  }
+  return FromSigned(ctx, components, values);
+}
+
+}  // namespace bgv
+}  // namespace sknn

@@ -1,0 +1,43 @@
+#ifndef SKNN_BGV_SAMPLING_H_
+#define SKNN_BGV_SAMPLING_H_
+
+#include "bgv/context.h"
+#include "common/rng.h"
+#include "math/rns_poly.h"
+
+// RNS polynomial samplers. Ternary and Gaussian polynomials represent one
+// signed integer polynomial consistently across all RNS components; uniform
+// polynomials are sampled independently per component (valid by CRT).
+
+namespace sknn {
+namespace bgv {
+
+// Noise standard deviation used throughout (the HE-standard value).
+inline constexpr double kNoiseSigma = 3.2;
+
+// Uniform polynomial over the first `components` primes of the key base,
+// returned in NTT form.
+RnsPoly SampleUniformPoly(const BgvContext& ctx, size_t components,
+                          Chacha20Rng* rng);
+
+// Ternary {-1,0,1} polynomial with consistent signed values across the
+// first `components` primes; returned in coefficient form.
+RnsPoly SampleTernaryPoly(const BgvContext& ctx, size_t components,
+                          Chacha20Rng* rng);
+
+// Centered discrete Gaussian polynomial (sigma = kNoiseSigma), consistent
+// across components; returned in coefficient form.
+RnsPoly SampleGaussianPoly(const BgvContext& ctx, size_t components,
+                           Chacha20Rng* rng);
+
+// Lifts a plaintext coefficient vector (mod t) to an RNS polynomial over
+// the first `components` primes using the centered representative
+// (minimizes noise growth); returned in coefficient form.
+RnsPoly LiftPlainCentered(const BgvContext& ctx,
+                          const std::vector<uint64_t>& coeffs_mod_t,
+                          size_t components);
+
+}  // namespace bgv
+}  // namespace sknn
+
+#endif  // SKNN_BGV_SAMPLING_H_

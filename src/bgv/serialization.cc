@@ -1,0 +1,135 @@
+#include "bgv/serialization.h"
+
+namespace sknn {
+namespace bgv {
+
+void WriteRnsPoly(const RnsPoly& p, ByteSink* sink) {
+  sink->WriteU64(p.n);
+  sink->WriteU8(p.ntt_form ? 1 : 0);
+  sink->WriteU64(p.num_components());
+  for (const auto& c : p.comp) sink->WriteU64Vector(c);
+}
+
+StatusOr<RnsPoly> ReadRnsPoly(ByteSource* src) {
+  RnsPoly p;
+  SKNN_ASSIGN_OR_RETURN(p.n, src->ReadU64());
+  SKNN_ASSIGN_OR_RETURN(uint8_t ntt, src->ReadU8());
+  p.ntt_form = ntt != 0;
+  SKNN_ASSIGN_OR_RETURN(uint64_t comps, src->ReadU64());
+  if (comps > 64) return OutOfRangeError("implausible RNS component count");
+  p.comp.reserve(static_cast<size_t>(comps));
+  for (uint64_t i = 0; i < comps; ++i) {
+    SKNN_ASSIGN_OR_RETURN(std::vector<uint64_t> v, src->ReadU64Vector());
+    if (v.size() != p.n) return OutOfRangeError("RNS component wrong size");
+    p.comp.push_back(std::move(v));
+  }
+  return p;
+}
+
+void WritePlaintext(const Plaintext& pt, ByteSink* sink) {
+  sink->WriteU64Vector(pt.coeffs);
+}
+
+StatusOr<Plaintext> ReadPlaintext(ByteSource* src) {
+  Plaintext pt;
+  SKNN_ASSIGN_OR_RETURN(pt.coeffs, src->ReadU64Vector());
+  return pt;
+}
+
+void WriteCiphertext(const Ciphertext& ct, ByteSink* sink) {
+  sink->WriteU64(ct.level);
+  sink->WriteU64(ct.scale);
+  sink->WriteU64(ct.size());
+  for (const RnsPoly& p : ct.c) WriteRnsPoly(p, sink);
+}
+
+StatusOr<Ciphertext> ReadCiphertext(ByteSource* src) {
+  Ciphertext ct;
+  SKNN_ASSIGN_OR_RETURN(uint64_t level, src->ReadU64());
+  ct.level = static_cast<size_t>(level);
+  SKNN_ASSIGN_OR_RETURN(ct.scale, src->ReadU64());
+  SKNN_ASSIGN_OR_RETURN(uint64_t size, src->ReadU64());
+  if (size < 2 || size > 3) return OutOfRangeError("bad ciphertext size");
+  for (uint64_t i = 0; i < size; ++i) {
+    SKNN_ASSIGN_OR_RETURN(RnsPoly p, ReadRnsPoly(src));
+    ct.c.push_back(std::move(p));
+  }
+  return ct;
+}
+
+void WritePublicKey(const PublicKey& pk, ByteSink* sink) {
+  WriteRnsPoly(pk.b, sink);
+  WriteRnsPoly(pk.a, sink);
+}
+
+StatusOr<PublicKey> ReadPublicKey(ByteSource* src) {
+  PublicKey pk;
+  SKNN_ASSIGN_OR_RETURN(pk.b, ReadRnsPoly(src));
+  SKNN_ASSIGN_OR_RETURN(pk.a, ReadRnsPoly(src));
+  return pk;
+}
+
+void WriteSecretKey(const SecretKey& sk, ByteSink* sink) {
+  WriteRnsPoly(sk.s_ntt, sink);
+  WriteRnsPoly(sk.s_coeff, sink);
+}
+
+StatusOr<SecretKey> ReadSecretKey(ByteSource* src) {
+  SecretKey sk;
+  SKNN_ASSIGN_OR_RETURN(sk.s_ntt, ReadRnsPoly(src));
+  SKNN_ASSIGN_OR_RETURN(sk.s_coeff, ReadRnsPoly(src));
+  return sk;
+}
+
+void WriteKSwitchKey(const KSwitchKey& k, ByteSink* sink) {
+  sink->WriteU64(k.digits.size());
+  for (const auto& [b, a] : k.digits) {
+    WriteRnsPoly(b, sink);
+    WriteRnsPoly(a, sink);
+  }
+}
+
+StatusOr<KSwitchKey> ReadKSwitchKey(ByteSource* src) {
+  KSwitchKey k;
+  SKNN_ASSIGN_OR_RETURN(uint64_t digits, src->ReadU64());
+  if (digits > 64) return OutOfRangeError("implausible digit count");
+  for (uint64_t i = 0; i < digits; ++i) {
+    SKNN_ASSIGN_OR_RETURN(RnsPoly b, ReadRnsPoly(src));
+    SKNN_ASSIGN_OR_RETURN(RnsPoly a, ReadRnsPoly(src));
+    k.digits.emplace_back(std::move(b), std::move(a));
+  }
+  return k;
+}
+
+void WriteRelinKeys(const RelinKeys& rk, ByteSink* sink) {
+  WriteKSwitchKey(rk.key, sink);
+}
+
+StatusOr<RelinKeys> ReadRelinKeys(ByteSource* src) {
+  RelinKeys rk;
+  SKNN_ASSIGN_OR_RETURN(rk.key, ReadKSwitchKey(src));
+  return rk;
+}
+
+void WriteGaloisKeys(const GaloisKeys& gk, ByteSink* sink) {
+  sink->WriteU64(gk.keys.size());
+  for (const auto& [elt, key] : gk.keys) {
+    sink->WriteU64(elt);
+    WriteKSwitchKey(key, sink);
+  }
+}
+
+StatusOr<GaloisKeys> ReadGaloisKeys(ByteSource* src) {
+  GaloisKeys gk;
+  SKNN_ASSIGN_OR_RETURN(uint64_t count, src->ReadU64());
+  if (count > 4096) return OutOfRangeError("implausible Galois key count");
+  for (uint64_t i = 0; i < count; ++i) {
+    SKNN_ASSIGN_OR_RETURN(uint64_t elt, src->ReadU64());
+    SKNN_ASSIGN_OR_RETURN(KSwitchKey key, ReadKSwitchKey(src));
+    gk.keys.emplace(elt, std::move(key));
+  }
+  return gk;
+}
+
+}  // namespace bgv
+}  // namespace sknn

@@ -1,0 +1,44 @@
+#ifndef SKNN_BGV_SERIALIZATION_H_
+#define SKNN_BGV_SERIALIZATION_H_
+
+#include "bgv/ciphertext.h"
+#include "bgv/keys.h"
+#include "common/serial.h"
+#include "common/status.h"
+#include "common/statusor.h"
+
+// Byte-level (de)serialization for everything that crosses a protocol
+// channel. Readers validate structure but trust the caller to check shapes
+// against the active context.
+
+namespace sknn {
+namespace bgv {
+
+void WriteRnsPoly(const RnsPoly& p, ByteSink* sink);
+StatusOr<RnsPoly> ReadRnsPoly(ByteSource* src);
+
+void WritePlaintext(const Plaintext& pt, ByteSink* sink);
+StatusOr<Plaintext> ReadPlaintext(ByteSource* src);
+
+void WriteCiphertext(const Ciphertext& ct, ByteSink* sink);
+StatusOr<Ciphertext> ReadCiphertext(ByteSource* src);
+
+void WritePublicKey(const PublicKey& pk, ByteSink* sink);
+StatusOr<PublicKey> ReadPublicKey(ByteSource* src);
+
+void WriteSecretKey(const SecretKey& sk, ByteSink* sink);
+StatusOr<SecretKey> ReadSecretKey(ByteSource* src);
+
+void WriteKSwitchKey(const KSwitchKey& k, ByteSink* sink);
+StatusOr<KSwitchKey> ReadKSwitchKey(ByteSource* src);
+
+void WriteRelinKeys(const RelinKeys& rk, ByteSink* sink);
+StatusOr<RelinKeys> ReadRelinKeys(ByteSource* src);
+
+void WriteGaloisKeys(const GaloisKeys& gk, ByteSink* sink);
+StatusOr<GaloisKeys> ReadGaloisKeys(ByteSource* src);
+
+}  // namespace bgv
+}  // namespace sknn
+
+#endif  // SKNN_BGV_SERIALIZATION_H_

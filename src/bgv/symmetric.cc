@@ -1,0 +1,106 @@
+#include "bgv/symmetric.h"
+
+#include "bgv/sampling.h"
+#include "bgv/serialization.h"
+
+namespace sknn {
+namespace bgv {
+namespace {
+
+// Deterministically expands the uniform c1 component from a seed. The
+// expansion must be identical on both sides: one Chacha20 stream per RNS
+// component (stream id = component index).
+RnsPoly ExpandA(const BgvContext& ctx, const Chacha20Rng::Seed& seed,
+                size_t components) {
+  RnsPoly a = ZeroPoly(ctx.n(), components, /*ntt_form=*/true);
+  for (size_t i = 0; i < components; ++i) {
+    Chacha20Rng stream(seed, /*stream_id=*/i);
+    stream.SampleUniformMod(ctx.key_base().modulus(i).value(), ctx.n(),
+                            &a.comp[i]);
+  }
+  return a;
+}
+
+}  // namespace
+
+SymmetricEncryptor::SymmetricEncryptor(std::shared_ptr<const BgvContext> ctx,
+                                       SecretKey sk, Chacha20Rng* rng)
+    : ctx_(std::move(ctx)), sk_(std::move(sk)), rng_(rng) {}
+
+StatusOr<SeededCiphertext> SymmetricEncryptor::EncryptSeeded(
+    const Plaintext& pt, size_t level) const {
+  if (level > ctx_->max_level()) {
+    return InvalidArgumentError("encryption level exceeds parameter chain");
+  }
+  if (pt.coeffs.size() != ctx_->n()) {
+    return InvalidArgumentError("plaintext has wrong degree");
+  }
+  const size_t comps = level + 1;
+  const RnsBase& base = ctx_->key_base();
+
+  SeededCiphertext out;
+  out.level = level;
+  out.scale = 1;
+  rng_->FillBytes(out.seed.data(), out.seed.size());
+  RnsPoly a = ExpandA(*ctx_, out.seed, comps);
+
+  RnsPoly e = SampleGaussianPoly(*ctx_, comps, rng_);
+  std::vector<uint64_t> t_mod(comps);
+  for (size_t i = 0; i < comps; ++i) t_mod[i] = ctx_->t_mod_q(i);
+  MulScalarInplace(&e, t_mod, base);
+  RnsPoly m = LiftPlainCentered(*ctx_, pt.coeffs, comps);
+  AddInplace(&e, m, base);  // e <- t*e + m
+  ToNttInplace(&e, base);
+
+  // c0 = -(a*s) + t*e + m.
+  RnsPoly s_restricted = ZeroPoly(ctx_->n(), comps, /*ntt_form=*/true);
+  for (size_t i = 0; i < comps; ++i) s_restricted.comp[i] = sk_.s_ntt.comp[i];
+  out.c0 = MulPointwise(a, s_restricted, base);
+  NegateInplace(&out.c0, base);
+  AddInplace(&out.c0, e, base);
+  return out;
+}
+
+StatusOr<Ciphertext> SymmetricEncryptor::Encrypt(const Plaintext& pt,
+                                                 size_t level) const {
+  SKNN_ASSIGN_OR_RETURN(SeededCiphertext seeded, EncryptSeeded(pt, level));
+  return ExpandSeeded(*ctx_, seeded);
+}
+
+StatusOr<Ciphertext> ExpandSeeded(const BgvContext& ctx,
+                                  const SeededCiphertext& seeded) {
+  if (seeded.c0.n != ctx.n()) {
+    return InvalidArgumentError("seeded ciphertext ring mismatch");
+  }
+  if (seeded.level + 1 != seeded.c0.num_components()) {
+    return InvalidArgumentError("seeded ciphertext level mismatch");
+  }
+  Ciphertext ct;
+  ct.level = seeded.level;
+  ct.scale = seeded.scale;
+  ct.c.push_back(seeded.c0);
+  ct.c.push_back(ExpandA(ctx, seeded.seed, seeded.level + 1));
+  return ct;
+}
+
+void WriteSeededCiphertext(const SeededCiphertext& ct, ByteSink* sink) {
+  sink->WriteU64(ct.level);
+  sink->WriteU64(ct.scale);
+  WriteRnsPoly(ct.c0, sink);
+  sink->WriteBytes(ct.seed.data(), ct.seed.size());
+}
+
+StatusOr<SeededCiphertext> ReadSeededCiphertext(ByteSource* src) {
+  SeededCiphertext ct;
+  SKNN_ASSIGN_OR_RETURN(uint64_t level, src->ReadU64());
+  ct.level = static_cast<size_t>(level);
+  SKNN_ASSIGN_OR_RETURN(ct.scale, src->ReadU64());
+  SKNN_ASSIGN_OR_RETURN(ct.c0, ReadRnsPoly(src));
+  for (size_t i = 0; i < ct.seed.size(); ++i) {
+    SKNN_ASSIGN_OR_RETURN(ct.seed[i], src->ReadU8());
+  }
+  return ct;
+}
+
+}  // namespace bgv
+}  // namespace sknn

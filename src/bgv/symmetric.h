@@ -1,0 +1,65 @@
+#ifndef SKNN_BGV_SYMMETRIC_H_
+#define SKNN_BGV_SYMMETRIC_H_
+
+#include <memory>
+
+#include "bgv/ciphertext.h"
+#include "bgv/context.h"
+#include "bgv/keys.h"
+#include "common/rng.h"
+#include "common/serial.h"
+#include "common/status.h"
+#include "common/statusor.h"
+
+// Symmetric (secret-key) BGV encryption with seed compression.
+//
+// A fresh symmetric ciphertext is (c0, c1) with c1 = a drawn uniformly and
+// c0 = -(a*s + t*e) + m. Since a is uniform, it can be *derived from a
+// 32-byte PRF seed* instead of being transmitted: the sender ships
+// (c0, seed) and the receiver re-expands a. This halves the wire size of
+// every fresh ciphertext — in the k-NN protocol it halves Party B's
+// indicator upload, the dominant communication cost.
+
+namespace sknn {
+namespace bgv {
+
+// A half-size fresh ciphertext: the c1 component is represented by the
+// seed that generates it.
+struct SeededCiphertext {
+  size_t level = 0;
+  uint64_t scale = 1;
+  RnsPoly c0;
+  Chacha20Rng::Seed seed = {};
+};
+
+// Rebuilds the full two-component ciphertext from the compressed form.
+StatusOr<Ciphertext> ExpandSeeded(const BgvContext& ctx,
+                                  const SeededCiphertext& seeded);
+
+// Secret-key encryptor (the key-holding party's cheap path: one ring
+// product instead of the public-key encryption's two, plus seedable c1).
+class SymmetricEncryptor {
+ public:
+  SymmetricEncryptor(std::shared_ptr<const BgvContext> ctx, SecretKey sk,
+                     Chacha20Rng* rng);
+
+  // Compressed encryption at the given level.
+  StatusOr<SeededCiphertext> EncryptSeeded(const Plaintext& pt,
+                                           size_t level) const;
+  // Convenience: compressed encryption immediately expanded.
+  StatusOr<Ciphertext> Encrypt(const Plaintext& pt, size_t level) const;
+
+ private:
+  std::shared_ptr<const BgvContext> ctx_;
+  SecretKey sk_;
+  Chacha20Rng* rng_;
+};
+
+// Serialization of the compressed form.
+void WriteSeededCiphertext(const SeededCiphertext& ct, ByteSink* sink);
+StatusOr<SeededCiphertext> ReadSeededCiphertext(ByteSource* src);
+
+}  // namespace bgv
+}  // namespace sknn
+
+#endif  // SKNN_BGV_SYMMETRIC_H_

@@ -1,0 +1,78 @@
+#ifndef SKNN_COMMON_LOGGING_H_
+#define SKNN_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+// Minimal logging + check macros in the glog style. INFO/WARNING go to
+// stderr; FATAL aborts. SKNN_CHECK is active in all build modes (it guards
+// internal invariants, not user input — user input errors return Status).
+
+namespace sknn {
+namespace internal_logging {
+
+enum class LogSeverity { kInfo, kWarning, kError, kFatal };
+
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, LogSeverity severity)
+      : severity_(severity) {
+    stream_ << "[" << Basename(file) << ":" << line << "] ";
+  }
+
+  ~LogMessage() {
+    stream_ << "\n";
+    std::cerr << stream_.str();
+    if (severity_ == LogSeverity::kFatal) {
+      std::cerr.flush();
+      std::abort();
+    }
+  }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  static const char* Basename(const char* file) {
+    const char* base = file;
+    for (const char* p = file; *p != '\0'; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    return base;
+  }
+
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace sknn
+
+#define SKNN_LOG_INFO                                 \
+  ::sknn::internal_logging::LogMessage(               \
+      __FILE__, __LINE__,                             \
+      ::sknn::internal_logging::LogSeverity::kInfo)   \
+      .stream()
+#define SKNN_LOG_WARNING                              \
+  ::sknn::internal_logging::LogMessage(               \
+      __FILE__, __LINE__,                             \
+      ::sknn::internal_logging::LogSeverity::kWarning) \
+      .stream()
+#define SKNN_LOG_FATAL                                \
+  ::sknn::internal_logging::LogMessage(               \
+      __FILE__, __LINE__,                             \
+      ::sknn::internal_logging::LogSeverity::kFatal)  \
+      .stream()
+
+// Internal invariant check; aborts with a message when violated.
+#define SKNN_CHECK(cond)                                       \
+  if (!(cond)) SKNN_LOG_FATAL << "Check failed: " #cond " "
+
+#define SKNN_CHECK_EQ(a, b) SKNN_CHECK((a) == (b))
+#define SKNN_CHECK_NE(a, b) SKNN_CHECK((a) != (b))
+#define SKNN_CHECK_LT(a, b) SKNN_CHECK((a) < (b))
+#define SKNN_CHECK_LE(a, b) SKNN_CHECK((a) <= (b))
+#define SKNN_CHECK_GT(a, b) SKNN_CHECK((a) > (b))
+#define SKNN_CHECK_GE(a, b) SKNN_CHECK((a) >= (b))
+
+#endif  // SKNN_COMMON_LOGGING_H_

@@ -1,0 +1,91 @@
+#include "common/serial.h"
+
+#include <cstring>
+
+namespace sknn {
+
+void ByteSink::WriteU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void ByteSink::WriteU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void ByteSink::WriteU64Vector(const std::vector<uint64_t>& v) {
+  WriteU64(v.size());
+  size_t old = bytes_.size();
+  bytes_.resize(old + 8 * v.size());
+  for (size_t i = 0; i < v.size(); ++i) {
+    uint64_t x = v[i];
+    for (int b = 0; b < 8; ++b) {
+      bytes_[old + 8 * i + static_cast<size_t>(b)] =
+          static_cast<uint8_t>(x >> (8 * b));
+    }
+  }
+}
+
+void ByteSink::WriteBytes(const uint8_t* data, size_t len) {
+  bytes_.insert(bytes_.end(), data, data + len);
+}
+
+void ByteSink::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  WriteBytes(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+Status ByteSource::Require(size_t n) const {
+  if (pos_ + n > bytes_.size()) {
+    return OutOfRangeError("ByteSource: truncated input");
+  }
+  return Status::Ok();
+}
+
+StatusOr<uint8_t> ByteSource::ReadU8() {
+  SKNN_RETURN_IF_ERROR(Require(1));
+  return bytes_[pos_++];
+}
+
+StatusOr<uint32_t> ByteSource::ReadU32() {
+  SKNN_RETURN_IF_ERROR(Require(4));
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | bytes_[pos_ + static_cast<size_t>(i)];
+  pos_ += 4;
+  return v;
+}
+
+StatusOr<uint64_t> ByteSource::ReadU64() {
+  SKNN_RETURN_IF_ERROR(Require(8));
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | bytes_[pos_ + static_cast<size_t>(i)];
+  pos_ += 8;
+  return v;
+}
+
+StatusOr<std::vector<uint64_t>> ByteSource::ReadU64Vector() {
+  SKNN_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
+  if (n > remaining() / 8) {
+    return OutOfRangeError("ByteSource: vector length exceeds input");
+  }
+  std::vector<uint64_t> v(static_cast<size_t>(n));
+  for (size_t i = 0; i < v.size(); ++i) {
+    uint64_t x = 0;
+    for (int b = 7; b >= 0; --b) {
+      x = (x << 8) | bytes_[pos_ + 8 * i + static_cast<size_t>(b)];
+    }
+    v[i] = x;
+  }
+  pos_ += 8 * v.size();
+  return v;
+}
+
+StatusOr<std::string> ByteSource::ReadString() {
+  SKNN_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
+  SKNN_RETURN_IF_ERROR(Require(static_cast<size_t>(n)));
+  std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_),
+                static_cast<size_t>(n));
+  pos_ += static_cast<size_t>(n);
+  return s;
+}
+
+}  // namespace sknn

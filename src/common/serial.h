@@ -1,0 +1,66 @@
+#ifndef SKNN_COMMON_SERIAL_H_
+#define SKNN_COMMON_SERIAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+
+// Byte-oriented serialization primitives. Everything that crosses a
+// protocol Channel (ciphertexts, keys, indicator vectors) is encoded with
+// these little-endian writers/readers so that the communication accounting
+// in src/net measures real bytes, not object counts.
+
+namespace sknn {
+
+// Append-only byte buffer writer.
+class ByteSink {
+ public:
+  ByteSink() = default;
+
+  void WriteU8(uint8_t v) { bytes_.push_back(v); }
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  // Writes length (u64) followed by the raw words.
+  void WriteU64Vector(const std::vector<uint64_t>& v);
+  void WriteBytes(const uint8_t* data, size_t len);
+  // Writes length (u64) followed by the raw bytes.
+  void WriteString(const std::string& s);
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> TakeBytes() { return std::move(bytes_); }
+  size_t size() const { return bytes_.size(); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+// Sequential reader over a byte buffer; all reads are bounds-checked and
+// return Status on truncated input.
+class ByteSource {
+ public:
+  explicit ByteSource(std::vector<uint8_t> bytes)
+      : bytes_(std::move(bytes)), pos_(0) {}
+
+  StatusOr<uint8_t> ReadU8();
+  StatusOr<uint32_t> ReadU32();
+  StatusOr<uint64_t> ReadU64();
+  StatusOr<std::vector<uint64_t>> ReadU64Vector();
+  StatusOr<std::string> ReadString();
+
+  // True when every byte has been consumed.
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  Status Require(size_t n) const;
+
+  std::vector<uint8_t> bytes_;
+  size_t pos_;
+};
+
+}  // namespace sknn
+
+#endif  // SKNN_COMMON_SERIAL_H_

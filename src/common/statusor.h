@@ -1,0 +1,66 @@
+#ifndef SKNN_COMMON_STATUSOR_H_
+#define SKNN_COMMON_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace sknn {
+
+// StatusOr<T> holds either a value of type T or a non-OK Status explaining
+// why the value is absent. Mirrors absl::StatusOr semantics for the subset
+// this project needs.
+template <typename T>
+class StatusOr {
+ public:
+  // Constructs from an error status. Must not be OK (an OK status without a
+  // value is a programming error and is converted to kInternal).
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (status_.ok()) {
+      status_ = InternalError("StatusOr constructed with OK status, no value");
+    }
+  }
+
+  // Constructs from a value.
+  StatusOr(T value)  // NOLINT(runtime/explicit)
+      : status_(Status::Ok()), value_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+
+  const Status& status() const& { return status_; }
+  Status status() && { return std::move(status_); }
+
+  // Accessors require ok(); checked by assert in debug builds.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace sknn
+
+#endif  // SKNN_COMMON_STATUSOR_H_

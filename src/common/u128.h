@@ -1,0 +1,45 @@
+#ifndef SKNN_COMMON_U128_H_
+#define SKNN_COMMON_U128_H_
+
+#include <cstdint>
+
+// Project-wide portability wrapper for 128-bit unsigned arithmetic.
+//
+// The Google style guide forbids nonstandard extensions outside of a
+// designated portability header; this is that header. All 64x64->128
+// multiplication and 128/64 reduction in the codebase goes through these
+// helpers so that a fallback implementation can be swapped in on toolchains
+// without `unsigned __int128`.
+
+namespace sknn {
+
+#if defined(__SIZEOF_INT128__)
+using uint128_t = unsigned __int128;
+
+// Returns the full 128-bit product of two 64-bit unsigned integers.
+inline uint128_t Mul64To128(uint64_t a, uint64_t b) {
+  return static_cast<uint128_t>(a) * b;
+}
+
+// Returns the high 64 bits of the 128-bit product a*b.
+inline uint64_t MulHigh64(uint64_t a, uint64_t b) {
+  return static_cast<uint64_t>(Mul64To128(a, b) >> 64);
+}
+
+// Returns the low 64 bits of a 128-bit value.
+inline uint64_t Low64(uint128_t x) { return static_cast<uint64_t>(x); }
+
+// Returns the high 64 bits of a 128-bit value.
+inline uint64_t High64(uint128_t x) { return static_cast<uint64_t>(x >> 64); }
+
+// Composes a 128-bit value from high and low 64-bit halves.
+inline uint128_t Make128(uint64_t high, uint64_t low) {
+  return (static_cast<uint128_t>(high) << 64) | low;
+}
+#else
+#error "secure_knn requires a compiler with __int128 support (GCC/Clang)."
+#endif
+
+}  // namespace sknn
+
+#endif  // SKNN_COMMON_U128_H_

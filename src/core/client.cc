@@ -1,0 +1,43 @@
+#include "core/client.h"
+
+namespace sknn {
+namespace core {
+
+Client::Client(std::shared_ptr<const bgv::BgvContext> ctx,
+               ProtocolConfig config, SlotLayout layout, bgv::PublicKey pk,
+               bgv::SecretKey sk, uint64_t rng_seed)
+    : ctx_(ctx),
+      config_(std::move(config)),
+      layout_(std::move(layout)),
+      encoder_(ctx),
+      rng_(rng_seed),
+      encryptor_(ctx, std::move(pk), &rng_),
+      decryptor_(ctx, std::move(sk)) {}
+
+StatusOr<bgv::Ciphertext> Client::EncryptQuery(
+    const std::vector<uint64_t>& query) {
+  if (query.size() != layout_.dims()) {
+    return InvalidArgumentError("query dimensionality mismatch");
+  }
+  const uint64_t bound = uint64_t{1} << config_.coord_bits;
+  for (uint64_t v : query) {
+    if (v >= bound) {
+      return InvalidArgumentError("query coordinate exceeds coord_bits");
+    }
+  }
+  SKNN_ASSIGN_OR_RETURN(bgv::Plaintext pt,
+                        encoder_.Encode(layout_.EncodeQuery(query)));
+  SKNN_ASSIGN_OR_RETURN(bgv::Ciphertext ct, encryptor_.Encrypt(pt));
+  ops_.encryptions += 1;
+  return ct;
+}
+
+StatusOr<std::vector<uint64_t>> Client::DecryptNeighbour(
+    const bgv::Ciphertext& ct) {
+  SKNN_ASSIGN_OR_RETURN(bgv::Plaintext pt, decryptor_.Decrypt(ct));
+  ops_.decryptions += 1;
+  return layout_.ExtractPoint(encoder_.Decode(pt), ctx_->t());
+}
+
+}  // namespace core
+}  // namespace sknn

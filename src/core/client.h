@@ -1,0 +1,53 @@
+#ifndef SKNN_CORE_CLIENT_H_
+#define SKNN_CORE_CLIENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "bgv/ciphertext.h"
+#include "bgv/context.h"
+#include "bgv/decryptor.h"
+#include "bgv/encoder.h"
+#include "bgv/encryptor.h"
+#include "bgv/keys.h"
+#include "common/rng.h"
+#include "core/layout.h"
+#include "core/metrics.h"
+#include "core/protocol_config.h"
+
+// The authorized client: encrypts queries and decrypts the k returned
+// neighbour points (it holds both keys, like Party B).
+
+namespace sknn {
+namespace core {
+
+class Client {
+ public:
+  Client(std::shared_ptr<const bgv::BgvContext> ctx, ProtocolConfig config,
+         SlotLayout layout, bgv::PublicKey pk, bgv::SecretKey sk,
+         uint64_t rng_seed);
+
+  // Encrypts a query point (coordinates must fit coord_bits).
+  StatusOr<bgv::Ciphertext> EncryptQuery(const std::vector<uint64_t>& query);
+
+  // Decrypts one returned neighbour ciphertext into its coordinates.
+  StatusOr<std::vector<uint64_t>> DecryptNeighbour(const bgv::Ciphertext& ct);
+
+  const OpCounts& ops() const { return ops_; }
+  void ResetOps() { ops_ = OpCounts(); }
+
+ private:
+  std::shared_ptr<const bgv::BgvContext> ctx_;
+  ProtocolConfig config_;
+  SlotLayout layout_;
+  bgv::BatchEncoder encoder_;
+  Chacha20Rng rng_;
+  bgv::Encryptor encryptor_;
+  bgv::Decryptor decryptor_;
+  OpCounts ops_;
+};
+
+}  // namespace core
+}  // namespace sknn
+
+#endif  // SKNN_CORE_CLIENT_H_

@@ -1,0 +1,114 @@
+#include "core/config_advisor.h"
+
+#include <sstream>
+
+#include "core/masking.h"
+#include "data/dataset.h"
+
+namespace sknn {
+namespace core {
+namespace {
+
+// Ring degree implied by a preset (mirrors BgvParams::Create).
+size_t RingDegree(bgv::SecurityPreset preset) {
+  switch (preset) {
+    case bgv::SecurityPreset::kToy:
+      return 1024;
+    case bgv::SecurityPreset::kBench:
+      return 4096;
+    case bgv::SecurityPreset::kDefault:
+      return 8192;
+    case bgv::SecurityPreset::kParanoid:
+      return 16384;
+  }
+  return 8192;
+}
+
+size_t NextPowerOfTwo(size_t x) {
+  size_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+StatusOr<AdvisedConfig> AdviseConfig(const WorkloadSpec& w) {
+  if (w.num_points == 0 || w.dims == 0) {
+    return InvalidArgumentError("workload needs points and dimensions");
+  }
+  if (w.min_poly_degree == 0) {
+    return InvalidArgumentError("masking degree floor must be >= 1");
+  }
+  std::ostringstream why;
+
+  ProtocolConfig cfg;
+  cfg.k = w.k;
+  cfg.dims = w.dims;
+  cfg.coord_bits = w.coord_bits;
+  cfg.preset = w.preset;
+
+  const size_t ring = RingDegree(w.preset);
+  const size_t padded = NextPowerOfTwo(w.dims);
+  if (padded > ring / 2) {
+    return InvalidArgumentError(
+        "dimensionality exceeds the slot capacity of this preset");
+  }
+
+  // Layout: per-point gives the paper's exact (uniform-permutation)
+  // leakage profile but costs one ciphertext per point; switch to packed
+  // when the database is too large for that to be sane.
+  const size_t points_per_unit = 2 * (ring / 2) / padded;
+  if (w.num_points <= 1024 && w.num_points <= points_per_unit * 8) {
+    cfg.layout = Layout::kPerPoint;
+    why << "layout=per-point (n=" << w.num_points
+        << " is small enough for the paper's uniform permutation; "
+           "strongest leakage profile)\n";
+  } else {
+    cfg.layout = Layout::kPacked;
+    why << "layout=packed (n=" << w.num_points << " would need "
+        << w.num_points
+        << " per-point ciphertexts; packing stores it in "
+        << (w.num_points + points_per_unit - 1) / points_per_unit
+        << " units at the cost of block-level permutation granularity)\n";
+  }
+
+  // Plaintext size: distances must fit, and the masking polynomial needs
+  // a usable coefficient budget at the requested degree. Try the largest
+  // degree first (better distance hiding), falling back toward the floor,
+  // growing t when the noise budget allows.
+  const uint64_t max_coord = (uint64_t{1} << w.coord_bits) - 1;
+  const uint64_t max_dist = data::MaxSquaredDistance(w.dims, max_coord);
+  // t ~ 2^33 is the largest plaintext the one-prime-per-level noise
+  // discipline supports across all presets (cost per multiplication is
+  // roughly plain_bits + log2(n) + margin bits of modulus); larger t needs
+  // a custom chain with multiple primes per level.
+  constexpr int kPlainBits = 33;
+  const uint64_t t_approx = uint64_t{1} << kPlainBits;
+  for (size_t degree : {size_t{3}, size_t{2}, size_t{1}}) {
+    if (degree < w.min_poly_degree) break;
+    if (max_dist >= t_approx / 2) continue;
+    // Require at least 8 bits of entropy in the leading coefficient.
+    if (MaskingPolynomial::CoefficientBudget(t_approx, max_dist, degree,
+                                             degree) < (1u << 8)) {
+      continue;
+    }
+    cfg.poly_degree = degree;
+    cfg.plain_bits = kPlainBits;
+    cfg.levels = cfg.MinimumLevels();
+    why << "masking degree D=" << degree << " with t~2^" << kPlainBits
+        << " (leading-coefficient budget >= 2^8; m(max_dist) < t)\n";
+    why << "levels=" << cfg.levels
+        << " (distance square + Horner + selector/mask + transport)\n";
+    SKNN_RETURN_IF_ERROR(cfg.Validate());
+    AdvisedConfig out;
+    out.config = cfg;
+    out.rationale = why.str();
+    return out;
+  }
+  return InvalidArgumentError(
+      "no supported plaintext size fits these coordinates at the requested "
+      "masking degree; reduce coord_bits or min_poly_degree");
+}
+
+}  // namespace core
+}  // namespace sknn

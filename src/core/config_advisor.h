@@ -1,0 +1,46 @@
+#ifndef SKNN_CORE_CONFIG_ADVISOR_H_
+#define SKNN_CORE_CONFIG_ADVISOR_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "core/protocol_config.h"
+
+// Automatic protocol configuration: given the workload (n, d, coordinate
+// range, k) and a target security preset, picks a layout, masking degree,
+// plaintext size and chain length that (a) satisfy every plaintext-space
+// constraint and (b) minimize cost, with the trade-offs documented in the
+// returned rationale. This encodes the parameter discipline of DESIGN.md
+// §3 so users do not have to.
+
+namespace sknn {
+namespace core {
+
+struct WorkloadSpec {
+  size_t num_points = 0;
+  size_t dims = 0;
+  // Every coordinate of data and queries fits in [0, 2^coord_bits).
+  int coord_bits = 4;
+  size_t k = 5;
+  // Smallest acceptable masking degree (leakage hardness floor; the paper
+  // uses higher degrees for stronger distance hiding).
+  size_t min_poly_degree = 1;
+  bgv::SecurityPreset preset = bgv::SecurityPreset::kDefault;
+};
+
+struct AdvisedConfig {
+  ProtocolConfig config;
+  // Human-readable explanation of each choice.
+  std::string rationale;
+};
+
+// Returns a validated configuration, or an error when the workload cannot
+// fit any supported parameterization (e.g. coordinates too large for the
+// plaintext space at any masking degree).
+StatusOr<AdvisedConfig> AdviseConfig(const WorkloadSpec& workload);
+
+}  // namespace core
+}  // namespace sknn
+
+#endif  // SKNN_CORE_CONFIG_ADVISOR_H_

@@ -1,0 +1,76 @@
+#include "core/data_owner.h"
+
+#include "bgv/encoder.h"
+#include "bgv/encryptor.h"
+#include "core/masking.h"
+
+namespace sknn {
+namespace core {
+
+DataOwner::DataOwner(ProtocolConfig config, const data::Dataset& dataset,
+                     uint64_t seed)
+    : config_(std::move(config)), dataset_(dataset), rng_(seed) {}
+
+StatusOr<std::unique_ptr<DataOwner>> DataOwner::Create(
+    const ProtocolConfig& config, const data::Dataset& dataset,
+    uint64_t seed) {
+  SKNN_RETURN_IF_ERROR(config.Validate());
+  if (dataset.dims() != config.dims) {
+    return InvalidArgumentError("dataset dimensionality mismatch");
+  }
+  const uint64_t bound = uint64_t{1} << config.coord_bits;
+  if (dataset.MaxValue() >= bound) {
+    return InvalidArgumentError(
+        "dataset values exceed coord_bits; quantize the data first");
+  }
+  auto owner =
+      std::unique_ptr<DataOwner>(new DataOwner(config, dataset, seed));
+  SKNN_ASSIGN_OR_RETURN(bgv::BgvParams params, config.MakeBgvParams());
+  SKNN_ASSIGN_OR_RETURN(owner->ctx_, bgv::BgvContext::Create(params));
+
+  // The plaintext space must hold every masked distance.
+  const uint64_t max_dist =
+      data::MaxSquaredDistance(config.dims, bound - 1);
+  if (max_dist >= owner->ctx_->t()) {
+    return InvalidArgumentError(
+        "squared distances exceed the plaintext modulus; lower coord_bits "
+        "or raise plain_bits");
+  }
+  if (MaskingPolynomial::CoefficientBudget(owner->ctx_->t(), max_dist,
+                                           config.poly_degree,
+                                           config.poly_degree) < 1) {
+    return InvalidArgumentError(
+        "plaintext modulus cannot accommodate the masking degree at this "
+        "distance bound; lower poly_degree or coord_bits, or raise "
+        "plain_bits");
+  }
+
+  SKNN_ASSIGN_OR_RETURN(
+      owner->layout_,
+      SlotLayout::Create(config, owner->ctx_->n(), dataset.num_points()));
+
+  bgv::KeyGenerator keygen(owner->ctx_, &owner->rng_);
+  owner->sk_ = keygen.GenerateSecretKey();
+  owner->pk_ = keygen.GeneratePublicKey(owner->sk_);
+  owner->relin_ = keygen.GenerateRelinKeys(owner->sk_);
+  owner->galois_ = keygen.GeneratePowerOfTwoRotationKeys(owner->sk_);
+  return owner;
+}
+
+StatusOr<std::vector<bgv::Ciphertext>> DataOwner::EncryptDatabase() {
+  bgv::BatchEncoder encoder(ctx_);
+  bgv::Encryptor encryptor(ctx_, pk_, &rng_);
+  std::vector<bgv::Ciphertext> units;
+  units.reserve(layout_.num_units());
+  for (size_t u = 0; u < layout_.num_units(); ++u) {
+    SKNN_ASSIGN_OR_RETURN(bgv::Plaintext pt,
+                          encoder.Encode(layout_.EncodeDbUnit(dataset_, u)));
+    SKNN_ASSIGN_OR_RETURN(bgv::Ciphertext ct, encryptor.Encrypt(pt));
+    ops_.encryptions += 1;
+    units.push_back(std::move(ct));
+  }
+  return units;
+}
+
+}  // namespace core
+}  // namespace sknn

@@ -1,0 +1,63 @@
+#ifndef SKNN_CORE_DATA_OWNER_H_
+#define SKNN_CORE_DATA_OWNER_H_
+
+#include <memory>
+#include <vector>
+
+#include "bgv/ciphertext.h"
+#include "bgv/context.h"
+#include "bgv/keys.h"
+#include "common/rng.h"
+#include "core/layout.h"
+#include "core/metrics.h"
+#include "core/protocol_config.h"
+#include "data/dataset.h"
+
+// The trusted data owner: generates all key material, encrypts the
+// database, distributes public/evaluation keys to Party A and the secret
+// key to Party B and the clients, then goes offline (Setup phase, Figure 2
+// labels 1-3).
+
+namespace sknn {
+namespace core {
+
+class DataOwner {
+ public:
+  // Validates the dataset against the config (coordinate range, plaintext
+  // capacity for the masked distances) and builds the BGV context.
+  static StatusOr<std::unique_ptr<DataOwner>> Create(
+      const ProtocolConfig& config, const data::Dataset& dataset,
+      uint64_t seed);
+
+  std::shared_ptr<const bgv::BgvContext> context() const { return ctx_; }
+  const SlotLayout& layout() const { return layout_; }
+  const bgv::SecretKey& sk() const { return sk_; }
+  const bgv::PublicKey& pk() const { return pk_; }
+  const bgv::RelinKeys& relin() const { return relin_; }
+  const bgv::GaloisKeys& galois() const { return galois_; }
+
+  // Encrypts the database in the layout's unit order (top level).
+  StatusOr<std::vector<bgv::Ciphertext>> EncryptDatabase();
+
+  const OpCounts& ops() const { return ops_; }
+
+ private:
+  DataOwner(ProtocolConfig config, const data::Dataset& dataset,
+            uint64_t seed);
+
+  ProtocolConfig config_;
+  data::Dataset dataset_;
+  Chacha20Rng rng_;
+  std::shared_ptr<const bgv::BgvContext> ctx_;
+  SlotLayout layout_;
+  bgv::SecretKey sk_;
+  bgv::PublicKey pk_;
+  bgv::RelinKeys relin_;
+  bgv::GaloisKeys galois_;
+  OpCounts ops_;
+};
+
+}  // namespace core
+}  // namespace sknn
+
+#endif  // SKNN_CORE_DATA_OWNER_H_

@@ -1,0 +1,138 @@
+#include "core/layout.h"
+
+#include "common/logging.h"
+
+namespace sknn {
+namespace core {
+namespace {
+
+size_t NextPowerOfTwo(size_t x) {
+  size_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+StatusOr<SlotLayout> SlotLayout::Create(const ProtocolConfig& config,
+                                        size_t ring_degree,
+                                        size_t num_points) {
+  if (num_points == 0) return InvalidArgumentError("empty database");
+  SlotLayout l;
+  l.mode_ = config.layout;
+  l.dims_ = config.dims;
+  l.padded_dims_ = NextPowerOfTwo(config.dims);
+  l.ring_degree_ = ring_degree;
+  l.num_points_ = num_points;
+  if (l.padded_dims_ > l.row_size()) {
+    return InvalidArgumentError(
+        "dimensionality exceeds slot row size; increase ring degree");
+  }
+  l.points_per_row_ = l.row_size() / l.padded_dims_;
+  switch (l.mode_) {
+    case Layout::kPerPoint:
+      l.points_per_unit_ = 1;
+      l.num_units_ = num_points;
+      break;
+    case Layout::kPacked:
+      l.points_per_unit_ = 2 * l.points_per_row_;
+      l.num_units_ =
+          (num_points + l.points_per_unit_ - 1) / l.points_per_unit_;
+      break;
+  }
+  return l;
+}
+
+size_t SlotLayout::PointIndex(size_t unit, size_t payload) const {
+  SKNN_CHECK_LT(payload, payloads_per_unit());
+  return unit * points_per_unit_ + payload;
+}
+
+size_t SlotLayout::PayloadSlot(size_t payload) const {
+  SKNN_CHECK_LT(payload, payloads_per_unit());
+  if (mode_ == Layout::kPerPoint) return 0;
+  const size_t row = payload / points_per_row_;
+  const size_t block = payload % points_per_row_;
+  return row * row_size() + block * padded_dims_;
+}
+
+std::vector<uint64_t> SlotLayout::EncodeDbUnit(const data::Dataset& data,
+                                               size_t unit) const {
+  SKNN_CHECK_EQ(data.dims(), dims_);
+  std::vector<uint64_t> slots(ring_degree_, 0);
+  for (size_t p = 0; p < payloads_per_unit(); ++p) {
+    const size_t point = PointIndex(unit, p);
+    if (point >= num_points_) continue;  // padding block stays zero
+    const size_t base = PayloadSlot(p);
+    for (size_t j = 0; j < dims_; ++j) {
+      slots[base + j] = data.at(point, j);
+    }
+  }
+  return slots;
+}
+
+std::vector<uint64_t> SlotLayout::EncodeQuery(
+    const std::vector<uint64_t>& query) const {
+  SKNN_CHECK_EQ(query.size(), dims_);
+  std::vector<uint64_t> slots(ring_degree_, 0);
+  if (mode_ == Layout::kPerPoint) {
+    for (size_t j = 0; j < dims_; ++j) slots[j] = query[j];
+    return slots;
+  }
+  for (size_t p = 0; p < payloads_per_unit(); ++p) {
+    const size_t base = PayloadSlot(p);
+    for (size_t j = 0; j < dims_; ++j) slots[base + j] = query[j];
+  }
+  return slots;
+}
+
+std::vector<uint64_t> SlotLayout::SelectorSlots(size_t unit) const {
+  std::vector<uint64_t> slots(ring_degree_, 0);
+  for (size_t p = 0; p < payloads_per_unit(); ++p) {
+    if (PointIndex(unit, p) >= num_points_) continue;  // padding: stays 0
+    slots[PayloadSlot(p)] = 1;
+  }
+  return slots;
+}
+
+std::vector<bool> SlotLayout::RandomMaskPositions(size_t unit) const {
+  std::vector<bool> mask(ring_degree_, true);
+  for (size_t p = 0; p < payloads_per_unit(); ++p) {
+    if (PointIndex(unit, p) >= num_points_) continue;  // padding handled apart
+    mask[PayloadSlot(p)] = false;
+  }
+  // Padding payload slots must carry the sentinel, not a random value.
+  for (size_t s : PaddingPayloadSlots(unit)) mask[s] = false;
+  return mask;
+}
+
+std::vector<size_t> SlotLayout::PaddingPayloadSlots(size_t unit) const {
+  std::vector<size_t> out;
+  for (size_t p = 0; p < payloads_per_unit(); ++p) {
+    if (PointIndex(unit, p) >= num_points_) out.push_back(PayloadSlot(p));
+  }
+  return out;
+}
+
+std::vector<uint64_t> SlotLayout::IndicatorSlots(size_t payload) const {
+  std::vector<uint64_t> slots(ring_degree_, 0);
+  const size_t base = PayloadSlot(payload);
+  for (size_t j = 0; j < padded_dims_; ++j) slots[base + j] = 1;
+  return slots;
+}
+
+std::vector<uint64_t> SlotLayout::ExtractPoint(
+    const std::vector<uint64_t>& decoded, uint64_t plain_modulus) const {
+  SKNN_CHECK_EQ(decoded.size(), ring_degree_);
+  std::vector<uint64_t> point(dims_, 0);
+  for (size_t p = 0; p < payloads_per_unit(); ++p) {
+    const size_t base = PayloadSlot(p);
+    for (size_t j = 0; j < dims_; ++j) {
+      point[j] = (point[j] + decoded[base + j]) % plain_modulus;
+    }
+  }
+  return point;
+}
+
+}  // namespace core
+}  // namespace sknn

@@ -1,0 +1,98 @@
+#ifndef SKNN_CORE_LAYOUT_H_
+#define SKNN_CORE_LAYOUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "core/protocol_config.h"
+#include "data/dataset.h"
+
+// Slot layout geometry: how database points, queries, distances and
+// indicator vectors map onto BGV slot vectors for each Layout mode.
+//
+// Slots form a 2 x (n/2) matrix (two rows). A point occupies a block of
+// padded_dims = next_pow2(dims) contiguous slots within one row.
+//  - kPerPoint: each unit (ciphertext) holds exactly one point in block 0.
+//  - kPacked:   each unit holds points_per_unit() points, filling both rows
+//               block by block.
+// The squared distance of a block lands in the block's first slot after the
+// rotate-and-fold; those slots are the unit's "payload" positions.
+
+namespace sknn {
+namespace core {
+
+class SlotLayout {
+ public:
+  // ring_degree = BGV n; num_points = database size.
+  static StatusOr<SlotLayout> Create(const ProtocolConfig& config,
+                                     size_t ring_degree, size_t num_points);
+
+  Layout mode() const { return mode_; }
+  size_t dims() const { return dims_; }
+  // Block width: dims padded to the next power of two.
+  size_t padded_dims() const { return padded_dims_; }
+  size_t ring_degree() const { return ring_degree_; }
+  size_t row_size() const { return ring_degree_ / 2; }
+  size_t num_points() const { return num_points_; }
+  // Blocks available per row / points stored per unit.
+  size_t points_per_row() const { return points_per_row_; }
+  size_t points_per_unit() const { return points_per_unit_; }
+  // Number of ciphertexts covering the database.
+  size_t num_units() const { return num_units_; }
+  // Payload (distance) positions per unit.
+  size_t payloads_per_unit() const { return points_per_unit_; }
+
+  // Global point id stored at (unit, payload); may be >= num_points() for
+  // padding blocks.
+  size_t PointIndex(size_t unit, size_t payload) const;
+  // Slot index of payload p's block start inside a unit.
+  size_t PayloadSlot(size_t payload) const;
+
+  // Slot vector (length ring_degree) holding the unit's points.
+  std::vector<uint64_t> EncodeDbUnit(const data::Dataset& data,
+                                     size_t unit) const;
+  // Slot vector holding the query (replicated per block in kPacked mode).
+  std::vector<uint64_t> EncodeQuery(const std::vector<uint64_t>& query) const;
+  // 0/1 selector: 1 exactly on real-payload block-start slots (used by
+  // Party A to zero out fold garbage and padding payloads). `unit` matters
+  // because the last unit may contain padding blocks.
+  std::vector<uint64_t> SelectorSlots(size_t unit) const;
+  // Additive mask skeleton: for each slot, true if the slot must receive a
+  // uniformly random value (non-payload), false if it is a real payload
+  // (receives 0) ... padding payloads are marked separately via
+  // PaddingSlots.
+  std::vector<bool> RandomMaskPositions(size_t unit) const;
+  // Block-start slots of padding blocks in this unit (set to t-1 so Party B
+  // never selects them).
+  std::vector<size_t> PaddingPayloadSlots(size_t unit) const;
+
+  // Indicator slot vector for selecting payload p of a unit: 1 over the
+  // whole block, 0 elsewhere.
+  std::vector<uint64_t> IndicatorSlots(size_t payload) const;
+
+  // Client-side: recovers the point coordinates from a decoded result
+  // vector by summing all blocks (non-selected blocks decode to zero).
+  std::vector<uint64_t> ExtractPoint(const std::vector<uint64_t>& decoded,
+                                     uint64_t plain_modulus) const;
+
+  // Default-constructed layouts are empty placeholders to be assigned from
+  // Create().
+  SlotLayout() = default;
+
+ private:
+  Layout mode_ = Layout::kPacked;
+  size_t dims_ = 0;
+  size_t padded_dims_ = 0;
+  size_t ring_degree_ = 0;
+  size_t num_points_ = 0;
+  size_t points_per_row_ = 0;
+  size_t points_per_unit_ = 0;
+  size_t num_units_ = 0;
+};
+
+}  // namespace core
+}  // namespace sknn
+
+#endif  // SKNN_CORE_LAYOUT_H_

@@ -1,0 +1,75 @@
+#include "core/masking.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace sknn {
+namespace core {
+
+uint64_t MaskingPolynomial::CoefficientBudget(uint64_t plain_modulus,
+                                              uint64_t max_input,
+                                              size_t degree, size_t j) {
+  SKNN_CHECK_GE(max_input, 1u);
+  // B_j = (t-2) / ((D+1) * max_input^j), with overflow-safe power loop.
+  // Using t-2 keeps every masked value strictly below t-1, so the t-1
+  // padding sentinel can never tie with a real masked distance.
+  uint64_t budget = (plain_modulus - 2) / (degree + 1);
+  for (size_t i = 0; i < j; ++i) {
+    budget /= max_input;
+    if (budget == 0) return 0;
+  }
+  return budget;
+}
+
+StatusOr<MaskingPolynomial> MaskingPolynomial::Sample(uint64_t plain_modulus,
+                                                      uint64_t max_input,
+                                                      size_t degree,
+                                                      Chacha20Rng* rng) {
+  if (degree == 0) {
+    return InvalidArgumentError("masking polynomial must have degree >= 1");
+  }
+  if (max_input == 0) max_input = 1;
+  std::vector<uint64_t> coeffs(degree + 1);
+  for (size_t j = 0; j <= degree; ++j) {
+    const uint64_t budget =
+        CoefficientBudget(plain_modulus, max_input, degree, j);
+    if (budget < 1) {
+      return InvalidArgumentError(
+          "plaintext modulus too small for masking degree " +
+          std::to_string(degree) + " at max distance " +
+          std::to_string(max_input) +
+          " (coefficient budget empty at degree " + std::to_string(j) + ")");
+    }
+    // a_0 may be anything in [0, B_0]; higher coefficients are >= 1 so the
+    // polynomial is strictly increasing and of exact degree.
+    coeffs[j] = (j == 0) ? rng->UniformInRange(0, budget)
+                         : rng->UniformInRange(1, budget);
+  }
+  return MaskingPolynomial(std::move(coeffs), max_input);
+}
+
+uint64_t MaskingPolynomial::Evaluate(uint64_t x) const {
+  SKNN_CHECK_LE(x, max_input_);
+  // Horner; no wrap because of the budget construction.
+  uint64_t acc = 0;
+  for (size_t j = coeffs_.size(); j-- > 0;) {
+    acc = acc * x + coeffs_[j];
+  }
+  return acc;
+}
+
+std::string MaskingPolynomial::DebugString() const {
+  std::ostringstream os;
+  os << "m(x) =";
+  for (size_t j = 0; j < coeffs_.size(); ++j) {
+    if (j) os << " +";
+    os << " " << coeffs_[j];
+    if (j >= 1) os << "*x";
+    if (j >= 2) os << "^" << j;
+  }
+  return os.str();
+}
+
+}  // namespace core
+}  // namespace sknn

@@ -1,0 +1,62 @@
+#ifndef SKNN_CORE_MASKING_H_
+#define SKNN_CORE_MASKING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/statusor.h"
+
+// The order-preserving masking polynomial m(x) = a_0 + a_1 x + ... + a_D x^D
+// that Party A evaluates homomorphically on every squared distance before
+// handing the (permuted) results to Party B (Algorithm 1, steps 5-8).
+//
+// Deviation from the paper, documented in DESIGN.md: the paper samples
+// coefficients uniformly in [1, 2^32-1], which overflows the plaintext
+// space for realistic distances and would destroy both monotonicity and
+// the protocol's exactness. Here each coefficient is sampled uniformly
+// from the largest budget that guarantees m(x) < t for all x <= max_input,
+// so the masked order always equals the true order.
+
+namespace sknn {
+namespace core {
+
+class MaskingPolynomial {
+ public:
+  // Samples a fresh polynomial of exact degree `degree` with coefficients
+  // uniform in [1, B_j], B_j = (t-1) / ((degree+1) * max_input^j). Fails
+  // when the plaintext space is too small for the requested degree.
+  static StatusOr<MaskingPolynomial> Sample(uint64_t plain_modulus,
+                                            uint64_t max_input, size_t degree,
+                                            Chacha20Rng* rng);
+
+  size_t degree() const { return coeffs_.size() - 1; }
+  const std::vector<uint64_t>& coefficients() const { return coeffs_; }
+  uint64_t max_input() const { return max_input_; }
+
+  // Reference evaluation (no modular wrap by construction for
+  // x <= max_input).
+  uint64_t Evaluate(uint64_t x) const;
+
+  // Per-degree coefficient budget B_j (exposed so tests and parameter
+  // selection can check masking entropy).
+  static uint64_t CoefficientBudget(uint64_t plain_modulus,
+                                    uint64_t max_input, size_t degree,
+                                    size_t j);
+
+  std::string DebugString() const;
+
+ private:
+  explicit MaskingPolynomial(std::vector<uint64_t> coeffs, uint64_t max_input)
+      : coeffs_(std::move(coeffs)), max_input_(max_input) {}
+
+  std::vector<uint64_t> coeffs_;  // a_0 .. a_D
+  uint64_t max_input_;
+};
+
+}  // namespace core
+}  // namespace sknn
+
+#endif  // SKNN_CORE_MASKING_H_

@@ -1,0 +1,71 @@
+#ifndef SKNN_CORE_METRICS_H_
+#define SKNN_CORE_METRICS_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+// Operation counters and phase timings shared by the new protocol and the
+// baseline. These regenerate the computational-overhead columns of the
+// paper's Table 1 from actual executions.
+
+namespace sknn {
+namespace core {
+
+struct OpCounts {
+  uint64_t he_multiplications = 0;  // ciphertext-ciphertext products
+  uint64_t he_plain_ops = 0;        // plaintext/scalar mult-add on ciphertexts
+  uint64_t he_additions = 0;
+  uint64_t rotations = 0;
+  uint64_t relinearizations = 0;
+  uint64_t mod_switches = 0;
+  uint64_t encryptions = 0;
+  uint64_t decryptions = 0;
+
+  uint64_t total_homomorphic() const {
+    return he_multiplications + he_plain_ops + he_additions + rotations +
+           relinearizations + mod_switches;
+  }
+
+  OpCounts& operator+=(const OpCounts& o) {
+    he_multiplications += o.he_multiplications;
+    he_plain_ops += o.he_plain_ops;
+    he_additions += o.he_additions;
+    rotations += o.rotations;
+    relinearizations += o.relinearizations;
+    mod_switches += o.mod_switches;
+    encryptions += o.encryptions;
+    decryptions += o.decryptions;
+    return *this;
+  }
+
+  std::string DebugString() const {
+    std::ostringstream os;
+    os << "OpCounts{mult=" << he_multiplications
+       << ", plain=" << he_plain_ops << ", add=" << he_additions
+       << ", rot=" << rotations << ", relin=" << relinearizations
+       << ", modswitch=" << mod_switches << ", enc=" << encryptions
+       << ", dec=" << decryptions << "}";
+    return os.str();
+  }
+};
+
+struct PhaseTimings {
+  double setup_seconds = 0;
+  double query_encrypt_seconds = 0;
+  double compute_distances_seconds = 0;  // Party A, phase 1
+  double find_neighbours_seconds = 0;    // Party B
+  double return_knn_seconds = 0;         // Party A, phase 2
+  double client_decrypt_seconds = 0;
+
+  double total_query_seconds() const {
+    return query_encrypt_seconds + compute_distances_seconds +
+           find_neighbours_seconds + return_knn_seconds +
+           client_decrypt_seconds;
+  }
+};
+
+}  // namespace core
+}  // namespace sknn
+
+#endif  // SKNN_CORE_METRICS_H_

@@ -1,0 +1,262 @@
+#include "core/party_a.h"
+
+#include <mutex>
+
+#include "data/dataset.h"
+
+namespace sknn {
+namespace core {
+
+PartyA::PartyA(std::shared_ptr<const bgv::BgvContext> ctx,
+               ProtocolConfig config, SlotLayout layout, bgv::PublicKey pk,
+               bgv::RelinKeys relin, bgv::GaloisKeys galois,
+               uint64_t rng_seed)
+    : ctx_(ctx),
+      config_(std::move(config)),
+      layout_(std::move(layout)),
+      relin_(std::move(relin)),
+      galois_(std::move(galois)),
+      encoder_(ctx),
+      evaluator_(ctx),
+      rng_(rng_seed),
+      pool_(config_.threads) {
+  (void)pk;  // Party A does not encrypt in this protocol variant.
+}
+
+Status PartyA::LoadEncryptedDatabase(std::vector<bgv::Ciphertext> units) {
+  if (units.size() != layout_.num_units()) {
+    return InvalidArgumentError("database unit count does not match layout");
+  }
+  db_top_ = std::move(units);
+  db_ret_.clear();
+  db_ret_.reserve(db_top_.size());
+  for (const bgv::Ciphertext& unit : db_top_) {
+    bgv::Ciphertext low = unit;
+    SKNN_RETURN_IF_ERROR(
+        evaluator_.ModSwitchToLevelInplace(&low, config_.indicator_level));
+    ops_.mod_switches += ctx_->max_level() - config_.indicator_level;
+    db_ret_.push_back(std::move(low));
+  }
+  return Status::Ok();
+}
+
+StatusOr<bgv::Ciphertext> PartyA::DistanceForUnit(
+    size_t unit, const bgv::Ciphertext& query_ct,
+    const MaskingPolynomial& mask, Chacha20Rng* unit_rng, OpCounts* ops) {
+  const uint64_t t = ctx_->t();
+  // diff = p' - Q' (slot-wise).
+  bgv::Ciphertext diff = db_top_[unit];
+  SKNN_RETURN_IF_ERROR(evaluator_.SubInplace(&diff, query_ct));
+  ops->he_additions += 1;
+  // sq = diff^2, one level consumed.
+  SKNN_ASSIGN_OR_RETURN(bgv::Ciphertext x,
+                        evaluator_.MultiplyRelin(diff, diff, relin_));
+  ops->he_multiplications += 1;
+  ops->relinearizations += 1;
+  ops->mod_switches += 1;
+  // Fold the padded_dims-wide blocks so each block's first slot holds the
+  // squared distance.
+  if (layout_.padded_dims() > 1) {
+    SKNN_RETURN_IF_ERROR(
+        evaluator_.FoldRowsInplace(&x, layout_.padded_dims(), galois_));
+    size_t steps = 0;
+    for (size_t s = 1; s < layout_.padded_dims(); s <<= 1) ++steps;
+    ops->rotations += steps;
+    ops->he_additions += steps;
+  }
+  // Packed mode: zero out fold garbage and padding payloads immediately
+  // (while the noise budget is widest). Zeroed slots pass through the
+  // masking polynomial as the constant m(0) = a_0 and are re-masked below.
+  if (layout_.mode() == Layout::kPacked) {
+    SKNN_ASSIGN_OR_RETURN(bgv::Plaintext selector,
+                          encoder_.Encode(layout_.SelectorSlots(unit)));
+    SKNN_RETURN_IF_ERROR(evaluator_.MultiplyPlainInplace(&x, selector));
+    ops->he_plain_ops += 1;
+    // A plaintext product costs as much noise as a ciphertext product;
+    // spend a level on it.
+    SKNN_RETURN_IF_ERROR(evaluator_.ModSwitchToNextInplace(&x));
+    ops->mod_switches += 1;
+  }
+  // Horner evaluation of the masking polynomial:
+  //   u = a_D x + a_{D-1}; u = u*x + a_{D-2}; ...; + a_0.
+  const std::vector<uint64_t>& a = mask.coefficients();
+  const size_t d = mask.degree();
+  bgv::Ciphertext u = x;
+  SKNN_RETURN_IF_ERROR(evaluator_.MultiplyScalarInplace(&u, a[d]));
+  ops->he_plain_ops += 1;
+  SKNN_RETURN_IF_ERROR(
+      evaluator_.AddPlainInplace(&u, encoder_.EncodeScalar(a[d - 1])));
+  ops->he_plain_ops += 1;
+  for (size_t j = d - 1; j-- > 0;) {
+    SKNN_ASSIGN_OR_RETURN(u, evaluator_.MultiplyRelin(u, x, relin_));
+    ops->he_multiplications += 1;
+    ops->relinearizations += 1;
+    ops->mod_switches += 1;
+    SKNN_RETURN_IF_ERROR(
+        evaluator_.AddPlainInplace(&u, encoder_.EncodeScalar(a[j])));
+    ops->he_plain_ops += 1;
+  }
+  // Masking and rotations happen at level 1: level 0 is reserved for
+  // transport because its single-prime noise budget cannot absorb a key
+  // switch.
+  if (u.level > 1) {
+    const size_t before = u.level;
+    SKNN_RETURN_IF_ERROR(evaluator_.ModSwitchToLevelInplace(&u, 1));
+    ops->mod_switches += before - 1;
+  }
+  // Additive mask: uniform randomness on every non-payload slot (hides the
+  // fold partial sums / the zeroed garbage pattern), the exact t-1
+  // sentinel on padding payloads (their current value is m(0) = a_0, which
+  // Party A knows), zero on real payloads.
+  std::vector<uint64_t> mask_slots(ctx_->n(), 0);
+  const std::vector<bool> random_pos = layout_.RandomMaskPositions(unit);
+  for (size_t s = 0; s < mask_slots.size(); ++s) {
+    if (random_pos[s]) mask_slots[s] = unit_rng->UniformBelow(t);
+  }
+  const uint64_t pad_sentinel = SubMod(t - 1, a[0] % t, t);
+  for (size_t s : layout_.PaddingPayloadSlots(unit)) {
+    mask_slots[s] = pad_sentinel;
+  }
+  SKNN_ASSIGN_OR_RETURN(bgv::Plaintext mask_pt, encoder_.Encode(mask_slots));
+  SKNN_RETURN_IF_ERROR(evaluator_.AddPlainInplace(&u, mask_pt));
+  ops->he_plain_ops += 1;
+  // Packed mode: random block rotation + column swap (the intra-unit part
+  // of the permutation).
+  if (layout_.mode() == Layout::kPacked) {
+    const size_t rot = rotations_[unit];
+    if (rot != 0) {
+      SKNN_RETURN_IF_ERROR(evaluator_.RotateRowsInplace(
+          &u, static_cast<int>(rot * layout_.padded_dims()), galois_));
+      ops->rotations += 1;
+    }
+    if (col_swapped_[unit]) {
+      SKNN_RETURN_IF_ERROR(evaluator_.RotateColumnsInplace(&u, galois_));
+      ops->rotations += 1;
+    }
+  }
+  // Transport level: the smallest ciphertext Party B can decrypt.
+  if (u.level > 0) {
+    const size_t before = u.level;
+    SKNN_RETURN_IF_ERROR(evaluator_.ModSwitchToLevelInplace(&u, 0));
+    ops->mod_switches += before;
+  }
+  return u;
+}
+
+StatusOr<std::vector<bgv::Ciphertext>> PartyA::ComputeDistances(
+    const bgv::Ciphertext& query_ct) {
+  if (db_top_.empty()) {
+    return FailedPreconditionError("no encrypted database loaded");
+  }
+  const uint64_t t = ctx_->t();
+  const uint64_t max_dist = data::MaxSquaredDistance(
+      layout_.dims(), (uint64_t{1} << config_.coord_bits) - 1);
+  SKNN_ASSIGN_OR_RETURN(
+      MaskingPolynomial mask,
+      MaskingPolynomial::Sample(t, max_dist, config_.poly_degree, &rng_));
+  mask_ = std::make_unique<MaskingPolynomial>(mask);
+
+  const size_t units = layout_.num_units();
+  // Fresh intra-unit transform + permutation.
+  rotations_.assign(units, 0);
+  col_swapped_.assign(units, false);
+  if (layout_.mode() == Layout::kPacked) {
+    for (size_t u = 0; u < units; ++u) {
+      rotations_[u] = rng_.UniformBelow(layout_.points_per_row());
+      col_swapped_[u] = rng_.UniformBelow(2) == 1;
+    }
+  }
+  perm_ = rng_.RandomPermutation(units);
+
+  // Per-unit deterministic RNG forks (stable under parallel execution).
+  std::vector<uint64_t> unit_seeds(units);
+  for (auto& s : unit_seeds) s = rng_.NextU64();
+
+  std::vector<bgv::Ciphertext> transformed(units);
+  std::vector<OpCounts> unit_ops(units);
+  Status first_error = Status::Ok();
+  std::mutex error_mu;
+  pool_.ParallelFor(0, units, [&](size_t u) {
+    Chacha20Rng unit_rng(unit_seeds[u]);
+    auto result = DistanceForUnit(u, query_ct, mask, &unit_rng, &unit_ops[u]);
+    if (!result.ok()) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (first_error.ok()) first_error = result.status();
+      return;
+    }
+    transformed[u] = std::move(result).value();
+  });
+  SKNN_RETURN_IF_ERROR(first_error);
+  for (const OpCounts& oc : unit_ops) ops_ += oc;
+
+  // Apply the unit permutation: output position p carries original unit
+  // perm_[p].
+  std::vector<bgv::Ciphertext> out(units);
+  for (size_t p = 0; p < units; ++p) {
+    out[p] = std::move(transformed[perm_[p]]);
+  }
+  return out;
+}
+
+Status PartyA::BeginReturnPhase(size_t k) {
+  if (mask_ == nullptr) {
+    return FailedPreconditionError("ComputeDistances has not run");
+  }
+  acc_.assign(k, bgv::Ciphertext());
+  acc_started_.assign(k, false);
+  return Status::Ok();
+}
+
+Status PartyA::AbsorbIndicator(size_t j, size_t transformed_unit_pos,
+                               const bgv::Ciphertext& indicator) {
+  if (j >= acc_.size()) return InvalidArgumentError("result index j too big");
+  if (transformed_unit_pos >= perm_.size()) {
+    return InvalidArgumentError("unit position out of range");
+  }
+  const size_t unit = perm_[transformed_unit_pos];
+  bgv::Ciphertext ind = indicator;
+  // Undo the unit's intra-ciphertext transform so the indicator aligns
+  // with the stored database layout (rotating the small indicator is far
+  // cheaper than re-deriving rotated database units).
+  if (layout_.mode() == Layout::kPacked) {
+    if (col_swapped_[unit]) {
+      SKNN_RETURN_IF_ERROR(evaluator_.RotateColumnsInplace(&ind, galois_));
+      ops_.rotations += 1;
+    }
+    if (rotations_[unit] != 0) {
+      SKNN_RETURN_IF_ERROR(evaluator_.RotateRowsInplace(
+          &ind,
+          -static_cast<int>(rotations_[unit] * layout_.padded_dims()),
+          galois_));
+      ops_.rotations += 1;
+    }
+  }
+  SKNN_ASSIGN_OR_RETURN(bgv::Ciphertext prod,
+                        evaluator_.Multiply(db_ret_[unit], ind));
+  ops_.he_multiplications += 1;
+  if (!acc_started_[j]) {
+    acc_[j] = std::move(prod);
+    acc_started_[j] = true;
+  } else {
+    SKNN_RETURN_IF_ERROR(evaluator_.AddInplace(&acc_[j], prod));
+    ops_.he_additions += 1;
+  }
+  return Status::Ok();
+}
+
+StatusOr<bgv::Ciphertext> PartyA::FinalizeResult(size_t j) {
+  if (j >= acc_.size() || !acc_started_[j]) {
+    return FailedPreconditionError("no indicators absorbed for this result");
+  }
+  bgv::Ciphertext result = std::move(acc_[j]);
+  acc_started_[j] = false;
+  SKNN_RETURN_IF_ERROR(evaluator_.RelinearizeInplace(&result, relin_));
+  ops_.relinearizations += 1;
+  const size_t before = result.level;
+  SKNN_RETURN_IF_ERROR(evaluator_.ModSwitchToLevelInplace(&result, 0));
+  ops_.mod_switches += before;
+  return result;
+}
+
+}  // namespace core
+}  // namespace sknn

@@ -1,0 +1,94 @@
+#ifndef SKNN_CORE_PARTY_A_H_
+#define SKNN_CORE_PARTY_A_H_
+
+#include <memory>
+#include <vector>
+
+#include "bgv/ciphertext.h"
+#include "bgv/context.h"
+#include "bgv/encoder.h"
+#include "bgv/evaluator.h"
+#include "bgv/keys.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/layout.h"
+#include "core/masking.h"
+#include "core/metrics.h"
+#include "core/protocol_config.h"
+
+// Party A: the storage-and-compute cloud. Holds the encrypted database and
+// the evaluation keys; never sees the secret key. Implements Algorithm 1
+// (Compute Distances) and Algorithm 3 (Return kNN) of the paper.
+
+namespace sknn {
+namespace core {
+
+class PartyA {
+ public:
+  PartyA(std::shared_ptr<const bgv::BgvContext> ctx, ProtocolConfig config,
+         SlotLayout layout, bgv::PublicKey pk, bgv::RelinKeys relin,
+         bgv::GaloisKeys galois, uint64_t rng_seed);
+
+  // Stores the encrypted database units (top level) and precomputes the
+  // indicator-level copies used by the return phase.
+  Status LoadEncryptedDatabase(std::vector<bgv::Ciphertext> units);
+
+  // Phase 1 (Algorithm 1): homomorphically computes masked, permuted
+  // distances for the encrypted query. A fresh masking polynomial and a
+  // fresh permutation/rotation transform are drawn per query.
+  StatusOr<std::vector<bgv::Ciphertext>> ComputeDistances(
+      const bgv::Ciphertext& query_ct);
+
+  // Phase 2 (Algorithm 3): absorbs Party B's indicator ciphertexts one at
+  // a time (streaming keeps memory at O(1) ciphertexts), accumulating the
+  // oblivious dot products T^j.
+  Status BeginReturnPhase(size_t k);
+  Status AbsorbIndicator(size_t j, size_t transformed_unit_pos,
+                         const bgv::Ciphertext& indicator);
+  // Relinearizes + switches T^j to the transport level.
+  StatusOr<bgv::Ciphertext> FinalizeResult(size_t j);
+
+  const OpCounts& ops() const { return ops_; }
+  void ResetOps() { ops_ = OpCounts(); }
+  size_t num_units() const { return layout_.num_units(); }
+
+  // Exposed for tests: the transform drawn for the last query.
+  const std::vector<size_t>& last_permutation() const { return perm_; }
+  const MaskingPolynomial* last_mask() const { return mask_.get(); }
+
+ private:
+  // Distance pipeline for a single unit (everything after the subtraction
+  // is per-unit independent, so units run in parallel).
+  StatusOr<bgv::Ciphertext> DistanceForUnit(size_t unit,
+                                            const bgv::Ciphertext& query_ct,
+                                            const MaskingPolynomial& mask,
+                                            Chacha20Rng* unit_rng,
+                                            OpCounts* ops);
+
+  std::shared_ptr<const bgv::BgvContext> ctx_;
+  ProtocolConfig config_;
+  SlotLayout layout_;
+  bgv::RelinKeys relin_;
+  bgv::GaloisKeys galois_;
+  bgv::BatchEncoder encoder_;
+  bgv::Evaluator evaluator_;
+  Chacha20Rng rng_;
+  ThreadPool pool_;
+  OpCounts ops_;
+
+  std::vector<bgv::Ciphertext> db_top_;  // distance phase operands
+  std::vector<bgv::Ciphertext> db_ret_;  // return phase operands (low level)
+
+  // Per-query transform state.
+  std::unique_ptr<MaskingPolynomial> mask_;
+  std::vector<size_t> perm_;        // transformed position -> original unit
+  std::vector<size_t> rotations_;   // per original unit, in blocks
+  std::vector<bool> col_swapped_;   // per original unit
+  std::vector<bgv::Ciphertext> acc_;
+  std::vector<bool> acc_started_;
+};
+
+}  // namespace core
+}  // namespace sknn
+
+#endif  // SKNN_CORE_PARTY_A_H_

@@ -1,0 +1,84 @@
+#include "core/party_b.h"
+
+#include "knn/knn.h"
+
+namespace sknn {
+namespace core {
+
+PartyB::PartyB(std::shared_ptr<const bgv::BgvContext> ctx,
+               ProtocolConfig config, SlotLayout layout, bgv::SecretKey sk,
+               bgv::PublicKey pk, uint64_t rng_seed)
+    : ctx_(ctx),
+      config_(std::move(config)),
+      layout_(std::move(layout)),
+      encoder_(ctx),
+      decryptor_(ctx, sk),  // keeps a copy; the original moves below
+      rng_(rng_seed),
+      encryptor_(ctx, std::move(pk), &rng_),
+      sym_encryptor_(ctx, std::move(sk), &rng_) {}
+
+StatusOr<size_t> PartyB::FindNeighbours(
+    const std::vector<bgv::Ciphertext>& units, size_t k) {
+  if (units.size() != layout_.num_units()) {
+    return InvalidArgumentError("unexpected distance unit count");
+  }
+  const size_t ppu = layout_.payloads_per_unit();
+  observed_.assign(units.size() * ppu, 0);
+  for (size_t pos = 0; pos < units.size(); ++pos) {
+    SKNN_ASSIGN_OR_RETURN(bgv::Plaintext pt, decryptor_.Decrypt(units[pos]));
+    ops_.decryptions += 1;
+    const std::vector<uint64_t> slots = encoder_.Decode(pt);
+    for (size_t p = 0; p < ppu; ++p) {
+      observed_[pos * ppu + p] = slots[layout_.PayloadSlot(p)];
+    }
+  }
+  const size_t effective_k = std::min(k, layout_.num_points());
+  const std::vector<size_t> flat =
+      knn::SelectKSmallest(observed_, effective_k);
+  selected_.clear();
+  selected_.reserve(flat.size());
+  for (size_t f : flat) {
+    selected_.emplace_back(f / ppu, f % ppu);
+  }
+  return effective_k;
+}
+
+StatusOr<bgv::Plaintext> PartyB::BuildIndicatorPlaintext(
+    size_t j, size_t unit_pos) const {
+  if (j >= selected_.size()) {
+    return InvalidArgumentError("indicator index out of range");
+  }
+  const auto [sel_unit, sel_payload] = selected_[j];
+  if (layout_.mode() == Layout::kPerPoint) {
+    // Scalar 0/1: cheap encode, identical security (fresh encryption).
+    return encoder_.EncodeScalar(sel_unit == unit_pos ? 1 : 0);
+  }
+  std::vector<uint64_t> slots(ctx_->n(), 0);
+  if (sel_unit == unit_pos) {
+    slots = layout_.IndicatorSlots(sel_payload);
+  }
+  return encoder_.Encode(slots);
+}
+
+StatusOr<bgv::Ciphertext> PartyB::EmitIndicator(size_t j,
+                                                size_t unit_pos) const {
+  SKNN_ASSIGN_OR_RETURN(bgv::Plaintext pt, BuildIndicatorPlaintext(j, unit_pos));
+  SKNN_ASSIGN_OR_RETURN(
+      bgv::Ciphertext ct,
+      encryptor_.EncryptAtLevel(pt, config_.indicator_level));
+  ops_.encryptions += 1;
+  return ct;
+}
+
+StatusOr<bgv::SeededCiphertext> PartyB::EmitIndicatorCompressed(
+    size_t j, size_t unit_pos) const {
+  SKNN_ASSIGN_OR_RETURN(bgv::Plaintext pt, BuildIndicatorPlaintext(j, unit_pos));
+  SKNN_ASSIGN_OR_RETURN(
+      bgv::SeededCiphertext ct,
+      sym_encryptor_.EncryptSeeded(pt, config_.indicator_level));
+  ops_.encryptions += 1;
+  return ct;
+}
+
+}  // namespace core
+}  // namespace sknn

@@ -1,0 +1,83 @@
+#ifndef SKNN_CORE_PARTY_B_H_
+#define SKNN_CORE_PARTY_B_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "bgv/ciphertext.h"
+#include "bgv/context.h"
+#include "bgv/decryptor.h"
+#include "bgv/encoder.h"
+#include "bgv/encryptor.h"
+#include "bgv/keys.h"
+#include "bgv/symmetric.h"
+#include "common/rng.h"
+#include "core/layout.h"
+#include "core/metrics.h"
+#include "core/protocol_config.h"
+
+// Party B: the key-holding cloud. Decrypts the masked, permuted distances,
+// selects the k smallest (Algorithm 2), and answers with indicator
+// ciphertexts. It never sees the database, the query or the true distances
+// — only images under Party A's secret monotone polynomial in permuted
+// order.
+
+namespace sknn {
+namespace core {
+
+class PartyB {
+ public:
+  PartyB(std::shared_ptr<const bgv::BgvContext> ctx, ProtocolConfig config,
+         SlotLayout layout, bgv::SecretKey sk, bgv::PublicKey pk,
+         uint64_t rng_seed);
+
+  // Algorithm 2: decrypts the distance units, selects the k smallest
+  // masked values. Returns the effective k (clamped to the point count).
+  StatusOr<size_t> FindNeighbours(const std::vector<bgv::Ciphertext>& units,
+                                  size_t k);
+
+  // Indicator ciphertext for result j and transformed unit position
+  // `unit_pos`: encrypts the 0/1 block selector (all zeros when result j
+  // does not live in that unit).
+  StatusOr<bgv::Ciphertext> EmitIndicator(size_t j, size_t unit_pos) const;
+  // Seed-compressed variant (half the bytes; B encrypts under its secret
+  // key with a PRF-expanded c1).
+  StatusOr<bgv::SeededCiphertext> EmitIndicatorCompressed(
+      size_t j, size_t unit_pos) const;
+
+  const OpCounts& ops() const { return ops_; }
+  void ResetOps() { ops_ = OpCounts(); }
+
+  // Exposed for leakage tests: the masked values B observed (flattened in
+  // transformed order) during the last query.
+  const std::vector<uint64_t>& observed_masked_values() const {
+    return observed_;
+  }
+  const std::vector<std::pair<size_t, size_t>>& selected() const {
+    return selected_;
+  }
+
+ private:
+  StatusOr<bgv::Plaintext> BuildIndicatorPlaintext(size_t j,
+                                                   size_t unit_pos) const;
+
+  std::shared_ptr<const bgv::BgvContext> ctx_;
+  ProtocolConfig config_;
+  SlotLayout layout_;
+  bgv::BatchEncoder encoder_;
+  bgv::Decryptor decryptor_;
+  mutable Chacha20Rng rng_;
+  mutable bgv::Encryptor encryptor_;
+  bgv::SymmetricEncryptor sym_encryptor_;
+  mutable OpCounts ops_;
+
+  std::vector<uint64_t> observed_;
+  // (transformed unit position, payload index) per selected neighbour.
+  std::vector<std::pair<size_t, size_t>> selected_;
+};
+
+}  // namespace core
+}  // namespace sknn
+
+#endif  // SKNN_CORE_PARTY_B_H_

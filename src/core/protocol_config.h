@@ -1,0 +1,74 @@
+#ifndef SKNN_CORE_PROTOCOL_CONFIG_H_
+#define SKNN_CORE_PROTOCOL_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "bgv/params.h"
+#include "common/status.h"
+#include "common/statusor.h"
+
+// Public configuration of the secure k-NN protocol. Everything here is
+// known to all parties (including the adversary); secrets are only the
+// keys, the data, the query, the masking polynomial and the permutation.
+
+namespace sknn {
+namespace core {
+
+// Ciphertext layout used by Party A (see DESIGN.md §3.4):
+//  - kPerPoint: one ciphertext per database point (the paper's layout;
+//    uniform permutation over all points, O(n) ciphertexts on the wire).
+//  - kPacked: many points per ciphertext (slot packing); faster and far
+//    smaller, at the cost of a permutation that only mixes ciphertext
+//    blocks and block rotations (Party B additionally learns which masked
+//    distances co-reside in a block).
+enum class Layout {
+  kPerPoint,
+  kPacked,
+};
+
+const char* LayoutName(Layout layout);
+
+struct ProtocolConfig {
+  // Number of neighbours to return.
+  size_t k = 5;
+  // Degree of the order-preserving masking polynomial m(x).
+  size_t poly_degree = 2;
+  // Bound: every coordinate of data and query lies in [0, 2^coord_bits).
+  int coord_bits = 4;
+  // Data dimensionality.
+  size_t dims = 2;
+  // Ciphertext layout.
+  Layout layout = Layout::kPacked;
+  // Lattice parameter preset and chain length.
+  bgv::SecurityPreset preset = bgv::SecurityPreset::kBench;
+  size_t levels = 4;
+  int plain_bits = 33;
+  // Level at which Party B encrypts indicator vectors (they undergo one
+  // multiplication and one switch before returning to the client).
+  size_t indicator_level = 1;
+  // Worker threads for Party A (0 = hardware concurrency).
+  size_t threads = 1;
+  // Seed-compress Party B's indicator ciphertexts (halves the dominant
+  // B->A communication; B holds the secret key, so it can encrypt
+  // symmetrically with a PRF-expanded c1 component).
+  bool compress_indicators = true;
+
+  // Smallest level count supporting the distance/masking pipeline for this
+  // layout and polynomial degree.
+  size_t MinimumLevels() const;
+
+  // Builds the BGV parameter set implied by this config.
+  StatusOr<bgv::BgvParams> MakeBgvParams() const;
+
+  // Validates internal consistency (degree vs plaintext budget is checked
+  // later against the actual modulus by MaskingPolynomial::Sample).
+  Status Validate() const;
+
+  std::string DebugString() const;
+};
+
+}  // namespace core
+}  // namespace sknn
+
+#endif  // SKNN_CORE_PROTOCOL_CONFIG_H_

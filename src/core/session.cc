@@ -1,0 +1,195 @@
+#include "core/session.h"
+
+#include <chrono>
+
+#include "bgv/serialization.h"
+#include "bgv/symmetric.h"
+
+namespace sknn {
+namespace core {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Serializes a ciphertext to count its wire size, returning the bytes.
+std::vector<uint8_t> CtToBytes(const bgv::Ciphertext& ct) {
+  ByteSink sink;
+  bgv::WriteCiphertext(ct, &sink);
+  return sink.TakeBytes();
+}
+
+StatusOr<bgv::Ciphertext> CtFromBytes(std::vector<uint8_t> bytes) {
+  ByteSource src(std::move(bytes));
+  return bgv::ReadCiphertext(&src);
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<SecureKnnSession>> SecureKnnSession::Create(
+    const ProtocolConfig& config, const data::Dataset& dataset,
+    uint64_t seed) {
+  const auto start = std::chrono::steady_clock::now();
+  auto session = std::unique_ptr<SecureKnnSession>(new SecureKnnSession());
+  session->config_ = config;
+
+  SKNN_ASSIGN_OR_RETURN(std::unique_ptr<DataOwner> owner,
+                        DataOwner::Create(config, dataset, seed));
+  session->ctx_ = owner->context();
+  session->layout_ = owner->layout();
+
+  // Measure what the owner ships to Party A: evaluation keys + the
+  // encrypted database (Figure 2, label 1).
+  {
+    ByteSink key_sink;
+    bgv::WritePublicKey(owner->pk(), &key_sink);
+    bgv::WriteRelinKeys(owner->relin(), &key_sink);
+    bgv::WriteGaloisKeys(owner->galois(), &key_sink);
+    session->setup_report_.evaluation_key_bytes = key_sink.size();
+  }
+  SKNN_ASSIGN_OR_RETURN(std::vector<bgv::Ciphertext> units,
+                        owner->EncryptDatabase());
+  for (const bgv::Ciphertext& u : units) {
+    session->setup_report_.encrypted_db_bytes += CtToBytes(u).size();
+  }
+
+  Chacha20Rng seeder(seed ^ 0x5eC0DEull);
+  session->party_a_ = std::make_unique<PartyA>(
+      session->ctx_, config, session->layout_, owner->pk(), owner->relin(),
+      owner->galois(), seeder.NextU64());
+  SKNN_RETURN_IF_ERROR(
+      session->party_a_->LoadEncryptedDatabase(std::move(units)));
+  session->party_b_ = std::make_unique<PartyB>(
+      session->ctx_, config, session->layout_, owner->sk(), owner->pk(),
+      seeder.NextU64());
+  session->client_ = std::make_unique<Client>(
+      session->ctx_, config, session->layout_, owner->pk(), owner->sk(),
+      seeder.NextU64());
+
+  session->setup_report_.owner_ops = owner->ops();
+  session->setup_report_.party_a_ops = session->party_a_->ops();
+  session->setup_report_.setup_seconds = SecondsSince(start);
+  session->setup_report_.estimated_security_bits = bgv::EstimateSecurityBits(
+      session->ctx_->n(), session->ctx_->params().TotalModulusBits());
+  session->party_a_->ResetOps();
+  return session;
+}
+
+StatusOr<QueryResult> SecureKnnSession::RunQuery(
+    const std::vector<uint64_t>& query) {
+  QueryResult result;
+  party_a_->ResetOps();
+  party_b_->ResetOps();
+  client_->ResetOps();
+  net::InMemoryLink ab_link;
+
+  // Client encrypts the query and sends it to Party A (label 4).
+  auto t0 = std::chrono::steady_clock::now();
+  SKNN_ASSIGN_OR_RETURN(bgv::Ciphertext query_ct,
+                        client_->EncryptQuery(query));
+  std::vector<uint8_t> query_bytes = CtToBytes(query_ct);
+  result.client_bytes_sent = query_bytes.size();
+  SKNN_ASSIGN_OR_RETURN(bgv::Ciphertext query_at_a,
+                        CtFromBytes(std::move(query_bytes)));
+  result.timings.query_encrypt_seconds = SecondsSince(t0);
+
+  // Party A: Compute Distances (Algorithm 1, labels 5-6).
+  t0 = std::chrono::steady_clock::now();
+  SKNN_ASSIGN_OR_RETURN(std::vector<bgv::Ciphertext> distances,
+                        party_a_->ComputeDistances(query_at_a));
+  for (bgv::Ciphertext& ct : distances) {
+    ByteSink sink;
+    bgv::WriteCiphertext(ct, &sink);
+    SKNN_RETURN_IF_ERROR(ab_link.a_endpoint()->SendSink(&sink));
+  }
+  result.timings.compute_distances_seconds = SecondsSince(t0);
+
+  // Party B: Find Neighbours (Algorithm 2, label 7).
+  t0 = std::chrono::steady_clock::now();
+  std::vector<bgv::Ciphertext> received;
+  received.reserve(distances.size());
+  for (size_t i = 0; i < distances.size(); ++i) {
+    SKNN_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                          ab_link.b_endpoint()->Receive());
+    SKNN_ASSIGN_OR_RETURN(bgv::Ciphertext ct, CtFromBytes(std::move(bytes)));
+    received.push_back(std::move(ct));
+  }
+  SKNN_ASSIGN_OR_RETURN(size_t effective_k,
+                        party_b_->FindNeighbours(received, config_.k));
+  received.clear();
+  result.k = effective_k;
+  result.timings.find_neighbours_seconds = SecondsSince(t0);
+
+  // Interleaved: B streams indicator ciphertexts (label 8), A absorbs them
+  // into the oblivious dot products (label 9). Streaming keeps peak memory
+  // at one indicator ciphertext instead of k*n.
+  SKNN_RETURN_IF_ERROR(party_a_->BeginReturnPhase(effective_k));
+  const size_t units = layout_.num_units();
+  double b_seconds = 0;
+  double a_seconds = 0;
+  for (size_t j = 0; j < effective_k; ++j) {
+    for (size_t pos = 0; pos < units; ++pos) {
+      auto tb = std::chrono::steady_clock::now();
+      ByteSink sink;
+      if (config_.compress_indicators) {
+        SKNN_ASSIGN_OR_RETURN(bgv::SeededCiphertext ind,
+                              party_b_->EmitIndicatorCompressed(j, pos));
+        bgv::WriteSeededCiphertext(ind, &sink);
+      } else {
+        SKNN_ASSIGN_OR_RETURN(bgv::Ciphertext ind,
+                              party_b_->EmitIndicator(j, pos));
+        bgv::WriteCiphertext(ind, &sink);
+      }
+      SKNN_RETURN_IF_ERROR(ab_link.b_endpoint()->SendSink(&sink));
+      b_seconds += SecondsSince(tb);
+
+      auto ta = std::chrono::steady_clock::now();
+      SKNN_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                            ab_link.a_endpoint()->Receive());
+      bgv::Ciphertext ind_at_a;
+      if (config_.compress_indicators) {
+        ByteSource src(std::move(bytes));
+        SKNN_ASSIGN_OR_RETURN(bgv::SeededCiphertext seeded,
+                              bgv::ReadSeededCiphertext(&src));
+        SKNN_ASSIGN_OR_RETURN(ind_at_a, bgv::ExpandSeeded(*ctx_, seeded));
+      } else {
+        SKNN_ASSIGN_OR_RETURN(ind_at_a, CtFromBytes(std::move(bytes)));
+      }
+      SKNN_RETURN_IF_ERROR(party_a_->AbsorbIndicator(j, pos, ind_at_a));
+      a_seconds += SecondsSince(ta);
+    }
+  }
+  result.timings.find_neighbours_seconds += b_seconds;
+
+  // Party A finalizes and returns the k encrypted neighbours (label 10).
+  auto tr = std::chrono::steady_clock::now();
+  std::vector<std::vector<uint8_t>> result_bytes;
+  for (size_t j = 0; j < effective_k; ++j) {
+    SKNN_ASSIGN_OR_RETURN(bgv::Ciphertext ct, party_a_->FinalizeResult(j));
+    result_bytes.push_back(CtToBytes(ct));
+  }
+  result.timings.return_knn_seconds = a_seconds + SecondsSince(tr);
+
+  // Client decrypts.
+  t0 = std::chrono::steady_clock::now();
+  for (std::vector<uint8_t>& bytes : result_bytes) {
+    result.client_bytes_received += bytes.size();
+    SKNN_ASSIGN_OR_RETURN(bgv::Ciphertext ct, CtFromBytes(std::move(bytes)));
+    SKNN_ASSIGN_OR_RETURN(std::vector<uint64_t> point,
+                          client_->DecryptNeighbour(ct));
+    result.neighbours.push_back(std::move(point));
+  }
+  result.timings.client_decrypt_seconds = SecondsSince(t0);
+
+  result.party_a_ops = party_a_->ops();
+  result.party_b_ops = party_b_->ops();
+  result.client_ops = client_->ops();
+  result.ab_link = ab_link.stats();
+  return result;
+}
+
+}  // namespace core
+}  // namespace sknn

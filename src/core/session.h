@@ -1,0 +1,85 @@
+#ifndef SKNN_CORE_SESSION_H_
+#define SKNN_CORE_SESSION_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/client.h"
+#include "core/data_owner.h"
+#include "core/metrics.h"
+#include "core/party_a.h"
+#include "core/party_b.h"
+#include "core/protocol_config.h"
+#include "data/dataset.h"
+#include "net/channel.h"
+
+// End-to-end orchestration of the secure k-NN protocol: wires the data
+// owner, Party A, Party B and the client together over byte-accounted
+// in-memory links and runs queries. This is the primary public entry point
+// of the library.
+
+namespace sknn {
+namespace core {
+
+struct QueryResult {
+  // The k neighbour points (coordinates), in the order Party B emitted
+  // them (an implementation-defined order, not sorted by distance).
+  std::vector<std::vector<uint64_t>> neighbours;
+  // Effective k (clamped to the database size).
+  size_t k = 0;
+
+  OpCounts party_a_ops;
+  OpCounts party_b_ops;
+  OpCounts client_ops;
+  // Bytes/messages/rounds on the A<->B link during this query.
+  net::LinkStats ab_link;
+  // Bytes from client to A (query) and A to client (results).
+  uint64_t client_bytes_sent = 0;
+  uint64_t client_bytes_received = 0;
+  PhaseTimings timings;
+};
+
+struct SetupReport {
+  double setup_seconds = 0;
+  uint64_t encrypted_db_bytes = 0;
+  uint64_t evaluation_key_bytes = 0;  // pk + relin + galois shipped to A
+  OpCounts owner_ops;
+  OpCounts party_a_ops;  // mod switches building the return-phase copies
+  double estimated_security_bits = 0;
+};
+
+class SecureKnnSession {
+ public:
+  // Builds the full deployment for a dataset. All randomness derives from
+  // `seed`; identical seeds reproduce identical transcripts.
+  static StatusOr<std::unique_ptr<SecureKnnSession>> Create(
+      const ProtocolConfig& config, const data::Dataset& dataset,
+      uint64_t seed);
+
+  // Runs one k-NN query (k taken from the config).
+  StatusOr<QueryResult> RunQuery(const std::vector<uint64_t>& query);
+
+  const SetupReport& setup_report() const { return setup_report_; }
+  const ProtocolConfig& config() const { return config_; }
+  std::shared_ptr<const bgv::BgvContext> context() const { return ctx_; }
+
+  // Test hooks.
+  PartyA& party_a() { return *party_a_; }
+  PartyB& party_b() { return *party_b_; }
+
+ private:
+  SecureKnnSession() = default;
+
+  ProtocolConfig config_;
+  std::shared_ptr<const bgv::BgvContext> ctx_;
+  SlotLayout layout_;
+  std::unique_ptr<PartyA> party_a_;
+  std::unique_ptr<PartyB> party_b_;
+  std::unique_ptr<Client> client_;
+  SetupReport setup_report_;
+};
+
+}  // namespace core
+}  // namespace sknn
+
+#endif  // SKNN_CORE_SESSION_H_

@@ -1,0 +1,132 @@
+#include "crypto/paillier.h"
+
+#include "common/logging.h"
+
+namespace sknn {
+namespace paillier {
+namespace {
+
+// L(x) = (x - 1) / n; x must be = 1 mod n.
+BigUint LFunction(const BigUint& x, const BigUint& n) {
+  BigUint q, r;
+  BigUint::DivMod(BigUint::Sub(x, BigUint(1)), n, &q, &r);
+  SKNN_CHECK(r.IsZero());
+  return q;
+}
+
+}  // namespace
+
+StatusOr<PaillierKeyPair> GeneratePaillierKeys(size_t modulus_bits,
+                                               Chacha20Rng* rng) {
+  if (modulus_bits < 64 || modulus_bits > 4096) {
+    return InvalidArgumentError("Paillier modulus must be 64..4096 bits");
+  }
+  const size_t half = modulus_bits / 2;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    BigUint p = BigUint::RandomPrime(half, rng);
+    BigUint q = BigUint::RandomPrime(modulus_bits - half, rng);
+    if (p == q) continue;
+    BigUint n = BigUint::Mul(p, q);
+    if (n.BitLength() != modulus_bits) continue;
+    PaillierKeyPair kp;
+    kp.pk.n = n;
+    kp.pk.n_squared = BigUint::Mul(n, n);
+    BigUint p1 = BigUint::Sub(p, BigUint(1));
+    BigUint q1 = BigUint::Sub(q, BigUint(1));
+    kp.sk.lambda = BigUint::Lcm(p1, q1);
+    // mu = L(g^lambda mod n^2)^{-1} mod n with g = n+1:
+    // g^lambda = 1 + lambda*n mod n^2, so L(...) = lambda mod n.
+    BigUint lambda_mod_n = BigUint::Mod(kp.sk.lambda, n);
+    auto mu = BigUint::InvMod(lambda_mod_n, n);
+    if (!mu.ok()) continue;
+    kp.sk.mu = std::move(mu).value();
+    return kp;
+  }
+  return InternalError("failed to generate Paillier keys");
+}
+
+PaillierEncryptor::PaillierEncryptor(PaillierPublicKey pk, Chacha20Rng* rng)
+    : pk_(std::move(pk)),
+      mont_n2_(std::make_unique<MontgomeryCtx>(pk_.n_squared)),
+      rng_(rng) {}
+
+StatusOr<BigUint> PaillierEncryptor::Encrypt(const BigUint& m) const {
+  if (BigUint::Compare(m, pk_.n) >= 0) {
+    return InvalidArgumentError("Paillier plaintext out of range");
+  }
+  // r uniform in [1, n) coprime to n (overwhelmingly likely).
+  BigUint r = BigUint::Add(
+      BigUint::RandomBelow(BigUint::Sub(pk_.n, BigUint(1)), rng_), BigUint(1));
+  // c = (1 + m*n) * r^n mod n^2.
+  BigUint gm = BigUint::Mod(BigUint::Add(BigUint(1), BigUint::Mul(m, pk_.n)),
+                            pk_.n_squared);
+  BigUint rn = mont_n2_->PowMod(r, pk_.n);
+  return BigUint::MulMod(gm, rn, pk_.n_squared);
+}
+
+StatusOr<BigUint> PaillierEncryptor::EncryptU64(uint64_t m) const {
+  return Encrypt(BigUint(m));
+}
+
+BigUint PaillierEncryptor::Add(const BigUint& ca, const BigUint& cb) const {
+  return BigUint::MulMod(ca, cb, pk_.n_squared);
+}
+
+StatusOr<BigUint> PaillierEncryptor::AddPlain(const BigUint& ca,
+                                              const BigUint& b) const {
+  if (BigUint::Compare(b, pk_.n) >= 0) {
+    return InvalidArgumentError("Paillier plaintext out of range");
+  }
+  BigUint gb = BigUint::Mod(BigUint::Add(BigUint(1), BigUint::Mul(b, pk_.n)),
+                            pk_.n_squared);
+  return BigUint::MulMod(ca, gb, pk_.n_squared);
+}
+
+BigUint PaillierEncryptor::MulPlain(const BigUint& ca,
+                                    const BigUint& k) const {
+  return mont_n2_->PowMod(ca, k);
+}
+
+BigUint PaillierEncryptor::Negate(const BigUint& ca) const {
+  return MulPlain(ca, BigUint::Sub(pk_.n, BigUint(1)));
+}
+
+StatusOr<BigUint> PaillierEncryptor::Rerandomize(const BigUint& ca) const {
+  SKNN_ASSIGN_OR_RETURN(BigUint zero, EncryptU64(0));
+  return Add(ca, zero);
+}
+
+PaillierDecryptor::PaillierDecryptor(PaillierPublicKey pk,
+                                     PaillierSecretKey sk)
+    : pk_(std::move(pk)),
+      sk_(std::move(sk)),
+      mont_n2_(std::make_unique<MontgomeryCtx>(pk_.n_squared)) {}
+
+StatusOr<BigUint> PaillierDecryptor::Decrypt(const BigUint& c) const {
+  if (BigUint::Compare(c, pk_.n_squared) >= 0 || c.IsZero()) {
+    return InvalidArgumentError("Paillier ciphertext out of range");
+  }
+  BigUint x = mont_n2_->PowMod(c, sk_.lambda);
+  BigUint l = LFunction(x, pk_.n);
+  return BigUint::MulMod(l, sk_.mu, pk_.n);
+}
+
+StatusOr<int64_t> PaillierDecryptor::DecryptSignedU64(const BigUint& c) const {
+  SKNN_ASSIGN_OR_RETURN(BigUint m, Decrypt(c));
+  BigUint half = pk_.n.ShiftRight(1);
+  if (BigUint::Compare(m, half) > 0) {
+    BigUint mag = BigUint::Sub(pk_.n, m);
+    if (!mag.FitsU64() ||
+        mag.ToU64() > static_cast<uint64_t>(INT64_MAX)) {
+      return OutOfRangeError("signed Paillier value too large");
+    }
+    return -static_cast<int64_t>(mag.ToU64());
+  }
+  if (!m.FitsU64() || m.ToU64() > static_cast<uint64_t>(INT64_MAX)) {
+    return OutOfRangeError("signed Paillier value too large");
+  }
+  return static_cast<int64_t>(m.ToU64());
+}
+
+}  // namespace paillier
+}  // namespace sknn

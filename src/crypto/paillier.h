@@ -1,0 +1,93 @@
+#ifndef SKNN_CRYPTO_PAILLIER_H_
+#define SKNN_CRYPTO_PAILLIER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "math/bigint.h"
+
+// The Paillier cryptosystem (additively homomorphic), built on the from-
+// scratch bignum substrate. This is the cryptographic tool underlying the
+// Elmehdwi–Samanthula–Jiang baseline SkNN protocol the paper compares
+// against.
+//
+// Standard instantiation with g = n + 1:
+//   Enc(m; r) = (1 + m*n) * r^n  mod n^2
+//   Dec(c)    = L(c^lambda mod n^2) * mu mod n,  L(x) = (x-1)/n
+
+namespace sknn {
+namespace paillier {
+
+struct PaillierPublicKey {
+  BigUint n;
+  BigUint n_squared;
+
+  size_t modulus_bits() const { return n.BitLength(); }
+};
+
+struct PaillierSecretKey {
+  BigUint lambda;  // lcm(p-1, q-1)
+  BigUint mu;      // L(g^lambda mod n^2)^{-1} mod n
+};
+
+struct PaillierKeyPair {
+  PaillierPublicKey pk;
+  PaillierSecretKey sk;
+};
+
+// Generates a key pair with an RSA modulus of `modulus_bits` bits.
+StatusOr<PaillierKeyPair> GeneratePaillierKeys(size_t modulus_bits,
+                                               Chacha20Rng* rng);
+
+// Encryption / homomorphic operations under a public key.
+class PaillierEncryptor {
+ public:
+  PaillierEncryptor(PaillierPublicKey pk, Chacha20Rng* rng);
+
+  // Encrypts m in [0, n).
+  StatusOr<BigUint> Encrypt(const BigUint& m) const;
+  StatusOr<BigUint> EncryptU64(uint64_t m) const;
+
+  // Enc(a) (+) Enc(b) = Enc(a + b mod n).
+  BigUint Add(const BigUint& ca, const BigUint& cb) const;
+  // Enc(a) (+) b = Enc(a + b mod n) without a fresh encryption's cost.
+  StatusOr<BigUint> AddPlain(const BigUint& ca, const BigUint& b) const;
+  // Enc(a) (*) k = Enc(a * k mod n).
+  BigUint MulPlain(const BigUint& ca, const BigUint& k) const;
+  // Enc(a) -> Enc(n - a) = Enc(-a).
+  BigUint Negate(const BigUint& ca) const;
+  // Fresh randomization of a ciphertext (same plaintext, new randomness).
+  StatusOr<BigUint> Rerandomize(const BigUint& ca) const;
+
+  const PaillierPublicKey& pk() const { return pk_; }
+
+ private:
+  PaillierPublicKey pk_;
+  std::unique_ptr<MontgomeryCtx> mont_n2_;
+  Chacha20Rng* rng_;
+};
+
+// Decryption under a secret key.
+class PaillierDecryptor {
+ public:
+  PaillierDecryptor(PaillierPublicKey pk, PaillierSecretKey sk);
+
+  StatusOr<BigUint> Decrypt(const BigUint& c) const;
+  // Decrypts and reduces into a signed interpretation: values above n/2 are
+  // returned as negative offsets (v - n), which the baseline protocol uses
+  // for comparisons.
+  StatusOr<int64_t> DecryptSignedU64(const BigUint& c) const;
+
+ private:
+  PaillierPublicKey pk_;
+  PaillierSecretKey sk_;
+  std::unique_ptr<MontgomeryCtx> mont_n2_;
+};
+
+}  // namespace paillier
+}  // namespace sknn
+
+#endif  // SKNN_CRYPTO_PAILLIER_H_

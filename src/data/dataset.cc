@@ -1,0 +1,52 @@
+#include "data/dataset.h"
+
+#include "common/logging.h"
+
+namespace sknn {
+namespace data {
+
+std::vector<uint64_t> Dataset::point(size_t i) const {
+  SKNN_CHECK_LT(i, num_points_);
+  return std::vector<uint64_t>(values_.begin() + static_cast<long>(i * dims_),
+                               values_.begin() +
+                                   static_cast<long>((i + 1) * dims_));
+}
+
+uint64_t Dataset::MaxValue() const {
+  uint64_t max = 0;
+  for (uint64_t v : values_) max = std::max(max, v);
+  return max;
+}
+
+Dataset Dataset::QuantizeToBits(int bits) const {
+  SKNN_CHECK_GT(bits, 0);
+  const uint64_t bound = uint64_t{1} << bits;
+  uint64_t max = MaxValue();
+  int shift = 0;
+  while ((max >> shift) >= bound) ++shift;
+  Dataset out(num_points_, dims_);
+  for (size_t i = 0; i < values_.size(); ++i) {
+    out.values_[i] = values_[i] >> shift;
+  }
+  return out;
+}
+
+uint64_t SquaredDistance(const Dataset& data, size_t point,
+                         const std::vector<uint64_t>& query) {
+  SKNN_CHECK_EQ(query.size(), data.dims());
+  uint64_t sum = 0;
+  for (size_t j = 0; j < data.dims(); ++j) {
+    const uint64_t a = data.at(point, j);
+    const uint64_t b = query[j];
+    const uint64_t diff = a > b ? a - b : b - a;
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+uint64_t MaxSquaredDistance(size_t dims, uint64_t max_coord) {
+  return static_cast<uint64_t>(dims) * max_coord * max_coord;
+}
+
+}  // namespace data
+}  // namespace sknn

@@ -1,0 +1,63 @@
+#ifndef SKNN_DATA_DATASET_H_
+#define SKNN_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+
+// Integer datasets for k-NN. The paper preprocesses its UCI datasets to
+// non-negative integers; everything here is already in that form.
+
+namespace sknn {
+namespace data {
+
+// Row-major n x d matrix of non-negative integer features.
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(size_t num_points, size_t dims)
+      : num_points_(num_points), dims_(dims),
+        values_(num_points * dims, 0) {}
+
+  size_t num_points() const { return num_points_; }
+  size_t dims() const { return dims_; }
+
+  uint64_t at(size_t point, size_t dim) const {
+    return values_[point * dims_ + dim];
+  }
+  void set(size_t point, size_t dim, uint64_t v) {
+    values_[point * dims_ + dim] = v;
+  }
+  // One point as a vector.
+  std::vector<uint64_t> point(size_t i) const;
+
+  // Largest feature value present.
+  uint64_t MaxValue() const;
+
+  // Returns a copy rescaled so every value fits in [0, 2^bits): values are
+  // divided by the smallest power of two that brings the maximum under the
+  // bound. Relative order of distances is approximately preserved; exact
+  // k-NN correctness tests run on the scaled data.
+  Dataset QuantizeToBits(int bits) const;
+
+ private:
+  size_t num_points_ = 0;
+  size_t dims_ = 0;
+  std::vector<uint64_t> values_;
+};
+
+// Squared Euclidean distance between a dataset point and a query vector.
+uint64_t SquaredDistance(const Dataset& data, size_t point,
+                         const std::vector<uint64_t>& query);
+
+// Upper bound on any squared distance: d * max_coord^2 (both sides bounded
+// by max_coord).
+uint64_t MaxSquaredDistance(size_t dims, uint64_t max_coord);
+
+}  // namespace data
+}  // namespace sknn
+
+#endif  // SKNN_DATA_DATASET_H_

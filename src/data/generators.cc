@@ -1,0 +1,111 @@
+#include "data/generators.h"
+
+namespace sknn {
+namespace data {
+namespace {
+
+// Feature spec: values are sampled uniformly in [lo, hi] with probability
+// (1 - zero_prob), else 0 (simulating sparse/absent indicators).
+struct FeatureSpec {
+  uint64_t lo;
+  uint64_t hi;
+  double zero_prob;
+};
+
+Dataset FromSpecs(const std::vector<FeatureSpec>& specs, size_t num_points,
+                  uint64_t seed) {
+  Dataset out(num_points, specs.size());
+  Chacha20Rng rng(seed);
+  for (size_t i = 0; i < num_points; ++i) {
+    for (size_t j = 0; j < specs.size(); ++j) {
+      const FeatureSpec& f = specs[j];
+      if (f.zero_prob > 0 && rng.NextDouble() < f.zero_prob) {
+        out.set(i, j, 0);
+      } else {
+        out.set(i, j, rng.UniformInRange(f.lo, f.hi));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Dataset UniformDataset(size_t num_points, size_t dims, uint64_t max_value,
+                       uint64_t seed) {
+  Dataset out(num_points, dims);
+  Chacha20Rng rng(seed);
+  for (size_t i = 0; i < num_points; ++i) {
+    for (size_t j = 0; j < dims; ++j) {
+      out.set(i, j, rng.UniformInRange(0, max_value));
+    }
+  }
+  return out;
+}
+
+std::vector<uint64_t> UniformQuery(size_t dims, uint64_t max_value,
+                                   uint64_t seed) {
+  Chacha20Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+  std::vector<uint64_t> q(dims);
+  for (auto& v : q) v = rng.UniformInRange(0, max_value);
+  return q;
+}
+
+Dataset SimulatedCervicalCancer(uint64_t seed) {
+  // 32 features mirroring the UCI schema: age, sexual-history counts,
+  // smoking (years/packs), contraceptive use (years), STD counts, and a
+  // tail of binary diagnosis/test indicators.
+  std::vector<FeatureSpec> specs;
+  specs.push_back({13, 84, 0.0});   // age
+  specs.push_back({1, 28, 0.02});   // number of sexual partners
+  specs.push_back({10, 32, 0.02});  // first intercourse (age)
+  specs.push_back({0, 11, 0.0});    // number of pregnancies
+  specs.push_back({0, 1, 0.0});     // smokes
+  specs.push_back({0, 37, 0.55});   // smokes (years)
+  specs.push_back({0, 37, 0.55});   // smokes (packs/year)
+  specs.push_back({0, 1, 0.0});     // hormonal contraceptives
+  specs.push_back({0, 30, 0.35});   // hormonal contraceptives (years)
+  specs.push_back({0, 1, 0.0});     // IUD
+  specs.push_back({0, 19, 0.85});   // IUD (years)
+  specs.push_back({0, 1, 0.0});     // STDs
+  specs.push_back({0, 4, 0.85});    // STDs (number)
+  for (int i = 0; i < 12; ++i) {
+    specs.push_back({0, 1, 0.9});   // STD condition indicators
+  }
+  specs.push_back({0, 22, 0.9});    // time since first diagnosis
+  specs.push_back({0, 22, 0.9});    // time since last diagnosis
+  specs.push_back({0, 1, 0.85});    // Dx:Cancer
+  specs.push_back({0, 1, 0.85});    // Dx:CIN
+  specs.push_back({0, 1, 0.85});    // Dx:HPV
+  specs.push_back({0, 1, 0.9});     // Hinselmann test
+  specs.push_back({0, 1, 0.9});     // Schiller test
+  // == 32 features total.
+  Dataset d = FromSpecs(specs, 858, seed);
+  return d;
+}
+
+Dataset SimulatedCreditCard(uint64_t seed, size_t num_points) {
+  // 23 features mirroring the UCI schema: LIMIT_BAL, SEX, EDUCATION,
+  // MARRIAGE, AGE, six monthly repayment statuses, six bill amounts and
+  // six previous payment amounts. Monetary features are expressed in
+  // thousands (integers).
+  std::vector<FeatureSpec> specs;
+  specs.push_back({10, 1000, 0.0});  // LIMIT_BAL (thousands)
+  specs.push_back({1, 2, 0.0});      // SEX
+  specs.push_back({1, 4, 0.0});      // EDUCATION
+  specs.push_back({1, 3, 0.0});      // MARRIAGE
+  specs.push_back({21, 79, 0.0});    // AGE
+  for (int i = 0; i < 6; ++i) {
+    specs.push_back({0, 9, 0.4});    // PAY_i repayment status (shifted)
+  }
+  for (int i = 0; i < 6; ++i) {
+    specs.push_back({0, 960, 0.1});  // BILL_AMT_i (thousands)
+  }
+  for (int i = 0; i < 6; ++i) {
+    specs.push_back({0, 870, 0.25});  // PAY_AMT_i (thousands)
+  }
+  return FromSpecs(specs, num_points, seed);
+}
+
+}  // namespace data
+}  // namespace sknn

@@ -1,0 +1,41 @@
+#ifndef SKNN_DATA_GENERATORS_H_
+#define SKNN_DATA_GENERATORS_H_
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+// Dataset generators.
+//
+// The paper evaluates on two UCI datasets (cervical cancer risk factors:
+// 858 x 32; default of credit card clients: 30000 x 23) preprocessed to
+// non-negative integers, plus uniform synthetic data for the parameter
+// sweeps. The UCI files are not redistributable offline, so we generate
+// surrogates with the same shape (n, d) and realistic per-feature integer
+// ranges; the protocol's cost depends only on n, d, k and value magnitude,
+// and exactness is always checked against plaintext k-NN on the same data,
+// so the substitution preserves every reported behaviour.
+
+namespace sknn {
+namespace data {
+
+// Uniform synthetic data in [0, max_value] (the paper's simulation setup).
+Dataset UniformDataset(size_t num_points, size_t dims, uint64_t max_value,
+                       uint64_t seed);
+
+// A random query point in the same range.
+std::vector<uint64_t> UniformQuery(size_t dims, uint64_t max_value,
+                                   uint64_t seed);
+
+// Surrogate for "Cervical cancer (Risk Factors)": 858 points, 32 integer
+// features (demographics, habits, binary medical indicators).
+Dataset SimulatedCervicalCancer(uint64_t seed);
+
+// Surrogate for "default of credit card clients": 30000 points, 23 integer
+// features (credit amounts, demographics, bill/payment history).
+// `num_points` can shrink the dataset for scaled-down runs (default full).
+Dataset SimulatedCreditCard(uint64_t seed, size_t num_points = 30000);
+
+}  // namespace data
+}  // namespace sknn
+
+#endif  // SKNN_DATA_GENERATORS_H_

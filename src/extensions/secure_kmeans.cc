@@ -1,0 +1,343 @@
+#include "extensions/secure_kmeans.h"
+
+#include "common/logging.h"
+
+namespace sknn {
+namespace extensions {
+namespace {
+
+// Assigns a point to its nearest centroid index (strict <, ties to the
+// lowest index) given its k distance values.
+size_t ArgMin(const std::vector<uint64_t>& values) {
+  size_t best = 0;
+  for (size_t c = 1; c < values.size(); ++c) {
+    if (values[c] < values[best]) best = c;
+  }
+  return best;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<SecureKMeans>> SecureKMeans::Create(
+    const KMeansConfig& config, const data::Dataset& dataset) {
+  if (config.num_clusters < 1) {
+    return InvalidArgumentError("need at least one cluster");
+  }
+  if (config.num_clusters > dataset.num_points()) {
+    return InvalidArgumentError("more clusters than points");
+  }
+  if (dataset.dims() != config.dims) {
+    return InvalidArgumentError("dataset dimensionality mismatch");
+  }
+  const uint64_t bound = uint64_t{1} << config.coord_bits;
+  if (dataset.MaxValue() >= bound) {
+    return InvalidArgumentError("dataset values exceed coord_bits");
+  }
+
+  auto km = std::unique_ptr<SecureKMeans>(new SecureKMeans());
+  km->config_ = config;
+  km->dataset_ = dataset;
+  km->rng_ = std::make_unique<Chacha20Rng>(config.seed);
+
+  // Same pipeline depth as the packed k-NN layout.
+  core::ProtocolConfig pcfg;
+  pcfg.k = config.num_clusters;
+  pcfg.dims = config.dims;
+  pcfg.coord_bits = config.coord_bits;
+  pcfg.poly_degree = config.poly_degree;
+  pcfg.layout = core::Layout::kPacked;
+  pcfg.preset = config.preset;
+  pcfg.levels = pcfg.MinimumLevels();
+  SKNN_ASSIGN_OR_RETURN(bgv::BgvParams params, pcfg.MakeBgvParams());
+  SKNN_ASSIGN_OR_RETURN(km->ctx_, bgv::BgvContext::Create(params));
+  SKNN_ASSIGN_OR_RETURN(
+      km->layout_,
+      core::SlotLayout::Create(pcfg, km->ctx_->n(), dataset.num_points()));
+
+  // Cluster coordinate sums must fit the plaintext space.
+  const uint64_t max_dist =
+      data::MaxSquaredDistance(config.dims, bound - 1);
+  if (max_dist >= km->ctx_->t() ||
+      static_cast<uint64_t>(dataset.num_points()) * (bound - 1) >=
+          km->ctx_->t()) {
+    return InvalidArgumentError(
+        "plaintext modulus too small for distances or coordinate sums");
+  }
+
+  bgv::KeyGenerator keygen(km->ctx_, km->rng_.get());
+  km->sk_ = keygen.GenerateSecretKey();
+  km->pk_ = keygen.GeneratePublicKey(km->sk_);
+  km->rk_ = keygen.GenerateRelinKeys(km->sk_);
+  km->gk_ = keygen.GeneratePowerOfTwoRotationKeys(km->sk_);
+  km->encoder_ = std::make_unique<bgv::BatchEncoder>(km->ctx_);
+  km->encryptor_ =
+      std::make_unique<bgv::Encryptor>(km->ctx_, km->pk_, km->rng_.get());
+  km->decryptor_ = std::make_unique<bgv::Decryptor>(km->ctx_, km->sk_);
+  km->evaluator_ = std::make_unique<bgv::Evaluator>(km->ctx_);
+
+  // Encrypted database units (top level for distances, level 2 for sums).
+  for (size_t u = 0; u < km->layout_.num_units(); ++u) {
+    SKNN_ASSIGN_OR_RETURN(
+        bgv::Plaintext pt,
+        km->encoder_->Encode(km->layout_.EncodeDbUnit(dataset, u)));
+    SKNN_ASSIGN_OR_RETURN(bgv::Ciphertext ct, km->encryptor_->Encrypt(pt));
+    bgv::Ciphertext low = ct;
+    // The oblivious-sum phase multiplies and then folds with ~log2(slots)
+    // rotations; level 2 leaves enough budget for both (level 1 would only
+    // survive the multiplication).
+    SKNN_RETURN_IF_ERROR(km->evaluator_->ModSwitchToLevelInplace(&low, 2));
+    km->db_units_.push_back(std::move(ct));
+    km->db_units_low_.push_back(std::move(low));
+  }
+  return km;
+}
+
+Status SecureKMeans::Iterate(std::vector<std::vector<uint64_t>>* centroids,
+                             std::vector<size_t>* sizes) {
+  const size_t k = config_.num_clusters;
+  const size_t units = layout_.num_units();
+  const size_t ppu = layout_.payloads_per_unit();
+  const uint64_t t = ctx_->t();
+  const uint64_t max_dist = data::MaxSquaredDistance(
+      config_.dims, (uint64_t{1} << config_.coord_bits) - 1);
+
+  // Party A: one fresh mask for the whole iteration (values must stay
+  // comparable across centroids) and a fresh unit permutation.
+  SKNN_ASSIGN_OR_RETURN(
+      core::MaskingPolynomial mask,
+      core::MaskingPolynomial::Sample(t, max_dist, config_.poly_degree,
+                                      rng_.get()));
+  const std::vector<size_t> perm = rng_->RandomPermutation(units);
+  const std::vector<uint64_t>& a = mask.coefficients();
+  const size_t degree = mask.degree();
+
+  // masked[c][pos]: the distance unit for centroid c at permuted position.
+  std::vector<std::vector<bgv::Ciphertext>> masked(
+      k, std::vector<bgv::Ciphertext>(units));
+  for (size_t c = 0; c < k; ++c) {
+    // Client encrypts the centroid in the replicated query layout.
+    SKNN_ASSIGN_OR_RETURN(
+        bgv::Plaintext centroid_pt,
+        encoder_->Encode(layout_.EncodeQuery((*centroids)[c])));
+    SKNN_ASSIGN_OR_RETURN(bgv::Ciphertext centroid_ct,
+                          encryptor_->Encrypt(centroid_pt));
+    b_ops_.encryptions += 1;  // client-side, attributed to the key holder
+    for (size_t u = 0; u < units; ++u) {
+      bgv::Ciphertext diff = db_units_[u];
+      SKNN_RETURN_IF_ERROR(evaluator_->SubInplace(&diff, centroid_ct));
+      SKNN_ASSIGN_OR_RETURN(bgv::Ciphertext x,
+                            evaluator_->MultiplyRelin(diff, diff, rk_));
+      a_ops_.he_multiplications += 1;
+      if (layout_.padded_dims() > 1) {
+        SKNN_RETURN_IF_ERROR(
+            evaluator_->FoldRowsInplace(&x, layout_.padded_dims(), gk_));
+        a_ops_.rotations += 1;
+      }
+      SKNN_ASSIGN_OR_RETURN(bgv::Plaintext selector,
+                            encoder_->Encode(layout_.SelectorSlots(u)));
+      SKNN_RETURN_IF_ERROR(evaluator_->MultiplyPlainInplace(&x, selector));
+      SKNN_RETURN_IF_ERROR(evaluator_->ModSwitchToNextInplace(&x));
+      a_ops_.he_plain_ops += 1;
+      // Horner masking.
+      bgv::Ciphertext m_ct = x;
+      SKNN_RETURN_IF_ERROR(
+          evaluator_->MultiplyScalarInplace(&m_ct, a[degree]));
+      SKNN_RETURN_IF_ERROR(evaluator_->AddPlainInplace(
+          &m_ct, encoder_->EncodeScalar(a[degree - 1])));
+      for (size_t j = degree - 1; j-- > 0;) {
+        SKNN_ASSIGN_OR_RETURN(m_ct, evaluator_->MultiplyRelin(m_ct, x, rk_));
+        a_ops_.he_multiplications += 1;
+        SKNN_RETURN_IF_ERROR(evaluator_->AddPlainInplace(
+            &m_ct, encoder_->EncodeScalar(a[j])));
+      }
+      if (m_ct.level > 1) {
+        SKNN_RETURN_IF_ERROR(evaluator_->ModSwitchToLevelInplace(&m_ct, 1));
+      }
+      // Additive mask: random on non-payload slots, sentinel on pads.
+      std::vector<uint64_t> mask_slots(ctx_->n(), 0);
+      const std::vector<bool> rand_pos = layout_.RandomMaskPositions(u);
+      for (size_t s = 0; s < mask_slots.size(); ++s) {
+        if (rand_pos[s]) mask_slots[s] = rng_->UniformBelow(t);
+      }
+      const uint64_t pad_sentinel = SubMod(t - 1, a[0] % t, t);
+      for (size_t s : layout_.PaddingPayloadSlots(u)) {
+        mask_slots[s] = pad_sentinel;
+      }
+      SKNN_ASSIGN_OR_RETURN(bgv::Plaintext mask_pt,
+                            encoder_->Encode(mask_slots));
+      SKNN_RETURN_IF_ERROR(evaluator_->AddPlainInplace(&m_ct, mask_pt));
+      SKNN_RETURN_IF_ERROR(evaluator_->ModSwitchToLevelInplace(&m_ct, 0));
+      a_ops_.mod_switches += 1;
+      masked[c][u] = std::move(m_ct);
+    }
+    // Apply the permutation to the unit order.
+    std::vector<bgv::Ciphertext> permuted(units);
+    for (size_t pos = 0; pos < units; ++pos) {
+      permuted[pos] = std::move(masked[c][perm[pos]]);
+    }
+    masked[c] = std::move(permuted);
+  }
+
+  // Party B: decrypt, assign each (permuted) point to its nearest
+  // centroid; padding payloads show the sentinel for every centroid.
+  std::vector<std::vector<std::vector<uint64_t>>> indicators(
+      k, std::vector<std::vector<uint64_t>>(
+             units, std::vector<uint64_t>(ctx_->n(), 0)));
+  std::vector<size_t> cluster_sizes(k, 0);
+  for (size_t pos = 0; pos < units; ++pos) {
+    std::vector<std::vector<uint64_t>> per_centroid(k);
+    for (size_t c = 0; c < k; ++c) {
+      SKNN_ASSIGN_OR_RETURN(bgv::Plaintext pt,
+                            decryptor_->Decrypt(masked[c][pos]));
+      b_ops_.decryptions += 1;
+      per_centroid[c] = encoder_->Decode(pt);
+    }
+    for (size_t p = 0; p < ppu; ++p) {
+      const size_t slot = layout_.PayloadSlot(p);
+      std::vector<uint64_t> values(k);
+      bool all_sentinel = true;
+      for (size_t c = 0; c < k; ++c) {
+        values[c] = per_centroid[c][slot];
+        if (values[c] != t - 1) all_sentinel = false;
+      }
+      if (all_sentinel) continue;  // padding payload
+      const size_t assigned = ArgMin(values);
+      ++cluster_sizes[assigned];
+      const std::vector<uint64_t> block = layout_.IndicatorSlots(p);
+      for (size_t s = 0; s < block.size(); ++s) {
+        if (block[s]) indicators[assigned][pos][s] = 1;
+      }
+    }
+  }
+
+  // Party B encrypts the per-cluster indicator units; Party A forms the
+  // oblivious per-cluster coordinate sums.
+  std::vector<std::vector<uint64_t>> sums(
+      k, std::vector<uint64_t>(config_.dims, 0));
+  for (size_t c = 0; c < k; ++c) {
+    bgv::Ciphertext acc;
+    bool started = false;
+    for (size_t pos = 0; pos < units; ++pos) {
+      SKNN_ASSIGN_OR_RETURN(bgv::Plaintext ind_pt,
+                            encoder_->Encode(indicators[c][pos]));
+      SKNN_ASSIGN_OR_RETURN(bgv::Ciphertext ind_ct,
+                            encryptor_->EncryptAtLevel(ind_pt, 2));
+      b_ops_.encryptions += 1;
+      // A multiplies with the unpermuted database unit.
+      SKNN_ASSIGN_OR_RETURN(
+          bgv::Ciphertext prod,
+          evaluator_->Multiply(db_units_low_[perm[pos]], ind_ct));
+      a_ops_.he_multiplications += 1;
+      if (!started) {
+        acc = std::move(prod);
+        started = true;
+      } else {
+        SKNN_RETURN_IF_ERROR(evaluator_->AddInplace(&acc, prod));
+        a_ops_.he_additions += 1;
+      }
+    }
+    SKNN_RETURN_IF_ERROR(evaluator_->RelinearizeInplace(&acc, rk_));
+    a_ops_.relinearizations += 1;
+    // Fold all blocks onto block 0 (dimension-aligned strides), then merge
+    // the two rows.
+    for (size_t step = layout_.padded_dims(); step < layout_.row_size();
+         step <<= 1) {
+      bgv::Ciphertext rotated = acc;
+      SKNN_RETURN_IF_ERROR(evaluator_->RotateRowsInplace(
+          &rotated, static_cast<int>(step), gk_));
+      SKNN_RETURN_IF_ERROR(evaluator_->AddInplace(&acc, rotated));
+      a_ops_.rotations += 1;
+    }
+    {
+      bgv::Ciphertext swapped = acc;
+      SKNN_RETURN_IF_ERROR(evaluator_->RotateColumnsInplace(&swapped, gk_));
+      SKNN_RETURN_IF_ERROR(evaluator_->AddInplace(&acc, swapped));
+      a_ops_.rotations += 1;
+    }
+    SKNN_RETURN_IF_ERROR(evaluator_->ModSwitchToLevelInplace(&acc, 0));
+    // Client decrypts the sums from block 0 of row 0.
+    SKNN_ASSIGN_OR_RETURN(bgv::Plaintext pt, decryptor_->Decrypt(acc));
+    b_ops_.decryptions += 1;
+    const std::vector<uint64_t> slots = encoder_->Decode(pt);
+    for (size_t j = 0; j < config_.dims; ++j) sums[c][j] = slots[j];
+  }
+
+  // Client: next centroids = floor(sum / size); empty clusters persist.
+  for (size_t c = 0; c < k; ++c) {
+    if (cluster_sizes[c] == 0) continue;
+    for (size_t j = 0; j < config_.dims; ++j) {
+      (*centroids)[c][j] = sums[c][j] / cluster_sizes[c];
+    }
+  }
+  *sizes = cluster_sizes;
+  return Status::Ok();
+}
+
+StatusOr<KMeansResult> SecureKMeans::Run(
+    std::vector<std::vector<uint64_t>> initial_centroids) {
+  std::vector<std::vector<uint64_t>> centroids = std::move(initial_centroids);
+  if (centroids.empty()) {
+    for (size_t c = 0; c < config_.num_clusters; ++c) {
+      centroids.push_back(dataset_.point(c));
+    }
+  }
+  if (centroids.size() != config_.num_clusters) {
+    return InvalidArgumentError("wrong number of initial centroids");
+  }
+  for (const auto& c : centroids) {
+    if (c.size() != config_.dims) {
+      return InvalidArgumentError("centroid dimensionality mismatch");
+    }
+  }
+  KMeansResult result;
+  std::vector<size_t> sizes(config_.num_clusters, 0);
+  for (size_t it = 0; it < config_.iterations; ++it) {
+    std::vector<std::vector<uint64_t>> before = centroids;
+    SKNN_RETURN_IF_ERROR(Iterate(&centroids, &sizes));
+    ++result.iterations_run;
+    if (centroids == before) break;  // converged
+  }
+  result.centroids = std::move(centroids);
+  result.sizes = std::move(sizes);
+  result.party_a_ops = a_ops_;
+  result.party_b_ops = b_ops_;
+  return result;
+}
+
+std::vector<std::vector<uint64_t>> SecureKMeans::ReferenceLloyd(
+    const data::Dataset& dataset,
+    std::vector<std::vector<uint64_t>> centroids, size_t iterations,
+    std::vector<size_t>* final_sizes) {
+  const size_t k = centroids.size();
+  std::vector<size_t> sizes(k, 0);
+  for (size_t it = 0; it < iterations; ++it) {
+    std::vector<std::vector<uint64_t>> sums(
+        k, std::vector<uint64_t>(dataset.dims(), 0));
+    sizes.assign(k, 0);
+    for (size_t i = 0; i < dataset.num_points(); ++i) {
+      std::vector<uint64_t> distances(k);
+      for (size_t c = 0; c < k; ++c) {
+        distances[c] = data::SquaredDistance(dataset, i, centroids[c]);
+      }
+      const size_t assigned = ArgMin(distances);
+      ++sizes[assigned];
+      for (size_t j = 0; j < dataset.dims(); ++j) {
+        sums[assigned][j] += dataset.at(i, j);
+      }
+    }
+    std::vector<std::vector<uint64_t>> next = centroids;
+    for (size_t c = 0; c < k; ++c) {
+      if (sizes[c] == 0) continue;
+      for (size_t j = 0; j < dataset.dims(); ++j) {
+        next[c][j] = sums[c][j] / sizes[c];
+      }
+    }
+    if (next == centroids) break;
+    centroids = std::move(next);
+  }
+  if (final_sizes != nullptr) *final_sizes = sizes;
+  return centroids;
+}
+
+}  // namespace extensions
+}  // namespace sknn

@@ -1,0 +1,116 @@
+#ifndef SKNN_EXTENSIONS_SECURE_KMEANS_H_
+#define SKNN_EXTENSIONS_SECURE_KMEANS_H_
+
+#include <memory>
+#include <vector>
+
+#include "bgv/context.h"
+#include "bgv/decryptor.h"
+#include "bgv/encoder.h"
+#include "bgv/encryptor.h"
+#include "bgv/evaluator.h"
+#include "bgv/keys.h"
+#include "common/rng.h"
+#include "core/layout.h"
+#include "core/masking.h"
+#include "core/metrics.h"
+#include "core/protocol_config.h"
+#include "data/dataset.h"
+
+// Secure k-means clustering over encrypted data — the extension the paper
+// names as future work ("we plan to extend our work to other data mining
+// algorithms, including k-Means"). Built from the same ingredients as the
+// k-NN protocol, in the same two-cloud model:
+//
+// Each Lloyd iteration:
+//   1. The client encrypts the current centroids (replicated slot layout).
+//   2. Party A homomorphically computes, per centroid, the masked squared
+//      distances to every point — the same fresh monotone polynomial for
+//      all centroids of the iteration (so Party B can compare them) and a
+//      fresh point permutation.
+//   3. Party B decrypts, assigns every (permuted) point to its nearest
+//      centroid, and returns per-cluster encrypted indicator units.
+//   4. Party A computes per-cluster encrypted coordinate sums obliviously
+//      (indicator products + a rotation fold); Party B reveals only the
+//      cluster sizes.
+//   5. The client decrypts the sums and derives the next integer centroids
+//      (floor division; empty clusters keep their centroid).
+//
+// Leakage beyond the k-NN protocol (documented): Party B learns the
+// partition structure of the *permuted* points within one iteration and
+// the cluster sizes. Fresh permutations prevent linking across iterations.
+// The final centroids are exact: they equal the plaintext Lloyd iteration
+// with identical integer rounding, which is what the tests assert.
+
+namespace sknn {
+namespace extensions {
+
+struct KMeansConfig {
+  size_t num_clusters = 2;
+  size_t iterations = 5;
+  int coord_bits = 4;
+  size_t poly_degree = 2;
+  size_t dims = 2;
+  bgv::SecurityPreset preset = bgv::SecurityPreset::kToy;
+  uint64_t seed = 1;
+};
+
+struct KMeansResult {
+  // Final centroids (integer coordinates).
+  std::vector<std::vector<uint64_t>> centroids;
+  // Cluster sizes after the final assignment.
+  std::vector<size_t> sizes;
+  size_t iterations_run = 0;
+  core::OpCounts party_a_ops;
+  core::OpCounts party_b_ops;
+};
+
+class SecureKMeans {
+ public:
+  static StatusOr<std::unique_ptr<SecureKMeans>> Create(
+      const KMeansConfig& config, const data::Dataset& dataset);
+
+  // Runs Lloyd iterations from the given initial centroids (defaults to
+  // the first num_clusters dataset points when empty). Stops early when
+  // centroids are stable.
+  StatusOr<KMeansResult> Run(
+      std::vector<std::vector<uint64_t>> initial_centroids = {});
+
+  // Plaintext reference with the identical update rule (floor division,
+  // ties to the lowest centroid index); used by tests and examples to
+  // verify exactness.
+  static std::vector<std::vector<uint64_t>> ReferenceLloyd(
+      const data::Dataset& dataset,
+      std::vector<std::vector<uint64_t>> centroids, size_t iterations,
+      std::vector<size_t>* final_sizes = nullptr);
+
+ private:
+  SecureKMeans() = default;
+
+  // One secure iteration: returns the next centroids and cluster sizes.
+  Status Iterate(std::vector<std::vector<uint64_t>>* centroids,
+                 std::vector<size_t>* sizes);
+
+  KMeansConfig config_;
+  data::Dataset dataset_;
+  std::shared_ptr<const bgv::BgvContext> ctx_;
+  core::SlotLayout layout_;
+  std::unique_ptr<Chacha20Rng> rng_;
+  bgv::SecretKey sk_;
+  bgv::PublicKey pk_;
+  bgv::RelinKeys rk_;
+  bgv::GaloisKeys gk_;
+  std::unique_ptr<bgv::BatchEncoder> encoder_;
+  std::unique_ptr<bgv::Encryptor> encryptor_;
+  std::unique_ptr<bgv::Decryptor> decryptor_;
+  std::unique_ptr<bgv::Evaluator> evaluator_;
+  std::vector<bgv::Ciphertext> db_units_;      // top level (distances)
+  std::vector<bgv::Ciphertext> db_units_low_;  // indicator level (sums)
+  core::OpCounts a_ops_;
+  core::OpCounts b_ops_;
+};
+
+}  // namespace extensions
+}  // namespace sknn
+
+#endif  // SKNN_EXTENSIONS_SECURE_KMEANS_H_

@@ -1,0 +1,56 @@
+#include "knn/knn.h"
+
+#include <algorithm>
+
+namespace sknn {
+namespace knn {
+
+StatusOr<std::vector<Neighbor>> PlaintextKnn(const data::Dataset& data,
+                                             const std::vector<uint64_t>& query,
+                                             size_t k) {
+  if (query.size() != data.dims()) {
+    return InvalidArgumentError("query dimension mismatch");
+  }
+  if (k == 0) return InvalidArgumentError("k must be positive");
+  k = std::min(k, data.num_points());
+  std::vector<Neighbor> all(data.num_points());
+  for (size_t i = 0; i < data.num_points(); ++i) {
+    all[i] = {i, data::SquaredDistance(data, i, query)};
+  }
+  std::partial_sort(all.begin(), all.begin() + static_cast<long>(k), all.end(),
+                    [](const Neighbor& a, const Neighbor& b) {
+                      if (a.squared_distance != b.squared_distance) {
+                        return a.squared_distance < b.squared_distance;
+                      }
+                      return a.index < b.index;
+                    });
+  all.resize(k);
+  return all;
+}
+
+std::vector<size_t> SelectKSmallest(const std::vector<uint64_t>& values,
+                                    size_t k) {
+  k = std::min(k, values.size());
+  if (k == 0) return {};
+  std::vector<uint64_t> nn(k);
+  std::vector<size_t> nn_index(k);
+  for (size_t i = 0; i < k; ++i) {
+    nn[i] = values[i];
+    nn_index[i] = i;
+  }
+  for (size_t i = k; i < values.size(); ++i) {
+    // Find the current maximum in the window.
+    size_t max_pos = 0;
+    for (size_t j = 1; j < k; ++j) {
+      if (nn[j] > nn[max_pos]) max_pos = j;
+    }
+    if (values[i] < nn[max_pos]) {
+      nn[max_pos] = values[i];
+      nn_index[max_pos] = i;
+    }
+  }
+  return nn_index;
+}
+
+}  // namespace knn
+}  // namespace sknn

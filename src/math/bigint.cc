@@ -1,0 +1,633 @@
+#include "math/bigint.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/u128.h"
+#include "math/mod_arith.h"
+
+namespace sknn {
+
+BigUint::BigUint(uint64_t v) {
+  if (v != 0) limbs_.push_back(v);
+}
+
+BigUint::BigUint(std::vector<uint64_t> limbs) : limbs_(std::move(limbs)) {
+  Normalize();
+}
+
+void BigUint::Normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+StatusOr<BigUint> BigUint::FromDecimal(const std::string& s) {
+  if (s.empty()) return InvalidArgumentError("empty decimal string");
+  BigUint result;
+  const BigUint ten(10);
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return InvalidArgumentError("invalid decimal digit");
+    }
+    result = Add(Mul(result, ten), BigUint(static_cast<uint64_t>(c - '0')));
+  }
+  return result;
+}
+
+size_t BigUint::BitLength() const {
+  if (limbs_.empty()) return 0;
+  uint64_t top = limbs_.back();
+  size_t bits = (limbs_.size() - 1) * 64;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigUint::GetBit(size_t i) const {
+  size_t limb = i / 64;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 64)) & 1;
+}
+
+uint64_t BigUint::ToU64() const {
+  SKNN_CHECK_LE(limbs_.size(), 1u);
+  return limbs_.empty() ? 0 : limbs_[0];
+}
+
+std::string BigUint::ToDecimal() const {
+  if (IsZero()) return "0";
+  BigUint v = *this;
+  const BigUint base(10000000000000000000ull);  // 10^19
+  std::string out;
+  while (!v.IsZero()) {
+    BigUint q, r;
+    DivMod(v, base, &q, &r);
+    uint64_t chunk = r.IsZero() ? 0 : r.limbs_[0];
+    for (int i = 0; i < 19; ++i) {
+      out.push_back(static_cast<char>('0' + chunk % 10));
+      chunk /= 10;
+    }
+    v = q;
+  }
+  while (out.size() > 1 && out.back() == '0') out.pop_back();
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+int BigUint::Compare(const BigUint& a, const BigUint& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigUint BigUint::Add(const BigUint& a, const BigUint& b) {
+  const std::vector<uint64_t>& x = a.limbs_;
+  const std::vector<uint64_t>& y = b.limbs_;
+  std::vector<uint64_t> out(std::max(x.size(), y.size()) + 1, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < out.size() - 1; ++i) {
+    uint128_t s = static_cast<uint128_t>(i < x.size() ? x[i] : 0) +
+                  (i < y.size() ? y[i] : 0) + carry;
+    out[i] = Low64(s);
+    carry = High64(s);
+  }
+  out.back() = carry;
+  return BigUint(std::move(out));
+}
+
+BigUint BigUint::Sub(const BigUint& a, const BigUint& b) {
+  SKNN_CHECK(Compare(a, b) >= 0);
+  std::vector<uint64_t> out(a.limbs_.size(), 0);
+  uint128_t br = 0;
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    uint128_t bi = (i < b.limbs_.size() ? b.limbs_[i] : 0);
+    uint128_t lhs = a.limbs_[i];
+    uint128_t rhs = bi + br;
+    if (lhs >= rhs) {
+      out[i] = Low64(lhs - rhs);
+      br = 0;
+    } else {
+      out[i] = Low64((Make128(1, 0) + lhs) - rhs);
+      br = 1;
+    }
+  }
+  return BigUint(std::move(out));
+}
+
+namespace {
+
+using Limbs = std::vector<uint64_t>;
+
+// Schoolbook product of raw limb vectors (out sized a+b).
+Limbs MulSchoolbook(const Limbs& a, const Limbs& b) {
+  Limbs out(a.size() + b.size(), 0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint64_t carry = 0;
+    const uint64_t ai = a[i];
+    for (size_t j = 0; j < b.size(); ++j) {
+      uint128_t cur = Mul64To128(ai, b[j]) + out[i + j] + carry;
+      out[i + j] = Low64(cur);
+      carry = High64(cur);
+    }
+    size_t k = i + b.size();
+    while (carry != 0) {
+      uint128_t cur = static_cast<uint128_t>(out[k]) + carry;
+      out[k] = Low64(cur);
+      carry = High64(cur);
+      ++k;
+    }
+  }
+  return out;
+}
+
+Limbs AddLimbs(const Limbs& a, const Limbs& b) {
+  Limbs out(std::max(a.size(), b.size()) + 1, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i + 1 < out.size(); ++i) {
+    uint128_t s = static_cast<uint128_t>(i < a.size() ? a[i] : 0) +
+                  (i < b.size() ? b[i] : 0) + carry;
+    out[i] = Low64(s);
+    carry = High64(s);
+  }
+  out.back() = carry;
+  return out;
+}
+
+// a -= b in place; requires a >= b as integers.
+void SubLimbsInplace(Limbs* a, const Limbs& b) {
+  uint128_t borrow = 0;
+  for (size_t i = 0; i < a->size(); ++i) {
+    uint128_t rhs = (i < b.size() ? b[i] : 0) + borrow;
+    uint128_t lhs = (*a)[i];
+    if (lhs >= rhs) {
+      (*a)[i] = Low64(lhs - rhs);
+      borrow = 0;
+    } else {
+      (*a)[i] = Low64((Make128(1, 0) + lhs) - rhs);
+      borrow = 1;
+    }
+  }
+}
+
+// out += src << (64 * shift_limbs), out pre-sized large enough.
+void AddShiftedInplace(Limbs* out, const Limbs& src, size_t shift_limbs) {
+  uint64_t carry = 0;
+  size_t i = 0;
+  for (; i < src.size(); ++i) {
+    uint128_t s = static_cast<uint128_t>((*out)[shift_limbs + i]) + src[i] +
+                  carry;
+    (*out)[shift_limbs + i] = Low64(s);
+    carry = High64(s);
+  }
+  while (carry != 0) {
+    uint128_t s = static_cast<uint128_t>((*out)[shift_limbs + i]) + carry;
+    (*out)[shift_limbs + i] = Low64(s);
+    carry = High64(s);
+    ++i;
+  }
+}
+
+// Karatsuba threshold in limbs (~2048 bits); below it schoolbook wins.
+constexpr size_t kKaratsubaLimbs = 24;
+
+Limbs MulRecursive(const Limbs& a, const Limbs& b) {
+  if (a.empty() || b.empty()) return {};
+  if (std::min(a.size(), b.size()) < kKaratsubaLimbs) {
+    return MulSchoolbook(a, b);
+  }
+  // Split both at m limbs: x = x1*B^m + x0.
+  const size_t m = std::max(a.size(), b.size()) / 2;
+  auto lo = [&](const Limbs& x) {
+    return Limbs(x.begin(), x.begin() + static_cast<long>(
+                                            std::min(m, x.size())));
+  };
+  auto hi = [&](const Limbs& x) {
+    return x.size() > m
+               ? Limbs(x.begin() + static_cast<long>(m), x.end())
+               : Limbs{};
+  };
+  Limbs a0 = lo(a), a1 = hi(a), b0 = lo(b), b1 = hi(b);
+  Limbs z0 = MulRecursive(a0, b0);
+  Limbs z2 = MulRecursive(a1, b1);
+  Limbs mid = MulRecursive(AddLimbs(a0, a1), AddLimbs(b0, b1));
+  SubLimbsInplace(&mid, z0);
+  SubLimbsInplace(&mid, z2);
+  Limbs out(a.size() + b.size() + 1, 0);
+  AddShiftedInplace(&out, z0, 0);
+  AddShiftedInplace(&out, mid, m);
+  AddShiftedInplace(&out, z2, 2 * m);
+  return out;
+}
+
+}  // namespace
+
+BigUint BigUint::Mul(const BigUint& a, const BigUint& b) {
+  if (a.IsZero() || b.IsZero()) return BigUint();
+  return BigUint(MulRecursive(a.limbs_, b.limbs_));
+}
+
+BigUint BigUint::ShiftLeft(size_t bits) const {
+  if (IsZero() || bits == 0) return bits == 0 ? *this : BigUint(limbs_);
+  const size_t limb_shift = bits / 64;
+  const size_t bit_shift = bits % 64;
+  std::vector<uint64_t> out(limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    out[i + limb_shift] |= bit_shift == 0 ? limbs_[i] : (limbs_[i] << bit_shift);
+    if (bit_shift != 0) {
+      out[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+    }
+  }
+  return BigUint(std::move(out));
+}
+
+BigUint BigUint::ShiftRight(size_t bits) const {
+  const size_t limb_shift = bits / 64;
+  const size_t bit_shift = bits % 64;
+  if (limb_shift >= limbs_.size()) return BigUint();
+  std::vector<uint64_t> out(limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < out.size(); ++i) {
+    uint64_t lo = limbs_[i + limb_shift];
+    uint64_t hi = (i + limb_shift + 1 < limbs_.size()) ? limbs_[i + limb_shift + 1] : 0;
+    out[i] = bit_shift == 0 ? lo : ((lo >> bit_shift) | (hi << (64 - bit_shift)));
+  }
+  return BigUint(std::move(out));
+}
+
+void BigUint::DivMod(const BigUint& a, const BigUint& b, BigUint* quotient,
+                     BigUint* remainder) {
+  SKNN_CHECK(!b.IsZero());
+  if (Compare(a, b) < 0) {
+    *quotient = BigUint();
+    *remainder = a;
+    return;
+  }
+  if (b.limbs_.size() == 1) {
+    // Single-limb fast path.
+    const uint64_t d = b.limbs_[0];
+    std::vector<uint64_t> q(a.limbs_.size(), 0);
+    uint128_t rem = 0;
+    for (size_t i = a.limbs_.size(); i-- > 0;) {
+      uint128_t cur = (rem << 64) | a.limbs_[i];
+      q[i] = static_cast<uint64_t>(cur / d);
+      rem = cur % d;
+    }
+    *quotient = BigUint(std::move(q));
+    *remainder = BigUint(static_cast<uint64_t>(rem));
+    return;
+  }
+  // Knuth Algorithm D. Normalize so the top limb of the divisor has its
+  // high bit set.
+  size_t shift = 0;
+  uint64_t top = b.limbs_.back();
+  while ((top & (uint64_t{1} << 63)) == 0) {
+    top <<= 1;
+    ++shift;
+  }
+  BigUint u = a.ShiftLeft(shift);
+  BigUint v = b.ShiftLeft(shift);
+  const size_t n = v.limbs_.size();
+  const size_t m = u.limbs_.size() >= n ? u.limbs_.size() - n : 0;
+  std::vector<uint64_t> un(u.limbs_);
+  un.resize(m + n + 1, 0);
+  const std::vector<uint64_t>& vn = v.limbs_;
+  std::vector<uint64_t> q(m + 1, 0);
+
+  for (size_t j = m + 1; j-- > 0;) {
+    // Estimate q_hat = (un[j+n]*B + un[j+n-1]) / vn[n-1].
+    uint128_t numerator = Make128(un[j + n], un[j + n - 1]);
+    uint128_t q_hat = numerator / vn[n - 1];
+    uint128_t r_hat = numerator % vn[n - 1];
+    while (q_hat > UINT64_MAX ||
+           (Mul64To128(static_cast<uint64_t>(q_hat), vn[n - 2]) >
+            ((r_hat << 64) | un[j + n - 2]))) {
+      q_hat -= 1;
+      r_hat += vn[n - 1];
+      if (r_hat > UINT64_MAX) break;
+    }
+    // Multiply and subtract: un[j..j+n] -= q_hat * vn.
+    uint64_t qh = static_cast<uint64_t>(q_hat);
+    uint128_t borrow = 0;
+    uint64_t carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+      uint128_t p = Mul64To128(qh, vn[i]) + carry;
+      carry = High64(p);
+      uint64_t plo = Low64(p);
+      uint128_t sub = static_cast<uint128_t>(plo) + Low64(borrow);
+      if (static_cast<uint128_t>(un[i + j]) >= sub) {
+        un[i + j] = static_cast<uint64_t>(un[i + j] - Low64(sub));
+        borrow = 0;
+      } else {
+        un[i + j] = Low64((Make128(1, 0) + un[i + j]) - sub);
+        borrow = 1;
+      }
+    }
+    uint128_t sub = static_cast<uint128_t>(carry) + Low64(borrow);
+    bool negative = static_cast<uint128_t>(un[j + n]) < sub;
+    un[j + n] = Low64(static_cast<uint128_t>(un[j + n]) - sub +
+                      (negative ? Make128(1, 0) : uint128_t{0}));
+    if (negative) {
+      // q_hat was one too large: add back.
+      qh -= 1;
+      uint64_t c = 0;
+      for (size_t i = 0; i < n; ++i) {
+        uint128_t s = static_cast<uint128_t>(un[i + j]) + vn[i] + c;
+        un[i + j] = Low64(s);
+        c = High64(s);
+      }
+      un[j + n] += c;
+    }
+    q[j] = qh;
+  }
+  *quotient = BigUint(std::move(q));
+  std::vector<uint64_t> rem(un.begin(), un.begin() + static_cast<long>(n));
+  *remainder = BigUint(std::move(rem)).ShiftRight(shift);
+}
+
+BigUint BigUint::Mod(const BigUint& a, const BigUint& m) {
+  BigUint q, r;
+  DivMod(a, m, &q, &r);
+  return r;
+}
+
+BigUint BigUint::AddMod(const BigUint& a, const BigUint& b, const BigUint& m) {
+  return Mod(Add(a, b), m);
+}
+
+BigUint BigUint::SubMod(const BigUint& a, const BigUint& b, const BigUint& m) {
+  BigUint am = Mod(a, m);
+  BigUint bm = Mod(b, m);
+  if (Compare(am, bm) >= 0) return Sub(am, bm);
+  return Sub(Add(am, m), bm);
+}
+
+BigUint BigUint::MulMod(const BigUint& a, const BigUint& b, const BigUint& m) {
+  return Mod(Mul(a, b), m);
+}
+
+BigUint BigUint::PowMod(const BigUint& a, const BigUint& e, const BigUint& m) {
+  SKNN_CHECK(!m.IsZero());
+  if (m.limbs().size() == 1 && m.limbs()[0] == 1) return BigUint();
+  if (m.IsOdd()) {
+    MontgomeryCtx ctx(m);
+    return ctx.PowMod(a, e);
+  }
+  // Generic square-and-multiply for even moduli (rare path).
+  BigUint base = Mod(a, m);
+  BigUint result(1);
+  const size_t bits = e.BitLength();
+  for (size_t i = bits; i-- > 0;) {
+    result = MulMod(result, result, m);
+    if (e.GetBit(i)) result = MulMod(result, base, m);
+  }
+  return result;
+}
+
+BigUint BigUint::Gcd(BigUint a, BigUint b) {
+  while (!b.IsZero()) {
+    BigUint r = Mod(a, b);
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+BigUint BigUint::Lcm(const BigUint& a, const BigUint& b) {
+  if (a.IsZero() || b.IsZero()) return BigUint();
+  BigUint g = Gcd(a, b);
+  BigUint q, r;
+  DivMod(a, g, &q, &r);
+  return Mul(q, b);
+}
+
+StatusOr<BigUint> BigUint::InvMod(const BigUint& a, const BigUint& m) {
+  // Extended Euclid over signed values represented as (negative?, magnitude).
+  struct Signed {
+    bool neg = false;
+    BigUint mag;
+  };
+  auto sub_signed = [](const Signed& x, const Signed& y) {
+    // x - y
+    Signed r;
+    if (x.neg == y.neg) {
+      if (Compare(x.mag, y.mag) >= 0) {
+        r.mag = Sub(x.mag, y.mag);
+        r.neg = x.neg;
+      } else {
+        r.mag = Sub(y.mag, x.mag);
+        r.neg = !x.neg;
+      }
+    } else {
+      r.mag = Add(x.mag, y.mag);
+      r.neg = x.neg;
+    }
+    if (r.mag.IsZero()) r.neg = false;
+    return r;
+  };
+  auto mul_signed = [](const Signed& x, const BigUint& k) {
+    Signed r;
+    r.mag = Mul(x.mag, k);
+    r.neg = x.neg && !r.mag.IsZero();
+    return r;
+  };
+
+  BigUint old_r = Mod(a, m);
+  BigUint r = m;
+  Signed old_s{false, BigUint(1)};
+  Signed s{false, BigUint()};
+  while (!r.IsZero()) {
+    BigUint q, rem;
+    DivMod(old_r, r, &q, &rem);
+    BigUint next_r = rem;
+    Signed next_s = sub_signed(old_s, mul_signed(s, q));
+    old_r = r;
+    r = next_r;
+    old_s = s;
+    s = next_s;
+  }
+  if (!(old_r.limbs().size() == 1 && old_r.limbs()[0] == 1)) {
+    return InvalidArgumentError("InvMod: inputs are not coprime");
+  }
+  BigUint inv = Mod(old_s.mag, m);
+  if (old_s.neg && !inv.IsZero()) inv = Sub(m, inv);
+  return inv;
+}
+
+BigUint BigUint::RandomBits(size_t bits, Chacha20Rng* rng) {
+  SKNN_CHECK_GE(bits, 1u);
+  const size_t limbs = (bits + 63) / 64;
+  std::vector<uint64_t> out(limbs);
+  for (size_t i = 0; i < limbs; ++i) out[i] = rng->NextU64();
+  const size_t top_bits = bits - (limbs - 1) * 64;
+  if (top_bits < 64) out.back() &= (uint64_t{1} << top_bits) - 1;
+  out.back() |= uint64_t{1} << (top_bits - 1);  // force exact bit length
+  return BigUint(std::move(out));
+}
+
+BigUint BigUint::RandomBelow(const BigUint& bound, Chacha20Rng* rng) {
+  SKNN_CHECK(!bound.IsZero());
+  const size_t bits = bound.BitLength();
+  const size_t limbs = (bits + 63) / 64;
+  const size_t top_bits = bits - (limbs - 1) * 64;
+  for (;;) {
+    std::vector<uint64_t> out(limbs);
+    for (size_t i = 0; i < limbs; ++i) out[i] = rng->NextU64();
+    if (top_bits < 64) out.back() &= (uint64_t{1} << top_bits) - 1;
+    BigUint candidate(std::move(out));
+    if (Compare(candidate, bound) < 0) return candidate;
+  }
+}
+
+bool BigUint::IsProbablePrime(const BigUint& n, Chacha20Rng* rng, int rounds) {
+  if (n.limbs().size() == 1) {
+    uint64_t v = n.limbs()[0];
+    if (v < 2) return false;
+    for (uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull}) {
+      if (v % p == 0) return v == p;
+    }
+  }
+  if (n.IsZero() || !n.IsOdd()) return false;
+  // Trial division by small primes.
+  for (uint64_t p : {3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull,
+                     29ull, 31ull, 37ull, 41ull, 43ull, 47ull, 53ull, 59ull,
+                     61ull, 67ull, 71ull, 73ull, 79ull, 83ull, 89ull, 97ull}) {
+    if (n.ModU64(p) == 0) {
+      return n.limbs().size() == 1 && n.limbs()[0] == p;
+    }
+  }
+  const BigUint one(1);
+  const BigUint n_minus_1 = Sub(n, one);
+  // n-1 = d * 2^r
+  size_t r = 0;
+  BigUint d = n_minus_1;
+  while (!d.IsOdd()) {
+    d = d.ShiftRight(1);
+    ++r;
+  }
+  MontgomeryCtx ctx(n);
+  for (int round = 0; round < rounds; ++round) {
+    BigUint a = Add(RandomBelow(Sub(n, BigUint(3)), rng), BigUint(2));
+    BigUint x = ctx.PowMod(a, d);
+    if (Compare(x, one) == 0 || Compare(x, n_minus_1) == 0) continue;
+    bool composite = true;
+    for (size_t i = 1; i < r; ++i) {
+      x = MulMod(x, x, n);
+      if (Compare(x, n_minus_1) == 0) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+BigUint BigUint::RandomPrime(size_t bits, Chacha20Rng* rng) {
+  SKNN_CHECK_GE(bits, 8u);
+  for (;;) {
+    BigUint candidate = RandomBits(bits, rng);
+    if (!candidate.IsOdd()) candidate = Add(candidate, BigUint(1));
+    if (candidate.BitLength() != bits) continue;
+    if (IsProbablePrime(candidate, rng)) return candidate;
+  }
+}
+
+BigUint BigUint::CrtReconstruct(const std::vector<uint64_t>& residues,
+                                const std::vector<uint64_t>& moduli) {
+  SKNN_CHECK_EQ(residues.size(), moduli.size());
+  BigUint result;
+  BigUint product(1);
+  for (size_t i = 0; i < moduli.size(); ++i) {
+    product = Mul(product, BigUint(moduli[i]));
+  }
+  for (size_t i = 0; i < moduli.size(); ++i) {
+    BigUint qi(moduli[i]);
+    BigUint q_over_qi, dummy;
+    DivMod(product, qi, &q_over_qi, &dummy);
+    const uint64_t q_over_qi_mod_qi = q_over_qi.ModU64(moduli[i]);
+    const uint64_t inv = InvModPrime(q_over_qi_mod_qi, moduli[i]);
+    const uint64_t coeff =
+        static_cast<uint64_t>(Mul64To128(residues[i] % moduli[i], inv) %
+                              moduli[i]);
+    result = Add(result, Mul(q_over_qi, BigUint(coeff)));
+  }
+  return Mod(result, product);
+}
+
+uint64_t BigUint::ModU64(uint64_t m) const {
+  SKNN_CHECK_GE(m, 1u);
+  uint128_t rem = 0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    rem = ((rem << 64) | limbs_[i]) % m;
+  }
+  return static_cast<uint64_t>(rem);
+}
+
+MontgomeryCtx::MontgomeryCtx(const BigUint& modulus) : n_(modulus) {
+  SKNN_CHECK(n_.IsOdd());
+  SKNN_CHECK(n_.BitLength() > 1);
+  k_ = n_.limb_count();
+  // n' = -n^{-1} mod 2^64 via Newton iteration.
+  const uint64_t n0 = n_.limbs()[0];
+  uint64_t inv = 1;
+  for (int i = 0; i < 6; ++i) inv *= 2 - n0 * inv;
+  n_inv_neg_ = ~inv + 1;  // -inv mod 2^64
+  BigUint r = BigUint(1).ShiftLeft(64 * k_);
+  r_mod_n_ = BigUint::Mod(r, n_);
+  r2_mod_n_ = BigUint::MulMod(r_mod_n_, r_mod_n_, n_);
+}
+
+BigUint MontgomeryCtx::Redc(const BigUint& t) const {
+  // Multi-precision Montgomery reduction: returns t * R^{-1} mod n,
+  // t < n * R.
+  std::vector<uint64_t> a(t.limbs());
+  a.resize(2 * k_ + 1, 0);
+  const std::vector<uint64_t>& n = n_.limbs();
+  for (size_t i = 0; i < k_; ++i) {
+    const uint64_t m = a[i] * n_inv_neg_;
+    uint64_t carry = 0;
+    for (size_t j = 0; j < k_; ++j) {
+      uint128_t cur = Mul64To128(m, n[j]) + a[i + j] + carry;
+      a[i + j] = Low64(cur);
+      carry = High64(cur);
+    }
+    size_t idx = i + k_;
+    while (carry != 0) {
+      uint128_t cur = static_cast<uint128_t>(a[idx]) + carry;
+      a[idx] = Low64(cur);
+      carry = High64(cur);
+      ++idx;
+    }
+  }
+  std::vector<uint64_t> hi(a.begin() + static_cast<long>(k_), a.end());
+  BigUint result(std::move(hi));
+  if (BigUint::Compare(result, n_) >= 0) result = BigUint::Sub(result, n_);
+  return result;
+}
+
+BigUint MontgomeryCtx::ToMont(const BigUint& a) const {
+  return Redc(BigUint::Mul(BigUint::Mod(a, n_), r2_mod_n_));
+}
+
+BigUint MontgomeryCtx::FromMont(const BigUint& a) const { return Redc(a); }
+
+BigUint MontgomeryCtx::MulMont(const BigUint& a, const BigUint& b) const {
+  return Redc(BigUint::Mul(a, b));
+}
+
+BigUint MontgomeryCtx::PowMod(const BigUint& a, const BigUint& e) const {
+  BigUint base = ToMont(a);
+  BigUint result = r_mod_n_;  // 1 in Montgomery form
+  const size_t bits = e.BitLength();
+  for (size_t i = bits; i-- > 0;) {
+    result = MulMont(result, result);
+    if (e.GetBit(i)) result = MulMont(result, base);
+  }
+  return FromMont(result);
+}
+
+}  // namespace sknn

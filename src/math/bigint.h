@@ -1,0 +1,134 @@
+#ifndef SKNN_MATH_BIGINT_H_
+#define SKNN_MATH_BIGINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/statusor.h"
+
+// Arbitrary-precision unsigned integers, implemented from scratch (no GMP).
+//
+// This is the substrate for the Paillier cryptosystem used by the baseline
+// protocol (Elmehdwi et al.) and for exact CRT reconstruction in the BGV
+// noise estimator. Limbs are 64-bit, little-endian, normalized (no trailing
+// zero limbs; zero is the empty limb vector).
+
+namespace sknn {
+
+class BigUint {
+ public:
+  // Zero.
+  BigUint() = default;
+  // From a 64-bit value.
+  explicit BigUint(uint64_t v);
+  // From little-endian limbs (normalized internally).
+  explicit BigUint(std::vector<uint64_t> limbs);
+
+  // Parses a decimal string (digits only). Fails on empty/invalid input.
+  static StatusOr<BigUint> FromDecimal(const std::string& s);
+
+  // ---- observers ----
+  bool IsZero() const { return limbs_.empty(); }
+  bool IsOdd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  size_t limb_count() const { return limbs_.size(); }
+  const std::vector<uint64_t>& limbs() const { return limbs_; }
+  // Number of significant bits (0 for zero).
+  size_t BitLength() const;
+  bool GetBit(size_t i) const;
+  // Value as uint64 (checked: must fit).
+  uint64_t ToU64() const;
+  bool FitsU64() const { return limbs_.size() <= 1; }
+  std::string ToDecimal() const;
+
+  // ---- comparison ----
+  // <0, 0, >0 like memcmp.
+  static int Compare(const BigUint& a, const BigUint& b);
+  bool operator==(const BigUint& o) const { return Compare(*this, o) == 0; }
+  bool operator!=(const BigUint& o) const { return Compare(*this, o) != 0; }
+  bool operator<(const BigUint& o) const { return Compare(*this, o) < 0; }
+  bool operator<=(const BigUint& o) const { return Compare(*this, o) <= 0; }
+  bool operator>(const BigUint& o) const { return Compare(*this, o) > 0; }
+  bool operator>=(const BigUint& o) const { return Compare(*this, o) >= 0; }
+
+  // ---- arithmetic ----
+  static BigUint Add(const BigUint& a, const BigUint& b);
+  // a - b; requires a >= b.
+  static BigUint Sub(const BigUint& a, const BigUint& b);
+  static BigUint Mul(const BigUint& a, const BigUint& b);
+  // Quotient and remainder (Knuth algorithm D); b must be nonzero.
+  static void DivMod(const BigUint& a, const BigUint& b, BigUint* quotient,
+                     BigUint* remainder);
+  static BigUint Mod(const BigUint& a, const BigUint& m);
+  BigUint ShiftLeft(size_t bits) const;
+  BigUint ShiftRight(size_t bits) const;
+
+  // ---- modular arithmetic ----
+  static BigUint AddMod(const BigUint& a, const BigUint& b, const BigUint& m);
+  static BigUint SubMod(const BigUint& a, const BigUint& b, const BigUint& m);
+  static BigUint MulMod(const BigUint& a, const BigUint& b, const BigUint& m);
+  // a^e mod m. Uses Montgomery exponentiation when m is odd.
+  static BigUint PowMod(const BigUint& a, const BigUint& e, const BigUint& m);
+  static BigUint Gcd(BigUint a, BigUint b);
+  static BigUint Lcm(const BigUint& a, const BigUint& b);
+  // Multiplicative inverse of a modulo m; error if gcd(a, m) != 1.
+  static StatusOr<BigUint> InvMod(const BigUint& a, const BigUint& m);
+
+  // ---- randomness / primes ----
+  // Uniform value with exactly `bits` bits (top bit set).
+  static BigUint RandomBits(size_t bits, Chacha20Rng* rng);
+  // Uniform value in [0, bound).
+  static BigUint RandomBelow(const BigUint& bound, Chacha20Rng* rng);
+  // Miller–Rabin with `rounds` random witnesses.
+  static bool IsProbablePrime(const BigUint& n, Chacha20Rng* rng,
+                              int rounds = 32);
+  // Random prime with exactly `bits` bits.
+  static BigUint RandomPrime(size_t bits, Chacha20Rng* rng);
+
+  // ---- CRT ----
+  // Reconstructs x in [0, prod(moduli)) from residues x mod m_i (the m_i
+  // must be pairwise coprime 64-bit values).
+  static BigUint CrtReconstruct(const std::vector<uint64_t>& residues,
+                                const std::vector<uint64_t>& moduli);
+
+  // Reduces this value modulo a word-size modulus.
+  uint64_t ModU64(uint64_t m) const;
+
+ private:
+  void Normalize();
+
+  std::vector<uint64_t> limbs_;
+};
+
+// Montgomery context for repeated modular multiplication/exponentiation
+// with a fixed odd modulus (the hot path of Paillier).
+class MontgomeryCtx {
+ public:
+  // `modulus` must be odd and > 1.
+  explicit MontgomeryCtx(const BigUint& modulus);
+
+  const BigUint& modulus() const { return n_; }
+
+  // Converts into/out of Montgomery form.
+  BigUint ToMont(const BigUint& a) const;
+  BigUint FromMont(const BigUint& a) const;
+  // Product in Montgomery form.
+  BigUint MulMont(const BigUint& a, const BigUint& b) const;
+  // a^e mod n for ordinary-form a; returns ordinary form.
+  BigUint PowMod(const BigUint& a, const BigUint& e) const;
+
+ private:
+  BigUint Redc(const BigUint& t) const;
+
+  BigUint n_;
+  size_t k_;            // limb count of n
+  uint64_t n_inv_neg_;  // -n^{-1} mod 2^64
+  BigUint r_mod_n_;     // R mod n, R = 2^{64k}
+  BigUint r2_mod_n_;    // R^2 mod n
+};
+
+}  // namespace sknn
+
+#endif  // SKNN_MATH_BIGINT_H_

@@ -1,0 +1,64 @@
+#include "math/mod_arith.h"
+
+namespace sknn {
+
+Modulus::Modulus(uint64_t value) : value_(value) {
+  SKNN_CHECK_GE(value, 2u);
+  SKNN_CHECK_LT(value, uint64_t{1} << 62);
+  // ratio = floor(2^128 / value), computed by long division of 2^128.
+  uint128_t numerator_hi = (~uint128_t{0}) / value;  // floor((2^128-1)/value)
+  // (2^128 - 1) / v equals floor(2^128/v) unless v divides 2^128, which
+  // cannot happen for v >= 2 and v not a power of two; handle powers of two
+  // exactly anyway.
+  uint128_t ratio = numerator_hi;
+  // Correct: 2^128 = (2^128 - 1) + 1; floor((x+1)/v) differs only if
+  // v | (x+1).
+  uint128_t rem = (~uint128_t{0}) % value;
+  if (rem == value - 1) ratio += 1;
+  ratio_hi_ = High64(ratio);
+  ratio_lo_ = Low64(ratio);
+}
+
+uint64_t Modulus::ReduceU128(uint128_t x) const {
+  // Barrett reduction of a 128-bit value (SEAL-style).
+  uint64_t x_lo = Low64(x);
+  uint64_t x_hi = High64(x);
+
+  // Multiply x by ratio (256-bit product), keep bits [128, 192).
+  uint64_t tmp1;
+  uint64_t carry = MulHigh64(x_lo, ratio_lo_);
+  uint128_t prod = Mul64To128(x_lo, ratio_hi_);
+  uint64_t tmp2 = Low64(prod);
+  uint64_t tmp3 = High64(prod);
+  uint128_t sum = static_cast<uint128_t>(tmp2) + carry;
+  tmp1 = Low64(sum);
+  uint64_t carry2 = High64(sum);
+  prod = Mul64To128(x_hi, ratio_lo_);
+  sum = static_cast<uint128_t>(Low64(prod)) + tmp1;
+  uint64_t carry3 = High64(sum);
+  tmp1 = High64(prod);
+  uint64_t q_hat = x_hi * ratio_hi_ + tmp3 + carry2 + tmp1 + carry3;
+
+  uint64_t r = x_lo - q_hat * value_;
+  while (r >= value_) r -= value_;
+  return r;
+}
+
+uint64_t PowMod(uint64_t a, uint64_t e, uint64_t q) {
+  Modulus mod(q);
+  uint64_t base = mod.Reduce(a);
+  uint64_t result = 1 % q;
+  while (e > 0) {
+    if (e & 1) result = mod.MulMod(result, base);
+    base = mod.MulMod(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+uint64_t InvModPrime(uint64_t a, uint64_t q) {
+  SKNN_CHECK_NE(a % q, 0u);
+  return PowMod(a, q - 2, q);
+}
+
+}  // namespace sknn

@@ -1,0 +1,115 @@
+#ifndef SKNN_MATH_MOD_ARITH_H_
+#define SKNN_MATH_MOD_ARITH_H_
+
+#include <cstdint>
+
+#include "common/logging.h"
+#include "common/u128.h"
+
+// Word-size modular arithmetic kernels. Moduli are odd primes below 2^62
+// (the NTT-friendly primes of the BGV modulus chain and the plaintext
+// modulus). Hot paths use Barrett reduction (precomputed per modulus) and
+// Shoup multiplication (precomputed per constant operand).
+
+namespace sknn {
+
+// A modulus together with its precomputed Barrett constant
+// ratio = floor(2^128 / value), enabling reduction of 128-bit products
+// without hardware division.
+class Modulus {
+ public:
+  Modulus() : value_(0), ratio_hi_(0), ratio_lo_(0) {}
+
+  // `value` must be in [2, 2^62).
+  explicit Modulus(uint64_t value);
+
+  uint64_t value() const { return value_; }
+
+  // Reduces a 128-bit value modulo this modulus (Barrett).
+  uint64_t ReduceU128(uint128_t x) const;
+
+  // Reduces a 64-bit value.
+  uint64_t Reduce(uint64_t x) const {
+    if (x < value_) return x;
+    return ReduceU128(x);
+  }
+
+  // (a * b) mod value, a and b both already reduced.
+  uint64_t MulMod(uint64_t a, uint64_t b) const {
+    return ReduceU128(Mul64To128(a, b));
+  }
+
+  bool operator==(const Modulus& other) const { return value_ == other.value_; }
+
+ private:
+  uint64_t value_;
+  uint64_t ratio_hi_;
+  uint64_t ratio_lo_;
+};
+
+// (a + b) mod q; inputs already reduced.
+inline uint64_t AddMod(uint64_t a, uint64_t b, uint64_t q) {
+  uint64_t s = a + b;
+  return (s >= q || s < a) ? s - q : s;
+}
+
+// (a - b) mod q; inputs already reduced.
+inline uint64_t SubMod(uint64_t a, uint64_t b, uint64_t q) {
+  return (a >= b) ? a - b : a + q - b;
+}
+
+// (-a) mod q; input already reduced.
+inline uint64_t NegMod(uint64_t a, uint64_t q) { return a == 0 ? 0 : q - a; }
+
+// (a * b) mod q via 128-bit product and hardware division. Slower than
+// Modulus::MulMod; for cold paths.
+inline uint64_t MulModSlow(uint64_t a, uint64_t b, uint64_t q) {
+  return static_cast<uint64_t>(Mul64To128(a, b) % q);
+}
+
+// a^e mod q (square and multiply).
+uint64_t PowMod(uint64_t a, uint64_t e, uint64_t q);
+
+// Multiplicative inverse of a modulo prime q (Fermat). a must be nonzero
+// mod q and q must be prime.
+uint64_t InvModPrime(uint64_t a, uint64_t q);
+
+// Shoup precomputation for repeated multiplication by the constant
+// `operand` modulo q: returns floor(operand * 2^64 / q).
+inline uint64_t ShoupPrecompute(uint64_t operand, uint64_t q) {
+  return static_cast<uint64_t>(Make128(operand, 0) / q);
+}
+
+// Shoup modular multiplication: (x * operand) mod q where operand_shoup =
+// ShoupPrecompute(operand, q). Result is in [0, 2q); caller subtracts q if
+// needed (lazy form used inside NTT butterflies).
+inline uint64_t MulModShoupLazy(uint64_t x, uint64_t operand,
+                                uint64_t operand_shoup, uint64_t q) {
+  uint64_t hi = MulHigh64(x, operand_shoup);
+  return x * operand - hi * q;
+}
+
+// Non-lazy Shoup multiplication with final correction.
+inline uint64_t MulModShoup(uint64_t x, uint64_t operand,
+                            uint64_t operand_shoup, uint64_t q) {
+  uint64_t r = MulModShoupLazy(x, operand, operand_shoup, q);
+  return r >= q ? r - q : r;
+}
+
+// Centered representative of x mod q mapped to int64: in (-q/2, q/2].
+inline int64_t CenterMod(uint64_t x, uint64_t q) {
+  SKNN_CHECK_LT(x, q);
+  if (x > q / 2) return static_cast<int64_t>(x) - static_cast<int64_t>(q);
+  return static_cast<int64_t>(x);
+}
+
+// Maps a signed value into [0, q).
+inline uint64_t ToUnsignedMod(int64_t x, uint64_t q) {
+  if (x >= 0) return static_cast<uint64_t>(x) % q;
+  uint64_t r = static_cast<uint64_t>(-x) % q;
+  return r == 0 ? 0 : q - r;
+}
+
+}  // namespace sknn
+
+#endif  // SKNN_MATH_MOD_ARITH_H_

@@ -1,0 +1,118 @@
+#include "math/ntt.h"
+
+#include <string>
+
+#include "math/prime.h"
+
+namespace sknn {
+
+StatusOr<NttTables> NttTables::Create(size_t n, uint64_t q) {
+  if (n < 4 || (n & (n - 1)) != 0) {
+    return InvalidArgumentError("NTT degree must be a power of two >= 4");
+  }
+  if (!IsPrime(q)) {
+    return InvalidArgumentError("NTT modulus must be prime");
+  }
+  if ((q - 1) % (2 * n) != 0) {
+    return InvalidArgumentError(
+        "NTT modulus must satisfy q = 1 mod 2n (got q=" + std::to_string(q) +
+        ")");
+  }
+  NttTables t;
+  t.n_ = n;
+  t.log_n_ = 0;
+  while ((size_t{1} << t.log_n_) < n) ++t.log_n_;
+  t.modulus_ = Modulus(q);
+  SKNN_ASSIGN_OR_RETURN(t.psi_, FindPrimitiveRoot(2 * n, q));
+  const uint64_t psi_inv = InvModPrime(t.psi_, q);
+
+  t.psi_rev_.resize(n);
+  t.psi_rev_shoup_.resize(n);
+  t.psi_inv_rev_.resize(n);
+  t.psi_inv_rev_shoup_.resize(n);
+  uint64_t power = 1;
+  uint64_t power_inv = 1;
+  std::vector<uint64_t> psi_powers(n), psi_inv_powers(n);
+  for (size_t i = 0; i < n; ++i) {
+    psi_powers[i] = power;
+    psi_inv_powers[i] = power_inv;
+    power = t.modulus_.MulMod(power, t.psi_);
+    power_inv = t.modulus_.MulMod(power_inv, psi_inv);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    size_t r = static_cast<size_t>(ReverseBits(i, t.log_n_));
+    t.psi_rev_[i] = psi_powers[r];
+    t.psi_rev_shoup_[i] = ShoupPrecompute(psi_powers[r], q);
+    t.psi_inv_rev_[i] = psi_inv_powers[r];
+    t.psi_inv_rev_shoup_[i] = ShoupPrecompute(psi_inv_powers[r], q);
+  }
+  t.n_inv_ = InvModPrime(static_cast<uint64_t>(n % q), q);
+  t.n_inv_shoup_ = ShoupPrecompute(t.n_inv_, q);
+  return t;
+}
+
+void NttTables::ForwardNtt(uint64_t* a) const {
+  const uint64_t q = modulus_.value();
+  size_t t = n_;
+  for (size_t m = 1; m < n_; m <<= 1) {
+    t >>= 1;
+    for (size_t i = 0; i < m; ++i) {
+      const size_t j1 = 2 * i * t;
+      const uint64_t s = psi_rev_[m + i];
+      const uint64_t s_shoup = psi_rev_shoup_[m + i];
+      for (size_t j = j1; j < j1 + t; ++j) {
+        const uint64_t u = a[j];
+        const uint64_t v = MulModShoup(a[j + t], s, s_shoup, q);
+        a[j] = AddMod(u, v, q);
+        a[j + t] = SubMod(u, v, q);
+      }
+    }
+  }
+}
+
+void NttTables::InverseNtt(uint64_t* a) const {
+  const uint64_t q = modulus_.value();
+  size_t t = 1;
+  for (size_t m = n_; m > 1; m >>= 1) {
+    size_t j1 = 0;
+    const size_t h = m >> 1;
+    for (size_t i = 0; i < h; ++i) {
+      const uint64_t s = psi_inv_rev_[h + i];
+      const uint64_t s_shoup = psi_inv_rev_shoup_[h + i];
+      for (size_t j = j1; j < j1 + t; ++j) {
+        const uint64_t u = a[j];
+        const uint64_t v = a[j + t];
+        a[j] = AddMod(u, v, q);
+        a[j + t] = MulModShoup(SubMod(u, v, q), s, s_shoup, q);
+      }
+      j1 += 2 * t;
+    }
+    t <<= 1;
+  }
+  for (size_t j = 0; j < n_; ++j) {
+    a[j] = MulModShoup(a[j], n_inv_, n_inv_shoup_, q);
+  }
+}
+
+void NaiveNegacyclicMultiply(const std::vector<uint64_t>& a,
+                             const std::vector<uint64_t>& b, uint64_t q,
+                             std::vector<uint64_t>* out) {
+  const size_t n = a.size();
+  SKNN_CHECK_EQ(b.size(), n);
+  Modulus mod(q);
+  out->assign(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] == 0) continue;
+    for (size_t j = 0; j < n; ++j) {
+      const uint64_t prod = mod.MulMod(a[i], b[j]);
+      const size_t k = i + j;
+      if (k < n) {
+        (*out)[k] = AddMod((*out)[k], prod, q);
+      } else {
+        (*out)[k - n] = SubMod((*out)[k - n], prod, q);
+      }
+    }
+  }
+}
+
+}  // namespace sknn

@@ -1,0 +1,77 @@
+#ifndef SKNN_MATH_NTT_H_
+#define SKNN_MATH_NTT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "math/mod_arith.h"
+
+// Negacyclic number-theoretic transform over Z_q[x]/(x^n + 1).
+//
+// q must be a prime with q ≡ 1 (mod 2n) so that a primitive 2n-th root of
+// unity ψ exists. The forward transform (Cooley–Tukey) maps coefficient
+// order to bit-reversed evaluation order; the inverse (Gentleman–Sande) maps
+// back. Pointwise products in the transformed domain realise negacyclic
+// convolution. The formulation follows Longa–Naehrig with Shoup-precomputed
+// twiddles.
+
+namespace sknn {
+
+class NttTables {
+ public:
+  // Builds tables for degree n (power of two, >= 4) and modulus q.
+  // Fails if q is not prime or q != 1 mod 2n.
+  static StatusOr<NttTables> Create(size_t n, uint64_t q);
+
+  size_t n() const { return n_; }
+  const Modulus& modulus() const { return modulus_; }
+  // The primitive 2n-th root of unity used by the tables.
+  uint64_t psi() const { return psi_; }
+
+  // In-place forward negacyclic NTT. `a` has n entries, each < q.
+  void ForwardNtt(uint64_t* a) const;
+  // In-place inverse negacyclic NTT.
+  void InverseNtt(uint64_t* a) const;
+
+  void ForwardNtt(std::vector<uint64_t>* a) const { ForwardNtt(a->data()); }
+  void InverseNtt(std::vector<uint64_t>* a) const { InverseNtt(a->data()); }
+
+  // Default-constructed tables are empty placeholders to be assigned from
+  // Create(); calling the transforms on one is a programming error.
+  NttTables() = default;
+
+ private:
+  size_t n_ = 0;
+  int log_n_ = 0;
+  Modulus modulus_;
+  uint64_t psi_ = 0;
+  // psi_rev_[i] = psi^{bitreverse(i, log n)} and Shoup companion.
+  std::vector<uint64_t> psi_rev_;
+  std::vector<uint64_t> psi_rev_shoup_;
+  // psi_inv_rev_[i] = psi^{-bitreverse(i, log n)} and Shoup companion.
+  std::vector<uint64_t> psi_inv_rev_;
+  std::vector<uint64_t> psi_inv_rev_shoup_;
+  uint64_t n_inv_ = 0;
+  uint64_t n_inv_shoup_ = 0;
+};
+
+// Reverses the low `bits` bits of x.
+inline uint64_t ReverseBits(uint64_t x, int bits) {
+  uint64_t r = 0;
+  for (int i = 0; i < bits; ++i) {
+    r = (r << 1) | ((x >> i) & 1);
+  }
+  return r;
+}
+
+// Reference O(n^2) negacyclic convolution for testing: out = a * b mod
+// (x^n + 1, q).
+void NaiveNegacyclicMultiply(const std::vector<uint64_t>& a,
+                             const std::vector<uint64_t>& b, uint64_t q,
+                             std::vector<uint64_t>* out);
+
+}  // namespace sknn
+
+#endif  // SKNN_MATH_NTT_H_

@@ -1,0 +1,196 @@
+#include "math/prime.h"
+
+#include <string>
+
+#include "math/mod_arith.h"
+
+namespace sknn {
+namespace {
+
+// a^e mod n for any 64-bit n (Modulus-based PowMod requires n < 2^62, which
+// primality testing cannot assume).
+uint64_t PowModAny(uint64_t a, uint64_t e, uint64_t n) {
+  uint64_t result = 1 % n;
+  a %= n;
+  while (e > 0) {
+    if (e & 1) result = MulModSlow(result, a, n);
+    a = MulModSlow(a, a, n);
+    e >>= 1;
+  }
+  return result;
+}
+
+// Miller–Rabin single-witness test. n odd, n > 2, d*2^r = n-1 with d odd.
+bool WitnessComposite(uint64_t a, uint64_t n, uint64_t d, int r) {
+  a %= n;
+  if (a == 0) return false;
+  uint64_t x = PowModAny(a, d, n);
+  if (x == 1 || x == n - 1) return false;
+  for (int i = 1; i < r; ++i) {
+    x = MulModSlow(x, x, n);
+    if (x == n - 1) return false;
+  }
+  return true;  // composite
+}
+
+// Factors out the distinct prime factors of n (trial division; n here is
+// always q-1 for a ~60-bit prime q, and q-1 is 2^k * small cofactor by
+// construction of our NTT primes, so this is fast in practice; the generic
+// fallback uses Pollard rho).
+uint64_t PollardRho(uint64_t n);
+
+void DistinctPrimeFactors(uint64_t n, std::vector<uint64_t>* factors) {
+  for (uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                     23ull, 29ull, 31ull, 37ull}) {
+    if (n % p == 0) {
+      factors->push_back(p);
+      while (n % p == 0) n /= p;
+    }
+  }
+  // Remaining part: fully factor with rho + recursion.
+  std::vector<uint64_t> stack;
+  if (n > 1) stack.push_back(n);
+  while (!stack.empty()) {
+    uint64_t m = stack.back();
+    stack.pop_back();
+    if (m == 1) continue;
+    if (IsPrime(m)) {
+      bool seen = false;
+      for (uint64_t f : *factors) {
+        if (f == m) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) factors->push_back(m);
+      continue;
+    }
+    uint64_t d = PollardRho(m);
+    stack.push_back(d);
+    stack.push_back(m / d);
+  }
+}
+
+uint64_t PollardRho(uint64_t n) {
+  if (n % 2 == 0) return 2;
+  Modulus mod(n < (uint64_t{1} << 62) ? n : 3);  // Modulus needs < 2^62
+  uint64_t c = 1;
+  for (;;) {
+    uint64_t x = 2, y = 2, d = 1;
+    auto f = [&](uint64_t v) {
+      uint64_t fv = (n < (uint64_t{1} << 62)) ? mod.MulMod(v, v)
+                                              : MulModSlow(v, v, n);
+      fv += c;
+      if (fv >= n) fv -= n;
+      return fv;
+    };
+    while (d == 1) {
+      x = f(x);
+      y = f(f(y));
+      uint64_t diff = x > y ? x - y : y - x;
+      if (diff == 0) break;
+      // gcd
+      uint64_t a = diff, b = n;
+      while (b != 0) {
+        uint64_t t = a % b;
+        a = b;
+        b = t;
+      }
+      d = a;
+    }
+    if (d != 1 && d != n) return d;
+    ++c;
+  }
+}
+
+}  // namespace
+
+bool IsPrime(uint64_t n) {
+  if (n < 2) return false;
+  for (uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                     23ull, 29ull, 31ull, 37ull}) {
+    if (n % p == 0) return n == p;
+  }
+  uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // This witness set is deterministic for all n < 3.3e24.
+  for (uint64_t a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                     23ull, 29ull, 31ull, 37ull}) {
+    if (WitnessComposite(a, n, d, r)) return false;
+  }
+  return true;
+}
+
+StatusOr<std::vector<uint64_t>> GenerateNttPrimes(
+    int bit_size, uint64_t congruence, size_t count,
+    const std::vector<uint64_t>& exclude) {
+  if (bit_size < 10 || bit_size > 61) {
+    return InvalidArgumentError("prime bit size must be in [10, 61]");
+  }
+  std::vector<uint64_t> primes;
+  // Largest candidate of the right size congruent to 1 mod `congruence`.
+  const uint64_t hi = (uint64_t{1} << bit_size) - 1;
+  const uint64_t lo = uint64_t{1} << (bit_size - 1);
+  uint64_t candidate = hi - ((hi - 1) % congruence);  // candidate = 1 mod c
+  while (primes.size() < count && candidate > lo) {
+    if (IsPrime(candidate)) {
+      bool banned = false;
+      for (uint64_t e : exclude) {
+        if (e == candidate) banned = true;
+      }
+      for (uint64_t p : primes) {
+        if (p == candidate) banned = true;
+      }
+      if (!banned) primes.push_back(candidate);
+    }
+    if (candidate < congruence) break;
+    candidate -= congruence;
+  }
+  if (primes.size() < count) {
+    return NotFoundError("not enough NTT primes of bit size " +
+                         std::to_string(bit_size));
+  }
+  return primes;
+}
+
+StatusOr<uint64_t> FindPrimitiveRoot(uint64_t order, uint64_t q) {
+  if (!IsPrime(q)) return InvalidArgumentError("q must be prime");
+  const uint64_t group_order = q - 1;
+  if (order == 0 || group_order % order != 0) {
+    return InvalidArgumentError("order must divide q-1");
+  }
+  std::vector<uint64_t> factors;
+  DistinctPrimeFactors(group_order, &factors);
+  // Find a generator g of Z_q^*.
+  uint64_t g = 0;
+  for (uint64_t cand = 2; cand < q; ++cand) {
+    bool is_generator = true;
+    for (uint64_t f : factors) {
+      if (PowMod(cand, group_order / f, q) == 1) {
+        is_generator = false;
+        break;
+      }
+    }
+    if (is_generator) {
+      g = cand;
+      break;
+    }
+  }
+  if (g == 0) return InternalError("no generator found");
+  uint64_t root = PowMod(g, group_order / order, q);
+  // Verify exact order.
+  std::vector<uint64_t> order_factors;
+  DistinctPrimeFactors(order, &order_factors);
+  for (uint64_t f : order_factors) {
+    if (PowMod(root, order / f, q) == 1) {
+      return InternalError("root has smaller order than requested");
+    }
+  }
+  return root;
+}
+
+}  // namespace sknn

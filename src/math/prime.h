@@ -1,0 +1,33 @@
+#ifndef SKNN_MATH_PRIME_H_
+#define SKNN_MATH_PRIME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+
+// Word-size primality testing and NTT-friendly prime generation.
+
+namespace sknn {
+
+// Deterministic Miller–Rabin for 64-bit integers (fixed witness set proven
+// complete below 3.3 * 10^24).
+bool IsPrime(uint64_t n);
+
+// Returns `count` distinct primes of exactly `bit_size` bits with
+// p ≡ 1 (mod congruence), searching downward from 2^bit_size - 1.
+// `exclude` lists primes that must not be returned (e.g. already used by
+// another chain).
+StatusOr<std::vector<uint64_t>> GenerateNttPrimes(
+    int bit_size, uint64_t congruence, size_t count,
+    const std::vector<uint64_t>& exclude = {});
+
+// Finds a generator of the (cyclic) multiplicative group of Z_q (q prime),
+// then returns an element of exact multiplicative order `order`;
+// requires order | q-1.
+StatusOr<uint64_t> FindPrimitiveRoot(uint64_t order, uint64_t q);
+
+}  // namespace sknn
+
+#endif  // SKNN_MATH_PRIME_H_

@@ -1,0 +1,163 @@
+#include "math/rns_poly.h"
+
+#include "common/logging.h"
+
+namespace sknn {
+
+StatusOr<RnsBase> RnsBase::Create(size_t n,
+                                  const std::vector<uint64_t>& primes) {
+  if (primes.empty()) return InvalidArgumentError("RnsBase needs >= 1 prime");
+  RnsBase base;
+  base.n_ = n;
+  base.moduli_.reserve(primes.size());
+  base.ntt_.reserve(primes.size());
+  for (uint64_t q : primes) {
+    SKNN_ASSIGN_OR_RETURN(NttTables tables, NttTables::Create(n, q));
+    base.moduli_.emplace_back(q);
+    base.ntt_.push_back(std::move(tables));
+  }
+  return base;
+}
+
+bool RnsPoly::IsZero() const {
+  for (const auto& c : comp) {
+    for (uint64_t v : c) {
+      if (v != 0) return false;
+    }
+  }
+  return true;
+}
+
+RnsPoly ZeroPoly(size_t n, size_t components, bool ntt_form) {
+  RnsPoly p;
+  p.n = n;
+  p.ntt_form = ntt_form;
+  p.comp.assign(components, std::vector<uint64_t>(n, 0));
+  return p;
+}
+
+namespace {
+void CheckShapes(const RnsPoly& a, const RnsPoly& b) {
+  SKNN_CHECK_EQ(a.n, b.n);
+  SKNN_CHECK_EQ(a.num_components(), b.num_components());
+  SKNN_CHECK_EQ(a.ntt_form, b.ntt_form);
+}
+}  // namespace
+
+void AddInplace(RnsPoly* a, const RnsPoly& b, const RnsBase& base) {
+  CheckShapes(*a, b);
+  for (size_t i = 0; i < a->num_components(); ++i) {
+    const uint64_t q = base.modulus(i).value();
+    uint64_t* av = a->comp[i].data();
+    const uint64_t* bv = b.comp[i].data();
+    for (size_t j = 0; j < a->n; ++j) av[j] = AddMod(av[j], bv[j], q);
+  }
+}
+
+void SubInplace(RnsPoly* a, const RnsPoly& b, const RnsBase& base) {
+  CheckShapes(*a, b);
+  for (size_t i = 0; i < a->num_components(); ++i) {
+    const uint64_t q = base.modulus(i).value();
+    uint64_t* av = a->comp[i].data();
+    const uint64_t* bv = b.comp[i].data();
+    for (size_t j = 0; j < a->n; ++j) av[j] = SubMod(av[j], bv[j], q);
+  }
+}
+
+void NegateInplace(RnsPoly* a, const RnsBase& base) {
+  for (size_t i = 0; i < a->num_components(); ++i) {
+    const uint64_t q = base.modulus(i).value();
+    uint64_t* av = a->comp[i].data();
+    for (size_t j = 0; j < a->n; ++j) av[j] = NegMod(av[j], q);
+  }
+}
+
+RnsPoly MulPointwise(const RnsPoly& a, const RnsPoly& b, const RnsBase& base) {
+  RnsPoly out = a;
+  MulPointwiseInplace(&out, b, base);
+  return out;
+}
+
+void MulPointwiseInplace(RnsPoly* a, const RnsPoly& b, const RnsBase& base) {
+  CheckShapes(*a, b);
+  SKNN_CHECK(a->ntt_form);
+  for (size_t i = 0; i < a->num_components(); ++i) {
+    const Modulus& mod = base.modulus(i);
+    uint64_t* av = a->comp[i].data();
+    const uint64_t* bv = b.comp[i].data();
+    for (size_t j = 0; j < a->n; ++j) av[j] = mod.MulMod(av[j], bv[j]);
+  }
+}
+
+void AddMulInplace(RnsPoly* a, const RnsPoly& b, const RnsPoly& c,
+                   const RnsBase& base) {
+  CheckShapes(b, c);
+  SKNN_CHECK_EQ(a->num_components(), b.num_components());
+  SKNN_CHECK(a->ntt_form && b.ntt_form);
+  for (size_t i = 0; i < a->num_components(); ++i) {
+    const Modulus& mod = base.modulus(i);
+    const uint64_t q = mod.value();
+    uint64_t* av = a->comp[i].data();
+    const uint64_t* bv = b.comp[i].data();
+    const uint64_t* cv = c.comp[i].data();
+    for (size_t j = 0; j < a->n; ++j) {
+      av[j] = AddMod(av[j], mod.MulMod(bv[j], cv[j]), q);
+    }
+  }
+}
+
+void MulScalarInplace(RnsPoly* a,
+                      const std::vector<uint64_t>& scalar_per_prime,
+                      const RnsBase& base) {
+  SKNN_CHECK_GE(scalar_per_prime.size(), a->num_components());
+  for (size_t i = 0; i < a->num_components(); ++i) {
+    const Modulus& mod = base.modulus(i);
+    const uint64_t s = scalar_per_prime[i];
+    const uint64_t s_shoup = ShoupPrecompute(s, mod.value());
+    uint64_t* av = a->comp[i].data();
+    for (size_t j = 0; j < a->n; ++j) {
+      av[j] = MulModShoup(av[j], s, s_shoup, mod.value());
+    }
+  }
+}
+
+void ToNttInplace(RnsPoly* a, const RnsBase& base) {
+  if (a->ntt_form) return;
+  for (size_t i = 0; i < a->num_components(); ++i) {
+    base.ntt(i).ForwardNtt(a->comp[i].data());
+  }
+  a->ntt_form = true;
+}
+
+void FromNttInplace(RnsPoly* a, const RnsBase& base) {
+  if (!a->ntt_form) return;
+  for (size_t i = 0; i < a->num_components(); ++i) {
+    base.ntt(i).InverseNtt(a->comp[i].data());
+  }
+  a->ntt_form = false;
+}
+
+RnsPoly ApplyGaloisCoeff(const RnsPoly& a, uint64_t galois_elt,
+                         const RnsBase& base) {
+  SKNN_CHECK(!a.ntt_form);
+  SKNN_CHECK_EQ(galois_elt & 1, 1u);
+  const size_t n = a.n;
+  const uint64_t two_n = 2 * static_cast<uint64_t>(n);
+  SKNN_CHECK_LT(galois_elt, two_n);
+  RnsPoly out = ZeroPoly(n, a.num_components(), /*ntt_form=*/false);
+  for (size_t c = 0; c < a.num_components(); ++c) {
+    const uint64_t q = base.modulus(c).value();
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t target = (static_cast<uint64_t>(i) * galois_elt) % two_n;
+      const uint64_t v = a.comp[c][i];
+      if (target < n) {
+        out.comp[c][target] = v;
+      } else {
+        out.comp[c][target - n] = NegMod(v, q);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sknn

@@ -1,0 +1,81 @@
+#ifndef SKNN_MATH_RNS_POLY_H_
+#define SKNN_MATH_RNS_POLY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "math/mod_arith.h"
+#include "math/ntt.h"
+
+// Polynomials in R_Q = Z_Q[x]/(x^n + 1) with Q = q_0 * ... * q_{L} held in
+// residue number system (RNS) form: one length-n residue vector per prime.
+// All BGV arithmetic happens on this representation with 64-bit words only.
+
+namespace sknn {
+
+// An ordered set of RNS moduli for a fixed ring degree, with NTT tables per
+// prime. Ciphertexts at level l use the first l+1 moduli of the base they
+// were created under.
+class RnsBase {
+ public:
+  // Builds a base for ring degree n over the given primes (each must be an
+  // NTT prime for n: q ≡ 1 mod 2n).
+  static StatusOr<RnsBase> Create(size_t n, const std::vector<uint64_t>& primes);
+
+  size_t n() const { return n_; }
+  size_t size() const { return moduli_.size(); }
+  const Modulus& modulus(size_t i) const { return moduli_[i]; }
+  const NttTables& ntt(size_t i) const { return ntt_[i]; }
+  const std::vector<Modulus>& moduli() const { return moduli_; }
+
+ private:
+  size_t n_ = 0;
+  std::vector<Modulus> moduli_;
+  std::vector<NttTables> ntt_;
+};
+
+// RNS polynomial: comp[i][j] is coefficient j modulo prime i (or the NTT
+// image when ntt_form). The number of components defines the level.
+struct RnsPoly {
+  size_t n = 0;
+  bool ntt_form = false;
+  std::vector<std::vector<uint64_t>> comp;
+
+  size_t num_components() const { return comp.size(); }
+  bool IsZero() const;
+};
+
+// Allocates an all-zero polynomial with `components` RNS components.
+RnsPoly ZeroPoly(size_t n, size_t components, bool ntt_form);
+
+// In-place a += b. Shapes (n, component count, ntt form) must match.
+void AddInplace(RnsPoly* a, const RnsPoly& b, const RnsBase& base);
+// In-place a -= b.
+void SubInplace(RnsPoly* a, const RnsPoly& b, const RnsBase& base);
+// In-place a = -a.
+void NegateInplace(RnsPoly* a, const RnsBase& base);
+// Pointwise product c = a * b (both must be in NTT form).
+RnsPoly MulPointwise(const RnsPoly& a, const RnsPoly& b, const RnsBase& base);
+// In-place a *= b (NTT form).
+void MulPointwiseInplace(RnsPoly* a, const RnsPoly& b, const RnsBase& base);
+// In-place a += b * c (all NTT form); the fused op of key switching.
+void AddMulInplace(RnsPoly* a, const RnsPoly& b, const RnsPoly& c,
+                   const RnsBase& base);
+// In-place multiply every component by a scalar (given reduced per prime).
+void MulScalarInplace(RnsPoly* a, const std::vector<uint64_t>& scalar_per_prime,
+                      const RnsBase& base);
+// Converts to NTT form in place (no-op if already).
+void ToNttInplace(RnsPoly* a, const RnsBase& base);
+// Converts to coefficient form in place (no-op if already).
+void FromNttInplace(RnsPoly* a, const RnsBase& base);
+
+// Applies the Galois automorphism x -> x^galois_elt (odd, < 2n) to a
+// coefficient-form polynomial.
+RnsPoly ApplyGaloisCoeff(const RnsPoly& a, uint64_t galois_elt,
+                         const RnsBase& base);
+
+}  // namespace sknn
+
+#endif  // SKNN_MATH_RNS_POLY_H_

@@ -1,0 +1,74 @@
+#include "net/channel.h"
+
+#include <sstream>
+
+namespace sknn {
+namespace net {
+
+std::string LinkStats::DebugString() const {
+  std::ostringstream os;
+  os << "LinkStats{A->B " << messages_a_to_b << " msgs/" << bytes_a_to_b
+     << " B, B->A " << messages_b_to_a << " msgs/" << bytes_b_to_a
+     << " B, rounds=" << rounds << "}";
+  return os.str();
+}
+
+namespace {
+
+class LinkEndpointImpl : public Channel {
+ public:
+  LinkEndpointImpl(std::deque<std::vector<uint8_t>>* out,
+                   std::deque<std::vector<uint8_t>>* in, LinkStats* stats,
+                   int* last_direction, bool is_a)
+      : out_(out),
+        in_(in),
+        stats_(stats),
+        last_direction_(last_direction),
+        is_a_(is_a) {}
+
+  Status Send(std::vector<uint8_t> message) override {
+    const int dir = is_a_ ? 1 : -1;
+    if (*last_direction_ != dir) {
+      ++stats_->rounds;
+      *last_direction_ = dir;
+    }
+    if (is_a_) {
+      ++stats_->messages_a_to_b;
+      stats_->bytes_a_to_b += message.size();
+    } else {
+      ++stats_->messages_b_to_a;
+      stats_->bytes_b_to_a += message.size();
+    }
+    out_->push_back(std::move(message));
+    return Status::Ok();
+  }
+
+  StatusOr<std::vector<uint8_t>> Receive() override {
+    if (in_->empty()) {
+      return FailedPreconditionError(
+          "Receive on empty channel (protocol desynchronized)");
+    }
+    std::vector<uint8_t> msg = std::move(in_->front());
+    in_->pop_front();
+    return msg;
+  }
+
+ private:
+  std::deque<std::vector<uint8_t>>* out_;
+  std::deque<std::vector<uint8_t>>* in_;
+  LinkStats* stats_;
+  int* last_direction_;
+  bool is_a_;
+};
+
+}  // namespace
+
+InMemoryLink::InMemoryLink() {
+  a_ = std::make_unique<LinkEndpointImpl>(&a_to_b_, &b_to_a_, &stats_,
+                                          &last_direction_, /*is_a=*/true);
+  b_ = std::make_unique<LinkEndpointImpl>(&b_to_a_, &a_to_b_, &stats_,
+                                          &last_direction_, /*is_a=*/false);
+}
+
+}  // namespace net
+}  // namespace sknn

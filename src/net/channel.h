@@ -1,0 +1,81 @@
+#ifndef SKNN_NET_CHANNEL_H_
+#define SKNN_NET_CHANNEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/serial.h"
+#include "common/status.h"
+#include "common/statusor.h"
+
+// Simulated network layer between protocol parties. Messages are real byte
+// buffers (serialized ciphertexts and keys); the link keeps per-direction
+// byte and message counters plus a round counter (a round increments each
+// time the direction of traffic flips), so benchmarks can report the
+// communication columns of Table 1.
+
+namespace sknn {
+namespace net {
+
+// One endpoint's sending/receiving interface.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  virtual Status Send(std::vector<uint8_t> message) = 0;
+  virtual StatusOr<std::vector<uint8_t>> Receive() = 0;
+
+  // Convenience wrappers around ByteSink/ByteSource payloads.
+  Status SendSink(ByteSink* sink) { return Send(sink->TakeBytes()); }
+  StatusOr<ByteSource> ReceiveSource() {
+    auto bytes = Receive();
+    if (!bytes.ok()) return std::move(bytes).status();
+    return ByteSource(std::move(bytes).value());
+  }
+};
+
+struct LinkStats {
+  uint64_t messages_a_to_b = 0;
+  uint64_t messages_b_to_a = 0;
+  uint64_t bytes_a_to_b = 0;
+  uint64_t bytes_b_to_a = 0;
+  // Number of direction flips (the paper's "round communications").
+  uint64_t rounds = 0;
+
+  uint64_t total_bytes() const { return bytes_a_to_b + bytes_b_to_a; }
+  std::string DebugString() const;
+};
+
+// An in-process bidirectional link between two parties A and B.
+// Single-threaded protocols alternate Send/Receive; Receive on an empty
+// queue is a protocol bug and returns FailedPrecondition.
+class InMemoryLink {
+ public:
+  InMemoryLink();
+
+  Channel* a_endpoint() { return a_.get(); }
+  Channel* b_endpoint() { return b_.get(); }
+
+  const LinkStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = LinkStats(); }
+
+ private:
+  friend class LinkEndpoint;
+
+  std::deque<std::vector<uint8_t>> a_to_b_;
+  std::deque<std::vector<uint8_t>> b_to_a_;
+  LinkStats stats_;
+  // +1 = last traffic flowed A->B, -1 = B->A, 0 = none yet.
+  int last_direction_ = 0;
+
+  std::unique_ptr<Channel> a_;
+  std::unique_ptr<Channel> b_;
+};
+
+}  // namespace net
+}  // namespace sknn
+
+#endif  // SKNN_NET_CHANNEL_H_

@@ -1,0 +1,160 @@
+#include "baseline/elmehdwi.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/generators.h"
+#include "knn/knn.h"
+
+namespace sknn {
+namespace baseline {
+namespace {
+
+std::vector<uint64_t> SortedDistances(
+    const std::vector<std::vector<uint64_t>>& points,
+    const std::vector<uint64_t>& query) {
+  std::vector<uint64_t> out;
+  for (const auto& p : points) {
+    uint64_t sum = 0;
+    for (size_t j = 0; j < query.size(); ++j) {
+      uint64_t d = p[j] > query[j] ? p[j] - query[j] : query[j] - p[j];
+      sum += d * d;
+    }
+    out.push_back(sum);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<uint64_t> ReferenceDistances(const data::Dataset& data,
+                                         const std::vector<uint64_t>& query,
+                                         size_t k) {
+  auto ref = knn::PlaintextKnn(data, query, k);
+  EXPECT_TRUE(ref.ok());
+  std::vector<uint64_t> out;
+  for (const auto& nb : ref.value()) out.push_back(nb.squared_distance);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+BaselineConfig SmallConfig(size_t k) {
+  BaselineConfig cfg;
+  cfg.k = k;
+  cfg.paillier_bits = 192;  // test speed; benches use 512+
+  cfg.seed = 99;
+  return cfg;
+}
+
+TEST(BaselineTest, MatchesPlaintextKnn) {
+  data::Dataset dataset = data::UniformDataset(14, 2, 15, 1);
+  auto proto = ElmehdwiSknn::Create(SmallConfig(3), dataset);
+  ASSERT_TRUE(proto.ok()) << proto.status();
+  std::vector<uint64_t> query = {7, 9};
+  auto result = (*proto)->RunQuery(query);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->neighbours.size(), 3u);
+  EXPECT_EQ(SortedDistances(result->neighbours, query),
+            ReferenceDistances(dataset, query, 3));
+}
+
+TEST(BaselineTest, HigherDimensional) {
+  data::Dataset dataset = data::UniformDataset(10, 5, 10, 2);
+  auto proto = ElmehdwiSknn::Create(SmallConfig(2), dataset);
+  ASSERT_TRUE(proto.ok());
+  std::vector<uint64_t> query = {1, 2, 3, 4, 5};
+  auto result = (*proto)->RunQuery(query);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(SortedDistances(result->neighbours, query),
+            ReferenceDistances(dataset, query, 2));
+}
+
+TEST(BaselineTest, KEqualsN) {
+  data::Dataset dataset = data::UniformDataset(5, 2, 7, 3);
+  auto proto = ElmehdwiSknn::Create(SmallConfig(5), dataset);
+  ASSERT_TRUE(proto.ok());
+  std::vector<uint64_t> query = {3, 3};
+  auto result = (*proto)->RunQuery(query);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(SortedDistances(result->neighbours, query),
+            ReferenceDistances(dataset, query, 5));
+}
+
+TEST(BaselineTest, KClampedToN) {
+  data::Dataset dataset = data::UniformDataset(4, 2, 7, 4);
+  auto proto = ElmehdwiSknn::Create(SmallConfig(9), dataset);
+  ASSERT_TRUE(proto.ok());
+  auto result = (*proto)->RunQuery({1, 1});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->k, 4u);
+}
+
+TEST(BaselineTest, EquidistantPoints) {
+  data::Dataset dataset(4, 2);
+  dataset.set(0, 0, 0);
+  dataset.set(0, 1, 0);
+  dataset.set(1, 0, 0);
+  dataset.set(1, 1, 10);
+  dataset.set(2, 0, 10);
+  dataset.set(2, 1, 0);
+  dataset.set(3, 0, 10);
+  dataset.set(3, 1, 10);
+  auto proto = ElmehdwiSknn::Create(SmallConfig(2), dataset);
+  ASSERT_TRUE(proto.ok());
+  auto result = (*proto)->RunQuery({5, 5});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(SortedDistances(result->neighbours, {5, 5}),
+            ReferenceDistances(dataset, {5, 5}, 2));
+}
+
+TEST(BaselineTest, RoundsGrowWithK) {
+  // The paper's headline comparison: the baseline needs O(k) interactive
+  // rounds while the new protocol needs exactly one.
+  data::Dataset dataset = data::UniformDataset(8, 2, 15, 5);
+  auto p1 = ElmehdwiSknn::Create(SmallConfig(1), dataset);
+  auto p3 = ElmehdwiSknn::Create(SmallConfig(3), dataset);
+  ASSERT_TRUE(p1.ok() && p3.ok());
+  auto r1 = (*p1)->RunQuery({2, 2});
+  auto r3 = (*p3)->RunQuery({2, 2});
+  ASSERT_TRUE(r1.ok() && r3.ok());
+  EXPECT_GT(r3->rounds, r1->rounds);
+  EXPECT_GT(r1->rounds, 1u);
+}
+
+TEST(BaselineTest, OpCountsScaleWithKAndL) {
+  data::Dataset dataset = data::UniformDataset(8, 2, 15, 6);
+  auto p1 = ElmehdwiSknn::Create(SmallConfig(1), dataset);
+  auto p3 = ElmehdwiSknn::Create(SmallConfig(3), dataset);
+  ASSERT_TRUE(p1.ok() && p3.ok());
+  auto r1 = (*p1)->RunQuery({2, 2});
+  auto r3 = (*p3)->RunQuery({2, 2});
+  ASSERT_TRUE(r1.ok() && r3.ok());
+  // Encryptions at C2 scale with k (O(nkl) family).
+  EXPECT_GT(r3->c2_ops.encryptions, 2 * r1->c2_ops.encryptions);
+  EXPECT_GT(r3->c2_ops.decryptions, r1->c2_ops.decryptions);
+}
+
+TEST(BaselineTest, RejectsBadInputs) {
+  data::Dataset dataset = data::UniformDataset(5, 2, 7, 7);
+  BaselineConfig cfg = SmallConfig(0);
+  EXPECT_FALSE(ElmehdwiSknn::Create(cfg, dataset).ok());
+  auto proto = ElmehdwiSknn::Create(SmallConfig(2), dataset);
+  ASSERT_TRUE(proto.ok());
+  EXPECT_FALSE((*proto)->RunQuery({1, 2, 3}).ok());
+}
+
+TEST(BaselineTest, RepeatedQueriesConsistent) {
+  data::Dataset dataset = data::UniformDataset(9, 3, 12, 8);
+  auto proto = ElmehdwiSknn::Create(SmallConfig(2), dataset);
+  ASSERT_TRUE(proto.ok());
+  std::vector<uint64_t> query = {4, 4, 4};
+  auto r1 = (*proto)->RunQuery(query);
+  auto r2 = (*proto)->RunQuery(query);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(SortedDistances(r1->neighbours, query),
+            SortedDistances(r2->neighbours, query));
+}
+
+}  // namespace
+}  // namespace baseline
+}  // namespace sknn

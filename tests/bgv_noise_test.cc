@@ -1,0 +1,167 @@
+// Noise-budget behaviour of the BGV implementation: these tests pin down
+// the level-management contract the protocol relies on (see the pipeline
+// in src/core/party_a.cc).
+
+#include <gtest/gtest.h>
+
+#include "bgv/context.h"
+#include "bgv/decryptor.h"
+#include "bgv/encoder.h"
+#include "bgv/encryptor.h"
+#include "bgv/evaluator.h"
+#include "bgv/keys.h"
+#include "common/rng.h"
+
+namespace sknn {
+namespace bgv {
+namespace {
+
+class BgvNoiseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto params = BgvParams::CreateCustom(256, 20, 4, 45, 50);
+    ASSERT_TRUE(params.ok());
+    auto ctx = BgvContext::Create(params.value());
+    ASSERT_TRUE(ctx.ok());
+    ctx_ = ctx.value();
+    rng_ = std::make_unique<Chacha20Rng>(uint64_t{31337});
+    KeyGenerator keygen(ctx_, rng_.get());
+    sk_ = keygen.GenerateSecretKey();
+    pk_ = keygen.GeneratePublicKey(sk_);
+    rk_ = keygen.GenerateRelinKeys(sk_);
+    gk_ = keygen.GeneratePowerOfTwoRotationKeys(sk_);
+    encoder_ = std::make_unique<BatchEncoder>(ctx_);
+    encryptor_ = std::make_unique<Encryptor>(ctx_, pk_, rng_.get());
+    decryptor_ = std::make_unique<Decryptor>(ctx_, sk_);
+    evaluator_ = std::make_unique<Evaluator>(ctx_);
+  }
+
+  Ciphertext Fresh(uint64_t scalar = 3) {
+    return encryptor_->Encrypt(encoder_->EncodeScalar(scalar)).value();
+  }
+
+  double Budget(const Ciphertext& ct) {
+    return decryptor_->NoiseBudgetBits(ct).value();
+  }
+
+  std::shared_ptr<const BgvContext> ctx_;
+  std::unique_ptr<Chacha20Rng> rng_;
+  SecretKey sk_;
+  PublicKey pk_;
+  RelinKeys rk_;
+  GaloisKeys gk_;
+  std::unique_ptr<BatchEncoder> encoder_;
+  std::unique_ptr<Encryptor> encryptor_;
+  std::unique_ptr<Decryptor> decryptor_;
+  std::unique_ptr<Evaluator> evaluator_;
+};
+
+TEST_F(BgvNoiseTest, AdditionBarelyCostsBudget) {
+  Ciphertext a = Fresh();
+  Ciphertext b = Fresh();
+  const double before = Budget(a);
+  ASSERT_TRUE(evaluator_->AddInplace(&a, b).ok());
+  EXPECT_GE(Budget(a), before - 2.0);
+}
+
+TEST_F(BgvNoiseTest, PlainAddIsEssentiallyFree) {
+  Ciphertext a = Fresh();
+  const double before = Budget(a);
+  ASSERT_TRUE(
+      evaluator_->AddPlainInplace(&a, encoder_->EncodeScalar(12345)).ok());
+  EXPECT_GE(Budget(a), before - 2.0);
+}
+
+TEST_F(BgvNoiseTest, ScalarMultCostsAboutLogScalar) {
+  Ciphertext a = Fresh();
+  const double before = Budget(a);
+  ASSERT_TRUE(evaluator_->MultiplyScalarInplace(&a, 1 << 10).ok());
+  const double after = Budget(a);
+  EXPECT_LT(after, before);
+  // ~10 bits plus small slack.
+  EXPECT_GT(after, before - 18.0);
+}
+
+TEST_F(BgvNoiseTest, CiphertextMultCostsMuchMoreThanScalar) {
+  Ciphertext a = Fresh();
+  Ciphertext b = Fresh();
+  Ciphertext s = Fresh();
+  const double before = Budget(a);
+  auto prod = evaluator_->MultiplyRelin(a, b, rk_, /*mod_switch=*/false);
+  ASSERT_TRUE(prod.ok());
+  const double mult_cost = before - Budget(prod.value());
+  ASSERT_TRUE(evaluator_->MultiplyScalarInplace(&s, 7).ok());
+  const double scalar_cost = before - Budget(s);
+  EXPECT_GT(mult_cost, scalar_cost + 10.0);
+}
+
+TEST_F(BgvNoiseTest, ModSwitchRecoversRelativeBudget) {
+  // After a multiplication, switching down sheds noise along with modulus
+  // so the *relative* budget is nearly preserved while ciphertexts shrink.
+  Ciphertext a = Fresh();
+  auto prod = evaluator_->MultiplyRelin(a, a, rk_, /*mod_switch=*/false);
+  ASSERT_TRUE(prod.ok());
+  const double before = Budget(prod.value());
+  Ciphertext switched = prod.value();
+  ASSERT_TRUE(evaluator_->ModSwitchToNextInplace(&switched).ok());
+  // The budget loss from dropping one ~45-bit prime should be far less
+  // than 45 bits because noise shrinks proportionally.
+  EXPECT_GT(Budget(switched), before - 46.0);
+  EXPECT_GT(Budget(switched), 0.0);
+  // And the plaintext is intact.
+  auto pt = decryptor_->Decrypt(switched);
+  ASSERT_TRUE(pt.ok());
+  EXPECT_EQ(encoder_->Decode(pt.value())[0], 9u);
+}
+
+TEST_F(BgvNoiseTest, RotationAddsOnlyAdditiveNoise) {
+  Ciphertext a = Fresh();
+  const double before = Budget(a);
+  ASSERT_TRUE(evaluator_->RotateRowsInplace(&a, 1, gk_).ok());
+  EXPECT_GT(Budget(a), before - 25.0);  // keyswitch noise floor, not a level
+}
+
+TEST_F(BgvNoiseTest, Level0SurvivesAdditionButNotMultiplication) {
+  Ciphertext a = Fresh(5);
+  ASSERT_TRUE(evaluator_->ModSwitchToLevelInplace(&a, 0).ok());
+  EXPECT_GT(Budget(a), 0.0);
+  Ciphertext b = a;
+  ASSERT_TRUE(evaluator_->AddInplace(&a, b).ok());
+  auto pt = decryptor_->Decrypt(a);
+  ASSERT_TRUE(pt.ok());
+  EXPECT_EQ(encoder_->Decode(pt.value())[0], 10u);
+}
+
+TEST_F(BgvNoiseTest, ExhaustedBudgetDetectable) {
+  // Deliberately run out of budget: repeated scalar multiplications at the
+  // lowest level must eventually drive the measured budget to zero.
+  Ciphertext a = Fresh(1);
+  ASSERT_TRUE(evaluator_->ModSwitchToLevelInplace(&a, 0).ok());
+  double budget = Budget(a);
+  for (int i = 0; i < 20 && budget > 0; ++i) {
+    ASSERT_TRUE(evaluator_->MultiplyScalarInplace(&a, (1u << 16) - 1).ok());
+    budget = Budget(a);
+  }
+  EXPECT_EQ(budget, 0.0);
+}
+
+TEST_F(BgvNoiseTest, FreshBudgetGrowsWithLevels) {
+  // More data primes -> larger modulus -> more budget.
+  auto small = BgvParams::CreateCustom(256, 20, 2, 45, 50);
+  ASSERT_TRUE(small.ok());
+  auto small_ctx = BgvContext::Create(small.value()).value();
+  Chacha20Rng rng(uint64_t{1});
+  KeyGenerator kg(small_ctx, &rng);
+  auto sk = kg.GenerateSecretKey();
+  auto pk = kg.GeneratePublicKey(sk);
+  BatchEncoder enc(small_ctx);
+  Encryptor encr(small_ctx, pk, &rng);
+  Decryptor dec(small_ctx, sk);
+  auto ct = encr.Encrypt(enc.EncodeScalar(3)).value();
+  const double small_budget = dec.NoiseBudgetBits(ct).value();
+  EXPECT_GT(Budget(Fresh()), small_budget + 40.0);  // two extra 45-bit primes
+}
+
+}  // namespace
+}  // namespace bgv
+}  // namespace sknn

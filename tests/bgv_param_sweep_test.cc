@@ -1,0 +1,112 @@
+// Property-style sweep of the BGV implementation across parameter sets:
+// the enc/dec/add/mult/rotate contract must hold for every ring degree,
+// plaintext size and chain length a user can configure.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "bgv/context.h"
+#include "bgv/decryptor.h"
+#include "bgv/encoder.h"
+#include "bgv/encryptor.h"
+#include "bgv/evaluator.h"
+#include "bgv/keys.h"
+#include "common/rng.h"
+
+namespace sknn {
+namespace bgv {
+namespace {
+
+struct SweepParam {
+  size_t n;
+  int plain_bits;
+  size_t levels;
+  int data_prime_bits;
+  int special_prime_bits;
+};
+
+class BgvParamSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(BgvParamSweepTest, FullContractHolds) {
+  const SweepParam p = GetParam();
+  auto params = BgvParams::CreateCustom(p.n, p.plain_bits, p.levels,
+                                        p.data_prime_bits,
+                                        p.special_prime_bits);
+  ASSERT_TRUE(params.ok()) << params.status();
+  auto ctx_or = BgvContext::Create(params.value());
+  ASSERT_TRUE(ctx_or.ok()) << ctx_or.status();
+  auto ctx = ctx_or.value();
+
+  Chacha20Rng rng(uint64_t{1000} + p.n + static_cast<uint64_t>(p.plain_bits));
+  KeyGenerator keygen(ctx, &rng);
+  SecretKey sk = keygen.GenerateSecretKey();
+  PublicKey pk = keygen.GeneratePublicKey(sk);
+  RelinKeys rk = keygen.GenerateRelinKeys(sk);
+  GaloisKeys gk =
+      keygen.GenerateGaloisKeys(sk, {ctx->GaloisEltForRotation(1)});
+  BatchEncoder encoder(ctx);
+  Encryptor encryptor(ctx, pk, &rng);
+  Decryptor decryptor(ctx, sk);
+  Evaluator evaluator(ctx);
+  const uint64_t t = ctx->t();
+  Modulus t_mod(t);
+
+  // Roundtrip.
+  std::vector<uint64_t> a(ctx->n()), b(ctx->n());
+  for (auto& x : a) x = rng.UniformBelow(t);
+  for (auto& x : b) x = rng.UniformBelow(t);
+  Ciphertext ca = encryptor.Encrypt(encoder.Encode(a).value()).value();
+  Ciphertext cb = encryptor.Encrypt(encoder.Encode(b).value()).value();
+  EXPECT_EQ(encoder.Decode(decryptor.Decrypt(ca).value()), a);
+
+  // Add.
+  Ciphertext sum = ca;
+  ASSERT_TRUE(evaluator.AddInplace(&sum, cb).ok());
+  auto sum_dec = encoder.Decode(decryptor.Decrypt(sum).value());
+  for (size_t i = 0; i < ctx->n(); ++i) {
+    ASSERT_EQ(sum_dec[i], AddMod(a[i], b[i], t)) << "slot " << i;
+  }
+
+  // Multiply + relinearize + switch.
+  auto prod = evaluator.MultiplyRelin(ca, cb, rk);
+  ASSERT_TRUE(prod.ok()) << prod.status();
+  auto prod_dec = encoder.Decode(decryptor.Decrypt(prod.value()).value());
+  for (size_t i = 0; i < ctx->n(); ++i) {
+    ASSERT_EQ(prod_dec[i], t_mod.MulMod(a[i], b[i])) << "slot " << i;
+  }
+
+  // Rotation by one.
+  Ciphertext rot = ca;
+  ASSERT_TRUE(evaluator.RotateRowsInplace(&rot, 1, gk).ok());
+  auto rot_dec = encoder.Decode(decryptor.Decrypt(rot).value());
+  const size_t row = ctx->row_size();
+  for (size_t i = 0; i + 1 < row; ++i) {
+    ASSERT_EQ(rot_dec[i], a[i + 1]) << "slot " << i;
+  }
+
+  // Switch all the way down and decrypt via the fast path.
+  Ciphertext low = ca;
+  ASSERT_TRUE(evaluator.ModSwitchToLevelInplace(&low, 0).ok());
+  EXPECT_EQ(encoder.Decode(decryptor.Decrypt(low).value()), a);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, BgvParamSweepTest,
+    ::testing::Values(SweepParam{128, 18, 2, 40, 45},
+                      SweepParam{256, 20, 3, 45, 50},
+                      SweepParam{256, 30, 3, 52, 57},
+                      SweepParam{512, 25, 4, 48, 53},
+                      SweepParam{1024, 33, 4, 45, 50},
+                      SweepParam{1024, 40, 3, 55, 60},
+                      SweepParam{2048, 33, 5, 50, 55}),
+    [](const auto& info) {
+      const SweepParam& p = info.param;
+      return "n" + std::to_string(p.n) + "_t" + std::to_string(p.plain_bits) +
+             "_L" + std::to_string(p.levels) + "_q" +
+             std::to_string(p.data_prime_bits);
+    });
+
+}  // namespace
+}  // namespace bgv
+}  // namespace sknn

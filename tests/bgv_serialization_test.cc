@@ -1,0 +1,178 @@
+#include "bgv/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include "bgv/decryptor.h"
+#include "bgv/encoder.h"
+#include "bgv/encryptor.h"
+#include "bgv/evaluator.h"
+#include "common/rng.h"
+
+namespace sknn {
+namespace bgv {
+namespace {
+
+class BgvSerializationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto params = BgvParams::CreateCustom(256, 20, 3, 45, 50);
+    ASSERT_TRUE(params.ok());
+    auto ctx = BgvContext::Create(params.value());
+    ASSERT_TRUE(ctx.ok());
+    ctx_ = ctx.value();
+    rng_ = std::make_unique<Chacha20Rng>(uint64_t{5150});
+    KeyGenerator keygen(ctx_, rng_.get());
+    sk_ = keygen.GenerateSecretKey();
+    pk_ = keygen.GeneratePublicKey(sk_);
+    rk_ = keygen.GenerateRelinKeys(sk_);
+    gk_ = keygen.GenerateGaloisKeys(sk_, {ctx_->GaloisEltForRotation(1)});
+    encoder_ = std::make_unique<BatchEncoder>(ctx_);
+    encryptor_ = std::make_unique<Encryptor>(ctx_, pk_, rng_.get());
+    decryptor_ = std::make_unique<Decryptor>(ctx_, sk_);
+    evaluator_ = std::make_unique<Evaluator>(ctx_);
+  }
+
+  std::shared_ptr<const BgvContext> ctx_;
+  std::unique_ptr<Chacha20Rng> rng_;
+  SecretKey sk_;
+  PublicKey pk_;
+  RelinKeys rk_;
+  GaloisKeys gk_;
+  std::unique_ptr<BatchEncoder> encoder_;
+  std::unique_ptr<Encryptor> encryptor_;
+  std::unique_ptr<Decryptor> decryptor_;
+  std::unique_ptr<Evaluator> evaluator_;
+};
+
+TEST_F(BgvSerializationTest, CiphertextRoundtripDecrypts) {
+  std::vector<uint64_t> v(ctx_->n());
+  for (size_t i = 0; i < v.size(); ++i) v[i] = i % 1000;
+  auto ct = encryptor_->Encrypt(encoder_->Encode(v).value()).value();
+  ByteSink sink;
+  WriteCiphertext(ct, &sink);
+  ByteSource src(sink.TakeBytes());
+  auto back = ReadCiphertext(&src);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(src.AtEnd());
+  EXPECT_EQ(back->level, ct.level);
+  EXPECT_EQ(back->scale, ct.scale);
+  auto pt = decryptor_->Decrypt(back.value());
+  ASSERT_TRUE(pt.ok());
+  EXPECT_EQ(encoder_->Decode(pt.value()), v);
+}
+
+TEST_F(BgvSerializationTest, ModSwitchedCiphertextRoundtrip) {
+  std::vector<uint64_t> v = {1, 2, 3};
+  auto ct = encryptor_->Encrypt(encoder_->Encode(v).value()).value();
+  ASSERT_TRUE(evaluator_->ModSwitchToLevelInplace(&ct, 0).ok());
+  ByteSink sink;
+  WriteCiphertext(ct, &sink);
+  ByteSource src(sink.TakeBytes());
+  auto back = ReadCiphertext(&src);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->scale, ct.scale);  // scale travels with the ciphertext
+  auto pt = decryptor_->Decrypt(back.value());
+  ASSERT_TRUE(pt.ok());
+  auto decoded = encoder_->Decode(pt.value());
+  EXPECT_EQ(decoded[0], 1u);
+  EXPECT_EQ(decoded[2], 3u);
+}
+
+TEST_F(BgvSerializationTest, PublicKeyRoundtripUsable) {
+  ByteSink sink;
+  WritePublicKey(pk_, &sink);
+  ByteSource src(sink.TakeBytes());
+  auto pk2 = ReadPublicKey(&src);
+  ASSERT_TRUE(pk2.ok());
+  Encryptor enc2(ctx_, pk2.value(), rng_.get());
+  auto ct = enc2.Encrypt(encoder_->EncodeScalar(42)).value();
+  auto pt = decryptor_->Decrypt(ct);
+  ASSERT_TRUE(pt.ok());
+  EXPECT_EQ(encoder_->Decode(pt.value())[0], 42u);
+}
+
+TEST_F(BgvSerializationTest, SecretKeyRoundtripUsable) {
+  ByteSink sink;
+  WriteSecretKey(sk_, &sink);
+  ByteSource src(sink.TakeBytes());
+  auto sk2 = ReadSecretKey(&src);
+  ASSERT_TRUE(sk2.ok());
+  Decryptor dec2(ctx_, sk2.value());
+  auto ct = encryptor_->Encrypt(encoder_->EncodeScalar(7)).value();
+  auto pt = dec2.Decrypt(ct);
+  ASSERT_TRUE(pt.ok());
+  EXPECT_EQ(encoder_->Decode(pt.value())[0], 7u);
+}
+
+TEST_F(BgvSerializationTest, RelinKeysRoundtripUsable) {
+  ByteSink sink;
+  WriteRelinKeys(rk_, &sink);
+  ByteSource src(sink.TakeBytes());
+  auto rk2 = ReadRelinKeys(&src);
+  ASSERT_TRUE(rk2.ok());
+  auto ca = encryptor_->Encrypt(encoder_->EncodeScalar(6)).value();
+  auto cb = encryptor_->Encrypt(encoder_->EncodeScalar(7)).value();
+  auto prod = evaluator_->MultiplyRelin(ca, cb, rk2.value());
+  ASSERT_TRUE(prod.ok());
+  auto pt = decryptor_->Decrypt(prod.value());
+  ASSERT_TRUE(pt.ok());
+  EXPECT_EQ(encoder_->Decode(pt.value())[0], 42u);
+}
+
+TEST_F(BgvSerializationTest, GaloisKeysRoundtripUsable) {
+  ByteSink sink;
+  WriteGaloisKeys(gk_, &sink);
+  ByteSource src(sink.TakeBytes());
+  auto gk2 = ReadGaloisKeys(&src);
+  ASSERT_TRUE(gk2.ok());
+  EXPECT_EQ(gk2->keys.size(), gk_.keys.size());
+  std::vector<uint64_t> v(ctx_->n());
+  for (size_t i = 0; i < v.size(); ++i) v[i] = i;
+  auto ct = encryptor_->Encrypt(encoder_->Encode(v).value()).value();
+  ASSERT_TRUE(evaluator_->RotateRowsInplace(&ct, 1, gk2.value()).ok());
+  auto pt = decryptor_->Decrypt(ct);
+  ASSERT_TRUE(pt.ok());
+  EXPECT_EQ(encoder_->Decode(pt.value())[0], 1u);
+}
+
+TEST_F(BgvSerializationTest, PlaintextRoundtrip) {
+  auto pt = encoder_->Encode({9, 8, 7}).value();
+  ByteSink sink;
+  WritePlaintext(pt, &sink);
+  ByteSource src(sink.TakeBytes());
+  auto back = ReadPlaintext(&src);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->coeffs, pt.coeffs);
+}
+
+TEST_F(BgvSerializationTest, TruncatedCiphertextRejected) {
+  auto ct = encryptor_->Encrypt(encoder_->EncodeScalar(1)).value();
+  ByteSink sink;
+  WriteCiphertext(ct, &sink);
+  std::vector<uint8_t> bytes = sink.TakeBytes();
+  bytes.resize(bytes.size() / 2);
+  ByteSource src(std::move(bytes));
+  EXPECT_FALSE(ReadCiphertext(&src).ok());
+}
+
+TEST_F(BgvSerializationTest, GarbageHeaderRejected) {
+  ByteSink sink;
+  sink.WriteU64(3);                  // level
+  sink.WriteU64(1);                  // scale
+  sink.WriteU64(99);                 // absurd size
+  ByteSource src(sink.TakeBytes());
+  EXPECT_FALSE(ReadCiphertext(&src).ok());
+}
+
+TEST_F(BgvSerializationTest, ImplausibleComponentCountRejected) {
+  ByteSink sink;
+  sink.WriteU64(256);  // n
+  sink.WriteU8(1);     // ntt
+  sink.WriteU64(1000);  // comps > 64
+  ByteSource src(sink.TakeBytes());
+  EXPECT_FALSE(ReadRnsPoly(&src).ok());
+}
+
+}  // namespace
+}  // namespace bgv
+}  // namespace sknn

@@ -1,0 +1,331 @@
+#include "math/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "math/prime.h"
+
+namespace sknn {
+namespace {
+
+TEST(BigUintTest, ZeroAndSmallValues) {
+  BigUint zero;
+  EXPECT_TRUE(zero.IsZero());
+  EXPECT_EQ(zero.BitLength(), 0u);
+  EXPECT_EQ(zero.ToDecimal(), "0");
+  BigUint one(1);
+  EXPECT_FALSE(one.IsZero());
+  EXPECT_TRUE(one.IsOdd());
+  EXPECT_EQ(one.BitLength(), 1u);
+  EXPECT_EQ(one.ToU64(), 1u);
+}
+
+TEST(BigUintTest, NormalizationDropsLeadingZeroLimbs) {
+  BigUint v(std::vector<uint64_t>{5, 0, 0});
+  EXPECT_EQ(v.limb_count(), 1u);
+  EXPECT_EQ(v.ToU64(), 5u);
+}
+
+TEST(BigUintTest, DecimalRoundtrip) {
+  const std::string digits =
+      "123456789012345678901234567890123456789012345678901234567890";
+  auto v = BigUint::FromDecimal(digits);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->ToDecimal(), digits);
+}
+
+TEST(BigUintTest, FromDecimalRejectsGarbage) {
+  EXPECT_FALSE(BigUint::FromDecimal("").ok());
+  EXPECT_FALSE(BigUint::FromDecimal("12a3").ok());
+  EXPECT_FALSE(BigUint::FromDecimal("-5").ok());
+}
+
+TEST(BigUintTest, AddCarriesAcrossLimbs) {
+  BigUint a(UINT64_MAX);
+  BigUint b(1);
+  BigUint c = BigUint::Add(a, b);
+  EXPECT_EQ(c.limb_count(), 2u);
+  EXPECT_EQ(c.limbs()[0], 0u);
+  EXPECT_EQ(c.limbs()[1], 1u);
+}
+
+TEST(BigUintTest, SubBorrowsAcrossLimbs) {
+  BigUint a(std::vector<uint64_t>{0, 1});  // 2^64
+  BigUint b(1);
+  BigUint c = BigUint::Sub(a, b);
+  EXPECT_EQ(c.limb_count(), 1u);
+  EXPECT_EQ(c.limbs()[0], UINT64_MAX);
+}
+
+TEST(BigUintTest, AddSubRoundtripRandom) {
+  Chacha20Rng rng(uint64_t{1});
+  for (int i = 0; i < 200; ++i) {
+    BigUint a = BigUint::RandomBits(1 + rng.UniformBelow(300), &rng);
+    BigUint b = BigUint::RandomBits(1 + rng.UniformBelow(300), &rng);
+    BigUint sum = BigUint::Add(a, b);
+    EXPECT_EQ(BigUint::Sub(sum, b), a);
+    EXPECT_EQ(BigUint::Sub(sum, a), b);
+  }
+}
+
+TEST(BigUintTest, MulMatchesU64) {
+  Chacha20Rng rng(uint64_t{2});
+  for (int i = 0; i < 200; ++i) {
+    uint64_t a = rng.NextU32();
+    uint64_t b = rng.NextU32();
+    BigUint p = BigUint::Mul(BigUint(a), BigUint(b));
+    EXPECT_EQ(p.ToU64(), a * b);
+  }
+}
+
+TEST(BigUintTest, MulCommutativeAndDistributive) {
+  Chacha20Rng rng(uint64_t{3});
+  for (int i = 0; i < 50; ++i) {
+    BigUint a = BigUint::RandomBits(200, &rng);
+    BigUint b = BigUint::RandomBits(150, &rng);
+    BigUint c = BigUint::RandomBits(100, &rng);
+    EXPECT_EQ(BigUint::Mul(a, b), BigUint::Mul(b, a));
+    EXPECT_EQ(BigUint::Mul(a, BigUint::Add(b, c)),
+              BigUint::Add(BigUint::Mul(a, b), BigUint::Mul(a, c)));
+  }
+}
+
+TEST(BigUintTest, DivModInvariantRandom) {
+  Chacha20Rng rng(uint64_t{4});
+  for (int i = 0; i < 300; ++i) {
+    BigUint a = BigUint::RandomBits(1 + rng.UniformBelow(512), &rng);
+    BigUint b = BigUint::RandomBits(1 + rng.UniformBelow(256), &rng);
+    if (b.IsZero()) continue;
+    BigUint q, r;
+    BigUint::DivMod(a, b, &q, &r);
+    EXPECT_LT(BigUint::Compare(r, b), 0);
+    EXPECT_EQ(BigUint::Add(BigUint::Mul(q, b), r), a);
+  }
+}
+
+TEST(BigUintTest, DivModKnuthAddBackCase) {
+  // Constructed case that stresses the rare "add back" branch of
+  // algorithm D: divisor with high limb pattern close to the dividend's.
+  BigUint a(std::vector<uint64_t>{0, 0, 0x8000000000000000ull});
+  BigUint b(std::vector<uint64_t>{1, 0x8000000000000000ull});
+  BigUint q, r;
+  BigUint::DivMod(a, b, &q, &r);
+  EXPECT_EQ(BigUint::Add(BigUint::Mul(q, b), r), a);
+  EXPECT_LT(BigUint::Compare(r, b), 0);
+}
+
+TEST(BigUintTest, ShiftLeftRightInverse) {
+  Chacha20Rng rng(uint64_t{5});
+  for (size_t shift : {0ul, 1ul, 63ul, 64ul, 65ul, 130ul}) {
+    BigUint a = BigUint::RandomBits(200, &rng);
+    EXPECT_EQ(a.ShiftLeft(shift).ShiftRight(shift), a);
+  }
+}
+
+TEST(BigUintTest, ShiftLeftMultipliesByPowerOfTwo) {
+  BigUint a(7);
+  EXPECT_EQ(a.ShiftLeft(3).ToU64(), 56u);
+  EXPECT_EQ(a.ShiftLeft(64).limb_count(), 2u);
+}
+
+TEST(BigUintTest, BitAccess) {
+  BigUint a(0b1011);
+  EXPECT_TRUE(a.GetBit(0));
+  EXPECT_TRUE(a.GetBit(1));
+  EXPECT_FALSE(a.GetBit(2));
+  EXPECT_TRUE(a.GetBit(3));
+  EXPECT_FALSE(a.GetBit(200));
+}
+
+TEST(BigUintTest, ModU64MatchesDivMod) {
+  Chacha20Rng rng(uint64_t{6});
+  for (int i = 0; i < 100; ++i) {
+    BigUint a = BigUint::RandomBits(300, &rng);
+    uint64_t m = rng.UniformInRange(1, UINT64_MAX >> 1);
+    BigUint q, r;
+    BigUint::DivMod(a, BigUint(m), &q, &r);
+    EXPECT_EQ(a.ModU64(m), r.IsZero() ? 0 : r.ToU64());
+  }
+}
+
+TEST(BigUintTest, PowModSmallCases) {
+  BigUint m(1000000007);
+  EXPECT_EQ(BigUint::PowMod(BigUint(2), BigUint(10), m).ToU64(), 1024u);
+  EXPECT_EQ(BigUint::PowMod(BigUint(5), BigUint(0), m).ToU64(), 1u);
+  EXPECT_EQ(BigUint::PowMod(BigUint(0), BigUint(5), m).ToU64(), 0u);
+}
+
+TEST(BigUintTest, PowModFermatLittleTheorem) {
+  Chacha20Rng rng(uint64_t{7});
+  BigUint p = BigUint::RandomPrime(128, &rng);
+  BigUint p_minus_1 = BigUint::Sub(p, BigUint(1));
+  for (int i = 0; i < 10; ++i) {
+    BigUint a = BigUint::Add(BigUint::RandomBelow(p_minus_1, &rng), BigUint(1));
+    EXPECT_EQ(BigUint::PowMod(a, p_minus_1, p).ToU64(), 1u);
+  }
+}
+
+TEST(BigUintTest, PowModMatchesMulChain) {
+  Chacha20Rng rng(uint64_t{8});
+  BigUint m = BigUint::RandomBits(192, &rng);
+  if (!m.IsOdd()) m = BigUint::Add(m, BigUint(1));
+  BigUint a = BigUint::RandomBelow(m, &rng);
+  BigUint acc(1);
+  for (uint64_t e = 0; e < 20; ++e) {
+    EXPECT_EQ(BigUint::PowMod(a, BigUint(e), m), acc);
+    acc = BigUint::MulMod(acc, a, m);
+  }
+}
+
+TEST(BigUintTest, PowModEvenModulus) {
+  BigUint m(std::vector<uint64_t>{0, 1});  // 2^64 (even -> generic path)
+  BigUint r = BigUint::PowMod(BigUint(3), BigUint(64), m);
+  // 3^64 mod 2^64: compute with wrap-around u64 arithmetic.
+  uint64_t expected = 1;
+  for (int i = 0; i < 64; ++i) expected *= 3;
+  EXPECT_EQ(r.ToU64(), expected);
+}
+
+TEST(BigUintTest, GcdLcm) {
+  EXPECT_EQ(BigUint::Gcd(BigUint(48), BigUint(36)).ToU64(), 12u);
+  EXPECT_EQ(BigUint::Gcd(BigUint(17), BigUint(5)).ToU64(), 1u);
+  EXPECT_EQ(BigUint::Lcm(BigUint(4), BigUint(6)).ToU64(), 12u);
+  EXPECT_EQ(BigUint::Gcd(BigUint(0), BigUint(9)).ToU64(), 9u);
+}
+
+TEST(BigUintTest, InvModRandomPrimes) {
+  Chacha20Rng rng(uint64_t{9});
+  BigUint p = BigUint::RandomPrime(96, &rng);
+  for (int i = 0; i < 20; ++i) {
+    BigUint a = BigUint::Add(
+        BigUint::RandomBelow(BigUint::Sub(p, BigUint(1)), &rng), BigUint(1));
+    auto inv = BigUint::InvMod(a, p);
+    ASSERT_TRUE(inv.ok());
+    EXPECT_EQ(BigUint::MulMod(a, inv.value(), p).ToU64(), 1u);
+  }
+}
+
+TEST(BigUintTest, InvModDetectsNonCoprime) {
+  EXPECT_FALSE(BigUint::InvMod(BigUint(6), BigUint(9)).ok());
+  EXPECT_FALSE(BigUint::InvMod(BigUint(0), BigUint(7)).ok());
+}
+
+TEST(BigUintTest, RandomBitsExactLength) {
+  Chacha20Rng rng(uint64_t{10});
+  for (size_t bits : {1ul, 8ul, 64ul, 65ul, 257ul}) {
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_EQ(BigUint::RandomBits(bits, &rng).BitLength(), bits);
+    }
+  }
+}
+
+TEST(BigUintTest, RandomBelowInRange) {
+  Chacha20Rng rng(uint64_t{11});
+  BigUint bound = BigUint::RandomBits(130, &rng);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_LT(BigUint::Compare(BigUint::RandomBelow(bound, &rng), bound), 0);
+  }
+}
+
+TEST(BigUintTest, IsProbablePrimeAgreesWithWordSizeOracle) {
+  Chacha20Rng rng(uint64_t{12});
+  for (int i = 0; i < 100; ++i) {
+    uint64_t n = rng.UniformInRange(2, 1 << 20);
+    EXPECT_EQ(BigUint::IsProbablePrime(BigUint(n), &rng), IsPrime(n)) << n;
+  }
+}
+
+TEST(BigUintTest, RandomPrimeIsPrimeAndRightSize) {
+  Chacha20Rng rng(uint64_t{13});
+  BigUint p = BigUint::RandomPrime(160, &rng);
+  EXPECT_EQ(p.BitLength(), 160u);
+  EXPECT_TRUE(BigUint::IsProbablePrime(p, &rng, 48));
+}
+
+TEST(BigUintTest, CrtReconstructMatchesDirectValue) {
+  Chacha20Rng rng(uint64_t{14});
+  std::vector<uint64_t> moduli = {1000003, 999999937, 998244353};
+  BigUint value = BigUint::RandomBits(80, &rng);
+  std::vector<uint64_t> residues;
+  for (uint64_t m : moduli) residues.push_back(value.ModU64(m));
+  BigUint rec = BigUint::CrtReconstruct(residues, moduli);
+  EXPECT_EQ(rec, value);
+}
+
+TEST(BigUintTest, CrtReconstructZeroAndProductMinusOne) {
+  std::vector<uint64_t> moduli = {97, 101};
+  EXPECT_TRUE(BigUint::CrtReconstruct({0, 0}, moduli).IsZero());
+  BigUint rec = BigUint::CrtReconstruct({96, 100}, moduli);
+  EXPECT_EQ(rec.ToU64(), 97u * 101u - 1);
+}
+
+TEST(BigUintTest, KaratsubaMatchesSchoolbookReference) {
+  // Operands above the Karatsuba threshold, verified against the identity
+  // (a+b)^2 - (a-b)^2 = 4ab which exercises Mul through independent paths.
+  Chacha20Rng rng(uint64_t{21});
+  for (size_t bits : {1600ul, 2500ul, 4096ul, 8191ul}) {
+    BigUint a = BigUint::RandomBits(bits, &rng);
+    BigUint b = BigUint::RandomBits(bits - 7, &rng);
+    BigUint ab = BigUint::Mul(a, b);
+    BigUint sum_sq = BigUint::Mul(BigUint::Add(a, b), BigUint::Add(a, b));
+    BigUint diff = BigUint::Sub(a, b);
+    BigUint diff_sq = BigUint::Mul(diff, diff);
+    BigUint four_ab = ab.ShiftLeft(2);
+    EXPECT_EQ(BigUint::Sub(sum_sq, diff_sq), four_ab) << bits;
+  }
+}
+
+TEST(BigUintTest, KaratsubaAsymmetricOperands) {
+  Chacha20Rng rng(uint64_t{22});
+  BigUint a = BigUint::RandomBits(5000, &rng);
+  BigUint b = BigUint::RandomBits(300, &rng);
+  // Distributivity across an asymmetric split: a*(b+1) == a*b + a.
+  EXPECT_EQ(BigUint::Mul(a, BigUint::Add(b, BigUint(1))),
+            BigUint::Add(BigUint::Mul(a, b), a));
+  // And a * 2^k via shifting.
+  EXPECT_EQ(BigUint::Mul(a, BigUint(1).ShiftLeft(200)), a.ShiftLeft(200));
+}
+
+TEST(BigUintTest, KaratsubaDivModRoundtrip) {
+  Chacha20Rng rng(uint64_t{23});
+  BigUint a = BigUint::RandomBits(3000, &rng);
+  BigUint b = BigUint::RandomBits(1700, &rng);
+  BigUint q, r;
+  BigUint::DivMod(BigUint::Mul(a, b), b, &q, &r);
+  EXPECT_EQ(q, a);
+  EXPECT_TRUE(r.IsZero());
+}
+
+TEST(MontgomeryTest, RoundtripAndMultiply) {
+  Chacha20Rng rng(uint64_t{15});
+  BigUint m = BigUint::RandomPrime(128, &rng);
+  MontgomeryCtx ctx(m);
+  for (int i = 0; i < 30; ++i) {
+    BigUint a = BigUint::RandomBelow(m, &rng);
+    BigUint b = BigUint::RandomBelow(m, &rng);
+    EXPECT_EQ(ctx.FromMont(ctx.ToMont(a)), a);
+    BigUint prod = ctx.FromMont(ctx.MulMont(ctx.ToMont(a), ctx.ToMont(b)));
+    EXPECT_EQ(prod, BigUint::MulMod(a, b, m));
+  }
+}
+
+TEST(MontgomeryTest, PowMatchesGenericPow) {
+  Chacha20Rng rng(uint64_t{16});
+  BigUint m = BigUint::RandomBits(256, &rng);
+  if (!m.IsOdd()) m = BigUint::Add(m, BigUint(1));
+  MontgomeryCtx ctx(m);
+  for (int i = 0; i < 10; ++i) {
+    BigUint a = BigUint::RandomBelow(m, &rng);
+    BigUint e = BigUint::RandomBits(64, &rng);
+    // Generic reference: square-and-multiply with MulMod.
+    BigUint ref(1);
+    for (size_t bit = e.BitLength(); bit-- > 0;) {
+      ref = BigUint::MulMod(ref, ref, m);
+      if (e.GetBit(bit)) ref = BigUint::MulMod(ref, a, m);
+    }
+    EXPECT_EQ(ctx.PowMod(a, e), ref);
+  }
+}
+
+}  // namespace
+}  // namespace sknn

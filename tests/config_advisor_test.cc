@@ -1,0 +1,110 @@
+#include "core/config_advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "data/generators.h"
+
+namespace sknn {
+namespace core {
+namespace {
+
+TEST(ConfigAdvisorTest, SmallWorkloadGetsPerPoint) {
+  WorkloadSpec w;
+  w.num_points = 100;
+  w.dims = 4;
+  w.coord_bits = 4;
+  w.k = 5;
+  w.preset = bgv::SecurityPreset::kToy;
+  auto advised = AdviseConfig(w);
+  ASSERT_TRUE(advised.ok()) << advised.status();
+  EXPECT_EQ(advised->config.layout, Layout::kPerPoint);
+  EXPECT_TRUE(advised->config.Validate().ok());
+  EXPECT_NE(advised->rationale.find("per-point"), std::string::npos);
+}
+
+TEST(ConfigAdvisorTest, LargeWorkloadGetsPacked) {
+  WorkloadSpec w;
+  w.num_points = 100000;
+  w.dims = 2;
+  w.coord_bits = 5;
+  w.preset = bgv::SecurityPreset::kToy;
+  auto advised = AdviseConfig(w);
+  ASSERT_TRUE(advised.ok());
+  EXPECT_EQ(advised->config.layout, Layout::kPacked);
+}
+
+TEST(ConfigAdvisorTest, PrefersHighestFittingDegree) {
+  // Tiny coordinates: degree 3 fits with budget to spare.
+  WorkloadSpec w;
+  w.num_points = 50;
+  w.dims = 2;
+  w.coord_bits = 2;
+  w.preset = bgv::SecurityPreset::kToy;
+  auto advised = AdviseConfig(w);
+  ASSERT_TRUE(advised.ok());
+  EXPECT_EQ(advised->config.poly_degree, 3u);
+  // Large coordinates: only degree 1 leaves coefficient entropy.
+  w.coord_bits = 11;
+  advised = AdviseConfig(w);
+  ASSERT_TRUE(advised.ok()) << advised.status();
+  EXPECT_EQ(advised->config.poly_degree, 1u);
+}
+
+TEST(ConfigAdvisorTest, RespectsDegreeFloor) {
+  WorkloadSpec w;
+  w.num_points = 50;
+  w.dims = 2;
+  w.coord_bits = 11;  // only degree 1 fits...
+  w.min_poly_degree = 2;  // ...but the user demands 2
+  w.preset = bgv::SecurityPreset::kToy;
+  EXPECT_FALSE(AdviseConfig(w).ok());
+}
+
+TEST(ConfigAdvisorTest, RejectsImpossibleWorkloads) {
+  WorkloadSpec w;
+  w.num_points = 10;
+  w.dims = 2;
+  w.coord_bits = 20;  // squared distances blow past t/2
+  w.preset = bgv::SecurityPreset::kToy;
+  EXPECT_FALSE(AdviseConfig(w).ok());
+  w.coord_bits = 4;
+  w.dims = 4000;  // more slots than the toy ring offers
+  EXPECT_FALSE(AdviseConfig(w).ok());
+  w.dims = 0;
+  EXPECT_FALSE(AdviseConfig(w).ok());
+}
+
+TEST(ConfigAdvisorTest, AdvisedConfigActuallyRuns) {
+  WorkloadSpec w;
+  w.num_points = 40;
+  w.dims = 3;
+  w.coord_bits = 4;
+  w.k = 3;
+  w.preset = bgv::SecurityPreset::kToy;
+  auto advised = AdviseConfig(w);
+  ASSERT_TRUE(advised.ok());
+  data::Dataset dataset = data::UniformDataset(40, 3, 15, 1);
+  auto session = SecureKnnSession::Create(advised->config, dataset, 2);
+  ASSERT_TRUE(session.ok()) << session.status();
+  auto result = (*session)->RunQuery({1, 2, 3});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->neighbours.size(), 3u);
+}
+
+TEST(ConfigAdvisorTest, RationaleExplainsChoices) {
+  WorkloadSpec w;
+  w.num_points = 5000;
+  w.dims = 8;
+  w.coord_bits = 4;
+  w.preset = bgv::SecurityPreset::kToy;
+  auto advised = AdviseConfig(w);
+  ASSERT_TRUE(advised.ok());
+  EXPECT_NE(advised->rationale.find("packed"), std::string::npos);
+  EXPECT_NE(advised->rationale.find("masking degree"), std::string::npos);
+  EXPECT_NE(advised->rationale.find("levels"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace sknn

@@ -1,0 +1,78 @@
+#include "core/data_owner.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace sknn {
+namespace core {
+namespace {
+
+ProtocolConfig Config() {
+  ProtocolConfig cfg;
+  cfg.k = 3;
+  cfg.dims = 2;
+  cfg.coord_bits = 4;
+  cfg.poly_degree = 2;
+  cfg.layout = Layout::kPacked;
+  cfg.preset = bgv::SecurityPreset::kToy;
+  cfg.levels = cfg.MinimumLevels();
+  return cfg;
+}
+
+TEST(DataOwnerTest, CreatesAllKeyMaterial) {
+  data::Dataset dataset = data::UniformDataset(10, 2, 15, 1);
+  auto owner = DataOwner::Create(Config(), dataset, 2);
+  ASSERT_TRUE(owner.ok()) << owner.status();
+  EXPECT_FALSE((*owner)->relin().key.digits.empty());
+  EXPECT_FALSE((*owner)->galois().keys.empty());
+  EXPECT_GT((*owner)->context()->n(), 0u);
+}
+
+TEST(DataOwnerTest, EncryptedDatabaseHasLayoutUnitCount) {
+  data::Dataset dataset = data::UniformDataset(1200, 2, 15, 3);
+  auto owner = DataOwner::Create(Config(), dataset, 4);
+  ASSERT_TRUE(owner.ok());
+  auto units = (*owner)->EncryptDatabase();
+  ASSERT_TRUE(units.ok());
+  EXPECT_EQ(units->size(), (*owner)->layout().num_units());
+  EXPECT_EQ((*owner)->ops().encryptions, units->size());
+  for (const auto& ct : units.value()) {
+    EXPECT_EQ(ct.level, (*owner)->context()->max_level());
+  }
+}
+
+TEST(DataOwnerTest, RejectsDimensionMismatch) {
+  data::Dataset dataset = data::UniformDataset(10, 3, 15, 5);
+  EXPECT_FALSE(DataOwner::Create(Config(), dataset, 6).ok());
+}
+
+TEST(DataOwnerTest, RejectsOutOfRangeValues) {
+  data::Dataset dataset = data::UniformDataset(10, 2, 300, 7);
+  EXPECT_FALSE(DataOwner::Create(Config(), dataset, 8).ok());
+}
+
+TEST(DataOwnerTest, RejectsMaskingDegreeThatCannotFit) {
+  // 30-bit coordinates with degree-2 masking: x^2 alone exceeds the 33-bit
+  // plaintext space.
+  ProtocolConfig cfg = Config();
+  cfg.coord_bits = 20;
+  data::Dataset dataset = data::UniformDataset(4, 2, (1u << 20) - 1, 9);
+  auto owner = DataOwner::Create(cfg, dataset, 10);
+  EXPECT_FALSE(owner.ok());
+}
+
+TEST(DataOwnerTest, DeterministicKeygenPerSeed) {
+  data::Dataset dataset = data::UniformDataset(5, 2, 15, 11);
+  auto o1 = DataOwner::Create(Config(), dataset, 99);
+  auto o2 = DataOwner::Create(Config(), dataset, 99);
+  ASSERT_TRUE(o1.ok() && o2.ok());
+  EXPECT_EQ((*o1)->sk().s_coeff.comp, (*o2)->sk().s_coeff.comp);
+  auto o3 = DataOwner::Create(Config(), dataset, 100);
+  ASSERT_TRUE(o3.ok());
+  EXPECT_NE((*o1)->sk().s_coeff.comp, (*o3)->sk().s_coeff.comp);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace sknn

@@ -1,0 +1,112 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace sknn {
+namespace data {
+namespace {
+
+TEST(DatasetTest, BasicAccessors) {
+  Dataset d(3, 2);
+  d.set(1, 0, 7);
+  d.set(1, 1, 9);
+  EXPECT_EQ(d.num_points(), 3u);
+  EXPECT_EQ(d.dims(), 2u);
+  EXPECT_EQ(d.at(1, 0), 7u);
+  EXPECT_EQ(d.point(1), (std::vector<uint64_t>{7, 9}));
+  EXPECT_EQ(d.point(0), (std::vector<uint64_t>{0, 0}));
+  EXPECT_EQ(d.MaxValue(), 9u);
+}
+
+TEST(DatasetTest, SquaredDistance) {
+  Dataset d(1, 3);
+  d.set(0, 0, 1);
+  d.set(0, 1, 5);
+  d.set(0, 2, 10);
+  EXPECT_EQ(SquaredDistance(d, 0, {1, 5, 10}), 0u);
+  EXPECT_EQ(SquaredDistance(d, 0, {2, 3, 13}), 1u + 4u + 9u);
+  EXPECT_EQ(SquaredDistance(d, 0, {0, 7, 8}), 1u + 4u + 4u);
+}
+
+TEST(DatasetTest, MaxSquaredDistanceBound) {
+  EXPECT_EQ(MaxSquaredDistance(3, 15), 3u * 225u);
+  Dataset d = UniformDataset(50, 3, 15, 1);
+  for (size_t i = 0; i < d.num_points(); ++i) {
+    EXPECT_LE(SquaredDistance(d, i, {0, 0, 0}), MaxSquaredDistance(3, 15));
+  }
+}
+
+TEST(DatasetTest, QuantizeToBitsBoundsValues) {
+  Dataset d = UniformDataset(100, 4, 100000, 2);
+  Dataset q = d.QuantizeToBits(6);
+  EXPECT_LT(q.MaxValue(), 64u);
+  EXPECT_EQ(q.num_points(), d.num_points());
+  EXPECT_EQ(q.dims(), d.dims());
+}
+
+TEST(DatasetTest, QuantizeNoopWhenAlreadySmall) {
+  Dataset d = UniformDataset(20, 2, 15, 3);
+  Dataset q = d.QuantizeToBits(8);
+  for (size_t i = 0; i < d.num_points(); ++i) {
+    EXPECT_EQ(q.point(i), d.point(i));
+  }
+}
+
+TEST(GeneratorsTest, UniformRespectsRange) {
+  Dataset d = UniformDataset(500, 3, 31, 4);
+  EXPECT_LE(d.MaxValue(), 31u);
+  EXPECT_EQ(d.num_points(), 500u);
+  EXPECT_EQ(d.dims(), 3u);
+}
+
+TEST(GeneratorsTest, UniformDeterministicPerSeed) {
+  Dataset a = UniformDataset(50, 2, 100, 7);
+  Dataset b = UniformDataset(50, 2, 100, 7);
+  Dataset c = UniformDataset(50, 2, 100, 8);
+  EXPECT_EQ(a.point(13), b.point(13));
+  bool any_diff = false;
+  for (size_t i = 0; i < 50; ++i) {
+    if (a.point(i) != c.point(i)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorsTest, UniformQueryInRange) {
+  auto q = UniformQuery(10, 63, 9);
+  EXPECT_EQ(q.size(), 10u);
+  for (uint64_t v : q) EXPECT_LE(v, 63u);
+}
+
+TEST(GeneratorsTest, CervicalCancerShapeMatchesPaper) {
+  Dataset d = SimulatedCervicalCancer(11);
+  EXPECT_EQ(d.num_points(), 858u);  // paper: 858 patients
+  EXPECT_EQ(d.dims(), 32u);         // paper: 32 dimensions
+}
+
+TEST(GeneratorsTest, CervicalCancerValueRangesPlausible) {
+  Dataset d = SimulatedCervicalCancer(12);
+  // Ages (feature 0) within the documented range, binary indicators 0/1.
+  for (size_t i = 0; i < d.num_points(); ++i) {
+    EXPECT_GE(d.at(i, 0), 13u);
+    EXPECT_LE(d.at(i, 0), 84u);
+    EXPECT_LE(d.at(i, 4), 1u);
+  }
+}
+
+TEST(GeneratorsTest, CreditCardShapeMatchesPaper) {
+  Dataset d = SimulatedCreditCard(13);
+  EXPECT_EQ(d.num_points(), 30000u);  // paper: 30000 clients
+  EXPECT_EQ(d.dims(), 23u);           // paper: 23 dimensions
+}
+
+TEST(GeneratorsTest, CreditCardSupportsSubsampling) {
+  Dataset d = SimulatedCreditCard(14, 1000);
+  EXPECT_EQ(d.num_points(), 1000u);
+  EXPECT_EQ(d.dims(), 23u);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace sknn

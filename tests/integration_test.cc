@@ -1,0 +1,136 @@
+// End-to-end integration on the paper's (simulated) evaluation workloads:
+// subsets of the cervical-cancer-shaped and credit-card-shaped datasets,
+// full 32/23-dimensional records, checked for exactness against the
+// plaintext reference — the miniature version of Figures 3 and 4.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/session.h"
+#include "data/generators.h"
+#include "extensions/secure_kmeans.h"
+#include "knn/knn.h"
+
+namespace sknn {
+namespace {
+
+std::vector<uint64_t> SortedDistances(
+    const std::vector<std::vector<uint64_t>>& points,
+    const std::vector<uint64_t>& query) {
+  std::vector<uint64_t> out;
+  for (const auto& p : points) {
+    uint64_t sum = 0;
+    for (size_t j = 0; j < query.size(); ++j) {
+      uint64_t d = p[j] > query[j] ? p[j] - query[j] : query[j] - p[j];
+      sum += d * d;
+    }
+    out.push_back(sum);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+data::Dataset Subset(const data::Dataset& d, size_t n) {
+  data::Dataset out(std::min(n, d.num_points()), d.dims());
+  for (size_t i = 0; i < out.num_points(); ++i) {
+    for (size_t j = 0; j < d.dims(); ++j) out.set(i, j, d.at(i, j));
+  }
+  return out;
+}
+
+TEST(IntegrationTest, CancerWorkloadExact) {
+  // 120 patients x 32 features, 8-NN (the Figure 3 workload, miniature).
+  data::Dataset full = data::SimulatedCervicalCancer(2018).QuantizeToBits(5);
+  data::Dataset dataset = Subset(full, 120);
+  core::ProtocolConfig cfg;
+  cfg.k = 8;
+  cfg.dims = 32;
+  cfg.coord_bits = 5;
+  cfg.poly_degree = 2;
+  cfg.layout = core::Layout::kPacked;
+  cfg.preset = bgv::SecurityPreset::kToy;
+  cfg.levels = cfg.MinimumLevels();
+  auto session = core::SecureKnnSession::Create(cfg, dataset, 8);
+  ASSERT_TRUE(session.ok()) << session.status();
+  auto query = data::UniformQuery(32, 31, 9);
+  auto result = (*session)->RunQuery(query);
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto ref = knn::PlaintextKnn(dataset, query, 8);
+  ASSERT_TRUE(ref.ok());
+  std::vector<uint64_t> expected;
+  for (const auto& nb : ref.value()) expected.push_back(nb.squared_distance);
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(SortedDistances(result->neighbours, query), expected);
+}
+
+TEST(IntegrationTest, CreditWorkloadExact) {
+  // 300 clients x 23 features, 5-NN (the Figure 4 workload, miniature).
+  data::Dataset dataset = data::SimulatedCreditCard(2018, 300).QuantizeToBits(5);
+  core::ProtocolConfig cfg;
+  cfg.k = 5;
+  cfg.dims = 23;
+  cfg.coord_bits = 5;
+  cfg.poly_degree = 2;
+  cfg.layout = core::Layout::kPacked;
+  cfg.preset = bgv::SecurityPreset::kToy;
+  cfg.levels = cfg.MinimumLevels();
+  auto session = core::SecureKnnSession::Create(cfg, dataset, 10);
+  ASSERT_TRUE(session.ok()) << session.status();
+  auto query = data::UniformQuery(23, 31, 11);
+  auto result = (*session)->RunQuery(query);
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto ref = knn::PlaintextKnn(dataset, query, 5);
+  ASSERT_TRUE(ref.ok());
+  std::vector<uint64_t> expected;
+  for (const auto& nb : ref.value()) expected.push_back(nb.squared_distance);
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(SortedDistances(result->neighbours, query), expected);
+}
+
+TEST(IntegrationTest, PerPointAndPackedAgreeOnRealWorkload) {
+  data::Dataset dataset =
+      Subset(data::SimulatedCervicalCancer(2018).QuantizeToBits(4), 60);
+  auto query = data::UniformQuery(32, 15, 12);
+  std::vector<std::vector<uint64_t>> results[2];
+  int idx = 0;
+  for (auto layout : {core::Layout::kPerPoint, core::Layout::kPacked}) {
+    core::ProtocolConfig cfg;
+    cfg.k = 4;
+    cfg.dims = 32;
+    cfg.coord_bits = 4;
+    cfg.poly_degree = 2;
+    cfg.layout = layout;
+    cfg.preset = bgv::SecurityPreset::kToy;
+    cfg.levels = cfg.MinimumLevels();
+    auto session = core::SecureKnnSession::Create(cfg, dataset, 13);
+    ASSERT_TRUE(session.ok()) << session.status();
+    auto result = (*session)->RunQuery(query);
+    ASSERT_TRUE(result.ok()) << result.status();
+    results[idx++] = result->neighbours;
+  }
+  EXPECT_EQ(SortedDistances(results[0], query),
+            SortedDistances(results[1], query));
+}
+
+TEST(IntegrationTest, KMeansOnCreditWorkload) {
+  data::Dataset dataset = data::SimulatedCreditCard(2018, 150).QuantizeToBits(4);
+  extensions::KMeansConfig cfg;
+  cfg.num_clusters = 2;
+  cfg.dims = 23;
+  cfg.coord_bits = 4;
+  cfg.iterations = 2;
+  cfg.preset = bgv::SecurityPreset::kToy;
+  cfg.seed = 14;
+  auto km = extensions::SecureKMeans::Create(cfg, dataset);
+  ASSERT_TRUE(km.ok()) << km.status();
+  auto result = (*km)->Run();
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto ref = extensions::SecureKMeans::ReferenceLloyd(
+      dataset, {dataset.point(0), dataset.point(1)}, 2);
+  EXPECT_EQ(result->centroids, ref);
+  EXPECT_EQ(result->sizes[0] + result->sizes[1], 150u);
+}
+
+}  // namespace
+}  // namespace sknn

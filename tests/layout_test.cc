@@ -1,0 +1,149 @@
+#include "core/layout.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace sknn {
+namespace core {
+namespace {
+
+ProtocolConfig MakeConfig(Layout layout, size_t dims) {
+  ProtocolConfig cfg;
+  cfg.layout = layout;
+  cfg.dims = dims;
+  return cfg;
+}
+
+TEST(LayoutTest, PerPointGeometry) {
+  auto l = SlotLayout::Create(MakeConfig(Layout::kPerPoint, 3), 64, 10);
+  ASSERT_TRUE(l.ok());
+  EXPECT_EQ(l->padded_dims(), 4u);
+  EXPECT_EQ(l->points_per_unit(), 1u);
+  EXPECT_EQ(l->num_units(), 10u);
+  EXPECT_EQ(l->PayloadSlot(0), 0u);
+  EXPECT_EQ(l->PointIndex(7, 0), 7u);
+}
+
+TEST(LayoutTest, PackedGeometry) {
+  auto l = SlotLayout::Create(MakeConfig(Layout::kPacked, 3), 64, 100);
+  ASSERT_TRUE(l.ok());
+  // row_size=32, padded=4 -> 8 blocks/row, 16 points/unit, 7 units.
+  EXPECT_EQ(l->points_per_row(), 8u);
+  EXPECT_EQ(l->points_per_unit(), 16u);
+  EXPECT_EQ(l->num_units(), 7u);
+  // Payload slots stride by padded_dims within rows.
+  EXPECT_EQ(l->PayloadSlot(0), 0u);
+  EXPECT_EQ(l->PayloadSlot(1), 4u);
+  EXPECT_EQ(l->PayloadSlot(7), 28u);
+  EXPECT_EQ(l->PayloadSlot(8), 32u);  // second row starts
+}
+
+TEST(LayoutTest, RejectsOversizedDims) {
+  EXPECT_FALSE(SlotLayout::Create(MakeConfig(Layout::kPacked, 40), 64, 5).ok());
+  EXPECT_FALSE(SlotLayout::Create(MakeConfig(Layout::kPacked, 2), 64, 0).ok());
+}
+
+TEST(LayoutTest, DbUnitEncodingPlacesPoints) {
+  data::Dataset d = data::UniformDataset(20, 3, 15, 1);
+  auto l = SlotLayout::Create(MakeConfig(Layout::kPacked, 3), 64, 20);
+  ASSERT_TRUE(l.ok());
+  for (size_t u = 0; u < l->num_units(); ++u) {
+    auto slots = l->EncodeDbUnit(d, u);
+    for (size_t p = 0; p < l->points_per_unit(); ++p) {
+      const size_t point = l->PointIndex(u, p);
+      const size_t base = l->PayloadSlot(p);
+      for (size_t j = 0; j < 3; ++j) {
+        const uint64_t expected = point < 20 ? d.at(point, j) : 0;
+        EXPECT_EQ(slots[base + j], expected);
+      }
+      EXPECT_EQ(slots[base + 3], 0u);  // padding dim
+    }
+  }
+}
+
+TEST(LayoutTest, QueryReplicationPacked) {
+  auto l = SlotLayout::Create(MakeConfig(Layout::kPacked, 2), 32, 10);
+  ASSERT_TRUE(l.ok());
+  auto slots = l->EncodeQuery({5, 9});
+  for (size_t p = 0; p < l->points_per_unit(); ++p) {
+    EXPECT_EQ(slots[l->PayloadSlot(p)], 5u);
+    EXPECT_EQ(slots[l->PayloadSlot(p) + 1], 9u);
+  }
+}
+
+TEST(LayoutTest, QueryPerPointOnlyBlockZero) {
+  auto l = SlotLayout::Create(MakeConfig(Layout::kPerPoint, 2), 32, 10);
+  ASSERT_TRUE(l.ok());
+  auto slots = l->EncodeQuery({5, 9});
+  EXPECT_EQ(slots[0], 5u);
+  EXPECT_EQ(slots[1], 9u);
+  for (size_t s = 2; s < slots.size(); ++s) EXPECT_EQ(slots[s], 0u);
+}
+
+TEST(LayoutTest, SelectorMarksOnlyRealPayloads) {
+  // 20 points, 16 per unit: unit 1 has 4 real + 12 padding payloads.
+  auto l = SlotLayout::Create(MakeConfig(Layout::kPacked, 3), 64, 20);
+  ASSERT_TRUE(l.ok());
+  auto sel0 = l->SelectorSlots(0);
+  auto sel1 = l->SelectorSlots(1);
+  size_t ones0 = 0, ones1 = 0;
+  for (uint64_t v : sel0) ones0 += v;
+  for (uint64_t v : sel1) ones1 += v;
+  EXPECT_EQ(ones0, 16u);
+  EXPECT_EQ(ones1, 4u);
+}
+
+TEST(LayoutTest, PaddingSlotsComplementSelector) {
+  auto l = SlotLayout::Create(MakeConfig(Layout::kPacked, 3), 64, 20);
+  ASSERT_TRUE(l.ok());
+  auto pads = l->PaddingPayloadSlots(1);
+  EXPECT_EQ(pads.size(), 12u);
+  auto sel = l->SelectorSlots(1);
+  for (size_t s : pads) EXPECT_EQ(sel[s], 0u);
+}
+
+TEST(LayoutTest, RandomMaskExcludesAllPayloadPositions) {
+  auto l = SlotLayout::Create(MakeConfig(Layout::kPacked, 3), 64, 20);
+  ASSERT_TRUE(l.ok());
+  auto mask = l->RandomMaskPositions(1);
+  for (size_t p = 0; p < l->payloads_per_unit(); ++p) {
+    EXPECT_FALSE(mask[l->PayloadSlot(p)]);
+  }
+}
+
+TEST(LayoutTest, IndicatorCoversWholeBlock) {
+  auto l = SlotLayout::Create(MakeConfig(Layout::kPacked, 3), 64, 100);
+  ASSERT_TRUE(l.ok());
+  auto ind = l->IndicatorSlots(5);
+  const size_t base = l->PayloadSlot(5);
+  for (size_t s = 0; s < ind.size(); ++s) {
+    const bool in_block = s >= base && s < base + l->padded_dims();
+    EXPECT_EQ(ind[s], in_block ? 1u : 0u);
+  }
+}
+
+TEST(LayoutTest, ExtractPointSumsBlocks) {
+  auto l = SlotLayout::Create(MakeConfig(Layout::kPacked, 2), 32, 10);
+  ASSERT_TRUE(l.ok());
+  std::vector<uint64_t> decoded(32, 0);
+  // Only block 3 is populated (as after the oblivious selection).
+  decoded[l->PayloadSlot(3)] = 11;
+  decoded[l->PayloadSlot(3) + 1] = 22;
+  auto point = l->ExtractPoint(decoded, 1000003);
+  EXPECT_EQ(point, (std::vector<uint64_t>{11, 22}));
+}
+
+TEST(LayoutTest, PointIndexRoundtripAcrossUnits) {
+  auto l = SlotLayout::Create(MakeConfig(Layout::kPacked, 4), 64, 50);
+  ASSERT_TRUE(l.ok());
+  for (size_t g = 0; g < 50; ++g) {
+    const size_t unit = g / l->points_per_unit();
+    const size_t payload = g % l->points_per_unit();
+    EXPECT_EQ(l->PointIndex(unit, payload), g);
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace sknn

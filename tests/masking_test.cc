@@ -1,0 +1,111 @@
+#include "core/masking.h"
+
+#include <gtest/gtest.h>
+
+namespace sknn {
+namespace core {
+namespace {
+
+constexpr uint64_t kT = 8589934583ull;  // 33-bit prime-ish test modulus
+
+TEST(MaskingTest, SampleProducesRequestedDegree) {
+  Chacha20Rng rng(uint64_t{1});
+  auto m = MaskingPolynomial::Sample(kT, 1 << 10, 2, &rng);
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->degree(), 2u);
+  EXPECT_EQ(m->coefficients().size(), 3u);
+}
+
+TEST(MaskingTest, StrictlyMonotoneOverDomain) {
+  Chacha20Rng rng(uint64_t{2});
+  for (int trial = 0; trial < 20; ++trial) {
+    auto m = MaskingPolynomial::Sample(kT, 1000, 2, &rng);
+    ASSERT_TRUE(m.ok());
+    uint64_t prev = m->Evaluate(0);
+    for (uint64_t x = 1; x <= 1000; ++x) {
+      uint64_t cur = m->Evaluate(x);
+      EXPECT_GT(cur, prev) << "at x=" << x;
+      prev = cur;
+    }
+  }
+}
+
+TEST(MaskingTest, NeverOverflowsPlaintextSpace) {
+  Chacha20Rng rng(uint64_t{3});
+  for (size_t degree : {1u, 2u, 3u}) {
+    for (int trial = 0; trial < 50; ++trial) {
+      auto m = MaskingPolynomial::Sample(kT, 1 << 10, degree, &rng);
+      ASSERT_TRUE(m.ok());
+      EXPECT_LT(m->Evaluate(1 << 10), kT);
+    }
+  }
+}
+
+TEST(MaskingTest, OrderPreservedOnRandomInputs) {
+  Chacha20Rng rng(uint64_t{4});
+  auto m = MaskingPolynomial::Sample(kT, 1 << 12, 2, &rng);
+  ASSERT_TRUE(m.ok());
+  for (int i = 0; i < 500; ++i) {
+    uint64_t a = rng.UniformBelow(1 << 12);
+    uint64_t b = rng.UniformBelow(1 << 12);
+    if (a < b) {
+      EXPECT_LT(m->Evaluate(a), m->Evaluate(b));
+    } else if (a == b) {
+      EXPECT_EQ(m->Evaluate(a), m->Evaluate(b));
+    } else {
+      EXPECT_GT(m->Evaluate(a), m->Evaluate(b));
+    }
+  }
+}
+
+TEST(MaskingTest, CoefficientsWithinBudget) {
+  Chacha20Rng rng(uint64_t{5});
+  const uint64_t max_input = 1 << 12;
+  auto m = MaskingPolynomial::Sample(kT, max_input, 2, &rng);
+  ASSERT_TRUE(m.ok());
+  for (size_t j = 0; j <= 2; ++j) {
+    EXPECT_LE(m->coefficients()[j],
+              MaskingPolynomial::CoefficientBudget(kT, max_input, 2, j));
+  }
+  // Non-constant coefficients are strictly positive.
+  EXPECT_GE(m->coefficients()[1], 1u);
+  EXPECT_GE(m->coefficients()[2], 1u);
+}
+
+TEST(MaskingTest, BudgetShrinksWithDegree) {
+  const uint64_t b0 = MaskingPolynomial::CoefficientBudget(kT, 1000, 3, 0);
+  const uint64_t b1 = MaskingPolynomial::CoefficientBudget(kT, 1000, 3, 1);
+  const uint64_t b2 = MaskingPolynomial::CoefficientBudget(kT, 1000, 3, 2);
+  EXPECT_GT(b0, b1);
+  EXPECT_GT(b1, b2);
+}
+
+TEST(MaskingTest, RejectsImpossibleDegree) {
+  Chacha20Rng rng(uint64_t{6});
+  // max_input^degree exceeds the modulus: no valid leading coefficient.
+  auto m = MaskingPolynomial::Sample(1 << 20, 1 << 12, 3, &rng);
+  EXPECT_FALSE(m.ok());
+  EXPECT_FALSE(MaskingPolynomial::Sample(kT, 1, 0, &rng).ok());
+}
+
+TEST(MaskingTest, DistinctSamplesDiffer) {
+  Chacha20Rng rng(uint64_t{7});
+  auto m1 = MaskingPolynomial::Sample(kT, 1000, 2, &rng);
+  auto m2 = MaskingPolynomial::Sample(kT, 1000, 2, &rng);
+  ASSERT_TRUE(m1.ok() && m2.ok());
+  EXPECT_NE(m1->coefficients(), m2->coefficients());
+}
+
+TEST(MaskingTest, InjectiveImpliesEquidistantDetection) {
+  // The only leakage the paper concedes to Party B: equal distances give
+  // equal masked values, unequal give unequal.
+  Chacha20Rng rng(uint64_t{8});
+  auto m = MaskingPolynomial::Sample(kT, 4096, 2, &rng);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->Evaluate(77), m->Evaluate(77));
+  EXPECT_NE(m->Evaluate(77), m->Evaluate(78));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace sknn

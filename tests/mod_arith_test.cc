@@ -1,0 +1,126 @@
+#include "math/mod_arith.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sknn {
+namespace {
+
+TEST(ModArithTest, AddSubNegBasics) {
+  const uint64_t q = 17;
+  EXPECT_EQ(AddMod(9, 9, q), 1u);
+  EXPECT_EQ(AddMod(0, 0, q), 0u);
+  EXPECT_EQ(AddMod(16, 16, q), 15u);
+  EXPECT_EQ(SubMod(3, 5, q), 15u);
+  EXPECT_EQ(SubMod(5, 3, q), 2u);
+  EXPECT_EQ(NegMod(0, q), 0u);
+  EXPECT_EQ(NegMod(5, q), 12u);
+}
+
+TEST(ModArithTest, AddModNearWordBoundary) {
+  const uint64_t q = (uint64_t{1} << 62) - 57;  // large modulus
+  EXPECT_EQ(AddMod(q - 1, q - 1, q), q - 2);
+  EXPECT_EQ(AddMod(q - 1, 1, q), 0u);
+}
+
+TEST(ModArithTest, BarrettMatchesSlowMultiply) {
+  Chacha20Rng rng(uint64_t{42});
+  for (int trial = 0; trial < 50; ++trial) {
+    uint64_t q = rng.UniformInRange(3, (uint64_t{1} << 62) - 1) | 1;
+    Modulus mod(q);
+    for (int i = 0; i < 200; ++i) {
+      uint64_t a = rng.UniformBelow(q);
+      uint64_t b = rng.UniformBelow(q);
+      EXPECT_EQ(mod.MulMod(a, b), MulModSlow(a, b, q));
+    }
+  }
+}
+
+TEST(ModArithTest, BarrettReducesArbitrary128Bit) {
+  Chacha20Rng rng(uint64_t{43});
+  for (int trial = 0; trial < 20; ++trial) {
+    uint64_t q = rng.UniformInRange(3, (uint64_t{1} << 62) - 1);
+    Modulus mod(q);
+    for (int i = 0; i < 100; ++i) {
+      uint128_t x = Make128(rng.NextU64() >> 2, rng.NextU64());
+      EXPECT_EQ(mod.ReduceU128(x), static_cast<uint64_t>(x % q));
+    }
+  }
+}
+
+TEST(ModArithTest, PowModMatchesRepeatedMultiply) {
+  const uint64_t q = 1000003;
+  uint64_t acc = 1;
+  for (uint64_t e = 0; e < 40; ++e) {
+    EXPECT_EQ(PowMod(7, e, q), acc);
+    acc = MulModSlow(acc, 7, q);
+  }
+}
+
+TEST(ModArithTest, PowModFermat) {
+  // a^(p-1) = 1 mod p for prime p.
+  const uint64_t p = 0x1fffffffffe00001ull;  // 61-bit NTT prime
+  Chacha20Rng rng(uint64_t{44});
+  for (int i = 0; i < 20; ++i) {
+    uint64_t a = rng.UniformInRange(2, p - 1);
+    EXPECT_EQ(PowMod(a, p - 1, p), 1u);
+  }
+}
+
+TEST(ModArithTest, InvModPrime) {
+  const uint64_t p = 998244353;
+  Chacha20Rng rng(uint64_t{45});
+  for (int i = 0; i < 100; ++i) {
+    uint64_t a = rng.UniformInRange(1, p - 1);
+    uint64_t inv = InvModPrime(a, p);
+    EXPECT_EQ(MulModSlow(a, inv, p), 1u);
+  }
+}
+
+TEST(ModArithTest, ShoupMultiplicationMatchesBarrett) {
+  Chacha20Rng rng(uint64_t{46});
+  for (int trial = 0; trial < 20; ++trial) {
+    uint64_t q = rng.UniformInRange(3, (uint64_t{1} << 61) - 1) | 1;
+    Modulus mod(q);
+    uint64_t w = rng.UniformBelow(q);
+    uint64_t ws = ShoupPrecompute(w, q);
+    for (int i = 0; i < 200; ++i) {
+      uint64_t x = rng.UniformBelow(q);
+      EXPECT_EQ(MulModShoup(x, w, ws, q), mod.MulMod(x, w));
+    }
+  }
+}
+
+TEST(ModArithTest, CenterModSymmetric) {
+  const uint64_t q = 11;
+  EXPECT_EQ(CenterMod(0, q), 0);
+  EXPECT_EQ(CenterMod(5, q), 5);
+  EXPECT_EQ(CenterMod(6, q), -5);
+  EXPECT_EQ(CenterMod(10, q), -1);
+}
+
+TEST(ModArithTest, ToUnsignedModRoundtrip) {
+  const uint64_t q = 97;
+  for (int64_t x = -200; x <= 200; ++x) {
+    uint64_t u = ToUnsignedMod(x, q);
+    EXPECT_LT(u, q);
+    // u = x mod q
+    int64_t diff = static_cast<int64_t>(u) - x;
+    EXPECT_EQ(((diff % static_cast<int64_t>(q)) + static_cast<int64_t>(q)) %
+                  static_cast<int64_t>(q),
+              0);
+  }
+}
+
+TEST(ModArithTest, CenterThenUnsignedIsIdentity) {
+  const uint64_t q = 12289;
+  Chacha20Rng rng(uint64_t{47});
+  for (int i = 0; i < 500; ++i) {
+    uint64_t x = rng.UniformBelow(q);
+    EXPECT_EQ(ToUnsignedMod(CenterMod(x, q), q), x);
+  }
+}
+
+}  // namespace
+}  // namespace sknn

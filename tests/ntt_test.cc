@@ -1,0 +1,135 @@
+#include "math/ntt.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "math/prime.h"
+
+namespace sknn {
+namespace {
+
+struct NttParam {
+  size_t n;
+  int prime_bits;
+};
+
+class NttParamTest : public ::testing::TestWithParam<NttParam> {};
+
+TEST_P(NttParamTest, ForwardInverseRoundtrip) {
+  const auto [n, bits] = GetParam();
+  auto primes = GenerateNttPrimes(bits, 2 * n, 1);
+  ASSERT_TRUE(primes.ok()) << primes.status();
+  const uint64_t q = primes.value()[0];
+  auto tables = NttTables::Create(n, q);
+  ASSERT_TRUE(tables.ok()) << tables.status();
+  Chacha20Rng rng(uint64_t{100} + n);
+  std::vector<uint64_t> a;
+  rng.SampleUniformMod(q, n, &a);
+  std::vector<uint64_t> original = a;
+  tables->ForwardNtt(&a);
+  EXPECT_NE(a, original);  // transform does something
+  tables->InverseNtt(&a);
+  EXPECT_EQ(a, original);
+}
+
+TEST_P(NttParamTest, PointwiseProductIsNegacyclicConvolution) {
+  const auto [n, bits] = GetParam();
+  if (n > 256) GTEST_SKIP() << "naive reference too slow";
+  auto primes = GenerateNttPrimes(bits, 2 * n, 1);
+  ASSERT_TRUE(primes.ok());
+  const uint64_t q = primes.value()[0];
+  auto tables = NttTables::Create(n, q);
+  ASSERT_TRUE(tables.ok());
+  Chacha20Rng rng(uint64_t{200} + n);
+  std::vector<uint64_t> a, b;
+  rng.SampleUniformMod(q, n, &a);
+  rng.SampleUniformMod(q, n, &b);
+  std::vector<uint64_t> expected;
+  NaiveNegacyclicMultiply(a, b, q, &expected);
+
+  Modulus mod(q);
+  tables->ForwardNtt(&a);
+  tables->ForwardNtt(&b);
+  std::vector<uint64_t> c(n);
+  for (size_t i = 0; i < n; ++i) c[i] = mod.MulMod(a[i], b[i]);
+  tables->InverseNtt(&c);
+  EXPECT_EQ(c, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, NttParamTest,
+    ::testing::Values(NttParam{8, 30}, NttParam{16, 30}, NttParam{32, 40},
+                      NttParam{64, 50}, NttParam{128, 55}, NttParam{256, 59},
+                      NttParam{1024, 59}, NttParam{4096, 59}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "_q" +
+             std::to_string(info.param.prime_bits);
+    });
+
+TEST(NttTest, RejectsNonPowerOfTwo) {
+  EXPECT_FALSE(NttTables::Create(24, 97).ok());
+}
+
+TEST(NttTest, RejectsBadCongruence) {
+  // 97 is prime but 97 != 1 mod 64.
+  EXPECT_FALSE(NttTables::Create(32, 97).ok());
+}
+
+TEST(NttTest, RejectsComposite) {
+  EXPECT_FALSE(NttTables::Create(32, 65 * 64 + 1).ok());  // 4161 = 3*19*73
+}
+
+TEST(NttTest, PsiHasOrder2N) {
+  const size_t n = 64;
+  auto primes = GenerateNttPrimes(30, 2 * n, 1);
+  ASSERT_TRUE(primes.ok());
+  const uint64_t q = primes.value()[0];
+  auto tables = NttTables::Create(n, q);
+  ASSERT_TRUE(tables.ok());
+  const uint64_t psi = tables->psi();
+  EXPECT_EQ(PowMod(psi, 2 * n, q), 1u);
+  EXPECT_EQ(PowMod(psi, n, q), q - 1);  // psi^n = -1 (negacyclic)
+}
+
+TEST(NttTest, LinearityOfTransform) {
+  const size_t n = 128;
+  auto primes = GenerateNttPrimes(50, 2 * n, 1);
+  ASSERT_TRUE(primes.ok());
+  const uint64_t q = primes.value()[0];
+  auto tables = NttTables::Create(n, q);
+  ASSERT_TRUE(tables.ok());
+  Chacha20Rng rng(uint64_t{300});
+  std::vector<uint64_t> a, b;
+  rng.SampleUniformMod(q, n, &a);
+  rng.SampleUniformMod(q, n, &b);
+  std::vector<uint64_t> sum(n);
+  for (size_t i = 0; i < n; ++i) sum[i] = AddMod(a[i], b[i], q);
+  tables->ForwardNtt(&a);
+  tables->ForwardNtt(&b);
+  tables->ForwardNtt(&sum);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(sum[i], AddMod(a[i], b[i], q));
+  }
+}
+
+TEST(NttTest, ReverseBitsBasics) {
+  EXPECT_EQ(ReverseBits(0b001, 3), 0b100u);
+  EXPECT_EQ(ReverseBits(0b110, 3), 0b011u);
+  EXPECT_EQ(ReverseBits(1, 10), 1u << 9);
+  EXPECT_EQ(ReverseBits(0, 5), 0u);
+}
+
+TEST(NttTest, NaiveMultiplyWrapsSign) {
+  // (x^(n-1))^2 = x^(2n-2) = -x^(n-2) in the negacyclic ring.
+  const size_t n = 8;
+  const uint64_t q = 97;  // 97 = 1 mod 16
+  std::vector<uint64_t> a(n, 0), out;
+  a[n - 1] = 1;
+  NaiveNegacyclicMultiply(a, a, q, &out);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i], i == n - 2 ? q - 1 : 0u);
+  }
+}
+
+}  // namespace
+}  // namespace sknn

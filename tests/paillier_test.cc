@@ -1,0 +1,124 @@
+#include "crypto/paillier.h"
+
+#include <gtest/gtest.h>
+
+namespace sknn {
+namespace paillier {
+namespace {
+
+class PaillierTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rng_ = std::make_unique<Chacha20Rng>(uint64_t{77});
+    auto kp = GeneratePaillierKeys(256, rng_.get());
+    ASSERT_TRUE(kp.ok()) << kp.status();
+    kp_ = std::make_unique<PaillierKeyPair>(std::move(kp).value());
+    enc_ = std::make_unique<PaillierEncryptor>(kp_->pk, rng_.get());
+    dec_ = std::make_unique<PaillierDecryptor>(kp_->pk, kp_->sk);
+  }
+
+  std::unique_ptr<Chacha20Rng> rng_;
+  std::unique_ptr<PaillierKeyPair> kp_;
+  std::unique_ptr<PaillierEncryptor> enc_;
+  std::unique_ptr<PaillierDecryptor> dec_;
+};
+
+TEST_F(PaillierTest, KeyGenerationShape) {
+  EXPECT_EQ(kp_->pk.n.BitLength(), 256u);
+  EXPECT_EQ(kp_->pk.n_squared, BigUint::Mul(kp_->pk.n, kp_->pk.n));
+}
+
+TEST_F(PaillierTest, EncryptDecryptRoundtrip) {
+  for (uint64_t m : {0ull, 1ull, 42ull, 123456789ull, (1ull << 40)}) {
+    auto ct = enc_->EncryptU64(m);
+    ASSERT_TRUE(ct.ok());
+    auto back = dec_->Decrypt(ct.value());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->ToU64(), m);
+  }
+}
+
+TEST_F(PaillierTest, EncryptionIsRandomized) {
+  auto c1 = enc_->EncryptU64(5);
+  auto c2 = enc_->EncryptU64(5);
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  EXPECT_NE(c1.value(), c2.value());
+}
+
+TEST_F(PaillierTest, AdditiveHomomorphism) {
+  Chacha20Rng vals(uint64_t{5});
+  for (int i = 0; i < 10; ++i) {
+    uint64_t a = vals.UniformBelow(1ull << 50);
+    uint64_t b = vals.UniformBelow(1ull << 50);
+    auto ca = enc_->EncryptU64(a);
+    auto cb = enc_->EncryptU64(b);
+    ASSERT_TRUE(ca.ok() && cb.ok());
+    auto sum = dec_->Decrypt(enc_->Add(ca.value(), cb.value()));
+    ASSERT_TRUE(sum.ok());
+    EXPECT_EQ(sum->ToU64(), a + b);
+  }
+}
+
+TEST_F(PaillierTest, AddPlainMatchesAdd) {
+  auto ca = enc_->EncryptU64(1000);
+  ASSERT_TRUE(ca.ok());
+  auto csum = enc_->AddPlain(ca.value(), BigUint(234));
+  ASSERT_TRUE(csum.ok());
+  EXPECT_EQ(dec_->Decrypt(csum.value())->ToU64(), 1234u);
+}
+
+TEST_F(PaillierTest, ScalarMultiplication) {
+  auto ca = enc_->EncryptU64(37);
+  ASSERT_TRUE(ca.ok());
+  BigUint ck = enc_->MulPlain(ca.value(), BigUint(100));
+  EXPECT_EQ(dec_->Decrypt(ck)->ToU64(), 3700u);
+}
+
+TEST_F(PaillierTest, NegationAndSignedDecrypt) {
+  auto ca = enc_->EncryptU64(25);
+  ASSERT_TRUE(ca.ok());
+  BigUint cneg = enc_->Negate(ca.value());
+  auto v = dec_->DecryptSignedU64(cneg);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), -25);
+}
+
+TEST_F(PaillierTest, SignedArithmeticAcrossZero) {
+  // Enc(10) + Enc(-25) = Enc(-15).
+  auto ca = enc_->EncryptU64(10);
+  auto cb = enc_->EncryptU64(25);
+  ASSERT_TRUE(ca.ok() && cb.ok());
+  BigUint cdiff = enc_->Add(ca.value(), enc_->Negate(cb.value()));
+  EXPECT_EQ(dec_->DecryptSignedU64(cdiff).value(), -15);
+}
+
+TEST_F(PaillierTest, RerandomizePreservesPlaintext) {
+  auto ca = enc_->EncryptU64(77);
+  ASSERT_TRUE(ca.ok());
+  auto cr = enc_->Rerandomize(ca.value());
+  ASSERT_TRUE(cr.ok());
+  EXPECT_NE(cr.value(), ca.value());
+  EXPECT_EQ(dec_->Decrypt(cr.value())->ToU64(), 77u);
+}
+
+TEST_F(PaillierTest, RejectsOversizedPlaintext) {
+  EXPECT_FALSE(enc_->Encrypt(kp_->pk.n).ok());
+}
+
+TEST_F(PaillierTest, RejectsBadKeySizes) {
+  Chacha20Rng rng(uint64_t{1});
+  EXPECT_FALSE(GeneratePaillierKeys(32, &rng).ok());
+  EXPECT_FALSE(GeneratePaillierKeys(1 << 14, &rng).ok());
+}
+
+TEST_F(PaillierTest, BigPlaintextRoundtrip) {
+  Chacha20Rng rng(uint64_t{9});
+  BigUint m = BigUint::RandomBelow(kp_->pk.n, &rng);
+  auto ct = enc_->Encrypt(m);
+  ASSERT_TRUE(ct.ok());
+  EXPECT_EQ(dec_->Decrypt(ct.value()).value(), m);
+}
+
+}  // namespace
+}  // namespace paillier
+}  // namespace sknn

@@ -1,0 +1,89 @@
+#include "math/prime.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "math/mod_arith.h"
+
+namespace sknn {
+namespace {
+
+TEST(PrimeTest, SmallPrimesRecognized) {
+  const std::set<uint64_t> primes = {2,  3,  5,  7,  11, 13, 17, 19, 23,
+                                     29, 31, 37, 41, 43, 47, 53, 59, 61};
+  for (uint64_t n = 0; n < 62; ++n) {
+    EXPECT_EQ(IsPrime(n), primes.count(n) > 0) << n;
+  }
+}
+
+TEST(PrimeTest, KnownLargePrimes) {
+  EXPECT_TRUE(IsPrime(998244353));            // 119*2^23+1
+  EXPECT_TRUE(IsPrime(0xffffffff00000001ull));  // Goldilocks
+  EXPECT_TRUE(IsPrime(1099511627689ull));     // the paper's plaintext prime
+  EXPECT_TRUE(IsPrime((uint64_t{1} << 61) - 1));  // Mersenne 61
+}
+
+TEST(PrimeTest, KnownComposites) {
+  EXPECT_FALSE(IsPrime(998244353ull * 3));
+  EXPECT_FALSE(IsPrime((uint64_t{1} << 58)));
+  EXPECT_FALSE(IsPrime(3215031751ull));  // strong pseudoprime to bases 2,3,5,7
+  EXPECT_FALSE(IsPrime(341550071728321ull));  // spsp to 2..17
+}
+
+TEST(PrimeTest, GenerateNttPrimesSatisfyCongruence) {
+  for (size_t n : {size_t{1024}, size_t{4096}, size_t{8192}}) {
+    auto primes = GenerateNttPrimes(55, 2 * n, 4);
+    ASSERT_TRUE(primes.ok()) << primes.status();
+    std::set<uint64_t> distinct;
+    for (uint64_t q : primes.value()) {
+      EXPECT_TRUE(IsPrime(q));
+      EXPECT_EQ(q % (2 * n), 1u);
+      EXPECT_EQ(q >> 54, 1u) << "must be exactly 55 bits";
+      distinct.insert(q);
+    }
+    EXPECT_EQ(distinct.size(), 4u);
+  }
+}
+
+TEST(PrimeTest, GenerateRespectsExcludeList) {
+  const size_t n = 1024;
+  auto first = GenerateNttPrimes(50, 2 * n, 2);
+  ASSERT_TRUE(first.ok());
+  auto second = GenerateNttPrimes(50, 2 * n, 2, first.value());
+  ASSERT_TRUE(second.ok());
+  for (uint64_t q : second.value()) {
+    for (uint64_t p : first.value()) EXPECT_NE(q, p);
+  }
+}
+
+TEST(PrimeTest, GenerateRejectsBadSizes) {
+  EXPECT_FALSE(GenerateNttPrimes(8, 2048, 1).ok());
+  EXPECT_FALSE(GenerateNttPrimes(63, 2048, 1).ok());
+}
+
+TEST(PrimeTest, PrimitiveRootHasExactOrder) {
+  const uint64_t q = 998244353;  // q-1 = 2^23 * 7 * 17
+  for (uint64_t order : {2ull, 8ull, 1ull << 23, 7ull, 14ull}) {
+    auto root = FindPrimitiveRoot(order, q);
+    ASSERT_TRUE(root.ok()) << root.status();
+    EXPECT_EQ(PowMod(root.value(), order, q), 1u);
+    if (order % 2 == 0) {
+      EXPECT_NE(PowMod(root.value(), order / 2, q), 1u);
+    }
+  }
+}
+
+TEST(PrimeTest, PrimitiveRootRejectsNonDivisorOrder) {
+  EXPECT_FALSE(FindPrimitiveRoot(3, 998244353).ok() &&
+               (998244353 - 1) % 3 != 0);
+  auto r = FindPrimitiveRoot(5, 998244353);
+  EXPECT_FALSE(r.ok());  // 5 does not divide 2^23*7*17
+}
+
+TEST(PrimeTest, PrimitiveRootRejectsComposite) {
+  EXPECT_FALSE(FindPrimitiveRoot(2, 1000).ok());
+}
+
+}  // namespace
+}  // namespace sknn

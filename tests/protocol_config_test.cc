@@ -1,0 +1,102 @@
+#include "core/protocol_config.h"
+
+#include <gtest/gtest.h>
+
+namespace sknn {
+namespace core {
+namespace {
+
+ProtocolConfig Valid() {
+  ProtocolConfig cfg;
+  cfg.k = 3;
+  cfg.dims = 2;
+  cfg.coord_bits = 4;
+  cfg.poly_degree = 2;
+  cfg.layout = Layout::kPacked;
+  cfg.preset = bgv::SecurityPreset::kToy;
+  cfg.levels = cfg.MinimumLevels();
+  return cfg;
+}
+
+TEST(ProtocolConfigTest, ValidConfigPasses) {
+  EXPECT_TRUE(Valid().Validate().ok());
+}
+
+TEST(ProtocolConfigTest, RejectsZeroK) {
+  ProtocolConfig cfg = Valid();
+  cfg.k = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(ProtocolConfigTest, RejectsZeroDims) {
+  ProtocolConfig cfg = Valid();
+  cfg.dims = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(ProtocolConfigTest, RejectsZeroDegree) {
+  ProtocolConfig cfg = Valid();
+  cfg.poly_degree = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(ProtocolConfigTest, RejectsBadCoordBits) {
+  ProtocolConfig cfg = Valid();
+  cfg.coord_bits = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg.coord_bits = 31;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(ProtocolConfigTest, MinimumLevelsPerLayout) {
+  ProtocolConfig cfg = Valid();
+  cfg.poly_degree = 2;
+  cfg.layout = Layout::kPerPoint;
+  EXPECT_EQ(cfg.MinimumLevels(), 4u);  // square + 1 horner + mask + transport
+  cfg.layout = Layout::kPacked;
+  EXPECT_EQ(cfg.MinimumLevels(), 5u);  // + selector level
+  cfg.poly_degree = 3;
+  EXPECT_EQ(cfg.MinimumLevels(), 6u);
+  cfg.poly_degree = 1;
+  cfg.layout = Layout::kPerPoint;
+  EXPECT_EQ(cfg.MinimumLevels(), 3u);
+}
+
+TEST(ProtocolConfigTest, RejectsTooFewLevels) {
+  ProtocolConfig cfg = Valid();
+  cfg.levels = cfg.MinimumLevels() - 1;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(ProtocolConfigTest, RejectsBadIndicatorLevel) {
+  ProtocolConfig cfg = Valid();
+  cfg.indicator_level = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg.indicator_level = cfg.levels;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(ProtocolConfigTest, MakeBgvParamsHonoursPresetAndLevels) {
+  ProtocolConfig cfg = Valid();
+  auto params = cfg.MakeBgvParams();
+  ASSERT_TRUE(params.ok()) << params.status();
+  EXPECT_EQ(params->n, 1024u);  // kToy
+  EXPECT_EQ(params->data_primes.size(), cfg.levels);
+  EXPECT_EQ(params->plain_modulus >> (cfg.plain_bits - 1), 1u);
+}
+
+TEST(ProtocolConfigTest, DebugStringMentionsLayout) {
+  ProtocolConfig cfg = Valid();
+  EXPECT_NE(cfg.DebugString().find("packed"), std::string::npos);
+  cfg.layout = Layout::kPerPoint;
+  EXPECT_NE(cfg.DebugString().find("per-point"), std::string::npos);
+}
+
+TEST(ProtocolConfigTest, LayoutNames) {
+  EXPECT_STREQ(LayoutName(Layout::kPerPoint), "per-point");
+  EXPECT_STREQ(LayoutName(Layout::kPacked), "packed");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace sknn

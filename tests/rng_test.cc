@@ -1,0 +1,185 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace sknn {
+namespace {
+
+// RFC 8439 section 2.3.2 test vector for the ChaCha20 block function.
+TEST(ChaCha20Test, Rfc8439BlockVector) {
+  std::array<uint32_t, 8> key;
+  for (int i = 0; i < 8; ++i) {
+    // Key bytes 00 01 02 ... 1f, little-endian words.
+    uint32_t w = 0;
+    for (int b = 3; b >= 0; --b) w = (w << 8) | static_cast<uint32_t>(4 * i + b);
+    key[i] = w;
+  }
+  std::array<uint32_t, 3> nonce = {0x09000000u, 0x4a000000u, 0x00000000u};
+  std::array<uint8_t, 64> block;
+  ChaCha20Block(key, 1, nonce, &block);
+  const uint8_t expected[64] = {
+      0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15, 0x50, 0x0f, 0xdd,
+      0x1f, 0xa3, 0x20, 0x71, 0xc4, 0xc7, 0xd1, 0xf4, 0xc7, 0x33, 0xc0,
+      0x68, 0x03, 0x04, 0x22, 0xaa, 0x9a, 0xc3, 0xd4, 0x6c, 0x4e, 0xd2,
+      0x82, 0x64, 0x46, 0x07, 0x9f, 0xaa, 0x09, 0x14, 0xc2, 0xd7, 0x05,
+      0xd9, 0x8b, 0x02, 0xa2, 0xb5, 0x12, 0x9c, 0xd1, 0xde, 0x16, 0x4e,
+      0xb9, 0xcb, 0xd0, 0x83, 0xe8, 0xa2, 0x50, 0x3c, 0x4e};
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(block[static_cast<size_t>(i)], expected[i]) << "byte " << i;
+  }
+}
+
+TEST(Chacha20RngTest, DeterministicForSameSeed) {
+  Chacha20Rng a(uint64_t{12345});
+  Chacha20Rng b(uint64_t{12345});
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Chacha20RngTest, DifferentSeedsDiffer) {
+  Chacha20Rng a(uint64_t{1});
+  Chacha20Rng b(uint64_t{2});
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Chacha20RngTest, DifferentStreamsDiffer) {
+  Chacha20Rng a(uint64_t{1}, 0);
+  Chacha20Rng b(uint64_t{1}, 1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Chacha20RngTest, ForkProducesIndependentStream) {
+  Chacha20Rng a(uint64_t{99});
+  Chacha20Rng child = a.Fork(7);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == child.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Chacha20RngTest, UniformBelowStaysInRange) {
+  Chacha20Rng rng(uint64_t{3});
+  for (uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull, (1ull << 40)}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformBelow(bound), bound);
+    }
+  }
+}
+
+TEST(Chacha20RngTest, UniformInRangeInclusive) {
+  Chacha20Rng rng(uint64_t{4});
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t v = rng.UniformInRange(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    if (v == 5) hit_lo = true;
+    if (v == 8) hit_hi = true;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Chacha20RngTest, UniformBelowIsRoughlyUniform) {
+  Chacha20Rng rng(uint64_t{5});
+  constexpr uint64_t kBuckets = 16;
+  constexpr int kSamples = 16000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.UniformBelow(kBuckets)];
+  // Chi-square with 15 dof; 99.9% quantile ~ 37.7.
+  double chi2 = 0;
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  for (int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  EXPECT_LT(chi2, 37.7);
+}
+
+TEST(Chacha20RngTest, TernarySamplesOnlyThreeValues) {
+  Chacha20Rng rng(uint64_t{6});
+  const uint64_t q = 97;
+  std::vector<uint64_t> v;
+  rng.SampleTernary(q, 3000, &v);
+  int minus = 0, zero = 0, plus = 0;
+  for (uint64_t x : v) {
+    ASSERT_TRUE(x == 0 || x == 1 || x == q - 1);
+    if (x == 0) ++zero;
+    if (x == 1) ++plus;
+    if (x == q - 1) ++minus;
+  }
+  EXPECT_GT(zero, 800);
+  EXPECT_GT(plus, 800);
+  EXPECT_GT(minus, 800);
+}
+
+TEST(Chacha20RngTest, GaussianHasExpectedMoments) {
+  Chacha20Rng rng(uint64_t{7});
+  const uint64_t q = 1ull << 50;
+  const double sigma = 3.2;
+  std::vector<uint64_t> v;
+  rng.SampleGaussian(q, sigma, 20000, &v);
+  double sum = 0, sumsq = 0;
+  for (uint64_t x : v) {
+    double c = (x > q / 2) ? static_cast<double>(x) - static_cast<double>(q)
+                           : static_cast<double>(x);
+    EXPECT_LE(std::abs(c), 6 * sigma + 1);
+    sum += c;
+    sumsq += c * c;
+  }
+  double mean = sum / 20000;
+  double var = sumsq / 20000 - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.15);
+  EXPECT_NEAR(var, sigma * sigma, 0.8);
+}
+
+TEST(Chacha20RngTest, RandomPermutationIsPermutation) {
+  Chacha20Rng rng(uint64_t{8});
+  for (size_t n : {0ul, 1ul, 2ul, 10ul, 257ul}) {
+    std::vector<size_t> p = rng.RandomPermutation(n);
+    ASSERT_EQ(p.size(), n);
+    std::set<size_t> seen(p.begin(), p.end());
+    EXPECT_EQ(seen.size(), n);
+    if (n > 0) {
+      EXPECT_EQ(*seen.begin(), 0u);
+      EXPECT_EQ(*seen.rbegin(), n - 1);
+    }
+  }
+}
+
+TEST(Chacha20RngTest, RandomPermutationCoversArrangements) {
+  // All 6 permutations of 3 elements should appear over many draws.
+  Chacha20Rng rng(uint64_t{9});
+  std::map<std::vector<size_t>, int> counts;
+  for (int i = 0; i < 1200; ++i) ++counts[rng.RandomPermutation(3)];
+  EXPECT_EQ(counts.size(), 6u);
+  for (const auto& [perm, count] : counts) {
+    EXPECT_GT(count, 120) << "permutation unexpectedly rare";
+  }
+}
+
+TEST(Chacha20RngTest, FillBytesMatchesStream) {
+  Chacha20Rng a(uint64_t{10});
+  Chacha20Rng b(uint64_t{10});
+  std::vector<uint8_t> buf(100);
+  a.FillBytes(buf.data(), buf.size());
+  // Drawing the same bytes via repeated FillBytes in chunks must agree.
+  std::vector<uint8_t> buf2(100);
+  b.FillBytes(buf2.data(), 37);
+  b.FillBytes(buf2.data() + 37, 63);
+  EXPECT_EQ(buf, buf2);
+}
+
+}  // namespace
+}  // namespace sknn

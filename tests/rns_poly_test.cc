@@ -1,0 +1,160 @@
+#include "math/rns_poly.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "math/prime.h"
+
+namespace sknn {
+namespace {
+
+class RnsPolyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const size_t n = 64;
+    auto primes = GenerateNttPrimes(40, 2 * n, 3);
+    ASSERT_TRUE(primes.ok());
+    auto base = RnsBase::Create(n, primes.value());
+    ASSERT_TRUE(base.ok());
+    base_ = std::make_unique<RnsBase>(std::move(base).value());
+  }
+
+  RnsPoly RandomPoly(uint64_t seed, bool ntt_form = false) {
+    Chacha20Rng rng(seed);
+    RnsPoly p = ZeroPoly(base_->n(), base_->size(), ntt_form);
+    for (size_t i = 0; i < base_->size(); ++i) {
+      rng.SampleUniformMod(base_->modulus(i).value(), base_->n(), &p.comp[i]);
+    }
+    return p;
+  }
+
+  std::unique_ptr<RnsBase> base_;
+};
+
+TEST_F(RnsPolyTest, ZeroPolyIsZero) {
+  RnsPoly p = ZeroPoly(base_->n(), base_->size(), false);
+  EXPECT_TRUE(p.IsZero());
+  EXPECT_EQ(p.num_components(), 3u);
+}
+
+TEST_F(RnsPolyTest, AddThenSubtractIsIdentity) {
+  RnsPoly a = RandomPoly(1);
+  RnsPoly b = RandomPoly(2);
+  RnsPoly original = a;
+  AddInplace(&a, b, *base_);
+  SubInplace(&a, b, *base_);
+  EXPECT_EQ(a.comp, original.comp);
+}
+
+TEST_F(RnsPolyTest, NegateTwiceIsIdentity) {
+  RnsPoly a = RandomPoly(3);
+  RnsPoly original = a;
+  NegateInplace(&a, *base_);
+  NegateInplace(&a, *base_);
+  EXPECT_EQ(a.comp, original.comp);
+}
+
+TEST_F(RnsPolyTest, AddOwnNegationIsZero) {
+  RnsPoly a = RandomPoly(4);
+  RnsPoly b = a;
+  NegateInplace(&b, *base_);
+  AddInplace(&a, b, *base_);
+  EXPECT_TRUE(a.IsZero());
+}
+
+TEST_F(RnsPolyTest, NttRoundtrip) {
+  RnsPoly a = RandomPoly(5);
+  RnsPoly original = a;
+  ToNttInplace(&a, *base_);
+  EXPECT_TRUE(a.ntt_form);
+  FromNttInplace(&a, *base_);
+  EXPECT_FALSE(a.ntt_form);
+  EXPECT_EQ(a.comp, original.comp);
+}
+
+TEST_F(RnsPolyTest, MulPointwiseMatchesNaivePerPrime) {
+  RnsPoly a = RandomPoly(6);
+  RnsPoly b = RandomPoly(7);
+  RnsPoly a_coeff = a, b_coeff = b;
+  ToNttInplace(&a, *base_);
+  ToNttInplace(&b, *base_);
+  RnsPoly c = MulPointwise(a, b, *base_);
+  FromNttInplace(&c, *base_);
+  for (size_t i = 0; i < base_->size(); ++i) {
+    std::vector<uint64_t> expected;
+    NaiveNegacyclicMultiply(a_coeff.comp[i], b_coeff.comp[i],
+                            base_->modulus(i).value(), &expected);
+    EXPECT_EQ(c.comp[i], expected) << "prime index " << i;
+  }
+}
+
+TEST_F(RnsPolyTest, AddMulAccumulates) {
+  RnsPoly a = RandomPoly(8, true);
+  RnsPoly b = RandomPoly(9, true);
+  RnsPoly c = RandomPoly(10, true);
+  RnsPoly expected = a;
+  RnsPoly bc = MulPointwise(b, c, *base_);
+  AddInplace(&expected, bc, *base_);
+  AddMulInplace(&a, b, c, *base_);
+  EXPECT_EQ(a.comp, expected.comp);
+}
+
+TEST_F(RnsPolyTest, MulScalarMatchesRepeatedAdd) {
+  RnsPoly a = RandomPoly(11);
+  RnsPoly tripled = ZeroPoly(base_->n(), base_->size(), false);
+  for (int i = 0; i < 3; ++i) AddInplace(&tripled, a, *base_);
+  std::vector<uint64_t> three(base_->size(), 3);
+  MulScalarInplace(&a, three, *base_);
+  EXPECT_EQ(a.comp, tripled.comp);
+}
+
+TEST_F(RnsPolyTest, GaloisIdentityElement) {
+  RnsPoly a = RandomPoly(12);
+  RnsPoly out = ApplyGaloisCoeff(a, 1, *base_);
+  EXPECT_EQ(out.comp, a.comp);
+}
+
+TEST_F(RnsPolyTest, GaloisComposition) {
+  // Applying g then h equals applying g*h mod 2n.
+  const uint64_t two_n = 2 * base_->n();
+  RnsPoly a = RandomPoly(13);
+  const uint64_t g = 3, h = 5;
+  RnsPoly gh = ApplyGaloisCoeff(ApplyGaloisCoeff(a, g, *base_), h, *base_);
+  RnsPoly direct = ApplyGaloisCoeff(a, (g * h) % two_n, *base_);
+  EXPECT_EQ(gh.comp, direct.comp);
+}
+
+TEST_F(RnsPolyTest, GaloisPreservesConstantTerm) {
+  RnsPoly a = ZeroPoly(base_->n(), base_->size(), false);
+  for (size_t i = 0; i < base_->size(); ++i) a.comp[i][0] = 7;
+  RnsPoly out = ApplyGaloisCoeff(a, 3, *base_);
+  for (size_t i = 0; i < base_->size(); ++i) {
+    EXPECT_EQ(out.comp[i][0], 7u);
+  }
+}
+
+TEST_F(RnsPolyTest, GaloisIsRingHomomorphismOnProducts) {
+  // tau(a*b) == tau(a) * tau(b)
+  RnsPoly a = RandomPoly(14);
+  RnsPoly b = RandomPoly(15);
+  const uint64_t g = 2 * base_->n() - 1;
+
+  RnsPoly an = a, bn = b;
+  ToNttInplace(&an, *base_);
+  ToNttInplace(&bn, *base_);
+  RnsPoly ab = MulPointwise(an, bn, *base_);
+  FromNttInplace(&ab, *base_);
+  RnsPoly tau_ab = ApplyGaloisCoeff(ab, g, *base_);
+
+  RnsPoly ta = ApplyGaloisCoeff(a, g, *base_);
+  RnsPoly tb = ApplyGaloisCoeff(b, g, *base_);
+  ToNttInplace(&ta, *base_);
+  ToNttInplace(&tb, *base_);
+  RnsPoly prod = MulPointwise(ta, tb, *base_);
+  FromNttInplace(&prod, *base_);
+
+  EXPECT_EQ(tau_ab.comp, prod.comp);
+}
+
+}  // namespace
+}  // namespace sknn

@@ -1,0 +1,318 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/session.h"
+#include "data/generators.h"
+#include "knn/knn.h"
+
+// End-to-end tests of the secure k-NN protocol: exactness against the
+// plaintext reference on both layouts, edge cases, metrics, and the
+// structural security properties (one round, fresh masks, permutation).
+
+namespace sknn {
+namespace core {
+namespace {
+
+ProtocolConfig SmallConfig(Layout layout) {
+  ProtocolConfig cfg;
+  cfg.k = 3;
+  cfg.poly_degree = 2;
+  cfg.coord_bits = 4;
+  cfg.dims = 2;
+  cfg.layout = layout;
+  cfg.preset = bgv::SecurityPreset::kToy;  // n=1024: fast tests
+  cfg.plain_bits = 33;
+  cfg.threads = 1;
+  cfg.levels = cfg.MinimumLevels();
+  return cfg;
+}
+
+// Sorted squared distances of the returned points (the protocol's output
+// order and tie choices are implementation-defined; distance multisets are
+// the correct invariant).
+std::vector<uint64_t> SortedDistances(
+    const std::vector<std::vector<uint64_t>>& points,
+    const std::vector<uint64_t>& query) {
+  std::vector<uint64_t> out;
+  for (const auto& p : points) {
+    uint64_t sum = 0;
+    for (size_t j = 0; j < query.size(); ++j) {
+      uint64_t d = p[j] > query[j] ? p[j] - query[j] : query[j] - p[j];
+      sum += d * d;
+    }
+    out.push_back(sum);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<uint64_t> ReferenceDistances(const data::Dataset& data,
+                                         const std::vector<uint64_t>& query,
+                                         size_t k) {
+  auto ref = knn::PlaintextKnn(data, query, k);
+  EXPECT_TRUE(ref.ok());
+  std::vector<uint64_t> out;
+  for (const auto& nb : ref.value()) out.push_back(nb.squared_distance);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool IsDatasetPoint(const data::Dataset& data,
+                    const std::vector<uint64_t>& p) {
+  for (size_t i = 0; i < data.num_points(); ++i) {
+    if (data.point(i) == p) return true;
+  }
+  return false;
+}
+
+struct E2EParam {
+  Layout layout;
+  size_t n;
+  size_t dims;
+  size_t k;
+  size_t poly_degree;
+};
+
+class SecureKnnE2ETest : public ::testing::TestWithParam<E2EParam> {};
+
+TEST_P(SecureKnnE2ETest, MatchesPlaintextKnn) {
+  const E2EParam p = GetParam();
+  ProtocolConfig cfg = SmallConfig(p.layout);
+  cfg.dims = p.dims;
+  cfg.k = p.k;
+  cfg.poly_degree = p.poly_degree;
+  cfg.levels = cfg.MinimumLevels();
+  data::Dataset dataset =
+      data::UniformDataset(p.n, p.dims, (1u << cfg.coord_bits) - 1, 42);
+  auto session = SecureKnnSession::Create(cfg, dataset, 7);
+  ASSERT_TRUE(session.ok()) << session.status();
+
+  for (uint64_t qseed : {1ull, 2ull}) {
+    std::vector<uint64_t> query =
+        data::UniformQuery(p.dims, (1u << cfg.coord_bits) - 1, qseed);
+    auto result = (*session)->RunQuery(query);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->neighbours.size(), std::min(p.k, p.n));
+    // Every returned point is a real dataset point.
+    for (const auto& pt : result->neighbours) {
+      EXPECT_TRUE(IsDatasetPoint(dataset, pt));
+    }
+    // Exactness: distance multiset equals plaintext k-NN.
+    EXPECT_EQ(SortedDistances(result->neighbours, query),
+              ReferenceDistances(dataset, query, p.k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, SecureKnnE2ETest,
+    ::testing::Values(
+        E2EParam{Layout::kPerPoint, 12, 2, 3, 2},
+        E2EParam{Layout::kPerPoint, 20, 5, 4, 1},
+        E2EParam{Layout::kPerPoint, 8, 3, 8, 2},   // k == n
+        E2EParam{Layout::kPerPoint, 6, 1, 2, 2},   // 1-dimensional
+        E2EParam{Layout::kPacked, 12, 2, 3, 2},
+        E2EParam{Layout::kPacked, 700, 2, 5, 2},   // multiple units + padding
+        E2EParam{Layout::kPacked, 64, 7, 4, 2},    // non-pow2 dims
+        E2EParam{Layout::kPacked, 1030, 3, 3, 2},  // > one unit, pads
+        E2EParam{Layout::kPacked, 33, 2, 1, 1}),   // k=1, degree-1 mask
+    [](const auto& info) {
+      const E2EParam& p = info.param;
+      return std::string(p.layout == Layout::kPerPoint ? "PerPoint"
+                                                       : "Packed") +
+             "_n" + std::to_string(p.n) + "_d" + std::to_string(p.dims) +
+             "_k" + std::to_string(p.k) + "_D" +
+             std::to_string(p.poly_degree);
+    });
+
+TEST(SecureKnnTest, KLargerThanNClamps) {
+  ProtocolConfig cfg = SmallConfig(Layout::kPacked);
+  cfg.k = 50;
+  data::Dataset dataset = data::UniformDataset(5, 2, 15, 1);
+  auto session = SecureKnnSession::Create(cfg, dataset, 2);
+  ASSERT_TRUE(session.ok()) << session.status();
+  auto result = (*session)->RunQuery({3, 3});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->k, 5u);
+  EXPECT_EQ(result->neighbours.size(), 5u);
+}
+
+TEST(SecureKnnTest, SingleRoundTripBetweenParties) {
+  ProtocolConfig cfg = SmallConfig(Layout::kPacked);
+  data::Dataset dataset = data::UniformDataset(40, 2, 15, 3);
+  auto session = SecureKnnSession::Create(cfg, dataset, 4);
+  ASSERT_TRUE(session.ok());
+  auto result = (*session)->RunQuery({1, 2});
+  ASSERT_TRUE(result.ok());
+  // The paper's headline: exactly one round of communication. Our link
+  // counts direction flips; one A->B burst + one B->A burst = 2 flips.
+  EXPECT_EQ(result->ab_link.rounds, 2u);
+  EXPECT_GT(result->ab_link.bytes_a_to_b, 0u);
+  EXPECT_GT(result->ab_link.bytes_b_to_a, 0u);
+}
+
+TEST(SecureKnnTest, OpCountsMatchTableOne) {
+  // Table 1 row "ours": O(n) decryptions at B, O(nk) encryptions at B.
+  ProtocolConfig cfg = SmallConfig(Layout::kPerPoint);
+  cfg.k = 3;
+  const size_t n = 10;
+  data::Dataset dataset = data::UniformDataset(n, 2, 15, 5);
+  auto session = SecureKnnSession::Create(cfg, dataset, 6);
+  ASSERT_TRUE(session.ok());
+  auto result = (*session)->RunQuery({7, 7});
+  ASSERT_TRUE(result.ok());
+  // Per-point layout: exactly n decryptions and n*k indicator encryptions.
+  EXPECT_EQ(result->party_b_ops.decryptions, n);
+  EXPECT_EQ(result->party_b_ops.encryptions, n * cfg.k);
+  // Party A: O(n*(k + d + D)) homomorphic work, no encryptions, and no
+  // decryptions anywhere outside B/client.
+  EXPECT_EQ(result->party_a_ops.encryptions, 0u);
+  EXPECT_EQ(result->party_a_ops.decryptions, 0u);
+  EXPECT_GE(result->party_a_ops.he_multiplications, n * (1 + cfg.k));
+  EXPECT_EQ(result->client_ops.decryptions, cfg.k);
+}
+
+TEST(SecureKnnTest, MaskRefreshedPerQuery) {
+  ProtocolConfig cfg = SmallConfig(Layout::kPacked);
+  data::Dataset dataset = data::UniformDataset(30, 2, 15, 8);
+  auto session = SecureKnnSession::Create(cfg, dataset, 9);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE((*session)->RunQuery({1, 1}).ok());
+  auto coeffs1 = (*session)->party_a().last_mask()->coefficients();
+  ASSERT_TRUE((*session)->RunQuery({1, 1}).ok());
+  auto coeffs2 = (*session)->party_a().last_mask()->coefficients();
+  EXPECT_NE(coeffs1, coeffs2);
+}
+
+TEST(SecureKnnTest, SamePointTwiceObservedDifferentlyByB) {
+  // Search-pattern hiding: issuing the identical query twice must present
+  // Party B with different masked values (fresh polynomial + permutation).
+  ProtocolConfig cfg = SmallConfig(Layout::kPacked);
+  data::Dataset dataset = data::UniformDataset(50, 2, 15, 10);
+  auto session = SecureKnnSession::Create(cfg, dataset, 11);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE((*session)->RunQuery({4, 9}).ok());
+  auto seen1 = (*session)->party_b().observed_masked_values();
+  ASSERT_TRUE((*session)->RunQuery({4, 9}).ok());
+  auto seen2 = (*session)->party_b().observed_masked_values();
+  EXPECT_NE(seen1, seen2);
+}
+
+TEST(SecureKnnTest, MaskedValuesAreNotTrueDistances) {
+  ProtocolConfig cfg = SmallConfig(Layout::kPerPoint);
+  data::Dataset dataset = data::UniformDataset(15, 2, 15, 12);
+  auto session = SecureKnnSession::Create(cfg, dataset, 13);
+  ASSERT_TRUE(session.ok());
+  std::vector<uint64_t> query = {2, 3};
+  ASSERT_TRUE((*session)->RunQuery(query).ok());
+  // B observed n masked values; none equal any true squared distance
+  // except with negligible probability (coefficients are > 1).
+  std::set<uint64_t> true_distances;
+  for (size_t i = 0; i < dataset.num_points(); ++i) {
+    true_distances.insert(data::SquaredDistance(dataset, i, query));
+  }
+  size_t collisions = 0;
+  for (uint64_t v : (*session)->party_b().observed_masked_values()) {
+    if (true_distances.count(v)) ++collisions;
+  }
+  EXPECT_EQ(collisions, 0u);
+}
+
+TEST(SecureKnnTest, EquidistantPointsReturnValidSet) {
+  // Four corners at identical distance from the centre query: any k of the
+  // tied points is exact; the distance multiset must still match.
+  ProtocolConfig cfg = SmallConfig(Layout::kPacked);
+  cfg.k = 2;
+  data::Dataset dataset(4, 2);
+  dataset.set(0, 0, 0);
+  dataset.set(0, 1, 0);
+  dataset.set(1, 0, 0);
+  dataset.set(1, 1, 10);
+  dataset.set(2, 0, 10);
+  dataset.set(2, 1, 0);
+  dataset.set(3, 0, 10);
+  dataset.set(3, 1, 10);
+  auto session = SecureKnnSession::Create(cfg, dataset, 14);
+  ASSERT_TRUE(session.ok());
+  auto result = (*session)->RunQuery({5, 5});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(SortedDistances(result->neighbours, {5, 5}),
+            ReferenceDistances(dataset, {5, 5}, 2));
+}
+
+TEST(SecureKnnTest, DeterministicWithSameSeed) {
+  ProtocolConfig cfg = SmallConfig(Layout::kPacked);
+  data::Dataset dataset = data::UniformDataset(25, 2, 15, 15);
+  auto s1 = SecureKnnSession::Create(cfg, dataset, 99);
+  auto s2 = SecureKnnSession::Create(cfg, dataset, 99);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  auto r1 = (*s1)->RunQuery({8, 8});
+  auto r2 = (*s2)->RunQuery({8, 8});
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1->neighbours, r2->neighbours);
+}
+
+TEST(SecureKnnTest, RejectsOutOfRangeData) {
+  ProtocolConfig cfg = SmallConfig(Layout::kPacked);
+  data::Dataset dataset = data::UniformDataset(10, 2, 100, 16);  // > 2^4
+  EXPECT_FALSE(SecureKnnSession::Create(cfg, dataset, 17).ok());
+}
+
+TEST(SecureKnnTest, RejectsOutOfRangeQuery) {
+  ProtocolConfig cfg = SmallConfig(Layout::kPacked);
+  data::Dataset dataset = data::UniformDataset(10, 2, 15, 18);
+  auto session = SecureKnnSession::Create(cfg, dataset, 19);
+  ASSERT_TRUE(session.ok());
+  EXPECT_FALSE((*session)->RunQuery({1000, 0}).ok());
+  EXPECT_FALSE((*session)->RunQuery({1, 2, 3}).ok());
+}
+
+TEST(SecureKnnTest, SetupReportPopulated) {
+  ProtocolConfig cfg = SmallConfig(Layout::kPacked);
+  data::Dataset dataset = data::UniformDataset(20, 2, 15, 20);
+  auto session = SecureKnnSession::Create(cfg, dataset, 21);
+  ASSERT_TRUE(session.ok());
+  const SetupReport& report = (*session)->setup_report();
+  EXPECT_GT(report.encrypted_db_bytes, 0u);
+  EXPECT_GT(report.evaluation_key_bytes, 0u);
+  EXPECT_GT(report.owner_ops.encryptions, 0u);
+  EXPECT_GT(report.estimated_security_bits, 0.0);
+}
+
+TEST(SecureKnnTest, CompressedIndicatorsMatchUncompressed) {
+  // Seed-compressed symmetric indicators must yield identical results with
+  // strictly fewer bytes on the B->A direction.
+  data::Dataset dataset = data::UniformDataset(30, 2, 15, 77);
+  ProtocolConfig on = SmallConfig(Layout::kPacked);
+  ProtocolConfig off = on;
+  off.compress_indicators = false;
+  auto s_on = SecureKnnSession::Create(on, dataset, 5);
+  auto s_off = SecureKnnSession::Create(off, dataset, 5);
+  ASSERT_TRUE(s_on.ok() && s_off.ok());
+  auto r_on = (*s_on)->RunQuery({4, 4});
+  auto r_off = (*s_off)->RunQuery({4, 4});
+  ASSERT_TRUE(r_on.ok() && r_off.ok());
+  EXPECT_EQ(SortedDistances(r_on->neighbours, {4, 4}),
+            SortedDistances(r_off->neighbours, {4, 4}));
+  EXPECT_LT(r_on->ab_link.bytes_b_to_a, r_off->ab_link.bytes_b_to_a * 6 / 10);
+}
+
+TEST(SecureKnnTest, MultiThreadedPartyAMatchesSingleThreaded) {
+  data::Dataset dataset = data::UniformDataset(40, 3, 15, 22);
+  ProtocolConfig cfg1 = SmallConfig(Layout::kPacked);
+  cfg1.dims = 3;
+  ProtocolConfig cfg4 = cfg1;
+  cfg4.threads = 4;
+  auto s1 = SecureKnnSession::Create(cfg1, dataset, 23);
+  auto s4 = SecureKnnSession::Create(cfg4, dataset, 23);
+  ASSERT_TRUE(s1.ok() && s4.ok());
+  auto r1 = (*s1)->RunQuery({5, 6, 7});
+  auto r4 = (*s4)->RunQuery({5, 6, 7});
+  ASSERT_TRUE(r1.ok() && r4.ok());
+  EXPECT_EQ(r1->neighbours, r4->neighbours);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace sknn

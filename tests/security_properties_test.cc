@@ -1,0 +1,194 @@
+// Structural security properties of the protocol (Section 4 of the
+// paper), checked against the implementation's observable state. These are
+// not cryptographic proofs — they verify that the implementation actually
+// realizes the mechanisms the proofs rely on: fresh masks, fresh
+// permutations, order preservation, the equidistance-only leakage at
+// Party B, and the single-round structure.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/session.h"
+#include "data/generators.h"
+
+namespace sknn {
+namespace core {
+namespace {
+
+ProtocolConfig Config(Layout layout) {
+  ProtocolConfig cfg;
+  cfg.k = 3;
+  cfg.poly_degree = 2;
+  cfg.coord_bits = 4;
+  cfg.dims = 2;
+  cfg.layout = layout;
+  cfg.preset = bgv::SecurityPreset::kToy;
+  cfg.levels = cfg.MinimumLevels();
+  return cfg;
+}
+
+TEST(SecurityPropertiesTest, MaskedOrderEqualsTrueOrder) {
+  // The masked values Party B sees must induce exactly the true distance
+  // order (that is what makes the protocol exact) while being completely
+  // different values.
+  data::Dataset dataset = data::UniformDataset(40, 2, 15, 1);
+  auto session = SecureKnnSession::Create(Config(Layout::kPerPoint),
+                                          dataset, 2);
+  ASSERT_TRUE(session.ok());
+  std::vector<uint64_t> query = {3, 12};
+  ASSERT_TRUE((*session)->RunQuery(query).ok());
+
+  const auto& observed = (*session)->party_b().observed_masked_values();
+  ASSERT_EQ(observed.size(), 40u);
+  // Reconstruct the multiset of true distances and of masked values; the
+  // i-th smallest masked value must correspond to the i-th smallest
+  // distance (as multisets with multiplicities).
+  std::vector<uint64_t> true_d;
+  for (size_t i = 0; i < 40; ++i) {
+    true_d.push_back(data::SquaredDistance(dataset, i, query));
+  }
+  std::vector<uint64_t> masked = observed;
+  std::sort(true_d.begin(), true_d.end());
+  std::sort(masked.begin(), masked.end());
+  const auto* mask = (*session)->party_a().last_mask();
+  for (size_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(masked[i], mask->Evaluate(true_d[i])) << i;
+  }
+}
+
+TEST(SecurityPropertiesTest, EquidistantLeakageExactlyAsTheorem42) {
+  // Theorem 4.2: Party B learns the number of equidistant points and
+  // nothing else about the values. Verify both directions: equal distances
+  // produce equal masked values, distinct distances produce distinct ones.
+  data::Dataset dataset(6, 2);
+  // Points at distances {4, 4, 4, 9, 16, 16} from the query (1, 1).
+  const uint64_t pts[6][2] = {{3, 1}, {1, 3}, {3, 1}, {4, 1}, {5, 1}, {1, 5}};
+  for (size_t i = 0; i < 6; ++i) {
+    dataset.set(i, 0, pts[i][0]);
+    dataset.set(i, 1, pts[i][1]);
+  }
+  auto session = SecureKnnSession::Create(Config(Layout::kPerPoint),
+                                          dataset, 3);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE((*session)->RunQuery({1, 1}).ok());
+  std::vector<uint64_t> masked = (*session)->party_b().observed_masked_values();
+  std::sort(masked.begin(), masked.end());
+  std::map<uint64_t, int> histogram;
+  for (uint64_t v : masked) ++histogram[v];
+  // Multiplicity profile must be {3, 1, 2} (sorted by value).
+  std::vector<int> counts;
+  for (const auto& [v, c] : histogram) counts.push_back(c);
+  EXPECT_EQ(counts, (std::vector<int>{3, 1, 2}));
+}
+
+TEST(SecurityPropertiesTest, PermutationChangesAcrossQueries) {
+  data::Dataset dataset = data::UniformDataset(30, 2, 15, 4);
+  auto session = SecureKnnSession::Create(Config(Layout::kPerPoint),
+                                          dataset, 5);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE((*session)->RunQuery({1, 1}).ok());
+  auto perm1 = (*session)->party_a().last_permutation();
+  ASSERT_TRUE((*session)->RunQuery({1, 1}).ok());
+  auto perm2 = (*session)->party_a().last_permutation();
+  EXPECT_NE(perm1, perm2);
+}
+
+TEST(SecurityPropertiesTest, NearestNeighbourPositionLooksUniform) {
+  // Across repeated identical queries, the flat position at which Party B
+  // sees the global minimum must move around (otherwise B learns a stable
+  // database index — the access pattern).
+  data::Dataset dataset = data::UniformDataset(16, 2, 15, 6);
+  auto session = SecureKnnSession::Create(Config(Layout::kPerPoint),
+                                          dataset, 7);
+  ASSERT_TRUE(session.ok());
+  std::set<size_t> min_positions;
+  for (int trial = 0; trial < 12; ++trial) {
+    ASSERT_TRUE((*session)->RunQuery({8, 8}).ok());
+    const auto& obs = (*session)->party_b().observed_masked_values();
+    min_positions.insert(static_cast<size_t>(
+        std::min_element(obs.begin(), obs.end()) - obs.begin()));
+  }
+  // 12 draws over 16 positions: seeing at least 6 distinct ones is
+  // overwhelmingly likely under a uniform permutation, and impossible if
+  // the position were fixed.
+  EXPECT_GE(min_positions.size(), 6u);
+}
+
+TEST(SecurityPropertiesTest, MaskedValuesChangeEvenWhenDistancesRepeat) {
+  // Search-pattern hiding: same query twice -> same true distances, but
+  // disjoint masked images (fresh polynomial), so B cannot link queries.
+  data::Dataset dataset = data::UniformDataset(25, 2, 15, 8);
+  auto session = SecureKnnSession::Create(Config(Layout::kPerPoint),
+                                          dataset, 9);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE((*session)->RunQuery({2, 2}).ok());
+  std::set<uint64_t> seen1((*session)->party_b().observed_masked_values().begin(),
+                           (*session)->party_b().observed_masked_values().end());
+  ASSERT_TRUE((*session)->RunQuery({2, 2}).ok());
+  size_t overlap = 0;
+  for (uint64_t v : (*session)->party_b().observed_masked_values()) {
+    if (seen1.count(v)) ++overlap;
+  }
+  // Random degree-2 masks over a 33-bit space: collisions are negligible.
+  EXPECT_EQ(overlap, 0u);
+}
+
+TEST(SecurityPropertiesTest, PartyAOpsAreAllCiphertextOps) {
+  // Party A must never encrypt or decrypt — it works exclusively on
+  // ciphertexts with public material (its leakage profile in §4.1 depends
+  // on this).
+  data::Dataset dataset = data::UniformDataset(20, 2, 15, 10);
+  auto session = SecureKnnSession::Create(Config(Layout::kPacked),
+                                          dataset, 11);
+  ASSERT_TRUE(session.ok());
+  auto result = (*session)->RunQuery({5, 5});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->party_a_ops.encryptions, 0u);
+  EXPECT_EQ(result->party_a_ops.decryptions, 0u);
+  EXPECT_GT(result->party_a_ops.he_multiplications, 0u);
+}
+
+TEST(SecurityPropertiesTest, OneRoundForAnyK) {
+  data::Dataset dataset = data::UniformDataset(20, 2, 15, 12);
+  for (size_t k : {size_t{1}, size_t{5}, size_t{20}}) {
+    ProtocolConfig cfg = Config(Layout::kPacked);
+    cfg.k = k;
+    auto session = SecureKnnSession::Create(cfg, dataset, 13);
+    ASSERT_TRUE(session.ok());
+    auto result = (*session)->RunQuery({1, 1});
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ((result->ab_link.rounds + 1) / 2, 1u) << "k=" << k;
+  }
+}
+
+TEST(SecurityPropertiesTest, MaskedValuesFitPlaintextSpace) {
+  // The no-overflow guarantee behind exactness: every masked value B
+  // observes is a valid plaintext strictly below t (pad sentinels are
+  // exactly t-1).
+  data::Dataset dataset = data::UniformDataset(50, 3, 15, 14);
+  ProtocolConfig cfg = Config(Layout::kPacked);
+  cfg.dims = 3;
+  auto session = SecureKnnSession::Create(cfg, dataset, 15);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE((*session)->RunQuery({1, 2, 3}).ok());
+  const uint64_t t = (*session)->context()->t();
+  size_t sentinels = 0;
+  for (uint64_t v : (*session)->party_b().observed_masked_values()) {
+    EXPECT_LT(v, t);
+    if (v == t - 1) ++sentinels;
+  }
+  // Padding payloads must be sentinels; real values are < t-1.
+  const size_t expected_pads =
+      (*session)->party_a().num_units() *
+          ((*session)->party_b().observed_masked_values().size() /
+           (*session)->party_a().num_units()) -
+      dataset.num_points();
+  EXPECT_EQ(sentinels, expected_pads);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace sknn

@@ -1,0 +1,87 @@
+#include "common/serial.h"
+
+#include <gtest/gtest.h>
+
+namespace sknn {
+namespace {
+
+TEST(SerialTest, RoundtripScalars) {
+  ByteSink sink;
+  sink.WriteU8(0xab);
+  sink.WriteU32(0xdeadbeef);
+  sink.WriteU64(0x0123456789abcdefull);
+  ByteSource src(sink.TakeBytes());
+  EXPECT_EQ(src.ReadU8().value(), 0xab);
+  EXPECT_EQ(src.ReadU32().value(), 0xdeadbeefu);
+  EXPECT_EQ(src.ReadU64().value(), 0x0123456789abcdefull);
+  EXPECT_TRUE(src.AtEnd());
+}
+
+TEST(SerialTest, RoundtripVector) {
+  ByteSink sink;
+  std::vector<uint64_t> v = {0, 1, UINT64_MAX, 42, 1ull << 63};
+  sink.WriteU64Vector(v);
+  ByteSource src(sink.TakeBytes());
+  auto got = src.ReadU64Vector();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), v);
+  EXPECT_TRUE(src.AtEnd());
+}
+
+TEST(SerialTest, RoundtripEmptyVector) {
+  ByteSink sink;
+  sink.WriteU64Vector({});
+  ByteSource src(sink.TakeBytes());
+  auto got = src.ReadU64Vector();
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got.value().empty());
+}
+
+TEST(SerialTest, RoundtripString) {
+  ByteSink sink;
+  sink.WriteString("hello");
+  sink.WriteString("");
+  ByteSource src(sink.TakeBytes());
+  EXPECT_EQ(src.ReadString().value(), "hello");
+  EXPECT_EQ(src.ReadString().value(), "");
+}
+
+TEST(SerialTest, TruncatedReadFails) {
+  ByteSink sink;
+  sink.WriteU32(7);
+  ByteSource src(sink.TakeBytes());
+  EXPECT_FALSE(src.ReadU64().ok());
+}
+
+TEST(SerialTest, VectorLengthBoundsChecked) {
+  // A claimed length far beyond the available bytes must error, not crash.
+  ByteSink sink;
+  sink.WriteU64(1ull << 60);  // absurd element count
+  sink.WriteU64(0);
+  ByteSource src(sink.TakeBytes());
+  EXPECT_FALSE(src.ReadU64Vector().ok());
+}
+
+TEST(SerialTest, SizeTracksWrites) {
+  ByteSink sink;
+  EXPECT_EQ(sink.size(), 0u);
+  sink.WriteU64(1);
+  EXPECT_EQ(sink.size(), 8u);
+  sink.WriteU8(1);
+  EXPECT_EQ(sink.size(), 9u);
+}
+
+TEST(SerialTest, MixedSequenceRoundtrip) {
+  ByteSink sink;
+  sink.WriteU64Vector({5, 6, 7});
+  sink.WriteString("tag");
+  sink.WriteU32(99);
+  ByteSource src(sink.TakeBytes());
+  EXPECT_EQ(src.ReadU64Vector().value(), (std::vector<uint64_t>{5, 6, 7}));
+  EXPECT_EQ(src.ReadString().value(), "tag");
+  EXPECT_EQ(src.ReadU32().value(), 99u);
+  EXPECT_TRUE(src.AtEnd());
+}
+
+}  // namespace
+}  // namespace sknn

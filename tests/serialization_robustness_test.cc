@@ -1,0 +1,127 @@
+// Robustness of every deserializer against malformed input: random bytes,
+// truncations of valid encodings, and bit flips must produce Status errors
+// or harmless misparses — never crashes, hangs, or giant allocations.
+// (Party A consumes bytes produced by Party B and vice versa; in the
+// threat model those parties are honest-but-curious, but a production
+// system still must not be crashable by a corrupted message.)
+
+#include <gtest/gtest.h>
+
+#include "bgv/context.h"
+#include "bgv/encoder.h"
+#include "bgv/encryptor.h"
+#include "bgv/keys.h"
+#include "bgv/serialization.h"
+#include "bgv/symmetric.h"
+#include "common/rng.h"
+
+namespace sknn {
+namespace bgv {
+namespace {
+
+class SerializationRobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto params = BgvParams::CreateCustom(256, 20, 3, 45, 50);
+    ASSERT_TRUE(params.ok());
+    ctx_ = BgvContext::Create(params.value()).value();
+    rng_ = std::make_unique<Chacha20Rng>(uint64_t{31415});
+    KeyGenerator keygen(ctx_, rng_.get());
+    sk_ = keygen.GenerateSecretKey();
+    pk_ = keygen.GeneratePublicKey(sk_);
+    encoder_ = std::make_unique<BatchEncoder>(ctx_);
+    encryptor_ = std::make_unique<Encryptor>(ctx_, pk_, rng_.get());
+  }
+
+  std::vector<uint8_t> ValidCiphertextBytes() {
+    auto ct = encryptor_->Encrypt(encoder_->EncodeScalar(5)).value();
+    ByteSink sink;
+    WriteCiphertext(ct, &sink);
+    return sink.TakeBytes();
+  }
+
+  std::shared_ptr<const BgvContext> ctx_;
+  std::unique_ptr<Chacha20Rng> rng_;
+  SecretKey sk_;
+  PublicKey pk_;
+  std::unique_ptr<BatchEncoder> encoder_;
+  std::unique_ptr<Encryptor> encryptor_;
+};
+
+TEST_F(SerializationRobustnessTest, RandomBytesNeverCrashCiphertextReader) {
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t len = rng_->UniformBelow(256);
+    std::vector<uint8_t> junk(len);
+    rng_->FillBytes(junk.data(), len);
+    ByteSource src(std::move(junk));
+    auto result = ReadCiphertext(&src);  // must simply return, ok or not
+    (void)result;
+  }
+}
+
+TEST_F(SerializationRobustnessTest, RandomBytesNeverCrashKeyReaders) {
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t len = rng_->UniformBelow(300);
+    std::vector<uint8_t> junk(len);
+    rng_->FillBytes(junk.data(), len);
+    {
+      ByteSource src(junk);
+      (void)ReadPublicKey(&src);
+    }
+    {
+      ByteSource src(junk);
+      (void)ReadRelinKeys(&src);
+    }
+    {
+      ByteSource src(junk);
+      (void)ReadGaloisKeys(&src);
+    }
+    {
+      ByteSource src(junk);
+      (void)ReadSeededCiphertext(&src);
+    }
+  }
+}
+
+TEST_F(SerializationRobustnessTest, EveryTruncationOfValidCiphertextErrors) {
+  std::vector<uint8_t> valid = ValidCiphertextBytes();
+  // Sample truncation points across the buffer (checking all ~50k is slow).
+  for (size_t cut = 0; cut < valid.size(); cut += 997) {
+    std::vector<uint8_t> truncated(valid.begin(),
+                                   valid.begin() + static_cast<long>(cut));
+    ByteSource src(std::move(truncated));
+    EXPECT_FALSE(ReadCiphertext(&src).ok()) << "cut at " << cut;
+  }
+}
+
+TEST_F(SerializationRobustnessTest, LengthFieldCorruptionIsBounded) {
+  // Blow up the claimed vector length: the reader must reject it instead
+  // of attempting a giant allocation.
+  std::vector<uint8_t> valid = ValidCiphertextBytes();
+  // Bytes 16..24 hold the first RnsPoly's n field (level, scale, size come
+  // first); overwrite with an absurd value.
+  for (size_t pos : {size_t{16}, size_t{17}, size_t{40}}) {
+    std::vector<uint8_t> corrupted = valid;
+    for (size_t i = 0; i < 8 && pos + i < corrupted.size(); ++i) {
+      corrupted[pos + i] = 0xff;
+    }
+    ByteSource src(std::move(corrupted));
+    auto result = ReadCiphertext(&src);
+    // Either a clean error or a (harmless) misparse -- never a crash.
+    (void)result;
+  }
+}
+
+TEST_F(SerializationRobustnessTest, ExtraTrailingBytesAreDetectable) {
+  std::vector<uint8_t> valid = ValidCiphertextBytes();
+  valid.push_back(0xab);
+  ByteSource src(std::move(valid));
+  auto ct = ReadCiphertext(&src);
+  ASSERT_TRUE(ct.ok());
+  EXPECT_FALSE(src.AtEnd());
+  EXPECT_EQ(src.remaining(), 1u);
+}
+
+}  // namespace
+}  // namespace bgv
+}  // namespace sknn

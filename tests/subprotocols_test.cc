@@ -1,0 +1,167 @@
+#include "baseline/subprotocols.h"
+
+#include <gtest/gtest.h>
+
+namespace sknn {
+namespace baseline {
+namespace {
+
+class SubprotocolsTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kValueBits = 12;
+
+  void SetUp() override {
+    rng_ = std::make_unique<Chacha20Rng>(uint64_t{1234});
+    auto kp = paillier::GeneratePaillierKeys(192, rng_.get());
+    ASSERT_TRUE(kp.ok()) << kp.status();
+    pk_ = kp->pk;
+    c2_ = std::make_unique<CloudC2>(kp->pk, kp->sk, 11);
+    c1_ = std::make_unique<Subprotocols>(kp->pk, c2_.get(), kValueBits, 12);
+    dec_ = std::make_unique<paillier::PaillierDecryptor>(kp->pk, kp->sk);
+    enc_ = std::make_unique<paillier::PaillierEncryptor>(kp->pk, rng_.get());
+  }
+
+  BigUint Enc(uint64_t v) { return enc_->EncryptU64(v).value(); }
+  uint64_t Dec(const BigUint& c) { return dec_->Decrypt(c)->ToU64(); }
+
+  std::vector<BigUint> EncBits(uint64_t v) {
+    std::vector<BigUint> bits(kValueBits);
+    for (size_t i = 0; i < kValueBits; ++i) bits[i] = Enc((v >> i) & 1);
+    return bits;
+  }
+
+  std::unique_ptr<Chacha20Rng> rng_;
+  paillier::PaillierPublicKey pk_;
+  std::unique_ptr<CloudC2> c2_;
+  std::unique_ptr<Subprotocols> c1_;
+  std::unique_ptr<paillier::PaillierDecryptor> dec_;
+  std::unique_ptr<paillier::PaillierEncryptor> enc_;
+};
+
+TEST_F(SubprotocolsTest, SecureMultiplyCorrect) {
+  for (auto [a, b] : {std::pair<uint64_t, uint64_t>{3, 5},
+                      {0, 100},
+                      {4095, 4095},
+                      {1, 0}}) {
+    auto prod = c1_->SecureMultiply(Enc(a), Enc(b));
+    ASSERT_TRUE(prod.ok()) << prod.status();
+    EXPECT_EQ(Dec(prod.value()), a * b);
+  }
+}
+
+TEST_F(SubprotocolsTest, SecureMultiplyBatchCountsOneRound) {
+  const uint64_t before = c1_->rounds();
+  std::vector<BigUint> a = {Enc(2), Enc(3), Enc(4)};
+  std::vector<BigUint> b = {Enc(5), Enc(6), Enc(7)};
+  auto out = c1_->SecureMultiplyBatch(a, b);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(c1_->rounds() - before, 1u);
+  EXPECT_EQ(Dec((*out)[0]), 10u);
+  EXPECT_EQ(Dec((*out)[1]), 18u);
+  EXPECT_EQ(Dec((*out)[2]), 28u);
+}
+
+TEST_F(SubprotocolsTest, SecureSquaredDistanceCorrect) {
+  std::vector<BigUint> p = {Enc(3), Enc(10), Enc(0)};
+  std::vector<BigUint> q = {Enc(7), Enc(4), Enc(2)};
+  auto d = c1_->SecureSquaredDistance(p, q);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(Dec(d.value()), 16u + 36u + 4u);
+}
+
+TEST_F(SubprotocolsTest, SecureBitDecomposeCorrect) {
+  for (uint64_t v : {0ull, 1ull, 2ull, 1000ull, 4095ull, 2731ull}) {
+    auto bits = c1_->SecureBitDecompose(Enc(v));
+    ASSERT_TRUE(bits.ok()) << bits.status();
+    ASSERT_EQ(bits->size(), kValueBits);
+    uint64_t reconstructed = 0;
+    for (size_t i = 0; i < kValueBits; ++i) {
+      uint64_t bit = Dec((*bits)[i]);
+      ASSERT_LE(bit, 1u);
+      reconstructed |= bit << i;
+    }
+    EXPECT_EQ(reconstructed, v);
+  }
+}
+
+TEST_F(SubprotocolsTest, SbdBatchUsesOneRoundPerBit) {
+  const uint64_t before = c1_->rounds();
+  auto bits = c1_->SecureBitDecomposeBatch({Enc(77), Enc(99), Enc(4000)});
+  ASSERT_TRUE(bits.ok());
+  EXPECT_EQ(c1_->rounds() - before, kValueBits);
+}
+
+TEST_F(SubprotocolsTest, BitsToValueRoundtrip) {
+  auto bits = c1_->SecureBitDecompose(Enc(1234));
+  ASSERT_TRUE(bits.ok());
+  EXPECT_EQ(Dec(c1_->BitsToValue(bits.value())), 1234u);
+}
+
+TEST_F(SubprotocolsTest, SecureMinCorrect) {
+  for (auto [u, v] : {std::pair<uint64_t, uint64_t>{5, 9},
+                      {9, 5},
+                      {0, 4095},
+                      {77, 77},
+                      {0, 0},
+                      {2048, 2047}}) {
+    auto r = c1_->SecureMin(EncBits(u), EncBits(v));
+    ASSERT_TRUE(r.ok()) << r.status();
+    uint64_t min_val = 0;
+    for (size_t i = 0; i < kValueBits; ++i) {
+      min_val |= Dec(r->min_bits[i]) << i;
+    }
+    EXPECT_EQ(min_val, std::min(u, v)) << "u=" << u << " v=" << v;
+    // u_is_min consistent with the picked value.
+    const uint64_t b = Dec(r->u_is_min);
+    ASSERT_LE(b, 1u);
+    EXPECT_EQ(b ? u : v, min_val);
+  }
+}
+
+TEST_F(SubprotocolsTest, SecureMinRandomized) {
+  Chacha20Rng vals(uint64_t{55});
+  for (int i = 0; i < 15; ++i) {
+    uint64_t u = vals.UniformBelow(1 << kValueBits);
+    uint64_t v = vals.UniformBelow(1 << kValueBits);
+    auto r = c1_->SecureMin(EncBits(u), EncBits(v));
+    ASSERT_TRUE(r.ok());
+    uint64_t min_val = 0;
+    for (size_t b = 0; b < kValueBits; ++b) {
+      min_val |= Dec(r->min_bits[b]) << b;
+    }
+    EXPECT_EQ(min_val, std::min(u, v));
+  }
+}
+
+TEST_F(SubprotocolsTest, SecureMinNTournament) {
+  std::vector<uint64_t> values = {500, 17, 1000, 17, 3000, 42, 4095};
+  std::vector<std::vector<BigUint>> bits;
+  for (uint64_t v : values) bits.push_back(EncBits(v));
+  auto min_bits = c1_->SecureMinN(bits);
+  ASSERT_TRUE(min_bits.ok());
+  uint64_t min_val = 0;
+  for (size_t b = 0; b < kValueBits; ++b) {
+    min_val |= Dec((*min_bits)[b]) << b;
+  }
+  EXPECT_EQ(min_val, 17u);
+}
+
+TEST_F(SubprotocolsTest, SecureMinNSingleValue) {
+  auto min_bits = c1_->SecureMinN({EncBits(321)});
+  ASSERT_TRUE(min_bits.ok());
+  uint64_t v = 0;
+  for (size_t b = 0; b < kValueBits; ++b) v |= Dec((*min_bits)[b]) << b;
+  EXPECT_EQ(v, 321u);
+}
+
+TEST_F(SubprotocolsTest, OpsAndBytesAccumulate) {
+  auto r = c1_->SecureMultiply(Enc(2), Enc(3));
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(c1_->ops().encryptions, 0u);
+  EXPECT_GT(c2_->ops().decryptions, 0u);
+  EXPECT_GT(c1_->bytes_exchanged(), 0u);
+}
+
+}  // namespace
+}  // namespace baseline
+}  // namespace sknn

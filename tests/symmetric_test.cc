@@ -1,0 +1,143 @@
+#include "bgv/symmetric.h"
+
+#include <gtest/gtest.h>
+
+#include "bgv/decryptor.h"
+#include "bgv/encoder.h"
+#include "bgv/encryptor.h"
+#include "bgv/evaluator.h"
+#include "bgv/serialization.h"
+
+namespace sknn {
+namespace bgv {
+namespace {
+
+class SymmetricTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto params = BgvParams::CreateCustom(256, 20, 3, 45, 50);
+    ASSERT_TRUE(params.ok());
+    auto ctx = BgvContext::Create(params.value());
+    ASSERT_TRUE(ctx.ok());
+    ctx_ = ctx.value();
+    rng_ = std::make_unique<Chacha20Rng>(uint64_t{808});
+    KeyGenerator keygen(ctx_, rng_.get());
+    sk_ = keygen.GenerateSecretKey();
+    pk_ = keygen.GeneratePublicKey(sk_);
+    rk_ = keygen.GenerateRelinKeys(sk_);
+    encoder_ = std::make_unique<BatchEncoder>(ctx_);
+    sym_ = std::make_unique<SymmetricEncryptor>(ctx_, sk_, rng_.get());
+    pk_enc_ = std::make_unique<Encryptor>(ctx_, pk_, rng_.get());
+    decryptor_ = std::make_unique<Decryptor>(ctx_, sk_);
+    evaluator_ = std::make_unique<Evaluator>(ctx_);
+  }
+
+  std::shared_ptr<const BgvContext> ctx_;
+  std::unique_ptr<Chacha20Rng> rng_;
+  SecretKey sk_;
+  PublicKey pk_;
+  RelinKeys rk_;
+  std::unique_ptr<BatchEncoder> encoder_;
+  std::unique_ptr<SymmetricEncryptor> sym_;
+  std::unique_ptr<Encryptor> pk_enc_;
+  std::unique_ptr<Decryptor> decryptor_;
+  std::unique_ptr<Evaluator> evaluator_;
+};
+
+TEST_F(SymmetricTest, EncryptDecryptRoundtrip) {
+  std::vector<uint64_t> v = {5, 10, 15, 0, 999};
+  auto pt = encoder_->Encode(v).value();
+  for (size_t level : {size_t{0}, size_t{1}, size_t{2}}) {
+    auto ct = sym_->Encrypt(pt, level);
+    ASSERT_TRUE(ct.ok()) << ct.status();
+    EXPECT_EQ(ct->level, level);
+    auto back = decryptor_->Decrypt(ct.value());
+    ASSERT_TRUE(back.ok());
+    auto decoded = encoder_->Decode(back.value());
+    EXPECT_EQ(decoded[0], 5u);
+    EXPECT_EQ(decoded[4], 999u);
+  }
+}
+
+TEST_F(SymmetricTest, SeededExpansionIsDeterministic) {
+  auto pt = encoder_->EncodeScalar(7);
+  auto seeded = sym_->EncryptSeeded(pt, 1);
+  ASSERT_TRUE(seeded.ok());
+  auto ct1 = ExpandSeeded(*ctx_, seeded.value());
+  auto ct2 = ExpandSeeded(*ctx_, seeded.value());
+  ASSERT_TRUE(ct1.ok() && ct2.ok());
+  EXPECT_EQ(ct1->c[1].comp, ct2->c[1].comp);
+}
+
+TEST_F(SymmetricTest, SeededHalvesTheWireSize) {
+  auto pt = encoder_->EncodeScalar(7);
+  auto seeded = sym_->EncryptSeeded(pt, 1).value();
+  auto full = ExpandSeeded(*ctx_, seeded).value();
+  ByteSink a, b;
+  WriteSeededCiphertext(seeded, &a);
+  WriteCiphertext(full, &b);
+  EXPECT_LT(a.size(), b.size() * 6 / 10);  // roughly half
+}
+
+TEST_F(SymmetricTest, SeededSerializationRoundtrip) {
+  auto pt = encoder_->Encode({1, 2, 3}).value();
+  auto seeded = sym_->EncryptSeeded(pt, 2).value();
+  ByteSink sink;
+  WriteSeededCiphertext(seeded, &sink);
+  ByteSource src(sink.TakeBytes());
+  auto back = ReadSeededCiphertext(&src);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(src.AtEnd());
+  auto ct = ExpandSeeded(*ctx_, back.value());
+  ASSERT_TRUE(ct.ok());
+  auto decoded = encoder_->Decode(decryptor_->Decrypt(ct.value()).value());
+  EXPECT_EQ(decoded[0], 1u);
+  EXPECT_EQ(decoded[2], 3u);
+}
+
+TEST_F(SymmetricTest, InteroperatesWithPublicKeyCiphertexts) {
+  // symmetric Enc(3) * public Enc(5) + symmetric Enc(2) == 17 slot-wise.
+  auto c_sym3 = sym_->Encrypt(encoder_->EncodeScalar(3), ctx_->max_level());
+  auto c_pk5 = pk_enc_->Encrypt(encoder_->EncodeScalar(5));
+  auto c_sym2 = sym_->Encrypt(encoder_->EncodeScalar(2), ctx_->max_level());
+  ASSERT_TRUE(c_sym3.ok() && c_pk5.ok() && c_sym2.ok());
+  auto prod = evaluator_->MultiplyRelin(c_sym3.value(), c_pk5.value(), rk_);
+  ASSERT_TRUE(prod.ok());
+  Ciphertext acc = std::move(prod).value();
+  ASSERT_TRUE(evaluator_->AddInplace(&acc, c_sym2.value()).ok());
+  auto decoded = encoder_->Decode(decryptor_->Decrypt(acc).value());
+  for (uint64_t v : decoded) EXPECT_EQ(v, 17u);
+}
+
+TEST_F(SymmetricTest, FreshSymmetricNoiseIsLowerThanPublicKey) {
+  auto pt = encoder_->EncodeScalar(1);
+  auto c_sym = sym_->Encrypt(pt, ctx_->max_level()).value();
+  auto c_pk = pk_enc_->Encrypt(pt).value();
+  auto b_sym = decryptor_->NoiseBudgetBits(c_sym).value();
+  auto b_pk = decryptor_->NoiseBudgetBits(c_pk).value();
+  EXPECT_GE(b_sym, b_pk);  // no u-convolution term in the symmetric form
+}
+
+TEST_F(SymmetricTest, DistinctEncryptionsDistinctSeeds) {
+  auto pt = encoder_->EncodeScalar(9);
+  auto a = sym_->EncryptSeeded(pt, 1).value();
+  auto b = sym_->EncryptSeeded(pt, 1).value();
+  EXPECT_NE(a.seed, b.seed);
+  EXPECT_NE(a.c0.comp, b.c0.comp);
+}
+
+TEST_F(SymmetricTest, RejectsBadLevels) {
+  auto pt = encoder_->EncodeScalar(1);
+  EXPECT_FALSE(sym_->EncryptSeeded(pt, 99).ok());
+}
+
+TEST_F(SymmetricTest, ExpandValidatesShape) {
+  auto pt = encoder_->EncodeScalar(1);
+  auto seeded = sym_->EncryptSeeded(pt, 1).value();
+  seeded.level = 2;  // now inconsistent with c0's component count
+  EXPECT_FALSE(ExpandSeeded(*ctx_, seeded).ok());
+}
+
+}  // namespace
+}  // namespace bgv
+}  // namespace sknn

@@ -1,0 +1,66 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace sknn {
+namespace {
+
+TEST(ThreadPoolTest, InlineModeRunsAllIterations) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 0u);  // inline mode has no workers
+  std::vector<int> hits(100, 0);
+  pool.ParallelFor(0, 100, [&](size_t i) { hits[i] += 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, MultiThreadedRunsAllIterations) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, 1000, [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.ParallelFor(5, 5, [&](size_t) { count.fetch_add(1); });
+  pool.ParallelFor(7, 3, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+}
+
+TEST(ThreadPoolTest, SubrangeRespected) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  pool.ParallelFor(10, 20, [&](size_t i) { sum.fetch_add(static_cast<long>(i)); });
+  EXPECT_EQ(sum.load(), 145);  // 10+...+19
+}
+
+TEST(ThreadPoolTest, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> count{0};
+    pool.ParallelFor(0, 50, [&](size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 50);
+  }
+}
+
+TEST(ThreadPoolTest, ScheduleRunsTask) {
+  ThreadPool pool(2);
+  std::atomic<bool> ran{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  pool.Schedule([&] {
+    ran = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait_for(lock, std::chrono::seconds(10), [&] { return ran.load(); });
+  EXPECT_TRUE(ran.load());
+}
+
+}  // namespace
+}  // namespace sknn

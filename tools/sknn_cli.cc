@@ -1,0 +1,275 @@
+// sknn_cli — command-line driver for the secure k-NN library.
+//
+//   sknn_cli knn      --n=1000 --d=4 --k=5 [--layout=packed|per-point]
+//                     [--dataset=uniform|cancer|credit] [--queries=3]
+//                     [--preset=toy|bench|default|paranoid] [--seed=1]
+//   sknn_cli kmeans   --n=200 --d=2 --clusters=3 [--iterations=5]
+//   sknn_cli baseline --n=50 --d=3 --k=3 [--paillier-bits=256]
+//   sknn_cli params   [--preset=...] [--levels=4] [--plain-bits=33]
+//
+// Every subcommand prints what it would leak and what it measured.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "baseline/elmehdwi.h"
+#include "core/config_advisor.h"
+#include "core/session.h"
+#include "data/generators.h"
+#include "extensions/secure_kmeans.h"
+
+namespace {
+
+using namespace sknn;  // NOLINT
+
+// Minimal --key=value flag parser.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strncmp(a, "--", 2) != 0) {
+        std::fprintf(stderr, "ignoring stray argument %s\n", a);
+        continue;
+      }
+      const char* eq = std::strchr(a, '=');
+      if (eq == nullptr) {
+        values_[std::string(a + 2)] = "true";
+      } else {
+        values_[std::string(a + 2, static_cast<size_t>(eq - a - 2))] =
+            std::string(eq + 1);
+      }
+    }
+  }
+
+  uint64_t U64(const char* key, uint64_t def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : std::strtoull(it->second.c_str(),
+                                                     nullptr, 10);
+  }
+  std::string Str(const char* key, const char* def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+bgv::SecurityPreset PresetFromString(const std::string& s) {
+  if (s == "bench") return bgv::SecurityPreset::kBench;
+  if (s == "default") return bgv::SecurityPreset::kDefault;
+  if (s == "paranoid") return bgv::SecurityPreset::kParanoid;
+  if (s != "toy") std::fprintf(stderr, "unknown preset '%s', using toy\n",
+                               s.c_str());
+  return bgv::SecurityPreset::kToy;
+}
+
+data::Dataset MakeDataset(const std::string& name, size_t n, size_t* d,
+                          int coord_bits, uint64_t seed) {
+  if (name == "cancer") {
+    *d = 32;
+    return data::SimulatedCervicalCancer(seed).QuantizeToBits(coord_bits);
+  }
+  if (name == "credit") {
+    *d = 23;
+    return data::SimulatedCreditCard(seed, n).QuantizeToBits(coord_bits);
+  }
+  return data::UniformDataset(n, *d, (uint64_t{1} << coord_bits) - 1, seed);
+}
+
+int RunKnn(const Flags& flags) {
+  size_t d = flags.U64("d", 2);
+  const int coord_bits = static_cast<int>(flags.U64("coord-bits", 4));
+  const uint64_t seed = flags.U64("seed", 1);
+  const std::string dataset_name = flags.Str("dataset", "uniform");
+  data::Dataset dataset =
+      MakeDataset(dataset_name, flags.U64("n", 100), &d, coord_bits, seed);
+
+  core::ProtocolConfig cfg;
+  cfg.k = flags.U64("k", 5);
+  cfg.dims = d;
+  cfg.coord_bits = coord_bits;
+  cfg.poly_degree = flags.U64("degree", 2);
+  cfg.layout = flags.Str("layout", "packed") == std::string("per-point")
+                   ? core::Layout::kPerPoint
+                   : core::Layout::kPacked;
+  cfg.preset = PresetFromString(flags.Str("preset", "toy"));
+  cfg.levels = cfg.MinimumLevels();
+  cfg.threads = flags.U64("threads", 1);
+
+  std::printf("secure k-NN: %s over %zu x %zu dataset '%s'\n",
+              cfg.DebugString().c_str(), dataset.num_points(), dataset.dims(),
+              dataset_name.c_str());
+  auto session = core::SecureKnnSession::Create(cfg, dataset, seed);
+  if (!session.ok()) {
+    std::fprintf(stderr, "setup: %s\n", session.status().ToString().c_str());
+    return 1;
+  }
+  const auto& report = (*session)->setup_report();
+  std::printf("setup %.2fs, encrypted db %.2f MB, eval keys %.2f MB, "
+              "estimated security %.0f bits\n",
+              report.setup_seconds,
+              static_cast<double>(report.encrypted_db_bytes) / 1e6,
+              static_cast<double>(report.evaluation_key_bytes) / 1e6,
+              report.estimated_security_bits);
+
+  const int queries = static_cast<int>(flags.U64("queries", 1));
+  for (int q = 0; q < queries; ++q) {
+    auto query = data::UniformQuery(d, (uint64_t{1} << coord_bits) - 1,
+                                    seed + 1000 + static_cast<uint64_t>(q));
+    auto result = (*session)->RunQuery(query);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "query %d: %.2fs (dist %.2f, select %.2f, return %.2f), "
+        "%llu rounds, A->B %.2f MB, B->A %.2f MB\n",
+        q, result->timings.total_query_seconds(),
+        result->timings.compute_distances_seconds,
+        result->timings.find_neighbours_seconds,
+        result->timings.return_knn_seconds,
+        static_cast<unsigned long long>((result->ab_link.rounds + 1) / 2),
+        static_cast<double>(result->ab_link.bytes_a_to_b) / 1e6,
+        static_cast<double>(result->ab_link.bytes_b_to_a) / 1e6);
+    std::printf("  neighbours:");
+    for (const auto& p : result->neighbours) {
+      uint64_t dist = 0;
+      for (size_t j = 0; j < query.size(); ++j) {
+        uint64_t diff = p[j] > query[j] ? p[j] - query[j] : query[j] - p[j];
+        dist += diff * diff;
+      }
+      std::printf(" d2=%llu", static_cast<unsigned long long>(dist));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int RunKMeans(const Flags& flags) {
+  extensions::KMeansConfig cfg;
+  cfg.num_clusters = flags.U64("clusters", 3);
+  cfg.dims = flags.U64("d", 2);
+  cfg.coord_bits = static_cast<int>(flags.U64("coord-bits", 4));
+  cfg.iterations = flags.U64("iterations", 5);
+  cfg.preset = PresetFromString(flags.Str("preset", "toy"));
+  cfg.seed = flags.U64("seed", 1);
+  data::Dataset dataset = data::UniformDataset(
+      flags.U64("n", 100), cfg.dims, (uint64_t{1} << cfg.coord_bits) - 1,
+      cfg.seed);
+  auto km = extensions::SecureKMeans::Create(cfg, dataset);
+  if (!km.ok()) {
+    std::fprintf(stderr, "setup: %s\n", km.status().ToString().c_str());
+    return 1;
+  }
+  auto result = (*km)->Run();
+  if (!result.ok()) {
+    std::fprintf(stderr, "run: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("secure k-means finished after %zu iterations\n",
+              result->iterations_run);
+  for (size_t c = 0; c < result->centroids.size(); ++c) {
+    std::printf("  cluster %zu (%zu points): (", c, result->sizes[c]);
+    for (size_t j = 0; j < result->centroids[c].size(); ++j) {
+      std::printf("%s%llu", j ? ", " : "",
+                  static_cast<unsigned long long>(result->centroids[c][j]));
+    }
+    std::printf(")\n");
+  }
+  return 0;
+}
+
+int RunBaseline(const Flags& flags) {
+  baseline::BaselineConfig cfg;
+  cfg.k = flags.U64("k", 3);
+  cfg.paillier_bits = flags.U64("paillier-bits", 256);
+  cfg.seed = flags.U64("seed", 1);
+  const size_t d = flags.U64("d", 2);
+  const int coord_bits = static_cast<int>(flags.U64("coord-bits", 4));
+  data::Dataset dataset = data::UniformDataset(
+      flags.U64("n", 30), d, (uint64_t{1} << coord_bits) - 1, cfg.seed);
+  auto proto = baseline::ElmehdwiSknn::Create(cfg, dataset);
+  if (!proto.ok()) {
+    std::fprintf(stderr, "setup: %s\n", proto.status().ToString().c_str());
+    return 1;
+  }
+  auto query = data::UniformQuery(d, (uint64_t{1} << coord_bits) - 1,
+                                  cfg.seed + 1);
+  auto result = (*proto)->RunQuery(query);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "baseline (Elmehdwi et al.): %.2fs, %llu rounds, %.2f MB, "
+      "C2 decs %llu, C2 encs %llu\n",
+      result->query_seconds,
+      static_cast<unsigned long long>(result->rounds),
+      static_cast<double>(result->bytes) / 1e6,
+      static_cast<unsigned long long>(result->c2_ops.decryptions),
+      static_cast<unsigned long long>(result->c2_ops.encryptions));
+  return 0;
+}
+
+int RunAdvise(const Flags& flags) {
+  core::WorkloadSpec w;
+  w.num_points = flags.U64("n", 1000);
+  w.dims = flags.U64("d", 2);
+  w.coord_bits = static_cast<int>(flags.U64("coord-bits", 4));
+  w.k = flags.U64("k", 5);
+  w.min_poly_degree = flags.U64("min-degree", 1);
+  w.preset = PresetFromString(flags.Str("preset", "default"));
+  auto advised = core::AdviseConfig(w);
+  if (!advised.ok()) {
+    std::fprintf(stderr, "%s\n", advised.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n%s", advised->config.DebugString().c_str(),
+              advised->rationale.c_str());
+  return 0;
+}
+
+int RunParams(const Flags& flags) {
+  auto params = bgv::BgvParams::Create(
+      PresetFromString(flags.Str("preset", "toy")),
+      flags.U64("levels", 4), static_cast<int>(flags.U64("plain-bits", 33)));
+  if (!params.ok()) {
+    std::fprintf(stderr, "%s\n", params.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", params->DebugString().c_str());
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: sknn_cli <knn|kmeans|baseline|params|advise> [--key=value...]\n"
+               "  knn      --n --d --k --layout --dataset --queries --preset\n"
+               "  kmeans   --n --d --clusters --iterations --preset\n"
+               "  baseline --n --d --k --paillier-bits\n"
+               "  params   --preset --levels --plain-bits\n"
+               "  advise   --n --d --coord-bits --k --min-degree --preset\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  Flags flags(argc, argv, 2);
+  if (cmd == "knn") return RunKnn(flags);
+  if (cmd == "kmeans") return RunKMeans(flags);
+  if (cmd == "baseline") return RunBaseline(flags);
+  if (cmd == "params") return RunParams(flags);
+  if (cmd == "advise") return RunAdvise(flags);
+  Usage();
+  return 2;
+}
