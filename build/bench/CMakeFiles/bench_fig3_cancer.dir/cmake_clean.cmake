@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_cancer.dir/bench_fig3_cancer.cc.o"
+  "CMakeFiles/bench_fig3_cancer.dir/bench_fig3_cancer.cc.o.d"
+  "bench_fig3_cancer"
+  "bench_fig3_cancer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_cancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_credit.dir/bench_fig4_credit.cc.o"
+  "CMakeFiles/bench_fig4_credit.dir/bench_fig4_credit.cc.o.d"
+  "bench_fig4_credit"
+  "bench_fig4_credit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_credit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/location_search.dir/location_search.cpp.o"
+  "CMakeFiles/location_search.dir/location_search.cpp.o.d"
+  "location_search"
+  "location_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/location_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

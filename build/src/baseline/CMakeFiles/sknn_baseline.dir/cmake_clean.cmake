@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sknn_baseline.dir/elmehdwi.cc.o"
+  "CMakeFiles/sknn_baseline.dir/elmehdwi.cc.o.d"
+  "CMakeFiles/sknn_baseline.dir/subprotocols.cc.o"
+  "CMakeFiles/sknn_baseline.dir/subprotocols.cc.o.d"
+  "libsknn_baseline.a"
+  "libsknn_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sknn_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

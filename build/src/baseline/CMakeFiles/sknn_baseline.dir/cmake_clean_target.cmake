@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsknn_baseline.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgv/context.cc" "src/bgv/CMakeFiles/sknn_bgv.dir/context.cc.o" "gcc" "src/bgv/CMakeFiles/sknn_bgv.dir/context.cc.o.d"
+  "/root/repo/src/bgv/decryptor.cc" "src/bgv/CMakeFiles/sknn_bgv.dir/decryptor.cc.o" "gcc" "src/bgv/CMakeFiles/sknn_bgv.dir/decryptor.cc.o.d"
+  "/root/repo/src/bgv/encoder.cc" "src/bgv/CMakeFiles/sknn_bgv.dir/encoder.cc.o" "gcc" "src/bgv/CMakeFiles/sknn_bgv.dir/encoder.cc.o.d"
+  "/root/repo/src/bgv/encryptor.cc" "src/bgv/CMakeFiles/sknn_bgv.dir/encryptor.cc.o" "gcc" "src/bgv/CMakeFiles/sknn_bgv.dir/encryptor.cc.o.d"
+  "/root/repo/src/bgv/evaluator.cc" "src/bgv/CMakeFiles/sknn_bgv.dir/evaluator.cc.o" "gcc" "src/bgv/CMakeFiles/sknn_bgv.dir/evaluator.cc.o.d"
+  "/root/repo/src/bgv/keys.cc" "src/bgv/CMakeFiles/sknn_bgv.dir/keys.cc.o" "gcc" "src/bgv/CMakeFiles/sknn_bgv.dir/keys.cc.o.d"
+  "/root/repo/src/bgv/params.cc" "src/bgv/CMakeFiles/sknn_bgv.dir/params.cc.o" "gcc" "src/bgv/CMakeFiles/sknn_bgv.dir/params.cc.o.d"
+  "/root/repo/src/bgv/sampling.cc" "src/bgv/CMakeFiles/sknn_bgv.dir/sampling.cc.o" "gcc" "src/bgv/CMakeFiles/sknn_bgv.dir/sampling.cc.o.d"
+  "/root/repo/src/bgv/serialization.cc" "src/bgv/CMakeFiles/sknn_bgv.dir/serialization.cc.o" "gcc" "src/bgv/CMakeFiles/sknn_bgv.dir/serialization.cc.o.d"
+  "/root/repo/src/bgv/symmetric.cc" "src/bgv/CMakeFiles/sknn_bgv.dir/symmetric.cc.o" "gcc" "src/bgv/CMakeFiles/sknn_bgv.dir/symmetric.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/sknn_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sknn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

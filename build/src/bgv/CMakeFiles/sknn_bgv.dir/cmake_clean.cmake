@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sknn_bgv.dir/context.cc.o"
+  "CMakeFiles/sknn_bgv.dir/context.cc.o.d"
+  "CMakeFiles/sknn_bgv.dir/decryptor.cc.o"
+  "CMakeFiles/sknn_bgv.dir/decryptor.cc.o.d"
+  "CMakeFiles/sknn_bgv.dir/encoder.cc.o"
+  "CMakeFiles/sknn_bgv.dir/encoder.cc.o.d"
+  "CMakeFiles/sknn_bgv.dir/encryptor.cc.o"
+  "CMakeFiles/sknn_bgv.dir/encryptor.cc.o.d"
+  "CMakeFiles/sknn_bgv.dir/evaluator.cc.o"
+  "CMakeFiles/sknn_bgv.dir/evaluator.cc.o.d"
+  "CMakeFiles/sknn_bgv.dir/keys.cc.o"
+  "CMakeFiles/sknn_bgv.dir/keys.cc.o.d"
+  "CMakeFiles/sknn_bgv.dir/params.cc.o"
+  "CMakeFiles/sknn_bgv.dir/params.cc.o.d"
+  "CMakeFiles/sknn_bgv.dir/sampling.cc.o"
+  "CMakeFiles/sknn_bgv.dir/sampling.cc.o.d"
+  "CMakeFiles/sknn_bgv.dir/serialization.cc.o"
+  "CMakeFiles/sknn_bgv.dir/serialization.cc.o.d"
+  "CMakeFiles/sknn_bgv.dir/symmetric.cc.o"
+  "CMakeFiles/sknn_bgv.dir/symmetric.cc.o.d"
+  "libsknn_bgv.a"
+  "libsknn_bgv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sknn_bgv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

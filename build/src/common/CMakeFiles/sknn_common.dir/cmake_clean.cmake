@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sknn_common.dir/rng.cc.o"
+  "CMakeFiles/sknn_common.dir/rng.cc.o.d"
+  "CMakeFiles/sknn_common.dir/serial.cc.o"
+  "CMakeFiles/sknn_common.dir/serial.cc.o.d"
+  "CMakeFiles/sknn_common.dir/status.cc.o"
+  "CMakeFiles/sknn_common.dir/status.cc.o.d"
+  "CMakeFiles/sknn_common.dir/thread_pool.cc.o"
+  "CMakeFiles/sknn_common.dir/thread_pool.cc.o.d"
+  "libsknn_common.a"
+  "libsknn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sknn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/client.cc" "src/core/CMakeFiles/sknn_core.dir/client.cc.o" "gcc" "src/core/CMakeFiles/sknn_core.dir/client.cc.o.d"
+  "/root/repo/src/core/config_advisor.cc" "src/core/CMakeFiles/sknn_core.dir/config_advisor.cc.o" "gcc" "src/core/CMakeFiles/sknn_core.dir/config_advisor.cc.o.d"
+  "/root/repo/src/core/data_owner.cc" "src/core/CMakeFiles/sknn_core.dir/data_owner.cc.o" "gcc" "src/core/CMakeFiles/sknn_core.dir/data_owner.cc.o.d"
+  "/root/repo/src/core/layout.cc" "src/core/CMakeFiles/sknn_core.dir/layout.cc.o" "gcc" "src/core/CMakeFiles/sknn_core.dir/layout.cc.o.d"
+  "/root/repo/src/core/masking.cc" "src/core/CMakeFiles/sknn_core.dir/masking.cc.o" "gcc" "src/core/CMakeFiles/sknn_core.dir/masking.cc.o.d"
+  "/root/repo/src/core/party_a.cc" "src/core/CMakeFiles/sknn_core.dir/party_a.cc.o" "gcc" "src/core/CMakeFiles/sknn_core.dir/party_a.cc.o.d"
+  "/root/repo/src/core/party_b.cc" "src/core/CMakeFiles/sknn_core.dir/party_b.cc.o" "gcc" "src/core/CMakeFiles/sknn_core.dir/party_b.cc.o.d"
+  "/root/repo/src/core/protocol_config.cc" "src/core/CMakeFiles/sknn_core.dir/protocol_config.cc.o" "gcc" "src/core/CMakeFiles/sknn_core.dir/protocol_config.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/core/CMakeFiles/sknn_core.dir/session.cc.o" "gcc" "src/core/CMakeFiles/sknn_core.dir/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgv/CMakeFiles/sknn_bgv.dir/DependInfo.cmake"
+  "/root/repo/build/src/knn/CMakeFiles/sknn_knn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sknn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sknn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sknn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/sknn_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sknn_core.dir/client.cc.o"
+  "CMakeFiles/sknn_core.dir/client.cc.o.d"
+  "CMakeFiles/sknn_core.dir/config_advisor.cc.o"
+  "CMakeFiles/sknn_core.dir/config_advisor.cc.o.d"
+  "CMakeFiles/sknn_core.dir/data_owner.cc.o"
+  "CMakeFiles/sknn_core.dir/data_owner.cc.o.d"
+  "CMakeFiles/sknn_core.dir/layout.cc.o"
+  "CMakeFiles/sknn_core.dir/layout.cc.o.d"
+  "CMakeFiles/sknn_core.dir/masking.cc.o"
+  "CMakeFiles/sknn_core.dir/masking.cc.o.d"
+  "CMakeFiles/sknn_core.dir/party_a.cc.o"
+  "CMakeFiles/sknn_core.dir/party_a.cc.o.d"
+  "CMakeFiles/sknn_core.dir/party_b.cc.o"
+  "CMakeFiles/sknn_core.dir/party_b.cc.o.d"
+  "CMakeFiles/sknn_core.dir/protocol_config.cc.o"
+  "CMakeFiles/sknn_core.dir/protocol_config.cc.o.d"
+  "CMakeFiles/sknn_core.dir/session.cc.o"
+  "CMakeFiles/sknn_core.dir/session.cc.o.d"
+  "libsknn_core.a"
+  "libsknn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sknn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sknn_crypto.dir/paillier.cc.o"
+  "CMakeFiles/sknn_crypto.dir/paillier.cc.o.d"
+  "libsknn_crypto.a"
+  "libsknn_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sknn_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

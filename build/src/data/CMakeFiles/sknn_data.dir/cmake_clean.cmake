@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sknn_data.dir/dataset.cc.o"
+  "CMakeFiles/sknn_data.dir/dataset.cc.o.d"
+  "CMakeFiles/sknn_data.dir/generators.cc.o"
+  "CMakeFiles/sknn_data.dir/generators.cc.o.d"
+  "libsknn_data.a"
+  "libsknn_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sknn_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

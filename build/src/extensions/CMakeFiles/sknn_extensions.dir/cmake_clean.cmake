@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sknn_extensions.dir/secure_kmeans.cc.o"
+  "CMakeFiles/sknn_extensions.dir/secure_kmeans.cc.o.d"
+  "libsknn_extensions.a"
+  "libsknn_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sknn_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sknn_knn.dir/knn.cc.o"
+  "CMakeFiles/sknn_knn.dir/knn.cc.o.d"
+  "libsknn_knn.a"
+  "libsknn_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sknn_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/bigint.cc" "src/math/CMakeFiles/sknn_math.dir/bigint.cc.o" "gcc" "src/math/CMakeFiles/sknn_math.dir/bigint.cc.o.d"
+  "/root/repo/src/math/mod_arith.cc" "src/math/CMakeFiles/sknn_math.dir/mod_arith.cc.o" "gcc" "src/math/CMakeFiles/sknn_math.dir/mod_arith.cc.o.d"
+  "/root/repo/src/math/ntt.cc" "src/math/CMakeFiles/sknn_math.dir/ntt.cc.o" "gcc" "src/math/CMakeFiles/sknn_math.dir/ntt.cc.o.d"
+  "/root/repo/src/math/prime.cc" "src/math/CMakeFiles/sknn_math.dir/prime.cc.o" "gcc" "src/math/CMakeFiles/sknn_math.dir/prime.cc.o.d"
+  "/root/repo/src/math/rns_poly.cc" "src/math/CMakeFiles/sknn_math.dir/rns_poly.cc.o" "gcc" "src/math/CMakeFiles/sknn_math.dir/rns_poly.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sknn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

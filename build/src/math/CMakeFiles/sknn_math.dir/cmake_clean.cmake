@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sknn_math.dir/bigint.cc.o"
+  "CMakeFiles/sknn_math.dir/bigint.cc.o.d"
+  "CMakeFiles/sknn_math.dir/mod_arith.cc.o"
+  "CMakeFiles/sknn_math.dir/mod_arith.cc.o.d"
+  "CMakeFiles/sknn_math.dir/ntt.cc.o"
+  "CMakeFiles/sknn_math.dir/ntt.cc.o.d"
+  "CMakeFiles/sknn_math.dir/prime.cc.o"
+  "CMakeFiles/sknn_math.dir/prime.cc.o.d"
+  "CMakeFiles/sknn_math.dir/rns_poly.cc.o"
+  "CMakeFiles/sknn_math.dir/rns_poly.cc.o.d"
+  "libsknn_math.a"
+  "libsknn_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sknn_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sknn_net.dir/channel.cc.o"
+  "CMakeFiles/sknn_net.dir/channel.cc.o.d"
+  "libsknn_net.a"
+  "libsknn_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sknn_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

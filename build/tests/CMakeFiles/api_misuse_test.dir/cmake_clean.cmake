@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_misuse_test.dir/api_misuse_test.cc.o"
+  "CMakeFiles/api_misuse_test.dir/api_misuse_test.cc.o.d"
+  "api_misuse_test"
+  "api_misuse_test.pdb"
+  "api_misuse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_misuse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgv_noise_test.dir/bgv_noise_test.cc.o"
+  "CMakeFiles/bgv_noise_test.dir/bgv_noise_test.cc.o.d"
+  "bgv_noise_test"
+  "bgv_noise_test.pdb"
+  "bgv_noise_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgv_noise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgv_param_sweep_test.dir/bgv_param_sweep_test.cc.o"
+  "CMakeFiles/bgv_param_sweep_test.dir/bgv_param_sweep_test.cc.o.d"
+  "bgv_param_sweep_test"
+  "bgv_param_sweep_test.pdb"
+  "bgv_param_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgv_param_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgv_serialization_test.dir/bgv_serialization_test.cc.o"
+  "CMakeFiles/bgv_serialization_test.dir/bgv_serialization_test.cc.o.d"
+  "bgv_serialization_test"
+  "bgv_serialization_test.pdb"
+  "bgv_serialization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgv_serialization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

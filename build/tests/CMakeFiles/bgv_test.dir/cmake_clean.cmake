@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgv_test.dir/bgv_test.cc.o"
+  "CMakeFiles/bgv_test.dir/bgv_test.cc.o.d"
+  "bgv_test"
+  "bgv_test.pdb"
+  "bgv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

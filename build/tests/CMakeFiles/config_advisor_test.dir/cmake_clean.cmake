@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_advisor_test.dir/config_advisor_test.cc.o"
+  "CMakeFiles/config_advisor_test.dir/config_advisor_test.cc.o.d"
+  "config_advisor_test"
+  "config_advisor_test.pdb"
+  "config_advisor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_advisor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_owner_test.dir/data_owner_test.cc.o"
+  "CMakeFiles/data_owner_test.dir/data_owner_test.cc.o.d"
+  "data_owner_test"
+  "data_owner_test.pdb"
+  "data_owner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_owner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

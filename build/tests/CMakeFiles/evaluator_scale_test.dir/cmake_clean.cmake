@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evaluator_scale_test.dir/evaluator_scale_test.cc.o"
+  "CMakeFiles/evaluator_scale_test.dir/evaluator_scale_test.cc.o.d"
+  "evaluator_scale_test"
+  "evaluator_scale_test.pdb"
+  "evaluator_scale_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evaluator_scale_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

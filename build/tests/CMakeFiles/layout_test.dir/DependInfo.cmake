@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/layout_test.cc" "tests/CMakeFiles/layout_test.dir/layout_test.cc.o" "gcc" "tests/CMakeFiles/layout_test.dir/layout_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sknn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgv/CMakeFiles/sknn_bgv.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/sknn_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/knn/CMakeFiles/sknn_knn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sknn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sknn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sknn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mod_arith_test.dir/mod_arith_test.cc.o"
+  "CMakeFiles/mod_arith_test.dir/mod_arith_test.cc.o.d"
+  "mod_arith_test"
+  "mod_arith_test.pdb"
+  "mod_arith_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mod_arith_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

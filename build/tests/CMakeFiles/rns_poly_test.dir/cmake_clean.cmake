@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rns_poly_test.dir/rns_poly_test.cc.o"
+  "CMakeFiles/rns_poly_test.dir/rns_poly_test.cc.o.d"
+  "rns_poly_test"
+  "rns_poly_test.pdb"
+  "rns_poly_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rns_poly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_kmeans_test.dir/secure_kmeans_test.cc.o"
+  "CMakeFiles/secure_kmeans_test.dir/secure_kmeans_test.cc.o.d"
+  "secure_kmeans_test"
+  "secure_kmeans_test.pdb"
+  "secure_kmeans_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_kmeans_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

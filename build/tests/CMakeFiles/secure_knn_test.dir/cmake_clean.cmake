@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_knn_test.dir/secure_knn_test.cc.o"
+  "CMakeFiles/secure_knn_test.dir/secure_knn_test.cc.o.d"
+  "secure_knn_test"
+  "secure_knn_test.pdb"
+  "secure_knn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_knn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

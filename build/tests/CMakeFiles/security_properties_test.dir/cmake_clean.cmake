@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security_properties_test.dir/security_properties_test.cc.o"
+  "CMakeFiles/security_properties_test.dir/security_properties_test.cc.o.d"
+  "security_properties_test"
+  "security_properties_test.pdb"
+  "security_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serialization_robustness_test.dir/serialization_robustness_test.cc.o"
+  "CMakeFiles/serialization_robustness_test.dir/serialization_robustness_test.cc.o.d"
+  "serialization_robustness_test"
+  "serialization_robustness_test.pdb"
+  "serialization_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serialization_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

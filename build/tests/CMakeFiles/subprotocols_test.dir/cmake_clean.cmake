@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subprotocols_test.dir/subprotocols_test.cc.o"
+  "CMakeFiles/subprotocols_test.dir/subprotocols_test.cc.o.d"
+  "subprotocols_test"
+  "subprotocols_test.pdb"
+  "subprotocols_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subprotocols_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

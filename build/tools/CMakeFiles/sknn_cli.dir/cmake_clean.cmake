@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sknn_cli.dir/sknn_cli.cc.o"
+  "CMakeFiles/sknn_cli.dir/sknn_cli.cc.o.d"
+  "sknn_cli"
+  "sknn_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sknn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
