@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "bgv/context.h"
 #include "bgv/decryptor.h"
 #include "bgv/encoder.h"
@@ -16,6 +19,7 @@
 #include "math/bigint.h"
 #include "math/ntt.h"
 #include "math/prime.h"
+#include "math/rns_poly.h"
 
 namespace {
 
@@ -36,6 +40,59 @@ void BM_NttForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NttForward)->Arg(1024)->Arg(4096)->Arg(8192);
+
+void BM_NttInverse(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto primes = GenerateNttPrimes(58, 2 * n, 1);
+  auto tables = NttTables::Create(n, primes.value()[0]);
+  Chacha20Rng rng(uint64_t{2});
+  std::vector<uint64_t> a;
+  rng.SampleUniformMod(primes.value()[0], n, &a);
+  for (auto _ : state) {
+    tables->InverseNtt(&a);
+    benchmark::DoNotOptimize(a.data());
+  }
+}
+BENCHMARK(BM_NttInverse)->Arg(1024)->Arg(4096)->Arg(8192);
+
+// Per-component RNS fixture for the element-wise kernels: three 58-bit
+// data primes, the shape of the kBench modulus chain hot path.
+struct RnsFixture {
+  RnsBase base;
+  RnsPoly a, b;
+
+  explicit RnsFixture(size_t n) {
+    auto primes = GenerateNttPrimes(58, 2 * n, 3);
+    base = RnsBase::Create(n, primes.value()).value();
+    Chacha20Rng rng(uint64_t{3});
+    a = ZeroPoly(n, base.size(), true);
+    b = ZeroPoly(n, base.size(), true);
+    for (size_t i = 0; i < base.size(); ++i) {
+      rng.SampleUniformModInto(base.modulus(i).value(), n, a.comp(i));
+      rng.SampleUniformModInto(base.modulus(i).value(), n, b.comp(i));
+    }
+  }
+};
+
+void BM_RnsMulPointwise(benchmark::State& state) {
+  RnsFixture f(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    MulPointwiseInplace(&f.a, f.b, f.base);
+    benchmark::DoNotOptimize(f.a.data());
+  }
+}
+BENCHMARK(BM_RnsMulPointwise)->Arg(1024)->Arg(4096)->Arg(8192);
+
+void BM_RnsGaloisApply(benchmark::State& state) {
+  RnsFixture f(static_cast<size_t>(state.range(0)));
+  f.a.set_ntt_form(false);
+  const uint64_t elt = 3;  // rotation generator; table cached on first use
+  for (auto _ : state) {
+    RnsPoly out = ApplyGaloisCoeff(f.a, elt, f.base);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_RnsGaloisApply)->Arg(1024)->Arg(4096)->Arg(8192);
 
 // ---------- BGV fixture ----------
 
@@ -187,4 +244,31 @@ BENCHMARK(BM_BigUintModExp)->Arg(512)->Arg(1024);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults to also writing machine-readable JSON
+// (per-kernel ns/op) to BENCH_microops.json in the working directory, so CI
+// and regression tooling can diff kernel timings without scraping the
+// console table. Any explicit --benchmark_out= on the command line wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) {
+      has_out = true;
+      break;
+    }
+  }
+  static std::string out_flag = "--benchmark_out=BENCH_microops.json";
+  static std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -16,12 +16,9 @@ RnsPoly Decryptor::DotWithSecret(const Ciphertext& ct) const {
   const size_t comps = ct.level + 1;
   const RnsBase& base = ctx_->key_base();
 
-  RnsPoly s_restricted = ZeroPoly(ctx_->n(), comps, /*ntt_form=*/true);
-  for (size_t i = 0; i < comps; ++i) {
-    s_restricted.comp[i] = sk_.s_ntt.comp[i];
-  }
+  RnsPoly s_restricted = sk_.s_ntt.Prefix(comps);
   RnsPoly v = ct.c[0];
-  SKNN_CHECK(v.ntt_form);
+  SKNN_CHECK(v.ntt_form());
   RnsPoly s_power = s_restricted;
   for (size_t idx = 1; idx < ct.size(); ++idx) {
     AddMulInplace(&v, ct.c[idx], s_power, base);
@@ -49,8 +46,9 @@ StatusOr<Plaintext> Decryptor::Decrypt(const Ciphertext& ct) const {
   if (ct.level == 0) {
     // Fast path: single prime, 64-bit arithmetic only.
     const uint64_t q0 = ctx_->key_base().modulus(0).value();
+    const uint64_t* v0 = v.comp(0);
     for (size_t c = 0; c < ctx_->n(); ++c) {
-      const int64_t centered = CenterMod(v.comp[0][c], q0);
+      const int64_t centered = CenterMod(v0[c], q0);
       const uint64_t raw = ToUnsignedMod(centered, t);
       pt.coeffs[c] = t_mod.MulMod(raw, correction);
     }
@@ -66,7 +64,7 @@ StatusOr<Plaintext> Decryptor::Decrypt(const Ciphertext& ct) const {
   BigUint half_q = big_q.ShiftRight(1);
   std::vector<uint64_t> residues(moduli.size());
   for (size_t c = 0; c < ctx_->n(); ++c) {
-    for (size_t i = 0; i < moduli.size(); ++i) residues[i] = v.comp[i][c];
+    for (size_t i = 0; i < moduli.size(); ++i) residues[i] = v.comp(i)[c];
     BigUint value = BigUint::CrtReconstruct(residues, moduli);
     uint64_t raw;
     if (BigUint::Compare(value, half_q) > 0) {
@@ -99,7 +97,7 @@ StatusOr<double> Decryptor::NoiseBudgetBits(const Ciphertext& ct) const {
   size_t max_noise_bits = 0;
   std::vector<uint64_t> residues(moduli.size());
   for (size_t c = 0; c < ctx_->n(); ++c) {
-    for (size_t i = 0; i < moduli.size(); ++i) residues[i] = v.comp[i][c];
+    for (size_t i = 0; i < moduli.size(); ++i) residues[i] = v.comp(i)[c];
     BigUint value = BigUint::CrtReconstruct(residues, moduli);
     bool negative = BigUint::Compare(value, half_q) > 0;
     BigUint mag = negative ? BigUint::Sub(big_q, value) : value;

@@ -43,12 +43,8 @@ StatusOr<Ciphertext> Encryptor::EncryptAtLevel(const Plaintext& pt,
   ct.level = level;
   ct.scale = 1;
   // c0 = b*u + t*e0 + m ; c1 = a*u + t*e1, restricted to `comps` components.
-  RnsPoly b_restricted = ZeroPoly(ctx_->n(), comps, /*ntt_form=*/true);
-  RnsPoly a_restricted = ZeroPoly(ctx_->n(), comps, /*ntt_form=*/true);
-  for (size_t i = 0; i < comps; ++i) {
-    b_restricted.comp[i] = pk_.b.comp[i];
-    a_restricted.comp[i] = pk_.a.comp[i];
-  }
+  RnsPoly b_restricted = pk_.b.Prefix(comps);
+  RnsPoly a_restricted = pk_.a.Prefix(comps);
   RnsPoly c0 = MulPointwise(b_restricted, u, base);
   AddInplace(&c0, e0, base);
   RnsPoly c1 = MulPointwise(a_restricted, u, base);

@@ -17,7 +17,7 @@ Status Evaluator::CheckCt(const Ciphertext& a) const {
   if (a.num_components() != a.level + 1) {
     return InternalError("ciphertext level/component mismatch");
   }
-  if (a.c[0].n != ctx_->n()) {
+  if (a.c[0].n() != ctx_->n()) {
     return InvalidArgumentError(
         "ciphertext ring degree does not match this evaluator's context");
   }
@@ -138,21 +138,21 @@ StatusOr<Ciphertext> Evaluator::Multiply(const Ciphertext& a,
 void Evaluator::KeySwitchCore(size_t level, const RnsPoly& target,
                               const KSwitchKey& ksk, RnsPoly* u0,
                               RnsPoly* u1) const {
-  SKNN_CHECK(!target.ntt_form);
+  SKNN_CHECK(!target.ntt_form());
   SKNN_CHECK_EQ(target.num_components(), level + 1);
   const size_t n = ctx_->n();
   const size_t sp_key_idx = ctx_->special_index();
   const RnsBase& base = ctx_->key_base();
 
   // Accumulators over the extended base: components 0..level (data primes)
-  // plus one slot for the special prime.
+  // plus one slot for the special prime. Flat component-major buffers.
   const size_t ext = level + 2;
-  std::vector<std::vector<uint64_t>> acc0(ext, std::vector<uint64_t>(n, 0));
-  std::vector<std::vector<uint64_t>> acc1(ext, std::vector<uint64_t>(n, 0));
+  std::vector<uint64_t> acc0(ext * n, 0);
+  std::vector<uint64_t> acc1(ext * n, 0);
 
   std::vector<uint64_t> digit(n);
   for (size_t i = 0; i <= level; ++i) {
-    const std::vector<uint64_t>& d = target.comp[i];
+    const uint64_t* d = target.comp(i);
     SKNN_CHECK_EQ(ksk.digits.size(), ctx_->num_data_primes());
     const RnsPoly& kb = ksk.digits[i].first;
     const RnsPoly& ka = ksk.digits[i].second;
@@ -164,13 +164,16 @@ void Evaluator::KeySwitchCore(size_t level, const RnsPoly& target,
       // Lift digit i (integers < q_i) into Z_q.
       for (size_t c = 0; c < n; ++c) digit[c] = mod.Reduce(d[c]);
       ntt.ForwardNtt(digit.data());
-      const uint64_t* kbv = kb.comp[key_idx].data();
-      const uint64_t* kav = ka.comp[key_idx].data();
-      uint64_t* a0 = acc0[j].data();
-      uint64_t* a1 = acc1[j].data();
+      const uint64_t* __restrict kbv = kb.comp(key_idx);
+      const uint64_t* __restrict kav = ka.comp(key_idx);
+      const uint64_t* __restrict dg = digit.data();
+      uint64_t* __restrict a0 = acc0.data() + j * n;
+      uint64_t* __restrict a1 = acc1.data() + j * n;
       for (size_t c = 0; c < n; ++c) {
-        a0[c] = AddMod(a0[c], mod.MulMod(digit[c], kbv[c]), q);
-        a1[c] = AddMod(a1[c], mod.MulMod(digit[c], kav[c]), q);
+        const uint64_t s0 = a0[c] + mod.MulMod(dg[c], kbv[c]);
+        const uint64_t s1 = a1[c] + mod.MulMod(dg[c], kav[c]);
+        a0[c] = s0 >= q ? s0 - q : s0;
+        a1[c] = s1 >= q ? s1 - q : s1;
       }
     }
   }
@@ -178,8 +181,8 @@ void Evaluator::KeySwitchCore(size_t level, const RnsPoly& target,
   // Inverse NTT all accumulator components (back to coefficient form).
   for (size_t j = 0; j < ext; ++j) {
     const size_t key_idx = (j <= level) ? j : sp_key_idx;
-    base.ntt(key_idx).InverseNtt(acc0[j].data());
-    base.ntt(key_idx).InverseNtt(acc1[j].data());
+    base.ntt(key_idx).InverseNtt(acc0.data() + j * n);
+    base.ntt(key_idx).InverseNtt(acc1.data() + j * n);
   }
 
   // Divide by the special prime with t-preserving rounding:
@@ -190,18 +193,19 @@ void Evaluator::KeySwitchCore(size_t level, const RnsPoly& target,
   *u1 = ZeroPoly(n, level + 1, /*ntt_form=*/false);
   const Modulus sp_mod(sp);
   for (int which = 0; which < 2; ++which) {
-    const auto& acc = which == 0 ? acc0 : acc1;
+    const std::vector<uint64_t>& acc = which == 0 ? acc0 : acc1;
     RnsPoly* out = which == 0 ? u0 : u1;
+    const uint64_t* acc_sp = acc.data() + (level + 1) * n;
     for (size_t c = 0; c < n; ++c) {
-      const uint64_t r = sp_mod.MulMod(acc[level + 1][c], t_inv_sp);
+      const uint64_t r = sp_mod.MulMod(acc_sp[c], t_inv_sp);
       const int64_t r_centered = CenterMod(r, sp);
       for (size_t j = 0; j <= level; ++j) {
         const Modulus& mod = base.modulus(j);
         const uint64_t q = mod.value();
         const uint64_t delta =
             mod.MulMod(ctx_->t_mod_q(j), ToUnsignedMod(r_centered, q));
-        const uint64_t diff = SubMod(acc[j][c], delta, q);
-        out->comp[j][c] = mod.MulMod(diff, ctx_->sp_inv_mod_q(j));
+        const uint64_t diff = SubMod(acc[j * n + c], delta, q);
+        out->comp(j)[c] = mod.MulMod(diff, ctx_->sp_inv_mod_q(j));
       }
     }
   }
@@ -276,7 +280,7 @@ Status Evaluator::MultiplyScalarInplace(Ciphertext* a,
 }
 
 RnsPoly Evaluator::DropLastComponent(const RnsPoly& poly, size_t level) const {
-  SKNN_CHECK(!poly.ntt_form);
+  SKNN_CHECK(!poly.ntt_form());
   SKNN_CHECK_EQ(poly.num_components(), level + 1);
   SKNN_CHECK_GE(level, 1u);
   const size_t n = ctx_->n();
@@ -286,16 +290,17 @@ RnsPoly Evaluator::DropLastComponent(const RnsPoly& poly, size_t level) const {
   const uint64_t t_inv = ctx_->t_inv_mod_q(level);
 
   RnsPoly out = ZeroPoly(n, level, /*ntt_form=*/false);
+  const uint64_t* last = poly.comp(level);
   for (size_t c = 0; c < n; ++c) {
-    const uint64_t r = last_mod.MulMod(poly.comp[level][c], t_inv);
+    const uint64_t r = last_mod.MulMod(last[c], t_inv);
     const int64_t r_centered = CenterMod(r, q_last);
     for (size_t j = 0; j < level; ++j) {
       const Modulus& mod = base.modulus(j);
       const uint64_t q = mod.value();
       const uint64_t delta =
           mod.MulMod(ctx_->t_mod_q(j), ToUnsignedMod(r_centered, q));
-      const uint64_t diff = SubMod(poly.comp[j][c], delta, q);
-      out.comp[j][c] = mod.MulMod(diff, ctx_->q_inv_mod_q(level, j));
+      const uint64_t diff = SubMod(poly.comp(j)[c], delta, q);
+      out.comp(j)[c] = mod.MulMod(diff, ctx_->q_inv_mod_q(level, j));
     }
   }
   return out;

@@ -30,8 +30,7 @@ PublicKey KeyGenerator::GeneratePublicKey(const SecretKey& sk) {
   MulScalarInplace(&e, t_mod, ctx_->key_base());
   ToNttInplace(&e, ctx_->key_base());
 
-  RnsPoly s_data = ZeroPoly(ctx_->n(), data, /*ntt_form=*/true);
-  for (size_t i = 0; i < data; ++i) s_data.comp[i] = sk.s_ntt.comp[i];
+  RnsPoly s_data = sk.s_ntt.Prefix(data);
 
   pk.b = MulPointwise(pk.a, s_data, ctx_->key_base());
   AddInplace(&pk.b, e, ctx_->key_base());
@@ -62,10 +61,12 @@ KSwitchKey KeyGenerator::MakeKSwitchKey(const RnsPoly& s_prime_ntt,
     const Modulus& qi = ctx_->key_base().modulus(i);
     const uint64_t factor = ctx_->sp_mod_q(i);
     const uint64_t factor_shoup = ShoupPrecompute(factor, qi.value());
+    const uint64_t* s_prime_i = s_prime_ntt.comp(i);
+    uint64_t* b_i_comp = b_i.comp(i);
     for (size_t c = 0; c < ctx_->n(); ++c) {
-      const uint64_t payload = MulModShoup(s_prime_ntt.comp[i][c], factor,
-                                           factor_shoup, qi.value());
-      b_i.comp[i][c] = AddMod(b_i.comp[i][c], payload, qi.value());
+      const uint64_t payload =
+          MulModShoup(s_prime_i[c], factor, factor_shoup, qi.value());
+      b_i_comp[c] = AddMod(b_i_comp[c], payload, qi.value());
     }
     ksk.digits.emplace_back(std::move(b_i), std::move(a_i));
   }

@@ -12,8 +12,9 @@ RnsPoly FromSigned(const BgvContext& ctx, size_t components,
   RnsPoly p = ZeroPoly(ctx.n(), components, /*ntt_form=*/false);
   for (size_t i = 0; i < components; ++i) {
     const uint64_t q = ctx.key_base().modulus(i).value();
+    uint64_t* comp = p.comp(i);
     for (size_t j = 0; j < ctx.n(); ++j) {
-      p.comp[i][j] = ToUnsignedMod(values[j], q);
+      comp[j] = ToUnsignedMod(values[j], q);
     }
   }
   return p;
@@ -25,8 +26,8 @@ RnsPoly SampleUniformPoly(const BgvContext& ctx, size_t components,
                           Chacha20Rng* rng) {
   RnsPoly p = ZeroPoly(ctx.n(), components, /*ntt_form=*/true);
   for (size_t i = 0; i < components; ++i) {
-    rng->SampleUniformMod(ctx.key_base().modulus(i).value(), ctx.n(),
-                          &p.comp[i]);
+    rng->SampleUniformModInto(ctx.key_base().modulus(i).value(), ctx.n(),
+                              p.comp(i));
   }
   return p;
 }

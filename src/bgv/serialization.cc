@@ -4,24 +4,26 @@ namespace sknn {
 namespace bgv {
 
 void WriteRnsPoly(const RnsPoly& p, ByteSink* sink) {
-  sink->WriteU64(p.n);
-  sink->WriteU8(p.ntt_form ? 1 : 0);
+  sink->WriteU64(p.n());
+  sink->WriteU8(p.ntt_form() ? 1 : 0);
   sink->WriteU64(p.num_components());
-  for (const auto& c : p.comp) sink->WriteU64Vector(c);
+  for (size_t i = 0; i < p.num_components(); ++i) {
+    sink->WriteU64Span(p.comp(i), p.n());
+  }
 }
 
 StatusOr<RnsPoly> ReadRnsPoly(ByteSource* src) {
-  RnsPoly p;
-  SKNN_ASSIGN_OR_RETURN(p.n, src->ReadU64());
+  SKNN_ASSIGN_OR_RETURN(uint64_t n, src->ReadU64());
   SKNN_ASSIGN_OR_RETURN(uint8_t ntt, src->ReadU8());
-  p.ntt_form = ntt != 0;
   SKNN_ASSIGN_OR_RETURN(uint64_t comps, src->ReadU64());
   if (comps > 64) return OutOfRangeError("implausible RNS component count");
-  p.comp.reserve(static_cast<size_t>(comps));
+  if (n > (uint64_t{1} << 20)) {
+    return OutOfRangeError("implausible ring degree");
+  }
+  RnsPoly p(static_cast<size_t>(n), static_cast<size_t>(comps), ntt != 0);
   for (uint64_t i = 0; i < comps; ++i) {
-    SKNN_ASSIGN_OR_RETURN(std::vector<uint64_t> v, src->ReadU64Vector());
-    if (v.size() != p.n) return OutOfRangeError("RNS component wrong size");
-    p.comp.push_back(std::move(v));
+    SKNN_RETURN_IF_ERROR(
+        src->ReadU64Span(p.comp(static_cast<size_t>(i)), p.n()));
   }
   return p;
 }

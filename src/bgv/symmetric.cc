@@ -15,8 +15,8 @@ RnsPoly ExpandA(const BgvContext& ctx, const Chacha20Rng::Seed& seed,
   RnsPoly a = ZeroPoly(ctx.n(), components, /*ntt_form=*/true);
   for (size_t i = 0; i < components; ++i) {
     Chacha20Rng stream(seed, /*stream_id=*/i);
-    stream.SampleUniformMod(ctx.key_base().modulus(i).value(), ctx.n(),
-                            &a.comp[i]);
+    stream.SampleUniformModInto(ctx.key_base().modulus(i).value(), ctx.n(),
+                                a.comp(i));
   }
   return a;
 }
@@ -53,8 +53,7 @@ StatusOr<SeededCiphertext> SymmetricEncryptor::EncryptSeeded(
   ToNttInplace(&e, base);
 
   // c0 = -(a*s) + t*e + m.
-  RnsPoly s_restricted = ZeroPoly(ctx_->n(), comps, /*ntt_form=*/true);
-  for (size_t i = 0; i < comps; ++i) s_restricted.comp[i] = sk_.s_ntt.comp[i];
+  RnsPoly s_restricted = sk_.s_ntt.Prefix(comps);
   out.c0 = MulPointwise(a, s_restricted, base);
   NegateInplace(&out.c0, base);
   AddInplace(&out.c0, e, base);
@@ -69,7 +68,7 @@ StatusOr<Ciphertext> SymmetricEncryptor::Encrypt(const Plaintext& pt,
 
 StatusOr<Ciphertext> ExpandSeeded(const BgvContext& ctx,
                                   const SeededCiphertext& seeded) {
-  if (seeded.c0.n != ctx.n()) {
+  if (seeded.c0.n() != ctx.n()) {
     return InvalidArgumentError("seeded ciphertext ring mismatch");
   }
   if (seeded.level + 1 != seeded.c0.num_components()) {

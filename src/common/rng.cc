@@ -224,7 +224,11 @@ void Chacha20Rng::SampleGaussian(uint64_t q, double sigma, size_t n,
 void Chacha20Rng::SampleUniformMod(uint64_t q, size_t n,
                                    std::vector<uint64_t>* out) {
   out->resize(n);
-  for (size_t i = 0; i < n; ++i) (*out)[i] = UniformBelow(q);
+  SampleUniformModInto(q, n, out->data());
+}
+
+void Chacha20Rng::SampleUniformModInto(uint64_t q, size_t n, uint64_t* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = UniformBelow(q);
 }
 
 std::vector<size_t> Chacha20Rng::RandomPermutation(size_t n) {

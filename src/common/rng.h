@@ -73,6 +73,10 @@ class Chacha20Rng {
   // Samples a vector of uniform residues modulo q.
   void SampleUniformMod(uint64_t q, size_t n, std::vector<uint64_t>* out);
 
+  // Same, writing into a caller-owned buffer of n words (e.g. one RNS
+  // component of a flat RnsPoly).
+  void SampleUniformModInto(uint64_t q, size_t n, uint64_t* out);
+
   // Returns a uniformly random permutation of {0, 1, ..., n-1}.
   std::vector<size_t> RandomPermutation(size_t n);
 

@@ -13,10 +13,14 @@ void ByteSink::WriteU64(uint64_t v) {
 }
 
 void ByteSink::WriteU64Vector(const std::vector<uint64_t>& v) {
-  WriteU64(v.size());
+  WriteU64Span(v.data(), v.size());
+}
+
+void ByteSink::WriteU64Span(const uint64_t* v, size_t len) {
+  WriteU64(len);
   size_t old = bytes_.size();
-  bytes_.resize(old + 8 * v.size());
-  for (size_t i = 0; i < v.size(); ++i) {
+  bytes_.resize(old + 8 * len);
+  for (size_t i = 0; i < len; ++i) {
     uint64_t x = v[i];
     for (int b = 0; b < 8; ++b) {
       bytes_[old + 8 * i + static_cast<size_t>(b)] =
@@ -77,6 +81,23 @@ StatusOr<std::vector<uint64_t>> ByteSource::ReadU64Vector() {
   }
   pos_ += 8 * v.size();
   return v;
+}
+
+Status ByteSource::ReadU64Span(uint64_t* out, size_t expected_len) {
+  SKNN_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
+  if (n != expected_len) {
+    return OutOfRangeError("ByteSource: unexpected vector length");
+  }
+  SKNN_RETURN_IF_ERROR(Require(8 * expected_len));
+  for (size_t i = 0; i < expected_len; ++i) {
+    uint64_t x = 0;
+    for (int b = 7; b >= 0; --b) {
+      x = (x << 8) | bytes_[pos_ + 8 * i + static_cast<size_t>(b)];
+    }
+    out[i] = x;
+  }
+  pos_ += 8 * expected_len;
+  return Status::Ok();
 }
 
 StatusOr<std::string> ByteSource::ReadString() {

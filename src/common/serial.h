@@ -25,6 +25,8 @@ class ByteSink {
   void WriteU64(uint64_t v);
   // Writes length (u64) followed by the raw words.
   void WriteU64Vector(const std::vector<uint64_t>& v);
+  // Same wire format from a raw word span (no intermediate vector).
+  void WriteU64Span(const uint64_t* v, size_t len);
   void WriteBytes(const uint8_t* data, size_t len);
   // Writes length (u64) followed by the raw bytes.
   void WriteString(const std::string& s);
@@ -48,6 +50,9 @@ class ByteSource {
   StatusOr<uint32_t> ReadU32();
   StatusOr<uint64_t> ReadU64();
   StatusOr<std::vector<uint64_t>> ReadU64Vector();
+  // Reads a length-prefixed word vector into a caller-owned buffer; fails
+  // if the encoded length differs from `expected_len`.
+  Status ReadU64Span(uint64_t* out, size_t expected_len);
   StatusOr<std::string> ReadString();
 
   // True when every byte has been consumed.

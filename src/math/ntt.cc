@@ -18,6 +18,10 @@ StatusOr<NttTables> NttTables::Create(size_t n, uint64_t q) {
         "NTT modulus must satisfy q = 1 mod 2n (got q=" + std::to_string(q) +
         ")");
   }
+  if (q >= (uint64_t{1} << 62)) {
+    // The lazy butterflies keep values in [0, 4q); 4q must fit in a word.
+    return InvalidArgumentError("NTT modulus must be below 2^62");
+  }
   NttTables t;
   t.n_ = n;
   t.log_n_ = 0;
@@ -48,49 +52,84 @@ StatusOr<NttTables> NttTables::Create(size_t n, uint64_t q) {
   }
   t.n_inv_ = InvModPrime(static_cast<uint64_t>(n % q), q);
   t.n_inv_shoup_ = ShoupPrecompute(t.n_inv_, q);
+  t.psi_inv_n_scaled_ = t.modulus_.MulMod(t.psi_inv_rev_[1], t.n_inv_);
+  t.psi_inv_n_scaled_shoup_ = ShoupPrecompute(t.psi_inv_n_scaled_, q);
   return t;
 }
 
+// Harvey lazy-reduction butterflies. Invariants (see DESIGN.md §math):
+//   forward: every stage starts with values < 4q; the top branch is
+//     pre-reduced to [0, 2q), the twiddle product lands in [0, 2q)
+//     (MulModShoupLazy works for any 64-bit input), so u + v and
+//     u + 2q - v stay below 4q. One final pass reduces [0, 4q) -> [0, q).
+//   inverse: every stage keeps values < 2q; u + v is reduced back to
+//     [0, 2q) eagerly, u + 2q - v < 4q feeds the lazy twiddle product which
+//     lands in [0, 2q). The last stage has a single twiddle psi^{-br(1)}
+//     into which n^{-1} is folded, with the final correction to [0, q)
+//     applied in the same loop.
 void NttTables::ForwardNtt(uint64_t* a) const {
   const uint64_t q = modulus_.value();
+  const uint64_t two_q = q << 1;
   size_t t = n_;
   for (size_t m = 1; m < n_; m <<= 1) {
     t >>= 1;
     for (size_t i = 0; i < m; ++i) {
-      const size_t j1 = 2 * i * t;
       const uint64_t s = psi_rev_[m + i];
       const uint64_t s_shoup = psi_rev_shoup_[m + i];
-      for (size_t j = j1; j < j1 + t; ++j) {
-        const uint64_t u = a[j];
-        const uint64_t v = MulModShoup(a[j + t], s, s_shoup, q);
-        a[j] = AddMod(u, v, q);
-        a[j + t] = SubMod(u, v, q);
+      uint64_t* __restrict x = a + 2 * i * t;
+      uint64_t* __restrict y = x + t;
+      for (size_t j = 0; j < t; ++j) {
+        uint64_t u = x[j];
+        if (u >= two_q) u -= two_q;
+        const uint64_t v = MulModShoupLazy(y[j], s, s_shoup, q);
+        x[j] = u + v;
+        y[j] = u + two_q - v;
       }
     }
+  }
+  for (size_t j = 0; j < n_; ++j) {
+    uint64_t v = a[j];
+    if (v >= two_q) v -= two_q;
+    if (v >= q) v -= q;
+    a[j] = v;
   }
 }
 
 void NttTables::InverseNtt(uint64_t* a) const {
   const uint64_t q = modulus_.value();
+  const uint64_t two_q = q << 1;
   size_t t = 1;
-  for (size_t m = n_; m > 1; m >>= 1) {
+  for (size_t m = n_; m > 2; m >>= 1) {
     size_t j1 = 0;
     const size_t h = m >> 1;
     for (size_t i = 0; i < h; ++i) {
       const uint64_t s = psi_inv_rev_[h + i];
       const uint64_t s_shoup = psi_inv_rev_shoup_[h + i];
-      for (size_t j = j1; j < j1 + t; ++j) {
-        const uint64_t u = a[j];
-        const uint64_t v = a[j + t];
-        a[j] = AddMod(u, v, q);
-        a[j + t] = MulModShoup(SubMod(u, v, q), s, s_shoup, q);
+      uint64_t* __restrict x = a + j1;
+      uint64_t* __restrict y = x + t;
+      for (size_t j = 0; j < t; ++j) {
+        const uint64_t u = x[j];
+        const uint64_t v = y[j];
+        uint64_t s0 = u + v;
+        if (s0 >= two_q) s0 -= two_q;
+        x[j] = s0;
+        y[j] = MulModShoupLazy(u + two_q - v, s, s_shoup, q);
       }
       j1 += 2 * t;
     }
     t <<= 1;
   }
-  for (size_t j = 0; j < n_; ++j) {
-    a[j] = MulModShoup(a[j], n_inv_, n_inv_shoup_, q);
+  // Last stage (m == 2): one twiddle; fold in n^{-1} and fully reduce.
+  uint64_t* __restrict x = a;
+  uint64_t* __restrict y = a + t;
+  for (size_t j = 0; j < t; ++j) {
+    const uint64_t u = x[j];
+    const uint64_t v = y[j];
+    const uint64_t r0 = MulModShoupLazy(u + v, n_inv_, n_inv_shoup_, q);
+    const uint64_t r1 = MulModShoupLazy(u + two_q - v, psi_inv_n_scaled_,
+                                        psi_inv_n_scaled_shoup_, q);
+    x[j] = r0 >= q ? r0 - q : r0;
+    y[j] = r1 >= q ? r1 - q : r1;
   }
 }
 

@@ -15,7 +15,9 @@
 // order to bit-reversed evaluation order; the inverse (Gentleman–Sande) maps
 // back. Pointwise products in the transformed domain realise negacyclic
 // convolution. The formulation follows Longa–Naehrig with Shoup-precomputed
-// twiddles.
+// twiddles and Harvey lazy reduction: butterflies keep values in [0, 4q)
+// (forward) / [0, 2q) (inverse) and defer the final reduction to a single
+// pass, which requires 4q < 2^64, i.e. q < 2^62 (see DESIGN.md §math).
 
 namespace sknn {
 
@@ -30,9 +32,12 @@ class NttTables {
   // The primitive 2n-th root of unity used by the tables.
   uint64_t psi() const { return psi_; }
 
-  // In-place forward negacyclic NTT. `a` has n entries, each < q.
+  // In-place forward negacyclic NTT. `a` has n entries, each < q; the
+  // output is fully reduced (< q). Internally lazy: butterflies run in
+  // [0, 4q) with one reduction pass at the end.
   void ForwardNtt(uint64_t* a) const;
-  // In-place inverse negacyclic NTT.
+  // In-place inverse negacyclic NTT (output < q). The n^{-1} scaling is
+  // folded into the last butterfly stage.
   void InverseNtt(uint64_t* a) const;
 
   void ForwardNtt(std::vector<uint64_t>* a) const { ForwardNtt(a->data()); }
@@ -55,6 +60,10 @@ class NttTables {
   std::vector<uint64_t> psi_inv_rev_shoup_;
   uint64_t n_inv_ = 0;
   uint64_t n_inv_shoup_ = 0;
+  // psi_inv_rev_[1] * n^{-1}: the single twiddle of the last inverse stage
+  // with the n^{-1} multiply folded in.
+  uint64_t psi_inv_n_scaled_ = 0;
+  uint64_t psi_inv_n_scaled_shoup_ = 0;
 };
 
 // Reverses the low `bits` bits of x.

@@ -1,5 +1,7 @@
 #include "math/rns_poly.h"
 
+#include <cstring>
+
 #include "common/logging.h"
 
 namespace sknn {
@@ -16,59 +18,106 @@ StatusOr<RnsBase> RnsBase::Create(size_t n,
     base.moduli_.emplace_back(q);
     base.ntt_.push_back(std::move(tables));
   }
+  base.galois_cache_ = std::make_unique<GaloisCache>();
   return base;
 }
 
-bool RnsPoly::IsZero() const {
-  for (const auto& c : comp) {
-    for (uint64_t v : c) {
-      if (v != 0) return false;
+const std::vector<uint32_t>& RnsBase::GaloisPermTable(
+    uint64_t galois_elt) const {
+  SKNN_CHECK_EQ(galois_elt & 1, 1u);
+  const uint64_t two_n = 2 * static_cast<uint64_t>(n_);
+  SKNN_CHECK_LT(galois_elt, two_n);
+  GaloisCache* cache = galois_cache_.get();
+  {
+    std::lock_guard<std::mutex> lock(cache->mu);
+    auto it = cache->tables.find(galois_elt);
+    if (it != cache->tables.end()) return it->second;
+  }
+  // x^i -> x^(i * elt mod 2n), with x^(n + k) = -x^k. Walk i * elt mod 2n
+  // incrementally to avoid the per-element multiply + modulo.
+  std::vector<uint32_t> table(n_);
+  uint64_t target = 0;
+  for (size_t i = 0; i < n_; ++i) {
+    if (target < n_) {
+      table[i] = static_cast<uint32_t>(target << 1);
+    } else {
+      table[i] = static_cast<uint32_t>(((target - n_) << 1) | 1);
     }
+    target += galois_elt;
+    if (target >= two_n) target -= two_n;
+  }
+  std::lock_guard<std::mutex> lock(cache->mu);
+  // Unordered_map references to mapped values stay valid across rehash, so
+  // handing out a reference under concurrent insertion is safe.
+  return cache->tables.emplace(galois_elt, std::move(table)).first->second;
+}
+
+bool RnsPoly::IsZero() const {
+  for (uint64_t v : data_) {
+    if (v != 0) return false;
   }
   return true;
 }
 
+RnsPoly RnsPoly::Prefix(size_t components) const {
+  SKNN_CHECK_LE(components, components_);
+  RnsPoly out;
+  out.n_ = n_;
+  out.components_ = components;
+  out.ntt_form_ = ntt_form_;
+  out.data_.assign(data_.begin(),
+                   data_.begin() + static_cast<ptrdiff_t>(components * n_));
+  return out;
+}
+
 RnsPoly ZeroPoly(size_t n, size_t components, bool ntt_form) {
-  RnsPoly p;
-  p.n = n;
-  p.ntt_form = ntt_form;
-  p.comp.assign(components, std::vector<uint64_t>(n, 0));
-  return p;
+  return RnsPoly(n, components, ntt_form);
 }
 
 namespace {
 void CheckShapes(const RnsPoly& a, const RnsPoly& b) {
-  SKNN_CHECK_EQ(a.n, b.n);
+  SKNN_CHECK_EQ(a.n(), b.n());
   SKNN_CHECK_EQ(a.num_components(), b.num_components());
-  SKNN_CHECK_EQ(a.ntt_form, b.ntt_form);
+  SKNN_CHECK_EQ(a.ntt_form(), b.ntt_form());
 }
 }  // namespace
 
 void AddInplace(RnsPoly* a, const RnsPoly& b, const RnsBase& base) {
   CheckShapes(*a, b);
+  const size_t n = a->n();
   for (size_t i = 0; i < a->num_components(); ++i) {
     const uint64_t q = base.modulus(i).value();
-    uint64_t* av = a->comp[i].data();
-    const uint64_t* bv = b.comp[i].data();
-    for (size_t j = 0; j < a->n; ++j) av[j] = AddMod(av[j], bv[j], q);
+    uint64_t* __restrict av = a->comp(i);
+    const uint64_t* __restrict bv = b.comp(i);
+    for (size_t j = 0; j < n; ++j) {
+      // Inputs < q < 2^62: the sum cannot wrap, so a branchless compare
+      // suffices and the loop auto-vectorizes.
+      const uint64_t s = av[j] + bv[j];
+      av[j] = s >= q ? s - q : s;
+    }
   }
 }
 
 void SubInplace(RnsPoly* a, const RnsPoly& b, const RnsBase& base) {
   CheckShapes(*a, b);
+  const size_t n = a->n();
   for (size_t i = 0; i < a->num_components(); ++i) {
     const uint64_t q = base.modulus(i).value();
-    uint64_t* av = a->comp[i].data();
-    const uint64_t* bv = b.comp[i].data();
-    for (size_t j = 0; j < a->n; ++j) av[j] = SubMod(av[j], bv[j], q);
+    uint64_t* __restrict av = a->comp(i);
+    const uint64_t* __restrict bv = b.comp(i);
+    for (size_t j = 0; j < n; ++j) {
+      const uint64_t d = av[j] - bv[j];
+      av[j] = av[j] >= bv[j] ? d : d + q;
+    }
   }
 }
 
 void NegateInplace(RnsPoly* a, const RnsBase& base) {
+  const size_t n = a->n();
   for (size_t i = 0; i < a->num_components(); ++i) {
     const uint64_t q = base.modulus(i).value();
-    uint64_t* av = a->comp[i].data();
-    for (size_t j = 0; j < a->n; ++j) av[j] = NegMod(av[j], q);
+    uint64_t* __restrict av = a->comp(i);
+    for (size_t j = 0; j < n; ++j) av[j] = av[j] == 0 ? 0 : q - av[j];
   }
 }
 
@@ -80,12 +129,13 @@ RnsPoly MulPointwise(const RnsPoly& a, const RnsPoly& b, const RnsBase& base) {
 
 void MulPointwiseInplace(RnsPoly* a, const RnsPoly& b, const RnsBase& base) {
   CheckShapes(*a, b);
-  SKNN_CHECK(a->ntt_form);
+  SKNN_CHECK(a->ntt_form());
+  const size_t n = a->n();
   for (size_t i = 0; i < a->num_components(); ++i) {
     const Modulus& mod = base.modulus(i);
-    uint64_t* av = a->comp[i].data();
-    const uint64_t* bv = b.comp[i].data();
-    for (size_t j = 0; j < a->n; ++j) av[j] = mod.MulMod(av[j], bv[j]);
+    uint64_t* __restrict av = a->comp(i);
+    const uint64_t* __restrict bv = b.comp(i);
+    for (size_t j = 0; j < n; ++j) av[j] = mod.MulMod(av[j], bv[j]);
   }
 }
 
@@ -93,15 +143,17 @@ void AddMulInplace(RnsPoly* a, const RnsPoly& b, const RnsPoly& c,
                    const RnsBase& base) {
   CheckShapes(b, c);
   SKNN_CHECK_EQ(a->num_components(), b.num_components());
-  SKNN_CHECK(a->ntt_form && b.ntt_form);
+  SKNN_CHECK(a->ntt_form() && b.ntt_form());
+  const size_t n = a->n();
   for (size_t i = 0; i < a->num_components(); ++i) {
     const Modulus& mod = base.modulus(i);
     const uint64_t q = mod.value();
-    uint64_t* av = a->comp[i].data();
-    const uint64_t* bv = b.comp[i].data();
-    const uint64_t* cv = c.comp[i].data();
-    for (size_t j = 0; j < a->n; ++j) {
-      av[j] = AddMod(av[j], mod.MulMod(bv[j], cv[j]), q);
+    uint64_t* __restrict av = a->comp(i);
+    const uint64_t* __restrict bv = b.comp(i);
+    const uint64_t* __restrict cv = c.comp(i);
+    for (size_t j = 0; j < n; ++j) {
+      const uint64_t s = av[j] + mod.MulMod(bv[j], cv[j]);
+      av[j] = s >= q ? s - q : s;
     }
   }
 }
@@ -110,51 +162,58 @@ void MulScalarInplace(RnsPoly* a,
                       const std::vector<uint64_t>& scalar_per_prime,
                       const RnsBase& base) {
   SKNN_CHECK_GE(scalar_per_prime.size(), a->num_components());
+  const size_t n = a->n();
   for (size_t i = 0; i < a->num_components(); ++i) {
-    const Modulus& mod = base.modulus(i);
+    const uint64_t q = base.modulus(i).value();
     const uint64_t s = scalar_per_prime[i];
-    const uint64_t s_shoup = ShoupPrecompute(s, mod.value());
-    uint64_t* av = a->comp[i].data();
-    for (size_t j = 0; j < a->n; ++j) {
-      av[j] = MulModShoup(av[j], s, s_shoup, mod.value());
+    const uint64_t s_shoup = ShoupPrecompute(s, q);
+    uint64_t* __restrict av = a->comp(i);
+    for (size_t j = 0; j < n; ++j) {
+      av[j] = MulModShoup(av[j], s, s_shoup, q);
     }
   }
 }
 
 void ToNttInplace(RnsPoly* a, const RnsBase& base) {
-  if (a->ntt_form) return;
-  for (size_t i = 0; i < a->num_components(); ++i) {
-    base.ntt(i).ForwardNtt(a->comp[i].data());
+  if (a->ntt_form()) return;
+  const size_t comps = a->num_components();
+  ThreadPool* pool = base.thread_pool();
+  if (pool != nullptr && comps > 1) {
+    pool->ParallelFor(0, comps,
+                      [&](size_t i) { base.ntt(i).ForwardNtt(a->comp(i)); });
+  } else {
+    for (size_t i = 0; i < comps; ++i) base.ntt(i).ForwardNtt(a->comp(i));
   }
-  a->ntt_form = true;
+  a->set_ntt_form(true);
 }
 
 void FromNttInplace(RnsPoly* a, const RnsBase& base) {
-  if (!a->ntt_form) return;
-  for (size_t i = 0; i < a->num_components(); ++i) {
-    base.ntt(i).InverseNtt(a->comp[i].data());
+  if (!a->ntt_form()) return;
+  const size_t comps = a->num_components();
+  ThreadPool* pool = base.thread_pool();
+  if (pool != nullptr && comps > 1) {
+    pool->ParallelFor(0, comps,
+                      [&](size_t i) { base.ntt(i).InverseNtt(a->comp(i)); });
+  } else {
+    for (size_t i = 0; i < comps; ++i) base.ntt(i).InverseNtt(a->comp(i));
   }
-  a->ntt_form = false;
+  a->set_ntt_form(false);
 }
 
 RnsPoly ApplyGaloisCoeff(const RnsPoly& a, uint64_t galois_elt,
                          const RnsBase& base) {
-  SKNN_CHECK(!a.ntt_form);
-  SKNN_CHECK_EQ(galois_elt & 1, 1u);
-  const size_t n = a.n;
-  const uint64_t two_n = 2 * static_cast<uint64_t>(n);
-  SKNN_CHECK_LT(galois_elt, two_n);
-  RnsPoly out = ZeroPoly(n, a.num_components(), /*ntt_form=*/false);
+  SKNN_CHECK(!a.ntt_form());
+  const size_t n = a.n();
+  const std::vector<uint32_t>& table = base.GaloisPermTable(galois_elt);
+  RnsPoly out(n, a.num_components(), /*ntt_form=*/false);
   for (size_t c = 0; c < a.num_components(); ++c) {
     const uint64_t q = base.modulus(c).value();
+    const uint64_t* __restrict src = a.comp(c);
+    uint64_t* __restrict dst = out.comp(c);
     for (size_t i = 0; i < n; ++i) {
-      const uint64_t target = (static_cast<uint64_t>(i) * galois_elt) % two_n;
-      const uint64_t v = a.comp[c][i];
-      if (target < n) {
-        out.comp[c][target] = v;
-      } else {
-        out.comp[c][target - n] = NegMod(v, q);
-      }
+      const uint32_t e = table[i];
+      const uint64_t v = src[i];
+      dst[e >> 1] = (e & 1) == 0 ? v : (v == 0 ? 0 : q - v);
     }
   }
   return out;

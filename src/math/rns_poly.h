@@ -2,27 +2,40 @@
 #define SKNN_MATH_RNS_POLY_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
 #include "common/statusor.h"
+#include "common/thread_pool.h"
 #include "math/mod_arith.h"
 #include "math/ntt.h"
 
 // Polynomials in R_Q = Z_Q[x]/(x^n + 1) with Q = q_0 * ... * q_{L} held in
-// residue number system (RNS) form: one length-n residue vector per prime.
-// All BGV arithmetic happens on this representation with 64-bit words only.
+// residue number system (RNS) form. All BGV arithmetic happens on this
+// representation with 64-bit words only. Storage is a single contiguous
+// n * num_components buffer (component-major), so the element-wise kernels
+// traverse memory linearly and the whole polynomial is one allocation.
 
 namespace sknn {
 
 // An ordered set of RNS moduli for a fixed ring degree, with NTT tables per
 // prime. Ciphertexts at level l use the first l+1 moduli of the base they
-// were created under.
+// were created under. Move-only: it owns lazily built caches shared by all
+// users of the base.
 class RnsBase {
  public:
   // Builds a base for ring degree n over the given primes (each must be an
   // NTT prime for n: q ≡ 1 mod 2n).
   static StatusOr<RnsBase> Create(size_t n, const std::vector<uint64_t>& primes);
+
+  // Default-constructed bases are empty placeholders to be assigned from
+  // Create(); using one is a programming error.
+  RnsBase() = default;
+  RnsBase(RnsBase&&) = default;
+  RnsBase& operator=(RnsBase&&) = default;
 
   size_t n() const { return n_; }
   size_t size() const { return moduli_.size(); }
@@ -30,21 +43,85 @@ class RnsBase {
   const NttTables& ntt(size_t i) const { return ntt_[i]; }
   const std::vector<Modulus>& moduli() const { return moduli_; }
 
+  // Permutation table for the Galois automorphism x -> x^galois_elt
+  // (galois_elt odd, < 2n) acting on coefficient-form polynomials: entry i
+  // packs (target_index << 1) | negate for source coefficient i. The table
+  // is modulus-independent (the negate bit stands for "negate mod q_c").
+  // Built on first use and cached per element; thread-safe.
+  const std::vector<uint32_t>& GaloisPermTable(uint64_t galois_elt) const;
+
+  // Optional worker pool used by ToNttInplace/FromNttInplace to transform
+  // RNS components in parallel. Null (the default) keeps all work on the
+  // calling thread. The base shares ownership of the pool.
+  void set_thread_pool(std::shared_ptr<ThreadPool> pool) {
+    pool_ = std::move(pool);
+  }
+  ThreadPool* thread_pool() const { return pool_.get(); }
+
  private:
+  struct GaloisCache {
+    std::mutex mu;
+    std::unordered_map<uint64_t, std::vector<uint32_t>> tables;
+  };
+
   size_t n_ = 0;
   std::vector<Modulus> moduli_;
   std::vector<NttTables> ntt_;
+  std::unique_ptr<GaloisCache> galois_cache_;
+  std::shared_ptr<ThreadPool> pool_;
 };
 
-// RNS polynomial: comp[i][j] is coefficient j modulo prime i (or the NTT
-// image when ntt_form). The number of components defines the level.
-struct RnsPoly {
-  size_t n = 0;
-  bool ntt_form = false;
-  std::vector<std::vector<uint64_t>> comp;
+// RNS polynomial: comp(i)[j] is coefficient j modulo prime i (or the NTT
+// image when ntt_form). The number of components defines the level. The
+// residues live in one flat n * num_components vector, component-major:
+// comp(i) == data() + i * n().
+class RnsPoly {
+ public:
+  RnsPoly() = default;
+  // Allocates an all-zero polynomial with `components` RNS components.
+  RnsPoly(size_t n, size_t components, bool ntt_form)
+      : n_(n),
+        components_(components),
+        ntt_form_(ntt_form),
+        data_(n * components, 0) {}
 
-  size_t num_components() const { return comp.size(); }
+  size_t n() const { return n_; }
+  size_t num_components() const { return components_; }
+  bool ntt_form() const { return ntt_form_; }
+  void set_ntt_form(bool ntt_form) { ntt_form_ = ntt_form; }
   bool IsZero() const;
+
+  // Residue vector of component i (n contiguous words).
+  uint64_t* comp(size_t i) { return data_.data() + i * n_; }
+  const uint64_t* comp(size_t i) const { return data_.data() + i * n_; }
+
+  // The whole flat buffer (n * num_components words, component-major).
+  uint64_t* data() { return data_.data(); }
+  const uint64_t* data() const { return data_.data(); }
+  const std::vector<uint64_t>& flat() const { return data_; }
+
+  // Copies component i out into a standalone vector (tests, serialization).
+  std::vector<uint64_t> ComponentVector(size_t i) const {
+    return std::vector<uint64_t>(comp(i), comp(i) + n_);
+  }
+
+  // A new polynomial holding the first `components` components (the
+  // level-restriction every encrypt/decrypt path performs); one memcpy.
+  RnsPoly Prefix(size_t components) const;
+
+  friend bool operator==(const RnsPoly& a, const RnsPoly& b) {
+    return a.n_ == b.n_ && a.components_ == b.components_ &&
+           a.ntt_form_ == b.ntt_form_ && a.data_ == b.data_;
+  }
+  friend bool operator!=(const RnsPoly& a, const RnsPoly& b) {
+    return !(a == b);
+  }
+
+ private:
+  size_t n_ = 0;
+  size_t components_ = 0;
+  bool ntt_form_ = false;
+  std::vector<uint64_t> data_;
 };
 
 // Allocates an all-zero polynomial with `components` RNS components.
@@ -72,7 +149,7 @@ void ToNttInplace(RnsPoly* a, const RnsBase& base);
 void FromNttInplace(RnsPoly* a, const RnsBase& base);
 
 // Applies the Galois automorphism x -> x^galois_elt (odd, < 2n) to a
-// coefficient-form polynomial.
+// coefficient-form polynomial using the base's cached permutation table.
 RnsPoly ApplyGaloisCoeff(const RnsPoly& a, uint64_t galois_elt,
                          const RnsBase& base);
 

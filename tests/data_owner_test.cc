@@ -67,10 +67,10 @@ TEST(DataOwnerTest, DeterministicKeygenPerSeed) {
   auto o1 = DataOwner::Create(Config(), dataset, 99);
   auto o2 = DataOwner::Create(Config(), dataset, 99);
   ASSERT_TRUE(o1.ok() && o2.ok());
-  EXPECT_EQ((*o1)->sk().s_coeff.comp, (*o2)->sk().s_coeff.comp);
+  EXPECT_EQ((*o1)->sk().s_coeff, (*o2)->sk().s_coeff);
   auto o3 = DataOwner::Create(Config(), dataset, 100);
   ASSERT_TRUE(o3.ok());
-  EXPECT_NE((*o1)->sk().s_coeff.comp, (*o3)->sk().s_coeff.comp);
+  EXPECT_NE((*o1)->sk().s_coeff, (*o3)->sk().s_coeff);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "common/rng.h"
 #include "math/prime.h"
 
@@ -65,6 +67,104 @@ INSTANTIATE_TEST_SUITE_P(
       return "n" + std::to_string(info.param.n) + "_q" +
              std::to_string(info.param.prime_bits);
     });
+
+// Cross-check of the lazy-reduction kernels against the O(n^2) schoolbook
+// negacyclic product, over the full protocol matrix: every supported ring
+// degree n in {4..8192} times every prime size the protocol presets use
+// (33-bit plain, 45-bit toy data, 50-bit toy special, 58-bit data, 60-bit
+// special). These sizes bracket the lazy bound: at 60 bits, 4q is within a
+// factor 4 of 2^64, so any missed reduction overflows and the product is
+// wrong with overwhelming probability.
+class LazyNttMatrixTest : public ::testing::TestWithParam<NttParam> {
+ protected:
+  void SetUp() override {
+    const auto [n, bits] = GetParam();
+    auto primes = GenerateNttPrimes(bits, 2 * n, 1);
+    ASSERT_TRUE(primes.ok()) << primes.status();
+    q_ = primes.value()[0];
+    auto tables = NttTables::Create(n, q_);
+    ASSERT_TRUE(tables.ok()) << tables.status();
+    tables_ = std::make_unique<NttTables>(std::move(tables).value());
+  }
+
+  uint64_t q_ = 0;
+  std::unique_ptr<NttTables> tables_;
+};
+
+TEST_P(LazyNttMatrixTest, RandomProductMatchesSchoolbook) {
+  const size_t n = GetParam().n;
+  Chacha20Rng rng(uint64_t{400} + n * 64 + GetParam().prime_bits);
+  std::vector<uint64_t> a, b;
+  rng.SampleUniformMod(q_, n, &a);
+  rng.SampleUniformMod(q_, n, &b);
+  std::vector<uint64_t> expected;
+  NaiveNegacyclicMultiply(a, b, q_, &expected);
+
+  Modulus mod(q_);
+  tables_->ForwardNtt(&a);
+  tables_->ForwardNtt(&b);
+  // Forward output must be fully reduced: the lazy pipeline's final pass
+  // brings every value from [0, 4q) back into [0, q).
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_LT(a[i], q_) << "forward NTT output not reduced at " << i;
+  }
+  std::vector<uint64_t> c(n);
+  for (size_t i = 0; i < n; ++i) c[i] = mod.MulMod(a[i], b[i]);
+  tables_->InverseNtt(&c);
+  EXPECT_EQ(c, expected);
+}
+
+TEST_P(LazyNttMatrixTest, WorstCaseAllMaxCoefficients) {
+  // All coefficients q-1 maximizes every intermediate in the butterfly
+  // network, exercising the [0, 4q) bound at each stage. (-1)^2 summed over
+  // the negacyclic wrap gives a closed-form reference as well, but the
+  // schoolbook product keeps the oracle independent of any NTT reasoning.
+  const size_t n = GetParam().n;
+  std::vector<uint64_t> a(n, q_ - 1);
+  std::vector<uint64_t> b(n, q_ - 1);
+  std::vector<uint64_t> expected;
+  NaiveNegacyclicMultiply(a, b, q_, &expected);
+
+  std::vector<uint64_t> roundtrip = a;
+  tables_->ForwardNtt(&roundtrip);
+  for (size_t i = 0; i < n; ++i) ASSERT_LT(roundtrip[i], q_);
+  tables_->InverseNtt(&roundtrip);
+  EXPECT_EQ(roundtrip, a);
+
+  Modulus mod(q_);
+  tables_->ForwardNtt(&a);
+  tables_->ForwardNtt(&b);
+  std::vector<uint64_t> c(n);
+  for (size_t i = 0; i < n; ++i) c[i] = mod.MulMod(a[i], b[i]);
+  tables_->InverseNtt(&c);
+  EXPECT_EQ(c, expected);
+}
+
+std::vector<NttParam> LazyMatrix() {
+  std::vector<NttParam> params;
+  for (size_t n = 4; n <= 8192; n <<= 1) {
+    for (int bits : {33, 45, 50, 58, 60}) {
+      params.push_back(NttParam{n, bits});
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(ProtocolMatrix, LazyNttMatrixTest,
+                         ::testing::ValuesIn(LazyMatrix()),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param.n) + "_q" +
+                                  std::to_string(info.param.prime_bits);
+                         });
+
+TEST(NttTest, RejectsModulusAtOrAbove2Pow62) {
+  // 4q must fit in 64 bits for the lazy butterflies; Create refuses larger.
+  const size_t n = 8;
+  // A 63-bit odd value with the right congruence class (primality is not
+  // reached before the bound check fires).
+  const uint64_t too_big = (uint64_t{1} << 62) + 2 * n + 1;
+  EXPECT_FALSE(NttTables::Create(n, too_big).ok());
+}
 
 TEST(NttTest, RejectsNonPowerOfTwo) {
   EXPECT_FALSE(NttTables::Create(24, 97).ok());

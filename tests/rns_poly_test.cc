@@ -23,7 +23,8 @@ class RnsPolyTest : public ::testing::Test {
     Chacha20Rng rng(seed);
     RnsPoly p = ZeroPoly(base_->n(), base_->size(), ntt_form);
     for (size_t i = 0; i < base_->size(); ++i) {
-      rng.SampleUniformMod(base_->modulus(i).value(), base_->n(), &p.comp[i]);
+      rng.SampleUniformModInto(base_->modulus(i).value(), base_->n(),
+                               p.comp(i));
     }
     return p;
   }
@@ -37,13 +38,41 @@ TEST_F(RnsPolyTest, ZeroPolyIsZero) {
   EXPECT_EQ(p.num_components(), 3u);
 }
 
+TEST_F(RnsPolyTest, StorageIsOneContiguousAllocation) {
+  RnsPoly p = RandomPoly(99);
+  // The whole polynomial is a single n * num_components buffer, component-
+  // major: comp(i) is an alias into data() at offset i * n.
+  EXPECT_EQ(p.flat().size(), p.n() * p.num_components());
+  EXPECT_EQ(p.data(), p.flat().data());
+  for (size_t i = 0; i < p.num_components(); ++i) {
+    EXPECT_EQ(p.comp(i), p.data() + i * p.n()) << "component " << i;
+  }
+  // Component views tile the buffer exactly: writing through comp(i) is
+  // visible at the corresponding flat offset.
+  for (size_t i = 0; i < p.num_components(); ++i) {
+    p.comp(i)[3] = 17 + i;
+    EXPECT_EQ(p.flat()[i * p.n() + 3], 17 + i);
+  }
+}
+
+TEST_F(RnsPolyTest, PrefixCopiesLeadingComponents) {
+  RnsPoly p = RandomPoly(42, /*ntt_form=*/true);
+  RnsPoly two = p.Prefix(2);
+  EXPECT_EQ(two.n(), p.n());
+  EXPECT_EQ(two.num_components(), 2u);
+  EXPECT_TRUE(two.ntt_form());
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(two.ComponentVector(i), p.ComponentVector(i));
+  }
+}
+
 TEST_F(RnsPolyTest, AddThenSubtractIsIdentity) {
   RnsPoly a = RandomPoly(1);
   RnsPoly b = RandomPoly(2);
   RnsPoly original = a;
   AddInplace(&a, b, *base_);
   SubInplace(&a, b, *base_);
-  EXPECT_EQ(a.comp, original.comp);
+  EXPECT_EQ(a, original);
 }
 
 TEST_F(RnsPolyTest, NegateTwiceIsIdentity) {
@@ -51,7 +80,7 @@ TEST_F(RnsPolyTest, NegateTwiceIsIdentity) {
   RnsPoly original = a;
   NegateInplace(&a, *base_);
   NegateInplace(&a, *base_);
-  EXPECT_EQ(a.comp, original.comp);
+  EXPECT_EQ(a, original);
 }
 
 TEST_F(RnsPolyTest, AddOwnNegationIsZero) {
@@ -66,10 +95,10 @@ TEST_F(RnsPolyTest, NttRoundtrip) {
   RnsPoly a = RandomPoly(5);
   RnsPoly original = a;
   ToNttInplace(&a, *base_);
-  EXPECT_TRUE(a.ntt_form);
+  EXPECT_TRUE(a.ntt_form());
   FromNttInplace(&a, *base_);
-  EXPECT_FALSE(a.ntt_form);
-  EXPECT_EQ(a.comp, original.comp);
+  EXPECT_FALSE(a.ntt_form());
+  EXPECT_EQ(a, original);
 }
 
 TEST_F(RnsPolyTest, MulPointwiseMatchesNaivePerPrime) {
@@ -82,9 +111,10 @@ TEST_F(RnsPolyTest, MulPointwiseMatchesNaivePerPrime) {
   FromNttInplace(&c, *base_);
   for (size_t i = 0; i < base_->size(); ++i) {
     std::vector<uint64_t> expected;
-    NaiveNegacyclicMultiply(a_coeff.comp[i], b_coeff.comp[i],
+    NaiveNegacyclicMultiply(a_coeff.ComponentVector(i),
+                            b_coeff.ComponentVector(i),
                             base_->modulus(i).value(), &expected);
-    EXPECT_EQ(c.comp[i], expected) << "prime index " << i;
+    EXPECT_EQ(c.ComponentVector(i), expected) << "prime index " << i;
   }
 }
 
@@ -96,7 +126,7 @@ TEST_F(RnsPolyTest, AddMulAccumulates) {
   RnsPoly bc = MulPointwise(b, c, *base_);
   AddInplace(&expected, bc, *base_);
   AddMulInplace(&a, b, c, *base_);
-  EXPECT_EQ(a.comp, expected.comp);
+  EXPECT_EQ(a, expected);
 }
 
 TEST_F(RnsPolyTest, MulScalarMatchesRepeatedAdd) {
@@ -105,13 +135,13 @@ TEST_F(RnsPolyTest, MulScalarMatchesRepeatedAdd) {
   for (int i = 0; i < 3; ++i) AddInplace(&tripled, a, *base_);
   std::vector<uint64_t> three(base_->size(), 3);
   MulScalarInplace(&a, three, *base_);
-  EXPECT_EQ(a.comp, tripled.comp);
+  EXPECT_EQ(a, tripled);
 }
 
 TEST_F(RnsPolyTest, GaloisIdentityElement) {
   RnsPoly a = RandomPoly(12);
   RnsPoly out = ApplyGaloisCoeff(a, 1, *base_);
-  EXPECT_EQ(out.comp, a.comp);
+  EXPECT_EQ(out, a);
 }
 
 TEST_F(RnsPolyTest, GaloisComposition) {
@@ -121,15 +151,15 @@ TEST_F(RnsPolyTest, GaloisComposition) {
   const uint64_t g = 3, h = 5;
   RnsPoly gh = ApplyGaloisCoeff(ApplyGaloisCoeff(a, g, *base_), h, *base_);
   RnsPoly direct = ApplyGaloisCoeff(a, (g * h) % two_n, *base_);
-  EXPECT_EQ(gh.comp, direct.comp);
+  EXPECT_EQ(gh, direct);
 }
 
 TEST_F(RnsPolyTest, GaloisPreservesConstantTerm) {
   RnsPoly a = ZeroPoly(base_->n(), base_->size(), false);
-  for (size_t i = 0; i < base_->size(); ++i) a.comp[i][0] = 7;
+  for (size_t i = 0; i < base_->size(); ++i) a.comp(i)[0] = 7;
   RnsPoly out = ApplyGaloisCoeff(a, 3, *base_);
   for (size_t i = 0; i < base_->size(); ++i) {
-    EXPECT_EQ(out.comp[i][0], 7u);
+    EXPECT_EQ(out.comp(i)[0], 7u);
   }
 }
 
@@ -153,7 +183,45 @@ TEST_F(RnsPolyTest, GaloisIsRingHomomorphismOnProducts) {
   RnsPoly prod = MulPointwise(ta, tb, *base_);
   FromNttInplace(&prod, *base_);
 
-  EXPECT_EQ(tau_ab.comp, prod.comp);
+  EXPECT_EQ(tau_ab, prod);
+}
+
+TEST_F(RnsPolyTest, GaloisPermTableMatchesDirectComputation) {
+  const size_t n = base_->n();
+  const uint64_t two_n = 2 * n;
+  for (uint64_t elt : {uint64_t{3}, uint64_t{5}, two_n - 1}) {
+    const std::vector<uint32_t>& table = base_->GaloisPermTable(elt);
+    ASSERT_EQ(table.size(), n);
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t target = (static_cast<uint64_t>(i) * elt) % two_n;
+      const uint32_t expected = target < n
+                                    ? static_cast<uint32_t>(target << 1)
+                                    : static_cast<uint32_t>(
+                                          ((target - n) << 1) | 1);
+      EXPECT_EQ(table[i], expected) << "elt=" << elt << " i=" << i;
+    }
+    // Second lookup hits the cache and must return the same table.
+    EXPECT_EQ(&base_->GaloisPermTable(elt), &table);
+  }
+}
+
+TEST_F(RnsPolyTest, ThreadedNttConversionMatchesSerial) {
+  auto pool = std::make_shared<ThreadPool>(3);
+  auto primes = GenerateNttPrimes(40, 2 * base_->n(), 3);
+  ASSERT_TRUE(primes.ok());
+  auto threaded = RnsBase::Create(base_->n(), primes.value());
+  ASSERT_TRUE(threaded.ok());
+  threaded.value().set_thread_pool(pool);
+
+  RnsPoly a = RandomPoly(21);
+  RnsPoly serial = a, parallel = a;
+  ToNttInplace(&serial, *base_);
+  ToNttInplace(&parallel, threaded.value());
+  EXPECT_EQ(serial, parallel);
+  FromNttInplace(&serial, *base_);
+  FromNttInplace(&parallel, threaded.value());
+  EXPECT_EQ(serial, a);
+  EXPECT_EQ(parallel, a);
 }
 
 }  // namespace

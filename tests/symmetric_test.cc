@@ -66,7 +66,7 @@ TEST_F(SymmetricTest, SeededExpansionIsDeterministic) {
   auto ct1 = ExpandSeeded(*ctx_, seeded.value());
   auto ct2 = ExpandSeeded(*ctx_, seeded.value());
   ASSERT_TRUE(ct1.ok() && ct2.ok());
-  EXPECT_EQ(ct1->c[1].comp, ct2->c[1].comp);
+  EXPECT_EQ(ct1->c[1], ct2->c[1]);
 }
 
 TEST_F(SymmetricTest, SeededHalvesTheWireSize) {
@@ -123,7 +123,7 @@ TEST_F(SymmetricTest, DistinctEncryptionsDistinctSeeds) {
   auto a = sym_->EncryptSeeded(pt, 1).value();
   auto b = sym_->EncryptSeeded(pt, 1).value();
   EXPECT_NE(a.seed, b.seed);
-  EXPECT_NE(a.c0.comp, b.c0.comp);
+  EXPECT_NE(a.c0, b.c0);
 }
 
 TEST_F(SymmetricTest, RejectsBadLevels) {
