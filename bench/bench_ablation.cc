@@ -18,7 +18,8 @@ using namespace sknn::core;  // NOLINT
 
 int RunOne(const data::Dataset& dataset, Layout layout, size_t degree,
            int coord_bits, const bench::BenchArgs& args,
-           bool compress = true) {
+           bench::BenchJson* out, bool compress = true) {
+  out->BeginRow();
   ProtocolConfig cfg;
   cfg.k = 5;
   cfg.dims = dataset.dims();
@@ -48,6 +49,16 @@ int RunOne(const data::Dataset& dataset, Layout layout, size_t degree,
               bench::HumanBytes(r->ab_link.total_bytes()).c_str(),
               bench::HumanBytes((*session)->setup_report().encrypted_db_bytes)
                   .c_str());
+  json::ObjectWriter row;
+  row.Str("layout", LayoutName(layout))
+      .Int("degree", degree)
+      .Int("levels", cfg.levels)
+      .Bool("compress_indicators", compress)
+      .Num("query_seconds", r->timings.total_query_seconds())
+      .Num("setup_seconds", (*session)->setup_report().setup_seconds)
+      .Int("wire_bytes", r->ab_link.total_bytes())
+      .Int("db_bytes", (*session)->setup_report().encrypted_db_bytes);
+  out->EndRow(std::move(row));
   return 0;
 }
 
@@ -66,17 +77,20 @@ int Run(const bench::BenchArgs& args) {
   std::printf("%-10s %2s %7s %5s %12s %12s %14s %14s\n", "layout", "D",
               "levels", "cmpr", "query(s)", "setup(s)", "wire bytes",
               "db bytes");
+  bench::BenchJson out("ablation");
   for (Layout layout : {Layout::kPerPoint, Layout::kPacked}) {
     for (size_t degree : {size_t{1}, size_t{2}, size_t{3}}) {
-      if (RunOne(dataset, layout, degree, coord_bits, args) != 0) return 1;
+      if (RunOne(dataset, layout, degree, coord_bits, args, &out) != 0) {
+        return 1;
+      }
     }
   }
   // Indicator seed-compression ablation at the default degree.
-  if (RunOne(dataset, Layout::kPerPoint, 2, coord_bits, args,
+  if (RunOne(dataset, Layout::kPerPoint, 2, coord_bits, args, &out,
              /*compress=*/false) != 0) {
     return 1;
   }
-  if (RunOne(dataset, Layout::kPacked, 2, coord_bits, args,
+  if (RunOne(dataset, Layout::kPacked, 2, coord_bits, args, &out,
              /*compress=*/false) != 0) {
     return 1;
   }
@@ -86,6 +100,7 @@ int Run(const bench::BenchArgs& args) {
       "large factors in time and bytes; each extra masking degree costs "
       "one modulus level; disabling indicator seed-compression (cmpr=no) "
       "roughly doubles the B->A share of the wire bytes.\n");
+  out.Write();
   return 0;
 }
 

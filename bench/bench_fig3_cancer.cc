@@ -32,7 +32,9 @@ int Run(const bench::BenchArgs& args) {
   std::printf("%6s %12s %14s %14s %12s %12s\n", "k", "query(s)", "A->B bytes",
               "B->A bytes", "B enc", "B dec");
   double security = 0;
+  bench::BenchJson out("fig3_cancer");
   for (size_t k : ks) {
+    out.BeginRow();
     ProtocolConfig cfg;
     cfg.k = k;
     cfg.dims = dataset.dims();
@@ -68,11 +70,20 @@ int Run(const bench::BenchArgs& args) {
                 bench::HumanBytes(last.ab_link.bytes_b_to_a).c_str(),
                 static_cast<unsigned long long>(last.party_b_ops.encryptions),
                 static_cast<unsigned long long>(last.party_b_ops.decryptions));
+    json::ObjectWriter row;
+    row.Int("k", k)
+        .Int("n", dataset.num_points())
+        .Int("d", dataset.dims())
+        .Num("query_seconds", total / args.queries)
+        .Int("bytes_a_to_b", last.ab_link.bytes_a_to_b)
+        .Int("bytes_b_to_a", last.ab_link.bytes_b_to_a);
+    out.EndRow(std::move(row));
   }
   std::printf(
       "paper (HElib, 4-core 2.8GHz): k=2: 45 s, k=8: 166 s, k=16: 328 s "
       "(linear in k)\n");
   std::printf("estimated lattice security of this run: %.0f bits\n", security);
+  out.Write();
   return 0;
 }
 

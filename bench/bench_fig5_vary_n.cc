@@ -16,5 +16,5 @@ int main(int argc, char** argv) {
   return sknn::bench::RunSyntheticSweep(
       "paper (HElib, 4-core 2.8GHz): 23 s at n=20000 -> ~180 s at n=200000 "
       "(linear in n)",
-      points, args);
+      points, args, sknn::core::Layout::kPacked, "fig5_vary_n");
 }

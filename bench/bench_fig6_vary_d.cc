@@ -18,5 +18,5 @@ int main(int argc, char** argv) {
   return sknn::bench::RunSyntheticSweep(
       "paper (HElib, 4-core 2.8GHz, n=200000): 137 s at d=1 -> <540 s at "
       "d=10 (linear in d)",
-      points, args);
+      points, args, sknn::core::Layout::kPacked, "fig6_vary_d");
 }

@@ -17,5 +17,5 @@ int main(int argc, char** argv) {
   return sknn::bench::RunSyntheticSweep(
       "paper (HElib, 4-core 2.8GHz, n=200000): <120 s at k=1 -> ~480 s at "
       "k=20 (linear in k)",
-      points, args);
+      points, args, sknn::core::Layout::kPacked, "fig7_vary_k");
 }

@@ -89,10 +89,27 @@ int Run(const bench::BenchArgs& args) {
   data::Dataset dataset =
       data::UniformDataset(n, d, (1u << coord_bits) - 1, 7);
 
+  bench::BenchJson out("table1_opcounts");
+  auto add_row = [&](const char* protocol, size_t k, const Row& r) {
+    json::ObjectWriter row;
+    row.Str("protocol", protocol)
+        .Int("n", n)
+        .Int("d", d)
+        .Int("k", k)
+        .Int("he_ops", r.he_ops)
+        .Int("encryptions", r.encs)
+        .Int("decryptions", r.decs)
+        .Int("rounds", r.rounds);
+    out.EndRow(std::move(row));
+  };
   for (size_t k : {size_t{2}, size_t{4}}) {
     Row ours{}, base{};
+    out.BeginRow();
     if (RunOurs(dataset, k, coord_bits, args, &ours) != 0) return 1;
+    add_row("ours", k, ours);
+    out.BeginRow();
     if (RunBaseline(dataset, k, &base) != 0) return 1;
+    add_row("baseline_yousef", k, base);
     std::printf("\nn=%zu d=%zu k=%zu (value bits l~12, mask degree D=2)\n", n,
                 d, k);
     std::printf("%-34s %16s %16s\n", "", "Yousef et al.", "ours");
@@ -115,6 +132,7 @@ int Run(const bench::BenchArgs& args) {
       "ours O(n(k+d+D)) ops / O(nk) enc / O(n) dec / 1 round.\n"
       "Doubling k roughly doubles the baseline's k-dependent counts while "
       "our decryptions stay at n and rounds stay at 1.\n");
+  out.Write();
   return 0;
 }
 

@@ -3,9 +3,13 @@
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/json_writer.h"
+#include "common/metrics_registry.h"
+#include "common/trace.h"
 #include "core/protocol_config.h"
 
 // Shared helpers for the reproduction benches. Every bench binary accepts:
@@ -15,6 +19,11 @@
 // Default runs are sized so the whole bench suite completes on a small
 // 1-core machine; they print the lattice preset and its estimated security
 // so scaled-down runs are explicit about what they measure.
+//
+// Each bench also writes a machine-readable BENCH_<name>.json (via
+// BenchJson below) whose rows carry the headline numbers plus the
+// per-phase time/bytes breakdown and operation counters collected by the
+// tracing layer (common/trace.h, common/metrics_registry.h).
 
 namespace sknn {
 namespace bench {
@@ -70,6 +79,53 @@ inline void PrintHeader(const char* title, const char* paper_ref) {
   std::printf("==============================================================\n");
 }
 
+// Collects one JSON row per bench configuration and writes
+// BENCH_<name>.json into the working directory. Construction enables the
+// global tracer so every row gets a per-phase summary; BeginRow/EndRow
+// bracket one configuration (records and counters are cleared between
+// rows, so "phases" and "counters" cover exactly that row's work).
+class BenchJson {
+ public:
+  explicit BenchJson(const char* name) : name_(name) {
+    was_enabled_ = trace::Tracer::Global().enabled();
+    trace::Tracer::Global().Enable();
+  }
+  ~BenchJson() {
+    if (!was_enabled_) trace::Tracer::Global().Disable();
+  }
+
+  void BeginRow() {
+    trace::Tracer::Global().Reset();
+    MetricsRegistry::Global().ResetValues();
+  }
+
+  void EndRow(json::ObjectWriter row) {
+    row.Raw("phases",
+            trace::PhaseSummaryJson(
+                trace::Summarize(trace::Tracer::Global().Records())));
+    row.Raw("counters", MetricsRegistry::Global().CountersJson());
+    rows_.push_back(row.Render());
+  }
+
+  void Write() const {
+    json::ObjectWriter top;
+    top.Str("bench", name_);
+    top.Raw("rows", json::Array(rows_));
+    const std::string path = "BENCH_" + name_ + ".json";
+    if (!json::WriteFile(path, top.Render() + "\n")) {
+      std::fprintf(stderr, "failed to write %s\n", path.c_str());
+      return;
+    }
+    std::printf("wrote %s (%zu rows with per-phase breakdowns)\n",
+                path.c_str(), rows_.size());
+  }
+
+ private:
+  std::string name_;
+  bool was_enabled_ = false;
+  std::vector<std::string> rows_;
+};
+
 inline std::string HumanBytes(uint64_t bytes) {
   char buf[64];
   if (bytes >= 1000ull * 1000 * 1000) {
@@ -101,19 +157,25 @@ struct SweepPoint {
 };
 
 // Runs the uniform-synthetic-data sweep the paper uses in Section 5.2 and
-// prints one row per configuration. Returns non-zero on failure.
+// prints one row per configuration. When `bench_name` is set, also writes
+// BENCH_<bench_name>.json with a per-phase breakdown per configuration.
+// Returns non-zero on failure.
 inline int RunSyntheticSweep(const char* paper_note,
                              const std::vector<SweepPoint>& points,
                              const BenchArgs& args,
-                             core::Layout layout = core::Layout::kPacked) {
+                             core::Layout layout = core::Layout::kPacked,
+                             const char* bench_name = nullptr) {
   const int coord_bits = 5;
   std::printf("layout=%s preset=%s queries/point=%d\n",
               core::LayoutName(layout), PresetName(args.preset),
               args.queries);
   std::printf("%9s %4s %4s %12s %10s %14s %14s\n", "n", "d", "k", "query(s)",
               "setup(s)", "A->B bytes", "B->A bytes");
+  std::unique_ptr<BenchJson> out;
+  if (bench_name != nullptr) out = std::make_unique<BenchJson>(bench_name);
   double security = 0;
   for (const SweepPoint& p : points) {
+    if (out) out->BeginRow();
     data::Dataset dataset =
         data::UniformDataset(p.n, p.d, (1u << coord_bits) - 1, 77);
     core::ProtocolConfig cfg;
@@ -150,10 +212,24 @@ inline int RunSyntheticSweep(const char* paper_note,
                 (*session)->setup_report().setup_seconds,
                 HumanBytes(last.ab_link.bytes_a_to_b).c_str(),
                 HumanBytes(last.ab_link.bytes_b_to_a).c_str());
+    if (out) {
+      json::ObjectWriter row;
+      row.Int("n", p.n)
+          .Int("d", p.d)
+          .Int("k", p.k)
+          .Str("layout", core::LayoutName(layout))
+          .Int("queries", static_cast<uint64_t>(args.queries))
+          .Num("query_seconds", total / args.queries)
+          .Num("setup_seconds", (*session)->setup_report().setup_seconds)
+          .Int("bytes_a_to_b", last.ab_link.bytes_a_to_b)
+          .Int("bytes_b_to_a", last.ab_link.bytes_b_to_a);
+      out->EndRow(std::move(row));
+    }
   }
   std::printf("%s\n", paper_note);
   std::printf("estimated lattice security of this run: %.0f bits\n",
               security);
+  if (out) out->Write();
   return 0;
 }
 

@@ -49,18 +49,37 @@ int Run(const bench::BenchArgs& args) {
                           core::SecureKnnSession::Create(cfg, dataset, 42));
     return session->RunQuery(query);
   };
+  bench::BenchJson out("vs_baseline");
+  auto ours_row = [&](const char* label, const core::QueryResult& r) {
+    json::ObjectWriter row;
+    row.Str("protocol", label)
+        .Int("n", n)
+        .Int("d", d)
+        .Int("k", k)
+        .Num("query_seconds", r.timings.total_query_seconds())
+        .Int("rounds", (r.ab_link.rounds + 1) / 2)
+        .Int("bytes", r.ab_link.total_bytes());
+    out.EndRow(std::move(row));
+  };
+
+  out.BeginRow();
   auto ours_pp = run_ours(core::Layout::kPerPoint);
   if (!ours_pp.ok()) {
     std::fprintf(stderr, "ours(per-point) failed: %s\n",
                  ours_pp.status().ToString().c_str());
     return 1;
   }
+  ours_row("ours_per_point", *ours_pp);
+
+  out.BeginRow();
   auto ours = run_ours(core::Layout::kPacked);
   if (!ours.ok()) {
     std::fprintf(stderr, "ours(packed) failed: %s\n",
                  ours.status().ToString().c_str());
     return 1;
   }
+  ours_row("ours_packed", *ours);
+
   const double ours_pp_s = ours_pp->timings.total_query_seconds();
   const double ours_s = ours->timings.total_query_seconds();
   // Round trips = direction flips / 2.
@@ -77,11 +96,23 @@ int Run(const bench::BenchArgs& args) {
                  proto.status().ToString().c_str());
     return 1;
   }
+  out.BeginRow();
   auto base = (*proto)->RunQuery(query);
   if (!base.ok()) {
     std::fprintf(stderr, "baseline failed: %s\n",
                  base.status().ToString().c_str());
     return 1;
+  }
+  {
+    json::ObjectWriter row;
+    row.Str("protocol", "baseline_yousef")
+        .Int("n", n)
+        .Int("d", d)
+        .Int("k", k)
+        .Num("query_seconds", base->query_seconds)
+        .Int("rounds", base->rounds)
+        .Int("bytes", base->bytes);
+    out.EndRow(std::move(row));
   }
 
   std::printf("%-28s %14s %14s %14s\n", "", "ours packed", "ours per-pt",
@@ -113,6 +144,7 @@ int Run(const bench::BenchArgs& args) {
                 base->query_seconds / ours_s,
                 base->query_seconds / ours_pp_s);
   }
+  out.Write();
   return 0;
 }
 

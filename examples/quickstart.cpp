@@ -2,18 +2,26 @@
 //
 // A data owner outsources an encrypted 2-D dataset; a client asks for the
 // 3 nearest neighbours of an encrypted query; neither cloud learns the
-// data, the query, the result, or which records were accessed.
+// data, the query, the result, or which records were accessed. The run is
+// traced: a per-phase breakdown is printed and a Chrome trace JSON
+// (loadable in chrome://tracing or https://ui.perfetto.dev) is written to
+// quickstart_trace.json.
 //
 // Build & run:   ./build/examples/quickstart
 
 #include <cstdio>
 
+#include "common/trace.h"
 #include "core/session.h"
 #include "data/dataset.h"
 
 int main() {
   using namespace sknn;        // NOLINT
   using namespace sknn::core;  // NOLINT
+
+  // 0. Turn on phase tracing. Spans are recorded by the protocol's own
+  //    instrumentation; off by default with negligible cost.
+  trace::Tracer::Global().Enable();
 
   // 1. The data owner's plaintext database: 8 points in 2-D.
   data::Dataset dataset(8, 2);
@@ -72,5 +80,20 @@ int main() {
                                               2));
   std::printf("bytes on the wire: %llu\n",
               static_cast<unsigned long long>(result->ab_link.total_bytes()));
+
+  // 5. Where did the time and the bytes go? Aggregate the recorded spans
+  //    by phase path and print the query-phase breakdown.
+  std::printf("\nper-phase breakdown (path, time, bytes sent):\n");
+  const auto summary = trace::Summarize(trace::Tracer::Global().Records());
+  for (const auto& [path, stats] : summary) {
+    std::printf("  %-40s %8.3f ms %10llu B\n", path.c_str(),
+                stats.seconds() * 1e3,
+                static_cast<unsigned long long>(stats.bytes_sent));
+  }
+  // The same data, as a Chrome trace_event file for a timeline view.
+  if (trace::WriteGlobalTrace("quickstart_trace.json").ok()) {
+    std::printf("\ntimeline written to quickstart_trace.json "
+                "(open in chrome://tracing)\n");
+  }
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace sknn {
 namespace baseline {
@@ -63,6 +64,7 @@ StatusOr<BaselineResult> ElmehdwiSknn::RunQuery(
   if (query.size() != dataset_.dims()) {
     return InvalidArgumentError("query dimensionality mismatch");
   }
+  trace::TraceSpan query_span("baseline.query");
   const auto start = std::chrono::steady_clock::now();
   BaselineResult result;
   c1_->ops() = core::OpCounts();
@@ -76,114 +78,136 @@ StatusOr<BaselineResult> ElmehdwiSknn::RunQuery(
 
   // Client encrypts the query for C1.
   std::vector<BigUint> cq(d);
-  for (size_t j = 0; j < d; ++j) {
-    SKNN_ASSIGN_OR_RETURN(cq[j], c1_->enc().EncryptU64(query[j]));
-    c1_->ops().encryptions += 1;
+  {
+    trace::TraceSpan span("baseline.encrypt_query");
+    for (size_t j = 0; j < d; ++j) {
+      SKNN_ASSIGN_OR_RETURN(cq[j], c1_->enc().EncryptU64(query[j]));
+      c1_->ops().encryptions += 1;
+    }
   }
 
   // Stage 1 — SSED for every point (one batched SM round): build all n*d
   // differences, square them together, then sum per point.
-  std::vector<BigUint> diffs;
-  diffs.reserve(n * d);
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j < d; ++j) {
-      diffs.push_back(
-          c1_->enc().Add(db_[i][j], c1_->enc().Negate(cq[j])));
-      c1_->ops().he_additions += 1;
-      c1_->ops().he_plain_ops += 1;
-    }
-  }
-  SKNN_ASSIGN_OR_RETURN(std::vector<BigUint> squares,
-                        c1_->SecureMultiplyBatch(diffs, diffs));
   std::vector<BigUint> dist(n);
-  for (size_t i = 0; i < n; ++i) {
-    BigUint acc = squares[i * d];
-    for (size_t j = 1; j < d; ++j) {
-      acc = c1_->enc().Add(acc, squares[i * d + j]);
-      c1_->ops().he_additions += 1;
+  {
+    trace::TraceSpan span("baseline.ssed");
+    std::vector<BigUint> diffs;
+    diffs.reserve(n * d);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < d; ++j) {
+        diffs.push_back(
+            c1_->enc().Add(db_[i][j], c1_->enc().Negate(cq[j])));
+        c1_->ops().he_additions += 1;
+        c1_->ops().he_plain_ops += 1;
+      }
     }
-    dist[i] = std::move(acc);
+    SKNN_ASSIGN_OR_RETURN(std::vector<BigUint> squares,
+                          c1_->SecureMultiplyBatch(diffs, diffs));
+    for (size_t i = 0; i < n; ++i) {
+      BigUint acc = squares[i * d];
+      for (size_t j = 1; j < d; ++j) {
+        acc = c1_->enc().Add(acc, squares[i * d + j]);
+        c1_->ops().he_additions += 1;
+      }
+      dist[i] = std::move(acc);
+    }
   }
 
   // Stage 2 — SBD of every distance (l rounds for the whole batch).
-  SKNN_ASSIGN_OR_RETURN(std::vector<std::vector<BigUint>> dist_bits,
-                        c1_->SecureBitDecomposeBatch(dist));
+  std::vector<std::vector<BigUint>> dist_bits;
+  {
+    trace::TraceSpan span("baseline.sbd");
+    SKNN_ASSIGN_OR_RETURN(dist_bits, c1_->SecureBitDecomposeBatch(dist));
+  }
 
   // Stage 3 — k rounds of { SMIN_n; oblivious argmin; exclude; retrieve }.
   const BigUint n_mod = c1_->enc().pk().n;
   std::vector<std::vector<BigUint>> retrieved;
   for (size_t iter = 0; iter < k; ++iter) {
     // Global minimum (bits), then recomposed value.
-    SKNN_ASSIGN_OR_RETURN(std::vector<BigUint> min_bits,
-                          c1_->SecureMinN(dist_bits));
-    BigUint cmin = c1_->BitsToValue(min_bits);
+    BigUint cmin;
+    {
+      trace::TraceSpan span("baseline.smin");
+      SKNN_ASSIGN_OR_RETURN(std::vector<BigUint> min_bits,
+                            c1_->SecureMinN(dist_bits));
+      cmin = c1_->BitsToValue(min_bits);
+    }
 
     // Oblivious argmin: tau_i = r_i * (d_i - dmin), permuted; C2 marks the
     // first zero with an encrypted indicator vector.
-    std::vector<BigUint> dist_vals(n);
-    for (size_t i = 0; i < n; ++i) dist_vals[i] = c1_->BitsToValue(dist_bits[i]);
-    std::vector<size_t> perm = c1_->rng().RandomPermutation(n);
-    std::vector<BigUint> masked(n);
-    for (size_t pos = 0; pos < n; ++pos) {
-      const size_t i = perm[pos];
-      BigUint tau =
-          c1_->enc().Add(dist_vals[i], c1_->enc().Negate(cmin));
-      c1_->ops().he_additions += 1;
-      c1_->ops().he_plain_ops += 1;
-      BigUint r = BigUint::Add(BigUint::RandomBits(40, &c1_->rng()),
-                               BigUint(1));
-      masked[pos] = c1_->enc().MulPlain(tau, r);
-      c1_->ops().he_plain_ops += 1;
-      c1_->CountTransfer(masked[pos]);
-    }
-    // C2: decrypt, find first zero, answer with an encrypted indicator.
-    std::vector<BigUint> indicator_perm(n);
-    bool found = false;
-    for (size_t pos = 0; pos < n; ++pos) {
-      SKNN_ASSIGN_OR_RETURN(BigUint v, c2_->dec().Decrypt(masked[pos]));
-      c2_->ops().decryptions += 1;
-      const bool is_min = !found && v.IsZero();
-      if (is_min) found = true;
-      SKNN_ASSIGN_OR_RETURN(indicator_perm[pos],
-                            c2_->enc().EncryptU64(is_min ? 1 : 0));
-      c2_->ops().encryptions += 1;
-      c1_->CountTransfer(indicator_perm[pos]);
-    }
-    c1_->CountRound();
-    if (!found) return InternalError("argmin not found (protocol bug)");
-    // Un-permute.
     std::vector<BigUint> indicator(n);
-    for (size_t pos = 0; pos < n; ++pos) {
-      indicator[perm[pos]] = std::move(indicator_perm[pos]);
+    {
+      trace::TraceSpan span("baseline.argmin");
+      std::vector<BigUint> dist_vals(n);
+      for (size_t i = 0; i < n; ++i) {
+        dist_vals[i] = c1_->BitsToValue(dist_bits[i]);
+      }
+      std::vector<size_t> perm = c1_->rng().RandomPermutation(n);
+      std::vector<BigUint> masked(n);
+      for (size_t pos = 0; pos < n; ++pos) {
+        const size_t i = perm[pos];
+        BigUint tau =
+            c1_->enc().Add(dist_vals[i], c1_->enc().Negate(cmin));
+        c1_->ops().he_additions += 1;
+        c1_->ops().he_plain_ops += 1;
+        BigUint r = BigUint::Add(BigUint::RandomBits(40, &c1_->rng()),
+                                 BigUint(1));
+        masked[pos] = c1_->enc().MulPlain(tau, r);
+        c1_->ops().he_plain_ops += 1;
+        c1_->CountTransfer(masked[pos]);
+      }
+      // C2: decrypt, find first zero, answer with an encrypted indicator.
+      std::vector<BigUint> indicator_perm(n);
+      bool found = false;
+      for (size_t pos = 0; pos < n; ++pos) {
+        SKNN_ASSIGN_OR_RETURN(BigUint v, c2_->dec().Decrypt(masked[pos]));
+        c2_->ops().decryptions += 1;
+        const bool is_min = !found && v.IsZero();
+        if (is_min) found = true;
+        SKNN_ASSIGN_OR_RETURN(indicator_perm[pos],
+                              c2_->enc().EncryptU64(is_min ? 1 : 0));
+        c2_->ops().encryptions += 1;
+        c1_->CountTransfer(indicator_perm[pos]);
+      }
+      c1_->CountRound();
+      if (!found) return InternalError("argmin not found (protocol bug)");
+      // Un-permute.
+      for (size_t pos = 0; pos < n; ++pos) {
+        indicator[perm[pos]] = std::move(indicator_perm[pos]);
+      }
     }
 
     // Oblivious retrieval: record_j = sum_i U_i * p_i (batched SM).
-    std::vector<BigUint> sel, vals;
-    sel.reserve(n * d);
-    vals.reserve(n * d);
-    for (size_t i = 0; i < n; ++i) {
+    {
+      trace::TraceSpan span("baseline.retrieve");
+      std::vector<BigUint> sel, vals;
+      sel.reserve(n * d);
+      vals.reserve(n * d);
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < d; ++j) {
+          sel.push_back(indicator[i]);
+          vals.push_back(db_[i][j]);
+        }
+      }
+      SKNN_ASSIGN_OR_RETURN(std::vector<BigUint> products,
+                            c1_->SecureMultiplyBatch(sel, vals));
+      std::vector<BigUint> record(d);
       for (size_t j = 0; j < d; ++j) {
-        sel.push_back(indicator[i]);
-        vals.push_back(db_[i][j]);
+        BigUint acc = products[j];
+        for (size_t i = 1; i < n; ++i) {
+          acc = c1_->enc().Add(acc, products[i * d + j]);
+          c1_->ops().he_additions += 1;
+        }
+        record[j] = std::move(acc);
       }
+      retrieved.push_back(std::move(record));
     }
-    SKNN_ASSIGN_OR_RETURN(std::vector<BigUint> products,
-                          c1_->SecureMultiplyBatch(sel, vals));
-    std::vector<BigUint> record(d);
-    for (size_t j = 0; j < d; ++j) {
-      BigUint acc = products[j];
-      for (size_t i = 1; i < n; ++i) {
-        acc = c1_->enc().Add(acc, products[i * d + j]);
-        c1_->ops().he_additions += 1;
-      }
-      record[j] = std::move(acc);
-    }
-    retrieved.push_back(std::move(record));
 
     // Exclusion: OR the chosen point's distance bits with the indicator
     // so it becomes the all-ones sentinel: bit' = bit + U - bit*U (SBOR),
     // one batched SM for all n*l bit products.
     if (iter + 1 < k) {
+      trace::TraceSpan span("baseline.exclude");
       std::vector<BigUint> us, bs;
       us.reserve(n * l);
       bs.reserve(n * l);
@@ -209,18 +233,25 @@ StatusOr<BaselineResult> ElmehdwiSknn::RunQuery(
   }
 
   // Client decrypts the k records.
-  for (const std::vector<BigUint>& record : retrieved) {
-    std::vector<uint64_t> point(dataset_.dims());
-    for (size_t j = 0; j < dataset_.dims(); ++j) {
-      SKNN_ASSIGN_OR_RETURN(BigUint v, client_dec_->Decrypt(record[j]));
-      if (!v.FitsU64()) return InternalError("decrypted coordinate overflow");
-      point[j] = v.ToU64();
+  {
+    trace::TraceSpan span("baseline.client_decrypt");
+    for (const std::vector<BigUint>& record : retrieved) {
+      std::vector<uint64_t> point(dataset_.dims());
+      for (size_t j = 0; j < dataset_.dims(); ++j) {
+        SKNN_ASSIGN_OR_RETURN(BigUint v, client_dec_->Decrypt(record[j]));
+        if (!v.FitsU64()) {
+          return InternalError("decrypted coordinate overflow");
+        }
+        point[j] = v.ToU64();
+      }
+      result.neighbours.push_back(std::move(point));
     }
-    result.neighbours.push_back(std::move(point));
   }
   result.k = k;
   result.c1_ops = c1_->ops();
   result.c2_ops = c2_->ops();
+  result.c1_ops.ExportTo(&MetricsRegistry::Global(), "baseline.c1");
+  result.c2_ops.ExportTo(&MetricsRegistry::Global(), "baseline.c2");
   result.rounds = c1_->rounds() - rounds_before;
   result.bytes = c1_->bytes_exchanged() - bytes_before;
   result.query_seconds = std::chrono::duration<double>(

@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/statusor.h"
+#include "common/trace.h"
 #include "core/metrics.h"
 #include "crypto/paillier.h"
 
@@ -102,10 +103,14 @@ class Subprotocols {
   size_t value_bits() const { return value_bits_; }
   Chacha20Rng& rng() { return rng_; }
 
-  // Accounting helpers (also used by the top-level protocol driver).
+  // Accounting helpers (also used by the top-level protocol driver). A
+  // transfer also attributes its bytes to the active trace span, so baseline
+  // phases get per-span bandwidth like the BGV protocol's channel does.
   void CountRound() { ++rounds_; }
   void CountTransfer(const BigUint& ciphertext) {
-    bytes_ += (ciphertext.BitLength() + 7) / 8;
+    const uint64_t b = (ciphertext.BitLength() + 7) / 8;
+    bytes_ += b;
+    trace::Tracer::Global().AddBytesSent(b);
   }
 
  private:

@@ -2,9 +2,19 @@
 
 #include "bgv/sampling.h"
 #include "common/logging.h"
+#include "common/metrics_registry.h"
 
 namespace sknn {
 namespace bgv {
+
+// Always-on primitive-op counters: one relaxed atomic add per call against
+// a cached registry handle (see common/metrics_registry.h taxonomy).
+#define SKNN_COUNT_EVALUATOR_OP(op)                                      \
+  do {                                                                   \
+    static MetricsRegistry::Counter* counter =                           \
+        MetricsRegistry::Global().GetCounter("bgv.evaluator." op);       \
+    counter->Increment();                                                \
+  } while (0)
 
 Evaluator::Evaluator(std::shared_ptr<const BgvContext> ctx)
     : ctx_(std::move(ctx)) {}
@@ -43,6 +53,7 @@ Status Evaluator::MatchScale(Ciphertext* a, const Ciphertext& b) const {
 }
 
 Status Evaluator::AddInplace(Ciphertext* a, const Ciphertext& b) const {
+  SKNN_COUNT_EVALUATOR_OP("add");
   SKNN_RETURN_IF_ERROR(CheckCt(*a));
   SKNN_RETURN_IF_ERROR(CheckCt(b));
   Ciphertext b_copy;
@@ -63,6 +74,7 @@ Status Evaluator::AddInplace(Ciphertext* a, const Ciphertext& b) const {
 }
 
 Status Evaluator::SubInplace(Ciphertext* a, const Ciphertext& b) const {
+  SKNN_COUNT_EVALUATOR_OP("sub");
   SKNN_RETURN_IF_ERROR(CheckCt(*a));
   SKNN_RETURN_IF_ERROR(CheckCt(b));
   Ciphertext b_copy;
@@ -87,6 +99,7 @@ void Evaluator::NegateInplace(Ciphertext* a) const {
 }
 
 Status Evaluator::AddPlainInplace(Ciphertext* a, const Plaintext& pt) const {
+  SKNN_COUNT_EVALUATOR_OP("add_plain");
   SKNN_RETURN_IF_ERROR(CheckCt(*a));
   if (pt.coeffs.size() != ctx_->n()) {
     return InvalidArgumentError("plaintext degree mismatch");
@@ -113,6 +126,7 @@ Status Evaluator::SubPlainInplace(Ciphertext* a, const Plaintext& pt) const {
 
 StatusOr<Ciphertext> Evaluator::Multiply(const Ciphertext& a,
                                          const Ciphertext& b) const {
+  SKNN_COUNT_EVALUATOR_OP("multiply");
   SKNN_RETURN_IF_ERROR(CheckCt(a));
   SKNN_RETURN_IF_ERROR(CheckCt(b));
   if (a.size() != 2 || b.size() != 2) {
@@ -215,6 +229,7 @@ void Evaluator::KeySwitchCore(size_t level, const RnsPoly& target,
 
 Status Evaluator::RelinearizeInplace(Ciphertext* a,
                                      const RelinKeys& rk) const {
+  SKNN_COUNT_EVALUATOR_OP("relinearize");
   if (a->size() != 3) {
     return InvalidArgumentError("Relinearize requires a size-3 ciphertext");
   }
@@ -242,6 +257,7 @@ StatusOr<Ciphertext> Evaluator::MultiplyRelin(const Ciphertext& a,
 
 Status Evaluator::MultiplyPlainInplace(Ciphertext* a,
                                        const Plaintext& pt) const {
+  SKNN_COUNT_EVALUATOR_OP("multiply_plain");
   SKNN_RETURN_IF_ERROR(CheckCt(*a));
   if (pt.coeffs.size() != ctx_->n()) {
     return InvalidArgumentError("plaintext degree mismatch");
@@ -259,6 +275,7 @@ Status Evaluator::MultiplyPlainInplace(Ciphertext* a,
 
 Status Evaluator::MultiplyScalarInplace(Ciphertext* a,
                                         uint64_t scalar_mod_t) const {
+  SKNN_COUNT_EVALUATOR_OP("multiply_scalar");
   SKNN_RETURN_IF_ERROR(CheckCt(*a));
   if (scalar_mod_t >= ctx_->t()) {
     return InvalidArgumentError("scalar exceeds plaintext modulus");
@@ -307,6 +324,7 @@ RnsPoly Evaluator::DropLastComponent(const RnsPoly& poly, size_t level) const {
 }
 
 Status Evaluator::ModSwitchToNextInplace(Ciphertext* a) const {
+  SKNN_COUNT_EVALUATOR_OP("mod_switch");
   SKNN_RETURN_IF_ERROR(CheckCt(*a));
   if (a->level == 0) {
     return FailedPreconditionError("already at the lowest level");
@@ -333,6 +351,7 @@ Status Evaluator::ModSwitchToLevelInplace(Ciphertext* a, size_t level) const {
 
 Status Evaluator::ApplyGaloisInplace(Ciphertext* a, uint64_t galois_elt,
                                      const GaloisKeys& gk) const {
+  SKNN_COUNT_EVALUATOR_OP("galois_automorphism");
   SKNN_RETURN_IF_ERROR(CheckCt(*a));
   if (a->size() != 2) {
     return InvalidArgumentError("ApplyGalois requires a size-2 ciphertext");

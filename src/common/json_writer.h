@@ -1,0 +1,97 @@
+#ifndef SKNN_COMMON_JSON_WRITER_H_
+#define SKNN_COMMON_JSON_WRITER_H_
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+// Minimal JSON emission helpers shared by the trace exporter and the bench
+// harnesses. Write-only (the repo never parses JSON), ordered, and
+// dependency-free; values are escaped per RFC 8259.
+
+namespace sknn {
+namespace json {
+
+inline std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Ordered JSON object builder: {"a": 1, "b": "x", ...}. Keys are emitted in
+// insertion order so diffs of generated files stay stable.
+class ObjectWriter {
+ public:
+  ObjectWriter& Int(const std::string& key, uint64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    return Raw(key, buf);
+  }
+  ObjectWriter& Num(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return Raw(key, buf);
+  }
+  ObjectWriter& Str(const std::string& key, const std::string& v) {
+    return Raw(key, "\"" + Escape(v) + "\"");
+  }
+  ObjectWriter& Bool(const std::string& key, bool v) {
+    return Raw(key, v ? "true" : "false");
+  }
+  // Inserts pre-rendered JSON (a nested object/array) verbatim.
+  ObjectWriter& Raw(const std::string& key, const std::string& rendered) {
+    if (!body_.empty()) body_ += ",";
+    body_ += "\"" + Escape(key) + "\":" + rendered;
+    return *this;
+  }
+
+  std::string Render() const { return "{" + body_ + "}"; }
+
+ private:
+  std::string body_;
+};
+
+inline std::string Array(const std::vector<std::string>& rendered_elems) {
+  std::string out = "[";
+  for (size_t i = 0; i < rendered_elems.size(); ++i) {
+    if (i != 0) out += ",";
+    out += rendered_elems[i];
+  }
+  out += "]";
+  return out;
+}
+
+// Writes `content` to `path`; returns false (and leaves errno set) on
+// failure. Used for BENCH_*.json and --trace outputs.
+inline bool WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = written == content.size() && std::fclose(f) == 0;
+  if (written != content.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace json
+}  // namespace sknn
+
+#endif  // SKNN_COMMON_JSON_WRITER_H_

@@ -1,0 +1,62 @@
+#include "common/metrics_registry.h"
+
+#include "common/json_writer.h"
+
+namespace sknn {
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Counter* MetricsRegistry::GetCounter(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+MetricsRegistry::Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+std::map<std::string, uint64_t> MetricsRegistry::CounterValues() const {
+  std::map<std::string, uint64_t> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) out[name] = counter->value();
+  return out;
+}
+
+std::map<std::string, double> MetricsRegistry::GaugeValues() const {
+  std::map<std::string, double> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, gauge] : gauges_) out[name] = gauge->value();
+  return out;
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.CounterValues()) {
+    if (value != 0) GetCounter(name)->Add(value);
+  }
+  for (const auto& [name, value] : other.GaugeValues()) {
+    GetGauge(name)->Set(value);
+  }
+}
+
+void MetricsRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Set(0);
+}
+
+std::string MetricsRegistry::CountersJson() const {
+  json::ObjectWriter out;
+  for (const auto& [name, value] : CounterValues()) out.Int(name, value);
+  return out.Render();
+}
+
+}  // namespace sknn

@@ -1,0 +1,88 @@
+#ifndef SKNN_COMMON_METRICS_REGISTRY_H_
+#define SKNN_COMMON_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+// Named counters and gauges for protocol and substrate instrumentation.
+//
+// A `Counter` is a monotonically increasing uint64 (homomorphic-op counts,
+// message counts); a `Gauge` is a last-write-wins double (noise budgets,
+// security bits). Handles returned by `GetCounter`/`GetGauge` are stable
+// for the registry's lifetime, so hot paths cache the pointer once (e.g.
+// in a function-local static) and pay one relaxed atomic add per event —
+// the BGV evaluator counts every primitive this way, always-on.
+//
+// Naming taxonomy (dot-separated, coarse-to-fine):
+//   bgv.evaluator.<op>    evaluator primitives (multiply, rotate, ...)
+//   core.<party>.<op>     protocol-level counts exported from OpCounts
+//   baseline.<...>        Paillier baseline equivalents
+// `core::OpCounts` (the per-party struct the paper's Table 1 is built
+// from) stays the protocol-facing aggregate; `OpCounts::ExportTo` maps it
+// into this registry under a caller-chosen prefix.
+
+namespace sknn {
+
+class MetricsRegistry {
+ public:
+  class Counter {
+   public:
+    void Add(uint64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+    void Increment() { Add(1); }
+    uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+    void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+   private:
+    std::atomic<uint64_t> v_{0};
+  };
+
+  class Gauge {
+   public:
+    void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+    double value() const { return v_.load(std::memory_order_relaxed); }
+
+   private:
+    std::atomic<double> v_{0};
+  };
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-wide registry used by library instrumentation.
+  static MetricsRegistry& Global();
+
+  // Returns the counter/gauge with this name, creating it at zero on first
+  // use. The pointer stays valid for the registry's lifetime.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+
+  // Point-in-time snapshots (name -> value), sorted by name.
+  std::map<std::string, uint64_t> CounterValues() const;
+  std::map<std::string, double> GaugeValues() const;
+
+  // Adds every counter of `other` into this registry and overwrites gauges
+  // with `other`'s values. Used to fold per-worker or per-run registries
+  // into an aggregate.
+  void MergeFrom(const MetricsRegistry& other);
+
+  // Zeroes all counters and gauges (names and handles survive).
+  void ResetValues();
+
+  // Counter snapshot rendered as a JSON object (for trace files and
+  // BENCH_*.json).
+  std::string CountersJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+};
+
+}  // namespace sknn
+
+#endif  // SKNN_COMMON_METRICS_REGISTRY_H_

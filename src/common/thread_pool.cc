@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "common/trace.h"
+
 namespace sknn {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -75,9 +77,14 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   state->end = end;
   state->total = end - begin;
   state->fn = &fn;
+  // Workers inherit the caller's trace-span path so spans opened inside fn
+  // nest under the phase that issued the ParallelFor (the caller's own
+  // iterations already run under it).
+  const std::string trace_path = trace::Tracer::CurrentPath();
   const size_t workers = threads_.size();
   for (size_t w = 0; w < workers; ++w) {
-    Schedule([state] {
+    Schedule([state, trace_path] {
+      trace::Tracer::ScopedPath scoped_path(trace_path);
       for (;;) {
         size_t i = state->next.fetch_add(1);
         if (i >= state->end) break;

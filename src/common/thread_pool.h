@@ -33,7 +33,9 @@ class ThreadPool {
   void Schedule(std::function<void()> fn);
 
   // Runs fn(i) for i in [begin, end), partitioned across the pool, and
-  // blocks until all iterations complete. fn must not throw.
+  // blocks until all iterations complete. fn must not throw. The calling
+  // thread's trace-span path (common/trace.h) is propagated into the
+  // workers, so TraceSpans opened inside fn nest under the caller's span.
   void ParallelFor(size_t begin, size_t end,
                    const std::function<void(size_t)>& fn);
 

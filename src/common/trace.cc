@@ -1,0 +1,197 @@
+#include "common/trace.h"
+
+#include "common/json_writer.h"
+#include "common/metrics_registry.h"
+
+namespace sknn {
+namespace trace {
+namespace {
+
+// Per-thread span state. `path` is the ancestry of the innermost open span;
+// `innermost` receives channel-byte attribution. tids are small sequential
+// ids (steadier across runs than pthread handles, and what the Chrome
+// trace viewer groups rows by).
+struct ThreadState {
+  std::string path;
+  TraceSpan* innermost = nullptr;
+  uint32_t tid;
+
+  ThreadState() {
+    static std::atomic<uint32_t> next{0};
+    tid = next.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+ThreadState& Tls() {
+  static thread_local ThreadState state;
+  return state;
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Enable() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.clear();
+    epoch_ = std::chrono::steady_clock::now();
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+}
+
+std::vector<SpanRecord> Tracer::Records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+uint64_t Tracer::NowNs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void Tracer::Record(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(std::move(record));
+}
+
+void Tracer::AddBytesSent(uint64_t n) {
+  if (!enabled()) return;
+  TraceSpan* span = Tls().innermost;
+  if (span != nullptr) span->bytes_sent_ += n;
+}
+
+void Tracer::AddBytesReceived(uint64_t n) {
+  if (!enabled()) return;
+  TraceSpan* span = Tls().innermost;
+  if (span != nullptr) span->bytes_received_ += n;
+}
+
+std::string Tracer::CurrentPath() {
+  return Tracer::Global().enabled() ? Tls().path : std::string();
+}
+
+Tracer::ScopedPath::ScopedPath(const std::string& path) {
+  if (!Tracer::Global().enabled()) return;
+  ThreadState& tls = Tls();
+  saved_ = tls.path;
+  tls.path = path;
+  active_ = true;
+}
+
+Tracer::ScopedPath::~ScopedPath() {
+  if (!active_) return;
+  Tls().path = std::move(saved_);
+}
+
+TraceSpan::TraceSpan(const char* name) {
+  Tracer& tracer = Tracer::Global();
+  if (!tracer.enabled()) return;
+  ThreadState& tls = Tls();
+  parent_path_len_ = tls.path.size();
+  if (!tls.path.empty()) tls.path += '/';
+  tls.path += name;
+  parent_ = tls.innermost;
+  tls.innermost = this;
+  start_ns_ = tracer.NowNs();
+  active_ = true;
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  Tracer& tracer = Tracer::Global();
+  ThreadState& tls = Tls();
+  SpanRecord record;
+  record.path = tls.path;
+  record.start_ns = start_ns_;
+  const uint64_t end_ns = tracer.NowNs();
+  record.dur_ns = end_ns > start_ns_ ? end_ns - start_ns_ : 0;
+  record.tid = tls.tid;
+  record.bytes_sent = bytes_sent_;
+  record.bytes_received = bytes_received_;
+  tls.path.resize(parent_path_len_);
+  tls.innermost = parent_;
+  // A span that outlives Disable() is dropped rather than recorded into a
+  // cleared buffer the next Enable() would misinterpret.
+  if (tracer.enabled()) tracer.Record(std::move(record));
+}
+
+std::map<std::string, PhaseStats> Summarize(
+    const std::vector<SpanRecord>& records) {
+  std::map<std::string, PhaseStats> summary;
+  for (const SpanRecord& r : records) {
+    PhaseStats& stats = summary[r.path];
+    stats.count += 1;
+    stats.total_ns += r.dur_ns;
+    stats.bytes_sent += r.bytes_sent;
+    stats.bytes_received += r.bytes_received;
+  }
+  return summary;
+}
+
+std::string PhaseSummaryJson(
+    const std::map<std::string, PhaseStats>& summary) {
+  json::ObjectWriter out;
+  for (const auto& [path, stats] : summary) {
+    json::ObjectWriter row;
+    row.Int("count", stats.count)
+        .Num("seconds", stats.seconds())
+        .Int("bytes_sent", stats.bytes_sent)
+        .Int("bytes_received", stats.bytes_received);
+    out.Raw(path, row.Render());
+  }
+  return out.Render();
+}
+
+Status WriteChromeTrace(const std::vector<SpanRecord>& records,
+                        const std::string& path) {
+  std::vector<std::string> events;
+  events.reserve(records.size());
+  for (const SpanRecord& r : records) {
+    const size_t slash = r.path.rfind('/');
+    const std::string leaf =
+        slash == std::string::npos ? r.path : r.path.substr(slash + 1);
+    json::ObjectWriter args;
+    args.Str("path", r.path);
+    if (r.bytes_sent != 0) args.Int("bytes_sent", r.bytes_sent);
+    if (r.bytes_received != 0) args.Int("bytes_received", r.bytes_received);
+    json::ObjectWriter ev;
+    ev.Str("name", leaf)
+        .Str("cat", "sknn")
+        .Str("ph", "X")
+        .Num("ts", static_cast<double>(r.start_ns) * 1e-3)  // microseconds
+        .Num("dur", static_cast<double>(r.dur_ns) * 1e-3)
+        .Int("pid", 1)
+        .Int("tid", r.tid)
+        .Raw("args", args.Render());
+    events.push_back(ev.Render());
+  }
+  json::ObjectWriter doc;
+  doc.Raw("traceEvents", json::Array(events))
+      .Raw("phaseSummary", PhaseSummaryJson(Summarize(records)))
+      .Raw("counters",
+           MetricsRegistry::Global().CountersJson());
+  if (!json::WriteFile(path, doc.Render())) {
+    return InternalError("cannot write trace file: " + path);
+  }
+  return Status::Ok();
+}
+
+Status WriteGlobalTrace(const std::string& path) {
+  return WriteChromeTrace(Tracer::Global().Records(), path);
+}
+
+}  // namespace trace
+}  // namespace sknn

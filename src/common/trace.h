@@ -1,0 +1,165 @@
+#ifndef SKNN_COMMON_TRACE_H_
+#define SKNN_COMMON_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+// Hierarchical phase tracing for the secure k-NN protocol.
+//
+// A `TraceSpan` is an RAII scope that measures one protocol phase (e.g.
+// Party A's distance computation, the A->B transfer). Spans nest: a span
+// opened while another is active becomes its child, and the full ancestry
+// is recorded as a '/'-separated path ("query/party_a.distance/unit").
+// `net::Channel` attributes the serialized size of every message it carries
+// to the span active at Send/Receive time, so per-phase bandwidth falls out
+// of the same tree as per-phase time.
+//
+// Collection is process-global (`Tracer::Global()`) and disabled by
+// default: a disabled tracer makes span construction a single relaxed
+// atomic load, so instrumentation can stay in the hot path. Completed spans
+// accumulate thread-safely — `ThreadPool::ParallelFor` propagates the
+// caller's span path into its workers (see `Tracer::ScopedPath`), so
+// per-unit spans created on worker threads still land under the right
+// parent.
+//
+// Exporters: `WriteChromeTrace` produces a Chrome `trace_event` JSON file
+// (open in chrome://tracing or https://ui.perfetto.dev), with a flat
+// per-phase summary and a counter snapshot embedded alongside the events;
+// `Summarize`/`PhaseSummaryJson` give the same flat summary for embedding
+// into the bench harnesses' BENCH_*.json outputs.
+
+namespace sknn {
+namespace trace {
+
+// One completed span.
+struct SpanRecord {
+  std::string path;  // full ancestry, '/'-separated
+  uint64_t start_ns = 0;  // relative to the tracer's Enable() epoch
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;  // small stable per-thread id (0 = first seen)
+  // Channel bytes attributed to this span (innermost active span wins; a
+  // parent does NOT inherit its children's bytes — aggregate by path
+  // prefix if you need inclusive numbers).
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+};
+
+class TraceSpan;
+
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  // Starts collecting: clears prior records and resets the time epoch.
+  void Enable();
+  // Stops collecting. Spans already open keep their state and are dropped
+  // on close; spans opened while disabled are free no-ops.
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Drops collected records (keeps the enabled state and epoch). Benches
+  // call this between sweep points.
+  void Reset();
+
+  // Snapshot of all completed spans, in completion order.
+  std::vector<SpanRecord> Records() const;
+
+  // Attributes bytes to the innermost span active on the calling thread.
+  // No-op when disabled or outside any span. Called by net::Channel for
+  // every message, and manually for the client legs that do not cross a
+  // Channel.
+  void AddBytesSent(uint64_t n);
+  void AddBytesReceived(uint64_t n);
+
+  // The calling thread's current span path ("" outside any span). Captured
+  // by ThreadPool::ParallelFor and re-established in workers via
+  // ScopedPath so spans created inside worker lambdas nest correctly.
+  static std::string CurrentPath();
+
+  // Re-establishes a captured span path on this thread for the scope's
+  // lifetime (workers only carry the *path*, not byte attribution — bytes
+  // sent from a worker thread outside any local span are dropped).
+  class ScopedPath {
+   public:
+    explicit ScopedPath(const std::string& path);
+    ~ScopedPath();
+    ScopedPath(const ScopedPath&) = delete;
+    ScopedPath& operator=(const ScopedPath&) = delete;
+
+   private:
+    std::string saved_;
+    bool active_ = false;
+  };
+
+ private:
+  friend class TraceSpan;
+
+  Tracer() = default;
+  uint64_t NowNs() const;
+  void Record(SpanRecord record);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> records_;
+  std::chrono::steady_clock::time_point epoch_{};
+};
+
+// RAII span. Construct to open, destroy to close-and-record. Cheap no-op
+// when the global tracer is disabled.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  friend class Tracer;
+
+  bool active_ = false;
+  uint64_t start_ns_ = 0;
+  size_t parent_path_len_ = 0;
+  TraceSpan* parent_ = nullptr;
+  uint64_t bytes_sent_ = 0;
+  uint64_t bytes_received_ = 0;
+};
+
+// Flat per-path aggregation of a record set.
+struct PhaseStats {
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+
+  double seconds() const { return static_cast<double>(total_ns) * 1e-9; }
+};
+
+std::map<std::string, PhaseStats> Summarize(
+    const std::vector<SpanRecord>& records);
+
+// Renders a summary as a JSON object keyed by span path:
+//   {"query/party_a.distance": {"count":1,"seconds":0.12,"bytes_sent":0,...}}
+std::string PhaseSummaryJson(const std::map<std::string, PhaseStats>& summary);
+
+// Writes a Chrome trace_event file:
+//   { "traceEvents": [...complete events...],
+//     "phaseSummary": {...PhaseSummaryJson...},
+//     "counters": {...MetricsRegistry::Global() snapshot...} }
+// chrome://tracing ignores the extra keys; tooling can read them directly.
+Status WriteChromeTrace(const std::vector<SpanRecord>& records,
+                        const std::string& path);
+
+// Convenience: WriteChromeTrace(Tracer::Global().Records(), path).
+Status WriteGlobalTrace(const std::string& path);
+
+}  // namespace trace
+}  // namespace sknn
+
+#endif  // SKNN_COMMON_TRACE_H_

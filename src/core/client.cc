@@ -1,5 +1,7 @@
 #include "core/client.h"
 
+#include "common/trace.h"
+
 namespace sknn {
 namespace core {
 
@@ -19,6 +21,7 @@ StatusOr<bgv::Ciphertext> Client::EncryptQuery(
   if (query.size() != layout_.dims()) {
     return InvalidArgumentError("query dimensionality mismatch");
   }
+  trace::TraceSpan span("client.encrypt");
   const uint64_t bound = uint64_t{1} << config_.coord_bits;
   for (uint64_t v : query) {
     if (v >= bound) {
@@ -34,6 +37,7 @@ StatusOr<bgv::Ciphertext> Client::EncryptQuery(
 
 StatusOr<std::vector<uint64_t>> Client::DecryptNeighbour(
     const bgv::Ciphertext& ct) {
+  trace::TraceSpan span("client.decrypt");
   SKNN_ASSIGN_OR_RETURN(bgv::Plaintext pt, decryptor_.Decrypt(ct));
   ops_.decryptions += 1;
   return layout_.ExtractPoint(encoder_.Decode(pt), ctx_->t());

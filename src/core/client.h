@@ -15,8 +15,10 @@
 #include "core/metrics.h"
 #include "core/protocol_config.h"
 
-// The authorized client: encrypts queries and decrypts the k returned
-// neighbour points (it holds both keys, like Party B).
+// The authorized client: encrypts queries (protocol message 1) and
+// decrypts the k returned neighbour points (message 4). It holds both
+// keys, like Party B, and performs O(1) encryptions + O(k) decryptions
+// per query — all heavy lifting stays in the clouds.
 
 namespace sknn {
 namespace core {
@@ -27,10 +29,15 @@ class Client {
          SlotLayout layout, bgv::PublicKey pk, bgv::SecretKey sk,
          uint64_t rng_seed);
 
-  // Encrypts a query point (coordinates must fit coord_bits).
+  // Encrypts a query point (dimensions must match the config; every
+  // coordinate must fit coord_bits — violating the bound would overflow
+  // the masking budget and break exactness). One public-key encryption in
+  // the layout's replicated slot pattern; span `query/client.encrypt`.
   StatusOr<bgv::Ciphertext> EncryptQuery(const std::vector<uint64_t>& query);
 
-  // Decrypts one returned neighbour ciphertext into its coordinates.
+  // Decrypts one returned neighbour ciphertext into its coordinates by
+  // summing the decoded blocks (non-selected blocks decrypt to exact
+  // zeros). One decryption per neighbour; span `query/client.decrypt`.
   StatusOr<std::vector<uint64_t>> DecryptNeighbour(const bgv::Ciphertext& ct);
 
   const OpCounts& ops() const { return ops_; }

@@ -5,9 +5,13 @@
 #include <sstream>
 #include <string>
 
+#include "common/metrics_registry.h"
+
 // Operation counters and phase timings shared by the new protocol and the
 // baseline. These regenerate the computational-overhead columns of the
-// paper's Table 1 from actual executions.
+// paper's Table 1 from actual executions. OpCounts remains the per-party
+// aggregate carried in QueryResult; ExportTo maps it into the named
+// MetricsRegistry taxonomy (core.<party>.<op>) for trace/JSON output.
 
 namespace sknn {
 namespace core {
@@ -37,6 +41,22 @@ struct OpCounts {
     encryptions += o.encryptions;
     decryptions += o.decryptions;
     return *this;
+  }
+
+  // Adds these counts into `registry` under `prefix` (e.g. prefix
+  // "core.party_a" yields counters "core.party_a.he_multiplications", ...).
+  void ExportTo(MetricsRegistry* registry, const std::string& prefix) const {
+    auto add = [&](const char* name, uint64_t v) {
+      if (v != 0) registry->GetCounter(prefix + "." + name)->Add(v);
+    };
+    add("he_multiplications", he_multiplications);
+    add("he_plain_ops", he_plain_ops);
+    add("he_additions", he_additions);
+    add("rotations", rotations);
+    add("relinearizations", relinearizations);
+    add("mod_switches", mod_switches);
+    add("encryptions", encryptions);
+    add("decryptions", decryptions);
   }
 
   std::string DebugString() const {

@@ -2,6 +2,7 @@
 
 #include <mutex>
 
+#include "common/trace.h"
 #include "data/dataset.h"
 
 namespace sknn {
@@ -43,102 +44,113 @@ Status PartyA::LoadEncryptedDatabase(std::vector<bgv::Ciphertext> units) {
 StatusOr<bgv::Ciphertext> PartyA::DistanceForUnit(
     size_t unit, const bgv::Ciphertext& query_ct,
     const MaskingPolynomial& mask, Chacha20Rng* unit_rng, OpCounts* ops) {
+  trace::TraceSpan unit_span("unit");
   const uint64_t t = ctx_->t();
-  // diff = p' - Q' (slot-wise).
-  bgv::Ciphertext diff = db_top_[unit];
-  SKNN_RETURN_IF_ERROR(evaluator_.SubInplace(&diff, query_ct));
-  ops->he_additions += 1;
-  // sq = diff^2, one level consumed.
-  SKNN_ASSIGN_OR_RETURN(bgv::Ciphertext x,
-                        evaluator_.MultiplyRelin(diff, diff, relin_));
-  ops->he_multiplications += 1;
-  ops->relinearizations += 1;
-  ops->mod_switches += 1;
-  // Fold the padded_dims-wide blocks so each block's first slot holds the
-  // squared distance.
-  if (layout_.padded_dims() > 1) {
-    SKNN_RETURN_IF_ERROR(
-        evaluator_.FoldRowsInplace(&x, layout_.padded_dims(), galois_));
-    size_t steps = 0;
-    for (size_t s = 1; s < layout_.padded_dims(); s <<= 1) ++steps;
-    ops->rotations += steps;
-    ops->he_additions += steps;
-  }
-  // Packed mode: zero out fold garbage and padding payloads immediately
-  // (while the noise budget is widest). Zeroed slots pass through the
-  // masking polynomial as the constant m(0) = a_0 and are re-masked below.
-  if (layout_.mode() == Layout::kPacked) {
-    SKNN_ASSIGN_OR_RETURN(bgv::Plaintext selector,
-                          encoder_.Encode(layout_.SelectorSlots(unit)));
-    SKNN_RETURN_IF_ERROR(evaluator_.MultiplyPlainInplace(&x, selector));
-    ops->he_plain_ops += 1;
-    // A plaintext product costs as much noise as a ciphertext product;
-    // spend a level on it.
-    SKNN_RETURN_IF_ERROR(evaluator_.ModSwitchToNextInplace(&x));
-    ops->mod_switches += 1;
-  }
-  // Horner evaluation of the masking polynomial:
-  //   u = a_D x + a_{D-1}; u = u*x + a_{D-2}; ...; + a_0.
-  const std::vector<uint64_t>& a = mask.coefficients();
-  const size_t d = mask.degree();
-  bgv::Ciphertext u = x;
-  SKNN_RETURN_IF_ERROR(evaluator_.MultiplyScalarInplace(&u, a[d]));
-  ops->he_plain_ops += 1;
-  SKNN_RETURN_IF_ERROR(
-      evaluator_.AddPlainInplace(&u, encoder_.EncodeScalar(a[d - 1])));
-  ops->he_plain_ops += 1;
-  for (size_t j = d - 1; j-- > 0;) {
-    SKNN_ASSIGN_OR_RETURN(u, evaluator_.MultiplyRelin(u, x, relin_));
+  bgv::Ciphertext x;
+  {
+    trace::TraceSpan span("square_fold");
+    // diff = p' - Q' (slot-wise).
+    bgv::Ciphertext diff = db_top_[unit];
+    SKNN_RETURN_IF_ERROR(evaluator_.SubInplace(&diff, query_ct));
+    ops->he_additions += 1;
+    // sq = diff^2, one level consumed.
+    SKNN_ASSIGN_OR_RETURN(x, evaluator_.MultiplyRelin(diff, diff, relin_));
     ops->he_multiplications += 1;
     ops->relinearizations += 1;
     ops->mod_switches += 1;
+    // Fold the padded_dims-wide blocks so each block's first slot holds the
+    // squared distance.
+    if (layout_.padded_dims() > 1) {
+      SKNN_RETURN_IF_ERROR(
+          evaluator_.FoldRowsInplace(&x, layout_.padded_dims(), galois_));
+      size_t steps = 0;
+      for (size_t s = 1; s < layout_.padded_dims(); s <<= 1) ++steps;
+      ops->rotations += steps;
+      ops->he_additions += steps;
+    }
+    // Packed mode: zero out fold garbage and padding payloads immediately
+    // (while the noise budget is widest). Zeroed slots pass through the
+    // masking polynomial as the constant m(0) = a_0 and are re-masked below.
+    if (layout_.mode() == Layout::kPacked) {
+      SKNN_ASSIGN_OR_RETURN(bgv::Plaintext selector,
+                            encoder_.Encode(layout_.SelectorSlots(unit)));
+      SKNN_RETURN_IF_ERROR(evaluator_.MultiplyPlainInplace(&x, selector));
+      ops->he_plain_ops += 1;
+      // A plaintext product costs as much noise as a ciphertext product;
+      // spend a level on it.
+      SKNN_RETURN_IF_ERROR(evaluator_.ModSwitchToNextInplace(&x));
+      ops->mod_switches += 1;
+    }
+  }
+  bgv::Ciphertext u;
+  {
+    trace::TraceSpan span("mask");
+    // Horner evaluation of the masking polynomial:
+    //   u = a_D x + a_{D-1}; u = u*x + a_{D-2}; ...; + a_0.
+    const std::vector<uint64_t>& a = mask.coefficients();
+    const size_t d = mask.degree();
+    u = x;
+    SKNN_RETURN_IF_ERROR(evaluator_.MultiplyScalarInplace(&u, a[d]));
+    ops->he_plain_ops += 1;
     SKNN_RETURN_IF_ERROR(
-        evaluator_.AddPlainInplace(&u, encoder_.EncodeScalar(a[j])));
+        evaluator_.AddPlainInplace(&u, encoder_.EncodeScalar(a[d - 1])));
+    ops->he_plain_ops += 1;
+    for (size_t j = d - 1; j-- > 0;) {
+      SKNN_ASSIGN_OR_RETURN(u, evaluator_.MultiplyRelin(u, x, relin_));
+      ops->he_multiplications += 1;
+      ops->relinearizations += 1;
+      ops->mod_switches += 1;
+      SKNN_RETURN_IF_ERROR(
+          evaluator_.AddPlainInplace(&u, encoder_.EncodeScalar(a[j])));
+      ops->he_plain_ops += 1;
+    }
+    // Masking and rotations happen at level 1: level 0 is reserved for
+    // transport because its single-prime noise budget cannot absorb a key
+    // switch.
+    if (u.level > 1) {
+      const size_t before = u.level;
+      SKNN_RETURN_IF_ERROR(evaluator_.ModSwitchToLevelInplace(&u, 1));
+      ops->mod_switches += before - 1;
+    }
+    // Additive mask: uniform randomness on every non-payload slot (hides the
+    // fold partial sums / the zeroed garbage pattern), the exact t-1
+    // sentinel on padding payloads (their current value is m(0) = a_0, which
+    // Party A knows), zero on real payloads.
+    std::vector<uint64_t> mask_slots(ctx_->n(), 0);
+    const std::vector<bool> random_pos = layout_.RandomMaskPositions(unit);
+    for (size_t s = 0; s < mask_slots.size(); ++s) {
+      if (random_pos[s]) mask_slots[s] = unit_rng->UniformBelow(t);
+    }
+    const uint64_t pad_sentinel = SubMod(t - 1, a[0] % t, t);
+    for (size_t s : layout_.PaddingPayloadSlots(unit)) {
+      mask_slots[s] = pad_sentinel;
+    }
+    SKNN_ASSIGN_OR_RETURN(bgv::Plaintext mask_pt, encoder_.Encode(mask_slots));
+    SKNN_RETURN_IF_ERROR(evaluator_.AddPlainInplace(&u, mask_pt));
     ops->he_plain_ops += 1;
   }
-  // Masking and rotations happen at level 1: level 0 is reserved for
-  // transport because its single-prime noise budget cannot absorb a key
-  // switch.
-  if (u.level > 1) {
-    const size_t before = u.level;
-    SKNN_RETURN_IF_ERROR(evaluator_.ModSwitchToLevelInplace(&u, 1));
-    ops->mod_switches += before - 1;
-  }
-  // Additive mask: uniform randomness on every non-payload slot (hides the
-  // fold partial sums / the zeroed garbage pattern), the exact t-1
-  // sentinel on padding payloads (their current value is m(0) = a_0, which
-  // Party A knows), zero on real payloads.
-  std::vector<uint64_t> mask_slots(ctx_->n(), 0);
-  const std::vector<bool> random_pos = layout_.RandomMaskPositions(unit);
-  for (size_t s = 0; s < mask_slots.size(); ++s) {
-    if (random_pos[s]) mask_slots[s] = unit_rng->UniformBelow(t);
-  }
-  const uint64_t pad_sentinel = SubMod(t - 1, a[0] % t, t);
-  for (size_t s : layout_.PaddingPayloadSlots(unit)) {
-    mask_slots[s] = pad_sentinel;
-  }
-  SKNN_ASSIGN_OR_RETURN(bgv::Plaintext mask_pt, encoder_.Encode(mask_slots));
-  SKNN_RETURN_IF_ERROR(evaluator_.AddPlainInplace(&u, mask_pt));
-  ops->he_plain_ops += 1;
-  // Packed mode: random block rotation + column swap (the intra-unit part
-  // of the permutation).
-  if (layout_.mode() == Layout::kPacked) {
-    const size_t rot = rotations_[unit];
-    if (rot != 0) {
-      SKNN_RETURN_IF_ERROR(evaluator_.RotateRowsInplace(
-          &u, static_cast<int>(rot * layout_.padded_dims()), galois_));
-      ops->rotations += 1;
+  {
+    trace::TraceSpan span("permute");
+    // Packed mode: random block rotation + column swap (the intra-unit part
+    // of the permutation).
+    if (layout_.mode() == Layout::kPacked) {
+      const size_t rot = rotations_[unit];
+      if (rot != 0) {
+        SKNN_RETURN_IF_ERROR(evaluator_.RotateRowsInplace(
+            &u, static_cast<int>(rot * layout_.padded_dims()), galois_));
+        ops->rotations += 1;
+      }
+      if (col_swapped_[unit]) {
+        SKNN_RETURN_IF_ERROR(evaluator_.RotateColumnsInplace(&u, galois_));
+        ops->rotations += 1;
+      }
     }
-    if (col_swapped_[unit]) {
-      SKNN_RETURN_IF_ERROR(evaluator_.RotateColumnsInplace(&u, galois_));
-      ops->rotations += 1;
+    // Transport level: the smallest ciphertext Party B can decrypt.
+    if (u.level > 0) {
+      const size_t before = u.level;
+      SKNN_RETURN_IF_ERROR(evaluator_.ModSwitchToLevelInplace(&u, 0));
+      ops->mod_switches += before;
     }
-  }
-  // Transport level: the smallest ciphertext Party B can decrypt.
-  if (u.level > 0) {
-    const size_t before = u.level;
-    SKNN_RETURN_IF_ERROR(evaluator_.ModSwitchToLevelInplace(&u, 0));
-    ops->mod_switches += before;
   }
   return u;
 }
@@ -148,6 +160,7 @@ StatusOr<std::vector<bgv::Ciphertext>> PartyA::ComputeDistances(
   if (db_top_.empty()) {
     return FailedPreconditionError("no encrypted database loaded");
   }
+  trace::TraceSpan phase_span("party_a.distance");
   const uint64_t t = ctx_->t();
   const uint64_t max_dist = data::MaxSquaredDistance(
       layout_.dims(), (uint64_t{1} << config_.coord_bits) - 1);
@@ -191,6 +204,7 @@ StatusOr<std::vector<bgv::Ciphertext>> PartyA::ComputeDistances(
 
   // Apply the unit permutation: output position p carries original unit
   // perm_[p].
+  trace::TraceSpan perm_span("party_a.permute");
   std::vector<bgv::Ciphertext> out(units);
   for (size_t p = 0; p < units; ++p) {
     out[p] = std::move(transformed[perm_[p]]);
@@ -213,6 +227,7 @@ Status PartyA::AbsorbIndicator(size_t j, size_t transformed_unit_pos,
   if (transformed_unit_pos >= perm_.size()) {
     return InvalidArgumentError("unit position out of range");
   }
+  trace::TraceSpan span("party_a.absorb");
   const size_t unit = perm_[transformed_unit_pos];
   bgv::Ciphertext ind = indicator;
   // Undo the unit's intra-ciphertext transform so the indicator aligns
@@ -248,6 +263,7 @@ StatusOr<bgv::Ciphertext> PartyA::FinalizeResult(size_t j) {
   if (j >= acc_.size() || !acc_started_[j]) {
     return FailedPreconditionError("no indicators absorbed for this result");
   }
+  trace::TraceSpan span("party_a.retrieve");
   bgv::Ciphertext result = std::move(acc_[j]);
   acc_started_[j] = false;
   SKNN_RETURN_IF_ERROR(evaluator_.RelinearizeInplace(&result, relin_));

@@ -19,6 +19,19 @@
 // Party A: the storage-and-compute cloud. Holds the encrypted database and
 // the evaluation keys; never sees the secret key. Implements Algorithm 1
 // (Compute Distances) and Algorithm 3 (Return kNN) of the paper.
+//
+// Security invariants this class maintains (Theorem 4.1 relies on them):
+//  * Everything A touches stays encrypted — no method takes or returns a
+//    plaintext derived from the database or the query.
+//  * The masking polynomial m and the permutation/rotation transform are
+//    redrawn from the CSPRNG on EVERY ComputeDistances call. Reusing either
+//    across queries would let Party B link masked distances between
+//    queries; freshness is a hard precondition, not an optimisation.
+//
+// Cost model (n = database points, u = ciphertext units — n in kPerPoint,
+// ~n·d'/slots in kPacked — d = dimensions, D = mask degree, k = results):
+// distance phase O(u·(log d' + D)) ciphertext multiplies/rotations; return
+// phase O(u·k) plaintext multiplies + O(k) relinearizations.
 
 namespace sknn {
 namespace core {
@@ -34,18 +47,28 @@ class PartyA {
   Status LoadEncryptedDatabase(std::vector<bgv::Ciphertext> units);
 
   // Phase 1 (Algorithm 1): homomorphically computes masked, permuted
-  // distances for the encrypted query. A fresh masking polynomial and a
-  // fresh permutation/rotation transform are drawn per query.
+  // distances for the encrypted query (protocol message 2 payload). A
+  // fresh masking polynomial and a fresh permutation/rotation transform
+  // are drawn per query — see the class comment; callers must not replay
+  // the outputs of one call alongside another's. The returned ciphertexts
+  // are at the transport level (level 0) in transformed order. Runs the
+  // per-unit pipeline on the internal thread pool; emits
+  // `query/party_a.distance` trace spans. O(u·(log d' + D)) HE ops.
   StatusOr<std::vector<bgv::Ciphertext>> ComputeDistances(
       const bgv::Ciphertext& query_ct);
 
   // Phase 2 (Algorithm 3): absorbs Party B's indicator ciphertexts one at
   // a time (streaming keeps memory at O(1) ciphertexts), accumulating the
-  // oblivious dot products T^j.
+  // oblivious dot products T^j. Indicator positions refer to the
+  // TRANSFORMED order of the ComputeDistances call still in effect;
+  // interleaving a new query between phases desynchronises Π and yields
+  // garbage (but leaks nothing). One plaintext multiply (+ inverse
+  // rotation in kPacked) per indicator: O(u·k) total.
   Status BeginReturnPhase(size_t k);
   Status AbsorbIndicator(size_t j, size_t transformed_unit_pos,
                          const bgv::Ciphertext& indicator);
-  // Relinearizes + switches T^j to the transport level.
+  // Relinearizes + switches T^j to the transport level (message 4
+  // payload). One relinearization + mod-switch chain per result.
   StatusOr<bgv::Ciphertext> FinalizeResult(size_t j);
 
   const OpCounts& ops() const { return ops_; }

@@ -1,5 +1,6 @@
 #include "core/party_b.h"
 
+#include "common/trace.h"
 #include "knn/knn.h"
 
 namespace sknn {
@@ -22,6 +23,7 @@ StatusOr<size_t> PartyB::FindNeighbours(
   if (units.size() != layout_.num_units()) {
     return InvalidArgumentError("unexpected distance unit count");
   }
+  trace::TraceSpan span("party_b.decrypt_select");
   const size_t ppu = layout_.payloads_per_unit();
   observed_.assign(units.size() * ppu, 0);
   for (size_t pos = 0; pos < units.size(); ++pos) {
@@ -62,6 +64,7 @@ StatusOr<bgv::Plaintext> PartyB::BuildIndicatorPlaintext(
 
 StatusOr<bgv::Ciphertext> PartyB::EmitIndicator(size_t j,
                                                 size_t unit_pos) const {
+  trace::TraceSpan span("party_b.indicator");
   SKNN_ASSIGN_OR_RETURN(bgv::Plaintext pt, BuildIndicatorPlaintext(j, unit_pos));
   SKNN_ASSIGN_OR_RETURN(
       bgv::Ciphertext ct,
@@ -72,6 +75,7 @@ StatusOr<bgv::Ciphertext> PartyB::EmitIndicator(size_t j,
 
 StatusOr<bgv::SeededCiphertext> PartyB::EmitIndicatorCompressed(
     size_t j, size_t unit_pos) const {
+  trace::TraceSpan span("party_b.indicator");
   SKNN_ASSIGN_OR_RETURN(bgv::Plaintext pt, BuildIndicatorPlaintext(j, unit_pos));
   SKNN_ASSIGN_OR_RETURN(
       bgv::SeededCiphertext ct,

@@ -21,7 +21,13 @@
 // selects the k smallest (Algorithm 2), and answers with indicator
 // ciphertexts. It never sees the database, the query or the true distances
 // — only images under Party A's secret monotone polynomial in permuted
-// order.
+// order (Theorem 4.2: the view reveals the equidistance pattern and
+// nothing else, provided A refreshed m and Π for this query).
+//
+// Cost model (n = points, u = units, l = payloads per unit, k = results):
+// FindNeighbours is O(u) decryptions + O(n log k) heap scan; the
+// indicator reply is O(u·k) fresh encryptions (the dominant B→A traffic —
+// see EmitIndicatorCompressed).
 
 namespace sknn {
 namespace core {
@@ -33,16 +39,24 @@ class PartyB {
          uint64_t rng_seed);
 
   // Algorithm 2: decrypts the distance units, selects the k smallest
-  // masked values. Returns the effective k (clamped to the point count).
+  // masked values (monotone masking preserves the order, so the selection
+  // is exact). Returns the effective k (clamped to the point count).
+  // Selection state persists until the next call; EmitIndicator* answers
+  // are meaningless unless they follow the FindNeighbours of the same
+  // query. O(u) decryptions + O(n log k) scan; span
+  // `query/party_b.decrypt_select`.
   StatusOr<size_t> FindNeighbours(const std::vector<bgv::Ciphertext>& units,
                                   size_t k);
 
   // Indicator ciphertext for result j and transformed unit position
   // `unit_pos`: encrypts the 0/1 block selector (all zeros when result j
-  // does not live in that unit).
+  // does not live in that unit). Every (j, unit_pos) pair gets a FRESH
+  // encryption — even the all-zero ones — so A cannot distinguish hits
+  // from misses by ciphertext equality. One encryption per call.
   StatusOr<bgv::Ciphertext> EmitIndicator(size_t j, size_t unit_pos) const;
   // Seed-compressed variant (half the bytes; B encrypts under its secret
-  // key with a PRF-expanded c1).
+  // key with a PRF-expanded c1). Same freshness guarantee: a new seed per
+  // indicator.
   StatusOr<bgv::SeededCiphertext> EmitIndicatorCompressed(
       size_t j, size_t unit_pos) const;
 

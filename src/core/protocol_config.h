@@ -11,6 +11,12 @@
 // Public configuration of the secure k-NN protocol. Everything here is
 // known to all parties (including the adversary); secrets are only the
 // keys, the data, the query, the masking polynomial and the permutation.
+//
+// Cost knobs at a glance: query time is linear in n (points), d (dims),
+// k, and poly_degree; communication is linear in n and k. coord_bits
+// enters the masking coefficient budget — raising it shrinks the room
+// for mask randomness at fixed plain_bits, so plain_bits may need to
+// grow with it (MaskingPolynomial::Sample enforces the budget).
 
 namespace sknn {
 namespace core {
@@ -30,11 +36,19 @@ enum class Layout {
 const char* LayoutName(Layout layout);
 
 struct ProtocolConfig {
-  // Number of neighbours to return.
+  // Number of neighbours to return. Drives the O(n·k) indicator round:
+  // both B's encryption count and the dominant B->A byte volume.
   size_t k = 5;
-  // Degree of the order-preserving masking polynomial m(x).
+  // Degree D of the order-preserving masking polynomial m(x). Higher D
+  // hardens B's distance-guessing problem (paper §4.2) at the cost of
+  // D-1 extra ciphertext multiplies per unit and a steeper coefficient
+  // budget. D=1 is accepted for ablation only — an affine mask preserves
+  // order but leaks distance ratios to B.
   size_t poly_degree = 2;
   // Bound: every coordinate of data and query lies in [0, 2^coord_bits).
+  // This is a protocol precondition, not a hint — out-of-range inputs are
+  // rejected at encryption time because they would overflow the masking
+  // budget and break order preservation.
   int coord_bits = 4;
   // Data dimensionality.
   size_t dims = 2;

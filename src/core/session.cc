@@ -4,6 +4,8 @@
 
 #include "bgv/serialization.h"
 #include "bgv/symmetric.h"
+#include "common/metrics_registry.h"
+#include "common/trace.h"
 
 namespace sknn {
 namespace core {
@@ -32,6 +34,7 @@ StatusOr<bgv::Ciphertext> CtFromBytes(std::vector<uint8_t> bytes) {
 StatusOr<std::unique_ptr<SecureKnnSession>> SecureKnnSession::Create(
     const ProtocolConfig& config, const data::Dataset& dataset,
     uint64_t seed) {
+  trace::TraceSpan setup_span("setup");
   const auto start = std::chrono::steady_clock::now();
   auto session = std::unique_ptr<SecureKnnSession>(new SecureKnnSession());
   session->config_ = config;
@@ -50,10 +53,15 @@ StatusOr<std::unique_ptr<SecureKnnSession>> SecureKnnSession::Create(
     bgv::WriteGaloisKeys(owner->galois(), &key_sink);
     session->setup_report_.evaluation_key_bytes = key_sink.size();
   }
-  SKNN_ASSIGN_OR_RETURN(std::vector<bgv::Ciphertext> units,
-                        owner->EncryptDatabase());
-  for (const bgv::Ciphertext& u : units) {
-    session->setup_report_.encrypted_db_bytes += CtToBytes(u).size();
+  std::vector<bgv::Ciphertext> units;
+  {
+    trace::TraceSpan span("owner.encrypt_db");
+    SKNN_ASSIGN_OR_RETURN(units, owner->EncryptDatabase());
+    for (const bgv::Ciphertext& u : units) {
+      const size_t bytes = CtToBytes(u).size();
+      session->setup_report_.encrypted_db_bytes += bytes;
+      trace::Tracer::Global().AddBytesSent(bytes);
+    }
   }
 
   Chacha20Rng seeder(seed ^ 0x5eC0DEull);
@@ -85,6 +93,7 @@ StatusOr<QueryResult> SecureKnnSession::RunQuery(
   party_b_->ResetOps();
   client_->ResetOps();
   net::InMemoryLink ab_link;
+  trace::TraceSpan query_span("query");
 
   // Client encrypts the query and sends it to Party A (label 4).
   auto t0 = std::chrono::steady_clock::now();
@@ -92,18 +101,28 @@ StatusOr<QueryResult> SecureKnnSession::RunQuery(
                         client_->EncryptQuery(query));
   std::vector<uint8_t> query_bytes = CtToBytes(query_ct);
   result.client_bytes_sent = query_bytes.size();
-  SKNN_ASSIGN_OR_RETURN(bgv::Ciphertext query_at_a,
-                        CtFromBytes(std::move(query_bytes)));
+  bgv::Ciphertext query_at_a;
+  {
+    // The client->A leg is not carried by `ab_link`, so attribute its bytes
+    // to the transfer span by hand.
+    trace::TraceSpan span("transfer.query");
+    trace::Tracer::Global().AddBytesSent(query_bytes.size());
+    trace::Tracer::Global().AddBytesReceived(query_bytes.size());
+    SKNN_ASSIGN_OR_RETURN(query_at_a, CtFromBytes(std::move(query_bytes)));
+  }
   result.timings.query_encrypt_seconds = SecondsSince(t0);
 
   // Party A: Compute Distances (Algorithm 1, labels 5-6).
   t0 = std::chrono::steady_clock::now();
   SKNN_ASSIGN_OR_RETURN(std::vector<bgv::Ciphertext> distances,
                         party_a_->ComputeDistances(query_at_a));
-  for (bgv::Ciphertext& ct : distances) {
-    ByteSink sink;
-    bgv::WriteCiphertext(ct, &sink);
-    SKNN_RETURN_IF_ERROR(ab_link.a_endpoint()->SendSink(&sink));
+  {
+    trace::TraceSpan span("transfer.distances");
+    for (bgv::Ciphertext& ct : distances) {
+      ByteSink sink;
+      bgv::WriteCiphertext(ct, &sink);
+      SKNN_RETURN_IF_ERROR(ab_link.a_endpoint()->SendSink(&sink));
+    }
   }
   result.timings.compute_distances_seconds = SecondsSince(t0);
 
@@ -111,11 +130,14 @@ StatusOr<QueryResult> SecureKnnSession::RunQuery(
   t0 = std::chrono::steady_clock::now();
   std::vector<bgv::Ciphertext> received;
   received.reserve(distances.size());
-  for (size_t i = 0; i < distances.size(); ++i) {
-    SKNN_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
-                          ab_link.b_endpoint()->Receive());
-    SKNN_ASSIGN_OR_RETURN(bgv::Ciphertext ct, CtFromBytes(std::move(bytes)));
-    received.push_back(std::move(ct));
+  {
+    trace::TraceSpan span("transfer.distances");
+    for (size_t i = 0; i < distances.size(); ++i) {
+      SKNN_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                            ab_link.b_endpoint()->Receive());
+      SKNN_ASSIGN_OR_RETURN(bgv::Ciphertext ct, CtFromBytes(std::move(bytes)));
+      received.push_back(std::move(ct));
+    }
   }
   SKNN_ASSIGN_OR_RETURN(size_t effective_k,
                         party_b_->FindNeighbours(received, config_.k));
@@ -143,12 +165,18 @@ StatusOr<QueryResult> SecureKnnSession::RunQuery(
                               party_b_->EmitIndicator(j, pos));
         bgv::WriteCiphertext(ind, &sink);
       }
-      SKNN_RETURN_IF_ERROR(ab_link.b_endpoint()->SendSink(&sink));
+      {
+        trace::TraceSpan span("transfer.indicators");
+        SKNN_RETURN_IF_ERROR(ab_link.b_endpoint()->SendSink(&sink));
+      }
       b_seconds += SecondsSince(tb);
 
       auto ta = std::chrono::steady_clock::now();
-      SKNN_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
-                            ab_link.a_endpoint()->Receive());
+      std::vector<uint8_t> bytes;
+      {
+        trace::TraceSpan span("transfer.indicators");
+        SKNN_ASSIGN_OR_RETURN(bytes, ab_link.a_endpoint()->Receive());
+      }
       bgv::Ciphertext ind_at_a;
       if (config_.compress_indicators) {
         ByteSource src(std::move(bytes));
@@ -173,11 +201,18 @@ StatusOr<QueryResult> SecureKnnSession::RunQuery(
   }
   result.timings.return_knn_seconds = a_seconds + SecondsSince(tr);
 
-  // Client decrypts.
+  // Client decrypts. The A->client leg is not carried by `ab_link`; count
+  // its bytes against the transfer span manually.
   t0 = std::chrono::steady_clock::now();
   for (std::vector<uint8_t>& bytes : result_bytes) {
     result.client_bytes_received += bytes.size();
-    SKNN_ASSIGN_OR_RETURN(bgv::Ciphertext ct, CtFromBytes(std::move(bytes)));
+    bgv::Ciphertext ct;
+    {
+      trace::TraceSpan span("transfer.results");
+      trace::Tracer::Global().AddBytesSent(bytes.size());
+      trace::Tracer::Global().AddBytesReceived(bytes.size());
+      SKNN_ASSIGN_OR_RETURN(ct, CtFromBytes(std::move(bytes)));
+    }
     SKNN_ASSIGN_OR_RETURN(std::vector<uint64_t> point,
                           client_->DecryptNeighbour(ct));
     result.neighbours.push_back(std::move(point));
@@ -188,6 +223,11 @@ StatusOr<QueryResult> SecureKnnSession::RunQuery(
   result.party_b_ops = party_b_->ops();
   result.client_ops = client_->ops();
   result.ab_link = ab_link.stats();
+  // Mirror the per-party aggregates into the global registry so trace/JSON
+  // exports carry them alongside the bgv.evaluator.* counters.
+  result.party_a_ops.ExportTo(&MetricsRegistry::Global(), "core.party_a");
+  result.party_b_ops.ExportTo(&MetricsRegistry::Global(), "core.party_b");
+  result.client_ops.ExportTo(&MetricsRegistry::Global(), "core.client");
   return result;
 }
 

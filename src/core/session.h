@@ -17,6 +17,25 @@
 // owner, Party A, Party B and the client together over byte-accounted
 // in-memory links and runs queries. This is the primary public entry point
 // of the library.
+//
+// Protocol coverage: Create performs the setup round (Figure 2 labels
+// 1-3: keygen, database encryption, key distribution); each RunQuery is
+// one complete query (labels 4-10, messages 1-4 of PROTOCOL.md) — one
+// A<->B round trip. The A<->B link is a real byte-counted channel; the
+// client<->A legs are in-process handoffs whose serialized sizes are
+// still accounted (QueryResult::client_bytes_*).
+//
+// When `trace::Tracer::Global()` is enabled, setup records under the
+// `setup/...` span tree and each query under `query/...` (the exact
+// hierarchy is tabulated in PROTOCOL.md and DESIGN.md §7); per-party op
+// counts are exported to `MetricsRegistry::Global()` under
+// `core.party_a.*` / `core.party_b.*` / `core.client.*` at the end of
+// each query.
+//
+// End-to-end cost per query: O(u·(log d' + D + k)) HE ops at A, O(u)
+// decryptions + O(u·k) encryptions at B, 2 encryptions + k decryptions
+// at the client (u = ciphertext units, d' = padded dims, D = mask
+// degree).
 
 namespace sknn {
 namespace core {
@@ -51,12 +70,18 @@ struct SetupReport {
 class SecureKnnSession {
  public:
   // Builds the full deployment for a dataset. All randomness derives from
-  // `seed`; identical seeds reproduce identical transcripts.
+  // `seed`; identical seeds reproduce identical transcripts. Setup cost is
+  // dominated by the O(u) database encryptions and the O(u) mod-switch
+  // chain building A's return-phase copies.
   static StatusOr<std::unique_ptr<SecureKnnSession>> Create(
       const ProtocolConfig& config, const data::Dataset& dataset,
       uint64_t seed);
 
-  // Runs one k-NN query (k taken from the config).
+  // Runs one k-NN query (k taken from the config). Each call is an
+  // independent protocol instance: Party A refreshes the masking
+  // polynomial and permutation internally, so queries may be issued
+  // back-to-back without weakening the leakage profile. Results are
+  // exact (same multiset of distances as plaintext k-NN).
   StatusOr<QueryResult> RunQuery(const std::vector<uint64_t>& query);
 
   const SetupReport& setup_report() const { return setup_report_; }

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/trace.h"
+
 namespace sknn {
 namespace net {
 
@@ -27,6 +29,7 @@ class LinkEndpointImpl : public Channel {
         is_a_(is_a) {}
 
   Status Send(std::vector<uint8_t> message) override {
+    trace::Tracer::Global().AddBytesSent(message.size());
     const int dir = is_a_ ? 1 : -1;
     if (*last_direction_ != dir) {
       ++stats_->rounds;
@@ -50,6 +53,7 @@ class LinkEndpointImpl : public Channel {
     }
     std::vector<uint8_t> msg = std::move(in_->front());
     in_->pop_front();
+    trace::Tracer::Global().AddBytesReceived(msg.size());
     return msg;
   }
 

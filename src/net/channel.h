@@ -15,7 +15,9 @@
 // buffers (serialized ciphertexts and keys); the link keeps per-direction
 // byte and message counters plus a round counter (a round increments each
 // time the direction of traffic flips), so benchmarks can report the
-// communication columns of Table 1.
+// communication columns of Table 1. Every Send/Receive also attributes the
+// message size to the trace span active on the calling thread
+// (common/trace.h), giving per-phase bandwidth in trace output.
 
 namespace sknn {
 namespace net {

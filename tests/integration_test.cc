@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "common/trace.h"
 #include "core/session.h"
 #include "data/generators.h"
 #include "extensions/secure_kmeans.h"
@@ -111,6 +112,54 @@ TEST(IntegrationTest, PerPointAndPackedAgreeOnRealWorkload) {
   }
   EXPECT_EQ(SortedDistances(results[0], query),
             SortedDistances(results[1], query));
+}
+
+TEST(IntegrationTest, FullQueryEmitsSpansForEveryPhase) {
+  // Observability acceptance: a traced Session run must produce the whole
+  // span tree, with wire bytes attributed to the two A<->B transfer spans.
+  trace::Tracer::Global().Enable();
+  data::Dataset dataset =
+      Subset(data::SimulatedCervicalCancer(2018).QuantizeToBits(4), 40);
+  core::ProtocolConfig cfg;
+  cfg.k = 2;
+  cfg.dims = 32;
+  cfg.coord_bits = 4;
+  cfg.poly_degree = 2;
+  cfg.layout = core::Layout::kPacked;
+  cfg.preset = bgv::SecurityPreset::kToy;
+  cfg.levels = cfg.MinimumLevels();
+  auto session = core::SecureKnnSession::Create(cfg, dataset, 21);
+  ASSERT_TRUE(session.ok()) << session.status();
+  auto query = data::UniformQuery(32, 15, 22);
+  auto result = (*session)->RunQuery(query);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  const auto summary = trace::Summarize(trace::Tracer::Global().Records());
+  trace::Tracer::Global().Disable();
+  for (const char* phase :
+       {"setup", "setup/owner.encrypt_db", "query", "query/client.encrypt",
+        "query/transfer.query", "query/party_a.distance",
+        "query/party_a.distance/unit",
+        "query/party_a.distance/unit/square_fold",
+        "query/party_a.distance/unit/mask",
+        "query/party_a.distance/unit/permute",
+        "query/party_a.distance/party_a.permute", "query/transfer.distances",
+        "query/party_b.decrypt_select", "query/party_b.indicator",
+        "query/transfer.indicators", "query/party_a.absorb",
+        "query/party_a.retrieve", "query/transfer.results",
+        "query/client.decrypt"}) {
+    EXPECT_EQ(summary.count(phase), 1u) << "missing span: " << phase;
+  }
+  // The serialized distance and indicator ciphertexts crossed the link
+  // inside their transfer spans.
+  EXPECT_GT(summary.at("query/transfer.distances").bytes_sent, 0u);
+  EXPECT_GT(summary.at("query/transfer.distances").bytes_received, 0u);
+  EXPECT_GT(summary.at("query/transfer.indicators").bytes_sent, 0u);
+  EXPECT_GT(summary.at("query/transfer.indicators").bytes_received, 0u);
+  EXPECT_EQ(summary.at("query/transfer.distances").bytes_sent,
+            result->ab_link.bytes_a_to_b);
+  EXPECT_EQ(summary.at("query/transfer.indicators").bytes_sent,
+            result->ab_link.bytes_b_to_a);
 }
 
 TEST(IntegrationTest, KMeansOnCreditWorkload) {

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Documentation hygiene check, registered with ctest as `docs_check`.
+#
+# Scans the repo's own prose docs for rot:
+#   1. relative markdown links ([text](path)) must point at files or
+#      directories that exist, and
+#   2. backtick-quoted repository paths (`src/...`, `tests/...`, ...) must
+#      still exist — glob forms like `src/net/channel.*` are resolved with
+#      pathname expansion.
+#
+# Only the hand-written docs are scanned; SNIPPETS.md and PAPERS.md quote
+# other repositories and would produce false positives.
+set -u
+
+cd "$(cd "$(dirname "$0")/.." && pwd)" || exit 1
+
+DOCS="README.md DESIGN.md PROTOCOL.md EXPERIMENTS.md ROADMAP.md CONTRIBUTING.md"
+fail=0
+
+exists_path() {
+  tok="$1"
+  [ -e "$tok" ] && return 0
+  # Glob references (src/net/channel.*) and stem references (src/common/trace)
+  compgen -G "$tok" > /dev/null 2>&1 && return 0
+  compgen -G "${tok}.*" > /dev/null 2>&1 && return 0
+  return 1
+}
+
+for doc in $DOCS; do
+  [ -f "$doc" ] || continue
+
+  # 1. Relative markdown links.
+  while IFS= read -r target; do
+    case "$target" in
+      http://* | https://* | mailto:* | "#"*) continue ;;
+    esac
+    lp="${target%%#*}"
+    [ -z "$lp" ] && continue
+    if ! exists_path "$lp"; then
+      echo "$doc: broken link -> $target"
+      fail=1
+    fi
+  done < <(grep -o '\[[^][]*\]([^()]*)' "$doc" | sed 's/.*(\(.*\))/\1/')
+
+  # 2. Backticked repository paths.
+  while IFS= read -r tok; do
+    if ! exists_path "$tok"; then
+      echo "$doc: stale path \`$tok\`"
+      fail=1
+    fi
+  done < <(grep -o '`[^`]*`' "$doc" | tr -d '`' \
+             | grep -E '^(src|tests|bench|tools|examples|data)/[A-Za-z0-9_./*-]*$' \
+             | sort -u)
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs: FAILED (fix the paths above or update the docs)"
+  exit 1
+fi
+echo "check_docs: OK"

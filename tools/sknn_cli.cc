@@ -7,6 +7,11 @@
 //   sknn_cli baseline --n=50 --d=3 --k=3 [--paillier-bits=256]
 //   sknn_cli params   [--preset=...] [--levels=4] [--plain-bits=33]
 //
+// Any subcommand accepts --trace=FILE (before or after the subcommand):
+// the run executes with phase tracing enabled, writes a Chrome
+// trace_event JSON (load in chrome://tracing or https://ui.perfetto.dev)
+// and prints a per-phase time/bytes summary on exit.
+//
 // Every subcommand prints what it would leak and what it measured.
 
 #include <cstdio>
@@ -16,6 +21,7 @@
 #include <string>
 
 #include "baseline/elmehdwi.h"
+#include "common/trace.h"
 #include "core/config_advisor.h"
 #include "core/session.h"
 #include "data/generators.h"
@@ -25,13 +31,19 @@ namespace {
 
 using namespace sknn;  // NOLINT
 
-// Minimal --key=value flag parser.
+// Minimal --key=value flag parser. The first non-flag argument is the
+// subcommand (skipped here); flags may appear on either side of it.
 class Flags {
  public:
-  Flags(int argc, char** argv, int first) {
-    for (int i = first; i < argc; ++i) {
+  Flags(int argc, char** argv) {
+    bool seen_command = false;
+    for (int i = 1; i < argc; ++i) {
       const char* a = argv[i];
       if (std::strncmp(a, "--", 2) != 0) {
+        if (!seen_command) {
+          seen_command = true;
+          continue;
+        }
         std::fprintf(stderr, "ignoring stray argument %s\n", a);
         continue;
       }
@@ -253,23 +265,68 @@ void Usage() {
                "  kmeans   --n --d --clusters --iterations --preset\n"
                "  baseline --n --d --k --paillier-bits\n"
                "  params   --preset --levels --plain-bits\n"
-               "  advise   --n --d --coord-bits --k --min-degree --preset\n");
+               "  advise   --n --d --coord-bits --k --min-degree --preset\n"
+               "common flags (any position):\n"
+               "  --trace=FILE  write a Chrome trace_event JSON and print a\n"
+               "                per-phase time/bytes summary\n");
+}
+
+void PrintPhaseSummary() {
+  const auto summary = trace::Summarize(trace::Tracer::Global().Records());
+  std::printf("per-phase summary:\n");
+  std::printf("  %-48s %8s %10s %12s %12s\n", "phase", "count", "seconds",
+              "sent", "received");
+  for (const auto& [path, stats] : summary) {
+    std::printf("  %-48s %8llu %10.3f %12llu %12llu\n", path.c_str(),
+                static_cast<unsigned long long>(stats.count),
+                stats.seconds(),
+                static_cast<unsigned long long>(stats.bytes_sent),
+                static_cast<unsigned long long>(stats.bytes_received));
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
+  std::string cmd;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      cmd = argv[i];
+      break;
+    }
+  }
+  if (cmd.empty()) {
     Usage();
     return 2;
   }
-  const std::string cmd = argv[1];
-  Flags flags(argc, argv, 2);
-  if (cmd == "knn") return RunKnn(flags);
-  if (cmd == "kmeans") return RunKMeans(flags);
-  if (cmd == "baseline") return RunBaseline(flags);
-  if (cmd == "params") return RunParams(flags);
-  if (cmd == "advise") return RunAdvise(flags);
-  Usage();
-  return 2;
+  Flags flags(argc, argv);
+  const std::string trace_path = flags.Str("trace", "");
+  if (!trace_path.empty()) trace::Tracer::Global().Enable();
+
+  int rc;
+  if (cmd == "knn") {
+    rc = RunKnn(flags);
+  } else if (cmd == "kmeans") {
+    rc = RunKMeans(flags);
+  } else if (cmd == "baseline") {
+    rc = RunBaseline(flags);
+  } else if (cmd == "params") {
+    rc = RunParams(flags);
+  } else if (cmd == "advise") {
+    rc = RunAdvise(flags);
+  } else {
+    Usage();
+    return 2;
+  }
+
+  if (!trace_path.empty()) {
+    Status status = trace::WriteGlobalTrace(trace_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "trace: %s\n", status.ToString().c_str());
+      return rc == 0 ? 1 : rc;
+    }
+    PrintPhaseSummary();
+    std::printf("trace written to %s\n", trace_path.c_str());
+  }
+  return rc;
 }
