@@ -65,7 +65,7 @@ int RunOne(const data::Dataset& dataset, Layout layout, size_t degree,
 int Run(const bench::BenchArgs& args) {
   bench::PrintHeader("Ablation — layout mode and masking degree",
                      "design choices of this reproduction (DESIGN.md section 3)");
-  const size_t n = args.full ? 2000 : 400;
+  const size_t n = args.smoke ? 80 : args.full ? 2000 : 400;
   const size_t d = 8;
   // 3-bit coordinates keep a positive coefficient budget for the D=3
   // masking polynomial inside the 33-bit plaintext space.
@@ -78,8 +78,10 @@ int Run(const bench::BenchArgs& args) {
               "levels", "cmpr", "query(s)", "setup(s)", "wire bytes",
               "db bytes");
   bench::BenchJson out("ablation");
+  const std::vector<size_t> degrees =
+      args.smoke ? std::vector<size_t>{2} : std::vector<size_t>{1, 2, 3};
   for (Layout layout : {Layout::kPerPoint, Layout::kPacked}) {
-    for (size_t degree : {size_t{1}, size_t{2}, size_t{3}}) {
+    for (size_t degree : degrees) {
       if (RunOne(dataset, layout, degree, coord_bits, args, &out) != 0) {
         return 1;
       }

@@ -18,14 +18,16 @@ int Run(const bench::BenchArgs& args) {
   bench::PrintHeader("Figure 3 — cancer dataset (858 x 32), time vs k",
                      "Kesarwani et al., EDBT 2018, Figure 3");
   data::Dataset raw = data::SimulatedCervicalCancer(2018);
+  if (args.smoke) raw = raw.TakePoints(64);
   // The protocol bounds coordinates; 5 bits keeps every feature while the
   // masked distances stay inside the plaintext space.
   const int coord_bits = 5;
   data::Dataset dataset = raw.QuantizeToBits(coord_bits);
 
   std::vector<size_t> ks =
-      args.full ? std::vector<size_t>{2, 4, 8, 12, 16, 20}
-                : std::vector<size_t>{2, 8, 16};
+      args.smoke ? std::vector<size_t>{2}
+      : args.full ? std::vector<size_t>{2, 4, 8, 12, 16, 20}
+                  : std::vector<size_t>{2, 8, 16};
 
   std::printf("layout=per-point preset=%s queries/point=%d\n",
               bench::PresetName(args.preset), args.queries);

@@ -18,12 +18,13 @@ using namespace sknn::core;  // NOLINT
 int Run(const bench::BenchArgs& args) {
   bench::PrintHeader("Figure 4 — credit card dataset (30000 x 23), time vs k",
                      "Kesarwani et al., EDBT 2018, Figure 4");
-  const size_t n = args.full ? 30000 : 6000;
+  const size_t n = args.smoke ? 200 : args.full ? 30000 : 6000;
   data::Dataset raw = data::SimulatedCreditCard(2018, n);
   const int coord_bits = 5;
   data::Dataset dataset = raw.QuantizeToBits(coord_bits);
 
-  std::vector<size_t> ks = args.full
+  std::vector<size_t> ks = args.smoke ? std::vector<size_t>{2}
+                           : args.full
                                ? std::vector<size_t>{2, 4, 8, 12, 16, 20}
                                : std::vector<size_t>{2, 8, 20};
 

@@ -10,8 +10,9 @@ int main(int argc, char** argv) {
                            "Kesarwani et al., EDBT 2018, Figure 5");
   std::vector<sknn::bench::SweepPoint> points;
   const std::vector<size_t> ns =
-      args.full ? std::vector<size_t>{20000, 60000, 100000, 140000, 200000}
-                : std::vector<size_t>{20000, 100000, 200000};
+      args.smoke ? std::vector<size_t>{200}
+      : args.full ? std::vector<size_t>{20000, 60000, 100000, 140000, 200000}
+                  : std::vector<size_t>{20000, 100000, 200000};
   for (size_t n : ns) points.push_back({n, 2, 5});
   return sknn::bench::RunSyntheticSweep(
       "paper (HElib, 4-core 2.8GHz): 23 s at n=20000 -> ~180 s at n=200000 "

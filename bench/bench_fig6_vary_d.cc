@@ -9,9 +9,11 @@ int main(int argc, char** argv) {
   auto args = sknn::bench::ParseArgs(argc, argv);
   sknn::bench::PrintHeader("Figure 6 — time vs d (n=200000, k=2)",
                            "Kesarwani et al., EDBT 2018, Figure 6");
-  const size_t n = args.full ? 200000 : 50000;
+  const size_t n = args.smoke ? 200 : args.full ? 200000 : 50000;
   std::vector<sknn::bench::SweepPoint> points;
-  const std::vector<size_t> ds = args.full
+  const std::vector<size_t> ds = args.smoke
+                                     ? std::vector<size_t>{2}
+                                 : args.full
                                      ? std::vector<size_t>{1, 2, 4, 6, 8, 10}
                                      : std::vector<size_t>{1, 4, 10};
   for (size_t d : ds) points.push_back({n, d, 2});

@@ -8,9 +8,11 @@ int main(int argc, char** argv) {
   auto args = sknn::bench::ParseArgs(argc, argv);
   sknn::bench::PrintHeader("Figure 7 — time vs k (n=200000, d=2)",
                            "Kesarwani et al., EDBT 2018, Figure 7");
-  const size_t n = args.full ? 200000 : 50000;
+  const size_t n = args.smoke ? 200 : args.full ? 200000 : 50000;
   std::vector<sknn::bench::SweepPoint> points;
-  const std::vector<size_t> ks = args.full
+  const std::vector<size_t> ks = args.smoke
+                                     ? std::vector<size_t>{2}
+                                 : args.full
                                      ? std::vector<size_t>{1, 5, 10, 15, 20}
                                      : std::vector<size_t>{1, 10, 20};
   for (size_t k : ks) points.push_back({n, 2, k});

@@ -110,8 +110,9 @@ struct BgvFixture {
   bgv::Ciphertext ct_a, ct_b;
 
   explicit BgvFixture(size_t n_pow) {
-    auto preset = n_pow == 1024 ? bgv::SecurityPreset::kToy
-                                : bgv::SecurityPreset::kBench;
+    auto preset = n_pow == 1024   ? bgv::SecurityPreset::kToy
+                  : n_pow == 4096 ? bgv::SecurityPreset::kBench
+                                  : bgv::SecurityPreset::kDefault;
     auto params = bgv::BgvParams::Create(preset, 4, 33);
     ctx = bgv::BgvContext::Create(params.value()).value();
     rng = std::make_unique<Chacha20Rng>(uint64_t{7});
@@ -171,6 +172,53 @@ void BM_BgvRotate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BgvRotate)->Arg(1024)->Arg(4096);
+
+// ---------- Key-switch path (tracked like the NTT: rotation-heavy ops
+// dominate the protocol's distance phase, so each kernel gets its own
+// series in BENCH_microops.json) ----------
+
+void BM_Relinearize(benchmark::State& state) {
+  BgvFixture f(static_cast<size_t>(state.range(0)));
+  auto prod = f.evaluator->Multiply(f.ct_a, f.ct_b).value();
+  for (auto _ : state) {
+    bgv::Ciphertext ct = prod;
+    f.evaluator->RelinearizeInplace(&ct, f.rk).ok();
+    benchmark::DoNotOptimize(ct);
+  }
+}
+BENCHMARK(BM_Relinearize)->Arg(1024)->Arg(4096)->Arg(8192);
+
+void BM_RotateRows(benchmark::State& state) {
+  BgvFixture f(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    bgv::Ciphertext ct = f.ct_a;
+    f.evaluator->RotateRowsInplace(&ct, 1, f.gk).ok();
+    benchmark::DoNotOptimize(ct);
+  }
+}
+BENCHMARK(BM_RotateRows)->Arg(1024)->Arg(4096)->Arg(8192);
+
+void BM_FoldRows(benchmark::State& state) {
+  BgvFixture f(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    bgv::Ciphertext ct = f.ct_a;
+    f.evaluator->FoldRowsInplace(&ct, 8, f.gk).ok();
+    benchmark::DoNotOptimize(ct);
+  }
+}
+BENCHMARK(BM_FoldRows)->Arg(1024)->Arg(4096)->Arg(8192);
+
+// Four rotations of the same ciphertext with the digit decomposition paid
+// once. Compare against 4x BM_RotateRows for the hoisting win.
+void BM_HoistedRotations(benchmark::State& state) {
+  BgvFixture f(static_cast<size_t>(state.range(0)));
+  const std::vector<int> steps = {1, 2, 4, 8};
+  for (auto _ : state) {
+    auto rotated = f.evaluator->HoistedRotations(f.ct_a, steps, f.gk);
+    benchmark::DoNotOptimize(rotated);
+  }
+}
+BENCHMARK(BM_HoistedRotations)->Arg(1024)->Arg(4096)->Arg(8192);
 
 void BM_BgvModSwitch(benchmark::State& state) {
   BgvFixture f(static_cast<size_t>(state.range(0)));

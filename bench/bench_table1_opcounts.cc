@@ -83,7 +83,7 @@ int RunBaseline(const data::Dataset& dataset, size_t k, Row* row) {
 int Run(const bench::BenchArgs& args) {
   bench::PrintHeader("Table 1 — computational overheads (measured)",
                      "Kesarwani et al., EDBT 2018, Table 1");
-  const size_t n = args.full ? 500 : 100;
+  const size_t n = args.smoke ? 40 : args.full ? 500 : 100;
   const size_t d = 4;
   const int coord_bits = 4;
   data::Dataset dataset =
@@ -102,7 +102,9 @@ int Run(const bench::BenchArgs& args) {
         .Int("rounds", r.rounds);
     out.EndRow(std::move(row));
   };
-  for (size_t k : {size_t{2}, size_t{4}}) {
+  const std::vector<size_t> ks = args.smoke ? std::vector<size_t>{2}
+                                            : std::vector<size_t>{2, 4};
+  for (size_t k : ks) {
     Row ours{}, base{};
     out.BeginRow();
     if (RunOurs(dataset, k, coord_bits, args, &ours) != 0) return 1;

@@ -14,6 +14,7 @@
 
 // Shared helpers for the reproduction benches. Every bench binary accepts:
 //   --full           paper-scale parameters (long-running)
+//   --smoke          tiny parameters (seconds; the bench_smoke ctest runs)
 //   --preset=NAME    toy | bench | default | paranoid (lattice preset)
 //   --queries=N      queries averaged per configuration
 // Default runs are sized so the whole bench suite completes on a small
@@ -30,6 +31,7 @@ namespace bench {
 
 struct BenchArgs {
   bool full = false;
+  bool smoke = false;
   int queries = 1;
   bool preset_set = false;
   bgv::SecurityPreset preset = bgv::SecurityPreset::kToy;
@@ -41,6 +43,8 @@ inline BenchArgs ParseArgs(int argc, char** argv) {
     const char* a = argv[i];
     if (std::strcmp(a, "--full") == 0) {
       args.full = true;
+    } else if (std::strcmp(a, "--smoke") == 0) {
+      args.smoke = true;
     } else if (std::strncmp(a, "--preset=", 9) == 0) {
       const char* p = a + 9;
       args.preset_set = true;
@@ -53,7 +57,7 @@ inline BenchArgs ParseArgs(int argc, char** argv) {
       args.queries = std::atoi(a + 10);
       if (args.queries < 1) args.queries = 1;
     } else {
-      std::fprintf(stderr, "unknown flag %s (supported: --full, --preset=, --queries=)\n", a);
+      std::fprintf(stderr, "unknown flag %s (supported: --full, --smoke, --preset=, --queries=)\n", a);
     }
   }
   if (args.full && !args.preset_set) {

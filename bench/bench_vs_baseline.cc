@@ -22,9 +22,9 @@ int Run(const bench::BenchArgs& args) {
   bench::PrintHeader(
       "Section 5.2 — ours vs Yousef et al. (n=2000, d=6, k=25)",
       "Kesarwani et al., EDBT 2018, Section 5.2 comparison");
-  const size_t n = args.full ? 2000 : 200;
+  const size_t n = args.smoke ? 50 : args.full ? 2000 : 200;
   const size_t d = 6;
-  const size_t k = args.full ? 25 : 5;
+  const size_t k = args.smoke ? 2 : args.full ? 25 : 5;
   const size_t paillier_bits = args.full ? 512 : 256;
   const int coord_bits = 4;
   data::Dataset dataset =

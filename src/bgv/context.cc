@@ -71,22 +71,46 @@ StatusOr<std::shared_ptr<const BgvContext>> BgvContext::Create(
   ctx->t_mod_q_.resize(num_data);
   ctx->sp_inv_mod_q_.resize(num_data);
   ctx->sp_mod_q_.resize(num_data);
+  ctx->t_inv_mod_q_shoup_.resize(num_data);
+  ctx->sp_inv_mod_q_shoup_.resize(num_data);
+  ctx->t_sp_inv_mod_q_.resize(num_data);
+  ctx->t_sp_inv_mod_q_shoup_.resize(num_data);
   for (size_t i = 0; i < num_data; ++i) {
     const uint64_t q = params.data_primes[i];
+    const Modulus mod(q);
     ctx->t_inv_mod_q_[i] = InvModPrime(t % q, q);
+    ctx->t_inv_mod_q_shoup_[i] = ShoupPrecompute(ctx->t_inv_mod_q_[i], q);
     ctx->t_mod_q_[i] = t % q;
     ctx->sp_inv_mod_q_[i] = InvModPrime(sp % q, q);
+    ctx->sp_inv_mod_q_shoup_[i] = ShoupPrecompute(ctx->sp_inv_mod_q_[i], q);
+    ctx->t_sp_inv_mod_q_[i] = mod.MulMod(t % q, ctx->sp_inv_mod_q_[i]);
+    ctx->t_sp_inv_mod_q_shoup_[i] = ShoupPrecompute(ctx->t_sp_inv_mod_q_[i], q);
     ctx->sp_mod_q_[i] = sp % q;
   }
   ctx->t_inv_mod_sp_ = InvModPrime(t % sp, sp);
+  ctx->t_inv_mod_sp_shoup_ = ShoupPrecompute(ctx->t_inv_mod_sp_, sp);
   ctx->t_mod_sp_ = t % sp;
 
   ctx->q_inv_mod_q_.assign(num_data, std::vector<uint64_t>(num_data, 0));
+  ctx->q_inv_mod_q_shoup_.assign(num_data,
+                                 std::vector<uint64_t>(num_data, 0));
+  ctx->q_mod_q_.assign(num_data, std::vector<uint64_t>(num_data, 0));
+  ctx->t_q_inv_mod_q_.assign(num_data, std::vector<uint64_t>(num_data, 0));
+  ctx->t_q_inv_mod_q_shoup_.assign(num_data,
+                                   std::vector<uint64_t>(num_data, 0));
   for (size_t dropped = 0; dropped < num_data; ++dropped) {
     for (size_t j = 0; j < dropped; ++j) {
       const uint64_t qj = params.data_primes[j];
+      const Modulus mod(qj);
       ctx->q_inv_mod_q_[dropped][j] =
           InvModPrime(params.data_primes[dropped] % qj, qj);
+      ctx->q_inv_mod_q_shoup_[dropped][j] =
+          ShoupPrecompute(ctx->q_inv_mod_q_[dropped][j], qj);
+      ctx->q_mod_q_[dropped][j] = params.data_primes[dropped] % qj;
+      ctx->t_q_inv_mod_q_[dropped][j] =
+          mod.MulMod(t % qj, ctx->q_inv_mod_q_[dropped][j]);
+      ctx->t_q_inv_mod_q_shoup_[dropped][j] =
+          ShoupPrecompute(ctx->t_q_inv_mod_q_[dropped][j], qj);
     }
   }
 

@@ -1,8 +1,11 @@
 #include "bgv/evaluator.h"
 
+#include <cstring>
+
 #include "bgv/sampling.h"
 #include "common/logging.h"
 #include "common/metrics_registry.h"
+#include "common/thread_pool.h"
 
 namespace sknn {
 namespace bgv {
@@ -98,23 +101,50 @@ void Evaluator::NegateInplace(Ciphertext* a) const {
   for (RnsPoly& p : a->c) sknn::NegateInplace(&p, ctx_->key_base());
 }
 
-Status Evaluator::AddPlainInplace(Ciphertext* a, const Plaintext& pt) const {
-  SKNN_COUNT_EVALUATOR_OP("add_plain");
-  SKNN_RETURN_IF_ERROR(CheckCt(*a));
+StatusOr<PlainOperand> Evaluator::MakeAddOperand(const Plaintext& pt,
+                                                 size_t level,
+                                                 uint64_t scale) const {
   if (pt.coeffs.size() != ctx_->n()) {
     return InvalidArgumentError("plaintext degree mismatch");
   }
+  if (level > ctx_->max_level()) {
+    return InvalidArgumentError("operand level out of range");
+  }
+  PlainOperand op;
+  op.level = level;
+  op.scale = scale;
   // Scale the addend by the ciphertext's correction factor so that it
   // lands on the plaintext with weight one after decryption.
-  Plaintext scaled = pt;
-  if (a->scale != 1) {
+  if (scale != 1) {
+    Plaintext scaled = pt;
     const Modulus& t_mod = ctx_->plain_modulus();
-    for (uint64_t& c : scaled.coeffs) c = t_mod.MulMod(c, a->scale);
+    for (uint64_t& c : scaled.coeffs) c = t_mod.MulMod(c, scale);
+    op.m = LiftPlainCentered(*ctx_, scaled.coeffs, level + 1);
+  } else {
+    op.m = LiftPlainCentered(*ctx_, pt.coeffs, level + 1);
   }
-  RnsPoly m = LiftPlainCentered(*ctx_, scaled.coeffs, a->level + 1);
-  ToNttInplace(&m, ctx_->key_base());
-  sknn::AddInplace(&a->c[0], m, ctx_->key_base());
+  ToNttInplace(&op.m, ctx_->key_base());
+  return op;
+}
+
+Status Evaluator::AddPlainInplace(Ciphertext* a, const PlainOperand& op) const {
+  SKNN_COUNT_EVALUATOR_OP("add_plain");
+  SKNN_RETURN_IF_ERROR(CheckCt(*a));
+  if (op.level != a->level) {
+    return InvalidArgumentError("plaintext operand prepared for another level");
+  }
+  if (op.scale != a->scale) {
+    return InvalidArgumentError("plaintext operand prepared for another scale");
+  }
+  sknn::AddInplace(&a->c[0], op.m, ctx_->key_base());
   return Status::Ok();
+}
+
+Status Evaluator::AddPlainInplace(Ciphertext* a, const Plaintext& pt) const {
+  SKNN_RETURN_IF_ERROR(CheckCt(*a));
+  SKNN_ASSIGN_OR_RETURN(PlainOperand op,
+                        MakeAddOperand(pt, a->level, a->scale));
+  return AddPlainInplace(a, op);
 }
 
 Status Evaluator::SubPlainInplace(Ciphertext* a, const Plaintext& pt) const {
@@ -132,99 +162,218 @@ StatusOr<Ciphertext> Evaluator::Multiply(const Ciphertext& a,
   if (a.size() != 2 || b.size() != 2) {
     return InvalidArgumentError("Multiply requires size-2 ciphertexts");
   }
-  Ciphertext x = a;
-  Ciphertext y = b;
-  SKNN_RETURN_IF_ERROR(Equalize(&x, &y));
+  // Copy an operand only when Equalize would actually mod-switch it; the
+  // common same-level case reads both inputs in place.
+  const Ciphertext* x = &a;
+  const Ciphertext* y = &b;
+  Ciphertext switched;
+  if (a.level != b.level) {
+    if (a.level > b.level) {
+      switched = a;
+      SKNN_RETURN_IF_ERROR(ModSwitchToLevelInplace(&switched, b.level));
+      x = &switched;
+    } else {
+      switched = b;
+      SKNN_RETURN_IF_ERROR(ModSwitchToLevelInplace(&switched, a.level));
+      y = &switched;
+    }
+  }
   const RnsBase& base = ctx_->key_base();
   Ciphertext out;
-  out.level = x.level;
-  out.scale = ctx_->plain_modulus().MulMod(x.scale, y.scale);
-  RnsPoly d0 = MulPointwise(x.c[0], y.c[0], base);
-  RnsPoly d1 = MulPointwise(x.c[0], y.c[1], base);
-  AddMulInplace(&d1, x.c[1], y.c[0], base);
-  RnsPoly d2 = MulPointwise(x.c[1], y.c[1], base);
+  out.level = x->level;
+  out.scale = ctx_->plain_modulus().MulMod(x->scale, y->scale);
+  RnsPoly d0 = MulPointwise(x->c[0], y->c[0], base);
+  RnsPoly d1 = MulPointwise(x->c[0], y->c[1], base);
+  AddMulInplace(&d1, x->c[1], y->c[0], base);
+  RnsPoly d2 = MulPointwise(x->c[1], y->c[1], base);
   out.c.push_back(std::move(d0));
   out.c.push_back(std::move(d1));
   out.c.push_back(std::move(d2));
   return out;
 }
 
-void Evaluator::KeySwitchCore(size_t level, const RnsPoly& target,
-                              const KSwitchKey& ksk, RnsPoly* u0,
-                              RnsPoly* u1) const {
+KSwitchDigits Evaluator::DecomposeForKeySwitch(
+    size_t level, const RnsPoly& target, const RnsPoly* target_ntt) const {
   SKNN_CHECK(!target.ntt_form());
   SKNN_CHECK_EQ(target.num_components(), level + 1);
   const size_t n = ctx_->n();
+  const size_t ext = level + 2;
   const size_t sp_key_idx = ctx_->special_index();
   const RnsBase& base = ctx_->key_base();
 
-  // Accumulators over the extended base: components 0..level (data primes)
-  // plus one slot for the special prime. Flat component-major buffers.
-  const size_t ext = level + 2;
-  std::vector<uint64_t> acc0(ext * n, 0);
-  std::vector<uint64_t> acc1(ext * n, 0);
-
-  std::vector<uint64_t> digit(n);
+  KSwitchDigits out;
+  out.level = level;
+  out.digits.reserve(level + 1);
   for (size_t i = 0; i <= level; ++i) {
-    const uint64_t* d = target.comp(i);
-    SKNN_CHECK_EQ(ksk.digits.size(), ctx_->num_data_primes());
-    const RnsPoly& kb = ksk.digits[i].first;
-    const RnsPoly& ka = ksk.digits[i].second;
+    // Lift digit i (integers < q_i) into every extended-base prime. Primes
+    // at least as large as q_i take the residues verbatim. The diagonal
+    // component (j == i) equals the target's own residues mod q_i, so when
+    // the caller still holds the target in NTT form that component is
+    // copied pre-transformed and its forward NTT below is skipped.
+    RnsPoly digit(n, ext, /*ntt_form=*/false);
+    const uint64_t qi = base.modulus(i).value();
+    const uint64_t* __restrict d = target.comp(i);
     for (size_t j = 0; j < ext; ++j) {
       const size_t key_idx = (j <= level) ? j : sp_key_idx;
-      const Modulus& mod = base.modulus(key_idx);
-      const NttTables& ntt = base.ntt(key_idx);
-      const uint64_t q = mod.value();
-      // Lift digit i (integers < q_i) into Z_q.
-      for (size_t c = 0; c < n; ++c) digit[c] = mod.Reduce(d[c]);
-      ntt.ForwardNtt(digit.data());
+      uint64_t* __restrict dst = digit.comp(j);
+      if (key_idx == i && target_ntt != nullptr) {
+        std::memcpy(dst, target_ntt->comp(i), n * sizeof(uint64_t));
+      } else if (key_idx == i || base.modulus(key_idx).value() >= qi) {
+        std::memcpy(dst, d, n * sizeof(uint64_t));
+      } else {
+        const Modulus& mod = base.modulus(key_idx);
+        for (size_t c = 0; c < n; ++c) dst[c] = mod.Reduce(d[c]);
+      }
+    }
+    out.digits.push_back(std::move(digit));
+  }
+
+  // Forward NTT of all (level+1)*(level+2) digit components — the
+  // expensive half of a key switch, shared across every key the digits
+  // are later multiplied against.
+  auto transform = [&](size_t flat) {
+    const size_t i = flat / ext;
+    const size_t j = flat % ext;
+    if (j == i && target_ntt != nullptr) return;  // already NTT form
+    const size_t key_idx = (j <= level) ? j : sp_key_idx;
+    base.ntt(key_idx).ForwardNtt(out.digits[i].comp(j));
+  };
+  const size_t total = (level + 1) * ext;
+  ThreadPool* pool = base.thread_pool();
+  if (pool != nullptr && total > 1) {
+    pool->ParallelFor(0, total, transform);
+  } else {
+    for (size_t flat = 0; flat < total; ++flat) transform(flat);
+  }
+  for (RnsPoly& digit : out.digits) digit.set_ntt_form(true);
+  return out;
+}
+
+void Evaluator::KeySwitchInner(const KSwitchDigits& digits,
+                               const KSwitchKey& ksk,
+                               const uint32_t* perm_ntt, RnsPoly* u0,
+                               RnsPoly* u1, bool ntt_out) const {
+  const size_t level = digits.level;
+  const size_t n = ctx_->n();
+  const size_t ext = level + 2;
+  const size_t sp_key_idx = ctx_->special_index();
+  const RnsBase& base = ctx_->key_base();
+  SKNN_CHECK_EQ(ksk.digits.size(), ctx_->num_data_primes());
+  const KSwitchKey::ShoupTables& shoup = ksk.GetShoupTables(base);
+
+  // MAC loop with deferred reduction. Bound argument (DESIGN.md §3.2):
+  // every q is below 2^62 (NttTables::Create rejects larger), each
+  // MulModShoupLazy term is in [0, 2q), the accumulator invariant is
+  // [0, 2q), so term + accumulator < 4q < 2^64 never wraps and one
+  // conditional subtract of 2q per step restores the invariant. The
+  // [0, 2q) accumulators feed InverseNtt directly (its lazy butterflies
+  // tolerate inputs below 2q and fully reduce on output).
+  std::vector<uint64_t> acc0(ext * n, 0);
+  std::vector<uint64_t> acc1(ext * n, 0);
+  for (size_t i = 0; i <= level; ++i) {
+    const RnsPoly& kb = ksk.digits[i].first;
+    const RnsPoly& ka = ksk.digits[i].second;
+    const std::vector<uint64_t>& kb_shoup = shoup.digits[i].first;
+    const std::vector<uint64_t>& ka_shoup = shoup.digits[i].second;
+    for (size_t j = 0; j < ext; ++j) {
+      const size_t key_idx = (j <= level) ? j : sp_key_idx;
+      const uint64_t q = base.modulus(key_idx).value();
+      const uint64_t two_q = q << 1;
+      const uint64_t* __restrict dg = digits.digits[i].comp(j);
       const uint64_t* __restrict kbv = kb.comp(key_idx);
       const uint64_t* __restrict kav = ka.comp(key_idx);
-      const uint64_t* __restrict dg = digit.data();
+      const uint64_t* __restrict kbs = kb_shoup.data() + key_idx * n;
+      const uint64_t* __restrict kas = ka_shoup.data() + key_idx * n;
       uint64_t* __restrict a0 = acc0.data() + j * n;
       uint64_t* __restrict a1 = acc1.data() + j * n;
-      for (size_t c = 0; c < n; ++c) {
-        const uint64_t s0 = a0[c] + mod.MulMod(dg[c], kbv[c]);
-        const uint64_t s1 = a1[c] + mod.MulMod(dg[c], kav[c]);
-        a0[c] = s0 >= q ? s0 - q : s0;
-        a1[c] = s1 >= q ? s1 - q : s1;
+      if (perm_ntt == nullptr) {
+        for (size_t c = 0; c < n; ++c) {
+          const uint64_t d = dg[c];
+          const uint64_t s0 = a0[c] + MulModShoupLazy(d, kbv[c], kbs[c], q);
+          const uint64_t s1 = a1[c] + MulModShoupLazy(d, kav[c], kas[c], q);
+          a0[c] = s0 >= two_q ? s0 - two_q : s0;
+          a1[c] = s1 >= two_q ? s1 - two_q : s1;
+        }
+      } else {
+        // NTT-domain automorphism fused into the gather: the permuted
+        // digits are the digits of the permuted polynomial, so hoisted
+        // rotations never re-decompose.
+        for (size_t c = 0; c < n; ++c) {
+          const uint64_t d = dg[perm_ntt[c]];
+          const uint64_t s0 = a0[c] + MulModShoupLazy(d, kbv[c], kbs[c], q);
+          const uint64_t s1 = a1[c] + MulModShoupLazy(d, kav[c], kas[c], q);
+          a0[c] = s0 >= two_q ? s0 - two_q : s0;
+          a1[c] = s1 >= two_q ? s1 - two_q : s1;
+        }
       }
     }
   }
 
-  // Inverse NTT all accumulator components (back to coefficient form).
-  for (size_t j = 0; j < ext; ++j) {
+  // Inverse NTT all accumulator components (back to coefficient form;
+  // inputs are in [0, 2q), outputs fully reduced).
+  auto inverse = [&](size_t flat) {
+    const size_t j = flat >> 1;
     const size_t key_idx = (j <= level) ? j : sp_key_idx;
-    base.ntt(key_idx).InverseNtt(acc0.data() + j * n);
-    base.ntt(key_idx).InverseNtt(acc1.data() + j * n);
+    uint64_t* buf = ((flat & 1) == 0 ? acc0 : acc1).data() + j * n;
+    base.ntt(key_idx).InverseNtt(buf);
+  };
+  ThreadPool* pool = base.thread_pool();
+  if (pool != nullptr) {
+    pool->ParallelFor(0, 2 * ext, inverse);
+  } else {
+    for (size_t flat = 0; flat < 2 * ext; ++flat) inverse(flat);
   }
 
   // Divide by the special prime with t-preserving rounding:
-  //   delta = t * [acc_sp * t^{-1}]_sp (centered), out = (acc - delta)/sp.
+  //   delta = t * [acc_sp * t^{-1}]_sp (centered), out = (acc - delta)/sp,
+  // restructured component-major: the centered correction r is computed
+  // once per coefficient into the special-prime slot, then each data prime
+  // runs one linear pass out = acc*sp^{-1} - r*(t*sp^{-1}) using
+  // precomputed Shoup constants (no per-coefficient hardware division).
   const uint64_t sp = base.modulus(sp_key_idx).value();
+  const uint64_t sp_half = sp >> 1;
   const uint64_t t_inv_sp = ctx_->t_inv_mod_sp();
+  const uint64_t t_inv_sp_shoup = ctx_->t_inv_mod_sp_shoup();
   *u0 = ZeroPoly(n, level + 1, /*ntt_form=*/false);
   *u1 = ZeroPoly(n, level + 1, /*ntt_form=*/false);
-  const Modulus sp_mod(sp);
   for (int which = 0; which < 2; ++which) {
-    const std::vector<uint64_t>& acc = which == 0 ? acc0 : acc1;
+    std::vector<uint64_t>& acc = which == 0 ? acc0 : acc1;
     RnsPoly* out = which == 0 ? u0 : u1;
-    const uint64_t* acc_sp = acc.data() + (level + 1) * n;
+    uint64_t* __restrict rsp = acc.data() + (level + 1) * n;
     for (size_t c = 0; c < n; ++c) {
-      const uint64_t r = sp_mod.MulMod(acc_sp[c], t_inv_sp);
-      const int64_t r_centered = CenterMod(r, sp);
-      for (size_t j = 0; j <= level; ++j) {
-        const Modulus& mod = base.modulus(j);
-        const uint64_t q = mod.value();
-        const uint64_t delta =
-            mod.MulMod(ctx_->t_mod_q(j), ToUnsignedMod(r_centered, q));
-        const uint64_t diff = SubMod(acc[j * n + c], delta, q);
-        out->comp(j)[c] = mod.MulMod(diff, ctx_->sp_inv_mod_q(j));
+      rsp[c] = MulModShoup(rsp[c], t_inv_sp, t_inv_sp_shoup, sp);
+    }
+    for (size_t j = 0; j <= level; ++j) {
+      const Modulus& mod = base.modulus(j);
+      const uint64_t q = mod.value();
+      const uint64_t sp_mod_qj = ctx_->sp_mod_q(j);
+      const uint64_t sp_inv = ctx_->sp_inv_mod_q(j);
+      const uint64_t sp_inv_shoup = ctx_->sp_inv_mod_q_shoup(j);
+      const uint64_t t_sp_inv = ctx_->t_sp_inv_mod_q(j);
+      const uint64_t t_sp_inv_shoup = ctx_->t_sp_inv_mod_q_shoup(j);
+      const uint64_t* __restrict av = acc.data() + j * n;
+      uint64_t* __restrict ov = out->comp(j);
+      for (size_t c = 0; c < n; ++c) {
+        const uint64_t r = rsp[c];
+        uint64_t rq = mod.Reduce(r);
+        if (r > sp_half) rq = SubMod(rq, sp_mod_qj, q);
+        const uint64_t lhs = MulModShoup(av[c], sp_inv, sp_inv_shoup, q);
+        const uint64_t rhs = MulModShoup(rq, t_sp_inv, t_sp_inv_shoup, q);
+        ov[c] = SubMod(lhs, rhs, q);
       }
     }
   }
-  ToNttInplace(u0, base);
-  ToNttInplace(u1, base);
+  if (ntt_out) {
+    ToNttInplace(u0, base);
+    ToNttInplace(u1, base);
+  }
+}
+
+void Evaluator::KeySwitchCore(size_t level, const RnsPoly& target,
+                              const KSwitchKey& ksk, RnsPoly* u0, RnsPoly* u1,
+                              const RnsPoly* target_ntt) const {
+  KSwitchDigits digits = DecomposeForKeySwitch(level, target, target_ntt);
+  KeySwitchInner(digits, ksk, /*perm_ntt=*/nullptr, u0, u1, /*ntt_out=*/true);
 }
 
 Status Evaluator::RelinearizeInplace(Ciphertext* a,
@@ -236,7 +385,7 @@ Status Evaluator::RelinearizeInplace(Ciphertext* a,
   RnsPoly d2 = a->c[2];
   FromNttInplace(&d2, ctx_->key_base());
   RnsPoly u0, u1;
-  KeySwitchCore(a->level, d2, rk.key, &u0, &u1);
+  KeySwitchCore(a->level, d2, rk.key, &u0, &u1, /*target_ntt=*/&a->c[2]);
   sknn::AddInplace(&a->c[0], u0, ctx_->key_base());
   sknn::AddInplace(&a->c[1], u1, ctx_->key_base());
   a->c.pop_back();
@@ -255,22 +404,43 @@ StatusOr<Ciphertext> Evaluator::MultiplyRelin(const Ciphertext& a,
   return out;
 }
 
-Status Evaluator::MultiplyPlainInplace(Ciphertext* a,
-                                       const Plaintext& pt) const {
-  SKNN_COUNT_EVALUATOR_OP("multiply_plain");
-  SKNN_RETURN_IF_ERROR(CheckCt(*a));
+StatusOr<PlainOperand> Evaluator::MakeMultiplyOperand(const Plaintext& pt,
+                                                      size_t level) const {
   if (pt.coeffs.size() != ctx_->n()) {
     return InvalidArgumentError("plaintext degree mismatch");
+  }
+  if (level > ctx_->max_level()) {
+    return InvalidArgumentError("operand level out of range");
   }
   if (pt.IsZero()) {
     return InvalidArgumentError(
         "multiplying by the zero plaintext produces a transparent "
         "ciphertext; subtract instead");
   }
-  RnsPoly m = LiftPlainCentered(*ctx_, pt.coeffs, a->level + 1);
-  ToNttInplace(&m, ctx_->key_base());
-  for (RnsPoly& p : a->c) MulPointwiseInplace(&p, m, ctx_->key_base());
+  PlainOperand op;
+  op.level = level;
+  op.scale = 1;
+  op.m = LiftPlainCentered(*ctx_, pt.coeffs, level + 1);
+  ToNttInplace(&op.m, ctx_->key_base());
+  return op;
+}
+
+Status Evaluator::MultiplyPlainInplace(Ciphertext* a,
+                                       const PlainOperand& op) const {
+  SKNN_COUNT_EVALUATOR_OP("multiply_plain");
+  SKNN_RETURN_IF_ERROR(CheckCt(*a));
+  if (op.level != a->level) {
+    return InvalidArgumentError("plaintext operand prepared for another level");
+  }
+  for (RnsPoly& p : a->c) MulPointwiseInplace(&p, op.m, ctx_->key_base());
   return Status::Ok();
+}
+
+Status Evaluator::MultiplyPlainInplace(Ciphertext* a,
+                                       const Plaintext& pt) const {
+  SKNN_RETURN_IF_ERROR(CheckCt(*a));
+  SKNN_ASSIGN_OR_RETURN(PlainOperand op, MakeMultiplyOperand(pt, a->level));
+  return MultiplyPlainInplace(a, op);
 }
 
 Status Evaluator::MultiplyScalarInplace(Ciphertext* a,
@@ -303,21 +473,36 @@ RnsPoly Evaluator::DropLastComponent(const RnsPoly& poly, size_t level) const {
   const size_t n = ctx_->n();
   const RnsBase& base = ctx_->key_base();
   const uint64_t q_last = base.modulus(level).value();
-  const Modulus& last_mod = base.modulus(level);
   const uint64_t t_inv = ctx_->t_inv_mod_q(level);
 
-  RnsPoly out = ZeroPoly(n, level, /*ntt_form=*/false);
-  const uint64_t* last = poly.comp(level);
+  // Component-major rounding (same restructuring as the key-switch tail):
+  // one pass computes the centered correction r = [last * t^{-1}]_{q_last}
+  // for all coefficients, then each surviving prime runs a linear pass
+  // out = a*q_last^{-1} - r*(t*q_last^{-1}) on Shoup constants.
+  const uint64_t half = q_last >> 1;
+  const uint64_t t_inv_shoup = ctx_->t_inv_mod_q_shoup(level);
+  std::vector<uint64_t> r(n);
+  const uint64_t* __restrict last = poly.comp(level);
   for (size_t c = 0; c < n; ++c) {
-    const uint64_t r = last_mod.MulMod(last[c], t_inv);
-    const int64_t r_centered = CenterMod(r, q_last);
-    for (size_t j = 0; j < level; ++j) {
-      const Modulus& mod = base.modulus(j);
-      const uint64_t q = mod.value();
-      const uint64_t delta =
-          mod.MulMod(ctx_->t_mod_q(j), ToUnsignedMod(r_centered, q));
-      const uint64_t diff = SubMod(poly.comp(j)[c], delta, q);
-      out.comp(j)[c] = mod.MulMod(diff, ctx_->q_inv_mod_q(level, j));
+    r[c] = MulModShoup(last[c], t_inv, t_inv_shoup, q_last);
+  }
+  RnsPoly out = ZeroPoly(n, level, /*ntt_form=*/false);
+  for (size_t j = 0; j < level; ++j) {
+    const Modulus& mod = base.modulus(j);
+    const uint64_t q = mod.value();
+    const uint64_t q_last_mod_qj = ctx_->q_mod_q(level, j);
+    const uint64_t q_inv = ctx_->q_inv_mod_q(level, j);
+    const uint64_t q_inv_shoup = ctx_->q_inv_mod_q_shoup(level, j);
+    const uint64_t t_q_inv = ctx_->t_q_inv_mod_q(level, j);
+    const uint64_t t_q_inv_shoup = ctx_->t_q_inv_mod_q_shoup(level, j);
+    const uint64_t* __restrict av = poly.comp(j);
+    uint64_t* __restrict ov = out.comp(j);
+    for (size_t c = 0; c < n; ++c) {
+      uint64_t rq = mod.Reduce(r[c]);
+      if (r[c] > half) rq = SubMod(rq, q_last_mod_qj, q);
+      const uint64_t lhs = MulModShoup(av[c], q_inv, q_inv_shoup, q);
+      const uint64_t rhs = MulModShoup(rq, t_q_inv, t_q_inv_shoup, q);
+      ov[c] = SubMod(lhs, rhs, q);
     }
   }
   return out;
@@ -361,45 +546,98 @@ Status Evaluator::ApplyGaloisInplace(Ciphertext* a, uint64_t galois_elt,
     return NotFoundError("missing Galois key for element " +
                          std::to_string(galois_elt));
   }
+  // NTT-domain automorphism: c0 is permuted in place (no round-trip), and
+  // c1's automorphism is fused into the key-switch inner product as a
+  // permuted gather of its digits (decompose commutes with tau, so the
+  // permuted digits are a valid decomposition of tau(c1)).
   const RnsBase& base = ctx_->key_base();
-  RnsPoly c0 = a->c[0];
   RnsPoly c1 = a->c[1];
-  FromNttInplace(&c0, base);
   FromNttInplace(&c1, base);
-  RnsPoly c0_tau = ApplyGaloisCoeff(c0, galois_elt, base);
-  RnsPoly c1_tau = ApplyGaloisCoeff(c1, galois_elt, base);
-  ToNttInplace(&c0_tau, base);
-
+  KSwitchDigits digits =
+      DecomposeForKeySwitch(a->level, c1, /*target_ntt=*/&a->c[1]);
+  const std::vector<uint32_t>& perm = base.GaloisPermTableNtt(galois_elt);
   RnsPoly u0, u1;
-  KeySwitchCore(a->level, c1_tau, it->second, &u0, &u1);
+  KeySwitchInner(digits, it->second, perm.data(), &u0, &u1, /*ntt_out=*/true);
+  RnsPoly c0_tau = ApplyGaloisNtt(a->c[0], galois_elt, base);
   sknn::AddInplace(&u0, c0_tau, base);
   a->c[0] = std::move(u0);
   a->c[1] = std::move(u1);
   return Status::Ok();
 }
 
-Status Evaluator::RotateRowsInplace(Ciphertext* a, int step,
-                                    const GaloisKeys& gk) const {
-  if (step == 0) return Status::Ok();
+Status Evaluator::ApplyGaloisChainInplace(
+    Ciphertext* a, const std::vector<uint64_t>& galois_elts,
+    const GaloisKeys& gk) const {
+  if (galois_elts.empty()) return Status::Ok();
+  if (galois_elts.size() == 1) {
+    return ApplyGaloisInplace(a, galois_elts[0], gk);
+  }
+  SKNN_RETURN_IF_ERROR(CheckCt(*a));
+  if (a->size() != 2) {
+    return InvalidArgumentError("ApplyGalois requires a size-2 ciphertext");
+  }
+  // Validate every key before mutating the ciphertext.
+  for (uint64_t elt : galois_elts) {
+    if (!gk.Has(elt)) {
+      return NotFoundError("missing Galois key for element " +
+                           std::to_string(elt));
+    }
+  }
+  // Chain in coefficient form: each hop decomposes the current c1, runs the
+  // permuted inner product, and folds tau into c0 coefficient-side. Only
+  // the final result pays a ToNtt conversion, so h hops cost h decomposes
+  // plus 2 conversions instead of the ~5h conversions of repeated
+  // ApplyGaloisInplace.
+  const RnsBase& base = ctx_->key_base();
+  RnsPoly c0 = a->c[0];
+  RnsPoly c1 = a->c[1];
+  FromNttInplace(&c0, base);
+  FromNttInplace(&c1, base);
+  // The first hop can reuse the still-NTT-form input c1 for the diagonal
+  // digit components; later hops only have the coefficient form.
+  const RnsPoly* c1_ntt = &a->c[1];
+  for (uint64_t elt : galois_elts) {
+    SKNN_COUNT_EVALUATOR_OP("galois_automorphism");
+    KSwitchDigits digits = DecomposeForKeySwitch(a->level, c1, c1_ntt);
+    c1_ntt = nullptr;
+    const std::vector<uint32_t>& perm = base.GaloisPermTableNtt(elt);
+    RnsPoly u0, u1;
+    KeySwitchInner(digits, gk.keys.at(elt), perm.data(), &u0, &u1,
+                   /*ntt_out=*/false);
+    c0 = ApplyGaloisCoeff(c0, elt, base);
+    sknn::AddInplace(&c0, u0, base);
+    c1 = std::move(u1);
+  }
+  ToNttInplace(&c0, base);
+  ToNttInplace(&c1, base);
+  a->c[0] = std::move(c0);
+  a->c[1] = std::move(c1);
+  return Status::Ok();
+}
+
+std::vector<uint64_t> Evaluator::RotationGaloisElts(
+    int step, const GaloisKeys& gk) const {
   const size_t row = ctx_->row_size();
-  // Normalize into (-row, row).
   step = static_cast<int>(((step % static_cast<int>(row)) +
                            static_cast<int>(row)) %
                           static_cast<int>(row));
-  if (step == 0) return Status::Ok();
-  // Decompose into available power-of-two keys when the exact key is
-  // missing.
+  if (step == 0) return {};
+  // Prefer the exact key; decompose into power-of-two keys otherwise.
   const uint64_t elt = ctx_->GaloisEltForRotation(step);
-  if (gk.Has(elt)) {
-    return ApplyGaloisInplace(a, elt, gk);
-  }
+  if (gk.Has(elt)) return {elt};
+  std::vector<uint64_t> elts;
   for (size_t bit = 0; (size_t{1} << bit) < row; ++bit) {
     if (step & (1 << bit)) {
-      const uint64_t e = ctx_->GaloisEltForRotation(1 << bit);
-      SKNN_RETURN_IF_ERROR(ApplyGaloisInplace(a, e, gk));
+      elts.push_back(ctx_->GaloisEltForRotation(1 << bit));
     }
   }
-  return Status::Ok();
+  return elts;
+}
+
+Status Evaluator::RotateRowsInplace(Ciphertext* a, int step,
+                                    const GaloisKeys& gk) const {
+  if (step == 0) return Status::Ok();
+  return ApplyGaloisChainInplace(a, RotationGaloisElts(step, gk), gk);
 }
 
 Status Evaluator::RotateColumnsInplace(Ciphertext* a,
@@ -415,13 +653,169 @@ Status Evaluator::FoldRowsInplace(Ciphertext* a, size_t block,
   if (block > ctx_->row_size()) {
     return InvalidArgumentError("fold block exceeds row size");
   }
-  for (size_t step = 1; step < block; step <<= 1) {
-    Ciphertext rotated = *a;
-    SKNN_RETURN_IF_ERROR(
-        RotateRowsInplace(&rotated, static_cast<int>(step), gk));
-    SKNN_RETURN_IF_ERROR(AddInplace(a, rotated));
+  if (block == 1) return Status::Ok();
+  SKNN_RETURN_IF_ERROR(CheckCt(*a));
+  if (a->size() != 2) {
+    return InvalidArgumentError("FoldRows requires a size-2 ciphertext");
   }
+  // Power-of-two step keys are the standard set; without them, fall back
+  // to the generic rotate-and-add loop.
+  bool have_keys = true;
+  for (size_t step = 1; step < block; step <<= 1) {
+    if (!gk.Has(ctx_->GaloisEltForRotation(static_cast<int>(step)))) {
+      have_keys = false;
+      break;
+    }
+  }
+  if (!have_keys) {
+    for (size_t step = 1; step < block; step <<= 1) {
+      Ciphertext rotated = *a;
+      SKNN_RETURN_IF_ERROR(
+          RotateRowsInplace(&rotated, static_cast<int>(step), gk));
+      SKNN_RETURN_IF_ERROR(AddInplace(a, rotated));
+    }
+    return Status::Ok();
+  }
+  // Fast path: keep the running sum in coefficient form across the whole
+  // log2(block) fold. Each stage decomposes the current c1 once and runs
+  // the permuted inner product (a += tau_step(a)); only the final result
+  // pays a ToNtt, so the fold does one NTT conversion set instead of one
+  // per stage.
+  const RnsBase& base = ctx_->key_base();
+  RnsPoly c0 = a->c[0];
+  RnsPoly c1 = a->c[1];
+  FromNttInplace(&c0, base);
+  FromNttInplace(&c1, base);
+  // Stage 1 can reuse the still-NTT-form input c1 for the diagonal digit
+  // components; later stages only have the coefficient form.
+  const RnsPoly* c1_ntt = &a->c[1];
+  for (size_t step = 1; step < block; step <<= 1) {
+    SKNN_COUNT_EVALUATOR_OP("galois_automorphism");
+    SKNN_COUNT_EVALUATOR_OP("add");
+    const uint64_t elt = ctx_->GaloisEltForRotation(static_cast<int>(step));
+    KSwitchDigits digits = DecomposeForKeySwitch(a->level, c1, c1_ntt);
+    c1_ntt = nullptr;
+    const std::vector<uint32_t>& perm = base.GaloisPermTableNtt(elt);
+    RnsPoly u0, u1;
+    KeySwitchInner(digits, gk.keys.at(elt), perm.data(), &u0, &u1,
+                   /*ntt_out=*/false);
+    // Rotated ciphertext is (tau(c0) + u0, u1); fold it into the sum.
+    RnsPoly c0_tau = ApplyGaloisCoeff(c0, elt, base);
+    sknn::AddInplace(&c0, c0_tau, base);
+    sknn::AddInplace(&c0, u0, base);
+    sknn::AddInplace(&c1, u1, base);
+  }
+  ToNttInplace(&c0, base);
+  ToNttInplace(&c1, base);
+  a->c[0] = std::move(c0);
+  a->c[1] = std::move(c1);
   return Status::Ok();
+}
+
+StatusOr<std::vector<Ciphertext>> Evaluator::HoistedRotations(
+    const Ciphertext& ct, const std::vector<int>& steps,
+    const GaloisKeys& gk) const {
+  SKNN_RETURN_IF_ERROR(CheckCt(ct));
+  if (ct.size() != 2) {
+    return InvalidArgumentError(
+        "HoistedRotations requires a size-2 ciphertext");
+  }
+  const size_t row = ctx_->row_size();
+  const RnsBase& base = ctx_->key_base();
+  // Normalize the steps and decide which can ride the shared
+  // decomposition (exact key present).
+  std::vector<int> normalized(steps.size());
+  std::vector<uint64_t> elts(steps.size(), 0);
+  bool any_hoisted = false;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    int step = static_cast<int>(((steps[i] % static_cast<int>(row)) +
+                                 static_cast<int>(row)) %
+                                static_cast<int>(row));
+    normalized[i] = step;
+    if (step == 0) continue;
+    const uint64_t elt = ctx_->GaloisEltForRotation(step);
+    if (gk.Has(elt)) {
+      elts[i] = elt;
+      any_hoisted = true;
+    }
+  }
+  // One decomposition of c1 serves every hoisted step.
+  KSwitchDigits digits;
+  if (any_hoisted) {
+    RnsPoly c1 = ct.c[1];
+    FromNttInplace(&c1, base);
+    digits = DecomposeForKeySwitch(ct.level, c1, /*target_ntt=*/&ct.c[1]);
+  }
+  std::vector<Ciphertext> out;
+  out.reserve(steps.size());
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (normalized[i] == 0) {
+      out.push_back(ct);
+      continue;
+    }
+    if (elts[i] == 0) {
+      // No exact key: compose power-of-two rotations sequentially.
+      Ciphertext rotated = ct;
+      SKNN_RETURN_IF_ERROR(RotateRowsInplace(&rotated, normalized[i], gk));
+      out.push_back(std::move(rotated));
+      continue;
+    }
+    SKNN_COUNT_EVALUATOR_OP("hoisted_rotation");
+    const std::vector<uint32_t>& perm = base.GaloisPermTableNtt(elts[i]);
+    Ciphertext rotated;
+    rotated.level = ct.level;
+    rotated.scale = ct.scale;
+    RnsPoly u0, u1;
+    KeySwitchInner(digits, gk.keys.at(elts[i]), perm.data(), &u0, &u1,
+                   /*ntt_out=*/true);
+    RnsPoly c0_tau = ApplyGaloisNtt(ct.c[0], elts[i], base);
+    sknn::AddInplace(&u0, c0_tau, base);
+    rotated.c.push_back(std::move(u0));
+    rotated.c.push_back(std::move(u1));
+    out.push_back(std::move(rotated));
+  }
+  return out;
+}
+
+StatusOr<const PlainOperand*> PlainOperandCache::MultiplyOperand(
+    const Evaluator& ev, uint64_t tag, const Plaintext& pt, size_t level) {
+  const Key key{0, tag, level, 0};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = ops_.find(key);
+    if (it != ops_.end()) return it->second.get();
+  }
+  SKNN_ASSIGN_OR_RETURN(PlainOperand op, ev.MakeMultiplyOperand(pt, level));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = ops_[key];
+  if (slot == nullptr) slot = std::make_unique<PlainOperand>(std::move(op));
+  return slot.get();
+}
+
+StatusOr<const PlainOperand*> PlainOperandCache::AddOperand(
+    const Evaluator& ev, uint64_t tag, const Plaintext& pt, size_t level,
+    uint64_t scale) {
+  const Key key{1, tag, level, scale};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = ops_.find(key);
+    if (it != ops_.end()) return it->second.get();
+  }
+  SKNN_ASSIGN_OR_RETURN(PlainOperand op, ev.MakeAddOperand(pt, level, scale));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = ops_[key];
+  if (slot == nullptr) slot = std::make_unique<PlainOperand>(std::move(op));
+  return slot.get();
+}
+
+void PlainOperandCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ops_.clear();
+}
+
+size_t PlainOperandCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_.size();
 }
 
 }  // namespace bgv

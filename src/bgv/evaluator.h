@@ -1,7 +1,10 @@
 #ifndef SKNN_BGV_EVALUATOR_H_
 #define SKNN_BGV_EVALUATOR_H_
 
+#include <map>
 #include <memory>
+#include <mutex>
+#include <tuple>
 #include <vector>
 
 #include "bgv/ciphertext.h"
@@ -16,9 +19,37 @@
 // should be followed by ModSwitchToNextInplace (the Multiply helpers do it
 // on request). Binary operations equalize operand levels automatically by
 // switching the higher one down.
+//
+// Key switching is split Halevi–Shoup style (DESIGN.md §3.2): the digit
+// decomposition (lift + forward NTTs, the expensive half) is computed once
+// per source polynomial and can be reused across every Galois key applied
+// to it — HoistedRotations and the fold/rotation chains are built on that
+// split.
 
 namespace sknn {
 namespace bgv {
+
+// The hoisted half of a key switch: RNS digits of a polynomial lifted to
+// the extended base (the level's data primes + the special prime) and
+// NTT'd. digits[i] has level+2 components; component j lives mod key-base
+// prime j for j <= level and mod the special prime for j == level+1.
+// Reusable across keys because the decomposition only depends on the
+// source polynomial.
+struct KSwitchDigits {
+  size_t level = 0;
+  std::vector<RnsPoly> digits;
+};
+
+// A plaintext operand prepared for repeated use against ciphertexts at one
+// (level, scale): lifted to the RNS base (centered mod t) and NTT'd. For
+// additive operands the ciphertext's scale correction is baked into the
+// lift, so `scale` records which ciphertexts the operand is valid for
+// (multiplicative operands are scale-independent; their scale is 1).
+struct PlainOperand {
+  size_t level = 0;
+  uint64_t scale = 1;
+  RnsPoly m;
+};
 
 class Evaluator {
  public:
@@ -48,6 +79,17 @@ class Evaluator {
   // |scalar| only.
   Status MultiplyScalarInplace(Ciphertext* a, uint64_t scalar_mod_t) const;
 
+  // --- prepared plaintext operands ---
+  // Builds the lifted+NTT'd operand once; the Inplace overloads below then
+  // skip LiftPlainCentered + ToNttInplace on every use. The operand is
+  // bound to a level (and, for addition, a ciphertext scale).
+  StatusOr<PlainOperand> MakeMultiplyOperand(const Plaintext& pt,
+                                             size_t level) const;
+  StatusOr<PlainOperand> MakeAddOperand(const Plaintext& pt, size_t level,
+                                        uint64_t scale) const;
+  Status MultiplyPlainInplace(Ciphertext* a, const PlainOperand& op) const;
+  Status AddPlainInplace(Ciphertext* a, const PlainOperand& op) const;
+
   // --- level management ---
   Status ModSwitchToNextInplace(Ciphertext* a) const;
   Status ModSwitchToLevelInplace(Ciphertext* a, size_t level) const;
@@ -60,10 +102,31 @@ class Evaluator {
   // Applies an arbitrary Galois automorphism (a key for it must exist).
   Status ApplyGaloisInplace(Ciphertext* a, uint64_t galois_elt,
                             const GaloisKeys& gk) const;
+  // Applies a sequence of automorphisms (all keys must exist), keeping the
+  // intermediate ciphertext in coefficient form so a chain of h hops pays
+  // 2 NTT conversions instead of 2h. The workhorse behind multi-hop
+  // rotations and Party A's permute/absorb sweeps.
+  Status ApplyGaloisChainInplace(Ciphertext* a,
+                                 const std::vector<uint64_t>& galois_elts,
+                                 const GaloisKeys& gk) const;
   // Sums an arbitrary contiguous power-of-two block: after this call every
   // slot j holds sum_{r<block} input[j+r] (within rows). Used for the
   // distance fold.
   Status FoldRowsInplace(Ciphertext* a, size_t block, const GaloisKeys& gk) const;
+  // Halevi–Shoup hoisting: rotates `ct` by every step in `steps` while
+  // paying the expensive digit decomposition once (steps served this way
+  // bump the bgv.evaluator.hoisted_rotation counter). Steps whose exact
+  // Galois key is missing fall back to sequential composed rotation; step 0
+  // returns a plain copy.
+  StatusOr<std::vector<Ciphertext>> HoistedRotations(
+      const Ciphertext& ct, const std::vector<int>& steps,
+      const GaloisKeys& gk) const;
+  // Galois elements whose composition realizes a row rotation by `step`
+  // (empty for step 0): the exact element when its key exists, else the
+  // power-of-two decomposition. Lets callers splice rotations and column
+  // swaps into one ApplyGaloisChainInplace call.
+  std::vector<uint64_t> RotationGaloisElts(int step,
+                                           const GaloisKeys& gk) const;
 
  private:
   Status CheckCt(const Ciphertext& a) const;
@@ -71,15 +134,60 @@ class Evaluator {
   Status Equalize(Ciphertext* a, Ciphertext* b) const;
   // Rescales a's content so it carries b's scale factor (no-op when equal).
   Status MatchScale(Ciphertext* a, const Ciphertext& b) const;
-  // Core key switch: given `target` (coefficient form, level+1 components),
-  // returns the rounded (u0, u1) contribution in NTT form at the same level.
+  // The hoisted half of a key switch: digit lift + per-prime forward NTTs
+  // of `target` (coefficient form, level+1 components). When the caller
+  // still holds the same polynomial in NTT form, passing it as
+  // `target_ntt` lets the diagonal digit components (digit i mod prime i)
+  // skip their forward NTT — they equal the NTT-form residues verbatim.
+  KSwitchDigits DecomposeForKeySwitch(size_t level, const RnsPoly& target,
+                                      const RnsPoly* target_ntt =
+                                          nullptr) const;
+  // The cheap half: inner product of prepared digits against `ksk` with
+  // lazy [0, 2q) accumulation, optional NTT-domain Galois permutation of
+  // the digits (perm_ntt from RnsBase::GaloisPermTableNtt, may be null),
+  // inverse NTTs and the special-prime rounding division. Outputs have
+  // level+1 components, NTT form iff `ntt_out`.
+  void KeySwitchInner(const KSwitchDigits& digits, const KSwitchKey& ksk,
+                      const uint32_t* perm_ntt, RnsPoly* u0, RnsPoly* u1,
+                      bool ntt_out) const;
+  // Decompose + inner product (no permutation), NTT-form outputs.
   void KeySwitchCore(size_t level, const RnsPoly& target,
-                     const KSwitchKey& ksk, RnsPoly* u0, RnsPoly* u1) const;
+                     const KSwitchKey& ksk, RnsPoly* u0, RnsPoly* u1,
+                     const RnsPoly* target_ntt = nullptr) const;
   // Drops the last RNS component of a poly with BGV rounding (coefficient
   // form in, coefficient form out).
   RnsPoly DropLastComponent(const RnsPoly& poly, size_t level) const;
 
   std::shared_ptr<const BgvContext> ctx_;
+};
+
+// Thread-safe keyed cache of prepared plaintext operands. Callers pick the
+// tag namespace (e.g. "selector for unit u", "mask coefficient j"); the
+// cache key is (kind, tag, level, scale). Entries are stable: returned
+// pointers stay valid until Clear(). Typical use: Party A's per-query mask
+// polynomial, whose coefficients hit every unit at the same few levels.
+class PlainOperandCache {
+ public:
+  // Returns the cached multiply operand for (tag, level), building it from
+  // `pt` on a miss. The caller must pass the same plaintext for the same
+  // tag while the cache lives.
+  StatusOr<const PlainOperand*> MultiplyOperand(const Evaluator& ev,
+                                                uint64_t tag,
+                                                const Plaintext& pt,
+                                                size_t level);
+  // Additive variant; the operand also depends on the ciphertext scale it
+  // will be added to.
+  StatusOr<const PlainOperand*> AddOperand(const Evaluator& ev, uint64_t tag,
+                                           const Plaintext& pt, size_t level,
+                                           uint64_t scale);
+  void Clear();
+  size_t size() const;
+
+ private:
+  // (is_add, tag, level, scale) -> operand.
+  using Key = std::tuple<int, uint64_t, size_t, uint64_t>;
+  mutable std::mutex mu_;
+  std::map<Key, std::unique_ptr<PlainOperand>> ops_;
 };
 
 }  // namespace bgv

@@ -1,10 +1,43 @@
 #include "bgv/keys.h"
 
+#include <mutex>
+
 #include "bgv/sampling.h"
 #include "common/logging.h"
 
 namespace sknn {
 namespace bgv {
+
+const KSwitchKey::ShoupTables& KSwitchKey::GetShoupTables(
+    const RnsBase& base) const {
+  // One build per key object (copies made before the first use each build
+  // their own tables; copies made after share the pointer). A single global
+  // mutex is enough: the build is a few ms and runs once per key.
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  if (shoup_cache_ == nullptr) {
+    auto tables = std::make_shared<ShoupTables>();
+    tables->digits.resize(digits.size());
+    for (size_t i = 0; i < digits.size(); ++i) {
+      const RnsPoly& b = digits[i].first;
+      const RnsPoly& a = digits[i].second;
+      const size_t n = b.n();
+      auto precompute = [&](const RnsPoly& p, std::vector<uint64_t>* out) {
+        out->resize(p.num_components() * n);
+        for (size_t c = 0; c < p.num_components(); ++c) {
+          const uint64_t q = base.modulus(c).value();
+          const uint64_t* __restrict src = p.comp(c);
+          uint64_t* __restrict dst = out->data() + c * n;
+          for (size_t j = 0; j < n; ++j) dst[j] = ShoupPrecompute(src[j], q);
+        }
+      };
+      precompute(b, &tables->digits[i].first);
+      precompute(a, &tables->digits[i].second);
+    }
+    shoup_cache_ = std::move(tables);
+  }
+  return *shoup_cache_;
+}
 
 KeyGenerator::KeyGenerator(std::shared_ptr<const BgvContext> ctx,
                            Chacha20Rng* rng)

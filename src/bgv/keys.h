@@ -37,6 +37,22 @@ struct PublicKey {
 // form. b_i = -(a_i*s + t*e_i) + sp * indicator_i * s'.
 struct KSwitchKey {
   std::vector<std::pair<RnsPoly, RnsPoly>> digits;
+
+  // Shoup companions of every digit residue (same flat component-major
+  // layout as the polynomials), built lazily on first use by the
+  // evaluator's MAC loop and shared across copies of the key. Derived
+  // data only: never serialized, never compared.
+  struct ShoupTables {
+    // shoup[i] = {b_shoup, a_shoup} for digits[i], each
+    // num_components * n words.
+    std::vector<std::pair<std::vector<uint64_t>, std::vector<uint64_t>>>
+        digits;
+  };
+  // Returns the cached tables, building them on first call (thread-safe).
+  const ShoupTables& GetShoupTables(const RnsBase& base) const;
+
+ private:
+  mutable std::shared_ptr<const ShoupTables> shoup_cache_;
 };
 
 // Relinearization key: switches s^2 -> s.

@@ -28,23 +28,24 @@ SymmetricEncryptor::SymmetricEncryptor(std::shared_ptr<const BgvContext> ctx,
     : ctx_(std::move(ctx)), sk_(std::move(sk)), rng_(rng) {}
 
 StatusOr<SeededCiphertext> SymmetricEncryptor::EncryptSeeded(
-    const Plaintext& pt, size_t level) const {
+    const Plaintext& pt, size_t level, Chacha20Rng* rng) const {
   if (level > ctx_->max_level()) {
     return InvalidArgumentError("encryption level exceeds parameter chain");
   }
   if (pt.coeffs.size() != ctx_->n()) {
     return InvalidArgumentError("plaintext has wrong degree");
   }
+  if (rng == nullptr) rng = rng_;
   const size_t comps = level + 1;
   const RnsBase& base = ctx_->key_base();
 
   SeededCiphertext out;
   out.level = level;
   out.scale = 1;
-  rng_->FillBytes(out.seed.data(), out.seed.size());
+  rng->FillBytes(out.seed.data(), out.seed.size());
   RnsPoly a = ExpandA(*ctx_, out.seed, comps);
 
-  RnsPoly e = SampleGaussianPoly(*ctx_, comps, rng_);
+  RnsPoly e = SampleGaussianPoly(*ctx_, comps, rng);
   std::vector<uint64_t> t_mod(comps);
   for (size_t i = 0; i < comps; ++i) t_mod[i] = ctx_->t_mod_q(i);
   MulScalarInplace(&e, t_mod, base);

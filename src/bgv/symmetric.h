@@ -43,9 +43,12 @@ class SymmetricEncryptor {
   SymmetricEncryptor(std::shared_ptr<const BgvContext> ctx, SecretKey sk,
                      Chacha20Rng* rng);
 
-  // Compressed encryption at the given level.
-  StatusOr<SeededCiphertext> EncryptSeeded(const Plaintext& pt,
-                                           size_t level) const;
+  // Compressed encryption at the given level. When `rng` is non-null all
+  // randomness (including the c1 seed) is drawn from it instead of the
+  // constructor's generator — parallel callers hand each task a
+  // deterministic fork so the transcript does not depend on scheduling.
+  StatusOr<SeededCiphertext> EncryptSeeded(const Plaintext& pt, size_t level,
+                                           Chacha20Rng* rng = nullptr) const;
   // Convenience: compressed encryption immediately expanded.
   StatusOr<Ciphertext> Encrypt(const Plaintext& pt, size_t level) const;
 

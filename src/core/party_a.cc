@@ -74,7 +74,13 @@ StatusOr<bgv::Ciphertext> PartyA::DistanceForUnit(
     if (layout_.mode() == Layout::kPacked) {
       SKNN_ASSIGN_OR_RETURN(bgv::Plaintext selector,
                             encoder_.Encode(layout_.SelectorSlots(unit)));
-      SKNN_RETURN_IF_ERROR(evaluator_.MultiplyPlainInplace(&x, selector));
+      // The selector depends only on the layout, so its lifted+NTT'd
+      // operand is cached across queries (keyed by unit).
+      SKNN_ASSIGN_OR_RETURN(
+          const bgv::PlainOperand* selector_op,
+          selector_cache_.MultiplyOperand(evaluator_, unit, selector,
+                                          x.level));
+      SKNN_RETURN_IF_ERROR(evaluator_.MultiplyPlainInplace(&x, *selector_op));
       ops->he_plain_ops += 1;
       // A plaintext product costs as much noise as a ciphertext product;
       // spend a level on it.
@@ -92,16 +98,26 @@ StatusOr<bgv::Ciphertext> PartyA::DistanceForUnit(
     u = x;
     SKNN_RETURN_IF_ERROR(evaluator_.MultiplyScalarInplace(&u, a[d]));
     ops->he_plain_ops += 1;
-    SKNN_RETURN_IF_ERROR(
-        evaluator_.AddPlainInplace(&u, encoder_.EncodeScalar(a[d - 1])));
+    // Every unit walks the same coefficient sequence through the same
+    // (level, scale) trajectory, so the lifted+NTT'd addends are built
+    // once per query (by the first unit) and served from the cache after.
+    SKNN_ASSIGN_OR_RETURN(
+        const bgv::PlainOperand* addend,
+        horner_cache_.AddOperand(evaluator_, d - 1,
+                                 encoder_.EncodeScalar(a[d - 1]), u.level,
+                                 u.scale));
+    SKNN_RETURN_IF_ERROR(evaluator_.AddPlainInplace(&u, *addend));
     ops->he_plain_ops += 1;
     for (size_t j = d - 1; j-- > 0;) {
       SKNN_ASSIGN_OR_RETURN(u, evaluator_.MultiplyRelin(u, x, relin_));
       ops->he_multiplications += 1;
       ops->relinearizations += 1;
       ops->mod_switches += 1;
-      SKNN_RETURN_IF_ERROR(
-          evaluator_.AddPlainInplace(&u, encoder_.EncodeScalar(a[j])));
+      SKNN_ASSIGN_OR_RETURN(
+          const bgv::PlainOperand* addend_j,
+          horner_cache_.AddOperand(evaluator_, j, encoder_.EncodeScalar(a[j]),
+                                   u.level, u.scale));
+      SKNN_RETURN_IF_ERROR(evaluator_.AddPlainInplace(&u, *addend_j));
       ops->he_plain_ops += 1;
     }
     // Masking and rotations happen at level 1: level 0 is reserved for
@@ -132,18 +148,19 @@ StatusOr<bgv::Ciphertext> PartyA::DistanceForUnit(
   {
     trace::TraceSpan span("permute");
     // Packed mode: random block rotation + column swap (the intra-unit part
-    // of the permutation).
+    // of the permutation), spliced into one coefficient-form Galois chain
+    // so the whole sweep pays a single NTT round-trip.
     if (layout_.mode() == Layout::kPacked) {
       const size_t rot = rotations_[unit];
-      if (rot != 0) {
-        SKNN_RETURN_IF_ERROR(evaluator_.RotateRowsInplace(
-            &u, static_cast<int>(rot * layout_.padded_dims()), galois_));
-        ops->rotations += 1;
-      }
+      std::vector<uint64_t> elts = evaluator_.RotationGaloisElts(
+          static_cast<int>(rot * layout_.padded_dims()), galois_);
+      if (rot != 0) ops->rotations += 1;
       if (col_swapped_[unit]) {
-        SKNN_RETURN_IF_ERROR(evaluator_.RotateColumnsInplace(&u, galois_));
+        elts.push_back(ctx_->GaloisEltForColumnSwap());
         ops->rotations += 1;
       }
+      SKNN_RETURN_IF_ERROR(
+          evaluator_.ApplyGaloisChainInplace(&u, elts, galois_));
     }
     // Transport level: the smallest ciphertext Party B can decrypt.
     if (u.level > 0) {
@@ -168,6 +185,8 @@ StatusOr<std::vector<bgv::Ciphertext>> PartyA::ComputeDistances(
       MaskingPolynomial mask,
       MaskingPolynomial::Sample(t, max_dist, config_.poly_degree, &rng_));
   mask_ = std::make_unique<MaskingPolynomial>(mask);
+  // The mask coefficients changed; prepared Horner addends are stale.
+  horner_cache_.Clear();
 
   const size_t units = layout_.num_units();
   // Fresh intra-unit transform + permutation.
@@ -234,17 +253,22 @@ Status PartyA::AbsorbIndicator(size_t j, size_t transformed_unit_pos,
   // with the stored database layout (rotating the small indicator is far
   // cheaper than re-deriving rotated database units).
   if (layout_.mode() == Layout::kPacked) {
+    std::vector<uint64_t> elts;
     if (col_swapped_[unit]) {
-      SKNN_RETURN_IF_ERROR(evaluator_.RotateColumnsInplace(&ind, galois_));
+      elts.push_back(ctx_->GaloisEltForColumnSwap());
       ops_.rotations += 1;
     }
     if (rotations_[unit] != 0) {
-      SKNN_RETURN_IF_ERROR(evaluator_.RotateRowsInplace(
-          &ind,
+      const std::vector<uint64_t> rot_elts = evaluator_.RotationGaloisElts(
           -static_cast<int>(rotations_[unit] * layout_.padded_dims()),
-          galois_));
+          galois_);
+      elts.insert(elts.end(), rot_elts.begin(), rot_elts.end());
       ops_.rotations += 1;
     }
+    // One coefficient-form chain instead of separate column-swap and
+    // rotation round-trips.
+    SKNN_RETURN_IF_ERROR(
+        evaluator_.ApplyGaloisChainInplace(&ind, elts, galois_));
   }
   SKNN_ASSIGN_OR_RETURN(bgv::Ciphertext prod,
                         evaluator_.Multiply(db_ret_[unit], ind));

@@ -102,6 +102,14 @@ class PartyA {
   std::vector<bgv::Ciphertext> db_top_;  // distance phase operands
   std::vector<bgv::Ciphertext> db_ret_;  // return phase operands (low level)
 
+  // Prepared plaintext operands (lifted + NTT'd once, reused across units
+  // and queries). selector_cache_ keys on the unit index: the packed-mode
+  // zeroing selector only depends on the layout. horner_cache_ keys on the
+  // mask coefficient index and is cleared at the start of every query (the
+  // mask polynomial is redrawn).
+  bgv::PlainOperandCache selector_cache_;
+  bgv::PlainOperandCache horner_cache_;
+
   // Per-query transform state.
   std::unique_ptr<MaskingPolynomial> mask_;
   std::vector<size_t> perm_;        // transformed position -> original unit

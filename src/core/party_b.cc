@@ -16,7 +16,8 @@ PartyB::PartyB(std::shared_ptr<const bgv::BgvContext> ctx,
       decryptor_(ctx, sk),  // keeps a copy; the original moves below
       rng_(rng_seed),
       encryptor_(ctx, std::move(pk), &rng_),
-      sym_encryptor_(ctx, std::move(sk), &rng_) {}
+      sym_encryptor_(ctx, std::move(sk), &rng_),
+      pool_(config_.threads) {}
 
 StatusOr<size_t> PartyB::FindNeighbours(
     const std::vector<bgv::Ciphertext>& units, size_t k) {
@@ -82,6 +83,65 @@ StatusOr<bgv::SeededCiphertext> PartyB::EmitIndicatorCompressed(
       sym_encryptor_.EncryptSeeded(pt, config_.indicator_level));
   ops_.encryptions += 1;
   return ct;
+}
+
+StatusOr<std::vector<bgv::Ciphertext>> PartyB::EmitIndicatorsForResult(
+    size_t j) const {
+  trace::TraceSpan span("party_b.indicator");
+  const size_t units = layout_.num_units();
+  // Per-indicator deterministic RNG forks: seeds come off the party RNG
+  // sequentially BEFORE the parallel section, so the transcript is a pure
+  // function of the party seed (same pattern as Party A's per-unit forks).
+  std::vector<uint64_t> seeds(units);
+  for (auto& s : seeds) s = rng_.NextU64();
+  std::vector<bgv::Ciphertext> out(units);
+  std::vector<Status> status(units);
+  pool_.ParallelFor(0, units, [&](size_t pos) {
+    StatusOr<bgv::Plaintext> pt = BuildIndicatorPlaintext(j, pos);
+    if (!pt.ok()) {
+      status[pos] = pt.status();
+      return;
+    }
+    Chacha20Rng fork(seeds[pos]);
+    StatusOr<bgv::Ciphertext> ct =
+        encryptor_.EncryptAtLevel(pt.value(), config_.indicator_level, &fork);
+    if (!ct.ok()) {
+      status[pos] = ct.status();
+      return;
+    }
+    out[pos] = std::move(ct).value();
+  });
+  for (const Status& s : status) SKNN_RETURN_IF_ERROR(s);
+  ops_.encryptions += units;
+  return out;
+}
+
+StatusOr<std::vector<bgv::SeededCiphertext>>
+PartyB::EmitIndicatorsCompressedForResult(size_t j) const {
+  trace::TraceSpan span("party_b.indicator");
+  const size_t units = layout_.num_units();
+  std::vector<uint64_t> seeds(units);
+  for (auto& s : seeds) s = rng_.NextU64();
+  std::vector<bgv::SeededCiphertext> out(units);
+  std::vector<Status> status(units);
+  pool_.ParallelFor(0, units, [&](size_t pos) {
+    StatusOr<bgv::Plaintext> pt = BuildIndicatorPlaintext(j, pos);
+    if (!pt.ok()) {
+      status[pos] = pt.status();
+      return;
+    }
+    Chacha20Rng fork(seeds[pos]);
+    StatusOr<bgv::SeededCiphertext> ct =
+        sym_encryptor_.EncryptSeeded(pt.value(), config_.indicator_level, &fork);
+    if (!ct.ok()) {
+      status[pos] = ct.status();
+      return;
+    }
+    out[pos] = std::move(ct).value();
+  });
+  for (const Status& s : status) SKNN_RETURN_IF_ERROR(s);
+  ops_.encryptions += units;
+  return out;
 }
 
 }  // namespace core

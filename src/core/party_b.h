@@ -13,6 +13,7 @@
 #include "bgv/keys.h"
 #include "bgv/symmetric.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/layout.h"
 #include "core/metrics.h"
 #include "core/protocol_config.h"
@@ -59,6 +60,17 @@ class PartyB {
   // indicator.
   StatusOr<bgv::SeededCiphertext> EmitIndicatorCompressed(
       size_t j, size_t unit_pos) const;
+  // Batch variants: the indicators for result j across ALL transformed
+  // unit positions, encrypted in parallel on the internal thread pool.
+  // Each position gets a deterministic RNG fork (seeds drawn sequentially
+  // from the party RNG before the parallel section), so the ciphertexts do
+  // not depend on thread count or scheduling. Output order is by unit
+  // position; the freshness guarantee of the per-pair methods carries
+  // over unchanged.
+  StatusOr<std::vector<bgv::Ciphertext>> EmitIndicatorsForResult(
+      size_t j) const;
+  StatusOr<std::vector<bgv::SeededCiphertext>> EmitIndicatorsCompressedForResult(
+      size_t j) const;
 
   const OpCounts& ops() const { return ops_; }
   void ResetOps() { ops_ = OpCounts(); }
@@ -84,6 +96,7 @@ class PartyB {
   mutable Chacha20Rng rng_;
   mutable bgv::Encryptor encryptor_;
   bgv::SymmetricEncryptor sym_encryptor_;
+  mutable ThreadPool pool_;
   mutable OpCounts ops_;
 
   std::vector<uint64_t> observed_;

@@ -153,17 +153,28 @@ StatusOr<QueryResult> SecureKnnSession::RunQuery(
   double b_seconds = 0;
   double a_seconds = 0;
   for (size_t j = 0; j < effective_k; ++j) {
+    // B encrypts the whole row of indicators for result j in one parallel
+    // batch (per-position RNG forks keep the transcript deterministic),
+    // then streams them position by position over the same wire format as
+    // before — one ciphertext per message, so A's peak memory stays at one
+    // indicator.
+    auto tbatch = std::chrono::steady_clock::now();
+    std::vector<bgv::Ciphertext> row;
+    std::vector<bgv::SeededCiphertext> row_seeded;
+    if (config_.compress_indicators) {
+      SKNN_ASSIGN_OR_RETURN(row_seeded,
+                            party_b_->EmitIndicatorsCompressedForResult(j));
+    } else {
+      SKNN_ASSIGN_OR_RETURN(row, party_b_->EmitIndicatorsForResult(j));
+    }
+    b_seconds += SecondsSince(tbatch);
     for (size_t pos = 0; pos < units; ++pos) {
       auto tb = std::chrono::steady_clock::now();
       ByteSink sink;
       if (config_.compress_indicators) {
-        SKNN_ASSIGN_OR_RETURN(bgv::SeededCiphertext ind,
-                              party_b_->EmitIndicatorCompressed(j, pos));
-        bgv::WriteSeededCiphertext(ind, &sink);
+        bgv::WriteSeededCiphertext(row_seeded[pos], &sink);
       } else {
-        SKNN_ASSIGN_OR_RETURN(bgv::Ciphertext ind,
-                              party_b_->EmitIndicator(j, pos));
-        bgv::WriteCiphertext(ind, &sink);
+        bgv::WriteCiphertext(row[pos], &sink);
       }
       {
         trace::TraceSpan span("transfer.indicators");

@@ -31,6 +31,13 @@ Dataset Dataset::QuantizeToBits(int bits) const {
   return out;
 }
 
+Dataset Dataset::TakePoints(size_t count) const {
+  const size_t keep = std::min(count, num_points_);
+  Dataset out(keep, dims_);
+  for (size_t i = 0; i < keep * dims_; ++i) out.values_[i] = values_[i];
+  return out;
+}
+
 uint64_t SquaredDistance(const Dataset& data, size_t point,
                          const std::vector<uint64_t>& query) {
   SKNN_CHECK_EQ(query.size(), data.dims());

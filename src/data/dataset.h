@@ -43,6 +43,10 @@ class Dataset {
   // k-NN correctness tests run on the scaled data.
   Dataset QuantizeToBits(int bits) const;
 
+  // Returns a copy containing only the first min(count, num_points) points
+  // (used by the bench smoke runs to shrink fixed datasets).
+  Dataset TakePoints(size_t count) const;
+
  private:
   size_t num_points_ = 0;
   size_t dims_ = 0;

@@ -52,6 +52,34 @@ const std::vector<uint32_t>& RnsBase::GaloisPermTable(
   return cache->tables.emplace(galois_elt, std::move(table)).first->second;
 }
 
+const std::vector<uint32_t>& RnsBase::GaloisPermTableNtt(
+    uint64_t galois_elt) const {
+  SKNN_CHECK_EQ(galois_elt & 1, 1u);
+  const uint64_t two_n = 2 * static_cast<uint64_t>(n_);
+  SKNN_CHECK_LT(galois_elt, two_n);
+  GaloisCache* cache = galois_cache_.get();
+  {
+    std::lock_guard<std::mutex> lock(cache->mu);
+    auto it = cache->ntt_tables.find(galois_elt);
+    if (it != cache->ntt_tables.end()) return it->second;
+  }
+  // NTT slot i (bit-reversed order) holds the evaluation at the primitive
+  // 2n-th root psi^(2*rev(i)+1). tau(a)(y) = a(y^elt), so slot i of
+  // NTT(tau(a)) is a(psi^((2*rev(i)+1)*elt mod 2n)) — i.e. the input slot
+  // whose exponent is that product. No sign flips: the automorphism
+  // permutes the evaluation points, it never leaves the root set.
+  int log_n = 0;
+  while ((size_t{1} << log_n) < n_) ++log_n;
+  std::vector<uint32_t> table(n_);
+  for (size_t i = 0; i < n_; ++i) {
+    const uint64_t rev = ReverseBits(static_cast<uint64_t>(i), log_n);
+    const uint64_t exponent = ((2 * rev + 1) * galois_elt) & (two_n - 1);
+    table[i] = static_cast<uint32_t>(ReverseBits((exponent - 1) >> 1, log_n));
+  }
+  std::lock_guard<std::mutex> lock(cache->mu);
+  return cache->ntt_tables.emplace(galois_elt, std::move(table)).first->second;
+}
+
 bool RnsPoly::IsZero() const {
   for (uint64_t v : data_) {
     if (v != 0) return false;
@@ -215,6 +243,21 @@ RnsPoly ApplyGaloisCoeff(const RnsPoly& a, uint64_t galois_elt,
       const uint64_t v = src[i];
       dst[e >> 1] = (e & 1) == 0 ? v : (v == 0 ? 0 : q - v);
     }
+  }
+  return out;
+}
+
+RnsPoly ApplyGaloisNtt(const RnsPoly& a, uint64_t galois_elt,
+                       const RnsBase& base) {
+  SKNN_CHECK(a.ntt_form());
+  const size_t n = a.n();
+  const std::vector<uint32_t>& table = base.GaloisPermTableNtt(galois_elt);
+  const uint32_t* __restrict perm = table.data();
+  RnsPoly out(n, a.num_components(), /*ntt_form=*/true);
+  for (size_t c = 0; c < a.num_components(); ++c) {
+    const uint64_t* __restrict src = a.comp(c);
+    uint64_t* __restrict dst = out.comp(c);
+    for (size_t i = 0; i < n; ++i) dst[i] = src[perm[i]];
   }
   return out;
 }

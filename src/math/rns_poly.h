@@ -50,6 +50,12 @@ class RnsBase {
   // Built on first use and cached per element; thread-safe.
   const std::vector<uint32_t>& GaloisPermTable(uint64_t galois_elt) const;
 
+  // Permutation table for the same automorphism acting on NTT-form
+  // polynomials (negacyclic NTT in bit-reversed order): out[i] =
+  // in[table[i]], a pure gather with no negations, valid for every prime of
+  // the base. Built on first use and cached per element; thread-safe.
+  const std::vector<uint32_t>& GaloisPermTableNtt(uint64_t galois_elt) const;
+
   // Optional worker pool used by ToNttInplace/FromNttInplace to transform
   // RNS components in parallel. Null (the default) keeps all work on the
   // calling thread. The base shares ownership of the pool.
@@ -62,6 +68,7 @@ class RnsBase {
   struct GaloisCache {
     std::mutex mu;
     std::unordered_map<uint64_t, std::vector<uint32_t>> tables;
+    std::unordered_map<uint64_t, std::vector<uint32_t>> ntt_tables;
   };
 
   size_t n_ = 0;
@@ -152,6 +159,14 @@ void FromNttInplace(RnsPoly* a, const RnsBase& base);
 // coefficient-form polynomial using the base's cached permutation table.
 RnsPoly ApplyGaloisCoeff(const RnsPoly& a, uint64_t galois_elt,
                          const RnsBase& base);
+
+// Applies the same automorphism to an NTT-form polynomial as a pure slot
+// permutation (no negations, no FromNtt/ToNtt round-trip): evaluation
+// points of the negacyclic NTT are the primitive 2n-th roots ω^(2i+1), and
+// x -> x^elt permutes them, so NTT(τ(a))[i] = NTT(a)[π(i)] with π cached in
+// the base. This is what makes hoisted rotations cheap.
+RnsPoly ApplyGaloisNtt(const RnsPoly& a, uint64_t galois_elt,
+                       const RnsBase& base);
 
 }  // namespace sknn
 

@@ -186,6 +186,28 @@ TEST_F(RnsPolyTest, GaloisIsRingHomomorphismOnProducts) {
   EXPECT_EQ(tau_ab, prod);
 }
 
+TEST_F(RnsPolyTest, GaloisNttMatchesCoeffDomainGalois) {
+  // NTT-domain automorphism (pure slot permutation) must agree with the
+  // coefficient-domain reference composed with the NTT on both sides, for
+  // every odd Galois element. This is the identity the hoisted key-switch
+  // path relies on.
+  const size_t two_n = 2 * base_->n();
+  RnsPoly a = RandomPoly(77);
+  for (uint64_t elt = 3; elt < two_n; elt += 2) {
+    RnsPoly expect = ApplyGaloisCoeff(a, elt, *base_);
+    ToNttInplace(&expect, *base_);
+    RnsPoly a_ntt = a;
+    ToNttInplace(&a_ntt, *base_);
+    RnsPoly got = ApplyGaloisNtt(a_ntt, elt, *base_);
+    ASSERT_EQ(got, expect) << "elt=" << elt;
+  }
+}
+
+TEST_F(RnsPolyTest, GaloisNttIdentityElement) {
+  RnsPoly a = RandomPoly(78, /*ntt_form=*/true);
+  EXPECT_EQ(ApplyGaloisNtt(a, 1, *base_), a);
+}
+
 TEST_F(RnsPolyTest, GaloisPermTableMatchesDirectComputation) {
   const size_t n = base_->n();
   const uint64_t two_n = 2 * n;
