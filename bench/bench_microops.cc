@@ -20,6 +20,7 @@
 #include "math/ntt.h"
 #include "math/prime.h"
 #include "math/rns_poly.h"
+#include "net/frame.h"
 
 namespace {
 
@@ -289,6 +290,38 @@ void BM_BigUintModExp(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BigUintModExp)->Arg(512)->Arg(1024);
+
+// Transport framing (net/frame.h): header build + XXH64 over the payload.
+// Payload sizes bracket the real wire messages (a toy ciphertext is ~4 KB,
+// bench-preset ones hundreds of KB).
+void BM_FrameEncode(benchmark::State& state) {
+  Chacha20Rng rng(uint64_t{13});
+  std::vector<uint8_t> payload(static_cast<size_t>(state.range(0)));
+  rng.FillBytes(payload.data(), payload.size());
+  uint64_t seq = 0;
+  for (auto _ : state) {
+    auto wire = net::EncodeFrame(net::MessageType::kDistances, seq++, payload);
+    benchmark::DoNotOptimize(wire);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_FrameEncode)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+void BM_FrameDecode(benchmark::State& state) {
+  Chacha20Rng rng(uint64_t{14});
+  std::vector<uint8_t> payload(static_cast<size_t>(state.range(0)));
+  rng.FillBytes(payload.data(), payload.size());
+  const auto wire = net::EncodeFrame(net::MessageType::kDistances, 7, payload);
+  for (auto _ : state) {
+    auto copy = wire;  // DecodeFrame consumes its buffer
+    auto frame = net::DecodeFrame(std::move(copy));
+    benchmark::DoNotOptimize(frame);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_FrameDecode)->Arg(4096)->Arg(65536)->Arg(1 << 20);
 
 }  // namespace
 

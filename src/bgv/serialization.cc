@@ -20,6 +20,18 @@ StatusOr<RnsPoly> ReadRnsPoly(ByteSource* src) {
   if (n > (uint64_t{1} << 20)) {
     return OutOfRangeError("implausible ring degree");
   }
+  // The body is comps*n u64 coefficients. A plausible-looking (n, comps)
+  // header on a short buffer must not be allowed to allocate up to 512 MB
+  // before the span reads fail: bound the allocation by the bytes actually
+  // present (giant-allocation DoS hardening; the plausibility checks above
+  // keep the multiplication far from uint64 overflow).
+  const uint64_t body_bytes = comps * n * 8;
+  if (body_bytes > src->remaining()) {
+    return OutOfRangeError(
+        "RNS poly header promises " + std::to_string(body_bytes) +
+        " coefficient bytes but only " + std::to_string(src->remaining()) +
+        " remain in the buffer");
+  }
   RnsPoly p(static_cast<size_t>(n), static_cast<size_t>(comps), ntt != 0);
   for (uint64_t i = 0; i < comps; ++i) {
     SKNN_RETURN_IF_ERROR(

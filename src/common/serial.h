@@ -40,7 +40,11 @@ class ByteSink {
 };
 
 // Sequential reader over a byte buffer; all reads are bounds-checked and
-// return Status on truncated input.
+// return Status on truncated input. Length-prefixed reads (ReadU64Vector,
+// ReadString) validate the encoded length against the bytes actually
+// remaining *before* allocating, so an adversarial header cannot force a
+// giant allocation; composite decoders with their own length fields (e.g.
+// bgv::ReadRnsPoly) must apply the same remaining()-bound themselves.
 class ByteSource {
  public:
   explicit ByteSource(std::vector<uint8_t> bytes)

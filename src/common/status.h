@@ -22,10 +22,26 @@ enum class StatusCode {
   kNotFound = 5,
   kUnimplemented = 6,
   kResourceExhausted = 7,
+  // Transport/fault taxonomy (see IsTransientCode below). kUnavailable: the
+  // peer's message has not arrived (empty queue, delayed delivery);
+  // kDeadlineExceeded: a bounded wait for it timed out; kDataLoss: a frame
+  // arrived but failed integrity checks (corruption, truncation, desync);
+  // kAborted: an operation was abandoned mid-flight and may be re-issued.
+  kUnavailable = 8,
+  kDeadlineExceeded = 9,
+  kDataLoss = 10,
+  kAborted = 11,
 };
 
 // Returns a stable human-readable name for a status code.
 const char* StatusCodeToString(StatusCode code);
+
+// True for error codes that a retry (of the receive poll, or of the whole
+// protocol leg — the messages are idempotent to re-request, PROTOCOL.md
+// "Frame envelope & recovery") can plausibly cure: kUnavailable,
+// kDeadlineExceeded, kDataLoss, kAborted. Everything else — malformed
+// arguments, protocol-logic violations, unimplemented paths — is fatal.
+bool IsTransientCode(StatusCode code);
 
 // A Status holds either "OK" or an error code plus message. Cheap to copy
 // in the OK case (empty message).
@@ -44,6 +60,8 @@ class Status {
   static Status Ok() { return Status(); }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+  // True if this is an error a retry may cure (never true for OK).
+  bool IsTransient() const { return !ok() && IsTransientCode(code_); }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
@@ -67,6 +85,10 @@ Status InternalError(std::string message);
 Status NotFoundError(std::string message);
 Status UnimplementedError(std::string message);
 Status ResourceExhaustedError(std::string message);
+Status UnavailableError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status DataLossError(std::string message);
+Status AbortedError(std::string message);
 
 }  // namespace sknn
 

@@ -1,0 +1,23 @@
+#ifndef SKNN_COMMON_XXHASH_H_
+#define SKNN_COMMON_XXHASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+// Self-contained XXH64 (Yann Collet's xxHash, 64-bit variant). Used as the
+// frame checksum of the transport envelope (src/net/frame.h): fast enough
+// to be negligible next to ciphertext serialization, and strong enough that
+// a random bit flip, truncation, or splice is detected with probability
+// 1 - 2^-64. This is an integrity check against *accidental* corruption,
+// not a MAC: a malicious network can forge it, which is outside the
+// honest-but-curious threat model (DESIGN.md §8).
+
+namespace sknn {
+
+// Hashes `len` bytes of `data` with the given seed. Matches the reference
+// XXH64 implementation bit-for-bit (vectors pinned in frame_test.cc).
+uint64_t Xxh64(const void* data, size_t len, uint64_t seed);
+
+}  // namespace sknn
+
+#endif  // SKNN_COMMON_XXHASH_H_

@@ -1,11 +1,14 @@
 #include "core/session.h"
 
 #include <chrono>
+#include <functional>
+#include <string>
 
 #include "bgv/serialization.h"
 #include "bgv/symmetric.h"
 #include "common/metrics_registry.h"
 #include "common/trace.h"
+#include "net/frame.h"
 
 namespace sknn {
 namespace core {
@@ -29,7 +32,45 @@ StatusOr<bgv::Ciphertext> CtFromBytes(std::vector<uint8_t> bytes) {
   return bgv::ReadCiphertext(&src);
 }
 
+// Runs `body`; on a transient failure (Status::IsTransient) calls `drain`
+// to flush every in-flight or staged frame and re-issues the whole leg,
+// up to max_leg_retries times. Safe because each leg is idempotent to
+// re-request (see RunQuery's doc comment). Fatal errors and retry
+// exhaustion propagate to the caller as typed Status — never a crash or
+// a silently wrong answer.
+Status RunLegWithRecovery(const char* retry_span_name,
+                          const net::RetryPolicy& policy,
+                          const std::function<void()>& drain,
+                          const std::function<Status()>& body,
+                          uint64_t* recovered_legs) {
+  static MetricsRegistry::Counter* recovered =
+      MetricsRegistry::Global().GetCounter("query.recovered");
+  static MetricsRegistry::Counter* leg_retries =
+      MetricsRegistry::Global().GetCounter("net.leg_retries");
+  Status status = body();
+  int tries = 0;
+  while (!status.ok() && status.IsTransient() &&
+         tries < policy.max_leg_retries) {
+    ++tries;
+    leg_retries->Increment();
+    trace::TraceSpan span(retry_span_name);
+    drain();
+    status = body();
+  }
+  if (status.ok() && tries > 0) {
+    recovered->Increment();
+    ++*recovered_legs;
+  }
+  return status;
+}
+
 }  // namespace
+
+void SecureKnnSession::SetFaultInjection(const net::FaultSpec& spec,
+                                         uint64_t seed) {
+  fault_spec_ = spec;
+  fault_seed_ = seed;
+}
 
 StatusOr<std::unique_ptr<SecureKnnSession>> SecureKnnSession::Create(
     const ProtocolConfig& config, const data::Dataset& dataset,
@@ -92,14 +133,43 @@ StatusOr<QueryResult> SecureKnnSession::RunQuery(
   party_a_->ResetOps();
   party_b_->ResetOps();
   client_->ResetOps();
+
+  // Per-query transport stack: byte-counted raw link, optional seeded
+  // fault injection, framed + retrying endpoints (PROTOCOL.md "Frame
+  // envelope & recovery").
   net::InMemoryLink ab_link;
+  std::unique_ptr<net::FaultyLink> faulty;
+  net::Channel* a_raw = ab_link.a_endpoint();
+  net::Channel* b_raw = ab_link.b_endpoint();
+  if (fault_spec_.any()) {
+    faulty = std::make_unique<net::FaultyLink>(
+        a_raw, b_raw, fault_spec_, fault_spec_, fault_seed_ + queries_run_);
+    a_raw = faulty->a_endpoint();
+    b_raw = faulty->b_endpoint();
+  }
+  ++queries_run_;
+  net::ResilientChannel a_ch(a_raw, retry_policy_, 2 * queries_run_, "A");
+  net::ResilientChannel b_ch(b_raw, retry_policy_, 2 * queries_run_ + 1, "B");
+  // Leg-recovery drain: no frame from a failed leg attempt — in the raw
+  // queues or staged inside the fault injector — may survive into the
+  // re-issue, so sequence spaces can restart from a clean slate.
+  auto drain = [&]() {
+    ab_link.Drain();
+    if (faulty) faulty->Reset();
+    a_ch.ResetEpoch();
+    b_ch.ResetEpoch();
+  };
+
   trace::TraceSpan query_span("query");
 
-  // Client encrypts the query and sends it to Party A (label 4).
+  // Client encrypts the query and sends it to Party A (label 4). The
+  // client<->A legs are in-process handoffs, but they wear the same frame
+  // envelope (message 1) so A validates them like wire traffic.
   auto t0 = std::chrono::steady_clock::now();
   SKNN_ASSIGN_OR_RETURN(bgv::Ciphertext query_ct,
                         client_->EncryptQuery(query));
-  std::vector<uint8_t> query_bytes = CtToBytes(query_ct);
+  std::vector<uint8_t> query_bytes =
+      net::EncodeFrame(net::MessageType::kQuery, 0, CtToBytes(query_ct));
   result.client_bytes_sent = query_bytes.size();
   bgv::Ciphertext query_at_a;
   {
@@ -108,107 +178,137 @@ StatusOr<QueryResult> SecureKnnSession::RunQuery(
     trace::TraceSpan span("transfer.query");
     trace::Tracer::Global().AddBytesSent(query_bytes.size());
     trace::Tracer::Global().AddBytesReceived(query_bytes.size());
-    SKNN_ASSIGN_OR_RETURN(query_at_a, CtFromBytes(std::move(query_bytes)));
+    SKNN_ASSIGN_OR_RETURN(net::Frame frame,
+                          net::DecodeFrame(std::move(query_bytes)));
+    if (frame.type != net::MessageType::kQuery) {
+      return DataLossError("client->A frame does not carry a query tag");
+    }
+    SKNN_ASSIGN_OR_RETURN(query_at_a, CtFromBytes(std::move(frame.payload)));
   }
   result.timings.query_encrypt_seconds = SecondsSince(t0);
 
-  // Party A: Compute Distances (Algorithm 1, labels 5-6).
+  // Party A: Compute Distances (Algorithm 1, labels 5-6). Computed once
+  // per query: leg retries below re-send these exact ciphertext bytes and
+  // never recompute them, so the mask and permutation stay fixed within
+  // the query.
   t0 = std::chrono::steady_clock::now();
   SKNN_ASSIGN_OR_RETURN(std::vector<bgv::Ciphertext> distances,
                         party_a_->ComputeDistances(query_at_a));
-  {
-    trace::TraceSpan span("transfer.distances");
-    for (bgv::Ciphertext& ct : distances) {
-      ByteSink sink;
-      bgv::WriteCiphertext(ct, &sink);
-      SKNN_RETURN_IF_ERROR(ab_link.a_endpoint()->SendSink(&sink));
-    }
-  }
   result.timings.compute_distances_seconds = SecondsSince(t0);
 
-  // Party B: Find Neighbours (Algorithm 2, label 7).
+  // Leg 1 — message 2: A streams the masked distance bundle to B; B runs
+  // Find Neighbours (Algorithm 2, label 7).
   t0 = std::chrono::steady_clock::now();
-  std::vector<bgv::Ciphertext> received;
-  received.reserve(distances.size());
-  {
-    trace::TraceSpan span("transfer.distances");
-    for (size_t i = 0; i < distances.size(); ++i) {
-      SKNN_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
-                            ab_link.b_endpoint()->Receive());
-      SKNN_ASSIGN_OR_RETURN(bgv::Ciphertext ct, CtFromBytes(std::move(bytes)));
-      received.push_back(std::move(ct));
-    }
-  }
-  SKNN_ASSIGN_OR_RETURN(size_t effective_k,
-                        party_b_->FindNeighbours(received, config_.k));
-  received.clear();
+  size_t effective_k = 0;
+  Status leg = RunLegWithRecovery(
+      "retry/distances", retry_policy_, drain,
+      [&]() -> Status {
+        {
+          trace::TraceSpan span("transfer.distances");
+          for (const bgv::Ciphertext& ct : distances) {
+            ByteSink sink;
+            bgv::WriteCiphertext(ct, &sink);
+            SKNN_RETURN_IF_ERROR(
+                a_ch.SendMessage(net::MessageType::kDistances, sink.bytes()));
+          }
+        }
+        std::vector<bgv::Ciphertext> received;
+        received.reserve(distances.size());
+        {
+          trace::TraceSpan span("transfer.distances");
+          for (size_t i = 0; i < distances.size(); ++i) {
+            SKNN_ASSIGN_OR_RETURN(
+                std::vector<uint8_t> bytes,
+                b_ch.ReceiveMessage(net::MessageType::kDistances));
+            SKNN_ASSIGN_OR_RETURN(bgv::Ciphertext ct,
+                                  CtFromBytes(std::move(bytes)));
+            received.push_back(std::move(ct));
+          }
+        }
+        SKNN_ASSIGN_OR_RETURN(effective_k,
+                              party_b_->FindNeighbours(received, config_.k));
+        return Status::Ok();
+      },
+      &result.recovered_legs);
+  SKNN_RETURN_IF_ERROR(leg);
   result.k = effective_k;
   result.timings.find_neighbours_seconds = SecondsSince(t0);
 
-  // Interleaved: B streams indicator ciphertexts (label 8), A absorbs them
-  // into the oblivious dot products (label 9). Streaming keeps peak memory
-  // at one indicator ciphertext instead of k*n.
-  SKNN_RETURN_IF_ERROR(party_a_->BeginReturnPhase(effective_k));
+  // Leg 2 — message 3, interleaved: B streams indicator ciphertexts
+  // (label 8), A absorbs them into the oblivious dot products (label 9).
+  // Streaming keeps peak memory at one indicator ciphertext instead of
+  // k*n. On retry, BeginReturnPhase resets A's accumulators and B
+  // re-emits fresh encryptions of the same selectors.
   const size_t units = layout_.num_units();
   double b_seconds = 0;
   double a_seconds = 0;
-  for (size_t j = 0; j < effective_k; ++j) {
-    // B encrypts the whole row of indicators for result j in one parallel
-    // batch (per-position RNG forks keep the transcript deterministic),
-    // then streams them position by position over the same wire format as
-    // before — one ciphertext per message, so A's peak memory stays at one
-    // indicator.
-    auto tbatch = std::chrono::steady_clock::now();
-    std::vector<bgv::Ciphertext> row;
-    std::vector<bgv::SeededCiphertext> row_seeded;
-    if (config_.compress_indicators) {
-      SKNN_ASSIGN_OR_RETURN(row_seeded,
-                            party_b_->EmitIndicatorsCompressedForResult(j));
-    } else {
-      SKNN_ASSIGN_OR_RETURN(row, party_b_->EmitIndicatorsForResult(j));
-    }
-    b_seconds += SecondsSince(tbatch);
-    for (size_t pos = 0; pos < units; ++pos) {
-      auto tb = std::chrono::steady_clock::now();
-      ByteSink sink;
-      if (config_.compress_indicators) {
-        bgv::WriteSeededCiphertext(row_seeded[pos], &sink);
-      } else {
-        bgv::WriteCiphertext(row[pos], &sink);
-      }
-      {
-        trace::TraceSpan span("transfer.indicators");
-        SKNN_RETURN_IF_ERROR(ab_link.b_endpoint()->SendSink(&sink));
-      }
-      b_seconds += SecondsSince(tb);
+  leg = RunLegWithRecovery(
+      "retry/indicators", retry_policy_, drain,
+      [&]() -> Status {
+        SKNN_RETURN_IF_ERROR(party_a_->BeginReturnPhase(effective_k));
+        for (size_t j = 0; j < effective_k; ++j) {
+          // B encrypts the whole row of indicators for result j in one
+          // parallel batch (per-position RNG forks keep the transcript
+          // deterministic), then streams them position by position.
+          auto tbatch = std::chrono::steady_clock::now();
+          std::vector<bgv::Ciphertext> row;
+          std::vector<bgv::SeededCiphertext> row_seeded;
+          if (config_.compress_indicators) {
+            SKNN_ASSIGN_OR_RETURN(
+                row_seeded, party_b_->EmitIndicatorsCompressedForResult(j));
+          } else {
+            SKNN_ASSIGN_OR_RETURN(row, party_b_->EmitIndicatorsForResult(j));
+          }
+          b_seconds += SecondsSince(tbatch);
+          for (size_t pos = 0; pos < units; ++pos) {
+            auto tb = std::chrono::steady_clock::now();
+            ByteSink sink;
+            if (config_.compress_indicators) {
+              bgv::WriteSeededCiphertext(row_seeded[pos], &sink);
+            } else {
+              bgv::WriteCiphertext(row[pos], &sink);
+            }
+            {
+              trace::TraceSpan span("transfer.indicators");
+              SKNN_RETURN_IF_ERROR(b_ch.SendMessage(
+                  net::MessageType::kIndicators, sink.bytes()));
+            }
+            b_seconds += SecondsSince(tb);
 
-      auto ta = std::chrono::steady_clock::now();
-      std::vector<uint8_t> bytes;
-      {
-        trace::TraceSpan span("transfer.indicators");
-        SKNN_ASSIGN_OR_RETURN(bytes, ab_link.a_endpoint()->Receive());
-      }
-      bgv::Ciphertext ind_at_a;
-      if (config_.compress_indicators) {
-        ByteSource src(std::move(bytes));
-        SKNN_ASSIGN_OR_RETURN(bgv::SeededCiphertext seeded,
-                              bgv::ReadSeededCiphertext(&src));
-        SKNN_ASSIGN_OR_RETURN(ind_at_a, bgv::ExpandSeeded(*ctx_, seeded));
-      } else {
-        SKNN_ASSIGN_OR_RETURN(ind_at_a, CtFromBytes(std::move(bytes)));
-      }
-      SKNN_RETURN_IF_ERROR(party_a_->AbsorbIndicator(j, pos, ind_at_a));
-      a_seconds += SecondsSince(ta);
-    }
-  }
+            auto ta = std::chrono::steady_clock::now();
+            std::vector<uint8_t> bytes;
+            {
+              trace::TraceSpan span("transfer.indicators");
+              SKNN_ASSIGN_OR_RETURN(
+                  bytes, a_ch.ReceiveMessage(net::MessageType::kIndicators));
+            }
+            bgv::Ciphertext ind_at_a;
+            if (config_.compress_indicators) {
+              ByteSource src(std::move(bytes));
+              SKNN_ASSIGN_OR_RETURN(bgv::SeededCiphertext seeded,
+                                    bgv::ReadSeededCiphertext(&src));
+              SKNN_ASSIGN_OR_RETURN(ind_at_a, bgv::ExpandSeeded(*ctx_, seeded));
+            } else {
+              SKNN_ASSIGN_OR_RETURN(ind_at_a, CtFromBytes(std::move(bytes)));
+            }
+            SKNN_RETURN_IF_ERROR(party_a_->AbsorbIndicator(j, pos, ind_at_a));
+            a_seconds += SecondsSince(ta);
+          }
+        }
+        return Status::Ok();
+      },
+      &result.recovered_legs);
+  SKNN_RETURN_IF_ERROR(leg);
   result.timings.find_neighbours_seconds += b_seconds;
 
-  // Party A finalizes and returns the k encrypted neighbours (label 10).
+  // Party A finalizes and returns the k encrypted neighbours (label 10,
+  // message 4), framed like the query leg.
   auto tr = std::chrono::steady_clock::now();
   std::vector<std::vector<uint8_t>> result_bytes;
   for (size_t j = 0; j < effective_k; ++j) {
     SKNN_ASSIGN_OR_RETURN(bgv::Ciphertext ct, party_a_->FinalizeResult(j));
-    result_bytes.push_back(CtToBytes(ct));
+    result_bytes.push_back(
+        net::EncodeFrame(net::MessageType::kResults, j, CtToBytes(ct)));
   }
   result.timings.return_knn_seconds = a_seconds + SecondsSince(tr);
 
@@ -222,7 +322,12 @@ StatusOr<QueryResult> SecureKnnSession::RunQuery(
       trace::TraceSpan span("transfer.results");
       trace::Tracer::Global().AddBytesSent(bytes.size());
       trace::Tracer::Global().AddBytesReceived(bytes.size());
-      SKNN_ASSIGN_OR_RETURN(ct, CtFromBytes(std::move(bytes)));
+      SKNN_ASSIGN_OR_RETURN(net::Frame frame,
+                            net::DecodeFrame(std::move(bytes)));
+      if (frame.type != net::MessageType::kResults) {
+        return DataLossError("A->client frame does not carry a results tag");
+      }
+      SKNN_ASSIGN_OR_RETURN(ct, CtFromBytes(std::move(frame.payload)));
     }
     SKNN_ASSIGN_OR_RETURN(std::vector<uint64_t> point,
                           client_->DecryptNeighbour(ct));

@@ -12,6 +12,8 @@
 #include "core/protocol_config.h"
 #include "data/dataset.h"
 #include "net/channel.h"
+#include "net/faulty_link.h"
+#include "net/resilient_channel.h"
 
 // End-to-end orchestration of the secure k-NN protocol: wires the data
 // owner, Party A, Party B and the client together over byte-accounted
@@ -55,6 +57,10 @@ struct QueryResult {
   // Bytes from client to A (query) and A to client (results).
   uint64_t client_bytes_sent = 0;
   uint64_t client_bytes_received = 0;
+  // Protocol legs that hit a transient transport error and succeeded on a
+  // re-issue (0 on a clean run; see "Frame envelope & recovery" in
+  // PROTOCOL.md).
+  uint64_t recovered_legs = 0;
   PhaseTimings timings;
 };
 
@@ -82,7 +88,30 @@ class SecureKnnSession {
   // polynomial and permutation internally, so queries may be issued
   // back-to-back without weakening the leakage profile. Results are
   // exact (same multiset of distances as plaintext k-NN).
+  //
+  // Fault tolerance: the A<->B traffic travels in framed envelopes over a
+  // ResilientChannel pair; on a transient transport error (IsTransient()
+  // status — lost, corrupted, duplicated, reordered, or delayed frame)
+  // the affected protocol leg is drained and re-issued, up to
+  // RetryPolicy::max_leg_retries times, before the error is surfaced.
+  // Re-issuing a leg is safe: the retransmitted distance bundle is
+  // byte-identical (no new randomness → no new leakage) and re-emitted
+  // indicators are fresh encryptions of the same plaintext selectors
+  // (covered by semantic security); mask and permutation stay fixed
+  // within the query and are refreshed across queries (DESIGN.md §8).
   StatusOr<QueryResult> RunQuery(const std::vector<uint64_t>& query);
+
+  // Enables deterministic fault injection on the A<->B link of every
+  // subsequent RunQuery (both directions use `spec`). `seed` makes the
+  // fault pattern reproducible; successive queries use seed, seed+1, ...
+  void SetFaultInjection(const net::FaultSpec& spec, uint64_t seed);
+
+  // Replaces the default transport retry policy (polls, backoff, leg
+  // retries) for subsequent queries.
+  void SetRetryPolicy(const net::RetryPolicy& policy) {
+    retry_policy_ = policy;
+  }
+  const net::RetryPolicy& retry_policy() const { return retry_policy_; }
 
   const SetupReport& setup_report() const { return setup_report_; }
   const ProtocolConfig& config() const { return config_; }
@@ -102,6 +131,11 @@ class SecureKnnSession {
   std::unique_ptr<PartyB> party_b_;
   std::unique_ptr<Client> client_;
   SetupReport setup_report_;
+
+  net::FaultSpec fault_spec_;
+  uint64_t fault_seed_ = 0;
+  uint64_t queries_run_ = 0;
+  net::RetryPolicy retry_policy_;
 };
 
 }  // namespace core

@@ -48,8 +48,21 @@ class LinkEndpointImpl : public Channel {
 
   StatusOr<std::vector<uint8_t>> Receive() override {
     if (in_->empty()) {
-      return FailedPreconditionError(
-          "Receive on empty channel (protocol desynchronized)");
+      // Report enough context to localize the desync: which direction ran
+      // dry, how much traffic each direction has carried, and which
+      // message index (the raw-link sequence number) the receiver expected
+      // next.
+      const uint64_t sent_to_us =
+          is_a_ ? stats_->messages_b_to_a : stats_->messages_a_to_b;
+      std::ostringstream os;
+      os << "Receive on empty " << (is_a_ ? "B->A" : "A->B")
+         << " queue at endpoint " << (is_a_ ? "A" : "B") << ": expected message #"
+         << sent_to_us << " in this direction, but only " << sent_to_us
+         << " were ever sent (A->B " << stats_->messages_a_to_b << " msgs, "
+         << "B->A " << stats_->messages_b_to_a
+         << " msgs so far); the message is still in flight, was dropped, or "
+            "the protocol is desynchronized";
+      return UnavailableError(os.str());
     }
     std::vector<uint8_t> msg = std::move(in_->front());
     in_->pop_front();
@@ -66,6 +79,11 @@ class LinkEndpointImpl : public Channel {
 };
 
 }  // namespace
+
+void InMemoryLink::Drain() {
+  a_to_b_.clear();
+  b_to_a_.clear();
+}
 
 InMemoryLink::InMemoryLink() {
   a_ = std::make_unique<LinkEndpointImpl>(&a_to_b_, &b_to_a_, &stats_,

@@ -52,8 +52,21 @@ struct LinkStats {
 };
 
 // An in-process bidirectional link between two parties A and B.
-// Single-threaded protocols alternate Send/Receive; Receive on an empty
-// queue is a protocol bug and returns FailedPrecondition.
+//
+// Threading contract: SINGLE-THREADED ONLY. The deques, stats, and
+// direction flag are unsynchronized; both endpoints must be driven from
+// one thread (the session runs both parties on the caller's thread, and
+// the retry layer in net/resilient_channel.h polls on that same thread).
+// Decorate with your own locking before sharing a link across threads —
+// a mutex here would suggest a cross-thread rendezvous semantics
+// (blocking receive) that this in-memory simulation deliberately does not
+// provide.
+//
+// Receive on an empty queue returns kUnavailable (transient: with a
+// fault-injecting decorator the message may be delayed or dropped, and
+// the caller's poll/retry loop decides when to give up); the error text
+// reports the direction, per-direction message counts, and the index of
+// the message the receiver was expecting.
 class InMemoryLink {
  public:
   InMemoryLink();
@@ -63,6 +76,11 @@ class InMemoryLink {
 
   const LinkStats& stats() const { return stats_; }
   void ResetStats() { stats_ = LinkStats(); }
+
+  // Discards every undelivered message in both directions (sent-byte
+  // accounting is kept: the bytes did cross the simulated wire). Used by
+  // session leg recovery to guarantee a clean queue before a re-issue.
+  void Drain();
 
  private:
   friend class LinkEndpoint;

@@ -1,0 +1,121 @@
+#include "net/frame.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "common/xxhash.h"
+
+namespace sknn {
+namespace net {
+namespace {
+
+void PutU32(uint8_t* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+void PutU64(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+const char* MessageTypeToString(MessageType type) {
+  switch (type) {
+    case MessageType::kOpaque:
+      return "opaque";
+    case MessageType::kQuery:
+      return "query";
+    case MessageType::kDistances:
+      return "distances";
+    case MessageType::kIndicators:
+      return "indicators";
+    case MessageType::kResults:
+      return "results";
+    case MessageType::kControl:
+      return "control";
+  }
+  return "invalid";
+}
+
+std::vector<uint8_t> EncodeFrame(MessageType type, uint64_t seq,
+                                 const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> out(kFrameHeaderBytes + payload.size());
+  PutU32(out.data(), kFrameMagic);
+  out[4] = kFrameVersion;
+  out[5] = static_cast<uint8_t>(type);
+  out[6] = 0;  // flags
+  out[7] = 0;
+  PutU64(out.data() + 8, seq);
+  PutU64(out.data() + 16, payload.size());
+  PutU64(out.data() + 24, 0);  // checksum placeholder
+  if (!payload.empty()) {
+    std::memcpy(out.data() + kFrameHeaderBytes, payload.data(),
+                payload.size());
+  }
+  PutU64(out.data() + 24, Xxh64(out.data(), out.size(), kFrameChecksumSeed));
+  return out;
+}
+
+StatusOr<Frame> DecodeFrame(std::vector<uint8_t> bytes) {
+  if (bytes.size() < kFrameHeaderBytes) {
+    std::ostringstream os;
+    os << "frame truncated: " << bytes.size() << " bytes is smaller than the "
+       << kFrameHeaderBytes << "-byte header";
+    return DataLossError(os.str());
+  }
+  if (GetU32(bytes.data()) != kFrameMagic) {
+    return DataLossError("frame corrupt: bad magic");
+  }
+  if (bytes[4] != kFrameVersion) {
+    std::ostringstream os;
+    os << "frame protocol version mismatch: got " << int{bytes[4]}
+       << ", this endpoint speaks " << int{kFrameVersion};
+    return FailedPreconditionError(os.str());
+  }
+  const uint8_t raw_type = bytes[5];
+  if (raw_type > static_cast<uint8_t>(MessageType::kControl)) {
+    return DataLossError("frame corrupt: unknown message type tag");
+  }
+  if (bytes[6] != 0 || bytes[7] != 0) {
+    return DataLossError("frame corrupt: nonzero reserved flags");
+  }
+  const uint64_t seq = GetU64(bytes.data() + 8);
+  const uint64_t payload_len = GetU64(bytes.data() + 16);
+  if (payload_len != bytes.size() - kFrameHeaderBytes) {
+    std::ostringstream os;
+    os << "frame length mismatch: header declares " << payload_len
+       << " payload bytes, " << (bytes.size() - kFrameHeaderBytes)
+       << " present (truncated or spliced)";
+    return DataLossError(os.str());
+  }
+  const uint64_t declared = GetU64(bytes.data() + 24);
+  PutU64(bytes.data() + 24, 0);
+  const uint64_t actual = Xxh64(bytes.data(), bytes.size(), kFrameChecksumSeed);
+  if (declared != actual) {
+    std::ostringstream os;
+    os << "frame checksum mismatch on seq " << seq << " ("
+       << MessageTypeToString(static_cast<MessageType>(raw_type))
+       << "): message corrupted in transit";
+    return DataLossError(os.str());
+  }
+  Frame frame;
+  frame.type = static_cast<MessageType>(raw_type);
+  frame.seq = seq;
+  frame.payload.assign(bytes.begin() + kFrameHeaderBytes, bytes.end());
+  return frame;
+}
+
+}  // namespace net
+}  // namespace sknn

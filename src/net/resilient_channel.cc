@@ -1,0 +1,151 @@
+#include "net/resilient_channel.h"
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "common/metrics_registry.h"
+
+namespace sknn {
+namespace net {
+namespace {
+
+// A reorder stash larger than this means the expected frame is not coming
+// (e.g. it was dropped and everything behind it piled up).
+constexpr size_t kMaxStashedFrames = 64;
+
+MetricsRegistry::Counter* NetCounter(const char* name) {
+  return MetricsRegistry::Global().GetCounter(name);
+}
+
+}  // namespace
+
+ResilientChannel::ResilientChannel(Channel* inner, const RetryPolicy& policy,
+                                   uint64_t seed, std::string name)
+    : inner_(inner),
+      policy_(policy),
+      jitter_rng_(seed),
+      name_(std::move(name)) {}
+
+Status ResilientChannel::Send(std::vector<uint8_t> message) {
+  return SendMessage(MessageType::kOpaque, message);
+}
+
+Status ResilientChannel::SendMessage(MessageType type,
+                                     const std::vector<uint8_t>& payload) {
+  static MetricsRegistry::Counter* sent = NetCounter("net.frames.sent");
+  static MetricsRegistry::Counter* overhead =
+      NetCounter("net.frames.overhead_bytes");
+  sent->Increment();
+  overhead->Add(kFrameHeaderBytes);
+  return inner_->Send(EncodeFrame(type, send_seq_++, payload));
+}
+
+StatusOr<std::vector<uint8_t>> ResilientChannel::Receive() {
+  return ReceiveInternal(/*check_type=*/false, MessageType::kOpaque);
+}
+
+StatusOr<std::vector<uint8_t>> ResilientChannel::ReceiveMessage(
+    MessageType expected) {
+  return ReceiveInternal(/*check_type=*/true, expected);
+}
+
+void ResilientChannel::Backoff(int attempt) {
+  double delay = static_cast<double>(policy_.base_backoff_us);
+  for (int i = 0; i < attempt; ++i) delay *= policy_.backoff_multiplier;
+  if (delay > static_cast<double>(policy_.max_backoff_us)) {
+    delay = static_cast<double>(policy_.max_backoff_us);
+  }
+  if (policy_.jitter > 0) {
+    const double u =
+        static_cast<double>(jitter_rng_.NextU32()) / 4294967296.0;
+    delay *= 1.0 - policy_.jitter + 2.0 * policy_.jitter * u;
+  }
+  if (delay >= 1.0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<int64_t>(delay)));
+  }
+}
+
+StatusOr<std::vector<uint8_t>> ResilientChannel::ReceiveInternal(
+    bool check_type, MessageType expected) {
+  static MetricsRegistry::Counter* received =
+      NetCounter("net.frames.received");
+  static MetricsRegistry::Counter* corrupt = NetCounter("net.corrupt_frames");
+  static MetricsRegistry::Counter* retries = NetCounter("net.retries");
+  static MetricsRegistry::Counter* dup_dropped =
+      NetCounter("net.frames.duplicates_dropped");
+  static MetricsRegistry::Counter* held =
+      NetCounter("net.frames.reordered_held");
+
+  auto deliver = [&](Frame frame) -> StatusOr<std::vector<uint8_t>> {
+    next_recv_seq_ = frame.seq + 1;
+    if (check_type && frame.type != expected) {
+      std::ostringstream os;
+      os << "endpoint " << name_ << " desynchronized: expected a "
+         << MessageTypeToString(expected) << " frame, got "
+         << MessageTypeToString(frame.type) << " (seq " << frame.seq << ")";
+      return DataLossError(os.str());
+    }
+    return std::move(frame.payload);
+  };
+
+  int polls = 0;
+  for (;;) {
+    auto it = stash_.find(next_recv_seq_);
+    if (it != stash_.end()) {
+      Frame frame = std::move(it->second);
+      stash_.erase(it);
+      return deliver(std::move(frame));
+    }
+    auto raw = inner_->Receive();
+    if (!raw.ok()) {
+      if (polls + 1 >= policy_.max_receive_polls) {
+        std::ostringstream os;
+        os << "endpoint " << name_ << " timed out waiting for "
+           << (check_type ? MessageTypeToString(expected) : "any")
+           << " frame seq " << next_recv_seq_ << " after "
+           << policy_.max_receive_polls
+           << " polls (message lost or delayed beyond the deadline); "
+           << "inner channel: " << raw.status().message();
+        return DeadlineExceededError(os.str());
+      }
+      retries->Increment();
+      Backoff(polls);
+      ++polls;
+      continue;
+    }
+    auto frame = DecodeFrame(std::move(raw).value());
+    if (!frame.ok()) {
+      corrupt->Increment();
+      return std::move(frame).status();
+    }
+    received->Increment();
+    if (frame->seq < next_recv_seq_) {
+      dup_dropped->Increment();
+      continue;  // duplicate or stale copy: consume silently
+    }
+    if (frame->seq > next_recv_seq_) {
+      held->Increment();
+      stash_.emplace(frame->seq, std::move(frame).value());
+      if (stash_.size() > kMaxStashedFrames) {
+        std::ostringstream os;
+        os << "endpoint " << name_ << " desynchronized: " << stash_.size()
+           << " frames stashed ahead of expected seq " << next_recv_seq_
+           << " (a frame was lost and traffic piled up behind it)";
+        return DataLossError(os.str());
+      }
+      continue;
+    }
+    return deliver(std::move(frame).value());
+  }
+}
+
+void ResilientChannel::ResetEpoch() {
+  send_seq_ = 0;
+  next_recv_seq_ = 0;
+  stash_.clear();
+}
+
+}  // namespace net
+}  // namespace sknn

@@ -1,0 +1,96 @@
+#ifndef SKNN_NET_RESILIENT_CHANNEL_H_
+#define SKNN_NET_RESILIENT_CHANNEL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "net/channel.h"
+#include "net/frame.h"
+
+// Reliability layer over any Channel (PROTOCOL.md "Frame envelope &
+// recovery"). ResilientChannel frames every outgoing message
+// (net/frame.h) and enforces strict in-order, exactly-once delivery on the
+// receive side:
+//
+//   * empty queue    -> bounded polling with exponential backoff + jitter,
+//                       then kDeadlineExceeded (per-message timeout);
+//   * corrupt frame  -> kDataLoss immediately (the caller re-issues the
+//                       protocol leg; the messages are idempotent);
+//   * duplicate      -> silently consumed (seq below the expected one);
+//   * reordered      -> stashed until its sequence number comes up;
+//   * desync         -> a valid frame of the wrong MessageType or a stash
+//                       overflow is kDataLoss with a diagnostic.
+//
+// All failure codes are classified by Status::IsTransient(): everything a
+// leg retry can cure is transient; a frame-version mismatch is fatal.
+// Counters: net.frames.sent/received, net.frames.overhead_bytes,
+// net.frames.duplicates_dropped, net.frames.reordered_held,
+// net.corrupt_frames, net.retries.
+
+namespace sknn {
+namespace net {
+
+struct RetryPolicy {
+  // Receive polls per message before kDeadlineExceeded (the per-message
+  // timeout, expressed in polls so in-memory tests stay deterministic).
+  int max_receive_polls = 16;
+  // Full protocol-leg re-issues the session attempts on a transient error.
+  int max_leg_retries = 8;
+  // Backoff between receive polls: base * multiplier^attempt, capped at
+  // max, each scaled by a uniform jitter in [1-jitter, 1+jitter].
+  uint64_t base_backoff_us = 20;
+  double backoff_multiplier = 2.0;
+  uint64_t max_backoff_us = 2000;
+  double jitter = 0.5;
+};
+
+class ResilientChannel : public Channel {
+ public:
+  // Does not take ownership of `inner`. `name` tags error messages and
+  // trace spans (e.g. "A" / "B"). `seed` drives backoff jitter only — it
+  // never affects protocol bytes.
+  ResilientChannel(Channel* inner, const RetryPolicy& policy, uint64_t seed,
+                   std::string name);
+
+  // Channel interface: untyped messages travel as MessageType::kOpaque and
+  // Receive() accepts any type.
+  Status Send(std::vector<uint8_t> message) override;
+  StatusOr<std::vector<uint8_t>> Receive() override;
+
+  // Typed variants used by the protocol session: the type tag is checked
+  // on receive, turning a desynchronized peer into a typed error instead
+  // of a ciphertext misparse.
+  Status SendMessage(MessageType type, const std::vector<uint8_t>& payload);
+  StatusOr<std::vector<uint8_t>> ReceiveMessage(MessageType expected);
+
+  // Resets both sequence spaces and drops the reorder stash. Only safe
+  // after the underlying link has been fully drained (no in-flight frames
+  // from the old epoch); the session does this as part of leg recovery.
+  void ResetEpoch();
+
+  const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  StatusOr<std::vector<uint8_t>> ReceiveInternal(bool check_type,
+                                                 MessageType expected);
+  void Backoff(int attempt);
+
+  Channel* inner_;
+  RetryPolicy policy_;
+  Chacha20Rng jitter_rng_;
+  std::string name_;
+  uint64_t send_seq_ = 0;
+  uint64_t next_recv_seq_ = 0;
+  // Frames that arrived ahead of their turn, keyed by sequence number.
+  std::map<uint64_t, Frame> stash_;
+};
+
+}  // namespace net
+}  // namespace sknn
+
+#endif  // SKNN_NET_RESILIENT_CHANNEL_H_

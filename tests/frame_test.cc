@@ -1,0 +1,119 @@
+// Frame envelope: checksum vectors, roundtrip, and detection of every
+// corruption class the transport must survive (PROTOCOL.md "Frame
+// envelope & recovery").
+
+#include "net/frame.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/xxhash.h"
+
+namespace sknn {
+namespace net {
+namespace {
+
+// Reference vectors for the XXH64 implementation (xxHash spec known-answer
+// values; the 64-char vector uses the spec's classic prime seed).
+TEST(Xxh64Test, KnownAnswerVectors) {
+  EXPECT_EQ(Xxh64("", 0, 0), 0xEF46DB3751D8E999ull);
+  EXPECT_EQ(Xxh64("a", 1, 0), 0xD24EC4F1A98C6E5Bull);
+  EXPECT_EQ(Xxh64("abc", 3, 0), 0x44BC2CF5AD770999ull);
+  const char* long_input =
+      "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+  EXPECT_EQ(Xxh64(long_input, 62, 2654435761ull), 0x82FB2CAE7E35C906ull);
+}
+
+TEST(Xxh64Test, SeedAndLengthChangeTheHash) {
+  const char data[] = "payload";
+  EXPECT_NE(Xxh64(data, 7, 0), Xxh64(data, 7, 1));
+  EXPECT_NE(Xxh64(data, 6, 0), Xxh64(data, 7, 0));
+}
+
+std::vector<uint8_t> SomePayload(size_t len, uint64_t seed) {
+  Chacha20Rng rng(seed);
+  std::vector<uint8_t> p(len);
+  rng.FillBytes(p.data(), len);
+  return p;
+}
+
+TEST(FrameTest, RoundTripPreservesEverything) {
+  for (size_t len : {size_t{0}, size_t{1}, size_t{31}, size_t{4096}}) {
+    const std::vector<uint8_t> payload = SomePayload(len, 7 + len);
+    auto wire = EncodeFrame(MessageType::kDistances, 42, payload);
+    EXPECT_EQ(wire.size(), kFrameHeaderBytes + len);
+    auto frame = DecodeFrame(std::move(wire));
+    ASSERT_TRUE(frame.ok()) << frame.status();
+    EXPECT_EQ(frame->type, MessageType::kDistances);
+    EXPECT_EQ(frame->seq, 42u);
+    EXPECT_EQ(frame->payload, payload);
+  }
+}
+
+TEST(FrameTest, EverySingleBitFlipIsDetected) {
+  const std::vector<uint8_t> payload = SomePayload(64, 3);
+  const auto wire = EncodeFrame(MessageType::kIndicators, 7, payload);
+  for (size_t bit = 0; bit < wire.size() * 8; ++bit) {
+    std::vector<uint8_t> corrupted = wire;
+    corrupted[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    auto frame = DecodeFrame(std::move(corrupted));
+    EXPECT_FALSE(frame.ok()) << "undetected flip at bit " << bit;
+    // A flipped version byte is the one fatal error; everything else is
+    // transient corruption.
+    if (frame.status().code() == StatusCode::kFailedPrecondition) {
+      EXPECT_EQ(bit / 8, 4u) << "fatal error outside the version byte";
+    } else {
+      EXPECT_TRUE(frame.status().IsTransient()) << frame.status();
+    }
+  }
+}
+
+TEST(FrameTest, EveryTruncationIsDetected) {
+  const auto wire = EncodeFrame(MessageType::kQuery, 0, SomePayload(128, 5));
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    std::vector<uint8_t> truncated(wire.begin(),
+                                   wire.begin() + static_cast<long>(cut));
+    auto frame = DecodeFrame(std::move(truncated));
+    EXPECT_FALSE(frame.ok()) << "undetected truncation at " << cut;
+    EXPECT_TRUE(frame.status().IsTransient());
+  }
+}
+
+TEST(FrameTest, AppendedBytesAreDetected) {
+  auto wire = EncodeFrame(MessageType::kResults, 1, SomePayload(16, 9));
+  wire.push_back(0x00);
+  EXPECT_FALSE(DecodeFrame(std::move(wire)).ok());
+}
+
+TEST(FrameTest, VersionMismatchIsFatalNotTransient) {
+  auto wire = EncodeFrame(MessageType::kQuery, 0, {});
+  wire[4] = kFrameVersion + 1;
+  auto frame = DecodeFrame(std::move(wire));
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(frame.status().IsTransient());
+}
+
+TEST(FrameTest, SplicedPayloadsAreDetected) {
+  // Concatenating the payload of one valid frame onto the header of
+  // another (same length) must fail the checksum.
+  const auto a = EncodeFrame(MessageType::kOpaque, 3, SomePayload(64, 11));
+  const auto b = EncodeFrame(MessageType::kOpaque, 3, SomePayload(64, 12));
+  std::vector<uint8_t> spliced(a.begin(), a.begin() + kFrameHeaderBytes);
+  spliced.insert(spliced.end(), b.begin() + kFrameHeaderBytes, b.end());
+  EXPECT_FALSE(DecodeFrame(std::move(spliced)).ok());
+}
+
+TEST(FrameTest, StatusTaxonomy) {
+  EXPECT_TRUE(UnavailableError("x").IsTransient());
+  EXPECT_TRUE(DeadlineExceededError("x").IsTransient());
+  EXPECT_TRUE(DataLossError("x").IsTransient());
+  EXPECT_TRUE(AbortedError("x").IsTransient());
+  EXPECT_FALSE(InvalidArgumentError("x").IsTransient());
+  EXPECT_FALSE(InternalError("x").IsTransient());
+  EXPECT_FALSE(Status::Ok().IsTransient());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace sknn

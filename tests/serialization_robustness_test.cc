@@ -14,6 +14,9 @@
 #include "bgv/serialization.h"
 #include "bgv/symmetric.h"
 #include "common/rng.h"
+#include "net/faulty_link.h"
+#include "net/frame.h"
+#include "net/resilient_channel.h"
 
 namespace sknn {
 namespace bgv {
@@ -120,6 +123,95 @@ TEST_F(SerializationRobustnessTest, ExtraTrailingBytesAreDetectable) {
   ASSERT_TRUE(ct.ok());
   EXPECT_FALSE(src.AtEnd());
   EXPECT_EQ(src.remaining(), 1u);
+}
+
+TEST_F(SerializationRobustnessTest, HugeLengthHeaderIsRejectedBeforeAlloc) {
+  // An adversarial header promising the plausibility-check maxima
+  // (n = 2^20 ring degree, 64 RNS components = 512 MB of coefficients) on
+  // a near-empty buffer must be rejected by the remaining-bytes bound, not
+  // answered with a giant allocation.
+  ByteSink sink;
+  sink.WriteU64(uint64_t{1} << 20);  // n: maximal plausible degree
+  sink.WriteU8(0);                   // ntt flag
+  sink.WriteU64(64);                 // comps: maximal plausible count
+  ByteSource src(sink.TakeBytes());
+  auto poly = ReadRnsPoly(&src);
+  ASSERT_FALSE(poly.ok());
+  EXPECT_EQ(poly.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(poly.status().message().find("remain"), std::string::npos)
+      << poly.status();
+}
+
+// The four wire messages of PROTOCOL.md (1 query ct, 2 distance ct,
+// 3 indicator — seeded form, 4 result ct), each framed and pushed through
+// a FaultyLink injecting bit flips and truncations. The contract under
+// fuzzing: the frame checksum rejects every corrupted delivery before the
+// ciphertext parsers ever see the bytes, and intact deliveries decode to
+// the original payload.
+TEST_F(SerializationRobustnessTest, ProtocolMessagesSurviveFaultyLinkFuzz) {
+  // Message payloads: real encodings of each protocol message type.
+  std::vector<std::pair<net::MessageType, std::vector<uint8_t>>> messages;
+  messages.emplace_back(net::MessageType::kQuery, ValidCiphertextBytes());
+  messages.emplace_back(net::MessageType::kDistances, ValidCiphertextBytes());
+  {
+    Chacha20Rng seed_rng(uint64_t{999});
+    SymmetricEncryptor sym(ctx_, sk_, &seed_rng);
+    auto seeded = sym.EncryptSeeded(encoder_->EncodeScalar(3), /*level=*/0);
+    ASSERT_TRUE(seeded.ok()) << seeded.status();
+    ByteSink sink;
+    WriteSeededCiphertext(seeded.value(), &sink);
+    messages.emplace_back(net::MessageType::kIndicators, sink.TakeBytes());
+  }
+  messages.emplace_back(net::MessageType::kResults, ValidCiphertextBytes());
+
+  net::FaultSpec spec;
+  spec.flip = 0.3;
+  spec.trunc = 0.2;
+  net::RetryPolicy policy;
+  policy.max_receive_polls = 2;
+  policy.base_backoff_us = 0;
+  policy.max_backoff_us = 0;
+
+  int corrupted = 0;
+  int delivered = 0;
+  for (uint64_t round = 0; round < 50; ++round) {
+    net::InMemoryLink raw;
+    net::FaultyLink link(raw.a_endpoint(), raw.b_endpoint(), spec, spec,
+                         round);
+    net::ResilientChannel a(link.a_endpoint(), policy, round, "A");
+    net::ResilientChannel b(link.b_endpoint(), policy, round + 1, "B");
+    for (const auto& [type, payload] : messages) {
+      ASSERT_TRUE(a.SendMessage(type, payload).ok());
+      auto received = b.ReceiveMessage(type);
+      if (!received.ok()) {
+        // Lost or corrupt: must be a typed transient transport error.
+        EXPECT_TRUE(received.status().IsTransient() ||
+                    received.status().code() ==
+                        StatusCode::kFailedPrecondition)
+            << received.status();
+        ++corrupted;
+        // Drain and re-align both ends, as session leg recovery would.
+        raw.Drain();
+        link.Reset();
+        a.ResetEpoch();
+        b.ResetEpoch();
+        continue;
+      }
+      ++delivered;
+      // Intact delivery: bit-identical payload, parsed by the matching
+      // deserializer without error.
+      EXPECT_EQ(received.value(), payload);
+      ByteSource src(std::move(received).value());
+      if (type == net::MessageType::kIndicators) {
+        EXPECT_TRUE(ReadSeededCiphertext(&src).ok());
+      } else {
+        EXPECT_TRUE(ReadCiphertext(&src).ok());
+      }
+    }
+  }
+  // At 30%/20% rates the fuzz must exercise both outcomes heavily.
+  EXPECT_GT(corrupted, 20);
+  EXPECT_GT(delivered, 20);
 }
 
 }  // namespace

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Robustness gate, registered with ctest as `robustness_check`.
+#
+# Builds the chaos suite under AddressSanitizer and runs every test
+# labelled `chaos` (tests/chaos_test.cc: hundreds of secure k-NN queries
+# under injected drop/dup/flip/trunc/reorder/delay faults). The pass
+# criterion is the fault-tolerance contract of DESIGN.md §8 — exact answer
+# or clean typed error, no crash, hang, leak, or out-of-bounds access.
+#
+# Usage: tools/check_robustness.sh [extra ctest args...]
+# The asan configure/build is incremental; reruns only pay for the tests.
+set -u
+
+cd "$(cd "$(dirname "$0")/.." && pwd)" || exit 1
+
+# Nested invocation guard: this script is itself a ctest test, so when it
+# runs inside the asan test round it must not recurse into another
+# configure/build of the same tree.
+if [ "${SKNN_IN_ROBUSTNESS_CHECK:-}" = "1" ]; then
+  echo "robustness_check: SKIPPED (already inside an asan chaos run)"
+  exit 0
+fi
+export SKNN_IN_ROBUSTNESS_CHECK=1
+
+echo "robustness_check: configuring asan preset"
+cmake --preset asan > /dev/null || exit 1
+
+echo "robustness_check: building chaos_test (asan)"
+cmake --build build-asan -j --target chaos_test > /dev/null || exit 1
+
+echo "robustness_check: running chaos suite under asan"
+if ! ctest --test-dir build-asan -L chaos --output-on-failure "$@"; then
+  echo "robustness_check: FAILED"
+  exit 1
+fi
+echo "robustness_check: OK"

@@ -3,6 +3,7 @@
 //   sknn_cli knn      --n=1000 --d=4 --k=5 [--layout=packed|per-point]
 //                     [--dataset=uniform|cancer|credit] [--queries=3]
 //                     [--preset=toy|bench|default|paranoid] [--seed=1]
+//                     [--fault-spec=drop:0.05,flip:0.01 [--fault-seed=1]]
 //   sknn_cli kmeans   --n=200 --d=2 --clusters=3 [--iterations=5]
 //   sknn_cli baseline --n=50 --d=3 --k=3 [--paillier-bits=256]
 //   sknn_cli params   [--preset=...] [--levels=4] [--plain-bits=33]
@@ -21,6 +22,7 @@
 #include <string>
 
 #include "baseline/elmehdwi.h"
+#include "common/metrics_registry.h"
 #include "common/trace.h"
 #include "core/config_advisor.h"
 #include "core/session.h"
@@ -121,6 +123,19 @@ int RunKnn(const Flags& flags) {
     std::fprintf(stderr, "setup: %s\n", session.status().ToString().c_str());
     return 1;
   }
+  const std::string fault_spec_str = flags.Str("fault-spec", "");
+  if (!fault_spec_str.empty()) {
+    auto spec = net::ParseFaultSpec(fault_spec_str);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "--fault-spec: %s\n",
+                   spec.status().ToString().c_str());
+      return 2;
+    }
+    (*session)->SetFaultInjection(*spec, flags.U64("fault-seed", 1));
+    std::printf("fault injection on A<->B link: %s\n",
+                spec->DebugString().c_str());
+  }
+
   const auto& report = (*session)->setup_report();
   std::printf("setup %.2fs, encrypted db %.2f MB, eval keys %.2f MB, "
               "estimated security %.0f bits\n",
@@ -135,8 +150,13 @@ int RunKnn(const Flags& flags) {
                                     seed + 1000 + static_cast<uint64_t>(q));
     auto result = (*session)->RunQuery(query);
     if (!result.ok()) {
-      std::fprintf(stderr, "query: %s\n", result.status().ToString().c_str());
-      return 1;
+      // Under fault injection a query may exhaust its leg retries; that is
+      // a clean typed error, not a reason to abandon the run.
+      std::fprintf(stderr, "query %d: %s%s\n", q,
+                   result.status().ToString().c_str(),
+                   result.status().IsTransient() ? " (transient)" : "");
+      if (fault_spec_str.empty()) return 1;
+      continue;
     }
     std::printf(
         "query %d: %.2fs (dist %.2f, select %.2f, return %.2f), "
@@ -148,6 +168,10 @@ int RunKnn(const Flags& flags) {
         static_cast<unsigned long long>((result->ab_link.rounds + 1) / 2),
         static_cast<double>(result->ab_link.bytes_a_to_b) / 1e6,
         static_cast<double>(result->ab_link.bytes_b_to_a) / 1e6);
+    if (result->recovered_legs > 0) {
+      std::printf("  recovered %llu protocol leg(s) after transient faults\n",
+                  static_cast<unsigned long long>(result->recovered_legs));
+    }
     std::printf("  neighbours:");
     for (const auto& p : result->neighbours) {
       uint64_t dist = 0;
@@ -158,6 +182,19 @@ int RunKnn(const Flags& flags) {
       std::printf(" d2=%llu", static_cast<unsigned long long>(dist));
     }
     std::printf("\n");
+  }
+  if (!fault_spec_str.empty()) {
+    // Transport-resilience counters (inventory documented in README.md).
+    std::printf("transport counters:\n");
+    for (const auto& [name, value] :
+         MetricsRegistry::Global().CounterValues()) {
+      const bool relevant = name.rfind("net.", 0) == 0 ||
+                            name.rfind("query.", 0) == 0;
+      if (relevant && value > 0) {
+        std::printf("  %-32s %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      }
+    }
   }
   return 0;
 }
@@ -262,6 +299,9 @@ void Usage() {
   std::fprintf(stderr,
                "usage: sknn_cli <knn|kmeans|baseline|params|advise> [--key=value...]\n"
                "  knn      --n --d --k --layout --dataset --queries --preset\n"
+               "           --fault-spec=MODE:PROB[,...] --fault-seed  inject\n"
+               "           deterministic A<->B faults (drop|dup|flip|trunc|\n"
+               "           reorder|delay[:POLLS]) and print net.* counters\n"
                "  kmeans   --n --d --clusters --iterations --preset\n"
                "  baseline --n --d --k --paillier-bits\n"
                "  params   --preset --levels --plain-bits\n"
