@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <memory>
 #include <string>
 #include <vector>
@@ -11,6 +12,18 @@
 #include "common/metrics_registry.h"
 #include "common/trace.h"
 #include "core/protocol_config.h"
+
+// Run metadata baked in by bench/CMakeLists.txt (git SHA, build type,
+// compiler). Fallbacks keep the header usable outside the bench targets.
+#ifndef SKNN_GIT_SHA
+#define SKNN_GIT_SHA "unknown"
+#endif
+#ifndef SKNN_BUILD_TYPE
+#define SKNN_BUILD_TYPE "unknown"
+#endif
+#ifndef SKNN_COMPILER
+#define SKNN_COMPILER "unknown"
+#endif
 
 // Shared helpers for the reproduction benches. Every bench binary accepts:
 //   --full           paper-scale parameters (long-running)
@@ -108,12 +121,25 @@ class BenchJson {
             trace::PhaseSummaryJson(
                 trace::Summarize(trace::Tracer::Global().Records())));
     row.Raw("counters", MetricsRegistry::Global().CountersJson());
+    // Latency/size distributions recorded at TraceSpan completion:
+    // name -> {count, sum, max, p50, p95, p99}.
+    row.Raw("histograms", MetricsRegistry::Global().HistogramsJson());
     rows_.push_back(row.Render());
   }
 
   void Write() const {
+    char timestamp[32];
+    const std::time_t now = std::time(nullptr);
+    std::strftime(timestamp, sizeof(timestamp), "%Y-%m-%dT%H:%M:%SZ",
+                  std::gmtime(&now));
+    json::ObjectWriter meta;
+    meta.Str("git_sha", SKNN_GIT_SHA)
+        .Str("build_type", SKNN_BUILD_TYPE)
+        .Str("compiler", SKNN_COMPILER)
+        .Str("timestamp", timestamp);
     json::ObjectWriter top;
     top.Str("bench", name_);
+    top.Raw("meta", meta.Render());
     top.Raw("rows", json::Array(rows_));
     const std::string path = "BENCH_" + name_ + ".json";
     if (!json::WriteFile(path, top.Render() + "\n")) {
@@ -221,6 +247,7 @@ inline int RunSyntheticSweep(const char* paper_note,
       row.Int("n", p.n)
           .Int("d", p.d)
           .Int("k", p.k)
+          .Str("preset", PresetName(args.preset))
           .Str("layout", core::LayoutName(layout))
           .Int("queries", static_cast<uint64_t>(args.queries))
           .Num("query_seconds", total / args.queries)

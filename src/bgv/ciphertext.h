@@ -33,10 +33,24 @@ struct Plaintext {
 // Modulus switching multiplies it by q_dropped^{-1} and ciphertext
 // multiplication multiplies the factors; the Decryptor divides it out and
 // the Evaluator reconciles mismatched factors on addition.
+// Sentinel for `Ciphertext::noise_bits`: the estimator has no provenance
+// for this ciphertext (e.g. it was deserialized from the wire), so no
+// bound is tracked until a caller stamps one (see bgv::NoiseModel).
+inline constexpr double kNoiseUntracked = -1.0;
+
 struct Ciphertext {
   size_t level = 0;
   uint64_t scale = 1;
   std::vector<RnsPoly> c;
+
+  // Secret-key-free upper bound on the invariant-noise magnitude,
+  // log2(||t*e||_inf), maintained by Encryptor/Evaluator through every
+  // primitive (see bgv::NoiseModel and DESIGN.md §7.3). Telemetry only:
+  // never serialized (the wire format is unchanged) and never read by the
+  // arithmetic itself. kNoiseUntracked when unknown.
+  double noise_bits = kNoiseUntracked;
+
+  bool noise_tracked() const { return noise_bits >= 0.0; }
 
   size_t size() const { return c.size(); }
   size_t num_components() const {

@@ -1,5 +1,6 @@
 #include "bgv/encryptor.h"
 
+#include "bgv/noise_model.h"
 #include "bgv/sampling.h"
 #include "common/logging.h"
 
@@ -44,6 +45,7 @@ StatusOr<Ciphertext> Encryptor::EncryptAtLevel(const Plaintext& pt,
   Ciphertext ct;
   ct.level = level;
   ct.scale = 1;
+  ct.noise_bits = NoiseModel(*ctx_).FreshPkNoiseBits();
   // c0 = b*u + t*e0 + m ; c1 = a*u + t*e1, restricted to `comps` components.
   RnsPoly b_restricted = pk_.b.Prefix(comps);
   RnsPoly a_restricted = pk_.a.Prefix(comps);

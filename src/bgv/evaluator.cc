@@ -20,7 +20,7 @@ namespace bgv {
   } while (0)
 
 Evaluator::Evaluator(std::shared_ptr<const BgvContext> ctx)
-    : ctx_(std::move(ctx)) {}
+    : ctx_(std::move(ctx)), noise_(*ctx_) {}
 
 Status Evaluator::CheckCt(const Ciphertext& a) const {
   if (a.size() < 2) return InvalidArgumentError("ciphertext too small");
@@ -73,6 +73,7 @@ Status Evaluator::AddInplace(Ciphertext* a, const Ciphertext& b) const {
   for (size_t i = 0; i < a->size(); ++i) {
     sknn::AddInplace(&a->c[i], rhs->c[i], ctx_->key_base());
   }
+  a->noise_bits = noise_.Add(a->noise_bits, rhs->noise_bits);
   return Status::Ok();
 }
 
@@ -94,6 +95,7 @@ Status Evaluator::SubInplace(Ciphertext* a, const Ciphertext& b) const {
   for (size_t i = 0; i < a->size(); ++i) {
     sknn::SubInplace(&a->c[i], rhs->c[i], ctx_->key_base());
   }
+  a->noise_bits = noise_.Add(a->noise_bits, rhs->noise_bits);
   return Status::Ok();
 }
 
@@ -137,6 +139,7 @@ Status Evaluator::AddPlainInplace(Ciphertext* a, const PlainOperand& op) const {
     return InvalidArgumentError("plaintext operand prepared for another scale");
   }
   sknn::AddInplace(&a->c[0], op.m, ctx_->key_base());
+  a->noise_bits = noise_.AddPlain(a->noise_bits);
   return Status::Ok();
 }
 
@@ -189,6 +192,7 @@ StatusOr<Ciphertext> Evaluator::Multiply(const Ciphertext& a,
   out.c.push_back(std::move(d0));
   out.c.push_back(std::move(d1));
   out.c.push_back(std::move(d2));
+  out.noise_bits = noise_.Multiply(x->noise_bits, y->noise_bits);
   return out;
 }
 
@@ -389,6 +393,7 @@ Status Evaluator::RelinearizeInplace(Ciphertext* a,
   sknn::AddInplace(&a->c[0], u0, ctx_->key_base());
   sknn::AddInplace(&a->c[1], u1, ctx_->key_base());
   a->c.pop_back();
+  a->noise_bits = noise_.KeySwitch(a->noise_bits, a->level);
   return Status::Ok();
 }
 
@@ -433,6 +438,7 @@ Status Evaluator::MultiplyPlainInplace(Ciphertext* a,
     return InvalidArgumentError("plaintext operand prepared for another level");
   }
   for (RnsPoly& p : a->c) MulPointwiseInplace(&p, op.m, ctx_->key_base());
+  a->noise_bits = noise_.MultiplyPlain(a->noise_bits);
   return Status::Ok();
 }
 
@@ -463,6 +469,7 @@ Status Evaluator::MultiplyScalarInplace(Ciphertext* a,
   for (RnsPoly& p : a->c) {
     MulScalarInplace(&p, per_prime, ctx_->key_base());
   }
+  a->noise_bits = noise_.MultiplyScalar(a->noise_bits, scalar_mod_t);
   return Status::Ok();
 }
 
@@ -519,6 +526,7 @@ Status Evaluator::ModSwitchToNextInplace(Ciphertext* a) const {
     p = DropLastComponent(p, a->level);
     ToNttInplace(&p, ctx_->key_base());
   }
+  a->noise_bits = noise_.ModSwitch(a->noise_bits, a->level, a->size());
   a->scale = ctx_->plain_modulus().MulMod(a->scale, ctx_->q_inv_mod_t(a->level));
   a->level -= 1;
   return Status::Ok();
@@ -562,6 +570,7 @@ Status Evaluator::ApplyGaloisInplace(Ciphertext* a, uint64_t galois_elt,
   sknn::AddInplace(&u0, c0_tau, base);
   a->c[0] = std::move(u0);
   a->c[1] = std::move(u1);
+  a->noise_bits = noise_.KeySwitch(a->noise_bits, a->level);
   return Status::Ok();
 }
 
@@ -607,6 +616,7 @@ Status Evaluator::ApplyGaloisChainInplace(
     c0 = ApplyGaloisCoeff(c0, elt, base);
     sknn::AddInplace(&c0, u0, base);
     c1 = std::move(u1);
+    a->noise_bits = noise_.KeySwitch(a->noise_bits, a->level);
   }
   ToNttInplace(&c0, base);
   ToNttInplace(&c1, base);
@@ -704,6 +714,8 @@ Status Evaluator::FoldRowsInplace(Ciphertext* a, size_t block,
     sknn::AddInplace(&c0, c0_tau, base);
     sknn::AddInplace(&c0, u0, base);
     sknn::AddInplace(&c1, u1, base);
+    a->noise_bits = noise_.Add(
+        a->noise_bits, noise_.KeySwitch(a->noise_bits, a->level));
   }
   ToNttInplace(&c0, base);
   ToNttInplace(&c1, base);
@@ -765,6 +777,7 @@ StatusOr<std::vector<Ciphertext>> Evaluator::HoistedRotations(
     Ciphertext rotated;
     rotated.level = ct.level;
     rotated.scale = ct.scale;
+    rotated.noise_bits = noise_.KeySwitch(ct.noise_bits, ct.level);
     RnsPoly u0, u1;
     KeySwitchInner(digits, gk.keys.at(elts[i]), perm.data(), &u0, &u1,
                    /*ntt_out=*/true);

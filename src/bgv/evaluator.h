@@ -10,6 +10,7 @@
 #include "bgv/ciphertext.h"
 #include "bgv/context.h"
 #include "bgv/keys.h"
+#include "bgv/noise_model.h"
 #include "common/status.h"
 #include "common/statusor.h"
 
@@ -54,6 +55,12 @@ struct PlainOperand {
 class Evaluator {
  public:
   explicit Evaluator(std::shared_ptr<const BgvContext> ctx);
+
+  // Static noise estimator sharing this evaluator's context. Every
+  // primitive below updates its result's `noise_bits` through this model;
+  // callers use it to read estimated budgets and emit thin-margin
+  // warnings without the secret key.
+  const NoiseModel& noise_model() const { return noise_; }
 
   // --- linear operations (no noise growth beyond addition) ---
   Status AddInplace(Ciphertext* a, const Ciphertext& b) const;
@@ -159,6 +166,7 @@ class Evaluator {
   RnsPoly DropLastComponent(const RnsPoly& poly, size_t level) const;
 
   std::shared_ptr<const BgvContext> ctx_;
+  NoiseModel noise_;
 };
 
 // Thread-safe keyed cache of prepared plaintext operands. Callers pick the

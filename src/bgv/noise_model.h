@@ -1,0 +1,95 @@
+#ifndef SKNN_BGV_NOISE_MODEL_H_
+#define SKNN_BGV_NOISE_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "bgv/ciphertext.h"
+#include "bgv/context.h"
+
+// Secret-key-free static estimator for BGV invariant noise.
+//
+// Writing the decryption invariant as v = c0 + c1*s (+ c2*s^2) = [m]_t + t*e
+// over the integers (coefficients centered), the quantity the exact
+// measurement `Decryptor::NoiseBudgetBits` reports is
+//   budget = bitlen(Q_level) - 1 - log2(||t*e||_inf).
+// This model tracks `Ciphertext::noise_bits`, an upper bound on
+// log2(||t*e||_inf), through every Encryptor/Evaluator primitive using
+// worst-case coefficient-norm bounds (||a*b||_inf <= n*||a||_inf*||b||_inf
+// for degree-n ring products; the Gaussian sampler is hard-truncated at
+// B = ceil(6*sigma), so fresh-noise bounds hold with certainty, not just
+// overwhelming probability). Consequently the estimated remaining budget
+//   EstimatedBudgetBits = log2(Q_level) - 1 - noise_bits
+// is a guaranteed lower bound on the exact measurement — it reaches the
+// thin-margin threshold strictly before decryption can fail. Derivations
+// and the observed slack (how pessimistic each rule is in practice) are in
+// DESIGN.md §7.3.
+//
+// All transition rules operate in log2 space on `noise_bits` values and
+// propagate `kNoiseUntracked` (any untracked input -> untracked output),
+// so call sites stay one-liners. The model is a handful of precomputed
+// doubles; every rule is a few flops and safe on hot paths.
+
+namespace sknn {
+namespace bgv {
+
+class NoiseModel {
+ public:
+  // Estimated budget below which `WarnIfThin` fires: one more deep
+  // multiply-and-fold at typical parameters can burn through this margin,
+  // so a run that ever decrypts incorrectly must have warned first.
+  static constexpr double kThinMarginBits = 10.0;
+
+  explicit NoiseModel(const BgvContext& ctx);
+
+  // log2 of the ciphertext modulus product q_0..q_level.
+  double LogQ(size_t level) const { return log_q_[level]; }
+
+  // Guaranteed lower bound on Decryptor::NoiseBudgetBits for a tracked
+  // ciphertext (clamped at 0); kNoiseUntracked if the estimate is absent.
+  double EstimatedBudgetBits(const Ciphertext& ct) const;
+
+  // Fresh-encryption bounds: public-key t*B*(2n+1), symmetric t*B.
+  double FreshPkNoiseBits() const { return fresh_pk_bits_; }
+  double FreshSymmetricNoiseBits() const { return fresh_sym_bits_; }
+
+  // --- transition rules (inputs/outputs are noise_bits values) ---
+  // Ciphertext add/sub, including the +t message re-centering term.
+  double Add(double a, double b) const;
+  // Plaintext add/sub: +t re-centering only.
+  double AddPlain(double a) const;
+  // Tensor product: n*(t/2 + N1)*(t/2 + N2) + t/2.
+  double Multiply(double a, double b) const;
+  // Plaintext (ring) product: n*(t/2)*(t/2 + N) + t/2.
+  double MultiplyPlain(double a) const;
+  // Coefficient-wise scalar product by `scalar` (mod t, centered lift):
+  // |c|*(N + t/2) + t/2.
+  double MultiplyScalar(double a, uint64_t scalar_mod_t) const;
+  // Additive key-switch term (relinearization, Galois) at `level`.
+  double KeySwitch(double a, size_t level) const;
+  // Drop the last data prime of `level_from`; `ct_size` components feel
+  // the t-preserving rounding (t/2 * sum_{i<size} n^i).
+  double ModSwitch(double a, size_t level_from, size_t ct_size) const;
+
+  // Logs a rate-limited warning and bumps `bgv.noise.thin_margin_warnings`
+  // when a tracked ciphertext's estimated budget drops below
+  // kThinMarginBits. `where` names the protocol site for the log line.
+  void WarnIfThin(const Ciphertext& ct, const char* where) const;
+
+ private:
+  uint64_t t_ = 0;         // plain modulus (for centered scalar lifts)
+  double log_n_ = 0;       // log2(ring degree)
+  double log_t_ = 0;       // log2(plain modulus)
+  double log_b_ = 0;       // log2(gaussian truncation bound)
+  double log_sp_ = 0;      // log2(special prime)
+  std::vector<double> log_q_;      // log2(prod q_0..q_i) per level
+  std::vector<double> log_qmax_;   // log2(max data prime <= level)
+  double fresh_pk_bits_ = 0;
+  double fresh_sym_bits_ = 0;
+};
+
+}  // namespace bgv
+}  // namespace sknn
+
+#endif  // SKNN_BGV_NOISE_MODEL_H_

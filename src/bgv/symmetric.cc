@@ -1,5 +1,6 @@
 #include "bgv/symmetric.h"
 
+#include "bgv/noise_model.h"
 #include "bgv/sampling.h"
 #include "bgv/serialization.h"
 
@@ -78,6 +79,10 @@ StatusOr<Ciphertext> ExpandSeeded(const BgvContext& ctx,
   Ciphertext ct;
   ct.level = seeded.level;
   ct.scale = seeded.scale;
+  // The seeded form is only ever produced by EncryptSeeded, so the fresh
+  // symmetric bound applies whether it was expanded locally or after a
+  // wire round-trip.
+  ct.noise_bits = NoiseModel(ctx).FreshSymmetricNoiseBits();
   ct.c.push_back(seeded.c0);
   ct.c.push_back(ExpandA(ctx, seeded.seed, seeded.level + 1));
   return ct;

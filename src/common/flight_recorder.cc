@@ -1,0 +1,81 @@
+#include "common/flight_recorder.h"
+
+#include "common/json_writer.h"
+#include "common/logging.h"
+
+namespace sknn {
+
+std::string FlightRecord::Json() const {
+  std::vector<std::string> phase_rows;
+  phase_rows.reserve(phases.size());
+  for (const Phase& p : phases) {
+    json::ObjectWriter row;
+    row.Str("name", p.name).Num("seconds", p.seconds).Int("bytes", p.bytes);
+    if (p.min_noise_budget_bits >= 0) {
+      row.Num("min_noise_budget_bits", p.min_noise_budget_bits);
+    }
+    phase_rows.push_back(row.Render());
+  }
+  json::ObjectWriter out;
+  out.Int("query_id", query_id)
+      .Int("seed", seed)
+      .Int("num_points", num_points)
+      .Int("dims", dims)
+      .Int("k", k)
+      .Raw("phases", json::Array(phase_rows))
+      .Int("leg_retries", leg_retries)
+      .Int("faults_injected", faults_injected)
+      .Int("recovered_legs", recovered_legs)
+      .Bool("ok", ok)
+      .Str("status", status);
+  return out.Render();
+}
+
+FlightRecorder::FlightRecorder(size_t capacity) : capacity_(capacity) {}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+void FlightRecorder::Add(FlightRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record.query_id = next_id_++;
+  const bool dump = !record.ok && dump_on_error_;
+  ring_.push_back(std::move(record));
+  if (ring_.size() > capacity_) ring_.pop_front();
+  if (dump) {
+    SKNN_LOG_ERROR << "query failed; flight record: " << ring_.back().Json();
+  }
+}
+
+std::vector<FlightRecord> FlightRecorder::Records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<FlightRecord>(ring_.begin(), ring_.end());
+}
+
+bool FlightRecorder::FindBySeed(uint64_t seed, FlightRecord* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
+    if (it->seed == seed) {
+      *out = *it;
+      return true;
+    }
+  }
+  return false;
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+}
+
+std::string FlightRecorder::Json() const {
+  std::vector<std::string> rows;
+  for (const FlightRecord& r : Records()) rows.push_back(r.Json());
+  json::ObjectWriter out;
+  out.Raw("flight_records", json::Array(rows));
+  return out.Render();
+}
+
+}  // namespace sknn

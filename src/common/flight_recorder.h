@@ -1,0 +1,90 @@
+#ifndef SKNN_COMMON_FLIGHT_RECORDER_H_
+#define SKNN_COMMON_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+// Bounded ring of per-query structured records — the protocol's black box.
+//
+// `core::SecureKnnSession::RunQuery` appends one record per query: the
+// replay seed, problem shape, per-phase durations/bytes, the transport
+// retry/fault counter deltas the query incurred, the minimum estimated
+// noise margin per phase, and the final status. The ring keeps the last
+// `capacity` queries (default 256), so a failure deep into a soak run
+// still has its context. When a record with a non-OK status is added the
+// recorder dumps it to the log automatically — a chaos failure is
+// replayable from stderr alone. `sknn_cli --flight-record=FILE` writes
+// the whole ring as JSON.
+
+namespace sknn {
+
+struct FlightRecord {
+  uint64_t query_id = 0;  // monotonic across the recorder's lifetime
+  // Replay key: the fault seed for this query (fault_seed + query index in
+  // chaos runs; 0 when no fault injection is active).
+  uint64_t seed = 0;
+  uint64_t num_points = 0;  // n
+  uint64_t dims = 0;        // d
+  uint64_t k = 0;
+
+  struct Phase {
+    std::string name;
+    double seconds = 0;
+    uint64_t bytes = 0;  // bytes moved during the phase (both directions)
+    // Minimum estimated remaining noise budget over the phase's
+    // ciphertexts (bits); negative = not tracked for this phase.
+    double min_noise_budget_bits = -1;
+  };
+  std::vector<Phase> phases;
+
+  // Transport counter deltas across this query (from the PR 4 stack).
+  uint64_t leg_retries = 0;
+  uint64_t faults_injected = 0;
+  uint64_t recovered_legs = 0;
+
+  bool ok = false;
+  std::string status;  // "ok" or the error message
+
+  std::string Json() const;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(size_t capacity = 256);
+
+  // The process-wide recorder core::Session populates.
+  static FlightRecorder& Global();
+
+  // Appends a record, evicting the oldest when full. Non-OK records are
+  // dumped to the log (SKNN_LOG_ERROR) unless dumping is disabled.
+  void Add(FlightRecord record);
+
+  // Snapshot, oldest first.
+  std::vector<FlightRecord> Records() const;
+
+  // Most recent record whose seed matches; false if none in the ring.
+  bool FindBySeed(uint64_t seed, FlightRecord* out) const;
+
+  void Clear();
+
+  // {"flight_records": [...]} — the --flight-record=FILE payload.
+  std::string Json() const;
+
+  // Chaos tests inject thousands of failing queries on purpose; they turn
+  // the automatic dump off and print only the records they care about.
+  void set_dump_on_error(bool dump) { dump_on_error_ = dump; }
+
+ private:
+  const size_t capacity_;
+  bool dump_on_error_ = true;
+  mutable std::mutex mu_;
+  uint64_t next_id_ = 0;
+  std::deque<FlightRecord> ring_;
+};
+
+}  // namespace sknn
+
+#endif  // SKNN_COMMON_FLIGHT_RECORDER_H_

@@ -5,25 +5,49 @@
 #include <iostream>
 #include <sstream>
 
-// Minimal logging + check macros in the glog style. INFO/WARNING go to
-// stderr; FATAL aborts. SKNN_CHECK is active in all build modes (it guards
-// internal invariants, not user input — user input errors return Status).
+// Minimal logging + check macros in the glog style. Messages go to stderr
+// prefixed with a severity tag ([I]/[W]/[E]/[F]); FATAL aborts. The
+// `SKNN_LOG_LEVEL` environment variable (I, W, E or F — read once per
+// process) suppresses messages below the named severity, so chaos/soak
+// runs can silence INFO chatter; FATAL always prints and aborts
+// regardless. SKNN_CHECK is active in all build modes (it guards internal
+// invariants, not user input — user input errors return Status).
 
 namespace sknn {
 namespace internal_logging {
 
 enum class LogSeverity { kInfo, kWarning, kError, kFatal };
 
+// Minimum severity that actually reaches stderr, from SKNN_LOG_LEVEL.
+// Unset or unrecognized -> kInfo (everything prints).
+inline LogSeverity MinLogSeverity() {
+  static const LogSeverity min_severity = [] {
+    const char* env = std::getenv("SKNN_LOG_LEVEL");
+    if (env == nullptr || env[0] == '\0') return LogSeverity::kInfo;
+    switch (env[0]) {
+      case 'W': case 'w': return LogSeverity::kWarning;
+      case 'E': case 'e': return LogSeverity::kError;
+      case 'F': case 'f': return LogSeverity::kFatal;
+      default: return LogSeverity::kInfo;
+    }
+  }();
+  return min_severity;
+}
+
 class LogMessage {
  public:
   LogMessage(const char* file, int line, LogSeverity severity)
       : severity_(severity) {
-    stream_ << "[" << Basename(file) << ":" << line << "] ";
+    stream_ << "[" << SeverityTag(severity) << " " << Basename(file) << ":"
+            << line << "] ";
   }
 
   ~LogMessage() {
-    stream_ << "\n";
-    std::cerr << stream_.str();
+    // FATAL is never filtered: the message is the abort diagnosis.
+    if (severity_ >= MinLogSeverity() || severity_ == LogSeverity::kFatal) {
+      stream_ << "\n";
+      std::cerr << stream_.str();
+    }
     if (severity_ == LogSeverity::kFatal) {
       std::cerr.flush();
       std::abort();
@@ -33,6 +57,16 @@ class LogMessage {
   std::ostringstream& stream() { return stream_; }
 
  private:
+  static char SeverityTag(LogSeverity severity) {
+    switch (severity) {
+      case LogSeverity::kInfo: return 'I';
+      case LogSeverity::kWarning: return 'W';
+      case LogSeverity::kError: return 'E';
+      case LogSeverity::kFatal: return 'F';
+    }
+    return '?';
+  }
+
   static const char* Basename(const char* file) {
     const char* base = file;
     for (const char* p = file; *p != '\0'; ++p) {
@@ -57,6 +91,11 @@ class LogMessage {
   ::sknn::internal_logging::LogMessage(               \
       __FILE__, __LINE__,                             \
       ::sknn::internal_logging::LogSeverity::kWarning) \
+      .stream()
+#define SKNN_LOG_ERROR                                \
+  ::sknn::internal_logging::LogMessage(               \
+      __FILE__, __LINE__,                             \
+      ::sknn::internal_logging::LogSeverity::kError)  \
       .stream()
 #define SKNN_LOG_FATAL                                \
   ::sknn::internal_logging::LogMessage(               \

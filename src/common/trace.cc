@@ -63,6 +63,20 @@ uint64_t Tracer::NowNs() const {
 }
 
 void Tracer::Record(SpanRecord record) {
+  // Every completed span also feeds the registry's histograms, keyed by
+  // full path: latency always, byte-size distributions only for spans that
+  // carried channel traffic. This runs only while tracing is enabled (span
+  // destructors check before calling), so disabled hot paths stay free.
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetHistogram("latency_ns." + record.path)->Record(record.dur_ns);
+  if (record.bytes_sent != 0) {
+    registry.GetHistogram("bytes_sent." + record.path)
+        ->Record(record.bytes_sent);
+  }
+  if (record.bytes_received != 0) {
+    registry.GetHistogram("bytes_received." + record.path)
+        ->Record(record.bytes_received);
+  }
   std::lock_guard<std::mutex> lock(mu_);
   records_.push_back(std::move(record));
 }

@@ -1,12 +1,24 @@
 #include "core/party_a.h"
 
+#include <algorithm>
 #include <mutex>
 
+#include "common/metrics_registry.h"
 #include "common/trace.h"
 #include "data/dataset.h"
 
 namespace sknn {
 namespace core {
+namespace {
+
+// min over estimated budgets where negative means "not observed yet".
+double MinBudget(double a, double b) {
+  if (a < 0) return b;
+  if (b < 0) return a;
+  return std::min(a, b);
+}
+
+}  // namespace
 
 PartyA::PartyA(std::shared_ptr<const bgv::BgvContext> ctx,
                ProtocolConfig config, SlotLayout layout, bgv::PublicKey pk,
@@ -43,7 +55,8 @@ Status PartyA::LoadEncryptedDatabase(std::vector<bgv::Ciphertext> units) {
 
 StatusOr<bgv::Ciphertext> PartyA::DistanceForUnit(
     size_t unit, const bgv::Ciphertext& query_ct,
-    const MaskingPolynomial& mask, Chacha20Rng* unit_rng, OpCounts* ops) {
+    const MaskingPolynomial& mask, Chacha20Rng* unit_rng, OpCounts* ops,
+    PhaseNoise* noise) {
   trace::TraceSpan unit_span("unit");
   const uint64_t t = ctx_->t();
   bgv::Ciphertext x;
@@ -87,6 +100,7 @@ StatusOr<bgv::Ciphertext> PartyA::DistanceForUnit(
       SKNN_RETURN_IF_ERROR(evaluator_.ModSwitchToNextInplace(&x));
       ops->mod_switches += 1;
     }
+    noise->square_fold = evaluator_.noise_model().EstimatedBudgetBits(x);
   }
   bgv::Ciphertext u;
   {
@@ -144,6 +158,7 @@ StatusOr<bgv::Ciphertext> PartyA::DistanceForUnit(
     SKNN_ASSIGN_OR_RETURN(bgv::Plaintext mask_pt, encoder_.Encode(mask_slots));
     SKNN_RETURN_IF_ERROR(evaluator_.AddPlainInplace(&u, mask_pt));
     ops->he_plain_ops += 1;
+    noise->mask = evaluator_.noise_model().EstimatedBudgetBits(u);
   }
   {
     trace::TraceSpan span("permute");
@@ -168,6 +183,10 @@ StatusOr<bgv::Ciphertext> PartyA::DistanceForUnit(
       SKNN_RETURN_IF_ERROR(evaluator_.ModSwitchToLevelInplace(&u, 0));
       ops->mod_switches += before;
     }
+    noise->permute = evaluator_.noise_model().EstimatedBudgetBits(u);
+    // The transport-level ciphertext is what Party B must decrypt: this is
+    // the narrowest point of the distance phase.
+    evaluator_.noise_model().WarnIfThin(u, "party_a.distance");
   }
   return u;
 }
@@ -206,11 +225,13 @@ StatusOr<std::vector<bgv::Ciphertext>> PartyA::ComputeDistances(
 
   std::vector<bgv::Ciphertext> transformed(units);
   std::vector<OpCounts> unit_ops(units);
+  std::vector<PhaseNoise> unit_noise(units);
   Status first_error = Status::Ok();
   std::mutex error_mu;
   pool_.ParallelFor(0, units, [&](size_t u) {
     Chacha20Rng unit_rng(unit_seeds[u]);
-    auto result = DistanceForUnit(u, query_ct, mask, &unit_rng, &unit_ops[u]);
+    auto result = DistanceForUnit(u, query_ct, mask, &unit_rng, &unit_ops[u],
+                                  &unit_noise[u]);
     if (!result.ok()) {
       std::lock_guard<std::mutex> lock(error_mu);
       if (first_error.ok()) first_error = result.status();
@@ -220,6 +241,17 @@ StatusOr<std::vector<bgv::Ciphertext>> PartyA::ComputeDistances(
   });
   SKNN_RETURN_IF_ERROR(first_error);
   for (const OpCounts& oc : unit_ops) ops_ += oc;
+  // Worst-case (minimum) estimated budget per sub-phase across units.
+  PhaseNoise worst;
+  for (const PhaseNoise& pn : unit_noise) {
+    worst.square_fold = MinBudget(worst.square_fold, pn.square_fold);
+    worst.mask = MinBudget(worst.mask, pn.mask);
+    worst.permute = MinBudget(worst.permute, pn.permute);
+  }
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetGauge("bgv.noise.party_a.square_fold")->Set(worst.square_fold);
+  registry.GetGauge("bgv.noise.party_a.mask")->Set(worst.mask);
+  registry.GetGauge("bgv.noise.party_a.permute")->Set(worst.permute);
 
   // Apply the unit permutation: output position p carries original unit
   // perm_[p].
@@ -237,6 +269,8 @@ Status PartyA::BeginReturnPhase(size_t k) {
   }
   acc_.assign(k, bgv::Ciphertext());
   acc_started_.assign(k, false);
+  min_absorb_budget_ = -1;
+  min_retrieve_budget_ = -1;
   return Status::Ok();
 }
 
@@ -280,6 +314,11 @@ Status PartyA::AbsorbIndicator(size_t j, size_t transformed_unit_pos,
     SKNN_RETURN_IF_ERROR(evaluator_.AddInplace(&acc_[j], prod));
     ops_.he_additions += 1;
   }
+  min_absorb_budget_ = MinBudget(
+      min_absorb_budget_, evaluator_.noise_model().EstimatedBudgetBits(acc_[j]));
+  MetricsRegistry::Global()
+      .GetGauge("bgv.noise.party_a.absorb")
+      ->Set(min_absorb_budget_);
   return Status::Ok();
 }
 
@@ -295,6 +334,14 @@ StatusOr<bgv::Ciphertext> PartyA::FinalizeResult(size_t j) {
   const size_t before = result.level;
   SKNN_RETURN_IF_ERROR(evaluator_.ModSwitchToLevelInplace(&result, 0));
   ops_.mod_switches += before;
+  min_retrieve_budget_ = MinBudget(
+      min_retrieve_budget_, evaluator_.noise_model().EstimatedBudgetBits(result));
+  MetricsRegistry::Global()
+      .GetGauge("bgv.noise.party_a.retrieve")
+      ->Set(min_retrieve_budget_);
+  // The client must decrypt this ciphertext; warn before it gets the
+  // chance to fail.
+  evaluator_.noise_model().WarnIfThin(result, "party_a.retrieve");
   return result;
 }
 

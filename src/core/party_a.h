@@ -80,13 +80,23 @@ class PartyA {
   const MaskingPolynomial* last_mask() const { return mask_.get(); }
 
  private:
+  // Minimum estimated remaining noise budget (bits) observed at the end of
+  // each distance sub-phase; negative = no tracked ciphertext seen.
+  // Reduced across units after the parallel section and exported as the
+  // `bgv.noise.party_a.*` gauges.
+  struct PhaseNoise {
+    double square_fold = -1;
+    double mask = -1;
+    double permute = -1;
+  };
+
   // Distance pipeline for a single unit (everything after the subtraction
   // is per-unit independent, so units run in parallel).
   StatusOr<bgv::Ciphertext> DistanceForUnit(size_t unit,
                                             const bgv::Ciphertext& query_ct,
                                             const MaskingPolynomial& mask,
                                             Chacha20Rng* unit_rng,
-                                            OpCounts* ops);
+                                            OpCounts* ops, PhaseNoise* noise);
 
   std::shared_ptr<const bgv::BgvContext> ctx_;
   ProtocolConfig config_;
@@ -117,6 +127,10 @@ class PartyA {
   std::vector<bool> col_swapped_;   // per original unit
   std::vector<bgv::Ciphertext> acc_;
   std::vector<bool> acc_started_;
+  // Running minima for the return phase (reset by BeginReturnPhase),
+  // exported as `bgv.noise.party_a.{absorb,retrieve}`.
+  double min_absorb_budget_ = -1;
+  double min_retrieve_budget_ = -1;
 };
 
 }  // namespace core

@@ -1,10 +1,25 @@
 #include "core/party_b.h"
 
+#include "bgv/noise_model.h"
+#include "common/metrics_registry.h"
 #include "common/trace.h"
 #include "knn/knn.h"
 
 namespace sknn {
 namespace core {
+namespace {
+
+// Estimated budget of a fresh indicator encryption at `level` — a constant
+// of the parameter set, exported as `bgv.noise.party_b.indicator` so
+// operators can see how much headroom A's absorb/retrieve phase starts
+// from.
+double FreshIndicatorBudget(const bgv::NoiseModel& model, size_t level,
+                            double fresh_noise_bits) {
+  const double budget = model.LogQ(level) - 1.0 - fresh_noise_bits;
+  return budget > 0.0 ? budget : 0.0;
+}
+
+}  // namespace
 
 PartyB::PartyB(std::shared_ptr<const bgv::BgvContext> ctx,
                ProtocolConfig config, SlotLayout layout, bgv::SecretKey sk,
@@ -13,6 +28,7 @@ PartyB::PartyB(std::shared_ptr<const bgv::BgvContext> ctx,
       config_(std::move(config)),
       layout_(std::move(layout)),
       encoder_(ctx),
+      noise_(*ctx),
       decryptor_(ctx, sk),  // keeps a copy; the original moves below
       rng_(rng_seed),
       encryptor_(ctx, std::move(pk), &rng_),
@@ -25,6 +41,18 @@ StatusOr<size_t> PartyB::FindNeighbours(
     return InvalidArgumentError("unexpected distance unit count");
   }
   trace::TraceSpan span("party_b.decrypt_select");
+  // B holds the secret key, so it can afford one EXACT noise measurement
+  // per query (CRT reconstruction — too slow for every unit). The sampled
+  // unit's margin is the ground truth the static estimator's
+  // `bgv.noise.party_a.permute` gauge must stay at or below.
+  if (!units.empty()) {
+    StatusOr<double> exact = decryptor_.NoiseBudgetBits(units[0]);
+    if (exact.ok()) {
+      MetricsRegistry::Global()
+          .GetGauge("bgv.noise.party_b.exact_distance_budget")
+          ->Set(exact.value());
+    }
+  }
   const size_t ppu = layout_.payloads_per_unit();
   observed_.assign(units.size() * ppu, 0);
   for (size_t pos = 0; pos < units.size(); ++pos) {
@@ -113,6 +141,10 @@ StatusOr<std::vector<bgv::Ciphertext>> PartyB::EmitIndicatorsForResult(
   });
   for (const Status& s : status) SKNN_RETURN_IF_ERROR(s);
   ops_.encryptions += units;
+  MetricsRegistry::Global()
+      .GetGauge("bgv.noise.party_b.indicator")
+      ->Set(FreshIndicatorBudget(noise_, config_.indicator_level,
+                                 noise_.FreshPkNoiseBits()));
   return out;
 }
 
@@ -141,6 +173,10 @@ PartyB::EmitIndicatorsCompressedForResult(size_t j) const {
   });
   for (const Status& s : status) SKNN_RETURN_IF_ERROR(s);
   ops_.encryptions += units;
+  MetricsRegistry::Global()
+      .GetGauge("bgv.noise.party_b.indicator")
+      ->Set(FreshIndicatorBudget(noise_, config_.indicator_level,
+                                 noise_.FreshSymmetricNoiseBits()));
   return out;
 }
 

@@ -11,6 +11,7 @@
 #include "bgv/encoder.h"
 #include "bgv/encryptor.h"
 #include "bgv/keys.h"
+#include "bgv/noise_model.h"
 #include "bgv/symmetric.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -92,6 +93,7 @@ class PartyB {
   ProtocolConfig config_;
   SlotLayout layout_;
   bgv::BatchEncoder encoder_;
+  bgv::NoiseModel noise_;
   bgv::Decryptor decryptor_;
   mutable Chacha20Rng rng_;
   mutable bgv::Encryptor encryptor_;

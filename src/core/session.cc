@@ -1,11 +1,14 @@
 #include "core/session.h"
 
+#include <algorithm>
 #include <chrono>
 #include <functional>
 #include <string>
 
+#include "bgv/noise_model.h"
 #include "bgv/serialization.h"
 #include "bgv/symmetric.h"
+#include "common/flight_recorder.h"
 #include "common/metrics_registry.h"
 #include "common/trace.h"
 #include "net/frame.h"
@@ -63,6 +66,33 @@ Status RunLegWithRecovery(const char* retry_span_name,
   }
   return status;
 }
+
+// Sum of every `net.faults.*` counter — the flight recorder stores the
+// delta across a query as "faults this query incurred".
+uint64_t TotalInjectedFaults() {
+  uint64_t total = 0;
+  for (const auto& [name, value] :
+       MetricsRegistry::Global().CounterValues()) {
+    if (name.rfind("net.faults.", 0) == 0) total += value;
+  }
+  return total;
+}
+
+// min over budgets where negative means "not observed".
+double MinBudget(double a, double b) {
+  if (a < 0) return b;
+  if (b < 0) return a;
+  return std::min(a, b);
+}
+
+// The per-query noise gauges; reset to "unobserved" at query start so a
+// flight record never inherits a previous query's margins.
+constexpr const char* kNoiseGauges[] = {
+    "bgv.noise.party_a.square_fold", "bgv.noise.party_a.mask",
+    "bgv.noise.party_a.permute",     "bgv.noise.party_a.absorb",
+    "bgv.noise.party_a.retrieve",    "bgv.noise.party_b.exact_distance_budget",
+    "bgv.noise.party_b.indicator",
+};
 
 }  // namespace
 
@@ -129,7 +159,72 @@ StatusOr<std::unique_ptr<SecureKnnSession>> SecureKnnSession::Create(
 
 StatusOr<QueryResult> SecureKnnSession::RunQuery(
     const std::vector<uint64_t>& query) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  for (const char* name : kNoiseGauges) registry.GetGauge(name)->Set(-1);
+  const uint64_t retries_before =
+      registry.GetCounter("net.leg_retries")->value();
+  const uint64_t recovered_before =
+      registry.GetCounter("query.recovered")->value();
+  const uint64_t faults_before = TotalInjectedFaults();
+  // Mirrors the FaultyLink seed RunQueryInternal will use for this query
+  // (0 when injection is off) — the replay key of the flight record.
+  const uint64_t replay_seed =
+      fault_spec_.any() ? fault_seed_ + queries_run_ : 0;
+
   QueryResult result;
+  const Status status = RunQueryInternal(query, &result);
+
+  auto gauge = [&](const char* name) {
+    return registry.GetGauge(name)->value();
+  };
+  const bgv::NoiseModel noise_model(*ctx_);
+  const double fresh_query_budget =
+      std::max(0.0, noise_model.LogQ(ctx_->max_level()) - 1.0 -
+                        noise_model.FreshPkNoiseBits());
+  const double distance_margin =
+      MinBudget(gauge("bgv.noise.party_a.square_fold"),
+                MinBudget(gauge("bgv.noise.party_a.mask"),
+                          gauge("bgv.noise.party_a.permute")));
+  const double return_margin = MinBudget(
+      gauge("bgv.noise.party_a.absorb"), gauge("bgv.noise.party_a.retrieve"));
+
+  FlightRecord record;
+  record.seed = replay_seed;
+  record.num_points = layout_.num_points();
+  record.dims = layout_.dims();
+  record.k = config_.k;
+  record.phases.push_back({"query_encrypt",
+                           result.timings.query_encrypt_seconds,
+                           result.client_bytes_sent, fresh_query_budget});
+  record.phases.push_back({"compute_distances",
+                           result.timings.compute_distances_seconds, 0,
+                           distance_margin});
+  record.phases.push_back(
+      {"find_neighbours", result.timings.find_neighbours_seconds,
+       result.ab_link.bytes_a_to_b,
+       gauge("bgv.noise.party_b.exact_distance_budget")});
+  record.phases.push_back({"return_knn", result.timings.return_knn_seconds,
+                           result.ab_link.bytes_b_to_a, return_margin});
+  record.phases.push_back({"client_decrypt",
+                           result.timings.client_decrypt_seconds,
+                           result.client_bytes_received,
+                           gauge("bgv.noise.party_a.retrieve")});
+  record.leg_retries =
+      registry.GetCounter("net.leg_retries")->value() - retries_before;
+  record.faults_injected = TotalInjectedFaults() - faults_before;
+  record.recovered_legs =
+      registry.GetCounter("query.recovered")->value() - recovered_before;
+  record.ok = status.ok();
+  record.status = status.ok() ? "ok" : status.message();
+  FlightRecorder::Global().Add(std::move(record));
+
+  if (!status.ok()) return status;
+  return result;
+}
+
+Status SecureKnnSession::RunQueryInternal(const std::vector<uint64_t>& query,
+                                          QueryResult* out) {
+  QueryResult& result = *out;
   party_a_->ResetOps();
   party_b_->ResetOps();
   client_->ResetOps();
@@ -159,6 +254,15 @@ StatusOr<QueryResult> SecureKnnSession::RunQuery(
     a_ch.ResetEpoch();
     b_ch.ResetEpoch();
   };
+  // Publish the link byte counts into the result on every exit path — the
+  // flight record wants the bytes moved before an error, too.
+  struct LinkStatsGuard {
+    net::InMemoryLink* link;
+    QueryResult* result;
+    ~LinkStatsGuard() { result->ab_link = link->stats(); }
+  } link_stats_guard{&ab_link, &result};
+
+  const bgv::NoiseModel noise_model(*ctx_);
 
   trace::TraceSpan query_span("query");
 
@@ -184,6 +288,10 @@ StatusOr<QueryResult> SecureKnnSession::RunQuery(
       return DataLossError("client->A frame does not carry a query tag");
     }
     SKNN_ASSIGN_OR_RETURN(query_at_a, CtFromBytes(std::move(frame.payload)));
+    // Deserialization strips the noise estimate (it never travels on the
+    // wire); A knows this is a fresh public-key encryption, so re-seed the
+    // tracker with the fresh-encryption bound.
+    query_at_a.noise_bits = noise_model.FreshPkNoiseBits();
   }
   result.timings.query_encrypt_seconds = SecondsSince(t0);
 
@@ -290,6 +398,9 @@ StatusOr<QueryResult> SecureKnnSession::RunQuery(
               SKNN_ASSIGN_OR_RETURN(ind_at_a, bgv::ExpandSeeded(*ctx_, seeded));
             } else {
               SKNN_ASSIGN_OR_RETURN(ind_at_a, CtFromBytes(std::move(bytes)));
+              // Fresh public-key indicator: re-seed the noise tracker
+              // (ExpandSeeded stamps the symmetric bound itself).
+              ind_at_a.noise_bits = noise_model.FreshPkNoiseBits();
             }
             SKNN_RETURN_IF_ERROR(party_a_->AbsorbIndicator(j, pos, ind_at_a));
             a_seconds += SecondsSince(ta);
@@ -338,13 +449,13 @@ StatusOr<QueryResult> SecureKnnSession::RunQuery(
   result.party_a_ops = party_a_->ops();
   result.party_b_ops = party_b_->ops();
   result.client_ops = client_->ops();
-  result.ab_link = ab_link.stats();
+  // (result.ab_link is filled by link_stats_guard on scope exit.)
   // Mirror the per-party aggregates into the global registry so trace/JSON
   // exports carry them alongside the bgv.evaluator.* counters.
   result.party_a_ops.ExportTo(&MetricsRegistry::Global(), "core.party_a");
   result.party_b_ops.ExportTo(&MetricsRegistry::Global(), "core.party_b");
   result.client_ops.ExportTo(&MetricsRegistry::Global(), "core.client");
-  return result;
+  return Status::Ok();
 }
 
 }  // namespace core

@@ -99,6 +99,11 @@ class SecureKnnSession {
   // indicators are fresh encryptions of the same plaintext selectors
   // (covered by semantic security); mask and permutation stay fixed
   // within the query and are refreshed across queries (DESIGN.md §8).
+  //
+  // Observability: every call — success or failure — appends one record
+  // to `FlightRecorder::Global()` (replay seed, per-phase timings/bytes,
+  // transport counter deltas, minimum noise margins); failed queries dump
+  // their record to the log automatically.
   StatusOr<QueryResult> RunQuery(const std::vector<uint64_t>& query);
 
   // Enables deterministic fault injection on the A<->B link of every
@@ -123,6 +128,12 @@ class SecureKnnSession {
 
  private:
   SecureKnnSession() = default;
+
+  // The protocol body of RunQuery; partial progress (timings, byte
+  // counts) lands in `*result` even on error so the flight record built
+  // by the public wrapper reflects how far the query got.
+  Status RunQueryInternal(const std::vector<uint64_t>& query,
+                          QueryResult* result);
 
   ProtocolConfig config_;
   std::shared_ptr<const bgv::BgvContext> ctx_;

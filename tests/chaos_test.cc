@@ -8,10 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <iostream>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "common/flight_recorder.h"
 #include "common/metrics_registry.h"
 #include "core/session.h"
 #include "data/generators.h"
@@ -107,6 +109,12 @@ ChaosTally RunChaos(SecureKnnSession* session, const data::Dataset& dataset,
   session->SetFaultInjection(*spec, fault_seed);
   session->SetRetryPolicy(FastRetries());
 
+  // Thousands of failures are injected on purpose: silence the automatic
+  // per-error dump and print only the first failing query's flight record,
+  // which carries the replay seed for `--fault-seed` reproduction.
+  FlightRecorder::Global().set_dump_on_error(false);
+  bool dumped_first_failure = false;
+
   const ProtocolConfig& cfg = session->config();
   ChaosTally tally;
   for (int q = 0; q < num_queries; ++q) {
@@ -128,10 +136,20 @@ ChaosTally RunChaos(SecureKnnSession* session, const data::Dataset& dataset,
           << "non-transport error leaked through under '" << spec_str
           << "', query " << q << ": " << result.status();
       EXPECT_FALSE(result.status().message().empty());
+      if (!dumped_first_failure) {
+        dumped_first_failure = true;
+        const auto records = FlightRecorder::Global().Records();
+        if (!records.empty()) {
+          std::cout << "[chaos] first failing query under '" << spec_str
+                    << "' (replay seed " << records.back().seed
+                    << "): " << records.back().Json() << "\n";
+        }
+      }
     }
   }
   // Turn injection back off so later tests start clean.
   session->SetFaultInjection(net::FaultSpec(), 0);
+  FlightRecorder::Global().set_dump_on_error(true);
   return tally;
 }
 

@@ -1,0 +1,171 @@
+// Flight recorder (common/flight_recorder.h): ring semantics, JSON shape,
+// seed lookup — and the session integration contract: every RunQuery,
+// successful or not, appends one record with the five protocol phases,
+// counter deltas, noise margins, and a replayable seed.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/flight_recorder.h"
+#include "core/session.h"
+#include "data/generators.h"
+#include "net/faulty_link.h"
+
+namespace sknn {
+namespace {
+
+FlightRecord MakeRecord(uint64_t seed, bool ok) {
+  FlightRecord r;
+  r.seed = seed;
+  r.num_points = 16;
+  r.dims = 2;
+  r.k = 3;
+  r.phases.push_back({"query_encrypt", 0.001, 512, 40.5});
+  r.phases.push_back({"compute_distances", 0.25, 0, 12.25});
+  r.leg_retries = 2;
+  r.ok = ok;
+  r.status = ok ? "ok" : "deadline exceeded";
+  return r;
+}
+
+TEST(FlightRecord, JsonShape) {
+  const std::string json = MakeRecord(77, true).Json();
+  EXPECT_NE(json.find("\"seed\":77"), std::string::npos);
+  EXPECT_NE(json.find("\"num_points\":16"), std::string::npos);
+  EXPECT_NE(json.find("\"k\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"query_encrypt\""), std::string::npos);
+  EXPECT_NE(json.find("\"compute_distances\""), std::string::npos);
+  EXPECT_NE(json.find("\"leg_retries\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
+}
+
+TEST(FlightRecorder, RingEvictsOldest) {
+  FlightRecorder recorder(/*capacity=*/4);
+  recorder.set_dump_on_error(false);
+  for (uint64_t i = 0; i < 6; ++i) recorder.Add(MakeRecord(i, true));
+  const auto records = recorder.Records();
+  ASSERT_EQ(records.size(), 4u);
+  // Oldest two were evicted; ids keep counting across evictions.
+  EXPECT_EQ(records.front().seed, 2u);
+  EXPECT_EQ(records.back().seed, 5u);
+  EXPECT_EQ(records.back().query_id, 5u);
+}
+
+TEST(FlightRecorder, FindBySeedPrefersMostRecent) {
+  FlightRecorder recorder(8);
+  recorder.set_dump_on_error(false);
+  recorder.Add(MakeRecord(9, true));
+  recorder.Add(MakeRecord(5, true));
+  recorder.Add(MakeRecord(9, false));  // same seed, later query
+  FlightRecord found;
+  ASSERT_TRUE(recorder.FindBySeed(9, &found));
+  EXPECT_FALSE(found.ok);
+  EXPECT_EQ(found.query_id, 2u);
+  EXPECT_FALSE(recorder.FindBySeed(1234, &found));
+}
+
+TEST(FlightRecorder, ClearEmptiesRingAndJsonWraps) {
+  FlightRecorder recorder(8);
+  recorder.Add(MakeRecord(1, true));
+  EXPECT_NE(recorder.Json().find("\"flight_records\""), std::string::npos);
+  recorder.Clear();
+  EXPECT_TRUE(recorder.Records().empty());
+}
+
+// --- session integration -------------------------------------------------
+
+core::ProtocolConfig RecorderConfig() {
+  core::ProtocolConfig cfg;
+  cfg.k = 3;
+  cfg.poly_degree = 2;
+  cfg.coord_bits = 4;
+  cfg.dims = 2;
+  cfg.layout = core::Layout::kPacked;
+  cfg.preset = bgv::SecurityPreset::kToy;
+  cfg.plain_bits = 33;
+  cfg.threads = 1;
+  cfg.levels = cfg.MinimumLevels();
+  return cfg;
+}
+
+net::RetryPolicy FastRetries() {
+  net::RetryPolicy policy;
+  policy.max_receive_polls = 4;
+  policy.max_leg_retries = 2;
+  policy.base_backoff_us = 0;
+  policy.max_backoff_us = 0;
+  return policy;
+}
+
+TEST(FlightRecorderSession, SuccessfulQueryAppendsFivePhaseRecord) {
+  const data::Dataset dataset = data::UniformDataset(16, 2, 15, 42);
+  auto session = core::SecureKnnSession::Create(RecorderConfig(), dataset, 7);
+  ASSERT_TRUE(session.ok()) << session.status();
+
+  const size_t before = FlightRecorder::Global().Records().size();
+  const std::vector<uint64_t> query = data::UniformQuery(2, 15, 11);
+  auto result = (*session)->RunQuery(query);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  const auto records = FlightRecorder::Global().Records();
+  ASSERT_EQ(records.size(), before + 1);
+  const FlightRecord& rec = records.back();
+  EXPECT_TRUE(rec.ok);
+  EXPECT_EQ(rec.status, "ok");
+  EXPECT_EQ(rec.seed, 0u);  // no fault injection active
+  EXPECT_EQ(rec.num_points, 16u);
+  EXPECT_EQ(rec.dims, 2u);
+  EXPECT_EQ(rec.k, 3u);
+  ASSERT_EQ(rec.phases.size(), 5u);
+  EXPECT_EQ(rec.phases[0].name, "query_encrypt");
+  EXPECT_EQ(rec.phases[1].name, "compute_distances");
+  EXPECT_EQ(rec.phases[2].name, "find_neighbours");
+  EXPECT_EQ(rec.phases[3].name, "return_knn");
+  EXPECT_EQ(rec.phases[4].name, "client_decrypt");
+  // The BGV phases carry live noise margins (estimator is wired through).
+  EXPECT_GT(rec.phases[0].min_noise_budget_bits, 0.0);
+  EXPECT_GE(rec.phases[1].min_noise_budget_bits, 0.0);
+  EXPECT_GE(rec.phases[3].min_noise_budget_bits, 0.0);
+  // Transport phases carry their byte counts.
+  EXPECT_GT(rec.phases[0].bytes, 0u);
+  EXPECT_GT(rec.phases[2].bytes, 0u);
+  EXPECT_GT(rec.phases[3].bytes, 0u);
+  for (const auto& phase : rec.phases) EXPECT_GE(phase.seconds, 0.0);
+  EXPECT_EQ(rec.leg_retries, 0u);
+  EXPECT_EQ(rec.faults_injected, 0u);
+}
+
+TEST(FlightRecorderSession, FailedQueryRecordsErrorAndReplaySeed) {
+  const data::Dataset dataset = data::UniformDataset(16, 2, 15, 42);
+  auto session = core::SecureKnnSession::Create(RecorderConfig(), dataset, 7);
+  ASSERT_TRUE(session.ok()) << session.status();
+  // Drop every frame: the query must fail after exhausting retries.
+  auto spec = net::ParseFaultSpec("drop:1.0");
+  ASSERT_TRUE(spec.ok());
+  (*session)->SetFaultInjection(*spec, /*fault_seed=*/4242);
+  (*session)->SetRetryPolicy(FastRetries());
+
+  FlightRecorder::Global().set_dump_on_error(false);
+  const size_t before = FlightRecorder::Global().Records().size();
+  auto result = (*session)->RunQuery(data::UniformQuery(2, 15, 12));
+  FlightRecorder::Global().set_dump_on_error(true);
+  ASSERT_FALSE(result.ok());
+
+  const auto records = FlightRecorder::Global().Records();
+  ASSERT_EQ(records.size(), before + 1);
+  const FlightRecord& rec = records.back();
+  EXPECT_FALSE(rec.ok);
+  EXPECT_FALSE(rec.status.empty());
+  EXPECT_NE(rec.status, "ok");
+  EXPECT_EQ(rec.seed, 4242u);  // fault_seed + query index 0: replay key
+  EXPECT_GT(rec.faults_injected, 0u);
+  // The failure is findable by its replay seed.
+  FlightRecord found;
+  ASSERT_TRUE(FlightRecorder::Global().FindBySeed(4242, &found));
+  EXPECT_FALSE(found.ok);
+}
+
+}  // namespace
+}  // namespace sknn

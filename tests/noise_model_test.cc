@@ -1,0 +1,268 @@
+// Validates the static noise estimator (bgv/noise_model.h) against the
+// exact secret-key measurement (Decryptor::NoiseBudgetBits): across
+// parameter sets and through every evaluator primitive, the estimated
+// remaining budget must be a LOWER bound on the exact budget — the
+// conservativeness guarantee DESIGN.md §7.3 derives. The observed slack
+// (how pessimistic the bound is) is also capped so the estimator stays
+// useful, not just safe.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bgv/context.h"
+#include "bgv/decryptor.h"
+#include "bgv/encoder.h"
+#include "bgv/encryptor.h"
+#include "bgv/evaluator.h"
+#include "bgv/keys.h"
+#include "bgv/noise_model.h"
+#include "bgv/symmetric.h"
+#include "common/metrics_registry.h"
+#include "common/rng.h"
+
+namespace sknn {
+namespace bgv {
+namespace {
+
+struct NoiseParam {
+  size_t n;
+  int plain_bits;
+  size_t levels;
+  int data_prime_bits;
+  int special_prime_bits;
+};
+
+class NoiseModelTest : public ::testing::TestWithParam<NoiseParam> {
+ protected:
+  void SetUp() override {
+    const NoiseParam p = GetParam();
+    auto params = BgvParams::CreateCustom(p.n, p.plain_bits, p.levels,
+                                          p.data_prime_bits,
+                                          p.special_prime_bits);
+    ASSERT_TRUE(params.ok()) << params.status();
+    auto ctx = BgvContext::Create(params.value());
+    ASSERT_TRUE(ctx.ok()) << ctx.status();
+    ctx_ = ctx.value();
+    rng_ = std::make_unique<Chacha20Rng>(uint64_t{2024} + p.n);
+    KeyGenerator keygen(ctx_, rng_.get());
+    sk_ = keygen.GenerateSecretKey();
+    pk_ = keygen.GeneratePublicKey(sk_);
+    rk_ = keygen.GenerateRelinKeys(sk_);
+    gk_ = keygen.GeneratePowerOfTwoRotationKeys(sk_);
+    encoder_ = std::make_unique<BatchEncoder>(ctx_);
+    encryptor_ = std::make_unique<Encryptor>(ctx_, pk_, rng_.get());
+    decryptor_ = std::make_unique<Decryptor>(ctx_, sk_);
+    evaluator_ = std::make_unique<Evaluator>(ctx_);
+    model_ = std::make_unique<NoiseModel>(*ctx_);
+  }
+
+  // The core invariant: estimated budget <= exact budget, always.
+  void ExpectConservative(const Ciphertext& ct, const char* where) {
+    ASSERT_TRUE(ct.noise_tracked()) << where;
+    const double estimated = model_->EstimatedBudgetBits(ct);
+    auto exact = decryptor_->NoiseBudgetBits(ct);
+    ASSERT_TRUE(exact.ok()) << where;
+    EXPECT_LE(estimated, exact.value()) << where;
+    if (exact.value() - estimated > max_slack_) {
+      max_slack_ = exact.value() - estimated;
+    }
+  }
+
+  std::shared_ptr<const BgvContext> ctx_;
+  std::unique_ptr<Chacha20Rng> rng_;
+  SecretKey sk_;
+  PublicKey pk_;
+  RelinKeys rk_;
+  GaloisKeys gk_;
+  std::unique_ptr<BatchEncoder> encoder_;
+  std::unique_ptr<Encryptor> encryptor_;
+  std::unique_ptr<Decryptor> decryptor_;
+  std::unique_ptr<Evaluator> evaluator_;
+  std::unique_ptr<NoiseModel> model_;
+  double max_slack_ = 0;
+};
+
+TEST_P(NoiseModelTest, EstimateIsConservativeThroughProtocolChain) {
+  // Mirrors Party A's distance pipeline: sub, square+relin(+mod switch),
+  // rotate, plain multiply, scalar multiply, plain add, mod switch down.
+  const uint64_t t = ctx_->t();
+  std::vector<uint64_t> slots(ctx_->n());
+  for (auto& s : slots) s = rng_->UniformBelow(t);
+  Ciphertext a =
+      encryptor_->Encrypt(encoder_->Encode(slots).value()).value();
+  Ciphertext b = encryptor_->Encrypt(encoder_->EncodeScalar(7)).value();
+  ExpectConservative(a, "fresh pk");
+
+  ASSERT_TRUE(evaluator_->SubInplace(&a, b).ok());
+  ExpectConservative(a, "sub");
+
+  auto sq = evaluator_->MultiplyRelin(a, a, rk_);
+  ASSERT_TRUE(sq.ok());
+  a = std::move(sq).value();
+  ExpectConservative(a, "square+relin+modswitch");
+
+  ASSERT_TRUE(evaluator_->RotateRowsInplace(&a, 1, gk_).ok());
+  ExpectConservative(a, "rotate");
+
+  ASSERT_TRUE(
+      evaluator_->MultiplyPlainInplace(&a, encoder_->EncodeScalar(3)).ok());
+  ExpectConservative(a, "plain multiply");
+
+  ASSERT_TRUE(evaluator_->MultiplyScalarInplace(&a, t / 3 + 1).ok());
+  ExpectConservative(a, "scalar multiply");
+
+  ASSERT_TRUE(
+      evaluator_->AddPlainInplace(&a, encoder_->EncodeScalar(t - 1)).ok());
+  ExpectConservative(a, "plain add");
+
+  while (a.level > 0) {
+    ASSERT_TRUE(evaluator_->ModSwitchToNextInplace(&a).ok());
+    ExpectConservative(a, "mod switch");
+  }
+
+  // The bound must stay useful: worst-case coefficient-norm analysis costs
+  // tens of bits of pessimism, not hundreds (DESIGN.md §7.3 tabulates the
+  // per-rule slack; the dominant term is the n·(t/2)² cross term of the
+  // multiply rule versus its average-case behaviour).
+  RecordProperty("max_slack_bits", static_cast<int>(max_slack_));
+  EXPECT_LT(max_slack_, 100.0)
+      << "estimator has become uselessly pessimistic";
+}
+
+TEST_P(NoiseModelTest, SymmetricAndSeededEncryptionsAreTracked) {
+  SymmetricEncryptor sym(ctx_, sk_, rng_.get());
+  const size_t level = ctx_->max_level();
+  Ciphertext direct =
+      sym.Encrypt(encoder_->EncodeScalar(5), level).value();
+  EXPECT_TRUE(direct.noise_tracked());
+  ExpectConservative(direct, "symmetric");
+
+  SeededCiphertext seeded =
+      sym.EncryptSeeded(encoder_->EncodeScalar(5), level).value();
+  Ciphertext expanded = ExpandSeeded(*ctx_, seeded).value();
+  EXPECT_TRUE(expanded.noise_tracked());
+  ExpectConservative(expanded, "seed-expanded");
+}
+
+TEST_P(NoiseModelTest, AdditionsOfTrackedCiphertextsStayConservative) {
+  Ciphertext acc = encryptor_->Encrypt(encoder_->EncodeScalar(1)).value();
+  for (int i = 0; i < 16; ++i) {
+    Ciphertext fresh =
+        encryptor_->Encrypt(encoder_->EncodeScalar(1)).value();
+    ASSERT_TRUE(evaluator_->AddInplace(&acc, fresh).ok());
+  }
+  ExpectConservative(acc, "16 additions");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, NoiseModelTest,
+    ::testing::Values(NoiseParam{128, 18, 2, 40, 45},
+                      NoiseParam{256, 20, 3, 45, 50},
+                      NoiseParam{256, 30, 3, 52, 57},
+                      NoiseParam{512, 25, 4, 48, 53},
+                      NoiseParam{1024, 33, 4, 45, 50}),
+    [](const auto& info) {
+      const NoiseParam& p = info.param;
+      return "n" + std::to_string(p.n) + "_t" +
+             std::to_string(p.plain_bits) + "_L" + std::to_string(p.levels);
+    });
+
+// Non-parameterized guarantees.
+
+class NoiseModelGuaranteeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto params = BgvParams::CreateCustom(256, 20, 3, 45, 50);
+    ASSERT_TRUE(params.ok());
+    ctx_ = BgvContext::Create(params.value()).value();
+    rng_ = std::make_unique<Chacha20Rng>(uint64_t{77});
+    KeyGenerator keygen(ctx_, rng_.get());
+    sk_ = keygen.GenerateSecretKey();
+    pk_ = keygen.GeneratePublicKey(sk_);
+    encoder_ = std::make_unique<BatchEncoder>(ctx_);
+    encryptor_ = std::make_unique<Encryptor>(ctx_, pk_, rng_.get());
+    decryptor_ = std::make_unique<Decryptor>(ctx_, sk_);
+    evaluator_ = std::make_unique<Evaluator>(ctx_);
+    model_ = std::make_unique<NoiseModel>(*ctx_);
+  }
+
+  std::shared_ptr<const BgvContext> ctx_;
+  std::unique_ptr<Chacha20Rng> rng_;
+  SecretKey sk_;
+  PublicKey pk_;
+  std::unique_ptr<BatchEncoder> encoder_;
+  std::unique_ptr<Encryptor> encryptor_;
+  std::unique_ptr<Decryptor> decryptor_;
+  std::unique_ptr<Evaluator> evaluator_;
+  std::unique_ptr<NoiseModel> model_;
+};
+
+TEST_F(NoiseModelGuaranteeTest, WarnsBeforeDecryptionCanGoWrong) {
+  // Drive a level-0 ciphertext into the ground with scalar multiplies.
+  // The protocol-level guarantee: by the time a decryption can come back
+  // wrong, the estimator must already be under the thin-margin threshold
+  // (it is a lower bound on the exact budget, so it hits zero first).
+  Ciphertext ct = encryptor_->Encrypt(encoder_->EncodeScalar(1)).value();
+  ASSERT_TRUE(evaluator_->ModSwitchToLevelInplace(&ct, 0).ok());
+  MetricsRegistry::Counter* warnings =
+      MetricsRegistry::Global().GetCounter("bgv.noise.thin_margin_warnings");
+  const uint64_t t = ctx_->t();
+  const uint64_t scalar = (1u << 16) - 1;
+  uint64_t expected = 1;
+  bool warned = false;
+  for (int i = 0; i < 24; ++i) {
+    ASSERT_TRUE(evaluator_->MultiplyScalarInplace(&ct, scalar).ok());
+    expected = expected * scalar % t;
+    const uint64_t warnings_before = warnings->value();
+    model_->WarnIfThin(ct, "noise_model_test");
+    if (warnings->value() > warnings_before) warned = true;
+    const double exact = decryptor_->NoiseBudgetBits(ct).value();
+    EXPECT_LE(model_->EstimatedBudgetBits(ct), exact);
+    auto pt = decryptor_->Decrypt(ct);
+    const bool wrong =
+        !pt.ok() || encoder_->Decode(pt.value())[0] != expected;
+    if (wrong) {
+      // The acceptance criterion: no incorrect decryption without a prior
+      // thin-margin warning.
+      EXPECT_TRUE(warned) << "wrong decryption without a prior warning";
+      break;
+    }
+    if (exact == 0.0) {
+      // Budget formally exhausted; the estimator (a lower bound) must have
+      // tripped the warning by now even if this decryption survived.
+      EXPECT_TRUE(warned) << "budget exhausted without a thin-margin warning";
+      break;
+    }
+  }
+  EXPECT_TRUE(warned);
+}
+
+TEST_F(NoiseModelGuaranteeTest, UntrackedPropagates) {
+  Ciphertext tracked = encryptor_->Encrypt(encoder_->EncodeScalar(2)).value();
+  Ciphertext untracked = tracked;
+  untracked.noise_bits = kNoiseUntracked;  // e.g. a deserialized ciphertext
+  EXPECT_FALSE(untracked.noise_tracked());
+  EXPECT_EQ(model_->EstimatedBudgetBits(untracked), kNoiseUntracked);
+
+  ASSERT_TRUE(evaluator_->AddInplace(&tracked, untracked).ok());
+  EXPECT_FALSE(tracked.noise_tracked());
+  // WarnIfThin must stay silent on untracked ciphertexts.
+  MetricsRegistry::Counter* warnings =
+      MetricsRegistry::Global().GetCounter("bgv.noise.thin_margin_warnings");
+  const uint64_t before = warnings->value();
+  model_->WarnIfThin(tracked, "noise_model_test");
+  EXPECT_EQ(warnings->value(), before);
+}
+
+TEST_F(NoiseModelGuaranteeTest, FreshBoundsOrderedAndPositive) {
+  // Symmetric encryptions are strictly quieter than public-key ones.
+  EXPECT_LT(model_->FreshSymmetricNoiseBits(), model_->FreshPkNoiseBits());
+  Ciphertext ct = encryptor_->Encrypt(encoder_->EncodeScalar(3)).value();
+  EXPECT_GT(model_->EstimatedBudgetBits(ct), 0.0);
+}
+
+}  // namespace
+}  // namespace bgv
+}  // namespace sknn

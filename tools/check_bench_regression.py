@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Kernel-timing regression gate for bench_microops.
+
+Compares a candidate google-benchmark JSON result (either an existing file
+via --candidate, or a fresh run of the binary via --bin) against the
+committed baseline (BENCH_microops.json at the repo root). Only the
+intersection of benchmark names is compared, so a filtered candidate run
+against a full baseline works.
+
+Machines differ in absolute speed, so raw ns/op cannot be compared
+directly. Instead every shared benchmark gets a ratio
+candidate/baseline, the median ratio is taken as the machine-speed factor,
+and each benchmark's ratio is divided by it. A benchmark whose normalized
+ratio exceeds 1 + tolerance regressed relative to its peers; the script
+prints the offenders and exits 1.
+
+Usage:
+  check_bench_regression.py --baseline=BENCH_microops.json \
+      (--candidate=fresh.json | --bin=path/to/bench_microops) \
+      [--filter=/1024$] [--tolerance=0.25] [--min-time=0.01]
+"""
+
+import argparse
+import json
+import os
+import re
+import statistics
+import subprocess
+import sys
+import tempfile
+
+
+def load_benchmarks(path):
+    """name -> real_time in ns from a google-benchmark JSON file."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    out = {}
+    for row in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions).
+        if row.get("run_type", "iteration") != "iteration":
+            continue
+        name = row.get("name")
+        t = row.get("real_time")
+        if name is None or t is None:
+            continue
+        unit = row.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+        if scale is None:
+            continue
+        ns = float(t) * scale
+        # With --benchmark_repetitions each repetition is its own iteration
+        # row under the same name; keep the fastest (min is the standard
+        # noise reducer for microbenchmarks).
+        out[name] = min(out[name], ns) if name in out else ns
+    return out
+
+
+def run_candidate(binary, bench_filter, min_time, repetitions):
+    """Runs the bench binary into a temp JSON file and loads it."""
+    fd, path = tempfile.mkstemp(suffix=".json", prefix="bench_candidate_")
+    os.close(fd)
+    cmd = [
+        binary,
+        f"--benchmark_out={path}",
+        "--benchmark_out_format=json",
+        f"--benchmark_min_time={min_time}",
+        f"--benchmark_repetitions={repetitions}",
+    ]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    try:
+        subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+        return load_benchmarks(path)
+    finally:
+        os.unlink(path)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed google-benchmark JSON baseline")
+    parser.add_argument("--candidate",
+                        help="candidate google-benchmark JSON result")
+    parser.add_argument("--bin",
+                        help="bench binary to run for a fresh candidate")
+    parser.add_argument("--filter", default="",
+                        help="--benchmark_filter for --bin runs")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed relative regression after "
+                             "median-ratio normalization (default 0.25)")
+    parser.add_argument("--min-time", default="0.01",
+                        help="--benchmark_min_time for --bin runs")
+    parser.add_argument("--repetitions", type=int, default=3,
+                        help="--benchmark_repetitions for --bin runs; the "
+                             "fastest repetition is compared")
+    args = parser.parse_args()
+    if bool(args.candidate) == bool(args.bin):
+        parser.error("exactly one of --candidate or --bin is required")
+
+    baseline = load_benchmarks(args.baseline)
+    if args.candidate:
+        candidate = load_benchmarks(args.candidate)
+    else:
+        candidate = run_candidate(args.bin, args.filter, args.min_time,
+                                  args.repetitions)
+
+    shared = sorted(set(baseline) & set(candidate))
+    if not shared:
+        print("bench_regression: no shared benchmark names between "
+              f"{args.baseline} and the candidate — nothing to compare",
+              file=sys.stderr)
+        return 1
+
+    ratios = {name: candidate[name] / baseline[name] for name in shared
+              if baseline[name] > 0}
+    if not ratios:
+        print("bench_regression: baseline has no positive timings",
+              file=sys.stderr)
+        return 1
+    speed_factor = statistics.median(ratios.values())
+    if speed_factor <= 0:
+        print("bench_regression: degenerate median ratio", file=sys.stderr)
+        return 1
+
+    failures = []
+    print(f"bench_regression: {len(ratios)} shared benchmarks, "
+          f"machine-speed factor {speed_factor:.3f}, "
+          f"tolerance {args.tolerance:.0%}")
+    for name in shared:
+        if name not in ratios:
+            continue
+        normalized = ratios[name] / speed_factor
+        status = "ok"
+        if normalized > 1.0 + args.tolerance:
+            status = "REGRESSED"
+            failures.append(name)
+        print(f"  {name:50s} baseline {baseline[name]:12.1f} ns  "
+              f"candidate {candidate[name]:12.1f} ns  "
+              f"normalized x{normalized:.3f}  {status}")
+
+    if failures and args.bin:
+        # A single-digit-percent false-positive rate per kernel is normal on
+        # a loaded machine; a real regression reproduces. Re-measure only
+        # the offenders and keep the ones that regress twice.
+        print(f"bench_regression: re-measuring {len(failures)} "
+              f"candidate regression(s): {', '.join(failures)}")
+        refilter = "^(" + "|".join(re.escape(n) for n in failures) + ")$"
+        rerun = run_candidate(args.bin, refilter, args.min_time,
+                              args.repetitions)
+        confirmed = []
+        for name in failures:
+            if name not in rerun:
+                confirmed.append(name)
+                continue
+            normalized = rerun[name] / baseline[name] / speed_factor
+            verdict = "REGRESSED" if normalized > 1.0 + args.tolerance \
+                else "noise"
+            print(f"  {name:50s} re-run    {rerun[name]:12.1f} ns  "
+                  f"normalized x{normalized:.3f}  {verdict}")
+            if normalized > 1.0 + args.tolerance:
+                confirmed.append(name)
+        failures = confirmed
+
+    if failures:
+        print(f"bench_regression: {len(failures)} benchmark(s) regressed "
+              f"more than {args.tolerance:.0%}: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print("bench_regression: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,10 @@
 // Any subcommand accepts --trace=FILE (before or after the subcommand):
 // the run executes with phase tracing enabled, writes a Chrome
 // trace_event JSON (load in chrome://tracing or https://ui.perfetto.dev)
-// and prints a per-phase time/bytes summary on exit.
+// and prints a per-phase time/bytes summary on exit. --metrics-out=FILE
+// writes the full metrics registry (counters, bgv.noise.* gauges,
+// latency/size histograms) in Prometheus text format; --flight-record=FILE
+// writes the per-query flight-recorder ring as JSON.
 //
 // Every subcommand prints what it would leak and what it measured.
 
@@ -22,6 +25,8 @@
 #include <string>
 
 #include "baseline/elmehdwi.h"
+#include "common/flight_recorder.h"
+#include "common/json_writer.h"
 #include "common/metrics_registry.h"
 #include "common/trace.h"
 #include "core/config_advisor.h"
@@ -308,7 +313,14 @@ void Usage() {
                "  advise   --n --d --coord-bits --k --min-degree --preset\n"
                "common flags (any position):\n"
                "  --trace=FILE  write a Chrome trace_event JSON and print a\n"
-               "                per-phase time/bytes summary\n");
+               "                per-phase time/bytes summary\n"
+               "  --metrics-out=FILE  write counters/gauges/histograms in\n"
+               "                Prometheus text exposition format on exit\n"
+               "                (enables tracing so latency/size histograms\n"
+               "                populate)\n"
+               "  --flight-record=FILE  write the per-query flight-recorder\n"
+               "                ring (timings, bytes, faults, noise margins)\n"
+               "                as JSON on exit\n");
 }
 
 void PrintPhaseSummary() {
@@ -341,7 +353,13 @@ int main(int argc, char** argv) {
   }
   Flags flags(argc, argv);
   const std::string trace_path = flags.Str("trace", "");
-  if (!trace_path.empty()) trace::Tracer::Global().Enable();
+  const std::string metrics_path = flags.Str("metrics-out", "");
+  const std::string flight_path = flags.Str("flight-record", "");
+  // Histograms are recorded at TraceSpan completion, so --metrics-out
+  // implies tracing even without --trace.
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    trace::Tracer::Global().Enable();
+  }
 
   int rc;
   if (cmd == "knn") {
@@ -367,6 +385,23 @@ int main(int argc, char** argv) {
     }
     PrintPhaseSummary();
     std::printf("trace written to %s\n", trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    if (!json::WriteFile(metrics_path,
+                         MetricsRegistry::Global().PrometheusText())) {
+      std::fprintf(stderr, "--metrics-out: cannot write %s\n",
+                   metrics_path.c_str());
+      return rc == 0 ? 1 : rc;
+    }
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
+  if (!flight_path.empty()) {
+    if (!json::WriteFile(flight_path, FlightRecorder::Global().Json())) {
+      std::fprintf(stderr, "--flight-record: cannot write %s\n",
+                   flight_path.c_str());
+      return rc == 0 ? 1 : rc;
+    }
+    std::printf("flight records written to %s\n", flight_path.c_str());
   }
   return rc;
 }
