@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bgv/context.h"
+#include "common/buffer_pool.h"
 #include "bgv/decryptor.h"
 #include "bgv/encoder.h"
 #include "bgv/encryptor.h"
@@ -20,7 +21,11 @@
 #include "math/bigint.h"
 #include "math/ntt.h"
 #include "math/prime.h"
+#include "math/mod_arith.h"
 #include "math/rns_poly.h"
+#include "math/simd/kernels.h"
+#include "core/session.h"
+#include "data/generators.h"
 #include "net/frame.h"
 
 namespace {
@@ -56,6 +61,89 @@ void BM_NttInverse(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NttInverse)->Arg(1024)->Arg(4096)->Arg(8192);
+
+// ---------- SIMD dispatch (per-ISA NTT timings; the dispatched default is
+// what BM_NttForward/BM_NttInverse above measure) ----------
+
+// One forward+inverse pair per iteration under a pinned kernel table, so
+// the scalar/AVX2/AVX-512 series are directly comparable. Unavailable
+// levels (narrower build, older CPU) report zero iterations rather than
+// polluting the series with dispatched results.
+void NttDispatchBench(benchmark::State& state, simd::Isa isa) {
+  if (!simd::IsaAvailable(isa)) {
+    state.SkipWithError("ISA not available on this CPU/build");
+    return;
+  }
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto primes = GenerateNttPrimes(58, 2 * n, 1);
+  auto tables = NttTables::Create(n, primes.value()[0]);
+  Chacha20Rng rng(uint64_t{21});
+  std::vector<uint64_t> a;
+  rng.SampleUniformMod(primes.value()[0], n, &a);
+  simd::ForceIsa(isa).ok();
+  for (auto _ : state) {
+    tables->ForwardNtt(&a);
+    tables->InverseNtt(&a);
+    benchmark::DoNotOptimize(a.data());
+  }
+  simd::ResetIsaFromEnv();
+}
+
+void BM_NttDispatchScalar(benchmark::State& state) {
+  NttDispatchBench(state, simd::Isa::kScalar);
+}
+BENCHMARK(BM_NttDispatchScalar)->Arg(1024)->Arg(4096)->Arg(8192);
+
+void BM_NttDispatchAvx2(benchmark::State& state) {
+  NttDispatchBench(state, simd::Isa::kAvx2);
+}
+BENCHMARK(BM_NttDispatchAvx2)->Arg(1024)->Arg(4096)->Arg(8192);
+
+void BM_NttDispatchAvx512(benchmark::State& state) {
+  NttDispatchBench(state, simd::Isa::kAvx512);
+}
+BENCHMARK(BM_NttDispatchAvx512)->Arg(1024)->Arg(4096)->Arg(8192);
+
+// The fused key-switch MAC (both accumulators, Shoup-multiplied key
+// columns), with and without the Galois gather — the inner loop of
+// relinearization and (with perm) hoisted rotations.
+void FusedMacBench(benchmark::State& state, bool with_perm) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto primes = GenerateNttPrimes(58, 2 * n, 1);
+  const uint64_t q = primes.value()[0];
+  Chacha20Rng rng(uint64_t{22});
+  std::vector<uint64_t> acc0, acc1, d, kb, ka;
+  rng.SampleUniformMod(q, n, &acc0);
+  rng.SampleUniformMod(q, n, &acc1);
+  rng.SampleUniformMod(q, n, &d);
+  rng.SampleUniformMod(q, n, &kb);
+  rng.SampleUniformMod(q, n, &ka);
+  std::vector<uint64_t> kb_shoup(n), ka_shoup(n);
+  for (size_t i = 0; i < n; ++i) {
+    kb_shoup[i] = ShoupPrecompute(kb[i], q);
+    ka_shoup[i] = ShoupPrecompute(ka[i], q);
+  }
+  std::vector<uint32_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = static_cast<uint32_t>(n - 1 - i);
+  const simd::KernelTable& kernels = simd::ActiveKernels();
+  for (auto _ : state) {
+    kernels.fused_mac(acc0.data(), acc1.data(), d.data(),
+                      with_perm ? perm.data() : nullptr, kb.data(),
+                      kb_shoup.data(), ka.data(), ka_shoup.data(), n, q);
+    benchmark::DoNotOptimize(acc0.data());
+    benchmark::DoNotOptimize(acc1.data());
+  }
+}
+
+void BM_FusedMacKernel(benchmark::State& state) {
+  FusedMacBench(state, /*with_perm=*/false);
+}
+BENCHMARK(BM_FusedMacKernel)->Arg(1024)->Arg(4096)->Arg(8192);
+
+void BM_FusedMacKernelGather(benchmark::State& state) {
+  FusedMacBench(state, /*with_perm=*/true);
+}
+BENCHMARK(BM_FusedMacKernelGather)->Arg(1024)->Arg(4096)->Arg(8192);
 
 // Per-component RNS fixture for the element-wise kernels: three 58-bit
 // data primes, the shape of the kBench modulus chain hot path.
@@ -323,6 +411,50 @@ void BM_FrameDecode(benchmark::State& state) {
                           static_cast<int64_t>(payload.size()));
 }
 BENCHMARK(BM_FrameDecode)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+// ---------- allocation telemetry ----------
+
+// End-to-end toy query with the buffer-pool counters surfaced as bench
+// counters: `pool_requests` is buffers drawn per query, `heap_allocs` is
+// how many of those missed the pool (the ISSUE acceptance is a >= 10x drop
+// versus pre-pool, where every request was a heap allocation). The fixture
+// runs one warm-up query so the series reports the steady state.
+void BM_QueryAllocations(benchmark::State& state) {
+  core::ProtocolConfig cfg;
+  cfg.k = 3;
+  cfg.poly_degree = 2;
+  cfg.coord_bits = 4;
+  cfg.dims = 2;
+  cfg.layout = core::Layout::kPacked;
+  cfg.preset = bgv::SecurityPreset::kToy;
+  cfg.plain_bits = 33;
+  cfg.threads = 1;
+  cfg.levels = cfg.MinimumLevels();
+  const data::Dataset dataset = data::UniformDataset(16, 2, 15, 42);
+  auto session = core::SecureKnnSession::Create(cfg, dataset, 7);
+  if (!session.ok()) {
+    state.SkipWithError("session creation failed");
+    return;
+  }
+  const std::vector<uint64_t> query = data::UniformQuery(2, 15, 11);
+  (*session)->RunQuery(query).ok();  // warm the pool
+
+  auto* hits = MetricsRegistry::Global().GetCounter("bgv.alloc.pool_hits");
+  auto* misses = MetricsRegistry::Global().GetCounter("bgv.alloc.pool_misses");
+  const uint64_t hits0 = hits->value();
+  const uint64_t misses0 = misses->value();
+  for (auto _ : state) {
+    auto result = (*session)->RunQuery(query);
+    benchmark::DoNotOptimize(result);
+  }
+  const double iters = static_cast<double>(state.iterations());
+  const double heap = static_cast<double>(misses->value() - misses0) / iters;
+  const double requests =
+      static_cast<double>(hits->value() - hits0) / iters + heap;
+  state.counters["pool_requests"] = requests;
+  state.counters["heap_allocs"] = heap;
+}
+BENCHMARK(BM_QueryAllocations)->Arg(1024)->Unit(benchmark::kMillisecond);
 
 // MetricsRegistry::Histogram::Record — the per-event price of the
 // always-on latency/size telemetry (TraceSpan completion calls it up to

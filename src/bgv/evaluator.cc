@@ -3,9 +3,11 @@
 #include <cstring>
 
 #include "bgv/sampling.h"
+#include "common/buffer_pool.h"
 #include "common/logging.h"
 #include "common/metrics_registry.h"
 #include "common/thread_pool.h"
+#include "math/simd/kernels.h"
 
 namespace sknn {
 namespace bgv {
@@ -272,8 +274,10 @@ void Evaluator::KeySwitchInner(const KSwitchDigits& digits,
   // conditional subtract of 2q per step restores the invariant. The
   // [0, 2q) accumulators feed InverseNtt directly (its lazy butterflies
   // tolerate inputs below 2q and fully reduce on output).
-  std::vector<uint64_t> acc0(ext * n, 0);
-  std::vector<uint64_t> acc1(ext * n, 0);
+  BufferPool::Scoped acc0_buf(ext * n), acc1_buf(ext * n);
+  std::vector<uint64_t>& acc0 = acc0_buf.vector();
+  std::vector<uint64_t>& acc1 = acc1_buf.vector();
+  const simd::KernelTable& kernels = simd::ActiveKernels();
   for (size_t i = 0; i <= level; ++i) {
     const RnsPoly& kb = ksk.digits[i].first;
     const RnsPoly& ka = ksk.digits[i].second;
@@ -282,7 +286,6 @@ void Evaluator::KeySwitchInner(const KSwitchDigits& digits,
     for (size_t j = 0; j < ext; ++j) {
       const size_t key_idx = (j <= level) ? j : sp_key_idx;
       const uint64_t q = base.modulus(key_idx).value();
-      const uint64_t two_q = q << 1;
       const uint64_t* __restrict dg = digits.digits[i].comp(j);
       const uint64_t* __restrict kbv = kb.comp(key_idx);
       const uint64_t* __restrict kav = ka.comp(key_idx);
@@ -290,26 +293,10 @@ void Evaluator::KeySwitchInner(const KSwitchDigits& digits,
       const uint64_t* __restrict kas = ka_shoup.data() + key_idx * n;
       uint64_t* __restrict a0 = acc0.data() + j * n;
       uint64_t* __restrict a1 = acc1.data() + j * n;
-      if (perm_ntt == nullptr) {
-        for (size_t c = 0; c < n; ++c) {
-          const uint64_t d = dg[c];
-          const uint64_t s0 = a0[c] + MulModShoupLazy(d, kbv[c], kbs[c], q);
-          const uint64_t s1 = a1[c] + MulModShoupLazy(d, kav[c], kas[c], q);
-          a0[c] = s0 >= two_q ? s0 - two_q : s0;
-          a1[c] = s1 >= two_q ? s1 - two_q : s1;
-        }
-      } else {
-        // NTT-domain automorphism fused into the gather: the permuted
-        // digits are the digits of the permuted polynomial, so hoisted
-        // rotations never re-decompose.
-        for (size_t c = 0; c < n; ++c) {
-          const uint64_t d = dg[perm_ntt[c]];
-          const uint64_t s0 = a0[c] + MulModShoupLazy(d, kbv[c], kbs[c], q);
-          const uint64_t s1 = a1[c] + MulModShoupLazy(d, kav[c], kas[c], q);
-          a0[c] = s0 >= two_q ? s0 - two_q : s0;
-          a1[c] = s1 >= two_q ? s1 - two_q : s1;
-        }
-      }
+      // The fused MAC runs through the SIMD dispatch table; a non-null
+      // perm_ntt folds the NTT-domain automorphism into the gather, so
+      // hoisted rotations never re-decompose.
+      kernels.fused_mac(a0, a1, dg, perm_ntt, kbv, kbs, kav, kas, n, q);
     }
   }
 
@@ -488,7 +475,8 @@ RnsPoly Evaluator::DropLastComponent(const RnsPoly& poly, size_t level) const {
   // out = a*q_last^{-1} - r*(t*q_last^{-1}) on Shoup constants.
   const uint64_t half = q_last >> 1;
   const uint64_t t_inv_shoup = ctx_->t_inv_mod_q_shoup(level);
-  std::vector<uint64_t> r(n);
+  BufferPool::Scoped r_buf(n, /*zeroed=*/false);
+  uint64_t* __restrict r = r_buf.data();
   const uint64_t* __restrict last = poly.comp(level);
   for (size_t c = 0; c < n; ++c) {
     r[c] = MulModShoup(last[c], t_inv, t_inv_shoup, q_last);

@@ -1,0 +1,210 @@
+#include "common/buffer_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/metrics_registry.h"
+
+namespace sknn {
+namespace {
+
+// Caps on cached (idle) bytes. Generous relative to the working set of one
+// query at n=8192 (a poly is ≤ ~0.5 MiB, a query juggles a few dozen);
+// beyond them Release degrades to plain free. Outstanding buffers are
+// never bounded by the pool — it only limits what sits idle.
+constexpr size_t kMaxThreadCacheBytes = size_t{64} << 20;   // per thread
+constexpr size_t kMaxGlobalCacheBytes = size_t{128} << 20;  // spill list
+// Per-size cap on a thread's free list: bounds worst-case idle memory when
+// a phase churns through many buffers of one size sequentially.
+constexpr size_t kMaxBuffersPerSize = 16;
+
+struct PoolCounters {
+  MetricsRegistry::Counter* hits;
+  MetricsRegistry::Counter* misses;
+  MetricsRegistry::Counter* released;
+  MetricsRegistry::Gauge* bytes_outstanding;
+};
+
+PoolCounters& Counters() {
+  static PoolCounters counters = [] {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    return PoolCounters{reg.GetCounter("bgv.alloc.pool_hits"),
+                        reg.GetCounter("bgv.alloc.pool_misses"),
+                        reg.GetCounter("bgv.alloc.released"),
+                        reg.GetGauge("bgv.alloc.bytes_outstanding")};
+  }();
+  return counters;
+}
+
+// bytes_outstanding is tracked in a plain atomic (gauges are last-write-
+// wins doubles; concurrent read-modify-write through one would race) and
+// mirrored into the gauge after every change.
+std::atomic<int64_t>& OutstandingBytes() {
+  static std::atomic<int64_t> bytes{0};
+  return bytes;
+}
+
+void TrackAcquire(size_t words, bool hit) {
+  PoolCounters& c = Counters();
+  (hit ? c.hits : c.misses)->Increment();
+  const int64_t now = OutstandingBytes().fetch_add(
+                          static_cast<int64_t>(words * sizeof(uint64_t)),
+                          std::memory_order_relaxed) +
+                      static_cast<int64_t>(words * sizeof(uint64_t));
+  c.bytes_outstanding->Set(static_cast<double>(now));
+}
+
+void TrackRelease(size_t words) {
+  PoolCounters& c = Counters();
+  c.released->Increment();
+  const int64_t now = OutstandingBytes().fetch_sub(
+                          static_cast<int64_t>(words * sizeof(uint64_t)),
+                          std::memory_order_relaxed) -
+                      static_cast<int64_t>(words * sizeof(uint64_t));
+  c.bytes_outstanding->Set(static_cast<double>(now));
+}
+
+using FreeMap = std::unordered_map<size_t, std::vector<std::vector<uint64_t>>>;
+
+struct GlobalCache {
+  std::mutex mu;
+  FreeMap by_words;
+  size_t cached_bytes = 0;
+};
+
+GlobalCache& Global() {
+  static GlobalCache* cache = new GlobalCache();  // leaked: outlives TLS dtors
+  return *cache;
+}
+
+// Thread-local free list. `alive` guards the teardown race: a thread_local
+// RnsPoly destroyed after this struct's destructor ran (destruction order
+// between TLS objects is unspecified) must not repopulate a dead list.
+struct ThreadCache {
+  FreeMap by_words;
+  size_t cached_bytes = 0;
+  bool alive = true;
+  ~ThreadCache() { alive = false; }
+};
+
+ThreadCache& Local() {
+  static thread_local ThreadCache cache;
+  return cache;
+}
+
+bool PopFrom(FreeMap& map, size_t* cached_bytes, size_t words,
+             std::vector<uint64_t>* out) {
+  auto it = map.find(words);
+  if (it == map.end() || it->second.empty()) return false;
+  *out = std::move(it->second.back());
+  it->second.pop_back();
+  *cached_bytes -= words * sizeof(uint64_t);
+  return true;
+}
+
+// A buffer of capacity >= words (== in practice) or empty on miss.
+std::vector<uint64_t> TakeCached(size_t words) {
+  std::vector<uint64_t> buf;
+  ThreadCache& local = Local();
+  if (local.alive && PopFrom(local.by_words, &local.cached_bytes, words, &buf)) {
+    return buf;
+  }
+  GlobalCache& global = Global();
+  std::lock_guard<std::mutex> lock(global.mu);
+  PopFrom(global.by_words, &global.cached_bytes, words, &buf);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<uint64_t> BufferPool::Acquire(size_t words) {
+  if (words == 0) return {};
+  std::vector<uint64_t> buf = TakeCached(words);
+  const bool hit = !buf.empty();
+  if (!hit) buf.resize(words);
+  TrackAcquire(words, hit);
+  return buf;
+}
+
+std::vector<uint64_t> BufferPool::AcquireZeroed(size_t words) {
+  if (words == 0) return {};
+  std::vector<uint64_t> buf = TakeCached(words);
+  const bool hit = !buf.empty();
+  if (hit) {
+    std::fill(buf.begin(), buf.end(), 0);
+  } else {
+    buf.resize(words);  // value-initialized to zero
+  }
+  TrackAcquire(words, hit);
+  return buf;
+}
+
+std::vector<uint64_t> BufferPool::AcquireCopy(const std::vector<uint64_t>& src) {
+  if (src.empty()) return {};
+  std::vector<uint64_t> buf = TakeCached(src.size());
+  const bool hit = !buf.empty();
+  if (hit) {
+    std::copy(src.begin(), src.end(), buf.begin());
+  } else {
+    buf = src;
+  }
+  TrackAcquire(src.size(), hit);
+  return buf;
+}
+
+void BufferPool::Release(std::vector<uint64_t>&& buf) {
+  // Key by capacity: a buffer that was resized below its allocation still
+  // recycles at full size for the next exact-capacity request.
+  const size_t words = buf.capacity();
+  if (words == 0) return;
+  TrackRelease(buf.size());
+  buf.resize(words);
+  const size_t bytes = words * sizeof(uint64_t);
+
+  ThreadCache& local = Local();
+  if (local.alive && local.cached_bytes + bytes <= kMaxThreadCacheBytes) {
+    std::vector<std::vector<uint64_t>>& list = local.by_words[words];
+    if (list.size() < kMaxBuffersPerSize) {
+      list.push_back(std::move(buf));
+      local.cached_bytes += bytes;
+      return;
+    }
+  }
+  GlobalCache& global = Global();
+  {
+    std::lock_guard<std::mutex> lock(global.mu);
+    if (global.cached_bytes + bytes <= kMaxGlobalCacheBytes) {
+      global.by_words[words].push_back(std::move(buf));
+      global.cached_bytes += bytes;
+      return;
+    }
+  }
+  // Both caches full: let the vector free on scope exit.
+}
+
+BufferPool::Stats BufferPool::GetStats() {
+  PoolCounters& c = Counters();
+  Stats s;
+  s.pool_hits = c.hits->value();
+  s.pool_misses = c.misses->value();
+  s.released = c.released->value();
+  s.bytes_outstanding = OutstandingBytes().load(std::memory_order_relaxed);
+  return s;
+}
+
+void BufferPool::Clear() {
+  ThreadCache& local = Local();
+  if (local.alive) {
+    local.by_words.clear();
+    local.cached_bytes = 0;
+  }
+  GlobalCache& global = Global();
+  std::lock_guard<std::mutex> lock(global.mu);
+  global.by_words.clear();
+  global.cached_bytes = 0;
+}
+
+}  // namespace sknn

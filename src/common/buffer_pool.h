@@ -1,0 +1,91 @@
+#ifndef SKNN_COMMON_BUFFER_POOL_H_
+#define SKNN_COMMON_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+// Free-list pool for the word buffers behind RnsPoly and the key-switch
+// accumulators (DESIGN.md §3.3). A query makes thousands of short-lived
+// polynomial temporaries, all drawn from a handful of distinct sizes
+// (n × components words); recycling those buffers turns the hot path
+// allocation-quiet: steady-state queries hit the free lists for every
+// temporary and `bgv.alloc.pool_misses` stays flat.
+//
+// Ownership and reset rules:
+//   - Acquire()/AcquireZeroed()/AcquireCopy() hand the caller exclusive
+//     ownership of a std::vector<uint64_t> of exactly `words` elements.
+//     Acquire() leaves recycled contents UNSPECIFIED (stale words from the
+//     previous owner) — callers that need zeros must say so.
+//   - Release() returns a buffer to the calling thread's free list; the
+//     caller must not touch it afterwards. Releasing on a different
+//     thread than Acquire is fine (free lists are per-thread, a buffer
+//     simply migrates; the mutex-guarded global spill list rebalances
+//     produce/free imbalances across threads).
+//   - Buffers are keyed by capacity. Odd-capacity buffers (vectors grown
+//     outside the pool) still recycle if a matching request arrives.
+//
+// Thread safety: the fast path is a thread-local free list (no
+// synchronization, tsan-clean by construction); only the spill list takes
+// a mutex. Caps bound the cached bytes per thread and globally; beyond
+// them Release simply frees.
+//
+// Telemetry (process-wide, via MetricsRegistry::Global()):
+//   bgv.alloc.pool_hits          counter  acquires served from a free list
+//   bgv.alloc.pool_misses        counter  acquires that hit the heap
+//   bgv.alloc.released           counter  buffers returned to the pool
+//   bgv.alloc.bytes_outstanding  gauge    bytes currently owned by callers
+// Allocations-per-query = delta of pool_misses across a query (the flight
+// recorder records it per query as `heap_allocs`).
+
+namespace sknn {
+
+class BufferPool {
+ public:
+  // A buffer of `words` elements with unspecified contents.
+  static std::vector<uint64_t> Acquire(size_t words);
+  // A buffer of `words` zeros.
+  static std::vector<uint64_t> AcquireZeroed(size_t words);
+  // A buffer holding a copy of `src`.
+  static std::vector<uint64_t> AcquireCopy(const std::vector<uint64_t>& src);
+
+  // Returns a buffer to the pool (no-op for empty buffers). The moved-from
+  // vector is left empty.
+  static void Release(std::vector<uint64_t>&& buf);
+
+  struct Stats {
+    uint64_t pool_hits = 0;
+    uint64_t pool_misses = 0;
+    uint64_t released = 0;
+    int64_t bytes_outstanding = 0;
+  };
+  static Stats GetStats();
+
+  // Frees every cached buffer (this thread's free list and the global
+  // spill list). Outstanding buffers are unaffected. Mostly for tests and
+  // leak-checked shutdown paths.
+  static void Clear();
+
+  // RAII wrapper for non-RnsPoly scratch (key-switch accumulators):
+  // acquires in the constructor, releases in the destructor.
+  class Scoped {
+   public:
+    explicit Scoped(size_t words, bool zeroed = true)
+        : buf_(zeroed ? AcquireZeroed(words) : Acquire(words)) {}
+    ~Scoped() { Release(std::move(buf_)); }
+    Scoped(const Scoped&) = delete;
+    Scoped& operator=(const Scoped&) = delete;
+
+    uint64_t* data() { return buf_.data(); }
+    const uint64_t* data() const { return buf_.data(); }
+    size_t size() const { return buf_.size(); }
+    std::vector<uint64_t>& vector() { return buf_; }
+
+   private:
+    std::vector<uint64_t> buf_;
+  };
+};
+
+}  // namespace sknn
+
+#endif  // SKNN_COMMON_BUFFER_POOL_H_

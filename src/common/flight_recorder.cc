@@ -26,6 +26,8 @@ std::string FlightRecord::Json() const {
       .Int("leg_retries", leg_retries)
       .Int("faults_injected", faults_injected)
       .Int("recovered_legs", recovered_legs)
+      .Int("heap_allocs", heap_allocs)
+      .Int("pool_requests", pool_requests)
       .Bool("ok", ok)
       .Str("status", status);
   return out.Render();

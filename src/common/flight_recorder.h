@@ -45,6 +45,13 @@ struct FlightRecord {
   uint64_t faults_injected = 0;
   uint64_t recovered_legs = 0;
 
+  // Allocation counter deltas across this query (bgv.alloc.*): heap_allocs
+  // is the number of buffer-pool misses (actual heap allocations),
+  // pool_requests the total buffers drawn. A warm pool keeps heap_allocs
+  // near zero while pool_requests stays in the thousands.
+  uint64_t heap_allocs = 0;
+  uint64_t pool_requests = 0;
+
   bool ok = false;
   std::string status;  // "ok" or the error message
 

@@ -166,6 +166,10 @@ StatusOr<QueryResult> SecureKnnSession::RunQuery(
   const uint64_t recovered_before =
       registry.GetCounter("query.recovered")->value();
   const uint64_t faults_before = TotalInjectedFaults();
+  const uint64_t pool_misses_before =
+      registry.GetCounter("bgv.alloc.pool_misses")->value();
+  const uint64_t pool_hits_before =
+      registry.GetCounter("bgv.alloc.pool_hits")->value();
   // Mirrors the FaultyLink seed RunQueryInternal will use for this query
   // (0 when injection is off) — the replay key of the flight record.
   const uint64_t replay_seed =
@@ -214,6 +218,12 @@ StatusOr<QueryResult> SecureKnnSession::RunQuery(
   record.faults_injected = TotalInjectedFaults() - faults_before;
   record.recovered_legs =
       registry.GetCounter("query.recovered")->value() - recovered_before;
+  record.heap_allocs =
+      registry.GetCounter("bgv.alloc.pool_misses")->value() -
+      pool_misses_before;
+  record.pool_requests = record.heap_allocs +
+                         registry.GetCounter("bgv.alloc.pool_hits")->value() -
+                         pool_hits_before;
   record.ok = status.ok();
   record.status = status.ok() ? "ok" : status.message();
   FlightRecorder::Global().Add(std::move(record));

@@ -25,6 +25,12 @@ class Modulus {
 
   uint64_t value() const { return value_; }
 
+  // High/low words of the Barrett constant floor(2^128 / value). The SIMD
+  // Barrett kernels mirror ReduceU128 in vector lanes and need the raw
+  // words.
+  uint64_t ratio_hi() const { return ratio_hi_; }
+  uint64_t ratio_lo() const { return ratio_lo_; }
+
   // Reduces a 128-bit value modulo this modulus (Barrett).
   uint64_t ReduceU128(uint128_t x) const;
 

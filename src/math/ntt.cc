@@ -67,70 +67,30 @@ StatusOr<NttTables> NttTables::Create(size_t n, uint64_t q) {
 //     lands in [0, 2q). The last stage has a single twiddle psi^{-br(1)}
 //     into which n^{-1} is folded, with the final correction to [0, q)
 //     applied in the same loop.
+// The loops themselves live in src/math/simd/ (scalar reference plus
+// AVX2/AVX-512 lanes with the same invariants); this class hands its
+// twiddle tables to whichever implementation the dispatcher selected.
+simd::NttArgs NttTables::KernelArgs() const {
+  simd::NttArgs args;
+  args.n = n_;
+  args.q = modulus_.value();
+  args.psi_rev = psi_rev_.data();
+  args.psi_rev_shoup = psi_rev_shoup_.data();
+  args.psi_inv_rev = psi_inv_rev_.data();
+  args.psi_inv_rev_shoup = psi_inv_rev_shoup_.data();
+  args.n_inv = n_inv_;
+  args.n_inv_shoup = n_inv_shoup_;
+  args.psi_inv_n_scaled = psi_inv_n_scaled_;
+  args.psi_inv_n_scaled_shoup = psi_inv_n_scaled_shoup_;
+  return args;
+}
+
 void NttTables::ForwardNtt(uint64_t* a) const {
-  const uint64_t q = modulus_.value();
-  const uint64_t two_q = q << 1;
-  size_t t = n_;
-  for (size_t m = 1; m < n_; m <<= 1) {
-    t >>= 1;
-    for (size_t i = 0; i < m; ++i) {
-      const uint64_t s = psi_rev_[m + i];
-      const uint64_t s_shoup = psi_rev_shoup_[m + i];
-      uint64_t* __restrict x = a + 2 * i * t;
-      uint64_t* __restrict y = x + t;
-      for (size_t j = 0; j < t; ++j) {
-        uint64_t u = x[j];
-        if (u >= two_q) u -= two_q;
-        const uint64_t v = MulModShoupLazy(y[j], s, s_shoup, q);
-        x[j] = u + v;
-        y[j] = u + two_q - v;
-      }
-    }
-  }
-  for (size_t j = 0; j < n_; ++j) {
-    uint64_t v = a[j];
-    if (v >= two_q) v -= two_q;
-    if (v >= q) v -= q;
-    a[j] = v;
-  }
+  simd::ActiveKernels().ntt_forward(KernelArgs(), a);
 }
 
 void NttTables::InverseNtt(uint64_t* a) const {
-  const uint64_t q = modulus_.value();
-  const uint64_t two_q = q << 1;
-  size_t t = 1;
-  for (size_t m = n_; m > 2; m >>= 1) {
-    size_t j1 = 0;
-    const size_t h = m >> 1;
-    for (size_t i = 0; i < h; ++i) {
-      const uint64_t s = psi_inv_rev_[h + i];
-      const uint64_t s_shoup = psi_inv_rev_shoup_[h + i];
-      uint64_t* __restrict x = a + j1;
-      uint64_t* __restrict y = x + t;
-      for (size_t j = 0; j < t; ++j) {
-        const uint64_t u = x[j];
-        const uint64_t v = y[j];
-        uint64_t s0 = u + v;
-        if (s0 >= two_q) s0 -= two_q;
-        x[j] = s0;
-        y[j] = MulModShoupLazy(u + two_q - v, s, s_shoup, q);
-      }
-      j1 += 2 * t;
-    }
-    t <<= 1;
-  }
-  // Last stage (m == 2): one twiddle; fold in n^{-1} and fully reduce.
-  uint64_t* __restrict x = a;
-  uint64_t* __restrict y = a + t;
-  for (size_t j = 0; j < t; ++j) {
-    const uint64_t u = x[j];
-    const uint64_t v = y[j];
-    const uint64_t r0 = MulModShoupLazy(u + v, n_inv_, n_inv_shoup_, q);
-    const uint64_t r1 = MulModShoupLazy(u + two_q - v, psi_inv_n_scaled_,
-                                        psi_inv_n_scaled_shoup_, q);
-    x[j] = r0 >= q ? r0 - q : r0;
-    y[j] = r1 >= q ? r1 - q : r1;
-  }
+  simd::ActiveKernels().ntt_inverse(KernelArgs(), a);
 }
 
 void NaiveNegacyclicMultiply(const std::vector<uint64_t>& a,

@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "common/statusor.h"
 #include "math/mod_arith.h"
+#include "math/simd/kernels.h"
 
 // Negacyclic number-theoretic transform over Z_q[x]/(x^n + 1).
 //
@@ -46,6 +47,10 @@ class NttTables {
   // Default-constructed tables are empty placeholders to be assigned from
   // Create(); calling the transforms on one is a programming error.
   NttTables() = default;
+
+  // Twiddle tables packaged for the simd:: kernels (pointers into this
+  // object; valid while it lives).
+  simd::NttArgs KernelArgs() const;
 
  private:
   size_t n_ = 0;

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "math/simd/kernels.h"
 
 namespace sknn {
 
@@ -93,8 +94,9 @@ RnsPoly RnsPoly::Prefix(size_t components) const {
   out.n_ = n_;
   out.components_ = components;
   out.ntt_form_ = ntt_form_;
-  out.data_.assign(data_.begin(),
-                   data_.begin() + static_cast<ptrdiff_t>(components * n_));
+  out.data_ = BufferPool::Acquire(components * n_);
+  std::memcpy(out.data_.data(), data_.data(),
+              components * n_ * sizeof(uint64_t));
   return out;
 }
 
@@ -113,39 +115,26 @@ void CheckShapes(const RnsPoly& a, const RnsPoly& b) {
 void AddInplace(RnsPoly* a, const RnsPoly& b, const RnsBase& base) {
   CheckShapes(*a, b);
   const size_t n = a->n();
+  const simd::KernelTable& kernels = simd::ActiveKernels();
   for (size_t i = 0; i < a->num_components(); ++i) {
-    const uint64_t q = base.modulus(i).value();
-    uint64_t* __restrict av = a->comp(i);
-    const uint64_t* __restrict bv = b.comp(i);
-    for (size_t j = 0; j < n; ++j) {
-      // Inputs < q < 2^62: the sum cannot wrap, so a branchless compare
-      // suffices and the loop auto-vectorizes.
-      const uint64_t s = av[j] + bv[j];
-      av[j] = s >= q ? s - q : s;
-    }
+    kernels.mod_add(a->comp(i), b.comp(i), n, base.modulus(i).value());
   }
 }
 
 void SubInplace(RnsPoly* a, const RnsPoly& b, const RnsBase& base) {
   CheckShapes(*a, b);
   const size_t n = a->n();
+  const simd::KernelTable& kernels = simd::ActiveKernels();
   for (size_t i = 0; i < a->num_components(); ++i) {
-    const uint64_t q = base.modulus(i).value();
-    uint64_t* __restrict av = a->comp(i);
-    const uint64_t* __restrict bv = b.comp(i);
-    for (size_t j = 0; j < n; ++j) {
-      const uint64_t d = av[j] - bv[j];
-      av[j] = av[j] >= bv[j] ? d : d + q;
-    }
+    kernels.mod_sub(a->comp(i), b.comp(i), n, base.modulus(i).value());
   }
 }
 
 void NegateInplace(RnsPoly* a, const RnsBase& base) {
   const size_t n = a->n();
+  const simd::KernelTable& kernels = simd::ActiveKernels();
   for (size_t i = 0; i < a->num_components(); ++i) {
-    const uint64_t q = base.modulus(i).value();
-    uint64_t* __restrict av = a->comp(i);
-    for (size_t j = 0; j < n; ++j) av[j] = av[j] == 0 ? 0 : q - av[j];
+    kernels.mod_neg(a->comp(i), n, base.modulus(i).value());
   }
 }
 
@@ -159,11 +148,11 @@ void MulPointwiseInplace(RnsPoly* a, const RnsPoly& b, const RnsBase& base) {
   CheckShapes(*a, b);
   SKNN_CHECK(a->ntt_form());
   const size_t n = a->n();
+  const simd::KernelTable& kernels = simd::ActiveKernels();
   for (size_t i = 0; i < a->num_components(); ++i) {
     const Modulus& mod = base.modulus(i);
-    uint64_t* __restrict av = a->comp(i);
-    const uint64_t* __restrict bv = b.comp(i);
-    for (size_t j = 0; j < n; ++j) av[j] = mod.MulMod(av[j], bv[j]);
+    kernels.mod_mul(a->comp(i), b.comp(i), n, mod.value(), mod.ratio_hi(),
+                    mod.ratio_lo());
   }
 }
 
@@ -173,16 +162,11 @@ void AddMulInplace(RnsPoly* a, const RnsPoly& b, const RnsPoly& c,
   SKNN_CHECK_EQ(a->num_components(), b.num_components());
   SKNN_CHECK(a->ntt_form() && b.ntt_form());
   const size_t n = a->n();
+  const simd::KernelTable& kernels = simd::ActiveKernels();
   for (size_t i = 0; i < a->num_components(); ++i) {
     const Modulus& mod = base.modulus(i);
-    const uint64_t q = mod.value();
-    uint64_t* __restrict av = a->comp(i);
-    const uint64_t* __restrict bv = b.comp(i);
-    const uint64_t* __restrict cv = c.comp(i);
-    for (size_t j = 0; j < n; ++j) {
-      const uint64_t s = av[j] + mod.MulMod(bv[j], cv[j]);
-      av[j] = s >= q ? s - q : s;
-    }
+    kernels.mod_add_mul(a->comp(i), b.comp(i), c.comp(i), n, mod.value(),
+                        mod.ratio_hi(), mod.ratio_lo());
   }
 }
 
@@ -191,14 +175,11 @@ void MulScalarInplace(RnsPoly* a,
                       const RnsBase& base) {
   SKNN_CHECK_GE(scalar_per_prime.size(), a->num_components());
   const size_t n = a->n();
+  const simd::KernelTable& kernels = simd::ActiveKernels();
   for (size_t i = 0; i < a->num_components(); ++i) {
     const uint64_t q = base.modulus(i).value();
     const uint64_t s = scalar_per_prime[i];
-    const uint64_t s_shoup = ShoupPrecompute(s, q);
-    uint64_t* __restrict av = a->comp(i);
-    for (size_t j = 0; j < n; ++j) {
-      av[j] = MulModShoup(av[j], s, s_shoup, q);
-    }
+    kernels.mod_mul_scalar(a->comp(i), n, s, ShoupPrecompute(s, q), q);
   }
 }
 

@@ -1,12 +1,15 @@
 #ifndef SKNN_MATH_RNS_POLY_H_
 #define SKNN_MATH_RNS_POLY_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/buffer_pool.h"
 #include "common/status.h"
 #include "common/statusor.h"
 #include "common/thread_pool.h"
@@ -85,12 +88,64 @@ class RnsBase {
 class RnsPoly {
  public:
   RnsPoly() = default;
-  // Allocates an all-zero polynomial with `components` RNS components.
+  // Allocates an all-zero polynomial with `components` RNS components. The
+  // flat buffer comes from BufferPool (and returns there on destruction),
+  // so steady-state temporaries never touch the heap — see
+  // common/buffer_pool.h for the ownership rules and bgv.alloc.* metrics.
   RnsPoly(size_t n, size_t components, bool ntt_form)
       : n_(n),
         components_(components),
         ntt_form_(ntt_form),
-        data_(n * components, 0) {}
+        data_(BufferPool::AcquireZeroed(n * components)) {}
+
+  ~RnsPoly() { BufferPool::Release(std::move(data_)); }
+
+  RnsPoly(const RnsPoly& other)
+      : n_(other.n_),
+        components_(other.components_),
+        ntt_form_(other.ntt_form_),
+        data_(BufferPool::AcquireCopy(other.data_)) {}
+
+  RnsPoly& operator=(const RnsPoly& other) {
+    if (this != &other) {
+      n_ = other.n_;
+      components_ = other.components_;
+      ntt_form_ = other.ntt_form_;
+      if (data_.size() == other.data_.size()) {
+        std::copy(other.data_.begin(), other.data_.end(), data_.begin());
+      } else {
+        BufferPool::Release(std::move(data_));
+        data_ = BufferPool::AcquireCopy(other.data_);
+      }
+    }
+    return *this;
+  }
+
+  // Moves steal the buffer (no pool round-trip); the source reverts to the
+  // default-constructed empty state.
+  RnsPoly(RnsPoly&& other) noexcept
+      : n_(other.n_),
+        components_(other.components_),
+        ntt_form_(other.ntt_form_),
+        data_(std::move(other.data_)) {
+    other.n_ = 0;
+    other.components_ = 0;
+    other.ntt_form_ = false;
+  }
+
+  RnsPoly& operator=(RnsPoly&& other) noexcept {
+    if (this != &other) {
+      BufferPool::Release(std::move(data_));
+      n_ = other.n_;
+      components_ = other.components_;
+      ntt_form_ = other.ntt_form_;
+      data_ = std::move(other.data_);
+      other.n_ = 0;
+      other.components_ = 0;
+      other.ntt_form_ = false;
+    }
+    return *this;
+  }
 
   size_t n() const { return n_; }
   size_t num_components() const { return components_; }
@@ -106,11 +161,6 @@ class RnsPoly {
   uint64_t* data() { return data_.data(); }
   const uint64_t* data() const { return data_.data(); }
   const std::vector<uint64_t>& flat() const { return data_; }
-
-  // Copies component i out into a standalone vector (tests, serialization).
-  std::vector<uint64_t> ComponentVector(size_t i) const {
-    return std::vector<uint64_t>(comp(i), comp(i) + n_);
-  }
 
   // A new polynomial holding the first `components` components (the
   // level-restriction every encrypt/decrypt path performs); one memcpy.

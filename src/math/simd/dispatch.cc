@@ -1,0 +1,158 @@
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "common/logging.h"
+#include "math/simd/kernels.h"
+
+// Kernel dispatch: picks the widest ISA level supported by both the build
+// (per-file -mavx2 / -mavx512f -mavx512dq, see src/math/CMakeLists.txt)
+// and the running CPU, once per process. `SKNN_SIMD=scalar|avx2|avx512`
+// narrows the choice for testing; ForceIsa overrides it programmatically
+// (benchmarks, equality sweeps). The active table lives behind a relaxed
+// atomic pointer, so a kernel call costs one load over the direct-call
+// baseline.
+
+namespace sknn {
+namespace simd {
+namespace {
+
+bool CpuSupports(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+    case Isa::kAvx512:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512dq");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const KernelTable* TableFor(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return ScalarKernels();
+    case Isa::kAvx2:
+      return Avx2Kernels();
+    case Isa::kAvx512:
+      return Avx512Kernels();
+  }
+  return nullptr;
+}
+
+Isa WidestAvailable() {
+  if (IsaAvailable(Isa::kAvx512)) return Isa::kAvx512;
+  if (IsaAvailable(Isa::kAvx2)) return Isa::kAvx2;
+  return Isa::kScalar;
+}
+
+// Default choice honouring SKNN_SIMD. Unknown or unavailable values warn
+// and fall back to the widest level so a stale override can never abort a
+// run or silently compute differently (all tables are bit-identical).
+Isa ChooseFromEnv() {
+  const char* env = std::getenv("SKNN_SIMD");
+  if (env == nullptr || *env == '\0') return WidestAvailable();
+  Isa requested;
+  if (std::strcmp(env, "scalar") == 0) {
+    requested = Isa::kScalar;
+  } else if (std::strcmp(env, "avx2") == 0) {
+    requested = Isa::kAvx2;
+  } else if (std::strcmp(env, "avx512") == 0) {
+    requested = Isa::kAvx512;
+  } else {
+    SKNN_LOG_WARNING << "SKNN_SIMD=" << env
+                     << " not recognised (want scalar|avx2|avx512); using "
+                     << IsaName(WidestAvailable());
+    return WidestAvailable();
+  }
+  if (!IsaAvailable(requested)) {
+    SKNN_LOG_WARNING << "SKNN_SIMD=" << env
+                     << " not available on this CPU/build; using "
+                     << IsaName(WidestAvailable());
+    return WidestAvailable();
+  }
+  return requested;
+}
+
+std::atomic<const KernelTable*> g_active{nullptr};
+std::atomic<int> g_active_isa{0};
+std::mutex g_init_mu;
+
+const KernelTable* InitOnce() {
+  std::lock_guard<std::mutex> lock(g_init_mu);
+  const KernelTable* table = g_active.load(std::memory_order_relaxed);
+  if (table != nullptr) return table;
+  const Isa isa = ChooseFromEnv();
+  table = TableFor(isa);
+  g_active_isa.store(static_cast<int>(isa), std::memory_order_relaxed);
+  g_active.store(table, std::memory_order_release);
+  return table;
+}
+
+void SetActive(Isa isa) {
+  std::lock_guard<std::mutex> lock(g_init_mu);
+  g_active_isa.store(static_cast<int>(isa), std::memory_order_relaxed);
+  g_active.store(TableFor(isa), std::memory_order_release);
+}
+
+}  // namespace
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+const KernelTable& ActiveKernels() {
+  const KernelTable* table = g_active.load(std::memory_order_acquire);
+  if (table == nullptr) table = InitOnce();
+  return *table;
+}
+
+Isa ActiveIsa() {
+  ActiveKernels();
+  return static_cast<Isa>(g_active_isa.load(std::memory_order_relaxed));
+}
+
+bool IsaAvailable(Isa isa) {
+  return TableFor(isa) != nullptr && CpuSupports(isa);
+}
+
+std::vector<Isa> AvailableIsaLevels() {
+  std::vector<Isa> levels;
+  for (Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kAvx512}) {
+    if (IsaAvailable(isa)) levels.push_back(isa);
+  }
+  return levels;
+}
+
+Status ForceIsa(Isa isa) {
+  if (!IsaAvailable(isa)) {
+    return InvalidArgumentError(std::string("SIMD level ") + IsaName(isa) +
+                                " is not available on this CPU/build");
+  }
+  SetActive(isa);
+  return Status::Ok();
+}
+
+void ResetIsaFromEnv() { SetActive(ChooseFromEnv()); }
+
+}  // namespace simd
+}  // namespace sknn

@@ -1,0 +1,156 @@
+#include "common/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+// Tests for the RnsPoly arena allocator: recycle semantics, telemetry
+// accounting, and a multi-threaded stress proving no buffer is ever handed
+// to two owners at once (run under tsan by the sanitizer presets).
+
+namespace sknn {
+namespace {
+
+TEST(BufferPoolTest, AcquireReturnsRequestedSize) {
+  std::vector<uint64_t> a = BufferPool::Acquire(100);
+  EXPECT_EQ(a.size(), 100u);
+  std::vector<uint64_t> z = BufferPool::AcquireZeroed(64);
+  ASSERT_EQ(z.size(), 64u);
+  for (uint64_t w : z) EXPECT_EQ(w, 0u);
+  BufferPool::Release(std::move(a));
+  BufferPool::Release(std::move(z));
+}
+
+TEST(BufferPoolTest, ReleasedBufferIsRecycled) {
+  BufferPool::Clear();
+  std::vector<uint64_t> a = BufferPool::Acquire(512);
+  const uint64_t* ptr = a.data();
+  BufferPool::Release(std::move(a));
+
+  const BufferPool::Stats before = BufferPool::GetStats();
+  std::vector<uint64_t> b = BufferPool::Acquire(512);
+  const BufferPool::Stats after = BufferPool::GetStats();
+  // Same thread, same size: must come off the free list — and since the
+  // list is LIFO, it is literally the same allocation.
+  EXPECT_EQ(after.pool_hits, before.pool_hits + 1);
+  EXPECT_EQ(after.pool_misses, before.pool_misses);
+  EXPECT_EQ(b.data(), ptr);
+  BufferPool::Release(std::move(b));
+}
+
+TEST(BufferPoolTest, AcquireZeroedScrubsRecycledContents) {
+  BufferPool::Clear();
+  std::vector<uint64_t> a = BufferPool::Acquire(256);
+  for (uint64_t& w : a) w = 0xDEADBEEFCAFEF00Dull;
+  BufferPool::Release(std::move(a));
+  std::vector<uint64_t> z = BufferPool::AcquireZeroed(256);
+  for (uint64_t w : z) ASSERT_EQ(w, 0u);
+  BufferPool::Release(std::move(z));
+}
+
+TEST(BufferPoolTest, AcquireCopyMatchesSource) {
+  std::vector<uint64_t> src = {1, 2, 3, 4, 5};
+  std::vector<uint64_t> copy = BufferPool::AcquireCopy(src);
+  EXPECT_EQ(copy, src);
+  BufferPool::Release(std::move(copy));
+}
+
+TEST(BufferPoolTest, BytesOutstandingTracksOwnership) {
+  BufferPool::Clear();
+  const int64_t base = BufferPool::GetStats().bytes_outstanding;
+  {
+    BufferPool::Scoped a(1000);
+    EXPECT_EQ(BufferPool::GetStats().bytes_outstanding,
+              base + 1000 * static_cast<int64_t>(sizeof(uint64_t)));
+    BufferPool::Scoped b(24, /*zeroed=*/false);
+    EXPECT_EQ(BufferPool::GetStats().bytes_outstanding,
+              base + 1024 * static_cast<int64_t>(sizeof(uint64_t)));
+  }
+  EXPECT_EQ(BufferPool::GetStats().bytes_outstanding, base);
+}
+
+TEST(BufferPoolTest, ReleaseOfEmptyBufferIsNoop) {
+  const BufferPool::Stats before = BufferPool::GetStats();
+  BufferPool::Release(std::vector<uint64_t>{});
+  const BufferPool::Stats after = BufferPool::GetStats();
+  EXPECT_EQ(after.released, before.released);
+  EXPECT_EQ(after.bytes_outstanding, before.bytes_outstanding);
+}
+
+TEST(BufferPoolTest, SteadyStateLoopIsAllocationQuiet) {
+  BufferPool::Clear();
+  // Warm up one buffer per size class, then loop: every subsequent acquire
+  // must be a hit.
+  const size_t sizes[] = {64, 256, 1024};
+  for (size_t words : sizes) {
+    BufferPool::Release(BufferPool::Acquire(words));
+  }
+  const BufferPool::Stats warm = BufferPool::GetStats();
+  for (int round = 0; round < 50; ++round) {
+    for (size_t words : sizes) {
+      BufferPool::Scoped buf(words, /*zeroed=*/false);
+      buf.data()[0] = round;
+    }
+  }
+  const BufferPool::Stats after = BufferPool::GetStats();
+  EXPECT_EQ(after.pool_misses, warm.pool_misses) << "steady state hit heap";
+  EXPECT_EQ(after.pool_hits, warm.pool_hits + 150);
+}
+
+// Cross-thread stress: workers continuously acquire buffers of a few
+// protocol-typical sizes, stamp every word with a tag unique to
+// (thread, iteration), re-verify the stamp after more pool traffic, and
+// release. Any double-ownership (one buffer on two free lists, or handed
+// to two owners) shows up as a corrupted stamp — and as a data race under
+// the tsan preset.
+TEST(BufferPoolTest, ThreadedStressNoAliasing) {
+  ThreadPool pool(4);
+  constexpr size_t kWorkers = 8;
+  constexpr int kRounds = 200;
+  std::atomic<int> corrupt{0};
+
+  pool.ParallelFor(0, kWorkers, [&](size_t worker) {
+    Chacha20Rng rng(uint64_t{0xB0FFE4} + worker);
+    const size_t sizes[] = {33, 64, 257, 1024};
+    for (int round = 0; round < kRounds; ++round) {
+      std::vector<uint64_t> sample;
+      rng.SampleUniformMod(4, 2, &sample);
+      const size_t words = sizes[sample[0]];
+      const uint64_t tag =
+          (uint64_t{worker} << 32) ^ (static_cast<uint64_t>(round) << 8) ^ 1;
+
+      std::vector<uint64_t> buf = BufferPool::Acquire(words);
+      for (uint64_t& w : buf) w = tag;
+      // Interleave more pool traffic so a shared buffer would get
+      // overwritten by the other owner before we check.
+      std::vector<uint64_t> other = BufferPool::AcquireZeroed(sizes[sample[1]]);
+      for (uint64_t w : other) {
+        if (w != 0) corrupt.fetch_add(1, std::memory_order_relaxed);
+      }
+      for (uint64_t w : buf) {
+        if (w != tag) corrupt.fetch_add(1, std::memory_order_relaxed);
+      }
+      BufferPool::Release(std::move(other));
+      BufferPool::Release(std::move(buf));
+    }
+  });
+
+  EXPECT_EQ(corrupt.load(), 0);
+  // Every stressed buffer was released, so the books balance: acquires
+  // equal releases (process-wide deltas may include other tests' leftovers,
+  // so compare against a snapshot-free invariant instead: nothing the
+  // stress acquired is still outstanding, i.e. outstanding bytes are
+  // non-negative and releases never exceed acquires).
+  const BufferPool::Stats stats = BufferPool::GetStats();
+  EXPECT_GE(stats.bytes_outstanding, 0);
+  EXPECT_LE(stats.released, stats.pool_hits + stats.pool_misses);
+}
+
+}  // namespace
+}  // namespace sknn

@@ -137,6 +137,30 @@ TEST(FlightRecorderSession, SuccessfulQueryAppendsFivePhaseRecord) {
   EXPECT_EQ(rec.faults_injected, 0u);
 }
 
+TEST(FlightRecorderSession, SteadyStateQueryReusesPooledBuffers) {
+  // ISSUE acceptance: allocations-per-query must drop >= 10x once the
+  // BufferPool is warm. Query 1 populates the free lists (its misses are
+  // the cold-start cost); by query 2 at least 90% of buffer requests must
+  // be served from the pool, i.e. heap_allocs * 10 <= pool_requests.
+  const data::Dataset dataset = data::UniformDataset(16, 2, 15, 43);
+  auto session = core::SecureKnnSession::Create(RecorderConfig(), dataset, 7);
+  ASSERT_TRUE(session.ok()) << session.status();
+
+  ASSERT_TRUE((*session)->RunQuery(data::UniformQuery(2, 15, 21)).ok());
+  ASSERT_TRUE((*session)->RunQuery(data::UniformQuery(2, 15, 22)).ok());
+
+  const auto records = FlightRecorder::Global().Records();
+  ASSERT_GE(records.size(), 2u);
+  const FlightRecord& warm = records.back();
+  // A query makes a substantial number of polynomial temporaries — the
+  // floor guards against the counters silently unwiring (0 <= 10*0 would
+  // otherwise pass).
+  EXPECT_GE(warm.pool_requests, 100u);
+  EXPECT_LE(warm.heap_allocs * 10, warm.pool_requests)
+      << "warm query hit the heap " << warm.heap_allocs << " times in "
+      << warm.pool_requests << " buffer requests";
+}
+
 TEST(FlightRecorderSession, FailedQueryRecordsErrorAndReplaySeed) {
   const data::Dataset dataset = data::UniformDataset(16, 2, 15, 42);
   auto session = core::SecureKnnSession::Create(RecorderConfig(), dataset, 7);

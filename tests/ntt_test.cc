@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "math/prime.h"
+#include "math/simd/kernels.h"
 
 namespace sknn {
 namespace {
@@ -138,6 +139,39 @@ TEST_P(LazyNttMatrixTest, WorstCaseAllMaxCoefficients) {
   for (size_t i = 0; i < n; ++i) c[i] = mod.MulMod(a[i], b[i]);
   tables_->InverseNtt(&c);
   EXPECT_EQ(c, expected);
+}
+
+TEST_P(LazyNttMatrixTest, SimdLevelsBitIdenticalToScalar) {
+  // Every compiled-in ISA level must produce bit-for-bit the scalar result
+  // for both transforms, on a random reduced input and on the all-(q-1)
+  // worst case that maximizes every lazy intermediate. ForceIsa pins the
+  // dispatch table so each path is exercised even on CPUs that support
+  // wider ISAs (and under SKNN_SIMD overrides from ctest).
+  const size_t n = GetParam().n;
+  Chacha20Rng rng(uint64_t{7000} + n * 64 + GetParam().prime_bits);
+  std::vector<std::vector<uint64_t>> inputs(2);
+  rng.SampleUniformMod(q_, n, &inputs[0]);
+  inputs[1].assign(n, q_ - 1);
+
+  for (const std::vector<uint64_t>& input : inputs) {
+    ASSERT_TRUE(ForceIsa(simd::Isa::kScalar).ok());
+    std::vector<uint64_t> fwd_ref = input;
+    tables_->ForwardNtt(&fwd_ref);
+    std::vector<uint64_t> inv_ref = fwd_ref;
+    tables_->InverseNtt(&inv_ref);
+
+    for (simd::Isa isa : simd::AvailableIsaLevels()) {
+      ASSERT_TRUE(ForceIsa(isa).ok());
+      std::vector<uint64_t> fwd = input;
+      tables_->ForwardNtt(&fwd);
+      EXPECT_EQ(fwd, fwd_ref) << "forward mismatch under " << IsaName(isa);
+      std::vector<uint64_t> inv = fwd_ref;
+      tables_->InverseNtt(&inv);
+      EXPECT_EQ(inv, inv_ref) << "inverse mismatch under " << IsaName(isa);
+    }
+  }
+  // Back to the process default (CPUID or SKNN_SIMD) for later tests.
+  simd::ResetIsaFromEnv();
 }
 
 std::vector<NttParam> LazyMatrix() {

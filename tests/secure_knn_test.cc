@@ -295,7 +295,14 @@ TEST(SecureKnnTest, CompressedIndicatorsMatchUncompressed) {
   ASSERT_TRUE(r_on.ok() && r_off.ok());
   EXPECT_EQ(SortedDistances(r_on->neighbours, {4, 4}),
             SortedDistances(r_off->neighbours, {4, 4}));
-  EXPECT_LT(r_on->ab_link.bytes_b_to_a, r_off->ab_link.bytes_b_to_a * 6 / 10);
+  // Acceptance floor for the seeded encoding: >= 1.8x fewer B->A bytes
+  // (on * 9 <= off * 5  <=>  off / on >= 1.8). The indicator matrix
+  // dominates the leg, and the seeded form halves each ciphertext minus
+  // the 32-byte seed and framing, so the measured ratio sits just under
+  // 2x.
+  EXPECT_LE(r_on->ab_link.bytes_b_to_a * 9, r_off->ab_link.bytes_b_to_a * 5)
+      << "b_to_a bytes: seeded=" << r_on->ab_link.bytes_b_to_a
+      << " full=" << r_off->ab_link.bytes_b_to_a;
 }
 
 TEST(SecureKnnTest, MultiThreadedPartyAMatchesSingleThreaded) {

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# SIMD dispatch coverage guard, registered with ctest as
+# `simd_dispatch_check`.
+#
+# The KernelTable in src/math/simd/kernels.h is the single dispatch surface
+# for every vectorized kernel. A new kernel added to the struct must get an
+# implementation in EVERY backend (scalar, AVX2, AVX-512) or some ISA would
+# silently fall off the bit-identical path. This script cross-checks the
+# struct's function-pointer fields against the designated-comment
+# initializers (/*field=*/impl) of each backend's table, so a missing entry
+# fails in CI before it can fail at runtime.
+set -u
+
+cd "$(cd "$(dirname "$0")/.." && pwd)" || exit 1
+
+HEADER=src/math/simd/kernels.h
+BACKENDS="src/math/simd/kernels_scalar.cc src/math/simd/kernels_avx2.cc src/math/simd/kernels_avx512.cc"
+fail=0
+
+# Function-pointer field names of KernelTable: lines like
+#   void (*ntt_forward)(...)
+fields=$(sed -n '/^struct KernelTable {/,/^};/p' "$HEADER" \
+           | grep -o '(\*[A-Za-z_][A-Za-z0-9_]*)' | tr -d '(*)')
+
+if [ -z "$fields" ]; then
+  echo "check_simd_dispatch: no KernelTable fields found in $HEADER"
+  exit 1
+fi
+
+for src in $BACKENDS; do
+  if [ ! -f "$src" ]; then
+    echo "check_simd_dispatch: missing backend $src"
+    fail=1
+    continue
+  fi
+  for field in $fields; do
+    # Each backend initializes its table with /*field=*/Impl markers.
+    if ! grep -q "/\*${field}=\*/" "$src"; then
+      echo "$src: KernelTable field '$field' is not initialized"
+      fail=1
+    fi
+  done
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_simd_dispatch: FAILED (every kernel needs all three backends)"
+  exit 1
+fi
+echo "check_simd_dispatch: OK ($(echo "$fields" | wc -w) kernels x 3 backends)"
