@@ -1,0 +1,378 @@
+// bench_load — multi-client load harness for the socket-backed server
+// deployment (OPERATIONS.md "Capacity planning").
+//
+//   bench_load [--smoke] [--clients=4] [--queries=8] [--qps=0]
+//              [--n=64] [--d=2] [--k=3] [--preset=toy] [--seed=1]
+//              [--workers=2] [--queue=8]
+//
+// Starts an in-process PartyBServer and PartyAServer on loopback TCP
+// (ephemeral ports, real kernel sockets — the same code path as the
+// sknn_server_a/sknn_server_b binaries), then drives them with
+// --clients concurrent RemoteClient threads. Each client issues a mixed
+// query population (~50% fresh uniform points, ~30% from a shared hot
+// pool, ~20% perturbed database points) at --qps aggregate target rate
+// (0 = unpaced). Every answer is verified exactly against plaintext
+// brute force; a run with any verification failure exits non-zero.
+//
+// Shed queries (typed kUnavailable from admission control) are retried
+// with backoff and counted, so the report separates "the server said
+// try again" from real failures.
+//
+// Writes BENCH_load.json: one row per configuration with sustained QPS
+// and client-observed p50/p95/p99/max latency.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "core/server.h"
+#include "data/generators.h"
+#include "knn/knn.h"
+
+namespace {
+
+using namespace sknn;  // NOLINT
+using Clock = std::chrono::steady_clock;
+
+struct LoadArgs {
+  bool smoke = false;
+  size_t clients = 4;
+  size_t queries = 8;  // per client
+  double qps = 0;      // aggregate target; 0 = unpaced
+  size_t n = 64;
+  size_t d = 2;
+  size_t k = 3;
+  size_t workers = 2;
+  size_t queue = 8;
+  uint64_t seed = 1;
+  bgv::SecurityPreset preset = bgv::SecurityPreset::kToy;
+};
+
+LoadArgs Parse(int argc, char** argv) {
+  LoadArgs a;
+  for (int i = 1; i < argc; ++i) {
+    const char* s = argv[i];
+    auto u64 = [&](const char* prefix, size_t* out) {
+      const size_t len = std::strlen(prefix);
+      if (std::strncmp(s, prefix, len) == 0) {
+        *out = std::strtoull(s + len, nullptr, 10);
+        return true;
+      }
+      return false;
+    };
+    if (std::strcmp(s, "--smoke") == 0) {
+      a.smoke = true;
+    } else if (u64("--clients=", &a.clients) || u64("--queries=", &a.queries) ||
+               u64("--n=", &a.n) || u64("--d=", &a.d) || u64("--k=", &a.k) ||
+               u64("--workers=", &a.workers) || u64("--queue=", &a.queue)) {
+    } else if (std::strncmp(s, "--qps=", 6) == 0) {
+      a.qps = std::atof(s + 6);
+    } else if (std::strncmp(s, "--seed=", 7) == 0) {
+      a.seed = std::strtoull(s + 7, nullptr, 10);
+    } else if (std::strncmp(s, "--preset=", 9) == 0) {
+      const char* p = s + 9;
+      if (std::strcmp(p, "bench") == 0) a.preset = bgv::SecurityPreset::kBench;
+      else if (std::strcmp(p, "default") == 0) a.preset = bgv::SecurityPreset::kDefault;
+      else if (std::strcmp(p, "paranoid") == 0) a.preset = bgv::SecurityPreset::kParanoid;
+      else a.preset = bgv::SecurityPreset::kToy;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", s);
+    }
+  }
+  if (a.smoke) {
+    a.clients = 4;
+    a.queries = 2;
+    a.n = 32;
+    a.d = 2;
+    a.k = 3;
+    a.workers = 2;
+    a.queue = 8;
+    a.qps = 0;
+  }
+  if (a.clients < 1) a.clients = 1;
+  return a;
+}
+
+struct ClientStats {
+  std::vector<double> latencies_ms;
+  uint64_t completed = 0;
+  uint64_t shed = 0;
+  uint64_t failed = 0;
+  uint64_t verify_failures = 0;
+};
+
+// Exactness check: the protocol returns the neighbour points themselves
+// in an implementation-defined order, so compare the sorted multiset of
+// squared distances against the plaintext top-k.
+bool VerifyAnswer(const data::Dataset& dataset,
+                  const std::vector<uint64_t>& query, size_t k,
+                  const std::vector<std::vector<uint64_t>>& neighbours) {
+  auto expected = knn::PlaintextKnn(dataset, query, k);
+  if (!expected.ok()) return false;
+  if (neighbours.size() != expected->size()) return false;
+  std::vector<uint64_t> got;
+  got.reserve(neighbours.size());
+  for (const auto& p : neighbours) {
+    uint64_t dist = 0;
+    for (size_t j = 0; j < query.size(); ++j) {
+      const uint64_t diff =
+          p[j] > query[j] ? p[j] - query[j] : query[j] - p[j];
+      dist += diff * diff;
+    }
+    got.push_back(dist);
+  }
+  std::vector<uint64_t> want;
+  want.reserve(expected->size());
+  for (const auto& nb : *expected) want.push_back(nb.squared_distance);
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  return got == want;
+}
+
+// The mixed population: fresh uniform / shared hot pool / perturbed
+// database point, so the servers see both cold and repeated queries.
+std::vector<uint64_t> NextQuery(Chacha20Rng* rng, const data::Dataset& dataset,
+                                const std::vector<std::vector<uint64_t>>& hot,
+                                uint64_t max_coord) {
+  const uint64_t roll = rng->NextU64() % 10;
+  if (roll < 5 || hot.empty()) {
+    std::vector<uint64_t> q(dataset.dims());
+    for (auto& v : q) v = rng->NextU64() % (max_coord + 1);
+    return q;
+  }
+  if (roll < 8) {
+    return hot[rng->NextU64() % hot.size()];
+  }
+  std::vector<uint64_t> q = dataset.point(rng->NextU64() % dataset.num_points());
+  for (auto& v : q) {
+    const uint64_t delta = rng->NextU64() % 3;  // 0, +1, -1 (clamped)
+    if (delta == 1 && v < max_coord) ++v;
+    if (delta == 2 && v > 0) --v;
+  }
+  return q;
+}
+
+void ClientThread(size_t client_index, const LoadArgs& args,
+                  const core::Deployment& deployment, uint16_t port,
+                  const data::Dataset& dataset,
+                  const std::vector<std::vector<uint64_t>>& hot,
+                  uint64_t max_coord, ClientStats* stats) {
+  core::ServerOptions options;
+  auto client = core::RemoteClient::Connect(deployment, "127.0.0.1", port,
+                                            options);
+  if (!client.ok()) {
+    std::fprintf(stderr, "client %zu: connect: %s\n", client_index,
+                 client.status().ToString().c_str());
+    stats->failed = args.queries;
+    return;
+  }
+  Chacha20Rng rng(args.seed ^ (0xC11E47ull * (client_index + 1)));
+  // Pace each client at qps/clients; the aggregate offered rate is --qps.
+  const double per_client_qps =
+      args.qps > 0 ? args.qps / static_cast<double>(args.clients) : 0;
+  const auto interval =
+      per_client_qps > 0
+          ? std::chrono::microseconds(
+                static_cast<int64_t>(1e6 / per_client_qps))
+          : std::chrono::microseconds(0);
+  auto next_issue = Clock::now();
+  for (size_t q = 0; q < args.queries; ++q) {
+    if (interval.count() > 0) {
+      std::this_thread::sleep_until(next_issue);
+      next_issue += interval;
+    }
+    const std::vector<uint64_t> query =
+        NextQuery(&rng, dataset, hot, max_coord);
+    const auto t0 = Clock::now();
+    StatusOr<std::vector<std::vector<uint64_t>>> answer = Status::Ok();
+    // A shed is the server asking for backoff, not a failure; retry a few
+    // times before giving up on this query.
+    for (int attempt = 0; attempt < 5; ++attempt) {
+      answer = (*client)->Query(query);
+      if (answer.ok() ||
+          answer.status().code() != StatusCode::kUnavailable) {
+        break;
+      }
+      ++stats->shed;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(5 * (attempt + 1)));
+    }
+    const double ms =
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              t0)
+            .count() /
+        1000.0;
+    if (!answer.ok()) {
+      std::fprintf(stderr, "client %zu query %zu: %s\n", client_index, q,
+                   answer.status().ToString().c_str());
+      ++stats->failed;
+      continue;
+    }
+    if (!VerifyAnswer(dataset, query, args.k, answer.value())) {
+      std::fprintf(stderr,
+                   "client %zu query %zu: VERIFICATION FAILED (answer does "
+                   "not match plaintext brute force)\n",
+                   client_index, q);
+      ++stats->verify_failures;
+      continue;
+    }
+    ++stats->completed;
+    stats->latencies_ms.push_back(ms);
+  }
+}
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t idx = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const LoadArgs args = Parse(argc, argv);
+  bench::PrintHeader("bench_load: multi-client load vs the socket servers",
+                     "deployment scalability (not a paper table; see "
+                     "OPERATIONS.md)");
+
+  const int coord_bits = 4;
+  const uint64_t max_coord = (uint64_t{1} << coord_bits) - 1;
+  data::Dataset dataset =
+      data::UniformDataset(args.n, args.d, max_coord, args.seed);
+  core::ProtocolConfig cfg;
+  cfg.k = args.k;
+  cfg.dims = args.d;
+  cfg.coord_bits = coord_bits;
+  cfg.poly_degree = 2;
+  cfg.preset = args.preset;
+  cfg.levels = cfg.MinimumLevels();
+
+  std::printf("deriving deployment (n=%zu d=%zu k=%zu preset=%s)...\n",
+              args.n, args.d, args.k, bench::PresetName(args.preset));
+  auto deployment_b =
+      core::Deployment::Derive(cfg, dataset, args.seed, /*role_a=*/false);
+  auto deployment_a =
+      core::Deployment::Derive(cfg, dataset, args.seed, /*role_a=*/true);
+  if (!deployment_a.ok() || !deployment_b.ok()) {
+    std::fprintf(stderr, "derive: %s\n",
+                 (deployment_a.ok() ? deployment_b : deployment_a)
+                     .status()
+                     .ToString()
+                     .c_str());
+    return 1;
+  }
+
+  bench::BenchJson out("load");
+  out.BeginRow();
+
+  core::ServerOptions b_options;
+  auto server_b = core::PartyBServer::Start(*deployment_b, b_options);
+  if (!server_b.ok()) {
+    std::fprintf(stderr, "server B: %s\n",
+                 server_b.status().ToString().c_str());
+    return 1;
+  }
+  core::ServerOptions a_options;
+  a_options.peer_port = (*server_b)->port();
+  a_options.workers = args.workers;
+  a_options.queue_capacity = args.queue;
+  auto server_a = core::PartyAServer::Start(*deployment_a, a_options);
+  if (!server_a.ok()) {
+    std::fprintf(stderr, "server A: %s\n",
+                 server_a.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("servers up: B on :%u, A on :%u (%zu workers, queue %zu)\n",
+              (*server_b)->port(), (*server_a)->port(), args.workers,
+              args.queue);
+
+  // A shared hot pool: queries that repeat across clients.
+  std::vector<std::vector<uint64_t>> hot;
+  for (int i = 0; i < 4; ++i) {
+    hot.push_back(data::UniformQuery(args.d, max_coord, args.seed + 500 + i));
+  }
+
+  std::printf("driving %zu clients x %zu queries (target %.1f qps%s)...\n",
+              args.clients, args.queries, args.qps,
+              args.qps > 0 ? "" : " = unpaced");
+  std::vector<ClientStats> stats(args.clients);
+  const auto t0 = Clock::now();
+  {
+    std::vector<std::thread> threads;
+    for (size_t c = 0; c < args.clients; ++c) {
+      threads.emplace_back(ClientThread, c, std::cref(args),
+                           std::cref(*deployment_b), (*server_a)->port(),
+                           std::cref(dataset), std::cref(hot), max_coord,
+                           &stats[c]);
+    }
+    for (auto& t : threads) t.join();
+  }
+  const double wall_s =
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - t0)
+          .count() /
+      1000.0;
+
+  ClientStats total;
+  std::vector<double> latencies;
+  for (const ClientStats& s : stats) {
+    total.completed += s.completed;
+    total.shed += s.shed;
+    total.failed += s.failed;
+    total.verify_failures += s.verify_failures;
+    latencies.insert(latencies.end(), s.latencies_ms.begin(),
+                     s.latencies_ms.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double sustained_qps =
+      wall_s > 0 ? static_cast<double>(total.completed) / wall_s : 0;
+  const double p50 = Percentile(latencies, 0.50);
+  const double p95 = Percentile(latencies, 0.95);
+  const double p99 = Percentile(latencies, 0.99);
+  const double max_ms = latencies.empty() ? 0 : latencies.back();
+  const bool verified = total.verify_failures == 0 && total.completed > 0;
+
+  std::printf(
+      "completed %llu queries in %.2fs: %.2f qps sustained, "
+      "p50 %.1f ms, p95 %.1f ms, p99 %.1f ms, max %.1f ms\n",
+      static_cast<unsigned long long>(total.completed), wall_s, sustained_qps,
+      p50, p95, p99, max_ms);
+  std::printf("shed %llu (admission control), failed %llu, verified %s\n",
+              static_cast<unsigned long long>(total.shed),
+              static_cast<unsigned long long>(total.failed),
+              verified ? "yes (every answer matches brute force)" : "NO");
+
+  json::ObjectWriter row;
+  row.Int("clients", args.clients)
+      .Int("queries_per_client", args.queries)
+      .Int("workers", args.workers)
+      .Int("queue_capacity", args.queue)
+      .Int("n", args.n)
+      .Int("d", args.d)
+      .Int("k", args.k)
+      .Str("preset", bench::PresetName(args.preset))
+      .Num("target_qps", args.qps)
+      .Num("sustained_qps", sustained_qps)
+      .Num("wall_seconds", wall_s)
+      .Int("completed", total.completed)
+      .Int("shed", total.shed)
+      .Int("failed", total.failed)
+      .Num("p50_ms", p50)
+      .Num("p95_ms", p95)
+      .Num("p99_ms", p99)
+      .Num("max_ms", max_ms)
+      .Bool("verified", verified);
+  out.EndRow(std::move(row));
+
+  (*server_a)->Shutdown();
+  (*server_b)->Shutdown();
+  out.Write();
+
+  if (!verified || total.failed > 0) return 1;
+  return 0;
+}

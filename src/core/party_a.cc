@@ -53,10 +53,21 @@ Status PartyA::LoadEncryptedDatabase(std::vector<bgv::Ciphertext> units) {
   return Status::Ok();
 }
 
+std::vector<size_t> PartyA::last_permutation() const {
+  std::lock_guard<std::mutex> lock(rng_mu_);
+  return last_transform_ ? last_transform_->perm : std::vector<size_t>();
+}
+
+const MaskingPolynomial* PartyA::last_mask() const {
+  std::lock_guard<std::mutex> lock(rng_mu_);
+  return last_transform_ ? &last_transform_->mask : nullptr;
+}
+
 StatusOr<bgv::Ciphertext> PartyA::DistanceForUnit(
-    size_t unit, const bgv::Ciphertext& query_ct,
-    const MaskingPolynomial& mask, Chacha20Rng* unit_rng, OpCounts* ops,
-    PhaseNoise* noise) {
+    size_t unit, const bgv::Ciphertext& query_ct, Query* query,
+    Chacha20Rng* unit_rng, OpCounts* ops, PhaseNoise* noise) {
+  const QueryTransform& transform = *query->transform_;
+  const MaskingPolynomial& mask = transform.mask;
   trace::TraceSpan unit_span("unit");
   const uint64_t t = ctx_->t();
   bgv::Ciphertext x;
@@ -114,12 +125,13 @@ StatusOr<bgv::Ciphertext> PartyA::DistanceForUnit(
     ops->he_plain_ops += 1;
     // Every unit walks the same coefficient sequence through the same
     // (level, scale) trajectory, so the lifted+NTT'd addends are built
-    // once per query (by the first unit) and served from the cache after.
+    // once per query (by the first unit) and served from the query's
+    // cache after.
     SKNN_ASSIGN_OR_RETURN(
         const bgv::PlainOperand* addend,
-        horner_cache_.AddOperand(evaluator_, d - 1,
-                                 encoder_.EncodeScalar(a[d - 1]), u.level,
-                                 u.scale));
+        query->horner_cache_.AddOperand(evaluator_, d - 1,
+                                        encoder_.EncodeScalar(a[d - 1]),
+                                        u.level, u.scale));
     SKNN_RETURN_IF_ERROR(evaluator_.AddPlainInplace(&u, *addend));
     ops->he_plain_ops += 1;
     for (size_t j = d - 1; j-- > 0;) {
@@ -129,8 +141,9 @@ StatusOr<bgv::Ciphertext> PartyA::DistanceForUnit(
       ops->mod_switches += 1;
       SKNN_ASSIGN_OR_RETURN(
           const bgv::PlainOperand* addend_j,
-          horner_cache_.AddOperand(evaluator_, j, encoder_.EncodeScalar(a[j]),
-                                   u.level, u.scale));
+          query->horner_cache_.AddOperand(evaluator_, j,
+                                          encoder_.EncodeScalar(a[j]), u.level,
+                                          u.scale));
       SKNN_RETURN_IF_ERROR(evaluator_.AddPlainInplace(&u, *addend_j));
       ops->he_plain_ops += 1;
     }
@@ -166,11 +179,11 @@ StatusOr<bgv::Ciphertext> PartyA::DistanceForUnit(
     // of the permutation), spliced into one coefficient-form Galois chain
     // so the whole sweep pays a single NTT round-trip.
     if (layout_.mode() == Layout::kPacked) {
-      const size_t rot = rotations_[unit];
+      const size_t rot = transform.rotations[unit];
       std::vector<uint64_t> elts = evaluator_.RotationGaloisElts(
           static_cast<int>(rot * layout_.padded_dims()), galois_);
       if (rot != 0) ops->rotations += 1;
-      if (col_swapped_[unit]) {
+      if (transform.col_swapped[unit]) {
         elts.push_back(ctx_->GaloisEltForColumnSwap());
         ops->rotations += 1;
       }
@@ -191,7 +204,7 @@ StatusOr<bgv::Ciphertext> PartyA::DistanceForUnit(
   return u;
 }
 
-StatusOr<std::vector<bgv::Ciphertext>> PartyA::ComputeDistances(
+StatusOr<std::unique_ptr<PartyA::Query>> PartyA::StartQuery(
     const bgv::Ciphertext& query_ct) {
   if (db_top_.empty()) {
     return FailedPreconditionError("no encrypted database loaded");
@@ -200,28 +213,35 @@ StatusOr<std::vector<bgv::Ciphertext>> PartyA::ComputeDistances(
   const uint64_t t = ctx_->t();
   const uint64_t max_dist = data::MaxSquaredDistance(
       layout_.dims(), (uint64_t{1} << config_.coord_bits) - 1);
-  SKNN_ASSIGN_OR_RETURN(
-      MaskingPolynomial mask,
-      MaskingPolynomial::Sample(t, max_dist, config_.poly_degree, &rng_));
-  mask_ = std::make_unique<MaskingPolynomial>(mask);
-  // The mask coefficients changed; prepared Horner addends are stale.
-  horner_cache_.Clear();
-
   const size_t units = layout_.num_units();
-  // Fresh intra-unit transform + permutation.
-  rotations_.assign(units, 0);
-  col_swapped_.assign(units, false);
-  if (layout_.mode() == Layout::kPacked) {
-    for (size_t u = 0; u < units; ++u) {
-      rotations_[u] = rng_.UniformBelow(layout_.points_per_row());
-      col_swapped_[u] = rng_.UniformBelow(2) == 1;
-    }
-  }
-  perm_ = rng_.RandomPermutation(units);
 
-  // Per-unit deterministic RNG forks (stable under parallel execution).
-  std::vector<uint64_t> unit_seeds(units);
-  for (auto& s : unit_seeds) s = rng_.NextU64();
+  auto query = std::unique_ptr<Query>(new Query(this));
+  {
+    // Draw the whole per-query transform in one critical section, in a
+    // fixed order (mask, rotations/col-swaps, permutation, unit seeds), so
+    // concurrent StartQuery calls interleave at transform granularity and
+    // every query still gets an independent, deterministic-per-session
+    // draw sequence.
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    SKNN_ASSIGN_OR_RETURN(
+        MaskingPolynomial mask,
+        MaskingPolynomial::Sample(t, max_dist, config_.poly_degree, &rng_));
+    auto transform = std::make_shared<QueryTransform>(std::move(mask));
+    transform->rotations.assign(units, 0);
+    transform->col_swapped.assign(units, false);
+    if (layout_.mode() == Layout::kPacked) {
+      for (size_t u = 0; u < units; ++u) {
+        transform->rotations[u] = rng_.UniformBelow(layout_.points_per_row());
+        transform->col_swapped[u] = rng_.UniformBelow(2) == 1;
+      }
+    }
+    transform->perm = rng_.RandomPermutation(units);
+    // Per-unit deterministic RNG forks (stable under parallel execution).
+    transform->unit_seeds.resize(units);
+    for (auto& s : transform->unit_seeds) s = rng_.NextU64();
+    query->transform_ = transform;
+    last_transform_ = transform;
+  }
 
   std::vector<bgv::Ciphertext> transformed(units);
   std::vector<OpCounts> unit_ops(units);
@@ -229,9 +249,9 @@ StatusOr<std::vector<bgv::Ciphertext>> PartyA::ComputeDistances(
   Status first_error = Status::Ok();
   std::mutex error_mu;
   pool_.ParallelFor(0, units, [&](size_t u) {
-    Chacha20Rng unit_rng(unit_seeds[u]);
-    auto result = DistanceForUnit(u, query_ct, mask, &unit_rng, &unit_ops[u],
-                                  &unit_noise[u]);
+    Chacha20Rng unit_rng(query->transform_->unit_seeds[u]);
+    auto result = DistanceForUnit(u, query_ct, query.get(), &unit_rng,
+                                  &unit_ops[u], &unit_noise[u]);
     if (!result.ok()) {
       std::lock_guard<std::mutex> lock(error_mu);
       if (first_error.ok()) first_error = result.status();
@@ -240,7 +260,7 @@ StatusOr<std::vector<bgv::Ciphertext>> PartyA::ComputeDistances(
     transformed[u] = std::move(result).value();
   });
   SKNN_RETURN_IF_ERROR(first_error);
-  for (const OpCounts& oc : unit_ops) ops_ += oc;
+  for (const OpCounts& oc : unit_ops) query->ops_ += oc;
   // Worst-case (minimum) estimated budget per sub-phase across units.
   PhaseNoise worst;
   for (const PhaseNoise& pn : unit_noise) {
@@ -254,94 +274,101 @@ StatusOr<std::vector<bgv::Ciphertext>> PartyA::ComputeDistances(
   registry.GetGauge("bgv.noise.party_a.permute")->Set(worst.permute);
 
   // Apply the unit permutation: output position p carries original unit
-  // perm_[p].
+  // perm[p].
   trace::TraceSpan perm_span("party_a.permute");
-  std::vector<bgv::Ciphertext> out(units);
+  query->distances_.resize(units);
   for (size_t p = 0; p < units; ++p) {
-    out[p] = std::move(transformed[perm_[p]]);
+    query->distances_[p] = std::move(transformed[query->transform_->perm[p]]);
   }
-  return out;
+  return query;
 }
 
-Status PartyA::BeginReturnPhase(size_t k) {
-  if (mask_ == nullptr) {
-    return FailedPreconditionError("ComputeDistances has not run");
-  }
+Status PartyA::Query::BeginReturnPhase(size_t k) {
   acc_.assign(k, bgv::Ciphertext());
   acc_started_.assign(k, false);
   min_absorb_budget_ = -1;
   min_retrieve_budget_ = -1;
+  state_ = State::kReturning;
   return Status::Ok();
 }
 
-Status PartyA::AbsorbIndicator(size_t j, size_t transformed_unit_pos,
-                               const bgv::Ciphertext& indicator) {
+Status PartyA::Query::AbsorbIndicator(size_t j, size_t transformed_unit_pos,
+                                      const bgv::Ciphertext& indicator) {
+  if (state_ != State::kReturning) {
+    return FailedPreconditionError("BeginReturnPhase has not run");
+  }
   if (j >= acc_.size()) return InvalidArgumentError("result index j too big");
-  if (transformed_unit_pos >= perm_.size()) {
+  const QueryTransform& transform = *transform_;
+  if (transformed_unit_pos >= transform.perm.size()) {
     return InvalidArgumentError("unit position out of range");
   }
   trace::TraceSpan span("party_a.absorb");
-  const size_t unit = perm_[transformed_unit_pos];
+  PartyA& a = *party_;
+  const size_t unit = transform.perm[transformed_unit_pos];
   bgv::Ciphertext ind = indicator;
   // Undo the unit's intra-ciphertext transform so the indicator aligns
   // with the stored database layout (rotating the small indicator is far
   // cheaper than re-deriving rotated database units).
-  if (layout_.mode() == Layout::kPacked) {
+  if (a.layout_.mode() == Layout::kPacked) {
     std::vector<uint64_t> elts;
-    if (col_swapped_[unit]) {
-      elts.push_back(ctx_->GaloisEltForColumnSwap());
+    if (transform.col_swapped[unit]) {
+      elts.push_back(a.ctx_->GaloisEltForColumnSwap());
       ops_.rotations += 1;
     }
-    if (rotations_[unit] != 0) {
-      const std::vector<uint64_t> rot_elts = evaluator_.RotationGaloisElts(
-          -static_cast<int>(rotations_[unit] * layout_.padded_dims()),
-          galois_);
+    if (transform.rotations[unit] != 0) {
+      const std::vector<uint64_t> rot_elts = a.evaluator_.RotationGaloisElts(
+          -static_cast<int>(transform.rotations[unit] *
+                            a.layout_.padded_dims()),
+          a.galois_);
       elts.insert(elts.end(), rot_elts.begin(), rot_elts.end());
       ops_.rotations += 1;
     }
     // One coefficient-form chain instead of separate column-swap and
     // rotation round-trips.
     SKNN_RETURN_IF_ERROR(
-        evaluator_.ApplyGaloisChainInplace(&ind, elts, galois_));
+        a.evaluator_.ApplyGaloisChainInplace(&ind, elts, a.galois_));
   }
   SKNN_ASSIGN_OR_RETURN(bgv::Ciphertext prod,
-                        evaluator_.Multiply(db_ret_[unit], ind));
+                        a.evaluator_.Multiply(a.db_ret_[unit], ind));
   ops_.he_multiplications += 1;
   if (!acc_started_[j]) {
     acc_[j] = std::move(prod);
     acc_started_[j] = true;
   } else {
-    SKNN_RETURN_IF_ERROR(evaluator_.AddInplace(&acc_[j], prod));
+    SKNN_RETURN_IF_ERROR(a.evaluator_.AddInplace(&acc_[j], prod));
     ops_.he_additions += 1;
   }
-  min_absorb_budget_ = MinBudget(
-      min_absorb_budget_, evaluator_.noise_model().EstimatedBudgetBits(acc_[j]));
+  min_absorb_budget_ =
+      MinBudget(min_absorb_budget_,
+                a.evaluator_.noise_model().EstimatedBudgetBits(acc_[j]));
   MetricsRegistry::Global()
       .GetGauge("bgv.noise.party_a.absorb")
       ->Set(min_absorb_budget_);
   return Status::Ok();
 }
 
-StatusOr<bgv::Ciphertext> PartyA::FinalizeResult(size_t j) {
-  if (j >= acc_.size() || !acc_started_[j]) {
+StatusOr<bgv::Ciphertext> PartyA::Query::FinalizeResult(size_t j) {
+  if (state_ != State::kReturning || j >= acc_.size() || !acc_started_[j]) {
     return FailedPreconditionError("no indicators absorbed for this result");
   }
   trace::TraceSpan span("party_a.retrieve");
+  PartyA& a = *party_;
   bgv::Ciphertext result = std::move(acc_[j]);
   acc_started_[j] = false;
-  SKNN_RETURN_IF_ERROR(evaluator_.RelinearizeInplace(&result, relin_));
+  SKNN_RETURN_IF_ERROR(a.evaluator_.RelinearizeInplace(&result, a.relin_));
   ops_.relinearizations += 1;
   const size_t before = result.level;
-  SKNN_RETURN_IF_ERROR(evaluator_.ModSwitchToLevelInplace(&result, 0));
+  SKNN_RETURN_IF_ERROR(a.evaluator_.ModSwitchToLevelInplace(&result, 0));
   ops_.mod_switches += before;
-  min_retrieve_budget_ = MinBudget(
-      min_retrieve_budget_, evaluator_.noise_model().EstimatedBudgetBits(result));
+  min_retrieve_budget_ =
+      MinBudget(min_retrieve_budget_,
+                a.evaluator_.noise_model().EstimatedBudgetBits(result));
   MetricsRegistry::Global()
       .GetGauge("bgv.noise.party_a.retrieve")
       ->Set(min_retrieve_budget_);
   // The client must decrypt this ciphertext; warn before it gets the
   // chance to fail.
-  evaluator_.noise_model().WarnIfThin(result, "party_a.retrieve");
+  a.evaluator_.noise_model().WarnIfThin(result, "party_a.retrieve");
   return result;
 }
 

@@ -2,6 +2,7 @@
 #define SKNN_CORE_PARTY_A_H_
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "bgv/ciphertext.h"
@@ -24,9 +25,17 @@
 //  * Everything A touches stays encrypted — no method takes or returns a
 //    plaintext derived from the database or the query.
 //  * The masking polynomial m and the permutation/rotation transform are
-//    redrawn from the CSPRNG on EVERY ComputeDistances call. Reusing either
+//    redrawn from the CSPRNG on EVERY StartQuery call. Reusing either
 //    across queries would let Party B link masked distances between
 //    queries; freshness is a hard precondition, not an optimisation.
+//
+// Concurrency: one PartyA serves many queries at once (DESIGN.md §9).
+// All per-query state — mask, permutation, Horner operand cache,
+// accumulators, op counts — lives in the `Query` object returned by
+// `StartQuery`, so concurrent queries cannot cross-contaminate
+// ciphertexts or transforms. The shared pieces are immutable after setup
+// (database units, keys) or internally synchronized (the CSPRNG behind
+// `rng_mu_`, the layout-keyed selector operand cache, the thread pool).
 //
 // Cost model (n = database points, u = ciphertext units — n in kPerPoint,
 // ~n·d'/slots in kPacked — d = dimensions, D = mask degree, k = results):
@@ -38,6 +47,74 @@ namespace core {
 
 class PartyA {
  public:
+  // The per-query transform: drawn fresh from the party CSPRNG at
+  // StartQuery, fixed for the query's lifetime, never shared between
+  // queries. Kept in a shared_ptr so the `last_*` test hooks can observe
+  // the most recent draw without racing query teardown.
+  struct QueryTransform {
+    explicit QueryTransform(MaskingPolynomial m) : mask(std::move(m)) {}
+    MaskingPolynomial mask;
+    std::vector<size_t> perm;       // transformed position -> original unit
+    std::vector<size_t> rotations;  // per original unit, in blocks
+    std::vector<bool> col_swapped;  // per original unit
+    std::vector<uint64_t> unit_seeds;  // per-unit mask-slot RNG forks
+  };
+
+  // One in-flight query at Party A: a small state machine
+  // (DESIGN.md §9) advancing kDistancesReady -> kReturning on
+  // BeginReturnPhase. Construction (via StartQuery) runs Algorithm 1;
+  // the return-phase methods run Algorithm 3 against this query's own
+  // accumulators and transform. Not thread-safe itself — one query is
+  // driven by one worker — but independent Query objects may run
+  // concurrently on one PartyA.
+  class Query {
+   public:
+    // Masked, permuted, transport-level distance ciphertexts in
+    // transformed order (protocol message 2 payload).
+    const std::vector<bgv::Ciphertext>& distances() const {
+      return distances_;
+    }
+
+    // Phase 2 (Algorithm 3): absorbs Party B's indicator ciphertexts one
+    // at a time (streaming keeps memory at O(1) ciphertexts), accumulating
+    // the oblivious dot products T^j. Indicator positions refer to this
+    // query's TRANSFORMED order. Re-entering BeginReturnPhase resets the
+    // accumulators (leg retry). One plaintext multiply (+ inverse rotation
+    // in kPacked) per indicator: O(u·k) total.
+    Status BeginReturnPhase(size_t k);
+    Status AbsorbIndicator(size_t j, size_t transformed_unit_pos,
+                           const bgv::Ciphertext& indicator);
+    // Relinearizes + switches T^j to the transport level (message 4
+    // payload). One relinearization + mod-switch chain per result.
+    StatusOr<bgv::Ciphertext> FinalizeResult(size_t j);
+
+    // HE work performed by this query so far (distance phase included).
+    const OpCounts& ops() const { return ops_; }
+    const QueryTransform& transform() const { return *transform_; }
+
+   private:
+    friend class PartyA;
+    enum class State { kDistancesReady, kReturning };
+
+    explicit Query(PartyA* party) : party_(party) {}
+
+    PartyA* party_;
+    std::shared_ptr<const QueryTransform> transform_;
+    // Prepared Horner addends for this query's mask coefficients (lifted +
+    // NTT'd once by the first unit, shared across units of this query;
+    // useless to any other query, whose mask differs).
+    bgv::PlainOperandCache horner_cache_;
+    std::vector<bgv::Ciphertext> distances_;
+    State state_ = State::kDistancesReady;
+    std::vector<bgv::Ciphertext> acc_;
+    std::vector<bool> acc_started_;
+    // Running minima for the return phase (reset by BeginReturnPhase),
+    // exported as `bgv.noise.party_a.{absorb,retrieve}`.
+    double min_absorb_budget_ = -1;
+    double min_retrieve_budget_ = -1;
+    OpCounts ops_;
+  };
+
   PartyA(std::shared_ptr<const bgv::BgvContext> ctx, ProtocolConfig config,
          SlotLayout layout, bgv::PublicKey pk, bgv::RelinKeys relin,
          bgv::GaloisKeys galois, uint64_t rng_seed);
@@ -46,38 +123,24 @@ class PartyA {
   // indicator-level copies used by the return phase.
   Status LoadEncryptedDatabase(std::vector<bgv::Ciphertext> units);
 
-  // Phase 1 (Algorithm 1): homomorphically computes masked, permuted
-  // distances for the encrypted query (protocol message 2 payload). A
-  // fresh masking polynomial and a fresh permutation/rotation transform
-  // are drawn per query — see the class comment; callers must not replay
-  // the outputs of one call alongside another's. The returned ciphertexts
-  // are at the transport level (level 0) in transformed order. Runs the
-  // per-unit pipeline on the internal thread pool; emits
-  // `query/party_a.distance` trace spans. O(u·(log d' + D)) HE ops.
-  StatusOr<std::vector<bgv::Ciphertext>> ComputeDistances(
-      const bgv::Ciphertext& query_ct);
-
-  // Phase 2 (Algorithm 3): absorbs Party B's indicator ciphertexts one at
-  // a time (streaming keeps memory at O(1) ciphertexts), accumulating the
-  // oblivious dot products T^j. Indicator positions refer to the
-  // TRANSFORMED order of the ComputeDistances call still in effect;
-  // interleaving a new query between phases desynchronises Π and yields
-  // garbage (but leaks nothing). One plaintext multiply (+ inverse
-  // rotation in kPacked) per indicator: O(u·k) total.
-  Status BeginReturnPhase(size_t k);
-  Status AbsorbIndicator(size_t j, size_t transformed_unit_pos,
-                         const bgv::Ciphertext& indicator);
-  // Relinearizes + switches T^j to the transport level (message 4
-  // payload). One relinearization + mod-switch chain per result.
-  StatusOr<bgv::Ciphertext> FinalizeResult(size_t j);
+  // Phase 1 (Algorithm 1): draws a fresh mask + permutation (under the
+  // RNG mutex, so concurrent StartQuery calls each get an independent
+  // transform) and homomorphically computes the masked, permuted
+  // distances for the encrypted query. Runs the per-unit pipeline on the
+  // internal thread pool; emits `party_a.distance` trace spans.
+  // O(u·(log d' + D)) HE ops.
+  StatusOr<std::unique_ptr<Query>> StartQuery(const bgv::Ciphertext& query_ct);
 
   const OpCounts& ops() const { return ops_; }
   void ResetOps() { ops_ = OpCounts(); }
   size_t num_units() const { return layout_.num_units(); }
 
-  // Exposed for tests: the transform drawn for the last query.
-  const std::vector<size_t>& last_permutation() const { return perm_; }
-  const MaskingPolynomial* last_mask() const { return mask_.get(); }
+  // Exposed for tests: the transform drawn for the most recent query
+  // (under concurrency, the most recent StartQuery to finish drawing).
+  // The pointers stay valid until the next StartQuery — single-threaded
+  // test-driver use only.
+  std::vector<size_t> last_permutation() const;
+  const MaskingPolynomial* last_mask() const;
 
  private:
   // Minimum estimated remaining noise budget (bits) observed at the end of
@@ -94,7 +157,7 @@ class PartyA {
   // is per-unit independent, so units run in parallel).
   StatusOr<bgv::Ciphertext> DistanceForUnit(size_t unit,
                                             const bgv::Ciphertext& query_ct,
-                                            const MaskingPolynomial& mask,
+                                            Query* query,
                                             Chacha20Rng* unit_rng,
                                             OpCounts* ops, PhaseNoise* noise);
 
@@ -105,32 +168,21 @@ class PartyA {
   bgv::GaloisKeys galois_;
   bgv::BatchEncoder encoder_;
   bgv::Evaluator evaluator_;
+  mutable std::mutex rng_mu_;  // guards rng_ and last_transform_
   Chacha20Rng rng_;
   ThreadPool pool_;
-  OpCounts ops_;
+  OpCounts ops_;  // setup-time work only (return-phase copies)
 
   std::vector<bgv::Ciphertext> db_top_;  // distance phase operands
   std::vector<bgv::Ciphertext> db_ret_;  // return phase operands (low level)
 
-  // Prepared plaintext operands (lifted + NTT'd once, reused across units
-  // and queries). selector_cache_ keys on the unit index: the packed-mode
-  // zeroing selector only depends on the layout. horner_cache_ keys on the
-  // mask coefficient index and is cleared at the start of every query (the
-  // mask polynomial is redrawn).
+  // Prepared selector operands (lifted + NTT'd once, reused across units
+  // AND queries — the packed-mode zeroing selector depends only on the
+  // layout, keyed by unit index). Internally mutex-guarded.
   bgv::PlainOperandCache selector_cache_;
-  bgv::PlainOperandCache horner_cache_;
 
-  // Per-query transform state.
-  std::unique_ptr<MaskingPolynomial> mask_;
-  std::vector<size_t> perm_;        // transformed position -> original unit
-  std::vector<size_t> rotations_;   // per original unit, in blocks
-  std::vector<bool> col_swapped_;   // per original unit
-  std::vector<bgv::Ciphertext> acc_;
-  std::vector<bool> acc_started_;
-  // Running minima for the return phase (reset by BeginReturnPhase),
-  // exported as `bgv.noise.party_a.{absorb,retrieve}`.
-  double min_absorb_budget_ = -1;
-  double min_retrieve_budget_ = -1;
+  // Most recent transform, for the test hooks above.
+  std::shared_ptr<const QueryTransform> last_transform_;
 };
 
 }  // namespace core

@@ -1,0 +1,739 @@
+#include "core/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "bgv/noise_model.h"
+#include "bgv/serialization.h"
+#include "bgv/symmetric.h"
+#include "common/flight_recorder.h"
+#include "common/metrics_registry.h"
+#include "common/rng.h"
+#include "common/serial.h"
+#include "common/xxhash.h"
+#include "core/data_owner.h"
+#include "net/frame.h"
+
+namespace sknn {
+namespace core {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t NsSince(Clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+}
+
+std::vector<uint8_t> CtToBytes(const bgv::Ciphertext& ct) {
+  ByteSink sink;
+  bgv::WriteCiphertext(ct, &sink);
+  return sink.TakeBytes();
+}
+
+StatusOr<bgv::Ciphertext> CtFromBytes(std::vector<uint8_t> bytes) {
+  ByteSource src(std::move(bytes));
+  return bgv::ReadCiphertext(&src);
+}
+
+std::string ToHex(uint64_t v) {
+  std::ostringstream os;
+  os << std::hex << v;
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Handshake (PROTOCOL.md "Socket transport"): one kControl frame each way,
+// raw (seq 0, outside any resilient-channel epoch), exchanged immediately
+// after connect. The dialer announces its role and deployment fingerprint;
+// the acceptor answers welcome or reject. A rejected or mismatched
+// handshake is kFailedPrecondition — fatal, no retry.
+
+constexpr const char* kHelloPrefix = "sknn-hello/1";
+constexpr const char* kWelcomePrefix = "sknn-welcome/1";
+constexpr const char* kRejectPrefix = "sknn-reject/1";
+
+Status SendControl(net::SocketChannel* ch, const std::string& text) {
+  std::vector<uint8_t> payload(text.begin(), text.end());
+  return ch->Send(net::EncodeFrame(net::MessageType::kControl, 0, payload));
+}
+
+// Receives one raw kControl frame within `budget_polls` socket polls.
+StatusOr<std::string> ReceiveControl(net::SocketChannel* ch,
+                                     int budget_polls) {
+  for (int i = 0; i < budget_polls; ++i) {
+    auto bytes = ch->Receive();
+    if (!bytes.ok()) {
+      if (bytes.status().code() == StatusCode::kUnavailable) continue;
+      return std::move(bytes).status();
+    }
+    SKNN_ASSIGN_OR_RETURN(net::Frame frame,
+                          net::DecodeFrame(std::move(bytes).value()));
+    if (frame.type != net::MessageType::kControl) {
+      return DataLossError("expected a control frame during handshake, got " +
+                           std::string(net::MessageTypeToString(frame.type)));
+    }
+    return std::string(frame.payload.begin(), frame.payload.end());
+  }
+  return DeadlineExceededError("no handshake control frame from peer of " +
+                               ch->name());
+}
+
+Status DialHandshake(net::SocketChannel* ch, const std::string& role,
+                     uint64_t fingerprint, int budget_polls) {
+  SKNN_RETURN_IF_ERROR(SendControl(
+      ch, std::string(kHelloPrefix) + " role=" + role +
+              " fp=" + ToHex(fingerprint)));
+  SKNN_ASSIGN_OR_RETURN(std::string reply, ReceiveControl(ch, budget_polls));
+  if (reply.rfind(kWelcomePrefix, 0) == 0) return Status::Ok();
+  if (reply.rfind(kRejectPrefix, 0) == 0) {
+    return FailedPreconditionError("peer rejected handshake: " + reply);
+  }
+  return DataLossError("malformed handshake reply: " + reply);
+}
+
+// Acceptor side; returns the dialer's role on success.
+StatusOr<std::string> AcceptHandshake(net::SocketChannel* ch,
+                                      uint64_t fingerprint,
+                                      int budget_polls) {
+  SKNN_ASSIGN_OR_RETURN(std::string hello, ReceiveControl(ch, budget_polls));
+  if (hello.rfind(kHelloPrefix, 0) != 0) {
+    (void)SendControl(ch, std::string(kRejectPrefix) + " reason=bad-hello");
+    return FailedPreconditionError("malformed hello: " + hello);
+  }
+  const std::string want = " fp=" + ToHex(fingerprint);
+  if (hello.find(want) == std::string::npos) {
+    (void)SendControl(
+        ch, std::string(kRejectPrefix) + " reason=fingerprint-mismatch");
+    return FailedPreconditionError(
+        "handshake fingerprint mismatch (peer sent \"" + hello +
+        "\", expected fingerprint " + ToHex(fingerprint) +
+        "): the two processes derived different deployments — check that "
+        "--seed, the dataset, and every protocol flag agree");
+  }
+  std::string role = "unknown";
+  const size_t role_pos = hello.find(" role=");
+  if (role_pos != std::string::npos) {
+    const size_t start = role_pos + 6;
+    const size_t end = hello.find(' ', start);
+    role = hello.substr(start, end == std::string::npos ? end : end - start);
+  }
+  SKNN_RETURN_IF_ERROR(SendControl(
+      ch, std::string(kWelcomePrefix) + " fp=" + ToHex(fingerprint)));
+  return role;
+}
+
+// Waits for the connection to have traffic, polling `idle_poll_ms` at a
+// time so `stop` stays responsive. Returns false on stop, error when the
+// peer is gone.
+StatusOr<bool> WaitForTraffic(net::SocketChannel* ch, int idle_poll_ms,
+                              const std::atomic<bool>& stop) {
+  while (!stop.load(std::memory_order_relaxed)) {
+    SKNN_ASSIGN_OR_RETURN(bool readable, ch->WaitReadable(idle_poll_ms));
+    if (readable) return true;
+  }
+  return false;
+}
+
+// Query outcome control line: "ok k=N" or "err CODE message".
+std::string OkControl(size_t k) { return "ok k=" + std::to_string(k); }
+
+std::string ErrControl(const Status& status) {
+  return std::string("err ") + StatusCodeToString(status.code()) + " " +
+         status.message();
+}
+
+Status ParseControlReply(const std::string& reply, size_t* k_out) {
+  if (reply.rfind("ok k=", 0) == 0) {
+    *k_out = static_cast<size_t>(std::stoul(reply.substr(5)));
+    return Status::Ok();
+  }
+  if (reply.rfind("err ", 0) == 0) {
+    const std::string rest = reply.substr(4);
+    const size_t sp = rest.find(' ');
+    const std::string code = rest.substr(0, sp);
+    const std::string msg =
+        sp == std::string::npos ? "" : rest.substr(sp + 1);
+    if (code == "UNAVAILABLE") return UnavailableError(msg);
+    if (code == "DEADLINE_EXCEEDED") return DeadlineExceededError(msg);
+    if (code == "DATA_LOSS") return DataLossError(msg);
+    if (code == "ABORTED") return AbortedError(msg);
+    if (code == "INVALID_ARGUMENT") return InvalidArgumentError(msg);
+    if (code == "FAILED_PRECONDITION") return FailedPreconditionError(msg);
+    return InternalError(code + ": " + msg);
+  }
+  return DataLossError("malformed query control reply: " + reply);
+}
+
+MetricsRegistry::Counter* ServerCounter(const char* name) {
+  return MetricsRegistry::Global().GetCounter(name);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Deployment
+
+StatusOr<Deployment> Deployment::Derive(const ProtocolConfig& config,
+                                        const data::Dataset& dataset,
+                                        uint64_t seed, bool role_a) {
+  SKNN_ASSIGN_OR_RETURN(std::unique_ptr<DataOwner> owner,
+                        DataOwner::Create(config, dataset, seed));
+  Deployment d;
+  d.config = config;
+  d.ctx = owner->context();
+  d.layout = owner->layout();
+  d.sk = owner->sk();
+  d.pk = owner->pk();
+  d.relin = owner->relin();
+  d.galois = owner->galois();
+  // The same derivation chain as SecureKnnSession::Create — a server
+  // deployment and a local session at the same seed draw identical party
+  // seeds.
+  Chacha20Rng seeder(seed ^ 0x5eC0DEull);
+  d.party_a_seed = seeder.NextU64();
+  d.party_b_seed = seeder.NextU64();
+  d.client_seed = seeder.NextU64();
+  // Fingerprint: config + dataset shape + seed. Two processes that derive
+  // from different flags or data disagree here and fail the handshake
+  // instead of mis-decrypting each other's ciphertexts.
+  std::ostringstream fp;
+  fp << config.DebugString() << "|n=" << dataset.num_points()
+     << "|d=" << dataset.dims() << "|seed=" << seed;
+  const std::string fp_str = fp.str();
+  d.fingerprint = Xxh64(fp_str.data(), fp_str.size(), 0x736b6e6e);
+  if (role_a) {
+    SKNN_ASSIGN_OR_RETURN(d.encrypted_db, owner->EncryptDatabase());
+  }
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionQueue
+
+template <typename T>
+AdmissionQueue<T>::AdmissionQueue(size_t capacity) : capacity_(capacity) {
+  MetricsRegistry::Global()
+      .GetGauge("queue.capacity")
+      ->Set(static_cast<double>(capacity));
+  MetricsRegistry::Global().GetGauge("queue.depth")->Set(0);
+}
+
+template <typename T>
+bool AdmissionQueue<T>::TryPush(T item) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_ || items_.size() >= capacity_) {
+      ServerCounter("queue.shed")->Increment();
+      return false;
+    }
+    items_.push_back(std::move(item));
+    MetricsRegistry::Global()
+        .GetGauge("queue.depth")
+        ->Set(static_cast<double>(items_.size()));
+  }
+  ServerCounter("queue.enqueued")->Increment();
+  cv_.notify_one();
+  return true;
+}
+
+template <typename T>
+bool AdmissionQueue<T>::Pop(T* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return stopped_ || !items_.empty(); });
+  if (items_.empty()) return false;
+  *out = std::move(items_.front());
+  items_.pop_front();
+  MetricsRegistry::Global()
+      .GetGauge("queue.depth")
+      ->Set(static_cast<double>(items_.size()));
+  return true;
+}
+
+template <typename T>
+void AdmissionQueue<T>::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+  }
+  cv_.notify_all();
+}
+
+template <typename T>
+size_t AdmissionQueue<T>::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+// ---------------------------------------------------------------------------
+// PartyBServer
+
+PartyBServer::PartyBServer(Deployment deployment, ServerOptions options)
+    : deployment_(std::move(deployment)), options_(std::move(options)) {}
+
+StatusOr<std::unique_ptr<PartyBServer>> PartyBServer::Start(
+    const Deployment& deployment, const ServerOptions& options) {
+  auto server = std::unique_ptr<PartyBServer>(
+      new PartyBServer(deployment, options));
+  SKNN_ASSIGN_OR_RETURN(
+      server->listener_,
+      net::SocketListener::Listen(options.listen_host, options.listen_port));
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+PartyBServer::~PartyBServer() { Shutdown(); }
+
+uint16_t PartyBServer::port() const { return listener_->port(); }
+
+void PartyBServer::Shutdown() {
+  if (stop_.exchange(true)) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_->Close();
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conns.swap(conn_threads_);
+  }
+  for (std::thread& t : conns) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void PartyBServer::AcceptLoop() {
+  uint64_t conn_id = 0;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    auto conn = listener_->Accept(options_.accept_poll_ms,
+                                  "B conn " + std::to_string(conn_id));
+    if (!conn.ok()) continue;  // timeout or transient; poll again
+    ServerCounter("server.connections.accepted")->Increment();
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_threads_.emplace_back(
+        [this, c = std::move(conn).value(), id = conn_id]() mutable {
+          ServeConnection(std::move(c), id);
+        });
+    ++conn_id;
+  }
+}
+
+Status PartyBServer::ServeQuery(PartyB* party_b, net::ResilientChannel* ch) {
+  // One query on this connection: u distance frames in, k_eff * u
+  // indicator frames out. Both counts are derived independently on each
+  // side from the shared deployment (PROTOCOL.md "Socket transport").
+  const size_t units = deployment_.layout.num_units();
+  std::vector<bgv::Ciphertext> received;
+  received.reserve(units);
+  for (size_t i = 0; i < units; ++i) {
+    SKNN_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                          ch->ReceiveMessage(net::MessageType::kDistances));
+    SKNN_ASSIGN_OR_RETURN(bgv::Ciphertext ct, CtFromBytes(std::move(bytes)));
+    received.push_back(std::move(ct));
+  }
+  SKNN_ASSIGN_OR_RETURN(size_t effective_k,
+                        party_b->FindNeighbours(received, deployment_.config.k));
+  for (size_t j = 0; j < effective_k; ++j) {
+    if (deployment_.config.compress_indicators) {
+      SKNN_ASSIGN_OR_RETURN(std::vector<bgv::SeededCiphertext> row,
+                            party_b->EmitIndicatorsCompressedForResult(j));
+      for (size_t pos = 0; pos < units; ++pos) {
+        ByteSink sink;
+        bgv::WriteSeededCiphertext(row[pos], &sink);
+        SKNN_RETURN_IF_ERROR(
+            ch->SendMessage(net::MessageType::kIndicators, sink.bytes()));
+      }
+    } else {
+      SKNN_ASSIGN_OR_RETURN(std::vector<bgv::Ciphertext> row,
+                            party_b->EmitIndicatorsForResult(j));
+      for (size_t pos = 0; pos < units; ++pos) {
+        ByteSink sink;
+        bgv::WriteCiphertext(row[pos], &sink);
+        SKNN_RETURN_IF_ERROR(
+            ch->SendMessage(net::MessageType::kIndicators, sink.bytes()));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+void PartyBServer::ServeConnection(std::unique_ptr<net::SocketChannel> conn,
+                                   uint64_t conn_id) {
+  MetricsRegistry::Gauge* active =
+      MetricsRegistry::Global().GetGauge("server.connections.active");
+  active->Set(active->value() + 1);
+  conn->set_io_poll_ms(options_.io_poll_ms);
+  auto role = AcceptHandshake(conn.get(), deployment_.fingerprint,
+                              options_.retry.max_receive_polls);
+  if (role.ok()) {
+    // One PartyB per connection: selection state and indicator RNG draws
+    // are connection-local, so concurrent A workers cannot interleave
+    // (per-connection isolation, DESIGN.md §9). The seed is decorrelated
+    // per connection; indicator freshness needs unique seeds, not a
+    // shared transcript.
+    PartyB party_b(deployment_.ctx, deployment_.config, deployment_.layout,
+                   deployment_.sk, deployment_.pk,
+                   deployment_.party_b_seed ^
+                       (0x9E3779B97F4A7C15ull * (conn_id + 1)));
+    net::ResilientChannel ch(conn.get(), options_.retry, conn_id, "B-serve");
+    while (!stop_.load(std::memory_order_relaxed)) {
+      auto traffic = WaitForTraffic(conn.get(), options_.idle_poll_ms, stop_);
+      if (!traffic.ok() || !traffic.value()) break;
+      // Per-query epoch: sequence spaces restart at the query boundary on
+      // both ends (the A worker resets before its first distance frame).
+      ch.ResetEpoch();
+      Status s = ServeQuery(&party_b, &ch);
+      if (!s.ok()) break;  // desync or peer loss: drop the connection
+      ServerCounter("server.b.queries_served")->Increment();
+    }
+  }
+  conn->Close();
+  active->Set(active->value() - 1);
+}
+
+// ---------------------------------------------------------------------------
+// PartyAServer
+
+struct PartyAServer::Job {
+  bgv::Ciphertext query_ct;
+  Clock::time_point enqueued_at;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Status status;
+  size_t effective_k = 0;
+  // Serialized result ciphertexts; the connection handler frames them in
+  // its own sequence space (the worker does not know the client's seq).
+  std::vector<std::vector<uint8_t>> result_payloads;
+};
+
+PartyAServer::PartyAServer(Deployment deployment, ServerOptions options)
+    : deployment_(std::move(deployment)), options_(std::move(options)) {}
+
+StatusOr<std::unique_ptr<PartyAServer>> PartyAServer::Start(
+    const Deployment& deployment, const ServerOptions& options) {
+  if (deployment.encrypted_db.empty()) {
+    return FailedPreconditionError(
+        "PartyAServer needs a deployment derived with role_a=true (the "
+        "encrypted database)");
+  }
+  auto server = std::unique_ptr<PartyAServer>(
+      new PartyAServer(deployment, options));
+  server->party_a_ = std::make_unique<PartyA>(
+      deployment.ctx, deployment.config, deployment.layout, deployment.pk,
+      deployment.relin, deployment.galois, deployment.party_a_seed);
+  SKNN_RETURN_IF_ERROR(
+      server->party_a_->LoadEncryptedDatabase(server->deployment_.encrypted_db));
+  server->deployment_.encrypted_db.clear();
+
+  server->queue_ = std::make_unique<AdmissionQueue<std::shared_ptr<Job>>>(
+      options.queue_capacity);
+  // Persistent worker connections to B, established before we accept any
+  // client (fail fast when B is unreachable or derived differently).
+  server->b_raw_.resize(options.workers);
+  server->b_ch_.resize(options.workers);
+  for (size_t w = 0; w < options.workers; ++w) {
+    SKNN_RETURN_IF_ERROR(server->ConnectWorkerToB(w));
+  }
+  MetricsRegistry::Global()
+      .GetGauge("server.workers")
+      ->Set(static_cast<double>(options.workers));
+  SKNN_ASSIGN_OR_RETURN(
+      server->listener_,
+      net::SocketListener::Listen(options.listen_host, options.listen_port));
+  for (size_t w = 0; w < options.workers; ++w) {
+    server->workers_.emplace_back([s = server.get(), w] { s->WorkerLoop(w); });
+  }
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+PartyAServer::~PartyAServer() { Shutdown(); }
+
+uint16_t PartyAServer::port() const { return listener_->port(); }
+
+void PartyAServer::Shutdown() {
+  if (stop_.exchange(true)) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_->Close();
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conns.swap(conn_threads_);
+  }
+  for (std::thread& t : conns) {
+    if (t.joinable()) t.join();
+  }
+  queue_->Stop();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  for (auto& ch : b_raw_) {
+    if (ch) ch->Close();
+  }
+}
+
+Status PartyAServer::ConnectWorkerToB(size_t worker_index) {
+  SKNN_ASSIGN_OR_RETURN(
+      std::unique_ptr<net::SocketChannel> conn,
+      net::ConnectSocket(options_.peer_host, options_.peer_port,
+                         options_.connect_timeout_ms,
+                         "A->B worker " + std::to_string(worker_index)));
+  conn->set_io_poll_ms(options_.io_poll_ms);
+  SKNN_RETURN_IF_ERROR(DialHandshake(conn.get(), "party_a",
+                                     deployment_.fingerprint,
+                                     options_.retry.max_receive_polls));
+  b_raw_[worker_index] = std::move(conn);
+  b_ch_[worker_index] = std::make_unique<net::ResilientChannel>(
+      b_raw_[worker_index].get(), options_.retry, worker_index,
+      "A-worker-" + std::to_string(worker_index));
+  return Status::Ok();
+}
+
+void PartyAServer::AcceptLoop() {
+  uint64_t conn_id = 0;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    auto conn = listener_->Accept(options_.accept_poll_ms,
+                                  "A client conn " + std::to_string(conn_id));
+    if (!conn.ok()) continue;
+    ServerCounter("server.connections.accepted")->Increment();
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_threads_.emplace_back(
+        [this, c = std::move(conn).value(), id = conn_id]() mutable {
+          ServeConnection(std::move(c), id);
+        });
+    ++conn_id;
+  }
+}
+
+Status PartyAServer::RunQueryOnWorker(size_t worker_index, Job* job) {
+  net::ResilientChannel& ch = *b_ch_[worker_index];
+  // Per-query epoch on this worker's B connection (the B side resets when
+  // it wakes for our first frame).
+  ch.ResetEpoch();
+  SKNN_ASSIGN_OR_RETURN(std::unique_ptr<PartyA::Query> query,
+                        party_a_->StartQuery(job->query_ct));
+  for (const bgv::Ciphertext& ct : query->distances()) {
+    ByteSink sink;
+    bgv::WriteCiphertext(ct, &sink);
+    SKNN_RETURN_IF_ERROR(
+        ch.SendMessage(net::MessageType::kDistances, sink.bytes()));
+  }
+  // B clamps k to the point count the same way (party_b.cc); both sides
+  // derive the indicator frame count without a control message.
+  const size_t effective_k =
+      std::min<size_t>(deployment_.config.k, deployment_.layout.num_points());
+  SKNN_RETURN_IF_ERROR(query->BeginReturnPhase(effective_k));
+  const size_t units = deployment_.layout.num_units();
+  const bgv::NoiseModel noise_model(*deployment_.ctx);
+  for (size_t j = 0; j < effective_k; ++j) {
+    for (size_t pos = 0; pos < units; ++pos) {
+      SKNN_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                            ch.ReceiveMessage(net::MessageType::kIndicators));
+      bgv::Ciphertext ind;
+      if (deployment_.config.compress_indicators) {
+        ByteSource src(std::move(bytes));
+        SKNN_ASSIGN_OR_RETURN(bgv::SeededCiphertext seeded,
+                              bgv::ReadSeededCiphertext(&src));
+        SKNN_ASSIGN_OR_RETURN(ind,
+                              bgv::ExpandSeeded(*deployment_.ctx, seeded));
+      } else {
+        SKNN_ASSIGN_OR_RETURN(ind, CtFromBytes(std::move(bytes)));
+        ind.noise_bits = noise_model.FreshPkNoiseBits();
+      }
+      SKNN_RETURN_IF_ERROR(query->AbsorbIndicator(j, pos, ind));
+    }
+  }
+  job->result_payloads.reserve(effective_k);
+  for (size_t j = 0; j < effective_k; ++j) {
+    SKNN_ASSIGN_OR_RETURN(bgv::Ciphertext ct, query->FinalizeResult(j));
+    job->result_payloads.push_back(CtToBytes(ct));
+  }
+  job->effective_k = effective_k;
+  return Status::Ok();
+}
+
+void PartyAServer::WorkerLoop(size_t worker_index) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  MetricsRegistry::Histogram* queue_wait =
+      registry.GetHistogram("latency_ns.server.queue_wait");
+  MetricsRegistry::Histogram* query_latency =
+      registry.GetHistogram("latency_ns.server.query");
+  std::shared_ptr<Job> job;
+  while (queue_->Pop(&job)) {
+    queue_wait->Record(NsSince(job->enqueued_at));
+    const int delay = worker_delay_ms_.load(std::memory_order_relaxed);
+    if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+    const auto t0 = Clock::now();
+    const uint64_t bytes_before = b_raw_[worker_index]->bytes_sent() +
+                                  b_raw_[worker_index]->bytes_received();
+    Status status = RunQueryOnWorker(worker_index, job.get());
+    const double seconds = static_cast<double>(NsSince(t0)) * 1e-9;
+    query_latency->Record(NsSince(job->enqueued_at));
+    if (status.ok()) {
+      ServerCounter("server.queries.completed")->Increment();
+    } else {
+      ServerCounter("server.queries.failed")->Increment();
+      // The worker's B connection may hold half a query's frames; the only
+      // cross-process drain is a fresh connection (PROTOCOL.md).
+      if (!stop_.load(std::memory_order_relaxed)) {
+        b_raw_[worker_index]->Close();
+        if (ConnectWorkerToB(worker_index).ok()) {
+          ServerCounter("server.worker.reconnects")->Increment();
+        }
+      }
+    }
+    // One flight record per server-side query: shape, A-side duration,
+    // A<->B bytes moved, outcome (OPERATIONS.md "Reading the flight
+    // recorder").
+    FlightRecord record;
+    record.num_points = deployment_.layout.num_points();
+    record.dims = deployment_.layout.dims();
+    record.k = deployment_.config.k;
+    record.phases.push_back(
+        {"server.query", seconds,
+         b_raw_[worker_index]->bytes_sent() +
+             b_raw_[worker_index]->bytes_received() - bytes_before,
+         -1});
+    record.ok = status.ok();
+    record.status = status.ok() ? "ok" : status.message();
+    FlightRecorder::Global().Add(std::move(record));
+    {
+      std::lock_guard<std::mutex> lock(job->mu);
+      job->status = std::move(status);
+      job->done = true;
+    }
+    job->cv.notify_all();
+    job.reset();
+  }
+}
+
+void PartyAServer::ServeConnection(std::unique_ptr<net::SocketChannel> conn,
+                                   uint64_t conn_id) {
+  MetricsRegistry::Gauge* active =
+      MetricsRegistry::Global().GetGauge("server.connections.active");
+  active->Set(active->value() + 1);
+  conn->set_io_poll_ms(options_.io_poll_ms);
+  auto role = AcceptHandshake(conn.get(), deployment_.fingerprint,
+                              options_.retry.max_receive_polls);
+  if (role.ok()) {
+    net::ResilientChannel ch(conn.get(), options_.retry, conn_id, "A-serve");
+    while (!stop_.load(std::memory_order_relaxed)) {
+      auto traffic = WaitForTraffic(conn.get(), options_.idle_poll_ms, stop_);
+      if (!traffic.ok() || !traffic.value()) break;
+      ch.ResetEpoch();
+      auto query_bytes = ch.ReceiveMessage(net::MessageType::kQuery);
+      if (!query_bytes.ok()) break;
+      Status outcome;
+      std::shared_ptr<Job> job = std::make_shared<Job>();
+      auto ct = CtFromBytes(std::move(query_bytes).value());
+      if (!ct.ok()) {
+        outcome = ct.status();
+      } else {
+        job->query_ct = std::move(ct).value();
+        // The wire strips the noise estimate; a client query is a fresh
+        // public-key encryption.
+        job->query_ct.noise_bits =
+            bgv::NoiseModel(*deployment_.ctx).FreshPkNoiseBits();
+        job->enqueued_at = Clock::now();
+        ServerCounter("server.queries.accepted")->Increment();
+        if (!queue_->TryPush(job)) {
+          // Backpressure: typed shed, never a hang (DESIGN.md §9).
+          ServerCounter("server.queries.shed")->Increment();
+          outcome = UnavailableError(
+              "admission queue full (" +
+              std::to_string(options_.queue_capacity) +
+              " queued); retry with backoff");
+        } else {
+          std::unique_lock<std::mutex> lock(job->mu);
+          job->cv.wait(lock, [&] { return job->done; });
+          outcome = job->status;
+        }
+      }
+      Status reply_status;
+      if (outcome.ok()) {
+        reply_status = ch.SendMessage(
+            net::MessageType::kControl,
+            std::vector<uint8_t>(OkControl(job->effective_k).begin(),
+                                 OkControl(job->effective_k).end()));
+        for (const std::vector<uint8_t>& payload : job->result_payloads) {
+          if (!reply_status.ok()) break;
+          reply_status =
+              ch.SendMessage(net::MessageType::kResults, payload);
+        }
+      } else {
+        const std::string err = ErrControl(outcome);
+        reply_status = ch.SendMessage(
+            net::MessageType::kControl,
+            std::vector<uint8_t>(err.begin(), err.end()));
+      }
+      if (!reply_status.ok()) break;
+    }
+  }
+  conn->Close();
+  active->Set(active->value() - 1);
+}
+
+// ---------------------------------------------------------------------------
+// RemoteClient
+
+RemoteClient::RemoteClient(const Deployment& deployment,
+                           const ServerOptions& options)
+    : config_(deployment.config), options_(options) {
+  client_ = std::make_unique<Client>(deployment.ctx, deployment.config,
+                                     deployment.layout, deployment.pk,
+                                     deployment.sk, deployment.client_seed);
+}
+
+StatusOr<std::unique_ptr<RemoteClient>> RemoteClient::Connect(
+    const Deployment& deployment, const std::string& host, uint16_t port,
+    const ServerOptions& options) {
+  auto rc = std::unique_ptr<RemoteClient>(
+      new RemoteClient(deployment, options));
+  SKNN_ASSIGN_OR_RETURN(
+      rc->conn_, net::ConnectSocket(host, port, options.connect_timeout_ms,
+                                    "client->A"));
+  rc->conn_->set_io_poll_ms(options.io_poll_ms);
+  SKNN_RETURN_IF_ERROR(DialHandshake(rc->conn_.get(), "client",
+                                     deployment.fingerprint,
+                                     options.retry.max_receive_polls));
+  rc->ch_ = std::make_unique<net::ResilientChannel>(
+      rc->conn_.get(), options.retry, /*seed=*/port, "client");
+  return rc;
+}
+
+StatusOr<std::vector<std::vector<uint64_t>>> RemoteClient::Query(
+    const std::vector<uint64_t>& query) {
+  ++queries_;
+  // Per-query epoch, mirrored by the server's connection handler.
+  ch_->ResetEpoch();
+  SKNN_ASSIGN_OR_RETURN(bgv::Ciphertext query_ct,
+                        client_->EncryptQuery(query));
+  SKNN_RETURN_IF_ERROR(
+      ch_->SendMessage(net::MessageType::kQuery, CtToBytes(query_ct)));
+  SKNN_ASSIGN_OR_RETURN(std::vector<uint8_t> reply_bytes,
+                        ch_->ReceiveMessage(net::MessageType::kControl));
+  const std::string reply(reply_bytes.begin(), reply_bytes.end());
+  size_t k = 0;
+  SKNN_RETURN_IF_ERROR(ParseControlReply(reply, &k));
+  std::vector<std::vector<uint64_t>> neighbours;
+  neighbours.reserve(k);
+  for (size_t j = 0; j < k; ++j) {
+    SKNN_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                          ch_->ReceiveMessage(net::MessageType::kResults));
+    SKNN_ASSIGN_OR_RETURN(bgv::Ciphertext ct, CtFromBytes(std::move(bytes)));
+    SKNN_ASSIGN_OR_RETURN(std::vector<uint64_t> point,
+                          client_->DecryptNeighbour(ct));
+    neighbours.push_back(std::move(point));
+  }
+  return neighbours;
+}
+
+template class AdmissionQueue<std::shared_ptr<PartyAServer::Job>>;
+template class AdmissionQueue<int>;  // unit-test instantiation
+
+}  // namespace core
+}  // namespace sknn

@@ -1,0 +1,241 @@
+#ifndef SKNN_CORE_SERVER_H_
+#define SKNN_CORE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bgv/ciphertext.h"
+#include "bgv/context.h"
+#include "bgv/keys.h"
+#include "core/client.h"
+#include "core/layout.h"
+#include "core/party_a.h"
+#include "core/party_b.h"
+#include "core/protocol_config.h"
+#include "data/dataset.h"
+#include "net/resilient_channel.h"
+#include "net/socket_link.h"
+
+// The two-cloud deployment in server form (OPERATIONS.md): long-lived
+// Party A and Party B processes on the socket transport, serving many
+// concurrent client sessions.
+//
+//   client ──kQuery──▶ PartyAServer ──kDistances──▶ PartyBServer
+//   client ◀─kResults── (worker pool) ◀─kIndicators── (per-connection B)
+//
+// Party A accepts client connections, admits each query into a bounded
+// queue (backpressure: a full queue sheds with a typed kUnavailable
+// control reply — DESIGN.md §9), and a pool of workers drains the queue.
+// Every worker owns a persistent connection to Party B; one query's
+// A<->B exchange runs on exactly one worker connection with a fresh
+// resilient-channel epoch, so concurrent queries never interleave frames.
+// Party B spawns one thread + one PartyB instance per inbound connection.
+//
+// Key distribution follows Figure 2 of the paper: every process derives
+// its key material locally from the shared data-owner seed (`Deployment`)
+// instead of shipping keys over the wire; the handshake fingerprint
+// rejects peers whose derivation diverged.
+
+namespace sknn {
+namespace core {
+
+// Everything a server-side process derives from the data-owner seed:
+// context, layout, key material, per-party RNG seeds (the same derivation
+// chain as SecureKnnSession::Create, so a server deployment at seed s is
+// transcript-compatible with a local session at seed s), and the
+// handshake fingerprint.
+struct Deployment {
+  // `role_a`: also encrypt the database (only Party A needs the encrypted
+  // units; B and clients skip the O(u) encryption work).
+  static StatusOr<Deployment> Derive(const ProtocolConfig& config,
+                                     const data::Dataset& dataset,
+                                     uint64_t seed, bool role_a);
+
+  ProtocolConfig config;
+  std::shared_ptr<const bgv::BgvContext> ctx;
+  SlotLayout layout;
+  bgv::SecretKey sk;
+  bgv::PublicKey pk;
+  bgv::RelinKeys relin;
+  bgv::GaloisKeys galois;
+  uint64_t party_a_seed = 0;
+  uint64_t party_b_seed = 0;
+  uint64_t client_seed = 0;
+  // XXH64 over (config, dataset shape, seed): both ends of every
+  // connection must agree or the handshake is rejected.
+  uint64_t fingerprint = 0;
+  std::vector<bgv::Ciphertext> encrypted_db;  // role_a only
+};
+
+struct ServerOptions {
+  std::string listen_host = "127.0.0.1";
+  uint16_t listen_port = 0;  // 0 = ephemeral, read back with port()
+  // Party A only: where Party B listens.
+  std::string peer_host = "127.0.0.1";
+  uint16_t peer_port = 0;
+  // Party A only: worker pool size == number of persistent A->B
+  // connections == max queries in flight.
+  size_t workers = 2;
+  // Party A only: admission queue capacity; a query arriving when
+  // `queue_capacity` jobs are already waiting is shed with kUnavailable.
+  size_t queue_capacity = 8;
+  int accept_poll_ms = 50;
+  // Per-receive socket poll window; multiplied by retry.max_receive_polls
+  // this bounds how long one end waits for the other's next frame.
+  int io_poll_ms = 20;
+  // How often idle connection threads wake to check for shutdown.
+  int idle_poll_ms = 100;
+  int connect_timeout_ms = 5000;
+  net::RetryPolicy retry = ServerRetryPolicy();
+
+  // Wire-friendly defaults: protocol phases take real time, so the
+  // per-message receive budget is ~10s (500 polls x 20ms) instead of the
+  // in-memory session's few-ms budget.
+  static net::RetryPolicy ServerRetryPolicy() {
+    net::RetryPolicy p;
+    p.max_receive_polls = 500;
+    p.max_leg_retries = 0;  // cross-process legs fail fast; see PROTOCOL.md
+    p.base_backoff_us = 200;
+    p.max_backoff_us = 5000;
+    return p;
+  }
+};
+
+// Bounded multi-producer multi-consumer admission queue. TryPush returns
+// false when full (the caller sheds); Pop blocks until an item or Stop.
+// Exports queue.depth / queue.capacity gauges and queue.enqueued /
+// queue.shed counters.
+template <typename T>
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(size_t capacity);
+
+  bool TryPush(T item);
+  // Returns false when stopped and empty.
+  bool Pop(T* out);
+  void Stop();
+  size_t depth() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool stopped_ = false;
+};
+
+// Party B as a server: accepts connections from Party A workers, runs
+// FindNeighbours + indicator emission per query, one thread and one
+// PartyB instance per connection (per-connection isolation: a connection
+// never shares selection state or RNG draws with another).
+class PartyBServer {
+ public:
+  static StatusOr<std::unique_ptr<PartyBServer>> Start(
+      const Deployment& deployment, const ServerOptions& options);
+  ~PartyBServer();
+
+  uint16_t port() const;
+  void Shutdown();
+
+ private:
+  PartyBServer(Deployment deployment, ServerOptions options);
+  void AcceptLoop();
+  void ServeConnection(std::unique_ptr<net::SocketChannel> conn,
+                       uint64_t conn_id);
+  Status ServeQuery(PartyB* party_b, net::ResilientChannel* ch);
+
+  Deployment deployment_;
+  ServerOptions options_;
+  std::unique_ptr<net::SocketListener> listener_;
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+};
+
+// Party A as a server: accepts client connections, admission-controls
+// queries into the worker pool, runs the A side of the protocol against
+// Party B over per-worker persistent connections, and returns encrypted
+// results. Exports server.* and queue.* metrics and appends one flight
+// record per query.
+class PartyAServer {
+ public:
+  // Connects `options.workers` channels to Party B (handshaking each)
+  // before accepting clients; fails if B is unreachable.
+  static StatusOr<std::unique_ptr<PartyAServer>> Start(
+      const Deployment& deployment, const ServerOptions& options);
+  ~PartyAServer();
+
+  uint16_t port() const;
+  void Shutdown();
+
+  // Test hook: artificial per-query delay in the worker (exercises
+  // backpressure deterministically).
+  void set_worker_delay_ms_for_test(int ms) { worker_delay_ms_ = ms; }
+
+ private:
+  struct Job;
+
+  PartyAServer(Deployment deployment, ServerOptions options);
+  void AcceptLoop();
+  void ServeConnection(std::unique_ptr<net::SocketChannel> conn,
+                       uint64_t conn_id);
+  void WorkerLoop(size_t worker_index);
+  // The A side of one query against B on this worker's channel. Fills
+  // job->result_frames on success.
+  Status RunQueryOnWorker(size_t worker_index, Job* job);
+  Status ConnectWorkerToB(size_t worker_index);
+
+  Deployment deployment_;
+  ServerOptions options_;
+  std::unique_ptr<PartyA> party_a_;
+  std::unique_ptr<net::SocketListener> listener_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> worker_delay_ms_{0};
+
+  std::unique_ptr<AdmissionQueue<std::shared_ptr<Job>>> queue_;
+  // Worker w owns b_raw_[w] (socket) wrapped by b_ch_[w] (resilient).
+  std::vector<std::unique_ptr<net::SocketChannel>> b_raw_;
+  std::vector<std::unique_ptr<net::ResilientChannel>> b_ch_;
+  std::vector<std::thread> workers_;
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+};
+
+// A protocol client over the socket transport: connects to Party A,
+// handshakes, then runs queries (encrypt -> kQuery -> control reply ->
+// kResults -> decrypt). One connection serves many sequential queries;
+// create one RemoteClient per concurrent client thread.
+class RemoteClient {
+ public:
+  static StatusOr<std::unique_ptr<RemoteClient>> Connect(
+      const Deployment& deployment, const std::string& host, uint16_t port,
+      const ServerOptions& options);
+
+  // Runs one query end-to-end. A shed returns the server's typed
+  // kUnavailable; transport failures surface as their transient codes.
+  StatusOr<std::vector<std::vector<uint64_t>>> Query(
+      const std::vector<uint64_t>& query);
+
+ private:
+  RemoteClient(const Deployment& deployment, const ServerOptions& options);
+
+  ProtocolConfig config_;
+  ServerOptions options_;
+  std::unique_ptr<Client> client_;
+  std::unique_ptr<net::SocketChannel> conn_;
+  std::unique_ptr<net::ResilientChannel> ch_;
+  uint64_t queries_ = 0;
+};
+
+}  // namespace core
+}  // namespace sknn
+
+#endif  // SKNN_CORE_SERVER_H_

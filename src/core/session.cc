@@ -235,17 +235,32 @@ StatusOr<QueryResult> SecureKnnSession::RunQuery(
 Status SecureKnnSession::RunQueryInternal(const std::vector<uint64_t>& query,
                                           QueryResult* out) {
   QueryResult& result = *out;
-  party_a_->ResetOps();
   party_b_->ResetOps();
   client_->ResetOps();
 
-  // Per-query transport stack: byte-counted raw link, optional seeded
-  // fault injection, framed + retrying endpoints (PROTOCOL.md "Frame
-  // envelope & recovery").
-  net::InMemoryLink ab_link;
+  // Per-query transport stack: byte-counted raw link (in-memory deques or
+  // a loopback TCP pair, selected by SetTransport), optional seeded fault
+  // injection, framed + retrying endpoints (PROTOCOL.md "Frame envelope &
+  // recovery").
+  net::InMemoryLink mem_link;
+  std::unique_ptr<net::SocketLink> sock_link;
+  net::Channel* a_raw;
+  net::Channel* b_raw;
+  std::function<void()> link_drain;
+  std::function<const net::LinkStats&()> link_stats;
+  if (transport_ == Transport::kSocket) {
+    SKNN_ASSIGN_OR_RETURN(sock_link, net::SocketLink::Create());
+    a_raw = sock_link->a_endpoint();
+    b_raw = sock_link->b_endpoint();
+    link_drain = [&]() { sock_link->Drain(); };
+    link_stats = [&]() -> const net::LinkStats& { return sock_link->stats(); };
+  } else {
+    a_raw = mem_link.a_endpoint();
+    b_raw = mem_link.b_endpoint();
+    link_drain = [&]() { mem_link.Drain(); };
+    link_stats = [&]() -> const net::LinkStats& { return mem_link.stats(); };
+  }
   std::unique_ptr<net::FaultyLink> faulty;
-  net::Channel* a_raw = ab_link.a_endpoint();
-  net::Channel* b_raw = ab_link.b_endpoint();
   if (fault_spec_.any()) {
     faulty = std::make_unique<net::FaultyLink>(
         a_raw, b_raw, fault_spec_, fault_spec_, fault_seed_ + queries_run_);
@@ -259,7 +274,7 @@ Status SecureKnnSession::RunQueryInternal(const std::vector<uint64_t>& query,
   // queues or staged inside the fault injector — may survive into the
   // re-issue, so sequence spaces can restart from a clean slate.
   auto drain = [&]() {
-    ab_link.Drain();
+    link_drain();
     if (faulty) faulty->Reset();
     a_ch.ResetEpoch();
     b_ch.ResetEpoch();
@@ -267,10 +282,10 @@ Status SecureKnnSession::RunQueryInternal(const std::vector<uint64_t>& query,
   // Publish the link byte counts into the result on every exit path — the
   // flight record wants the bytes moved before an error, too.
   struct LinkStatsGuard {
-    net::InMemoryLink* link;
+    const std::function<const net::LinkStats&()>& stats;
     QueryResult* result;
-    ~LinkStatsGuard() { result->ab_link = link->stats(); }
-  } link_stats_guard{&ab_link, &result};
+    ~LinkStatsGuard() { result->ab_link = stats(); }
+  } link_stats_guard{link_stats, &result};
 
   const bgv::NoiseModel noise_model(*ctx_);
 
@@ -308,10 +323,13 @@ Status SecureKnnSession::RunQueryInternal(const std::vector<uint64_t>& query,
   // Party A: Compute Distances (Algorithm 1, labels 5-6). Computed once
   // per query: leg retries below re-send these exact ciphertext bytes and
   // never recompute them, so the mask and permutation stay fixed within
-  // the query.
+  // the query. All of A's per-query state (transform, accumulators, op
+  // counts) lives in the Query object, so concurrent sessions on one
+  // PartyA stay isolated (DESIGN.md §9).
   t0 = std::chrono::steady_clock::now();
-  SKNN_ASSIGN_OR_RETURN(std::vector<bgv::Ciphertext> distances,
-                        party_a_->ComputeDistances(query_at_a));
+  SKNN_ASSIGN_OR_RETURN(std::unique_ptr<PartyA::Query> a_query,
+                        party_a_->StartQuery(query_at_a));
+  const std::vector<bgv::Ciphertext>& distances = a_query->distances();
   result.timings.compute_distances_seconds = SecondsSince(t0);
 
   // Leg 1 — message 2: A streams the masked distance bundle to B; B runs
@@ -363,7 +381,7 @@ Status SecureKnnSession::RunQueryInternal(const std::vector<uint64_t>& query,
   leg = RunLegWithRecovery(
       "retry/indicators", retry_policy_, drain,
       [&]() -> Status {
-        SKNN_RETURN_IF_ERROR(party_a_->BeginReturnPhase(effective_k));
+        SKNN_RETURN_IF_ERROR(a_query->BeginReturnPhase(effective_k));
         for (size_t j = 0; j < effective_k; ++j) {
           // B encrypts the whole row of indicators for result j in one
           // parallel batch (per-position RNG forks keep the transcript
@@ -412,7 +430,7 @@ Status SecureKnnSession::RunQueryInternal(const std::vector<uint64_t>& query,
               // (ExpandSeeded stamps the symmetric bound itself).
               ind_at_a.noise_bits = noise_model.FreshPkNoiseBits();
             }
-            SKNN_RETURN_IF_ERROR(party_a_->AbsorbIndicator(j, pos, ind_at_a));
+            SKNN_RETURN_IF_ERROR(a_query->AbsorbIndicator(j, pos, ind_at_a));
             a_seconds += SecondsSince(ta);
           }
         }
@@ -427,7 +445,7 @@ Status SecureKnnSession::RunQueryInternal(const std::vector<uint64_t>& query,
   auto tr = std::chrono::steady_clock::now();
   std::vector<std::vector<uint8_t>> result_bytes;
   for (size_t j = 0; j < effective_k; ++j) {
-    SKNN_ASSIGN_OR_RETURN(bgv::Ciphertext ct, party_a_->FinalizeResult(j));
+    SKNN_ASSIGN_OR_RETURN(bgv::Ciphertext ct, a_query->FinalizeResult(j));
     result_bytes.push_back(
         net::EncodeFrame(net::MessageType::kResults, j, CtToBytes(ct)));
   }
@@ -456,7 +474,7 @@ Status SecureKnnSession::RunQueryInternal(const std::vector<uint64_t>& query,
   }
   result.timings.client_decrypt_seconds = SecondsSince(t0);
 
-  result.party_a_ops = party_a_->ops();
+  result.party_a_ops = a_query->ops();
   result.party_b_ops = party_b_->ops();
   result.client_ops = client_->ops();
   // (result.ab_link is filled by link_stats_guard on scope exit.)

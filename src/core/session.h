@@ -14,6 +14,7 @@
 #include "net/channel.h"
 #include "net/faulty_link.h"
 #include "net/resilient_channel.h"
+#include "net/socket_link.h"
 
 // End-to-end orchestration of the secure k-NN protocol: wires the data
 // owner, Party A, Party B and the client together over byte-accounted
@@ -111,6 +112,14 @@ class SecureKnnSession {
   // fault pattern reproducible; successive queries use seed, seed+1, ...
   void SetFaultInjection(const net::FaultSpec& spec, uint64_t seed);
 
+  // Transport carrying the A<->B frames of subsequent queries. kInMemory
+  // (default) is the byte-accounted in-process link; kSocket routes the
+  // identical frames over a loopback TCP pair (net::SocketLink), so the
+  // whole protocol — including fault injection and leg recovery — can be
+  // exercised against real kernel sockets.
+  enum class Transport { kInMemory, kSocket };
+  void SetTransport(Transport transport) { transport_ = transport; }
+
   // Replaces the default transport retry policy (polls, backoff, leg
   // retries) for subsequent queries.
   void SetRetryPolicy(const net::RetryPolicy& policy) {
@@ -147,6 +156,7 @@ class SecureKnnSession {
   uint64_t fault_seed_ = 0;
   uint64_t queries_run_ = 0;
   net::RetryPolicy retry_policy_;
+  Transport transport_ = Transport::kInMemory;
 };
 
 }  // namespace core

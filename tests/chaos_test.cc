@@ -304,6 +304,79 @@ TEST_F(ChaosTest, FramingOverheadUnderOnePercent) {
       << result->ab_link.total_bytes() << " B";
 }
 
+// --- Socket transport (net::SocketLink): the identical frames over real
+// loopback TCP. The kernel adds its own behaviours — coalescing, partial
+// reads, buffered in-flight bytes during a drain — so the exactness and
+// typed-error contracts are re-pinned on this transport.
+
+// Clean run over sockets: bit-exact answers, both protocol rounds, and
+// the same message counts as the in-memory link.
+TEST_F(ChaosTest, SocketTransportCleanRunIsExact) {
+  auto session = SecureKnnSession::Create(ChaosConfig(), *dataset_, 7);
+  ASSERT_TRUE(session.ok()) << session.status();
+  (*session)->SetTransport(SecureKnnSession::Transport::kSocket);
+  // Real sockets need a real poll budget (kernel latency), unlike the
+  // in-memory link's instant delivery — but each 20ms poll returns as
+  // soon as bytes arrive, so 25 polls (500ms) is generous on loopback
+  // while keeping genuinely-dropped legs cheap to detect.
+  net::RetryPolicy policy = FastRetries();
+  policy.max_receive_polls = 25;
+  (*session)->SetRetryPolicy(policy);
+  for (int q = 0; q < 3; ++q) {
+    const std::vector<uint64_t> query = data::UniformQuery(2, 15, 4200 + q);
+    auto result = (*session)->RunQuery(query);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->recovered_legs, 0u);
+    EXPECT_EQ(SortedDistances(result->neighbours, query),
+              ReferenceDistances(*dataset_, query, ChaosConfig().k));
+    EXPECT_EQ(result->ab_link.rounds, 2u)
+        << "socket transport changed the round structure";
+    EXPECT_GT(result->ab_link.bytes_a_to_b, 0u);
+    EXPECT_GT(result->ab_link.bytes_b_to_a, 0u);
+  }
+}
+
+// The full mixed fault soak over real sockets: FaultyLink decorates the
+// socket endpoints exactly as it decorates the in-memory ones, and every
+// query must still end exact-or-typed-error.
+TEST_F(ChaosTest, SocketTransportSurvivesMixedFaults) {
+  auto session = SecureKnnSession::Create(ChaosConfig(), *dataset_, 7);
+  ASSERT_TRUE(session.ok()) << session.status();
+  (*session)->SetTransport(SecureKnnSession::Transport::kSocket);
+  net::RetryPolicy policy = FastRetries();
+  policy.max_receive_polls = 25;
+  (*session)->SetRetryPolicy(policy);
+
+  auto spec = net::ParseFaultSpec(
+      "drop:0.03,dup:0.03,flip:0.03,trunc:0.03,reorder:0.03,delay:0.03:2");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  (*session)->SetFaultInjection(*spec, 4400);
+  FlightRecorder::Global().set_dump_on_error(false);
+
+  ChaosTally tally;
+  for (int q = 0; q < 40; ++q) {
+    const std::vector<uint64_t> query = data::UniformQuery(2, 15, 4400 + q);
+    auto result = (*session)->RunQuery(query);
+    if (result.ok()) {
+      ++tally.ok;
+      if (result->recovered_legs > 0) ++tally.recovered;
+      EXPECT_EQ(SortedDistances(result->neighbours, query),
+                ReferenceDistances(*dataset_, query, ChaosConfig().k))
+          << "wrong answer under faults over sockets, query " << q;
+    } else {
+      ++tally.typed_errors;
+      EXPECT_TRUE(IsCleanTransportError(result.status()))
+          << "non-transport error over sockets, query " << q << ": "
+          << result.status();
+    }
+  }
+  FlightRecorder::Global().set_dump_on_error(true);
+  EXPECT_EQ(tally.ok + tally.typed_errors, 40);
+  EXPECT_GE(tally.ok, 30) << "socket soak success rate collapsed";
+  EXPECT_GT(tally.recovered, 0)
+      << "socket soak never exercised leg recovery";
+}
+
 }  // namespace
 }  // namespace core
 }  // namespace sknn

@@ -1,0 +1,312 @@
+// Multi-client server tests: the socket-backed two-cloud deployment
+// (core/server.h) serving concurrent clients with admission control.
+// Every answer is checked exactly against plaintext brute force; the
+// backpressure test pins the typed-shed contract of DESIGN.md §9.
+
+#include "core/server.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/metrics_registry.h"
+#include "data/generators.h"
+#include "knn/knn.h"
+
+namespace sknn {
+namespace core {
+namespace {
+
+ProtocolConfig ServerConfig() {
+  ProtocolConfig cfg;
+  cfg.k = 3;
+  cfg.poly_degree = 2;
+  cfg.coord_bits = 4;
+  cfg.dims = 2;
+  cfg.layout = Layout::kPacked;
+  cfg.preset = bgv::SecurityPreset::kToy;
+  cfg.plain_bits = 33;
+  cfg.threads = 1;
+  cfg.levels = cfg.MinimumLevels();
+  return cfg;
+}
+
+std::vector<uint64_t> SortedDistances(
+    const std::vector<std::vector<uint64_t>>& points,
+    const std::vector<uint64_t>& query) {
+  std::vector<uint64_t> out;
+  for (const auto& p : points) {
+    uint64_t sum = 0;
+    for (size_t j = 0; j < query.size(); ++j) {
+      const uint64_t d = p[j] > query[j] ? p[j] - query[j] : query[j] - p[j];
+      sum += d * d;
+    }
+    out.push_back(sum);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<uint64_t> ReferenceDistances(const data::Dataset& data,
+                                         const std::vector<uint64_t>& query,
+                                         size_t k) {
+  auto ref = knn::PlaintextKnn(data, query, k);
+  EXPECT_TRUE(ref.ok());
+  std::vector<uint64_t> out;
+  for (const auto& nb : ref.value()) out.push_back(nb.squared_distance);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Deriving a toy deployment costs a second or two; share one across the
+// suite (the servers themselves are started per test).
+class ServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::Dataset(data::UniformDataset(24, 2, 15, 42));
+    auto a = Deployment::Derive(ServerConfig(), *dataset_, 7,
+                                /*role_a=*/true);
+    ASSERT_TRUE(a.ok()) << a.status();
+    deployment_a_ = new Deployment(std::move(a).value());
+    auto b = Deployment::Derive(ServerConfig(), *dataset_, 7,
+                                /*role_a=*/false);
+    ASSERT_TRUE(b.ok()) << b.status();
+    deployment_b_ = new Deployment(std::move(b).value());
+  }
+  static void TearDownTestSuite() {
+    delete deployment_a_;
+    delete deployment_b_;
+    delete dataset_;
+    deployment_a_ = nullptr;
+    deployment_b_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  // Starts B then A wired to it; returns both (A must shut down first, so
+  // order of members in the struct matters: A is declared last).
+  struct Servers {
+    std::unique_ptr<PartyBServer> b;
+    std::unique_ptr<PartyAServer> a;
+    Servers() = default;
+    Servers(Servers&&) = default;
+    ~Servers() {
+      if (a) a->Shutdown();
+      if (b) b->Shutdown();
+    }
+  };
+
+  static Servers StartServers(size_t workers, size_t queue_capacity) {
+    Servers s;
+    ServerOptions b_options;
+    auto b = PartyBServer::Start(*deployment_b_, b_options);
+    EXPECT_TRUE(b.ok()) << b.status();
+    s.b = std::move(b).value();
+    ServerOptions a_options;
+    a_options.peer_port = s.b->port();
+    a_options.workers = workers;
+    a_options.queue_capacity = queue_capacity;
+    auto a = PartyAServer::Start(*deployment_a_, a_options);
+    EXPECT_TRUE(a.ok()) << a.status();
+    s.a = std::move(a).value();
+    return s;
+  }
+
+  static data::Dataset* dataset_;
+  static Deployment* deployment_a_;
+  static Deployment* deployment_b_;
+};
+
+data::Dataset* ServerTest::dataset_ = nullptr;
+Deployment* ServerTest::deployment_a_ = nullptr;
+Deployment* ServerTest::deployment_b_ = nullptr;
+
+TEST(AdmissionQueueTest, BoundsDepthAndSheds) {
+  AdmissionQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3)) << "push beyond capacity must shed";
+  EXPECT_EQ(queue.depth(), 2u);
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 1) << "FIFO order";
+  EXPECT_TRUE(queue.TryPush(3)) << "popping frees a slot";
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 2);
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 3);
+}
+
+TEST(AdmissionQueueTest, StopUnblocksPoppers) {
+  AdmissionQueue<int> queue(4);
+  std::atomic<bool> returned{false};
+  std::thread popper([&] {
+    int out = 0;
+    EXPECT_FALSE(queue.Pop(&out)) << "Pop after Stop must return false";
+    returned = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(returned);
+  queue.Stop();
+  popper.join();
+  EXPECT_TRUE(returned);
+  EXPECT_FALSE(queue.TryPush(1)) << "a stopped queue sheds everything";
+}
+
+TEST_F(ServerTest, DeploymentDerivationIsDeterministic) {
+  auto again = Deployment::Derive(ServerConfig(), *dataset_, 7,
+                                  /*role_a=*/false);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(again->fingerprint, deployment_a_->fingerprint);
+  EXPECT_EQ(again->party_a_seed, deployment_a_->party_a_seed);
+  EXPECT_EQ(again->party_b_seed, deployment_a_->party_b_seed);
+  EXPECT_EQ(again->client_seed, deployment_a_->client_seed);
+  // role_a controls whether the encrypted database is materialized.
+  EXPECT_TRUE(again->encrypted_db.empty());
+  EXPECT_FALSE(deployment_a_->encrypted_db.empty());
+
+  // A different seed is a different deployment: the handshake fingerprint
+  // must differ so mismatched processes reject each other.
+  auto other = Deployment::Derive(ServerConfig(), *dataset_, 8,
+                                  /*role_a=*/false);
+  ASSERT_TRUE(other.ok()) << other.status();
+  EXPECT_NE(other->fingerprint, deployment_a_->fingerprint);
+}
+
+TEST_F(ServerTest, FourConcurrentClientsGetExactAnswers) {
+  Servers servers = StartServers(/*workers=*/2, /*queue_capacity=*/8);
+  constexpr size_t kClients = 4;
+  constexpr size_t kQueriesPerClient = 2;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      ServerOptions options;
+      auto client = RemoteClient::Connect(*deployment_b_, "127.0.0.1",
+                                          servers.a->port(), options);
+      if (!client.ok()) {
+        ADD_FAILURE() << "client " << c << ": " << client.status();
+        ++failures;
+        return;
+      }
+      for (size_t q = 0; q < kQueriesPerClient; ++q) {
+        const std::vector<uint64_t> query =
+            data::UniformQuery(2, 15, 1000 * (c + 1) + q);
+        auto answer = (*client)->Query(query);
+        if (!answer.ok()) {
+          ADD_FAILURE() << "client " << c << " query " << q << ": "
+                        << answer.status();
+          ++failures;
+          continue;
+        }
+        if (SortedDistances(answer.value(), query) !=
+            ReferenceDistances(*dataset_, query, ServerConfig().k)) {
+          ADD_FAILURE() << "client " << c << " query " << q
+                        << ": answer does not match brute force";
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // The counters OPERATIONS.md tells operators to watch moved.
+  auto& registry = MetricsRegistry::Global();
+  EXPECT_GE(registry.GetCounter("server.queries.completed")->value(),
+            kClients * kQueriesPerClient);
+  EXPECT_GE(registry.GetCounter("server.connections.accepted")->value(),
+            kClients);
+  EXPECT_EQ(registry.GetGauge("server.workers")->value(), 2.0);
+}
+
+TEST_F(ServerTest, SequentialQueriesOnOneConnection) {
+  Servers servers = StartServers(/*workers=*/1, /*queue_capacity=*/4);
+  ServerOptions options;
+  auto client = RemoteClient::Connect(*deployment_b_, "127.0.0.1",
+                                      servers.a->port(), options);
+  ASSERT_TRUE(client.ok()) << client.status();
+  // Several queries over one connection: per-query epochs keep the
+  // sequence spaces aligned between client and server.
+  for (int q = 0; q < 3; ++q) {
+    const std::vector<uint64_t> query = data::UniformQuery(2, 15, 7000 + q);
+    auto answer = (*client)->Query(query);
+    ASSERT_TRUE(answer.ok()) << "query " << q << ": " << answer.status();
+    EXPECT_EQ(SortedDistances(answer.value(), query),
+              ReferenceDistances(*dataset_, query, ServerConfig().k));
+  }
+}
+
+TEST_F(ServerTest, SaturatedQueueShedsWithTypedUnavailable) {
+  Servers servers = StartServers(/*workers=*/1, /*queue_capacity=*/1);
+  // One worker, one queue slot, and a 400ms artificial delay per query:
+  // firing 4 concurrent queries guarantees at least one arrives while
+  // both the worker and the slot are busy.
+  servers.a->set_worker_delay_ms_for_test(400);
+  auto& registry = MetricsRegistry::Global();
+  const uint64_t shed_before =
+      registry.GetCounter("server.queries.shed")->value();
+  std::atomic<int> ok_count{0}, shed_count{0}, other_count{0};
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < 4; ++c) {
+    threads.emplace_back([&, c] {
+      ServerOptions options;
+      auto client = RemoteClient::Connect(*deployment_b_, "127.0.0.1",
+                                          servers.a->port(), options);
+      if (!client.ok()) {
+        ++other_count;
+        return;
+      }
+      const std::vector<uint64_t> query = data::UniformQuery(2, 15, 500 + c);
+      auto answer = (*client)->Query(query);
+      if (answer.ok()) {
+        ++ok_count;
+      } else if (answer.status().code() == StatusCode::kUnavailable) {
+        // The shed contract: typed, transient, and explanatory.
+        EXPECT_TRUE(answer.status().IsTransient());
+        EXPECT_NE(answer.status().message().find("admission queue full"),
+                  std::string::npos)
+            << answer.status();
+        ++shed_count;
+      } else {
+        ADD_FAILURE() << "client " << c
+                      << ": unexpected error: " << answer.status();
+        ++other_count;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok_count + shed_count, 4) << "every query ends ok or shed";
+  EXPECT_GE(shed_count.load(), 1) << "saturation never tripped admission";
+  EXPECT_GE(ok_count.load(), 1) << "admitted queries still complete";
+  EXPECT_GT(registry.GetCounter("server.queries.shed")->value(), shed_before);
+}
+
+TEST_F(ServerTest, MismatchedDeploymentIsRejectedAtHandshake) {
+  Servers servers = StartServers(/*workers=*/1, /*queue_capacity=*/4);
+  auto wrong = Deployment::Derive(ServerConfig(), *dataset_, 999,
+                                  /*role_a=*/false);
+  ASSERT_TRUE(wrong.ok()) << wrong.status();
+  ServerOptions options;
+  auto client = RemoteClient::Connect(*wrong, "127.0.0.1", servers.a->port(),
+                                      options);
+  ASSERT_FALSE(client.ok()) << "a mismatched fingerprint must not connect";
+  EXPECT_EQ(client.status().code(), StatusCode::kFailedPrecondition)
+      << client.status();
+  EXPECT_NE(client.status().message().find("reject"), std::string::npos)
+      << client.status();
+}
+
+TEST_F(ServerTest, PartyAServerRequiresEncryptedDatabase) {
+  ServerOptions options;
+  options.peer_port = 1;  // never dialed: the role check fires first
+  auto server = PartyAServer::Start(*deployment_b_, options);
+  ASSERT_FALSE(server.ok());
+  EXPECT_EQ(server.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace sknn

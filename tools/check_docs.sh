@@ -6,7 +6,13 @@
 #      directories that exist, and
 #   2. backtick-quoted repository paths (`src/...`, `tests/...`, ...) must
 #      still exist — glob forms like `src/net/channel.*` are resolved with
-#      pathname expansion.
+#      pathname expansion,
+#   3. every metric the serving layer exports (GetCounter/GetGauge/
+#      GetHistogram literals plus the SocketCounter/ServerCounter wrappers
+#      in src/net/socket_link.cc and src/core/server.cc) must appear in the
+#      README's metric inventory, and
+#   4. every MessageType enumerator in src/net/frame.h must appear in
+#      PROTOCOL.md's socket-transport section.
 #
 # Only the hand-written docs are scanned; SNIPPETS.md and PAPERS.md quote
 # other repositories and would produce false positives.
@@ -14,7 +20,7 @@ set -u
 
 cd "$(cd "$(dirname "$0")/.." && pwd)" || exit 1
 
-DOCS="README.md DESIGN.md PROTOCOL.md EXPERIMENTS.md ROADMAP.md CONTRIBUTING.md"
+DOCS="README.md DESIGN.md PROTOCOL.md EXPERIMENTS.md ROADMAP.md CONTRIBUTING.md OPERATIONS.md"
 fail=0
 
 exists_path() {
@@ -52,6 +58,39 @@ for doc in $DOCS; do
              | grep -E '^(src|tests|bench|tools|examples|data)/[A-Za-z0-9_./*-]*$' \
              | sort -u)
 done
+
+# 3. Serving-layer metric names must be documented in the README inventory.
+#    Direct Get{Counter,Gauge,Histogram}("...") literals export the name
+#    verbatim; ServerCounter("...") is a passthrough; SocketCounter("...")
+#    prefixes "net.socket.".
+metric_sources="src/net/socket_link.cc src/core/server.cc"
+while IFS= read -r metric; do
+  [ -z "$metric" ] && continue
+  if ! grep -qF "\`$metric\`" README.md; then
+    echo "README.md: undocumented metric \`$metric\` (exported by the serving layer)"
+    fail=1
+  fi
+done < <(
+  {
+    grep -hoE 'Get(Counter|Gauge|Histogram)\("[^"]+"\)' $metric_sources \
+      | sed 's/.*("\(.*\)")/\1/'
+    grep -hoE 'ServerCounter\("[^"]+"\)' $metric_sources \
+      | sed 's/.*("\(.*\)")/\1/'
+    grep -hoE 'SocketCounter\("[^"]+"\)' $metric_sources \
+      | sed 's/.*("\(.*\)")/net.socket.\1/'
+  } | sort -u
+)
+
+# 4. Every MessageType on the wire must be specified in PROTOCOL.md.
+while IFS= read -r msg; do
+  [ -z "$msg" ] && continue
+  if ! grep -q "$msg" PROTOCOL.md; then
+    echo "PROTOCOL.md: MessageType \`$msg\` (src/net/frame.h) is not documented"
+    fail=1
+  fi
+done < <(sed -n '/enum class MessageType/,/};/p' src/net/frame.h \
+           | grep -oE '^ *k[A-Za-z0-9]+ *=' | grep -oE 'k[A-Za-z0-9]+' \
+           | sort -u)
 
 if [ "$fail" -ne 0 ]; then
   echo "check_docs: FAILED (fix the paths above or update the docs)"

@@ -1,0 +1,238 @@
+// sknn_server_a / sknn_server_b — the two-cloud deployment as long-lived
+// processes (OPERATIONS.md is the operator's guide).
+//
+//   sknn_server_b --port=7102 --n=64 --d=2 --k=3 --preset=toy --seed=1
+//   sknn_server_a --port=7101 --peer-port=7102 --workers=2 --queue=8 \
+//                 --n=64 --d=2 --k=3 --preset=toy --seed=1
+//
+// Both processes must be launched with the same dataset/protocol flags
+// and --seed: each derives the full deployment (keys, layout, encrypted
+// database) locally from the seed, and the connection handshake rejects
+// a peer whose derivation fingerprint differs.
+//
+// Observability: --metrics-out=FILE rewrites the metrics registry in
+// Prometheus text format every --metrics-interval-s seconds (and once at
+// shutdown); --flight-record=FILE dumps the per-query flight-recorder
+// ring as JSON at shutdown. SIGINT/SIGTERM shut down cleanly.
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "common/flight_recorder.h"
+#include "common/json_writer.h"
+#include "common/metrics_registry.h"
+#include "core/server.h"
+#include "data/generators.h"
+
+namespace {
+
+using namespace sknn;  // NOLINT
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strncmp(a, "--", 2) != 0) {
+        std::fprintf(stderr, "ignoring stray argument %s\n", a);
+        continue;
+      }
+      const char* eq = std::strchr(a, '=');
+      if (eq == nullptr) {
+        values_[std::string(a + 2)] = "true";
+      } else {
+        values_[std::string(a + 2, static_cast<size_t>(eq - a - 2))] =
+            std::string(eq + 1);
+      }
+    }
+  }
+
+  uint64_t U64(const char* key, uint64_t def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : std::strtoull(it->second.c_str(),
+                                                     nullptr, 10);
+  }
+  std::string Str(const char* key, const char* def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+bgv::SecurityPreset PresetFromString(const std::string& s) {
+  if (s == "bench") return bgv::SecurityPreset::kBench;
+  if (s == "default") return bgv::SecurityPreset::kDefault;
+  if (s == "paranoid") return bgv::SecurityPreset::kParanoid;
+  if (s != "toy") std::fprintf(stderr, "unknown preset '%s', using toy\n",
+                               s.c_str());
+  return bgv::SecurityPreset::kToy;
+}
+
+void Usage(const char* role) {
+  std::fprintf(
+      stderr,
+      "usage: sknn_server_%s [--key=value...]\n"
+      "deployment (must agree between A, B, and clients):\n"
+      "  --n=100 --d=2 --k=5 --coord-bits=4 --degree=2 --seed=1\n"
+      "  --dataset=uniform|cancer|credit --preset=toy|bench|default\n"
+      "  --layout=packed|per-point --compress=0|1\n"
+      "serving:\n"
+      "  --host=127.0.0.1 --port=0 (0 = ephemeral, printed at startup)\n"
+      "%s"
+      "observability:\n"
+      "  --metrics-out=FILE [--metrics-interval-s=5]  periodic Prometheus\n"
+      "  --flight-record=FILE  per-query flight records (JSON, at exit)\n",
+      role,
+      std::strcmp(role, "a") == 0
+          ? "  --peer-host=127.0.0.1 --peer-port=PORT  where server B "
+            "listens\n  --workers=2  worker pool size (max queries in "
+            "flight)\n  --queue=8  admission queue capacity (excess "
+            "queries shed)\n"
+          : "");
+}
+
+int ServerMain(int argc, char** argv, bool role_a) {
+  const Flags flags(argc, argv);
+  if (flags.Str("help", "") == std::string("true")) {
+    Usage(role_a ? "a" : "b");
+    return 2;
+  }
+
+  size_t d = flags.U64("d", 2);
+  const int coord_bits = static_cast<int>(flags.U64("coord-bits", 4));
+  const uint64_t seed = flags.U64("seed", 1);
+  const std::string dataset_name = flags.Str("dataset", "uniform");
+  data::Dataset dataset = [&] {
+    if (dataset_name == "cancer") {
+      d = 32;
+      return data::SimulatedCervicalCancer(seed).QuantizeToBits(coord_bits);
+    }
+    if (dataset_name == "credit") {
+      d = 23;
+      return data::SimulatedCreditCard(seed, flags.U64("n", 100))
+          .QuantizeToBits(coord_bits);
+    }
+    return data::UniformDataset(flags.U64("n", 100), d,
+                                (uint64_t{1} << coord_bits) - 1, seed);
+  }();
+
+  core::ProtocolConfig cfg;
+  cfg.k = flags.U64("k", 5);
+  cfg.dims = d;
+  cfg.coord_bits = coord_bits;
+  cfg.poly_degree = flags.U64("degree", 2);
+  cfg.layout = flags.Str("layout", "packed") == std::string("per-point")
+                   ? core::Layout::kPerPoint
+                   : core::Layout::kPacked;
+  cfg.preset = PresetFromString(flags.Str("preset", "toy"));
+  cfg.levels = cfg.MinimumLevels();
+  cfg.threads = flags.U64("threads", 1);
+  cfg.compress_indicators = flags.U64("compress", 1) != 0;
+
+  std::printf("deriving deployment (%s, %zu x %zu '%s', seed %llu)...\n",
+              cfg.DebugString().c_str(), dataset.num_points(), dataset.dims(),
+              dataset_name.c_str(), static_cast<unsigned long long>(seed));
+  auto deployment = core::Deployment::Derive(cfg, dataset, seed, role_a);
+  if (!deployment.ok()) {
+    std::fprintf(stderr, "derive: %s\n",
+                 deployment.status().ToString().c_str());
+    return 1;
+  }
+
+  core::ServerOptions options;
+  options.listen_host = flags.Str("host", "127.0.0.1");
+  options.listen_port = static_cast<uint16_t>(flags.U64("port", 0));
+  options.peer_host = flags.Str("peer-host", "127.0.0.1");
+  options.peer_port = static_cast<uint16_t>(flags.U64("peer-port", 0));
+  options.workers = flags.U64("workers", 2);
+  options.queue_capacity = flags.U64("queue", 8);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  uint16_t port = 0;
+  std::unique_ptr<core::PartyAServer> server_a;
+  std::unique_ptr<core::PartyBServer> server_b;
+  if (role_a) {
+    if (options.peer_port == 0) {
+      std::fprintf(stderr,
+                   "sknn_server_a needs --peer-port (where server B "
+                   "listens)\n");
+      return 2;
+    }
+    auto server = core::PartyAServer::Start(*deployment, options);
+    if (!server.ok()) {
+      std::fprintf(stderr, "start: %s\n", server.status().ToString().c_str());
+      return 1;
+    }
+    server_a = std::move(server).value();
+    port = server_a->port();
+  } else {
+    auto server = core::PartyBServer::Start(*deployment, options);
+    if (!server.ok()) {
+      std::fprintf(stderr, "start: %s\n", server.status().ToString().c_str());
+      return 1;
+    }
+    server_b = std::move(server).value();
+    port = server_b->port();
+  }
+  std::printf("sknn_server_%s listening on %s:%u (fingerprint %llx)\n",
+              role_a ? "a" : "b", options.listen_host.c_str(), port,
+              static_cast<unsigned long long>(deployment->fingerprint));
+  std::fflush(stdout);
+
+  const std::string metrics_path = flags.Str("metrics-out", "");
+  const int metrics_interval_s =
+      static_cast<int>(flags.U64("metrics-interval-s", 5));
+  const std::string flight_path = flags.Str("flight-record", "");
+
+  int since_metrics_write = metrics_interval_s;  // write once at startup
+  while (!g_stop) {
+    if (!metrics_path.empty() && since_metrics_write >= metrics_interval_s) {
+      since_metrics_write = 0;
+      if (!json::WriteFile(metrics_path,
+                           MetricsRegistry::Global().PrometheusText())) {
+        std::fprintf(stderr, "--metrics-out: cannot write %s\n",
+                     metrics_path.c_str());
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+    ++since_metrics_write;
+  }
+
+  std::printf("shutting down...\n");
+  if (server_a) server_a->Shutdown();
+  if (server_b) server_b->Shutdown();
+  if (!metrics_path.empty()) {
+    json::WriteFile(metrics_path, MetricsRegistry::Global().PrometheusText());
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
+  if (!flight_path.empty()) {
+    if (json::WriteFile(flight_path, FlightRecorder::Global().Json())) {
+      std::printf("flight records written to %s\n", flight_path.c_str());
+    } else {
+      std::fprintf(stderr, "--flight-record: cannot write %s\n",
+                   flight_path.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+#if defined(SKNN_SERVER_ROLE_A)
+  return ServerMain(argc, argv, /*role_a=*/true);
+#else
+  return ServerMain(argc, argv, /*role_a=*/false);
+#endif
+}
