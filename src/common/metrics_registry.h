@@ -46,6 +46,15 @@ class MetricsRegistry {
   class Gauge {
    public:
     void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+    // Atomic read-modify-write for gauges tracking a live count (e.g.
+    // server.connections.active) updated from concurrent threads; a
+    // load/Set pair would lose updates under contention.
+    void Add(double delta) {
+      double cur = v_.load(std::memory_order_relaxed);
+      while (!v_.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+      }
+    }
     double value() const { return v_.load(std::memory_order_relaxed); }
 
    private:

@@ -1,6 +1,7 @@
 #include "core/server.h"
 
 #include <algorithm>
+#include <charconv>
 #include <chrono>
 #include <sstream>
 
@@ -148,7 +149,16 @@ std::string ErrControl(const Status& status) {
 
 Status ParseControlReply(const std::string& reply, size_t* k_out) {
   if (reply.rfind("ok k=", 0) == 0) {
-    *k_out = static_cast<size_t>(std::stoul(reply.substr(5)));
+    // A corrupted control frame must surface as a typed error, never an
+    // exception (the codebase is Status-based throughout).
+    const char* first = reply.data() + 5;
+    const char* last = reply.data() + reply.size();
+    uint64_t k = 0;
+    auto [ptr, ec] = std::from_chars(first, last, k);
+    if (ec != std::errc() || ptr != last || first == last) {
+      return DataLossError("malformed query control reply: " + reply);
+    }
+    *k_out = static_cast<size_t>(k);
     return Status::Ok();
   }
   if (reply.rfind("err ", 0) == 0) {
@@ -209,6 +219,44 @@ StatusOr<Deployment> Deployment::Derive(const ProtocolConfig& config,
     SKNN_ASSIGN_OR_RETURN(d.encrypted_db, owner->EncryptDatabase());
   }
   return d;
+}
+
+// ---------------------------------------------------------------------------
+// ConnectionThreads
+
+void ConnectionThreads::ReapFinished() {
+  std::vector<Entry> finished;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = std::partition(entries_.begin(), entries_.end(),
+                             [](const Entry& e) {
+                               return !e.done->load(std::memory_order_acquire);
+                             });
+    finished.reserve(entries_.end() - it);
+    std::move(it, entries_.end(), std::back_inserter(finished));
+    entries_.erase(it, entries_.end());
+  }
+  // Join outside the lock; these bodies have returned, so the join is
+  // immediate.
+  for (Entry& e : finished) {
+    if (e.thread.joinable()) e.thread.join();
+  }
+}
+
+void ConnectionThreads::JoinAll() {
+  std::vector<Entry> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    all.swap(entries_);
+  }
+  for (Entry& e : all) {
+    if (e.thread.joinable()) e.thread.join();
+  }
+}
+
+size_t ConnectionThreads::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
 }
 
 // ---------------------------------------------------------------------------
@@ -291,27 +339,22 @@ uint16_t PartyBServer::port() const { return listener_->port(); }
 
 void PartyBServer::Shutdown() {
   if (stop_.exchange(true)) return;
+  // Start can fail before the listener exists (e.g. the port is taken);
+  // the destructor still runs Shutdown, so every member is guarded.
   if (accept_thread_.joinable()) accept_thread_.join();
-  listener_->Close();
-  std::vector<std::thread> conns;
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    conns.swap(conn_threads_);
-  }
-  for (std::thread& t : conns) {
-    if (t.joinable()) t.join();
-  }
+  if (listener_) listener_->Close();
+  conn_threads_.JoinAll();
 }
 
 void PartyBServer::AcceptLoop() {
   uint64_t conn_id = 0;
   while (!stop_.load(std::memory_order_relaxed)) {
+    conn_threads_.ReapFinished();
     auto conn = listener_->Accept(options_.accept_poll_ms,
                                   "B conn " + std::to_string(conn_id));
     if (!conn.ok()) continue;  // timeout or transient; poll again
     ServerCounter("server.connections.accepted")->Increment();
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    conn_threads_.emplace_back(
+    conn_threads_.Launch(
         [this, c = std::move(conn).value(), id = conn_id]() mutable {
           ServeConnection(std::move(c), id);
         });
@@ -362,7 +405,7 @@ void PartyBServer::ServeConnection(std::unique_ptr<net::SocketChannel> conn,
                                    uint64_t conn_id) {
   MetricsRegistry::Gauge* active =
       MetricsRegistry::Global().GetGauge("server.connections.active");
-  active->Set(active->value() + 1);
+  active->Add(1);
   conn->set_io_poll_ms(options_.io_poll_ms);
   auto role = AcceptHandshake(conn.get(), deployment_.fingerprint,
                               options_.retry.max_receive_polls);
@@ -389,7 +432,7 @@ void PartyBServer::ServeConnection(std::unique_ptr<net::SocketChannel> conn,
     }
   }
   conn->Close();
-  active->Set(active->value() - 1);
+  active->Add(-1);
 }
 
 // ---------------------------------------------------------------------------
@@ -455,17 +498,13 @@ uint16_t PartyAServer::port() const { return listener_->port(); }
 
 void PartyAServer::Shutdown() {
   if (stop_.exchange(true)) return;
+  // Start fails fast before the queue/listener exist when B is
+  // unreachable or derived differently; the destructor still runs
+  // Shutdown, so every member is guarded.
   if (accept_thread_.joinable()) accept_thread_.join();
-  listener_->Close();
-  std::vector<std::thread> conns;
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    conns.swap(conn_threads_);
-  }
-  for (std::thread& t : conns) {
-    if (t.joinable()) t.join();
-  }
-  queue_->Stop();
+  if (listener_) listener_->Close();
+  conn_threads_.JoinAll();
+  if (queue_) queue_->Stop();
   for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
   }
@@ -494,12 +533,12 @@ Status PartyAServer::ConnectWorkerToB(size_t worker_index) {
 void PartyAServer::AcceptLoop() {
   uint64_t conn_id = 0;
   while (!stop_.load(std::memory_order_relaxed)) {
+    conn_threads_.ReapFinished();
     auto conn = listener_->Accept(options_.accept_poll_ms,
                                   "A client conn " + std::to_string(conn_id));
     if (!conn.ok()) continue;
     ServerCounter("server.connections.accepted")->Increment();
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    conn_threads_.emplace_back(
+    conn_threads_.Launch(
         [this, c = std::move(conn).value(), id = conn_id]() mutable {
           ServeConnection(std::move(c), id);
         });
@@ -615,7 +654,7 @@ void PartyAServer::ServeConnection(std::unique_ptr<net::SocketChannel> conn,
                                    uint64_t conn_id) {
   MetricsRegistry::Gauge* active =
       MetricsRegistry::Global().GetGauge("server.connections.active");
-  active->Set(active->value() + 1);
+  active->Add(1);
   conn->set_io_poll_ms(options_.io_poll_ms);
   auto role = AcceptHandshake(conn.get(), deployment_.fingerprint,
                               options_.retry.max_receive_polls);
@@ -655,10 +694,10 @@ void PartyAServer::ServeConnection(std::unique_ptr<net::SocketChannel> conn,
       }
       Status reply_status;
       if (outcome.ok()) {
+        const std::string ok = OkControl(job->effective_k);
         reply_status = ch.SendMessage(
             net::MessageType::kControl,
-            std::vector<uint8_t>(OkControl(job->effective_k).begin(),
-                                 OkControl(job->effective_k).end()));
+            std::vector<uint8_t>(ok.begin(), ok.end()));
         for (const std::vector<uint8_t>& payload : job->result_payloads) {
           if (!reply_status.ok()) break;
           reply_status =
@@ -674,7 +713,7 @@ void PartyAServer::ServeConnection(std::unique_ptr<net::SocketChannel> conn,
     }
   }
   conn->Close();
-  active->Set(active->value() - 1);
+  active->Add(-1);
 }
 
 // ---------------------------------------------------------------------------
@@ -719,6 +758,14 @@ StatusOr<std::vector<std::vector<uint64_t>>> RemoteClient::Query(
   const std::string reply(reply_bytes.begin(), reply_bytes.end());
   size_t k = 0;
   SKNN_RETURN_IF_ERROR(ParseControlReply(reply, &k));
+  // The server's effective k is min(config.k, num_points), so anything
+  // above config.k is a corrupt or hostile control frame; bound it before
+  // reserving and looping on result frames.
+  if (k > config_.k) {
+    return DataLossError("control reply k=" + std::to_string(k) +
+                         " exceeds configured k=" +
+                         std::to_string(config_.k));
+  }
   std::vector<std::vector<uint64_t>> neighbours;
   neighbours.reserve(k);
   for (size_t j = 0; j < k; ++j) {

@@ -107,6 +107,43 @@ struct ServerOptions {
   }
 };
 
+// Tracks per-connection threads for a long-lived server. Each accept
+// iteration calls ReapFinished so a finished connection's thread is
+// joined promptly instead of accumulating (unjoined threads retain
+// kernel resources) until shutdown.
+class ConnectionThreads {
+ public:
+  ~ConnectionThreads() { JoinAll(); }
+
+  // Runs `fn` on a new tracked thread; the thread marks itself finished
+  // when `fn` returns.
+  template <typename Fn>
+  void Launch(Fn fn) {
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    std::thread t([fn = std::move(fn), done]() mutable {
+      fn();
+      done->store(true, std::memory_order_release);
+    });
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.push_back({std::move(t), std::move(done)});
+  }
+
+  // Joins every thread whose body has returned.
+  void ReapFinished();
+  // Joins all threads, finished or not (shutdown path).
+  void JoinAll();
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+};
+
 // Bounded multi-producer multi-consumer admission queue. TryPush returns
 // false when full (the caller sheds); Pop blocks until an item or Stop.
 // Exports queue.depth / queue.capacity gauges and queue.enqueued /
@@ -155,8 +192,7 @@ class PartyBServer {
   std::unique_ptr<net::SocketListener> listener_;
   std::atomic<bool> stop_{false};
   std::thread accept_thread_;
-  std::mutex conn_mu_;
-  std::vector<std::thread> conn_threads_;
+  ConnectionThreads conn_threads_;
 };
 
 // Party A as a server: accepts client connections, admission-controls
@@ -205,8 +241,7 @@ class PartyAServer {
   std::vector<std::unique_ptr<net::ResilientChannel>> b_ch_;
   std::vector<std::thread> workers_;
   std::thread accept_thread_;
-  std::mutex conn_mu_;
-  std::vector<std::thread> conn_threads_;
+  ConnectionThreads conn_threads_;
 };
 
 // A protocol client over the socket transport: connects to Party A,

@@ -218,5 +218,24 @@ TEST(Registry, ConcurrentCountersAndHistogramsNoEventLoss) {
   EXPECT_EQ(bucket_total, kWorkers * kPerWorker);
 }
 
+TEST(Registry, GaugeAddIsAtomicUnderContention) {
+  // The servers track live connection counts with Gauge::Add from
+  // concurrent threads; a load/Set pair would lose updates and drift.
+  // Balanced +1/-1 pairs must land exactly back at the starting value.
+  MetricsRegistry registry;
+  MetricsRegistry::Gauge* gauge = registry.GetGauge("hammer.gauge");
+  gauge->Set(5);
+  constexpr size_t kWorkers = 8;
+  constexpr int kPerWorker = 20000;
+  ThreadPool pool(kWorkers);
+  pool.ParallelFor(0, kWorkers, [&](size_t) {
+    for (int i = 0; i < kPerWorker; ++i) {
+      gauge->Add(1);
+      gauge->Add(-1);
+    }
+  });
+  EXPECT_EQ(gauge->value(), 5.0);
+}
+
 }  // namespace
 }  // namespace sknn

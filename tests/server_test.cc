@@ -16,6 +16,9 @@
 #include "common/metrics_registry.h"
 #include "data/generators.h"
 #include "knn/knn.h"
+#include "net/frame.h"
+#include "net/resilient_channel.h"
+#include "net/socket_link.h"
 
 namespace sknn {
 namespace core {
@@ -305,6 +308,103 @@ TEST_F(ServerTest, PartyAServerRequiresEncryptedDatabase) {
   auto server = PartyAServer::Start(*deployment_b_, options);
   ASSERT_FALSE(server.ok());
   EXPECT_EQ(server.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// The documented fail-fast path: Start returns the connect error before
+// the listener exists, and the partially-constructed server's destructor
+// (which runs Shutdown) must tolerate the missing members instead of
+// dereferencing null.
+TEST_F(ServerTest, PartyAStartFailsCleanlyWhenPeerUnreachable) {
+  ServerOptions options;
+  options.peer_port = 1;  // reserved port, nothing listens: refused
+  options.connect_timeout_ms = 500;
+  auto server = PartyAServer::Start(*deployment_a_, options);
+  ASSERT_FALSE(server.ok()) << "connect to an unreachable B must fail";
+  EXPECT_TRUE(server.status().IsTransient() ||
+              server.status().code() == StatusCode::kFailedPrecondition)
+      << server.status();
+}
+
+TEST_F(ServerTest, PartyBStartFailsCleanlyWhenPortTaken) {
+  ServerOptions options;
+  auto first = PartyBServer::Start(*deployment_b_, options);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ServerOptions clash;
+  clash.listen_port = (*first)->port();
+  // Listen fails before the accept thread exists; the error must surface
+  // through Start (the destructor runs Shutdown on a listener-less
+  // server).
+  auto second = PartyBServer::Start(*deployment_b_, clash);
+  ASSERT_FALSE(second.ok()) << "binding a taken port must fail";
+}
+
+// A corrupted or hostile "ok k=..." control frame must surface as a typed
+// kDataLoss, not an exception or an unbounded result loop. The fake
+// Party A speaks just enough of the protocol (raw handshake welcome, then
+// framed control replies) to poison the reply.
+TEST_F(ServerTest, MalformedControlReplyIsTypedDataLoss) {
+  auto listener = net::SocketListener::Listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  const std::vector<std::string> replies = {"ok k=banana", "ok k=999"};
+  std::thread fake_a([&] {
+    auto conn_or = (*listener)->Accept(5000, "fake-A conn");
+    if (!conn_or.ok()) {
+      ADD_FAILURE() << conn_or.status();
+      return;
+    }
+    std::unique_ptr<net::SocketChannel> conn = std::move(conn_or).value();
+    conn->set_io_poll_ms(20);
+    // Handshake: swallow the hello, answer welcome (the dialer only
+    // checks the prefix).
+    StatusOr<std::vector<uint8_t>> hello = conn->Receive();
+    for (int i = 0; i < 500 && !hello.ok() &&
+                    hello.status().code() == StatusCode::kUnavailable;
+         ++i) {
+      hello = conn->Receive();
+    }
+    if (!hello.ok()) {
+      ADD_FAILURE() << hello.status();
+      return;
+    }
+    const std::string welcome = "sknn-welcome/1";
+    (void)conn->Send(net::EncodeFrame(
+        net::MessageType::kControl, 0,
+        std::vector<uint8_t>(welcome.begin(), welcome.end())));
+    net::ResilientChannel ch(conn.get(), ServerOptions::ServerRetryPolicy(),
+                             1, "fake-A serve");
+    for (const std::string& reply : replies) {
+      ch.ResetEpoch();
+      auto query = ch.ReceiveMessage(net::MessageType::kQuery);
+      if (!query.ok()) {
+        ADD_FAILURE() << query.status();
+        return;
+      }
+      (void)ch.SendMessage(
+          net::MessageType::kControl,
+          std::vector<uint8_t>(reply.begin(), reply.end()));
+    }
+  });
+  ServerOptions options;
+  auto client = RemoteClient::Connect(*deployment_b_, "127.0.0.1",
+                                      (*listener)->port(), options);
+  ASSERT_TRUE(client.ok()) << client.status();
+  const std::vector<uint64_t> query = data::UniformQuery(2, 15, 321);
+  auto garbled = (*client)->Query(query);
+  ASSERT_FALSE(garbled.ok());
+  EXPECT_EQ(garbled.status().code(), StatusCode::kDataLoss)
+      << garbled.status();
+  EXPECT_NE(garbled.status().message().find("malformed"), std::string::npos)
+      << garbled.status();
+  // "ok k=999" parses but exceeds the configured k: the client must bound
+  // it instead of looping on 999 result frames that never come.
+  auto oversized = (*client)->Query(query);
+  ASSERT_FALSE(oversized.ok());
+  EXPECT_EQ(oversized.status().code(), StatusCode::kDataLoss)
+      << oversized.status();
+  EXPECT_NE(oversized.status().message().find("exceeds configured k"),
+            std::string::npos)
+      << oversized.status();
+  fake_a.join();
 }
 
 }  // namespace

@@ -2,8 +2,8 @@
 // processes (OPERATIONS.md is the operator's guide).
 //
 //   sknn_server_b --port=7102 --n=64 --d=2 --k=3 --preset=toy --seed=1
-//   sknn_server_a --port=7101 --peer-port=7102 --workers=2 --queue=8 \
-//                 --n=64 --d=2 --k=3 --preset=toy --seed=1
+//   sknn_server_a --port=7101 --peer-port=7102 --workers=2 --queue=8
+//                 --n=64 --d=2 --k=3 --preset=toy --seed=1   (one line)
 //
 // Both processes must be launched with the same dataset/protocol flags
 // and --seed: each derives the full deployment (keys, layout, encrypted
