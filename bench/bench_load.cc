@@ -3,7 +3,7 @@
 //
 //   bench_load [--smoke] [--clients=4] [--queries=8] [--qps=0]
 //              [--n=64] [--d=2] [--k=3] [--preset=toy] [--seed=1]
-//              [--workers=2] [--queue=8]
+//              [--workers=2] [--queue=8] [--deadline-ms=0]
 //
 // Starts an in-process PartyBServer and PartyAServer on loopback TCP
 // (ephemeral ports, real kernel sockets — the same code path as the
@@ -16,10 +16,14 @@
 //
 // Shed queries (typed kUnavailable from admission control) are retried
 // with backoff and counted, so the report separates "the server said
-// try again" from real failures.
+// try again" from real failures. --deadline-ms > 0 attaches an
+// end-to-end deadline to every query; expired queries (typed
+// kDeadlineExceeded) are likewise retried and counted.
 //
-// Writes BENCH_load.json: one row per configuration with sustained QPS
-// and client-observed p50/p95/p99/max latency.
+// Writes BENCH_load.json: one row per configuration with sustained QPS,
+// client-observed p50/p95/p99/max latency, and the server-side
+// resilience counters (shed / expired / re-executions) so a load run
+// doubles as a robustness report.
 
 #include <algorithm>
 #include <atomic>
@@ -30,6 +34,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/metrics_registry.h"
 #include "common/rng.h"
 #include "core/server.h"
 #include "data/generators.h"
@@ -51,6 +56,7 @@ struct LoadArgs {
   size_t workers = 2;
   size_t queue = 8;
   uint64_t seed = 1;
+  uint64_t deadline_ms = 0;  // per-query end-to-end budget; 0 = none
   bgv::SecurityPreset preset = bgv::SecurityPreset::kToy;
 };
 
@@ -75,6 +81,8 @@ LoadArgs Parse(int argc, char** argv) {
       a.qps = std::atof(s + 6);
     } else if (std::strncmp(s, "--seed=", 7) == 0) {
       a.seed = std::strtoull(s + 7, nullptr, 10);
+    } else if (std::strncmp(s, "--deadline-ms=", 14) == 0) {
+      a.deadline_ms = std::strtoull(s + 14, nullptr, 10);
     } else if (std::strncmp(s, "--preset=", 9) == 0) {
       const char* p = s + 9;
       if (std::strcmp(p, "bench") == 0) a.preset = bgv::SecurityPreset::kBench;
@@ -103,6 +111,7 @@ struct ClientStats {
   std::vector<double> latencies_ms;
   uint64_t completed = 0;
   uint64_t shed = 0;
+  uint64_t expired = 0;
   uint64_t failed = 0;
   uint64_t verify_failures = 0;
 };
@@ -191,15 +200,20 @@ void ClientThread(size_t client_index, const LoadArgs& args,
         NextQuery(&rng, dataset, hot, max_coord);
     const auto t0 = Clock::now();
     StatusOr<std::vector<std::vector<uint64_t>>> answer = Status::Ok();
-    // A shed is the server asking for backoff, not a failure; retry a few
-    // times before giving up on this query.
+    // A shed (kUnavailable) is the server asking for backoff, and an
+    // expiry (kDeadlineExceeded) is the deadline doing its job; neither
+    // is a failure. Retry each a few times before giving up.
     for (int attempt = 0; attempt < 5; ++attempt) {
-      answer = (*client)->Query(query);
-      if (answer.ok() ||
-          answer.status().code() != StatusCode::kUnavailable) {
+      answer = (*client)->Query(query, args.deadline_ms);
+      if (answer.ok()) break;
+      const StatusCode code = answer.status().code();
+      if (code == StatusCode::kUnavailable) {
+        ++stats->shed;
+      } else if (code == StatusCode::kDeadlineExceeded) {
+        ++stats->expired;
+      } else {
         break;
       }
-      ++stats->shed;
       std::this_thread::sleep_for(
           std::chrono::milliseconds(5 * (attempt + 1)));
     }
@@ -298,9 +312,21 @@ int main(int argc, char** argv) {
     hot.push_back(data::UniformQuery(args.d, max_coord, args.seed + 500 + i));
   }
 
-  std::printf("driving %zu clients x %zu queries (target %.1f qps%s)...\n",
+  std::printf("driving %zu clients x %zu queries (target %.1f qps%s, "
+              "deadline %llu ms)...\n",
               args.clients, args.queries, args.qps,
-              args.qps > 0 ? "" : " = unpaced");
+              args.qps > 0 ? "" : " = unpaced",
+              static_cast<unsigned long long>(args.deadline_ms));
+
+  // Server-side resilience counters, snapshotted so the row reports the
+  // deltas this run produced (the registry is process-global).
+  auto& registry = MetricsRegistry::Global();
+  const auto counter0 = [&registry](const char* name) {
+    return static_cast<uint64_t>(registry.GetCounter(name)->value());
+  };
+  const uint64_t shed0 = counter0("server.queries.shed");
+  const uint64_t expired0 = counter0("server.queries.expired");
+  const uint64_t reexec0 = counter0("server.query.reexecutions");
   std::vector<ClientStats> stats(args.clients);
   const auto t0 = Clock::now();
   {
@@ -323,6 +349,7 @@ int main(int argc, char** argv) {
   for (const ClientStats& s : stats) {
     total.completed += s.completed;
     total.shed += s.shed;
+    total.expired += s.expired;
     total.failed += s.failed;
     total.verify_failures += s.verify_failures;
     latencies.insert(latencies.end(), s.latencies_ms.begin(),
@@ -342,10 +369,21 @@ int main(int argc, char** argv) {
       "p50 %.1f ms, p95 %.1f ms, p99 %.1f ms, max %.1f ms\n",
       static_cast<unsigned long long>(total.completed), wall_s, sustained_qps,
       p50, p95, p99, max_ms);
-  std::printf("shed %llu (admission control), failed %llu, verified %s\n",
+  const uint64_t server_shed = counter0("server.queries.shed") - shed0;
+  const uint64_t server_expired =
+      counter0("server.queries.expired") - expired0;
+  const uint64_t reexecutions =
+      counter0("server.query.reexecutions") - reexec0;
+  std::printf("shed %llu (admission control), expired %llu (deadline), "
+              "failed %llu, verified %s\n",
               static_cast<unsigned long long>(total.shed),
+              static_cast<unsigned long long>(total.expired),
               static_cast<unsigned long long>(total.failed),
               verified ? "yes (every answer matches brute force)" : "NO");
+  std::printf("server counters: shed %llu, expired %llu, re-executions %llu\n",
+              static_cast<unsigned long long>(server_shed),
+              static_cast<unsigned long long>(server_expired),
+              static_cast<unsigned long long>(reexecutions));
 
   json::ObjectWriter row;
   row.Int("clients", args.clients)
@@ -357,11 +395,16 @@ int main(int argc, char** argv) {
       .Int("k", args.k)
       .Str("preset", bench::PresetName(args.preset))
       .Num("target_qps", args.qps)
+      .Int("deadline_ms", args.deadline_ms)
       .Num("sustained_qps", sustained_qps)
       .Num("wall_seconds", wall_s)
       .Int("completed", total.completed)
       .Int("shed", total.shed)
+      .Int("expired", total.expired)
       .Int("failed", total.failed)
+      .Int("server_shed", server_shed)
+      .Int("server_expired", server_expired)
+      .Int("reexecutions", reexecutions)
       .Num("p50_ms", p50)
       .Num("p95_ms", p95)
       .Num("p99_ms", p99)

@@ -44,6 +44,11 @@ bool IsTransientCode(StatusCode code) {
   }
 }
 
+Status Annotate(const Status& status, const std::string& prefix) {
+  if (status.ok()) return status;
+  return Status(status.code(), prefix + ": " + status.message());
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = StatusCodeToString(code_);

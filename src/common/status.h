@@ -77,6 +77,12 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
   return os << s.ToString();
 }
 
+// Returns `status` unchanged when OK; otherwise the same code with
+// "<prefix>: <original message>". Used by recovery layers (worker
+// reconnect, whole-query re-execution) to say *where* a transient error
+// was handled without disturbing the typed code the caller dispatches on.
+Status Annotate(const Status& status, const std::string& prefix);
+
 // Convenience constructors mirroring absl::*Error.
 Status InvalidArgumentError(std::string message);
 Status FailedPreconditionError(std::string message);

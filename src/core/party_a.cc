@@ -206,6 +206,11 @@ StatusOr<bgv::Ciphertext> PartyA::DistanceForUnit(
 
 StatusOr<std::unique_ptr<PartyA::Query>> PartyA::StartQuery(
     const bgv::Ciphertext& query_ct) {
+  return StartQuery(query_ct, CancelCheck());
+}
+
+StatusOr<std::unique_ptr<PartyA::Query>> PartyA::StartQuery(
+    const bgv::Ciphertext& query_ct, const CancelCheck& cancel) {
   if (db_top_.empty()) {
     return FailedPreconditionError("no encrypted database loaded");
   }
@@ -249,6 +254,17 @@ StatusOr<std::unique_ptr<PartyA::Query>> PartyA::StartQuery(
   Status first_error = Status::Ok();
   std::mutex error_mu;
   pool_.ParallelFor(0, units, [&](size_t u) {
+    if (cancel) {
+      // Cooperative cancellation checkpoint: a cancelled/expired query
+      // skips the remaining units' HE pipelines (earlier units may have
+      // completed — their ciphertexts are simply dropped with the query).
+      Status cancelled = cancel();
+      if (!cancelled.ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.ok()) first_error = std::move(cancelled);
+        return;
+      }
+    }
     Chacha20Rng unit_rng(query->transform_->unit_seeds[u]);
     auto result = DistanceForUnit(u, query_ct, query.get(), &unit_rng,
                                   &unit_ops[u], &unit_noise[u]);

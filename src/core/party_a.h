@@ -1,6 +1,7 @@
 #ifndef SKNN_CORE_PARTY_A_H_
 #define SKNN_CORE_PARTY_A_H_
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -47,6 +48,15 @@ namespace core {
 
 class PartyA {
  public:
+  // Cooperative cancellation hook for the distance phase. Called between
+  // per-unit pipelines (the long pole of a query); returning a non-OK
+  // status stops the remaining units and surfaces that status from
+  // StartQuery. The server wires a deadline/shutdown check here so a
+  // query whose deadline expired mid-phase stops burning HE compute
+  // instead of finishing an answer nobody is waiting for. Must be
+  // thread-safe: units run on the thread pool.
+  using CancelCheck = std::function<Status()>;
+
   // The per-query transform: drawn fresh from the party CSPRNG at
   // StartQuery, fixed for the query's lifetime, never shared between
   // queries. Kept in a shared_ptr so the `last_*` test hooks can observe
@@ -128,8 +138,11 @@ class PartyA {
   // transform) and homomorphically computes the masked, permuted
   // distances for the encrypted query. Runs the per-unit pipeline on the
   // internal thread pool; emits `party_a.distance` trace spans.
-  // O(u·(log d' + D)) HE ops.
+  // O(u·(log d' + D)) HE ops. The two-argument form checks `cancel`
+  // before each unit's pipeline (see CancelCheck above).
   StatusOr<std::unique_ptr<Query>> StartQuery(const bgv::Ciphertext& query_ct);
+  StatusOr<std::unique_ptr<Query>> StartQuery(const bgv::Ciphertext& query_ct,
+                                              const CancelCheck& cancel);
 
   const OpCounts& ops() const { return ops_; }
   void ResetOps() { ops_ = OpCounts(); }

@@ -302,12 +302,44 @@ bool AdmissionQueue<T>::Pop(T* out) {
 }
 
 template <typename T>
+typename AdmissionQueue<T>::PopOutcome AdmissionQueue<T>::PopFor(
+    T* out, int timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const bool woke = cv_.wait_for(
+      lock, std::chrono::milliseconds(timeout_ms),
+      [&] { return stopped_ || !items_.empty(); });
+  if (!woke) return PopOutcome::kTimeout;
+  if (items_.empty()) return PopOutcome::kStopped;
+  *out = std::move(items_.front());
+  items_.pop_front();
+  MetricsRegistry::Global()
+      .GetGauge("queue.depth")
+      ->Set(static_cast<double>(items_.size()));
+  return PopOutcome::kItem;
+}
+
+template <typename T>
 void AdmissionQueue<T>::Stop() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stopped_ = true;
   }
   cv_.notify_all();
+}
+
+template <typename T>
+std::vector<T> AdmissionQueue<T>::StopAndDrain() {
+  std::vector<T> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+    leftover.reserve(items_.size());
+    std::move(items_.begin(), items_.end(), std::back_inserter(leftover));
+    items_.clear();
+    MetricsRegistry::Global().GetGauge("queue.depth")->Set(0);
+  }
+  cv_.notify_all();
+  return leftover;
 }
 
 template <typename T>
@@ -337,6 +369,18 @@ PartyBServer::~PartyBServer() { Shutdown(); }
 
 uint16_t PartyBServer::port() const { return listener_->port(); }
 
+void PartyBServer::Drain(int deadline_ms) {
+  if (deadline_ms <= 0) deadline_ms = options_.drain_deadline_ms;
+  if (draining_.exchange(true)) return;
+  // No new connections are accepted past this point; queries already in
+  // flight get the deadline to finish, then Shutdown cuts them off.
+  const auto deadline = Clock::now() + std::chrono::milliseconds(deadline_ms);
+  while (Clock::now() < deadline &&
+         in_flight_.load(std::memory_order_relaxed) > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
 void PartyBServer::Shutdown() {
   if (stop_.exchange(true)) return;
   // Start can fail before the listener exists (e.g. the port is taken);
@@ -350,6 +394,11 @@ void PartyBServer::AcceptLoop() {
   uint64_t conn_id = 0;
   while (!stop_.load(std::memory_order_relaxed)) {
     conn_threads_.ReapFinished();
+    if (draining_.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.accept_poll_ms));
+      continue;
+    }
     auto conn = listener_->Accept(options_.accept_poll_ms,
                                   "B conn " + std::to_string(conn_id));
     if (!conn.ok()) continue;  // timeout or transient; poll again
@@ -362,14 +411,22 @@ void PartyBServer::AcceptLoop() {
   }
 }
 
-Status PartyBServer::ServeQuery(PartyB* party_b, net::ResilientChannel* ch) {
+Status PartyBServer::ServeQuery(PartyB* party_b, net::ResilientChannel* ch,
+                                std::vector<uint8_t> first_distance_payload) {
   // One query on this connection: u distance frames in, k_eff * u
   // indicator frames out. Both counts are derived independently on each
-  // side from the shared deployment (PROTOCOL.md "Socket transport").
+  // side from the shared deployment (PROTOCOL.md "Socket transport"). The
+  // first distance frame was already consumed by the serve loop's
+  // heartbeat-or-query dispatch and arrives here as a payload.
   const size_t units = deployment_.layout.num_units();
   std::vector<bgv::Ciphertext> received;
   received.reserve(units);
-  for (size_t i = 0; i < units; ++i) {
+  {
+    SKNN_ASSIGN_OR_RETURN(bgv::Ciphertext ct,
+                          CtFromBytes(std::move(first_distance_payload)));
+    received.push_back(std::move(ct));
+  }
+  for (size_t i = 1; i < units; ++i) {
     SKNN_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
                           ch->ReceiveMessage(net::MessageType::kDistances));
     SKNN_ASSIGN_OR_RETURN(bgv::Ciphertext ct, CtFromBytes(std::move(bytes)));
@@ -423,10 +480,22 @@ void PartyBServer::ServeConnection(std::unique_ptr<net::SocketChannel> conn,
     while (!stop_.load(std::memory_order_relaxed)) {
       auto traffic = WaitForTraffic(conn.get(), options_.idle_poll_ms, stop_);
       if (!traffic.ok() || !traffic.value()) break;
-      // Per-query epoch: sequence spaces restart at the query boundary on
-      // both ends (the A worker resets before its first distance frame).
+      // Per-query epoch: sequence spaces restart at the exchange boundary
+      // on both ends (the A worker resets before its first frame, whether
+      // that is a heartbeat probe or a query's first distance frame).
       ch.ResetEpoch();
-      Status s = ServeQuery(&party_b, &ch);
+      auto first = ch.ReceiveFrame();
+      if (!first.ok()) break;  // desync or peer loss: drop the connection
+      if (first.value().type == net::MessageType::kHeartbeat) {
+        // Liveness probe from an idle A worker: echo and keep listening.
+        ServerCounter("server.b.heartbeats")->Increment();
+        if (!ch.SendMessage(net::MessageType::kHeartbeat, {}).ok()) break;
+        continue;
+      }
+      if (first.value().type != net::MessageType::kDistances) break;
+      in_flight_.fetch_add(1, std::memory_order_relaxed);
+      Status s = ServeQuery(&party_b, &ch, std::move(first.value().payload));
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
       if (!s.ok()) break;  // desync or peer loss: drop the connection
       ServerCounter("server.b.queries_served")->Increment();
     }
@@ -441,6 +510,12 @@ void PartyBServer::ServeConnection(std::unique_ptr<net::SocketChannel> conn,
 struct PartyAServer::Job {
   bgv::Ciphertext query_ct;
   Clock::time_point enqueued_at;
+  // End-to-end deadline (absolute, this process's steady clock — the
+  // client ships a relative budget precisely because the two clocks are
+  // not comparable). Queue wait, every A<->B leg, and the distance-phase
+  // cancellation checkpoints all charge against it.
+  bool has_deadline = false;
+  Clock::time_point deadline{};
   std::mutex mu;
   std::condition_variable cv;
   bool done = false;
@@ -477,7 +552,8 @@ StatusOr<std::unique_ptr<PartyAServer>> PartyAServer::Start(
   server->b_raw_.resize(options.workers);
   server->b_ch_.resize(options.workers);
   for (size_t w = 0; w < options.workers; ++w) {
-    SKNN_RETURN_IF_ERROR(server->ConnectWorkerToB(w));
+    SKNN_RETURN_IF_ERROR(
+        server->ConnectWorkerToB(w, options.connect_timeout_ms));
   }
   MetricsRegistry::Global()
       .GetGauge("server.workers")
@@ -496,6 +572,33 @@ PartyAServer::~PartyAServer() { Shutdown(); }
 
 uint16_t PartyAServer::port() const { return listener_->port(); }
 
+void PartyAServer::Drain(int deadline_ms) {
+  if (deadline_ms <= 0) deadline_ms = options_.drain_deadline_ms;
+  if (draining_.exchange(true)) return;
+  // From here on ServeConnection sheds new queries with a typed
+  // kUnavailable instead of enqueuing them.
+  MetricsRegistry::Global().GetGauge("server.draining")->Set(1);
+  const auto deadline = Clock::now() + std::chrono::milliseconds(deadline_ms);
+  while (Clock::now() < deadline) {
+    if (queue_->depth() == 0 &&
+        in_flight_.load(std::memory_order_relaxed) == 0) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // Whatever is still queued at the deadline gets a typed answer — a
+  // drained server never leaves a client blocked on a query it will not
+  // run. In-flight queries (already on a worker) are left to finish;
+  // Shutdown cuts them off if the operator will not wait.
+  std::vector<std::shared_ptr<Job>> stragglers = queue_->StopAndDrain();
+  for (const std::shared_ptr<Job>& straggler : stragglers) {
+    ServerCounter("server.queries.drained")->Increment();
+    FinishJob(straggler,
+              UnavailableError("server draining: query was still queued at "
+                               "the drain deadline; retry elsewhere"));
+  }
+}
+
 void PartyAServer::Shutdown() {
   if (stop_.exchange(true)) return;
   // Start fails fast before the queue/listener exist when B is
@@ -513,21 +616,56 @@ void PartyAServer::Shutdown() {
   }
 }
 
-Status PartyAServer::ConnectWorkerToB(size_t worker_index) {
+Status PartyAServer::ConnectWorkerToB(size_t worker_index,
+                                      int connect_timeout_ms) {
+  // Startup uses the long connect_timeout_ms (fail fast but tolerate a B
+  // that is still binding); the supervised reconnect loop passes the much
+  // shorter reconnect_attempt_timeout_ms so a dead B costs one bounded
+  // attempt per backoff step, not a multi-second stall per job.
   SKNN_ASSIGN_OR_RETURN(
       std::unique_ptr<net::SocketChannel> conn,
       net::ConnectSocket(options_.peer_host, options_.peer_port,
-                         options_.connect_timeout_ms,
+                         connect_timeout_ms,
                          "A->B worker " + std::to_string(worker_index)));
   conn->set_io_poll_ms(options_.io_poll_ms);
+  // The handshake wait is bounded by the same budget as the TCP connect:
+  // against a stalled network (accepts connections, delivers nothing) a
+  // reconnect attempt must cost one bounded step, not the full
+  // per-message poll budget.
+  const int handshake_polls = std::max(
+      1, connect_timeout_ms / std::max(1, options_.io_poll_ms));
   SKNN_RETURN_IF_ERROR(DialHandshake(conn.get(), "party_a",
                                      deployment_.fingerprint,
-                                     options_.retry.max_receive_polls));
+                                     handshake_polls));
   b_raw_[worker_index] = std::move(conn);
   b_ch_[worker_index] = std::make_unique<net::ResilientChannel>(
       b_raw_[worker_index].get(), options_.retry, worker_index,
       "A-worker-" + std::to_string(worker_index));
   return Status::Ok();
+}
+
+Status PartyAServer::HeartbeatProbe(size_t worker_index) {
+  net::ResilientChannel& ch = *b_ch_[worker_index];
+  // A heartbeat is its own epoch: B's serve loop resets at every exchange
+  // boundary, so the probe and its echo both run at sequence 0.
+  ch.ResetEpoch();
+  ch.set_deadline(Clock::now() +
+                  std::chrono::milliseconds(options_.heartbeat_timeout_ms));
+  Status probe = [&]() -> Status {
+    SKNN_RETURN_IF_ERROR(ch.SendMessage(net::MessageType::kHeartbeat, {}));
+    return ch.ReceiveMessage(net::MessageType::kHeartbeat).status();
+  }();
+  ch.clear_deadline();
+  return probe;
+}
+
+void PartyAServer::FinishJob(const std::shared_ptr<Job>& job, Status status) {
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    job->status = std::move(status);
+    job->done = true;
+  }
+  job->cv.notify_all();
 }
 
 void PartyAServer::AcceptLoop() {
@@ -547,12 +685,43 @@ void PartyAServer::AcceptLoop() {
 }
 
 Status PartyAServer::RunQueryOnWorker(size_t worker_index, Job* job) {
+  // Test hook: a pending injected fault aborts before the B connection is
+  // touched, so the supervised recovery path (close, reconnect,
+  // re-execute) runs deterministically in tests.
+  int pending_faults = inject_faults_.load(std::memory_order_relaxed);
+  while (pending_faults > 0 &&
+         !inject_faults_.compare_exchange_weak(pending_faults,
+                                               pending_faults - 1)) {
+  }
+  if (pending_faults > 0) {
+    return AbortedError("injected worker fault (test hook)");
+  }
   net::ResilientChannel& ch = *b_ch_[worker_index];
   // Per-query epoch on this worker's B connection (the B side resets when
-  // it wakes for our first frame).
+  // it wakes for our first frame). The query's remaining deadline bounds
+  // every receive on this channel for the rest of the exchange.
   ch.ResetEpoch();
+  if (job->has_deadline) {
+    ch.set_deadline(job->deadline);
+  } else {
+    ch.clear_deadline();
+  }
+  // Cooperative cancellation between state-machine phases and between
+  // per-unit distance pipelines: a query whose deadline expired (or whose
+  // server is stopping) stops burning HE compute mid-flight instead of
+  // finishing an answer nobody is waiting for.
+  const auto cancel = [this, job]() -> Status {
+    if (stop_.load(std::memory_order_relaxed)) {
+      return AbortedError("server shutting down");
+    }
+    if (job->has_deadline && Clock::now() >= job->deadline) {
+      return DeadlineExceededError("query deadline expired mid-execution");
+    }
+    return Status::Ok();
+  };
   SKNN_ASSIGN_OR_RETURN(std::unique_ptr<PartyA::Query> query,
-                        party_a_->StartQuery(job->query_ct));
+                        party_a_->StartQuery(job->query_ct, cancel));
+  SKNN_RETURN_IF_ERROR(cancel());
   for (const bgv::Ciphertext& ct : query->distances()) {
     ByteSink sink;
     bgv::WriteCiphertext(ct, &sink);
@@ -563,10 +732,12 @@ Status PartyAServer::RunQueryOnWorker(size_t worker_index, Job* job) {
   // derive the indicator frame count without a control message.
   const size_t effective_k =
       std::min<size_t>(deployment_.config.k, deployment_.layout.num_points());
+  SKNN_RETURN_IF_ERROR(cancel());
   SKNN_RETURN_IF_ERROR(query->BeginReturnPhase(effective_k));
   const size_t units = deployment_.layout.num_units();
   const bgv::NoiseModel noise_model(*deployment_.ctx);
   for (size_t j = 0; j < effective_k; ++j) {
+    SKNN_RETURN_IF_ERROR(cancel());
     for (size_t pos = 0; pos < units; ++pos) {
       SKNN_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
                             ch.ReceiveMessage(net::MessageType::kIndicators));
@@ -584,6 +755,8 @@ Status PartyAServer::RunQueryOnWorker(size_t worker_index, Job* job) {
       SKNN_RETURN_IF_ERROR(query->AbsorbIndicator(j, pos, ind));
     }
   }
+  SKNN_RETURN_IF_ERROR(cancel());
+  job->result_payloads.clear();
   job->result_payloads.reserve(effective_k);
   for (size_t j = 0; j < effective_k; ++j) {
     SKNN_ASSIGN_OR_RETURN(bgv::Ciphertext ct, query->FinalizeResult(j));
@@ -599,53 +772,142 @@ void PartyAServer::WorkerLoop(size_t worker_index) {
       registry.GetHistogram("latency_ns.server.queue_wait");
   MetricsRegistry::Histogram* query_latency =
       registry.GetHistogram("latency_ns.server.query");
+  // Supervised connection state: Start() handed this worker a live B
+  // connection. While connected, idle pops are bounded by the heartbeat
+  // interval so a silently dead B is probed within one interval. While
+  // disconnected, pops are bounded by the current backoff step so the
+  // worker keeps re-dialling B — and, crucially, keeps draining the queue
+  // with typed kUnavailable sheds instead of running queries into a dead
+  // channel or blocking forever.
+  bool connected = true;
+  int backoff_ms = options_.reconnect_backoff_ms;
+  auto last_probe = Clock::now();
+  const auto try_reconnect = [&]() {
+    b_raw_[worker_index]->Close();
+    if (ConnectWorkerToB(worker_index, options_.reconnect_attempt_timeout_ms)
+            .ok()) {
+      ServerCounter("server.worker.reconnects")->Increment();
+      connected = true;
+      backoff_ms = options_.reconnect_backoff_ms;
+      last_probe = Clock::now();
+    } else {
+      connected = false;
+      backoff_ms =
+          std::min(backoff_ms * 2, options_.reconnect_backoff_max_ms);
+    }
+  };
   std::shared_ptr<Job> job;
-  while (queue_->Pop(&job)) {
+  for (;;) {
+    const int wait_ms =
+        connected ? options_.heartbeat_interval_ms : backoff_ms;
+    const auto outcome = queue_->PopFor(&job, wait_ms);
+    if (outcome == AdmissionQueue<std::shared_ptr<Job>>::PopOutcome::kStopped) {
+      break;
+    }
+    if (outcome == AdmissionQueue<std::shared_ptr<Job>>::PopOutcome::kTimeout) {
+      if (!connected) {
+        try_reconnect();
+      } else if (NsSince(last_probe) / 1000000 >=
+                 static_cast<uint64_t>(options_.heartbeat_interval_ms)) {
+        // Idle long enough: one bounded kHeartbeat round-trip. A failed
+        // probe demotes the connection — the next pop timeout re-dials.
+        Status beat = HeartbeatProbe(worker_index);
+        last_probe = Clock::now();
+        if (beat.ok()) {
+          ServerCounter("server.worker.heartbeats")->Increment();
+        } else {
+          ServerCounter("server.worker.heartbeat_failures")->Increment();
+          b_raw_[worker_index]->Close();
+          connected = false;
+          backoff_ms = options_.reconnect_backoff_ms;
+        }
+      }
+      continue;
+    }
     queue_wait->Record(NsSince(job->enqueued_at));
+    // Shed, never run, a query whose deadline expired while it queued:
+    // the client has already timed out, so the HE work would be wasted.
+    if (job->has_deadline && Clock::now() >= job->deadline) {
+      ServerCounter("server.queries.expired")->Increment();
+      ServerCounter("server.queries.failed")->Increment();
+      FinishJob(job, DeadlineExceededError(
+                         "query deadline expired in the admission queue"));
+      job.reset();
+      continue;
+    }
+    if (!connected) {
+      // One immediate attempt on behalf of this job; if B is still down,
+      // shed with a typed transient error rather than stall the client
+      // for the full protocol timeout.
+      try_reconnect();
+      if (!connected) {
+        ServerCounter("server.queries.failed")->Increment();
+        FinishJob(job, UnavailableError(
+                           "party B unreachable (worker reconnecting); "
+                           "retry with backoff"));
+        job.reset();
+        continue;
+      }
+    }
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
     const int delay = worker_delay_ms_.load(std::memory_order_relaxed);
     if (delay > 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(delay));
     }
+    // Execute, with bounded whole-query re-execution: the protocol is
+    // stateless per query, so after a broken A<->B exchange the query is
+    // re-run from StartQuery (fresh mask and permutation — the leakage
+    // argument is DESIGN.md §8.5) on a fresh connection, at most
+    // max_query_reexecutions times and never past the deadline.
     const auto t0 = Clock::now();
-    const uint64_t bytes_before = b_raw_[worker_index]->bytes_sent() +
-                                  b_raw_[worker_index]->bytes_received();
-    Status status = RunQueryOnWorker(worker_index, job.get());
+    uint64_t bytes_moved = 0;
+    Status status;
+    for (int attempt = 0;; ++attempt) {
+      const uint64_t bytes_before = b_raw_[worker_index]->bytes_sent() +
+                                    b_raw_[worker_index]->bytes_received();
+      status = RunQueryOnWorker(worker_index, job.get());
+      // Capture this attempt's byte delta BEFORE any close/reconnect
+      // swaps b_raw_ for a fresh connection whose counters say nothing
+      // about this query.
+      bytes_moved += b_raw_[worker_index]->bytes_sent() +
+                     b_raw_[worker_index]->bytes_received() - bytes_before;
+      if (status.ok()) break;
+      // The worker's B connection may hold half a query's frames; the
+      // only cross-process drain is a fresh connection (PROTOCOL.md).
+      if (stop_.load(std::memory_order_relaxed)) break;
+      try_reconnect();
+      if (!status.IsTransient()) break;  // fatal: re-running cannot cure it
+      if (status.code() == StatusCode::kDeadlineExceeded ||
+          (job->has_deadline && Clock::now() >= job->deadline)) {
+        break;  // no budget left to re-execute against
+      }
+      if (attempt >= options_.max_query_reexecutions) break;
+      if (!connected) {
+        status = Annotate(status, "party B unreachable after failure");
+        break;
+      }
+      ServerCounter("server.query.reexecutions")->Increment();
+    }
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
     const double seconds = static_cast<double>(NsSince(t0)) * 1e-9;
     query_latency->Record(NsSince(job->enqueued_at));
     if (status.ok()) {
       ServerCounter("server.queries.completed")->Increment();
     } else {
       ServerCounter("server.queries.failed")->Increment();
-      // The worker's B connection may hold half a query's frames; the only
-      // cross-process drain is a fresh connection (PROTOCOL.md).
-      if (!stop_.load(std::memory_order_relaxed)) {
-        b_raw_[worker_index]->Close();
-        if (ConnectWorkerToB(worker_index).ok()) {
-          ServerCounter("server.worker.reconnects")->Increment();
-        }
-      }
     }
-    // One flight record per server-side query: shape, A-side duration,
-    // A<->B bytes moved, outcome (OPERATIONS.md "Reading the flight
-    // recorder").
+    // One flight record per server-side query: shape, A-side duration
+    // (re-executions included), A<->B bytes moved across every attempt,
+    // outcome (OPERATIONS.md "Reading the flight recorder").
     FlightRecord record;
     record.num_points = deployment_.layout.num_points();
     record.dims = deployment_.layout.dims();
     record.k = deployment_.config.k;
-    record.phases.push_back(
-        {"server.query", seconds,
-         b_raw_[worker_index]->bytes_sent() +
-             b_raw_[worker_index]->bytes_received() - bytes_before,
-         -1});
+    record.phases.push_back({"server.query", seconds, bytes_moved, -1});
     record.ok = status.ok();
     record.status = status.ok() ? "ok" : status.message();
     FlightRecorder::Global().Add(std::move(record));
-    {
-      std::lock_guard<std::mutex> lock(job->mu);
-      job->status = std::move(status);
-      job->done = true;
-    }
-    job->cv.notify_all();
+    FinishJob(job, std::move(status));
     job.reset();
   }
 }
@@ -664,11 +926,42 @@ void PartyAServer::ServeConnection(std::unique_ptr<net::SocketChannel> conn,
       auto traffic = WaitForTraffic(conn.get(), options_.idle_poll_ms, stop_);
       if (!traffic.ok() || !traffic.value()) break;
       ch.ResetEpoch();
-      auto query_bytes = ch.ReceiveMessage(net::MessageType::kQuery);
-      if (!query_bytes.ok()) break;
+      // A query exchange optionally opens with a kControl deadline
+      // preamble ("deadline budget_ms=N"); a client without a deadline
+      // sends the kQuery frame directly, byte-identical to the
+      // pre-deadline protocol.
+      auto first = ch.ReceiveFrame();
+      if (!first.ok()) break;
+      bool has_deadline = false;
+      Clock::time_point deadline{};
+      std::vector<uint8_t> query_payload;
+      if (first.value().type == net::MessageType::kControl) {
+        const std::string preamble(first.value().payload.begin(),
+                                   first.value().payload.end());
+        constexpr const char* kDeadlinePrefix = "deadline budget_ms=";
+        uint64_t budget_ms = 0;
+        const size_t prefix_len = std::string(kDeadlinePrefix).size();
+        if (preamble.rfind(kDeadlinePrefix, 0) != 0) break;
+        const char* b = preamble.data() + prefix_len;
+        const char* e = preamble.data() + preamble.size();
+        auto [ptr, ec] = std::from_chars(b, e, budget_ms);
+        if (ec != std::errc() || ptr != e || b == e) break;
+        // The budget is relative on the wire (the two processes' clocks
+        // are not comparable); it becomes absolute at receipt, so queue
+        // wait counts against it from this moment.
+        has_deadline = true;
+        deadline = Clock::now() + std::chrono::milliseconds(budget_ms);
+        auto query_bytes = ch.ReceiveMessage(net::MessageType::kQuery);
+        if (!query_bytes.ok()) break;
+        query_payload = std::move(query_bytes).value();
+      } else if (first.value().type == net::MessageType::kQuery) {
+        query_payload = std::move(first.value().payload);
+      } else {
+        break;  // protocol violation: drop the connection
+      }
       Status outcome;
       std::shared_ptr<Job> job = std::make_shared<Job>();
-      auto ct = CtFromBytes(std::move(query_bytes).value());
+      auto ct = CtFromBytes(std::move(query_payload));
       if (!ct.ok()) {
         outcome = ct.status();
       } else {
@@ -678,8 +971,19 @@ void PartyAServer::ServeConnection(std::unique_ptr<net::SocketChannel> conn,
         job->query_ct.noise_bits =
             bgv::NoiseModel(*deployment_.ctx).FreshPkNoiseBits();
         job->enqueued_at = Clock::now();
+        job->has_deadline = has_deadline;
+        job->deadline = deadline;
         ServerCounter("server.queries.accepted")->Increment();
-        if (!queue_->TryPush(job)) {
+        if (draining_.load(std::memory_order_relaxed) ||
+            stop_.load(std::memory_order_relaxed)) {
+          ServerCounter("server.queries.shed")->Increment();
+          outcome = UnavailableError(
+              "server draining: not accepting new queries; retry elsewhere");
+        } else if (has_deadline && Clock::now() >= deadline) {
+          ServerCounter("server.queries.expired")->Increment();
+          outcome = DeadlineExceededError(
+              "query deadline expired before admission");
+        } else if (!queue_->TryPush(job)) {
           // Backpressure: typed shed, never a hang (DESIGN.md §9).
           ServerCounter("server.queries.shed")->Increment();
           outcome = UnavailableError(
@@ -732,32 +1036,79 @@ StatusOr<std::unique_ptr<RemoteClient>> RemoteClient::Connect(
     const ServerOptions& options) {
   auto rc = std::unique_ptr<RemoteClient>(
       new RemoteClient(deployment, options));
-  SKNN_ASSIGN_OR_RETURN(
-      rc->conn_, net::ConnectSocket(host, port, options.connect_timeout_ms,
-                                    "client->A"));
-  rc->conn_->set_io_poll_ms(options.io_poll_ms);
-  SKNN_RETURN_IF_ERROR(DialHandshake(rc->conn_.get(), "client",
-                                     deployment.fingerprint,
-                                     options.retry.max_receive_polls));
-  rc->ch_ = std::make_unique<net::ResilientChannel>(
-      rc->conn_.get(), options.retry, /*seed=*/port, "client");
+  rc->fingerprint_ = deployment.fingerprint;
+  rc->host_ = host;
+  rc->port_ = port;
+  SKNN_RETURN_IF_ERROR(rc->Reconnect());
   return rc;
 }
 
+Status RemoteClient::Reconnect() {
+  ch_.reset();
+  if (conn_) conn_->Close();
+  SKNN_ASSIGN_OR_RETURN(
+      conn_, net::ConnectSocket(host_, port_, options_.connect_timeout_ms,
+                                "client->A"));
+  conn_->set_io_poll_ms(options_.io_poll_ms);
+  SKNN_RETURN_IF_ERROR(DialHandshake(conn_.get(), "client", fingerprint_,
+                                     options_.retry.max_receive_polls));
+  ch_ = std::make_unique<net::ResilientChannel>(
+      conn_.get(), options_.retry, /*seed=*/port_, "client");
+  dirty_ = false;
+  return Status::Ok();
+}
+
 StatusOr<std::vector<std::vector<uint64_t>>> RemoteClient::Query(
-    const std::vector<uint64_t>& query) {
+    const std::vector<uint64_t>& query, uint64_t deadline_ms) {
   ++queries_;
+  // A previous exchange that was abandoned mid-reply (deadline expiry,
+  // mid-stream disconnect) left an unconsumed — or half-consumed — reply
+  // on the connection; start this query on a fresh one instead of
+  // misreading the stale frames as our reply.
+  if (dirty_ || !ch_) {
+    SKNN_RETURN_IF_ERROR(Reconnect());
+  }
   // Per-query epoch, mirrored by the server's connection handler.
   ch_->ResetEpoch();
+  if (deadline_ms > 0) {
+    // Bound the client's own receive waits by the budget plus a grace
+    // window: the server's deadline is anchored later (at receipt) and it
+    // answers expiry with a typed error, so a healthy server's reply
+    // lands inside the grace window and the connection stays clean. Only
+    // a server that is itself dead or stalled runs the window out.
+    const uint64_t grace_ms = deadline_ms / 4 + 250;
+    ch_->set_deadline(Clock::now() +
+                      std::chrono::milliseconds(deadline_ms + grace_ms));
+  } else {
+    ch_->clear_deadline();
+  }
   SKNN_ASSIGN_OR_RETURN(bgv::Ciphertext query_ct,
                         client_->EncryptQuery(query));
+  // From the first frame out until the last reply frame in, any failure
+  // leaves the exchange incomplete on the wire.
+  dirty_ = true;
+  if (deadline_ms > 0) {
+    // Relative budget on the wire: the server's clock is not ours, so it
+    // anchors the absolute deadline at receipt (see ServeConnection).
+    const std::string preamble =
+        "deadline budget_ms=" + std::to_string(deadline_ms);
+    SKNN_RETURN_IF_ERROR(ch_->SendMessage(
+        net::MessageType::kControl,
+        std::vector<uint8_t>(preamble.begin(), preamble.end())));
+  }
   SKNN_RETURN_IF_ERROR(
       ch_->SendMessage(net::MessageType::kQuery, CtToBytes(query_ct)));
   SKNN_ASSIGN_OR_RETURN(std::vector<uint8_t> reply_bytes,
                         ch_->ReceiveMessage(net::MessageType::kControl));
   const std::string reply(reply_bytes.begin(), reply_bytes.end());
   size_t k = 0;
-  SKNN_RETURN_IF_ERROR(ParseControlReply(reply, &k));
+  Status verdict = ParseControlReply(reply, &k);
+  if (!verdict.ok()) {
+    // A typed server error is a complete exchange: the reply was
+    // consumed, the connection is clean for the next query.
+    dirty_ = false;
+    return verdict;
+  }
   // The server's effective k is min(config.k, num_points), so anything
   // above config.k is a corrupt or hostile control frame; bound it before
   // reserving and looping on result frames.
@@ -776,6 +1127,7 @@ StatusOr<std::vector<std::vector<uint64_t>>> RemoteClient::Query(
                           client_->DecryptNeighbour(ct));
     neighbours.push_back(std::move(point));
   }
+  dirty_ = false;
   return neighbours;
 }
 

@@ -92,6 +92,31 @@ struct ServerOptions {
   // How often idle connection threads wake to check for shutdown.
   int idle_poll_ms = 100;
   int connect_timeout_ms = 5000;
+  // --- Resilience knobs (OPERATIONS.md "Failure runbook") ---
+  // An idle A worker probes its B connection with a kHeartbeat exchange
+  // every `heartbeat_interval_ms`, so a silently dead B (SIGKILL, power
+  // loss: no FIN/RST ever arrives) is detected within one interval
+  // instead of at the next query. `heartbeat_timeout_ms` bounds the wait
+  // for the probe reply.
+  int heartbeat_interval_ms = 1000;
+  int heartbeat_timeout_ms = 2000;
+  // Supervised worker reconnect: exponential backoff between re-dial
+  // attempts while B is unreachable (doubles from the base up to the
+  // cap; each attempt's TCP connect is bounded by
+  // `reconnect_attempt_timeout_ms`).
+  int reconnect_backoff_ms = 50;
+  int reconnect_backoff_max_ms = 2000;
+  int reconnect_attempt_timeout_ms = 250;
+  // Whole-query re-executions after a broken A<->B exchange: the protocol
+  // is stateless per query, so a query that died mid-flight is re-run
+  // from StartQuery on a fresh connection (fresh mask/permutation — the
+  // leakage argument is DESIGN.md §8.5), at most this many times and
+  // never past the query's deadline.
+  int max_query_reexecutions = 1;
+  // Graceful drain: how long Drain() waits for queued + in-flight
+  // queries to finish before answering the stragglers with a typed
+  // kUnavailable.
+  int drain_deadline_ms = 5000;
   net::RetryPolicy retry = ServerRetryPolicy();
 
   // Wire-friendly defaults: protocol phases take real time, so the
@@ -151,12 +176,22 @@ class ConnectionThreads {
 template <typename T>
 class AdmissionQueue {
  public:
+  enum class PopOutcome { kItem, kTimeout, kStopped };
+
   explicit AdmissionQueue(size_t capacity);
 
   bool TryPush(T item);
   // Returns false when stopped and empty.
   bool Pop(T* out);
+  // Bounded wait: kItem fills *out, kTimeout after `timeout_ms` with no
+  // item (the worker's cue to heartbeat or retry a reconnect), kStopped
+  // when the queue is stopped and empty.
+  PopOutcome PopFor(T* out, int timeout_ms);
   void Stop();
+  // Stops the queue and hands back everything still queued, so a
+  // draining server can answer the stragglers with a typed error
+  // instead of leaving their connection threads blocked forever.
+  std::vector<T> StopAndDrain();
   size_t depth() const;
 
  private:
@@ -178,6 +213,11 @@ class PartyBServer {
   ~PartyBServer();
 
   uint16_t port() const;
+  // Graceful drain: stop accepting new connections, wait up to
+  // `deadline_ms` (<=0: options.drain_deadline_ms) for in-flight queries
+  // to finish, then return. Idempotent; Shutdown still closes the
+  // connections afterwards.
+  void Drain(int deadline_ms = 0);
   void Shutdown();
 
  private:
@@ -185,12 +225,15 @@ class PartyBServer {
   void AcceptLoop();
   void ServeConnection(std::unique_ptr<net::SocketChannel> conn,
                        uint64_t conn_id);
-  Status ServeQuery(PartyB* party_b, net::ResilientChannel* ch);
+  Status ServeQuery(PartyB* party_b, net::ResilientChannel* ch,
+                    std::vector<uint8_t> first_distance_payload);
 
   Deployment deployment_;
   ServerOptions options_;
   std::unique_ptr<net::SocketListener> listener_;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<int> in_flight_{0};
   std::thread accept_thread_;
   ConnectionThreads conn_threads_;
 };
@@ -209,11 +252,22 @@ class PartyAServer {
   ~PartyAServer();
 
   uint16_t port() const;
+  // Graceful drain (OPERATIONS.md "Failure runbook"): new queries are
+  // shed with a typed kUnavailable while queued + in-flight queries get
+  // up to `deadline_ms` (<=0: options.drain_deadline_ms) to finish;
+  // stragglers still queued at the deadline are answered with a typed
+  // kUnavailable so no client is left hanging. Idempotent; call
+  // Shutdown afterwards to release threads and sockets.
+  void Drain(int deadline_ms = 0);
   void Shutdown();
 
   // Test hook: artificial per-query delay in the worker (exercises
   // backpressure deterministically).
   void set_worker_delay_ms_for_test(int ms) { worker_delay_ms_ = ms; }
+  // Test hook: the next `n` worker query executions fail with a typed
+  // kAborted before touching the B connection, exercising the
+  // close-reconnect-re-execute recovery path deterministically.
+  void inject_worker_faults_for_test(int n) { inject_faults_ = n; }
 
  private:
   struct Job;
@@ -224,16 +278,24 @@ class PartyAServer {
                        uint64_t conn_id);
   void WorkerLoop(size_t worker_index);
   // The A side of one query against B on this worker's channel. Fills
-  // job->result_frames on success.
+  // job->result_payloads on success.
   Status RunQueryOnWorker(size_t worker_index, Job* job);
-  Status ConnectWorkerToB(size_t worker_index);
+  Status ConnectWorkerToB(size_t worker_index, int connect_timeout_ms);
+  // One kHeartbeat round-trip on the worker's B connection, bounded by
+  // heartbeat_timeout_ms.
+  Status HeartbeatProbe(size_t worker_index);
+  // Completes `job` with `status` and wakes its connection thread.
+  static void FinishJob(const std::shared_ptr<Job>& job, Status status);
 
   Deployment deployment_;
   ServerOptions options_;
   std::unique_ptr<PartyA> party_a_;
   std::unique_ptr<net::SocketListener> listener_;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<int> in_flight_{0};
   std::atomic<int> worker_delay_ms_{0};
+  std::atomic<int> inject_faults_{0};
 
   std::unique_ptr<AdmissionQueue<std::shared_ptr<Job>>> queue_;
   // Worker w owns b_raw_[w] (socket) wrapped by b_ch_[w] (resilient).
@@ -256,17 +318,35 @@ class RemoteClient {
 
   // Runs one query end-to-end. A shed returns the server's typed
   // kUnavailable; transport failures surface as their transient codes.
+  //
+  // `deadline_ms` > 0 sets an end-to-end budget: it rides a kControl
+  // preamble frame to the server (which sheds the query with a typed
+  // kDeadlineExceeded if it expires while queued, and bounds every
+  // A<->B leg by the remainder) and bounds the client's own receive
+  // waits, so a query can never outlive its deadline on either end.
+  // 0 keeps the fixed RetryPolicy budgets (and sends no preamble — the
+  // wire is byte-identical to the pre-deadline protocol).
   StatusOr<std::vector<std::vector<uint64_t>>> Query(
-      const std::vector<uint64_t>& query);
+      const std::vector<uint64_t>& query, uint64_t deadline_ms = 0);
 
  private:
   RemoteClient(const Deployment& deployment, const ServerOptions& options);
+  // (Re)dials Party A and handshakes. Query calls this transparently when
+  // the previous exchange left the connection dirty (an abandoned reply:
+  // deadline expiry or a mid-stream failure) — reusing such a connection
+  // would hand the NEXT query the stale reply and desynchronize every
+  // exchange after it.
+  Status Reconnect();
 
   ProtocolConfig config_;
   ServerOptions options_;
+  uint64_t fingerprint_ = 0;
+  std::string host_;
+  uint16_t port_ = 0;
   std::unique_ptr<Client> client_;
   std::unique_ptr<net::SocketChannel> conn_;
   std::unique_ptr<net::ResilientChannel> ch_;
+  bool dirty_ = false;
   uint64_t queries_ = 0;
 };
 

@@ -45,6 +45,8 @@ const char* MessageTypeToString(MessageType type) {
       return "results";
     case MessageType::kControl:
       return "control";
+    case MessageType::kHeartbeat:
+      return "heartbeat";
   }
   return "invalid";
 }
@@ -85,7 +87,7 @@ StatusOr<Frame> DecodeFrame(std::vector<uint8_t> bytes) {
     return FailedPreconditionError(os.str());
   }
   const uint8_t raw_type = bytes[5];
-  if (raw_type > static_cast<uint8_t>(MessageType::kControl)) {
+  if (raw_type > static_cast<uint8_t>(MessageType::kHeartbeat)) {
     return DataLossError("frame corrupt: unknown message type tag");
   }
   if (bytes[6] != 0 || bytes[7] != 0) {

@@ -43,6 +43,7 @@ enum class MessageType : uint8_t {
   kIndicators = 3,  // message 3: B -> A indicator ciphertexts
   kResults = 4,     // message 4: A -> client encrypted neighbours
   kControl = 5,
+  kHeartbeat = 6,   // liveness probe on an idle A->B worker connection
 };
 
 const char* MessageTypeToString(MessageType type);

@@ -67,8 +67,7 @@ void ResilientChannel::Backoff(int attempt) {
   }
 }
 
-StatusOr<std::vector<uint8_t>> ResilientChannel::ReceiveInternal(
-    bool check_type, MessageType expected) {
+StatusOr<Frame> ResilientChannel::NextFrameInOrder() {
   static MetricsRegistry::Counter* received =
       NetCounter("net.frames.received");
   static MetricsRegistry::Counter* corrupt = NetCounter("net.corrupt_frames");
@@ -78,33 +77,36 @@ StatusOr<std::vector<uint8_t>> ResilientChannel::ReceiveInternal(
   static MetricsRegistry::Counter* held =
       NetCounter("net.frames.reordered_held");
 
-  auto deliver = [&](Frame frame) -> StatusOr<std::vector<uint8_t>> {
-    next_recv_seq_ = frame.seq + 1;
-    if (check_type && frame.type != expected) {
-      std::ostringstream os;
-      os << "endpoint " << name_ << " desynchronized: expected a "
-         << MessageTypeToString(expected) << " frame, got "
-         << MessageTypeToString(frame.type) << " (seq " << frame.seq << ")";
-      return DataLossError(os.str());
-    }
-    return std::move(frame.payload);
-  };
-
   int polls = 0;
   for (;;) {
     auto it = stash_.find(next_recv_seq_);
     if (it != stash_.end()) {
       Frame frame = std::move(it->second);
       stash_.erase(it);
-      return deliver(std::move(frame));
+      next_recv_seq_ = frame.seq + 1;
+      return frame;
+    }
+    if (has_deadline_ &&
+        std::chrono::steady_clock::now() >= deadline_) {
+      std::ostringstream os;
+      os << "endpoint " << name_ << " deadline expired while waiting for "
+         << "frame seq " << next_recv_seq_ << " (" << polls
+         << " polls spent of the leg's remaining budget)";
+      return DeadlineExceededError(os.str());
     }
     auto raw = inner_->Receive();
     if (!raw.ok()) {
+      // A peer that closed the connection is not going to retransmit on
+      // this channel: surface the kAborted right away instead of burning
+      // the whole poll budget against a dead socket (the caller's
+      // reconnect/re-execution layer owns recovery).
+      if (raw.status().code() == StatusCode::kAborted) {
+        return std::move(raw).status();
+      }
       if (polls + 1 >= policy_.max_receive_polls) {
         std::ostringstream os;
         os << "endpoint " << name_ << " timed out waiting for "
-           << (check_type ? MessageTypeToString(expected) : "any")
-           << " frame seq " << next_recv_seq_ << " after "
+           << "frame seq " << next_recv_seq_ << " after "
            << policy_.max_receive_polls
            << " polls (message lost or delayed beyond the deadline); "
            << "inner channel: " << raw.status().message();
@@ -137,8 +139,26 @@ StatusOr<std::vector<uint8_t>> ResilientChannel::ReceiveInternal(
       }
       continue;
     }
-    return deliver(std::move(frame).value());
+    next_recv_seq_ = frame->seq + 1;
+    return std::move(frame).value();
   }
+}
+
+StatusOr<Frame> ResilientChannel::ReceiveFrame() {
+  return NextFrameInOrder();
+}
+
+StatusOr<std::vector<uint8_t>> ResilientChannel::ReceiveInternal(
+    bool check_type, MessageType expected) {
+  SKNN_ASSIGN_OR_RETURN(Frame frame, NextFrameInOrder());
+  if (check_type && frame.type != expected) {
+    std::ostringstream os;
+    os << "endpoint " << name_ << " desynchronized: expected a "
+       << MessageTypeToString(expected) << " frame, got "
+       << MessageTypeToString(frame.type) << " (seq " << frame.seq << ")";
+    return DataLossError(os.str());
+  }
+  return std::move(frame.payload);
 }
 
 void ResilientChannel::ResetEpoch() {

@@ -1,6 +1,7 @@
 #ifndef SKNN_NET_RESILIENT_CHANNEL_H_
 #define SKNN_NET_RESILIENT_CHANNEL_H_
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -68,14 +69,35 @@ class ResilientChannel : public Channel {
   Status SendMessage(MessageType type, const std::vector<uint8_t>& payload);
   StatusOr<std::vector<uint8_t>> ReceiveMessage(MessageType expected);
 
+  // The next in-order frame with its type tag intact. For receivers that
+  // legitimately accept more than one MessageType at a point in the
+  // protocol (Party B's serve loop: a query's first kDistances frame or
+  // an idle kHeartbeat probe); everything else should use the typed
+  // ReceiveMessage.
+  StatusOr<Frame> ReceiveFrame();
+
   // Resets both sequence spaces and drops the reorder stash. Only safe
   // after the underlying link has been fully drained (no in-flight frames
   // from the old epoch); the session does this as part of leg recovery.
   void ResetEpoch();
 
+  // Absolute deadline for every subsequent receive: once it passes, a
+  // pending receive stops polling and returns kDeadlineExceeded even if
+  // the poll budget (`RetryPolicy::max_receive_polls`) is not yet spent.
+  // This is how a query's end-to-end deadline bounds each protocol leg
+  // instead of every leg getting the full fixed budget. Cleared by
+  // clear_deadline(); ResetEpoch does NOT clear it (the deadline belongs
+  // to the query, the epoch to the connection).
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+  void clear_deadline() { has_deadline_ = false; }
+
   const RetryPolicy& policy() const { return policy_; }
 
  private:
+  StatusOr<Frame> NextFrameInOrder();
   StatusOr<std::vector<uint8_t>> ReceiveInternal(bool check_type,
                                                  MessageType expected);
   void Backoff(int attempt);
@@ -86,6 +108,8 @@ class ResilientChannel : public Channel {
   std::string name_;
   uint64_t send_seq_ = 0;
   uint64_t next_recv_seq_ = 0;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
   // Frames that arrived ahead of their turn, keyed by sequence number.
   std::map<uint64_t, Frame> stash_;
 };

@@ -102,13 +102,13 @@ class ServerTest : public ::testing::Test {
     }
   };
 
-  static Servers StartServers(size_t workers, size_t queue_capacity) {
+  static Servers StartServers(size_t workers, size_t queue_capacity,
+                              ServerOptions a_options = ServerOptions()) {
     Servers s;
     ServerOptions b_options;
     auto b = PartyBServer::Start(*deployment_b_, b_options);
     EXPECT_TRUE(b.ok()) << b.status();
     s.b = std::move(b).value();
-    ServerOptions a_options;
     a_options.peer_port = s.b->port();
     a_options.workers = workers;
     a_options.queue_capacity = queue_capacity;
@@ -141,6 +141,25 @@ TEST(AdmissionQueueTest, BoundsDepthAndSheds) {
   EXPECT_EQ(out, 2);
   EXPECT_TRUE(queue.Pop(&out));
   EXPECT_EQ(out, 3);
+}
+
+TEST(AdmissionQueueTest, PopForTimesOutAndDrainHandsBackItems) {
+  AdmissionQueue<int> queue(4);
+  int out = 0;
+  // Bounded wait on an empty queue: kTimeout, promptly.
+  EXPECT_EQ(queue.PopFor(&out, 10), AdmissionQueue<int>::PopOutcome::kTimeout);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_EQ(queue.PopFor(&out, 10), AdmissionQueue<int>::PopOutcome::kItem);
+  EXPECT_EQ(out, 1);
+  // StopAndDrain returns the leftovers in FIFO order and stops the queue.
+  std::vector<int> leftover = queue.StopAndDrain();
+  ASSERT_EQ(leftover.size(), 1u);
+  EXPECT_EQ(leftover[0], 2);
+  EXPECT_EQ(queue.depth(), 0u);
+  EXPECT_EQ(queue.PopFor(&out, 10),
+            AdmissionQueue<int>::PopOutcome::kStopped);
+  EXPECT_FALSE(queue.TryPush(3)) << "a drained queue is stopped";
 }
 
 TEST(AdmissionQueueTest, StopUnblocksPoppers) {
@@ -405,6 +424,276 @@ TEST_F(ServerTest, MalformedControlReplyIsTypedDataLoss) {
             std::string::npos)
       << oversized.status();
   fake_a.join();
+}
+
+// Regression for the stuck-worker bug: after a query error the worker
+// used to make ONE reconnect attempt and, when that failed, kept popping
+// jobs into the closed channel forever — every later client hung. The
+// supervised loop must shed with a typed kUnavailable while B is down and
+// recover by itself once B is back on the same address.
+TEST_F(ServerTest, WorkerShedsWhileBDownAndRecoversAfterRestart) {
+  Servers servers = StartServers(/*workers=*/1, /*queue_capacity=*/4);
+  const uint16_t b_port = servers.b->port();
+  ServerOptions options;
+  auto client = RemoteClient::Connect(*deployment_b_, "127.0.0.1",
+                                      servers.a->port(), options);
+  ASSERT_TRUE(client.ok()) << client.status();
+  const std::vector<uint64_t> query = data::UniformQuery(2, 15, 4242);
+  auto before = (*client)->Query(query);
+  ASSERT_TRUE(before.ok()) << before.status();
+
+  // Kill B. The next queries must end in typed transient errors — never
+  // hang, never a wrong answer.
+  servers.b->Shutdown();
+  servers.b.reset();
+  for (int q = 0; q < 2; ++q) {
+    auto while_down = (*client)->Query(query);
+    ASSERT_FALSE(while_down.ok()) << "query must fail while B is down";
+    EXPECT_TRUE(while_down.status().IsTransient()) << while_down.status();
+  }
+
+  // Restart B on the same port; the worker's supervised reconnect loop
+  // must find it without any operator action on A.
+  ServerOptions b_options;
+  b_options.listen_port = b_port;
+  auto restarted = PartyBServer::Start(*deployment_b_, b_options);
+  ASSERT_TRUE(restarted.ok()) << restarted.status();
+  servers.b = std::move(restarted).value();
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  StatusOr<std::vector<std::vector<uint64_t>>> answer =
+      UnavailableError("never ran");
+  while (std::chrono::steady_clock::now() < deadline) {
+    answer = (*client)->Query(query);
+    if (answer.ok()) break;
+    ASSERT_TRUE(answer.status().IsTransient()) << answer.status();
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  ASSERT_TRUE(answer.ok()) << "worker never recovered: " << answer.status();
+  EXPECT_EQ(SortedDistances(answer.value(), query),
+            ReferenceDistances(*dataset_, query, ServerConfig().k));
+  EXPECT_GE(
+      MetricsRegistry::Global().GetCounter("server.worker.reconnects")->value(),
+      1u);
+}
+
+// Idle workers probe their B connection: within a few heartbeat intervals
+// both sides' heartbeat counters must move, with no query traffic at all.
+TEST_F(ServerTest, IdleWorkersHeartbeatPartyB) {
+  auto& registry = MetricsRegistry::Global();
+  const uint64_t a_beats_before =
+      registry.GetCounter("server.worker.heartbeats")->value();
+  const uint64_t b_beats_before =
+      registry.GetCounter("server.b.heartbeats")->value();
+  ServerOptions a_options;
+  a_options.heartbeat_interval_ms = 50;
+  Servers servers = StartServers(/*workers=*/1, /*queue_capacity=*/4,
+                                 a_options);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline &&
+         registry.GetCounter("server.worker.heartbeats")->value() <
+             a_beats_before + 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(registry.GetCounter("server.worker.heartbeats")->value(),
+            a_beats_before + 2);
+  EXPECT_GE(registry.GetCounter("server.b.heartbeats")->value(),
+            b_beats_before + 2);
+  EXPECT_EQ(registry.GetCounter("server.worker.heartbeat_failures")->value(),
+            0u);
+}
+
+// Deadline propagation: a query whose budget expires while it waits in
+// the admission queue must be shed with a typed kDeadlineExceeded (and
+// counted), not run to completion for a client that already gave up.
+TEST_F(ServerTest, ExpiredQueueDeadlineIsTypedDeadlineExceeded) {
+  Servers servers = StartServers(/*workers=*/1, /*queue_capacity=*/4);
+  servers.a->set_worker_delay_ms_for_test(300);
+  auto& registry = MetricsRegistry::Global();
+  const uint64_t expired_before =
+      registry.GetCounter("server.queries.expired")->value();
+  // Occupy the single worker, then race a short-deadline query into the
+  // queue behind it.
+  std::thread occupant([&] {
+    ServerOptions options;
+    auto c = RemoteClient::Connect(*deployment_b_, "127.0.0.1",
+                                   servers.a->port(), options);
+    if (!c.ok()) return;
+    (void)(*c)->Query(data::UniformQuery(2, 15, 9001));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  ServerOptions options;
+  auto client = RemoteClient::Connect(*deployment_b_, "127.0.0.1",
+                                      servers.a->port(), options);
+  ASSERT_TRUE(client.ok()) << client.status();
+  auto answer =
+      (*client)->Query(data::UniformQuery(2, 15, 9002), /*deadline_ms=*/100);
+  occupant.join();
+  ASSERT_FALSE(answer.ok()) << "a 100ms deadline cannot survive a 300ms+ "
+                               "occupied worker";
+  EXPECT_EQ(answer.status().code(), StatusCode::kDeadlineExceeded)
+      << answer.status();
+  // The server-side expiry counter moves when the worker pops the dead
+  // job (which may be after the client's own bounded wait returned).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline &&
+         registry.GetCounter("server.queries.expired")->value() <=
+             expired_before) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GT(registry.GetCounter("server.queries.expired")->value(),
+            expired_before);
+  // The connection survives for the next (undeadlined) query.
+  auto after = (*client)->Query(data::UniformQuery(2, 15, 9003));
+  EXPECT_TRUE(after.ok()) << after.status();
+}
+
+// Whole-query re-execution: an injected worker fault aborts the first
+// attempt; the worker must reconnect and re-run the query from
+// StartQuery, and the client sees nothing but a correct answer.
+TEST_F(ServerTest, InjectedWorkerFaultIsHealedByReexecution) {
+  Servers servers = StartServers(/*workers=*/1, /*queue_capacity=*/4);
+  auto& registry = MetricsRegistry::Global();
+  const uint64_t reexec_before =
+      registry.GetCounter("server.query.reexecutions")->value();
+  servers.a->inject_worker_faults_for_test(1);
+  ServerOptions options;
+  auto client = RemoteClient::Connect(*deployment_b_, "127.0.0.1",
+                                      servers.a->port(), options);
+  ASSERT_TRUE(client.ok()) << client.status();
+  const std::vector<uint64_t> query = data::UniformQuery(2, 15, 777);
+  auto answer = (*client)->Query(query);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_EQ(SortedDistances(answer.value(), query),
+            ReferenceDistances(*dataset_, query, ServerConfig().k));
+  EXPECT_EQ(registry.GetCounter("server.query.reexecutions")->value(),
+            reexec_before + 1);
+}
+
+// Party A disconnecting after the "ok k=" control reply but before the
+// result frames must surface as a typed transient error on the client —
+// never a hang (the dead socket fast-fails the receive) and never a
+// partial answer.
+TEST_F(ServerTest, DisconnectMidResultStreamIsTypedTransient) {
+  auto listener = net::SocketListener::Listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  std::thread fake_a([&] {
+    auto conn_or = (*listener)->Accept(5000, "fake-A conn");
+    if (!conn_or.ok()) {
+      ADD_FAILURE() << conn_or.status();
+      return;
+    }
+    std::unique_ptr<net::SocketChannel> conn = std::move(conn_or).value();
+    conn->set_io_poll_ms(20);
+    StatusOr<std::vector<uint8_t>> hello = conn->Receive();
+    for (int i = 0; i < 500 && !hello.ok() &&
+                    hello.status().code() == StatusCode::kUnavailable;
+         ++i) {
+      hello = conn->Receive();
+    }
+    if (!hello.ok()) {
+      ADD_FAILURE() << hello.status();
+      return;
+    }
+    const std::string welcome = "sknn-welcome/1";
+    (void)conn->Send(net::EncodeFrame(
+        net::MessageType::kControl, 0,
+        std::vector<uint8_t>(welcome.begin(), welcome.end())));
+    net::ResilientChannel ch(conn.get(), ServerOptions::ServerRetryPolicy(),
+                             1, "fake-A serve");
+    ch.ResetEpoch();
+    auto query = ch.ReceiveMessage(net::MessageType::kQuery);
+    if (!query.ok()) {
+      ADD_FAILURE() << query.status();
+      return;
+    }
+    // Promise two results, deliver none: drop the connection mid-stream.
+    const std::string ok = "ok k=2";
+    (void)ch.SendMessage(net::MessageType::kControl,
+                         std::vector<uint8_t>(ok.begin(), ok.end()));
+    conn->Close();
+  });
+  ServerOptions options;
+  auto client = RemoteClient::Connect(*deployment_b_, "127.0.0.1",
+                                      (*listener)->port(), options);
+  ASSERT_TRUE(client.ok()) << client.status();
+  const auto t0 = std::chrono::steady_clock::now();
+  auto answer = (*client)->Query(data::UniformQuery(2, 15, 654));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  ASSERT_FALSE(answer.ok()) << "a mid-stream disconnect cannot produce an "
+                               "answer";
+  EXPECT_TRUE(answer.status().IsTransient()) << answer.status();
+  // Fast-fail contract: a closed peer is detected at the frame boundary,
+  // not after the full receive-poll budget (~10s).
+  EXPECT_LT(elapsed, 5000) << "client hung on a dead connection";
+  fake_a.join();
+}
+
+// Graceful drain: queued-but-unstarted queries are answered with a typed
+// kUnavailable at the drain deadline, in-flight queries finish, and new
+// arrivals are shed while draining.
+TEST_F(ServerTest, DrainAnswersStragglersAndShedsNewQueries) {
+  Servers servers = StartServers(/*workers=*/1, /*queue_capacity=*/4);
+  servers.a->set_worker_delay_ms_for_test(400);
+  auto& registry = MetricsRegistry::Global();
+  const uint64_t drained_before =
+      registry.GetCounter("server.queries.drained")->value();
+  std::atomic<int> ok_count{0}, unavailable_count{0}, other_count{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < 3; ++c) {
+    threads.emplace_back([&, c] {
+      ServerOptions options;
+      auto client = RemoteClient::Connect(*deployment_b_, "127.0.0.1",
+                                          servers.a->port(), options);
+      if (!client.ok()) {
+        ++other_count;
+        return;
+      }
+      const std::vector<uint64_t> query = data::UniformQuery(2, 15, 80 + c);
+      auto answer = (*client)->Query(query);
+      if (answer.ok()) {
+        if (SortedDistances(answer.value(), query) ==
+            ReferenceDistances(*dataset_, query, ServerConfig().k)) {
+          ++ok_count;
+        } else {
+          ADD_FAILURE() << "drained server returned a wrong answer";
+          ++other_count;
+        }
+      } else if (answer.status().code() == StatusCode::kUnavailable) {
+        ++unavailable_count;
+      } else {
+        ADD_FAILURE() << "unexpected drain-time error: " << answer.status();
+        ++other_count;
+      }
+    });
+  }
+  // Let the queries reach the queue, then drain with a deadline shorter
+  // than the backlog: the in-flight query finishes, the rest are
+  // answered with the typed straggler error.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  servers.a->Drain(/*deadline_ms=*/100);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok_count + unavailable_count, 3)
+      << "every query must end answered or typed-shed";
+  EXPECT_GE(ok_count.load(), 1) << "the in-flight query must finish";
+  EXPECT_GE(unavailable_count.load(), 1) << "stragglers must be shed";
+  EXPECT_GE(registry.GetCounter("server.queries.drained")->value(),
+            drained_before + 1);
+  // New queries during/after drain: typed shed, never accepted.
+  ServerOptions options;
+  auto late_client = RemoteClient::Connect(*deployment_b_, "127.0.0.1",
+                                           servers.a->port(), options);
+  ASSERT_TRUE(late_client.ok()) << late_client.status();
+  auto late = (*late_client)->Query(data::UniformQuery(2, 15, 99));
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kUnavailable) << late.status();
+  EXPECT_NE(late.status().message().find("draining"), std::string::npos)
+      << late.status();
 }
 
 }  // namespace

@@ -1,0 +1,224 @@
+// chaos_proxy: a controllable TCP relay for fault-injection testing
+// (OPERATIONS.md "Failure runbook", tests/process_chaos_test.cc).
+//
+// The proxy sits between a protocol dialer and its upstream (e.g. between
+// Party A's workers and Party B) and forwards bytes both ways until told
+// otherwise on stdin:
+//
+//   stall       stop forwarding but keep every connection open — the
+//               peers see a silent network (frames neither delivered nor
+//               refused), the worst case for timeout handling;
+//   partition   close every active relay and refuse new connections —
+//               the peers see resets, the crash-like case;
+//   heal        resume normal forwarding (new connections succeed again;
+//               connections killed by a partition stay dead, as real
+//               ones would);
+//   quit        exit cleanly.
+//
+// Prints "listening on <port>" on stdout once ready (the harness parses
+// it), and "mode <name>" after each control command takes effect.
+//
+// Deliberately plain POSIX with no dependency on the project's net/
+// layer: a fault injector that shared code with the system under test
+// could mask that code's bugs.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+enum class Mode { kForward, kStall, kPartition };
+
+std::atomic<Mode> g_mode{Mode::kForward};
+std::atomic<bool> g_quit{false};
+// Bumped on every partition; relays die when their epoch is stale so a
+// heal does not resurrect connections the partition already killed.
+std::atomic<uint64_t> g_partition_epoch{0};
+
+struct Args {
+  uint16_t listen_port = 0;  // 0 = ephemeral
+  std::string upstream_host = "127.0.0.1";
+  uint16_t upstream_port = 0;
+};
+
+bool ParseArgs(int argc, char** argv, Args* out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](int* value) {
+      if (i + 1 >= argc) return false;
+      *value = std::atoi(argv[++i]);
+      return true;
+    };
+    int v = 0;
+    if (arg == "--listen-port" && next(&v)) {
+      out->listen_port = static_cast<uint16_t>(v);
+    } else if (arg == "--upstream-host" && i + 1 < argc) {
+      out->upstream_host = argv[++i];
+    } else if (arg == "--upstream-port" && next(&v)) {
+      out->upstream_port = static_cast<uint16_t>(v);
+    } else {
+      std::cerr << "usage: chaos_proxy --upstream-port P "
+                   "[--upstream-host H] [--listen-port P]\n";
+      return false;
+    }
+  }
+  return out->upstream_port != 0;
+}
+
+int DialUpstream(const Args& args) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(args.upstream_port);
+  if (::inet_pton(AF_INET, args.upstream_host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+// Copies whatever is readable on `from` to `to`. Returns false when the
+// relay should die (EOF, error, or a send that cannot complete).
+bool PumpOnce(int from, int to) {
+  char buf[16384];
+  const ssize_t n = ::recv(from, buf, sizeof(buf), 0);
+  if (n <= 0) return false;
+  ssize_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::send(to, buf + sent, n - sent, MSG_NOSIGNAL);
+    if (w <= 0) return false;
+    sent += w;
+  }
+  return true;
+}
+
+// One relay: client fd <-> upstream fd, both directions on one thread.
+// Polls with a short timeout so mode flips take effect within ~50ms.
+void RelayLoop(int client_fd, int upstream_fd, uint64_t epoch) {
+  while (!g_quit.load(std::memory_order_relaxed)) {
+    const Mode mode = g_mode.load(std::memory_order_relaxed);
+    if (g_partition_epoch.load(std::memory_order_relaxed) != epoch) break;
+    if (mode == Mode::kStall) {
+      // Silent network: leave bytes queued in the kernel, deliver none.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      continue;
+    }
+    pollfd fds[2] = {{client_fd, POLLIN, 0}, {upstream_fd, POLLIN, 0}};
+    const int ready = ::poll(fds, 2, 50);
+    if (ready < 0) break;
+    if (ready == 0) continue;
+    if (fds[0].revents & (POLLERR | POLLHUP | POLLNVAL)) {
+      // Drain what the kernel still has before honouring the hangup.
+      if (!(fds[0].revents & POLLIN)) break;
+    }
+    if (fds[1].revents & (POLLERR | POLLHUP | POLLNVAL)) {
+      if (!(fds[1].revents & POLLIN)) break;
+    }
+    if ((fds[0].revents & POLLIN) && !PumpOnce(client_fd, upstream_fd)) break;
+    if ((fds[1].revents & POLLIN) && !PumpOnce(upstream_fd, client_fd)) break;
+  }
+  ::close(client_fd);
+  ::close(upstream_fd);
+}
+
+void ControlLoop() {
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line == "stall") {
+      g_mode.store(Mode::kStall, std::memory_order_relaxed);
+    } else if (line == "partition") {
+      g_mode.store(Mode::kPartition, std::memory_order_relaxed);
+      g_partition_epoch.fetch_add(1, std::memory_order_relaxed);
+    } else if (line == "heal") {
+      g_mode.store(Mode::kForward, std::memory_order_relaxed);
+    } else if (line == "quit") {
+      break;
+    } else if (!line.empty()) {
+      std::cerr << "chaos_proxy: unknown command \"" << line << "\"\n";
+      continue;
+    }
+    std::cout << "mode "
+              << (line == "stall"       ? "stall"
+                  : line == "partition" ? "partition"
+                  : line == "heal"      ? "forward"
+                                        : "quit")
+              << std::endl;
+    if (line == "quit") break;
+  }
+  g_quit.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::signal(SIGPIPE, SIG_IGN);
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return 2;
+
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(args.listen_port);
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd, 16) != 0) {
+    std::perror("bind/listen");
+    return 1;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  std::cout << "listening on " << ntohs(addr.sin_port) << std::endl;
+
+  std::thread control(ControlLoop);
+  std::vector<std::thread> relays;
+  while (!g_quit.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 50) <= 0) continue;
+    const int client_fd = ::accept(listen_fd, nullptr, nullptr);
+    if (client_fd < 0) continue;
+    if (g_mode.load(std::memory_order_relaxed) == Mode::kPartition) {
+      ::close(client_fd);  // refuse: the network is "down"
+      continue;
+    }
+    const int upstream_fd = DialUpstream(args);
+    if (upstream_fd < 0) {
+      ::close(client_fd);
+      continue;
+    }
+    ::setsockopt(client_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const uint64_t epoch = g_partition_epoch.load(std::memory_order_relaxed);
+    relays.emplace_back(RelayLoop, client_fd, upstream_fd, epoch);
+  }
+  ::close(listen_fd);
+  for (std::thread& t : relays) {
+    if (t.joinable()) t.join();
+  }
+  if (control.joinable()) control.join();
+  return 0;
+}

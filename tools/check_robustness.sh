@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Robustness gate, registered with ctest as `robustness_check`.
 #
-# Builds the chaos suite under AddressSanitizer and runs every test
+# Builds the chaos suites under AddressSanitizer and runs every test
 # labelled `chaos` (tests/chaos_test.cc: hundreds of secure k-NN queries
-# under injected drop/dup/flip/trunc/reorder/delay faults). The pass
-# criterion is the fault-tolerance contract of DESIGN.md §8 — exact answer
-# or clean typed error, no crash, hang, leak, or out-of-bounds access.
+# under injected drop/dup/flip/trunc/reorder/delay faults) and
+# `process_chaos` (tests/process_chaos_test.cc: the real sknn_server_a /
+# sknn_server_b binaries under SIGKILL, restart, stalls/partitions via
+# tools/chaos_proxy, and SIGTERM drain). The pass criterion is the
+# fault-tolerance contract of DESIGN.md §8 — exact answer or clean typed
+# error, no crash, hang, leak, or out-of-bounds access.
 #
 # Usage: tools/check_robustness.sh [extra ctest args...]
 # The asan configure/build is incremental; reruns only pay for the tests.
@@ -25,11 +28,13 @@ export SKNN_IN_ROBUSTNESS_CHECK=1
 echo "robustness_check: configuring asan preset"
 cmake --preset asan > /dev/null || exit 1
 
-echo "robustness_check: building chaos_test (asan)"
-cmake --build build-asan -j --target chaos_test > /dev/null || exit 1
+echo "robustness_check: building chaos_test + process_chaos_test (asan)"
+cmake --build build-asan -j --target chaos_test process_chaos_test \
+  > /dev/null || exit 1
 
-echo "robustness_check: running chaos suite under asan"
-if ! ctest --test-dir build-asan -L chaos --output-on-failure "$@"; then
+echo "robustness_check: running chaos suites under asan"
+if ! ctest --test-dir build-asan -L 'chaos|process_chaos' \
+     --output-on-failure "$@"; then
   echo "robustness_check: FAILED"
   exit 1
 fi

@@ -13,7 +13,12 @@
 // Observability: --metrics-out=FILE rewrites the metrics registry in
 // Prometheus text format every --metrics-interval-s seconds (and once at
 // shutdown); --flight-record=FILE dumps the per-query flight-recorder
-// ring as JSON at shutdown. SIGINT/SIGTERM shut down cleanly.
+// ring as JSON at shutdown.
+//
+// SIGINT/SIGTERM trigger a graceful drain (OPERATIONS.md "Failure
+// runbook"): the server stops admitting queries, gives queued + in-flight
+// work up to --drain-ms to finish, answers stragglers with a typed
+// UNAVAILABLE, then flushes metrics and flight records and exits 0.
 
 #include <csignal>
 #include <cstdio>
@@ -87,6 +92,7 @@ void Usage(const char* role) {
       "  --layout=packed|per-point --compress=0|1\n"
       "serving:\n"
       "  --host=127.0.0.1 --port=0 (0 = ephemeral, printed at startup)\n"
+      "  --drain-ms=5000  graceful-drain budget on SIGINT/SIGTERM\n"
       "%s"
       "observability:\n"
       "  --metrics-out=FILE [--metrics-interval-s=5]  periodic Prometheus\n"
@@ -155,6 +161,8 @@ int ServerMain(int argc, char** argv, bool role_a) {
   options.peer_port = static_cast<uint16_t>(flags.U64("peer-port", 0));
   options.workers = flags.U64("workers", 2);
   options.queue_capacity = flags.U64("queue", 8);
+  options.drain_deadline_ms =
+      static_cast<int>(flags.U64("drain-ms", options.drain_deadline_ms));
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
@@ -209,9 +217,20 @@ int ServerMain(int argc, char** argv, bool role_a) {
     ++since_metrics_write;
   }
 
-  std::printf("shutting down...\n");
-  if (server_a) server_a->Shutdown();
-  if (server_b) server_b->Shutdown();
+  // Graceful drain before teardown: answer or shed everything in flight
+  // under the drain budget so no client is left mid-exchange, then flush
+  // observability state. Exit code 0 on this path — a drained stop is a
+  // clean stop.
+  std::printf("draining (up to %d ms)...\n", options.drain_deadline_ms);
+  std::fflush(stdout);
+  if (server_a) {
+    server_a->Drain(options.drain_deadline_ms);
+    server_a->Shutdown();
+  }
+  if (server_b) {
+    server_b->Drain(options.drain_deadline_ms);
+    server_b->Shutdown();
+  }
   if (!metrics_path.empty()) {
     json::WriteFile(metrics_path, MetricsRegistry::Global().PrometheusText());
     std::printf("metrics written to %s\n", metrics_path.c_str());
@@ -224,6 +243,7 @@ int ServerMain(int argc, char** argv, bool role_a) {
                    flight_path.c_str());
     }
   }
+  std::printf("drained; exiting\n");
   return 0;
 }
 
