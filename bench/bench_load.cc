@@ -24,6 +24,14 @@
 // client-observed p50/p95/p99/max latency, and the server-side
 // resilience counters (shed / expired / re-executions) so a load run
 // doubles as a robustness report.
+//
+// The harness also exercises the telemetry plane: it starts an
+// in-process admin HTTP server (OPERATIONS.md "Monitoring") on an
+// ephemeral loopback port and scrapes /metrics and /varz from a side
+// thread *while the load is running*, exactly like a Prometheus
+// scraper racing live traffic. The mid-run snapshot (server_* /net_*
+// counter values) and the scrape latency land in the JSON row, so every
+// load run doubles as an end-to-end test of scrape-under-load.
 
 #include <algorithm>
 #include <atomic>
@@ -39,6 +47,8 @@
 #include "core/server.h"
 #include "data/generators.h"
 #include "knn/knn.h"
+#include "math/simd/kernels.h"
+#include "obs/telemetry_http.h"
 
 namespace {
 
@@ -247,6 +257,89 @@ double Percentile(std::vector<double> sorted, double p) {
   return sorted[std::min(idx, sorted.size() - 1)];
 }
 
+// One mid-run scrape of the admin plane, captured while client threads
+// are in flight. `metrics_json` holds the server_*/net_* sample values
+// from the Prometheus body as a rendered JSON object.
+struct ScrapeSample {
+  bool ok = false;
+  double metrics_latency_ms = 0;
+  double varz_latency_ms = 0;
+  uint64_t completed_seen = 0;  // server_queries_completed at scrape time
+  uint64_t attempts = 0;        // scrapes issued before one landed mid-run
+  std::string metrics_json;
+  std::string varz_json;
+};
+
+// Pulls `name value` sample lines out of a Prometheus exposition body.
+// Only plain samples (no labels) are needed here; histogram series carry
+// a '{' and are skipped.
+uint64_t PrometheusValue(const std::string& body, const std::string& name) {
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    const std::string line = body.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.compare(0, name.size(), name) != 0) continue;
+    if (line.size() <= name.size() || line[name.size()] != ' ') continue;
+    return std::strtoull(line.c_str() + name.size() + 1, nullptr, 10);
+  }
+  return 0;
+}
+
+std::string PrometheusSamplesToJson(const std::string& body) {
+  json::ObjectWriter obj;
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    const std::string line = body.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    if (line.compare(0, 7, "server_") != 0 &&
+        line.compare(0, 4, "net_") != 0) {
+      continue;
+    }
+    const size_t space = line.find(' ');
+    if (space == std::string::npos || line.find('{') != std::string::npos) {
+      continue;  // labelled series (histogram buckets / quantiles)
+    }
+    obj.Raw(line.substr(0, space), line.substr(space + 1));
+  }
+  return obj.Render();
+}
+
+// Polls /metrics until a scrape observes completed queries (i.e. lands
+// mid-run), captures that snapshot plus /varz, then idles until told to
+// stop. Runs concurrently with the client threads by design: this is
+// the scrape-while-serving race the admin plane has to survive.
+void ScraperThread(uint16_t admin_port, uint64_t completed_baseline,
+                   const std::atomic<bool>* running, ScrapeSample* sample) {
+  while (running->load(std::memory_order_relaxed)) {
+    auto res = obs::HttpGet("127.0.0.1", admin_port, "/metrics",
+                            /*timeout_ms=*/2000);
+    ++sample->attempts;
+    if (res.ok() && res->status == 200) {
+      const uint64_t completed =
+          PrometheusValue(res->body, "server_queries_completed");
+      if (completed > completed_baseline) {
+        sample->ok = true;
+        sample->metrics_latency_ms = res->latency_ms;
+        sample->completed_seen = completed;
+        sample->metrics_json = PrometheusSamplesToJson(res->body);
+        auto varz = obs::HttpGet("127.0.0.1", admin_port, "/varz",
+                                 /*timeout_ms=*/2000);
+        if (varz.ok() && varz->status == 200) {
+          sample->varz_latency_ms = varz->latency_ms;
+          sample->varz_json = varz->body;
+        }
+        return;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -306,6 +399,34 @@ int main(int argc, char** argv) {
               (*server_b)->port(), (*server_a)->port(), args.workers,
               args.queue);
 
+  // Admin/telemetry plane on an ephemeral loopback port, same wiring as
+  // the sknn_server binaries' --admin-port.
+  auto admin = obs::TelemetryHttpServer::Start("127.0.0.1", 0);
+  if (!admin.ok()) {
+    std::fprintf(stderr, "admin server: %s\n",
+                 admin.status().ToString().c_str());
+    return 1;
+  }
+  {
+    obs::BuildInfo info;
+    info.role = "bench_load";
+    info.simd_backend = simd::ActiveKernels().name;
+    char fp_hex[32];
+    std::snprintf(fp_hex, sizeof(fp_hex), "%llx",
+                  static_cast<unsigned long long>(deployment_a->fingerprint));
+    info.params_fingerprint = fp_hex;
+    core::PartyAServer* a = server_a->get();
+    obs::RegisterStandardEndpoints(admin->get(), info, [a]() {
+      if (a->draining()) return UnavailableError("draining");
+      if (a->connected_workers() == 0) {
+        return UnavailableError("no connected B workers");
+      }
+      return Status::Ok();
+    });
+  }
+  std::printf("admin plane on 127.0.0.1:%u (/metrics /varz ...)\n",
+              (*admin)->port());
+
   // A shared hot pool: queries that repeat across clients.
   std::vector<std::vector<uint64_t>> hot;
   for (int i = 0; i < 4; ++i) {
@@ -327,9 +448,14 @@ int main(int argc, char** argv) {
   const uint64_t shed0 = counter0("server.queries.shed");
   const uint64_t expired0 = counter0("server.queries.expired");
   const uint64_t reexec0 = counter0("server.query.reexecutions");
+  const uint64_t completed0 = counter0("server.queries.completed");
   std::vector<ClientStats> stats(args.clients);
+  ScrapeSample scrape;
+  std::atomic<bool> load_running{true};
   const auto t0 = Clock::now();
   {
+    std::thread scraper(ScraperThread, (*admin)->port(), completed0,
+                        &load_running, &scrape);
     std::vector<std::thread> threads;
     for (size_t c = 0; c < args.clients; ++c) {
       threads.emplace_back(ClientThread, c, std::cref(args),
@@ -338,6 +464,8 @@ int main(int argc, char** argv) {
                            &stats[c]);
     }
     for (auto& t : threads) t.join();
+    load_running.store(false, std::memory_order_relaxed);
+    scraper.join();
   }
   const double wall_s =
       std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - t0)
@@ -384,6 +512,18 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(server_shed),
               static_cast<unsigned long long>(server_expired),
               static_cast<unsigned long long>(reexecutions));
+  if (scrape.ok) {
+    std::printf("admin scrape (mid-run, attempt %llu): /metrics %.2f ms "
+                "with %llu completed visible, /varz %.2f ms\n",
+                static_cast<unsigned long long>(scrape.attempts),
+                scrape.metrics_latency_ms,
+                static_cast<unsigned long long>(scrape.completed_seen),
+                scrape.varz_latency_ms);
+  } else {
+    std::printf("admin scrape: no mid-run sample landed (%llu attempts; "
+                "run too short?)\n",
+                static_cast<unsigned long long>(scrape.attempts));
+  }
 
   json::ObjectWriter row;
   row.Int("clients", args.clients)
@@ -409,9 +549,18 @@ int main(int argc, char** argv) {
       .Num("p95_ms", p95)
       .Num("p99_ms", p99)
       .Num("max_ms", max_ms)
-      .Bool("verified", verified);
+      .Bool("verified", verified)
+      .Bool("admin_scrape_ok", scrape.ok)
+      .Int("admin_scrape_attempts", scrape.attempts)
+      .Num("admin_scrape_metrics_latency_ms", scrape.metrics_latency_ms)
+      .Num("admin_scrape_varz_latency_ms", scrape.varz_latency_ms)
+      .Int("admin_scrape_completed_seen", scrape.completed_seen)
+      .Raw("admin_metrics_snapshot",
+           scrape.metrics_json.empty() ? "null" : scrape.metrics_json)
+      .Raw("admin_varz", scrape.varz_json.empty() ? "null" : scrape.varz_json);
   out.EndRow(std::move(row));
 
+  (*admin)->Shutdown();
   (*server_a)->Shutdown();
   (*server_b)->Shutdown();
   out.Write();

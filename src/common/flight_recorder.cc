@@ -2,6 +2,7 @@
 
 #include "common/json_writer.h"
 #include "common/logging.h"
+#include "common/trace_id.h"
 
 namespace sknn {
 
@@ -18,6 +19,8 @@ std::string FlightRecord::Json() const {
   }
   json::ObjectWriter out;
   out.Int("query_id", query_id)
+      .Str("process_epoch", trace::TraceIdHex(process_epoch))
+      .Str("trace_id", trace::TraceIdHex(trace_id))
       .Int("seed", seed)
       .Int("num_points", num_points)
       .Int("dims", dims)
@@ -43,6 +46,16 @@ FlightRecorder& FlightRecorder::Global() {
 void FlightRecorder::Add(FlightRecord record) {
   std::lock_guard<std::mutex> lock(mu_);
   record.query_id = next_id_++;
+  record.process_epoch = trace::ProcessEpoch();
+  // A query that ran under an active distributed trace keeps that id
+  // (thread-local, established by the server/session plumbing); an
+  // untraced query still gets a restart-unique id derived from the
+  // process epoch, never the bare monotonic counter.
+  if (record.trace_id == 0) record.trace_id = trace::CurrentTraceId();
+  if (record.trace_id == 0) {
+    record.trace_id =
+        trace::DeriveTraceId(record.process_epoch, record.query_id);
+  }
   const bool dump = !record.ok && dump_on_error_;
   ring_.push_back(std::move(record));
   if (ring_.size() > capacity_) ring_.pop_front();

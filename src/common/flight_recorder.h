@@ -23,6 +23,14 @@ namespace sknn {
 
 struct FlightRecord {
   uint64_t query_id = 0;  // monotonic across the recorder's lifetime
+  // Restart-safe identity. `query_id` alone starts at 0 in every process,
+  // so records from a restarted server alias the old ones; `process_epoch`
+  // (random, minted once per process — common/trace_id.h) disambiguates,
+  // and `trace_id` is globally unique: the distributed id propagated from
+  // the client when the query was traced, else derived from
+  // (process_epoch, query_id) by the recorder.
+  uint64_t process_epoch = 0;
+  uint64_t trace_id = 0;
   // Replay key: the fault seed for this query (fault_seed + query index in
   // chaos runs; 0 when no fault injection is active).
   uint64_t seed = 0;

@@ -5,13 +5,18 @@
 #include <iostream>
 #include <sstream>
 
+#include "common/trace_id.h"
+
 // Minimal logging + check macros in the glog style. Messages go to stderr
-// prefixed with a severity tag ([I]/[W]/[E]/[F]); FATAL aborts. The
-// `SKNN_LOG_LEVEL` environment variable (I, W, E or F — read once per
-// process) suppresses messages below the named severity, so chaos/soak
-// runs can silence INFO chatter; FATAL always prints and aborts
-// regardless. SKNN_CHECK is active in all build modes (it guards internal
-// invariants, not user input — user input errors return Status).
+// prefixed with a severity tag ([I]/[W]/[E]/[F]); FATAL aborts. A thread
+// with an active distributed trace id (common/trace_id.h) gets a
+// `[trace=<hex>]` tag appended, so one query's log lines correlate across
+// the client, Party A and Party B processes. The `SKNN_LOG_LEVEL`
+// environment variable (I, W, E or F — read once per process) suppresses
+// messages below the named severity, so chaos/soak runs can silence INFO
+// chatter; FATAL always prints and aborts regardless. SKNN_CHECK is
+// active in all build modes (it guards internal invariants, not user
+// input — user input errors return Status).
 
 namespace sknn {
 namespace internal_logging {
@@ -39,7 +44,12 @@ class LogMessage {
   LogMessage(const char* file, int line, LogSeverity severity)
       : severity_(severity) {
     stream_ << "[" << SeverityTag(severity) << " " << Basename(file) << ":"
-            << line << "] ";
+            << line << "]";
+    const uint64_t trace_id = ::sknn::trace::CurrentTraceId();
+    if (trace_id != 0) {
+      stream_ << "[trace=" << ::sknn::trace::TraceIdHex(trace_id) << "]";
+    }
+    stream_ << " ";
   }
 
   ~LogMessage() {

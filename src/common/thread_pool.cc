@@ -77,14 +77,17 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   state->end = end;
   state->total = end - begin;
   state->fn = &fn;
-  // Workers inherit the caller's trace-span path so spans opened inside fn
-  // nest under the phase that issued the ParallelFor (the caller's own
-  // iterations already run under it).
+  // Workers inherit the caller's trace-span path and distributed trace id
+  // so spans opened inside fn nest under the phase that issued the
+  // ParallelFor and stay attributed to the same query (the caller's own
+  // iterations already run under both).
   const std::string trace_path = trace::Tracer::CurrentPath();
+  const uint64_t trace_id = trace::CurrentTraceId();
   const size_t workers = threads_.size();
   for (size_t w = 0; w < workers; ++w) {
-    Schedule([state, trace_path] {
+    Schedule([state, trace_path, trace_id] {
       trace::Tracer::ScopedPath scoped_path(trace_path);
+      trace::ScopedTraceId scoped_trace_id(trace_id);
       for (;;) {
         size_t i = state->next.fetch_add(1);
         if (i >= state->end) break;

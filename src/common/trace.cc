@@ -39,8 +39,18 @@ void Tracer::Enable() {
     std::lock_guard<std::mutex> lock(mu_);
     records_.clear();
     epoch_ = std::chrono::steady_clock::now();
+    epoch_steady_ns_.store(
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                epoch_.time_since_epoch())
+                .count()),
+        std::memory_order_relaxed);
   }
   enabled_.store(true, std::memory_order_relaxed);
+}
+
+uint64_t Tracer::EpochSteadyNs() const {
+  return epoch_steady_ns_.load(std::memory_order_relaxed);
 }
 
 void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
@@ -135,6 +145,10 @@ TraceSpan::~TraceSpan() {
   record.tid = tls.tid;
   record.bytes_sent = bytes_sent_;
   record.bytes_received = bytes_received_;
+  // The id active at close time: a ScopedTraceId established anywhere
+  // inside the span (e.g. after the server parsed the preamble) still
+  // tags it, and nested spans inherit it for free.
+  record.trace_id = CurrentTraceId();
   tls.path.resize(parent_path_len_);
   tls.innermost = parent_;
   // A span that outlives Disable() is dropped rather than recorded into a
@@ -169,8 +183,10 @@ std::string PhaseSummaryJson(
   return out.Render();
 }
 
-Status WriteChromeTrace(const std::vector<SpanRecord>& records,
-                        const std::string& path) {
+namespace {
+
+Status WriteChromeTraceImpl(const std::vector<SpanRecord>& records,
+                            const TraceMeta* meta, const std::string& path) {
   std::vector<std::string> events;
   events.reserve(records.size());
   for (const SpanRecord& r : records) {
@@ -181,6 +197,7 @@ Status WriteChromeTrace(const std::vector<SpanRecord>& records,
     args.Str("path", r.path);
     if (r.bytes_sent != 0) args.Int("bytes_sent", r.bytes_sent);
     if (r.bytes_received != 0) args.Int("bytes_received", r.bytes_received);
+    if (r.trace_id != 0) args.Str("trace_id", TraceIdHex(r.trace_id));
     json::ObjectWriter ev;
     ev.Str("name", leaf)
         .Str("cat", "sknn")
@@ -193,8 +210,16 @@ Status WriteChromeTrace(const std::vector<SpanRecord>& records,
     events.push_back(ev.Render());
   }
   json::ObjectWriter doc;
-  doc.Raw("traceEvents", json::Array(events))
-      .Raw("phaseSummary", PhaseSummaryJson(Summarize(records)))
+  doc.Raw("traceEvents", json::Array(events));
+  if (meta != nullptr) {
+    json::ObjectWriter m;
+    m.Str("process", meta->process)
+        .Int("epoch_steady_ns", meta->epoch_steady_ns)
+        .Raw("peer_clock_offset_ns",
+             std::to_string(meta->peer_clock_offset_ns));
+    doc.Raw("traceMeta", m.Render());
+  }
+  doc.Raw("phaseSummary", PhaseSummaryJson(Summarize(records)))
       .Raw("counters",
            MetricsRegistry::Global().CountersJson());
   if (!json::WriteFile(path, doc.Render())) {
@@ -203,8 +228,28 @@ Status WriteChromeTrace(const std::vector<SpanRecord>& records,
   return Status::Ok();
 }
 
+}  // namespace
+
+Status WriteChromeTrace(const std::vector<SpanRecord>& records,
+                        const std::string& path) {
+  return WriteChromeTraceImpl(records, nullptr, path);
+}
+
+Status WriteChromeTrace(const std::vector<SpanRecord>& records,
+                        const TraceMeta& meta, const std::string& path) {
+  return WriteChromeTraceImpl(records, &meta, path);
+}
+
 Status WriteGlobalTrace(const std::string& path) {
   return WriteChromeTrace(Tracer::Global().Records(), path);
+}
+
+Status WriteGlobalTrace(const TraceMeta& meta, const std::string& path) {
+  TraceMeta filled = meta;
+  if (filled.epoch_steady_ns == 0) {
+    filled.epoch_steady_ns = Tracer::Global().EpochSteadyNs();
+  }
+  return WriteChromeTrace(Tracer::Global().Records(), filled, path);
 }
 
 }  // namespace trace

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/trace_id.h"
 
 // Hierarchical phase tracing for the secure k-NN protocol.
 //
@@ -49,6 +50,11 @@ struct SpanRecord {
   // prefix if you need inclusive numbers).
   uint64_t bytes_sent = 0;
   uint64_t bytes_received = 0;
+  // The distributed trace id active when the span opened (0 = untraced).
+  // Minted by the client per query and propagated over kControl preambles
+  // (common/trace_id.h), so one query's spans share an id across the
+  // client, Party A, and Party B processes.
+  uint64_t trace_id = 0;
 };
 
 class TraceSpan;
@@ -70,6 +76,13 @@ class Tracer {
 
   // Snapshot of all completed spans, in completion order.
   std::vector<SpanRecord> Records() const;
+
+  // The Enable() epoch as absolute steady-clock nanoseconds. All span
+  // timestamps are relative to it; trace_stitch uses it (plus the
+  // heartbeat-derived peer clock offset) to align trace files written by
+  // different processes on the same machine, where the steady clock is
+  // system-wide. 0 before the first Enable().
+  uint64_t EpochSteadyNs() const;
 
   // Attributes bytes to the innermost span active on the calling thread.
   // No-op when disabled or outside any span. Called by net::Channel for
@@ -109,6 +122,7 @@ class Tracer {
   mutable std::mutex mu_;
   std::vector<SpanRecord> records_;
   std::chrono::steady_clock::time_point epoch_{};
+  std::atomic<uint64_t> epoch_steady_ns_{0};
 };
 
 // RAII span. Construct to open, destroy to close-and-record. Cheap no-op
@@ -148,16 +162,40 @@ std::map<std::string, PhaseStats> Summarize(
 //   {"query/party_a.distance": {"count":1,"seconds":0.12,"bytes_sent":0,...}}
 std::string PhaseSummaryJson(const std::map<std::string, PhaseStats>& summary);
 
+// Per-process metadata embedded in a trace file so tools/trace_stitch.py
+// can merge files from the client, Party A and Party B into one aligned
+// timeline.
+struct TraceMeta {
+  // "client", "party_a", "party_b" (or any label; becomes the Chrome
+  // process name of this file's rows after stitching).
+  std::string process;
+  // Tracer::Global().EpochSteadyNs() at write time: the absolute
+  // steady-clock anchor of this file's relative timestamps.
+  uint64_t epoch_steady_ns = 0;
+  // Estimated (peer steady clock) - (our steady clock) in ns, measured
+  // from heartbeat RTT on the A->B link (PartyAServer). 0 = unknown or
+  // same clock. Only Party A fills this (its peer is B).
+  int64_t peer_clock_offset_ns = 0;
+};
+
 // Writes a Chrome trace_event file:
 //   { "traceEvents": [...complete events...],
 //     "phaseSummary": {...PhaseSummaryJson...},
 //     "counters": {...MetricsRegistry::Global() snapshot...} }
 // chrome://tracing ignores the extra keys; tooling can read them directly.
+// Span trace ids (when nonzero) appear as args.trace_id hex strings on
+// the events. The meta overload additionally embeds a "traceMeta" object
+// for trace_stitch.
 Status WriteChromeTrace(const std::vector<SpanRecord>& records,
                         const std::string& path);
+Status WriteChromeTrace(const std::vector<SpanRecord>& records,
+                        const TraceMeta& meta, const std::string& path);
 
 // Convenience: WriteChromeTrace(Tracer::Global().Records(), path).
 Status WriteGlobalTrace(const std::string& path);
+// Convenience with stitch metadata; fills meta.epoch_steady_ns from the
+// global tracer when the caller leaves it 0.
+Status WriteGlobalTrace(const TraceMeta& meta, const std::string& path);
 
 }  // namespace trace
 }  // namespace sknn

@@ -1,0 +1,133 @@
+#ifndef SKNN_COMMON_TRACE_ID_H_
+#define SKNN_COMMON_TRACE_ID_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <random>
+#include <string>
+
+// Distributed trace identity, shared by the tracer, the flight recorder
+// and the logger (PROTOCOL.md "Trace-id preamble").
+//
+// A trace id is a nonzero 64-bit token minted once per query on the
+// client and propagated — over kControl preambles — through Party A to
+// Party B, so the spans, flight records and log lines of one query can
+// be stitched across three processes (`tools/trace_stitch.py`). The id
+// is derived from a per-process random epoch mixed with a counter:
+// unlike the flight recorder's old monotonic-from-zero query ids, two
+// runs of the same binary (or a restarted server) cannot alias each
+// other's records.
+//
+// This header is dependency-free on purpose: logging.h includes it to
+// tag every log line with the active trace id, and logging.h must stay
+// includable from anywhere.
+
+namespace sknn {
+namespace trace {
+
+namespace internal_trace_id {
+// The thread's active trace id (0 = none). Manipulated via ScopedTraceId
+// below and by the server/worker plumbing in src/core/server.cc.
+inline thread_local uint64_t tls_trace_id = 0;
+
+// splitmix64 finalizer: a cheap, well-mixed 64-bit permutation.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+}  // namespace internal_trace_id
+
+// Random once-per-process epoch. Seeded from std::random_device plus the
+// wall clock so two processes started in the same nanosecond on an
+// entropy-less machine still diverge.
+inline uint64_t ProcessEpoch() {
+  static const uint64_t epoch = [] {
+    std::random_device rd;
+    uint64_t seed = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+    seed ^= static_cast<uint64_t>(
+        std::chrono::system_clock::now().time_since_epoch().count());
+    const uint64_t mixed = internal_trace_id::Mix64(seed);
+    return mixed == 0 ? 1 : mixed;
+  }();
+  return epoch;
+}
+
+// A fresh process-unique, restart-unique trace id; never 0.
+inline uint64_t MintTraceId() {
+  static std::atomic<uint64_t> counter{0};
+  const uint64_t id = internal_trace_id::Mix64(
+      ProcessEpoch() ^ counter.fetch_add(1, std::memory_order_relaxed));
+  return id == 0 ? 1 : id;
+}
+
+// Derives the trace id a record with ordinal `ordinal` gets when no
+// externally-propagated id is present (the flight recorder's
+// cross-restart collision fix: same ordinal, different epoch -> a
+// different id).
+inline uint64_t DeriveTraceId(uint64_t epoch, uint64_t ordinal) {
+  const uint64_t id = internal_trace_id::Mix64(epoch ^ ordinal);
+  return id == 0 ? 1 : id;
+}
+
+// The calling thread's active trace id (0 outside any traced query).
+inline uint64_t CurrentTraceId() { return internal_trace_id::tls_trace_id; }
+
+// Lowercase-hex rendering used on the wire, in logs and in JSON ("0" for
+// the zero/no-trace id).
+inline std::string TraceIdHex(uint64_t id) {
+  if (id == 0) return "0";
+  char buf[17];
+  int i = 16;
+  buf[16] = '\0';
+  while (id != 0) {
+    buf[--i] = "0123456789abcdef"[id & 0xF];
+    id >>= 4;
+  }
+  return std::string(buf + i);
+}
+
+// Parses the lowercase/uppercase-hex form back; returns 0 on malformed
+// input (0 is never a valid minted id, so callers treat it as absent).
+inline uint64_t ParseTraceIdHex(const char* begin, const char* end) {
+  if (begin == end || end - begin > 16) return 0;
+  uint64_t v = 0;
+  for (const char* p = begin; p != end; ++p) {
+    const char c = *p;
+    uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<uint64_t>(c - 'A' + 10);
+    } else {
+      return 0;
+    }
+    v = (v << 4) | digit;
+  }
+  return v;
+}
+
+// RAII: establishes `id` as the thread's active trace id for the scope.
+// Spans, flight records and log lines produced inside pick it up.
+class ScopedTraceId {
+ public:
+  explicit ScopedTraceId(uint64_t id)
+      : saved_(internal_trace_id::tls_trace_id) {
+    internal_trace_id::tls_trace_id = id;
+  }
+  ~ScopedTraceId() { internal_trace_id::tls_trace_id = saved_; }
+  ScopedTraceId(const ScopedTraceId&) = delete;
+  ScopedTraceId& operator=(const ScopedTraceId&) = delete;
+
+ private:
+  uint64_t saved_;
+};
+
+}  // namespace trace
+}  // namespace sknn
+
+#endif  // SKNN_COMMON_TRACE_ID_H_

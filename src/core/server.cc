@@ -11,6 +11,8 @@
 #include "common/flight_recorder.h"
 #include "common/metrics_registry.h"
 #include "common/rng.h"
+#include "common/trace.h"
+#include "common/trace_id.h"
 #include "common/serial.h"
 #include "common/xxhash.h"
 #include "core/data_owner.h"
@@ -180,6 +182,68 @@ Status ParseControlReply(const std::string& reply, size_t* k_out) {
 
 MetricsRegistry::Counter* ServerCounter(const char* name) {
   return MetricsRegistry::Global().GetCounter(name);
+}
+
+// ---------------------------------------------------------------------------
+// kControl preambles (PROTOCOL.md "Deadline preamble", "Trace-id
+// preamble"). A query exchange may open with up to kMaxPreambles control
+// frames before the payload frame; each carries one key=value line. Both
+// preambles are optional and order-free; a sender that uses neither keeps
+// the wire byte-identical to the original protocol. A malformed or
+// unknown preamble drops the connection (protocol violation, same as any
+// unexpected frame type).
+
+constexpr const char* kDeadlinePrefix = "deadline budget_ms=";
+constexpr const char* kTracePrefix = "trace id=";
+constexpr int kMaxPreambles = 4;
+
+std::string TracePreamble(uint64_t trace_id) {
+  return std::string(kTracePrefix) + trace::TraceIdHex(trace_id);
+}
+
+// Parses "deadline budget_ms=N" into *budget_ms. False on malformed.
+bool ParseDeadlinePreamble(const std::string& preamble, uint64_t* budget_ms) {
+  const size_t prefix_len = std::string(kDeadlinePrefix).size();
+  if (preamble.rfind(kDeadlinePrefix, 0) != 0) return false;
+  const char* b = preamble.data() + prefix_len;
+  const char* e = preamble.data() + preamble.size();
+  auto [ptr, ec] = std::from_chars(b, e, *budget_ms);
+  return ec == std::errc() && ptr == e && b != e;
+}
+
+// Parses "trace id=HEX" into *trace_id. False on malformed (including a
+// zero id, which the minting side never produces).
+bool ParseTracePreamble(const std::string& preamble, uint64_t* trace_id) {
+  const size_t prefix_len = std::string(kTracePrefix).size();
+  if (preamble.rfind(kTracePrefix, 0) != 0) return false;
+  *trace_id = trace::ParseTraceIdHex(preamble.data() + prefix_len,
+                                     preamble.data() + preamble.size());
+  return *trace_id != 0;
+}
+
+// Little-endian u64 heartbeat clock payload: B echoes its steady-clock
+// "now" so A can estimate the A<->B clock offset from the probe RTT.
+std::vector<uint8_t> EncodeClockPayload(uint64_t now_ns) {
+  std::vector<uint8_t> payload(8);
+  for (int i = 0; i < 8; ++i) {
+    payload[i] = static_cast<uint8_t>((now_ns >> (8 * i)) & 0xff);
+  }
+  return payload;
+}
+
+uint64_t DecodeClockPayload(const std::vector<uint8_t>& payload) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(payload[i]) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
 }
 
 }  // namespace
@@ -486,15 +550,48 @@ void PartyBServer::ServeConnection(std::unique_ptr<net::SocketChannel> conn,
       ch.ResetEpoch();
       auto first = ch.ReceiveFrame();
       if (!first.ok()) break;  // desync or peer loss: drop the connection
-      if (first.value().type == net::MessageType::kHeartbeat) {
-        // Liveness probe from an idle A worker: echo and keep listening.
+      // A traced query's exchange opens with a kControl trace-id preamble
+      // from the A worker; consume preambles (bounded) until the payload
+      // frame. A malformed preamble is a protocol violation: drop.
+      net::Frame frame = std::move(first).value();
+      uint64_t trace_id = 0;
+      bool preamble_error = false;
+      for (int preambles = 0;
+           frame.type == net::MessageType::kControl; ++preambles) {
+        const std::string preamble(frame.payload.begin(),
+                                   frame.payload.end());
+        if (preambles >= kMaxPreambles ||
+            !ParseTracePreamble(preamble, &trace_id)) {
+          preamble_error = true;
+          break;
+        }
+        auto next = ch.ReceiveFrame();
+        if (!next.ok()) {
+          preamble_error = true;
+          break;
+        }
+        frame = std::move(next).value();
+      }
+      if (preamble_error) break;
+      if (frame.type == net::MessageType::kHeartbeat) {
+        // Liveness probe from an idle A worker: echo, carrying our
+        // steady-clock "now" so A can estimate the A<->B clock offset
+        // (the probe's RTT bounds the error; PROTOCOL.md "Heartbeats").
         ServerCounter("server.b.heartbeats")->Increment();
-        if (!ch.SendMessage(net::MessageType::kHeartbeat, {}).ok()) break;
+        if (!ch.SendMessage(net::MessageType::kHeartbeat,
+                            EncodeClockPayload(SteadyNowNs()))
+                 .ok()) {
+          break;
+        }
         continue;
       }
-      if (first.value().type != net::MessageType::kDistances) break;
+      if (frame.type != net::MessageType::kDistances) break;
+      // The propagated id tags this thread's spans, log lines and any
+      // flight record for the rest of the query.
+      trace::ScopedTraceId scoped_trace(trace_id);
+      trace::TraceSpan query_span("b.serve_query");
       in_flight_.fetch_add(1, std::memory_order_relaxed);
-      Status s = ServeQuery(&party_b, &ch, std::move(first.value().payload));
+      Status s = ServeQuery(&party_b, &ch, std::move(frame.payload));
       in_flight_.fetch_sub(1, std::memory_order_relaxed);
       if (!s.ok()) break;  // desync or peer loss: drop the connection
       ServerCounter("server.b.queries_served")->Increment();
@@ -516,6 +613,12 @@ struct PartyAServer::Job {
   // cancellation checkpoints all charge against it.
   bool has_deadline = false;
   Clock::time_point deadline{};
+  // Distributed trace id from the client's kControl preamble (0 =
+  // untraced). The worker re-establishes it thread-locally while the
+  // query runs and forwards it to B ahead of the distance frames, so the
+  // one id tags spans and the flight record on every process the query
+  // touches.
+  uint64_t trace_id = 0;
   std::mutex mu;
   std::condition_variable cv;
   bool done = false;
@@ -557,6 +660,13 @@ StatusOr<std::unique_ptr<PartyAServer>> PartyAServer::Start(
   }
   MetricsRegistry::Global()
       .GetGauge("server.workers")
+      ->Set(static_cast<double>(options.workers));
+  // Every worker link is up at this point (Start fails otherwise); the
+  // worker loops keep the count honest across disconnects/reconnects.
+  server->connected_workers_.store(static_cast<int>(options.workers),
+                                   std::memory_order_relaxed);
+  MetricsRegistry::Global()
+      .GetGauge("server.b_link.connected_workers")
       ->Set(static_cast<double>(options.workers));
   SKNN_ASSIGN_OR_RETURN(
       server->listener_,
@@ -651,9 +761,25 @@ Status PartyAServer::HeartbeatProbe(size_t worker_index) {
   ch.ResetEpoch();
   ch.set_deadline(Clock::now() +
                   std::chrono::milliseconds(options_.heartbeat_timeout_ms));
+  const uint64_t t0_ns = SteadyNowNs();
   Status probe = [&]() -> Status {
     SKNN_RETURN_IF_ERROR(ch.SendMessage(net::MessageType::kHeartbeat, {}));
-    return ch.ReceiveMessage(net::MessageType::kHeartbeat).status();
+    SKNN_ASSIGN_OR_RETURN(std::vector<uint8_t> echo,
+                          ch.ReceiveMessage(net::MessageType::kHeartbeat));
+    // B's echo carries its steady-clock "now" (8 bytes LE); assuming the
+    // sample was taken mid-RTT, offset = b_now - (t0 + rtt/2). An empty
+    // echo (an older B) just skips the estimate — liveness is unaffected.
+    if (echo.size() == 8) {
+      const uint64_t rtt_ns = SteadyNowNs() - t0_ns;
+      const int64_t offset_ns =
+          static_cast<int64_t>(DecodeClockPayload(echo)) -
+          static_cast<int64_t>(t0_ns + rtt_ns / 2);
+      b_clock_offset_ns_.store(offset_ns, std::memory_order_relaxed);
+      MetricsRegistry::Global()
+          .GetGauge("net.b_clock_offset_ns")
+          ->Set(static_cast<double>(offset_ns));
+    }
+    return Status::Ok();
   }();
   ch.clear_deadline();
   return probe;
@@ -722,6 +848,15 @@ Status PartyAServer::RunQueryOnWorker(size_t worker_index, Job* job) {
   SKNN_ASSIGN_OR_RETURN(std::unique_ptr<PartyA::Query> query,
                         party_a_->StartQuery(job->query_ct, cancel));
   SKNN_RETURN_IF_ERROR(cancel());
+  // Forward the distributed trace id ahead of the distance frames, so
+  // B's spans for this query carry the same id as the client's and ours.
+  // Untraced queries send nothing — the A<->B wire stays byte-identical.
+  if (job->trace_id != 0) {
+    const std::string preamble = TracePreamble(job->trace_id);
+    SKNN_RETURN_IF_ERROR(ch.SendMessage(
+        net::MessageType::kControl,
+        std::vector<uint8_t>(preamble.begin(), preamble.end())));
+  }
   for (const bgv::Ciphertext& ct : query->distances()) {
     ByteSink sink;
     bgv::WriteCiphertext(ct, &sink);
@@ -782,7 +917,20 @@ void PartyAServer::WorkerLoop(size_t worker_index) {
   bool connected = true;
   int backoff_ms = options_.reconnect_backoff_ms;
   auto last_probe = Clock::now();
+  // Keeps connected_workers_ (and its gauge) in step with this worker's
+  // link transitions; /readyz answers 503 while the count is 0.
+  const auto note_link = [this](bool was, bool now) {
+    if (was == now) return;
+    const int delta = now ? 1 : -1;
+    const int count =
+        connected_workers_.fetch_add(delta, std::memory_order_relaxed) +
+        delta;
+    MetricsRegistry::Global()
+        .GetGauge("server.b_link.connected_workers")
+        ->Set(static_cast<double>(count));
+  };
   const auto try_reconnect = [&]() {
+    const bool was = connected;
     b_raw_[worker_index]->Close();
     if (ConnectWorkerToB(worker_index, options_.reconnect_attempt_timeout_ms)
             .ok()) {
@@ -795,6 +943,7 @@ void PartyAServer::WorkerLoop(size_t worker_index) {
       backoff_ms =
           std::min(backoff_ms * 2, options_.reconnect_backoff_max_ms);
     }
+    note_link(was, connected);
   };
   std::shared_ptr<Job> job;
   for (;;) {
@@ -819,12 +968,17 @@ void PartyAServer::WorkerLoop(size_t worker_index) {
           ServerCounter("server.worker.heartbeat_failures")->Increment();
           b_raw_[worker_index]->Close();
           connected = false;
+          note_link(true, false);
           backoff_ms = options_.reconnect_backoff_ms;
         }
       }
       continue;
     }
     queue_wait->Record(NsSince(job->enqueued_at));
+    // Re-establish the query's distributed trace id on this worker thread
+    // for the rest of the iteration: spans, log lines and the flight
+    // record all tag with the client's id (0 = untraced, a no-op).
+    trace::ScopedTraceId scoped_trace(job->trace_id);
     // Shed, never run, a query whose deadline expired while it queued:
     // the client has already timed out, so the HE work would be wasted.
     if (job->has_deadline && Clock::now() >= job->deadline) {
@@ -862,6 +1016,7 @@ void PartyAServer::WorkerLoop(size_t worker_index) {
     const auto t0 = Clock::now();
     uint64_t bytes_moved = 0;
     Status status;
+    trace::TraceSpan exec_span("server.query");
     for (int attempt = 0;; ++attempt) {
       const uint64_t bytes_before = b_raw_[worker_index]->bytes_sent() +
                                     b_raw_[worker_index]->bytes_received();
@@ -904,6 +1059,7 @@ void PartyAServer::WorkerLoop(size_t worker_index) {
     record.dims = deployment_.layout.dims();
     record.k = deployment_.config.k;
     record.phases.push_back({"server.query", seconds, bytes_moved, -1});
+    record.trace_id = job->trace_id;  // 0: recorder derives a unique one
     record.ok = status.ok();
     record.status = status.ok() ? "ok" : status.message();
     FlightRecorder::Global().Add(std::move(record));
@@ -926,39 +1082,52 @@ void PartyAServer::ServeConnection(std::unique_ptr<net::SocketChannel> conn,
       auto traffic = WaitForTraffic(conn.get(), options_.idle_poll_ms, stop_);
       if (!traffic.ok() || !traffic.value()) break;
       ch.ResetEpoch();
-      // A query exchange optionally opens with a kControl deadline
-      // preamble ("deadline budget_ms=N"); a client without a deadline
-      // sends the kQuery frame directly, byte-identical to the
-      // pre-deadline protocol.
+      // A query exchange optionally opens with kControl preambles — a
+      // deadline ("deadline budget_ms=N"), a trace id ("trace id=HEX"),
+      // either, both, any order. A client using neither sends the kQuery
+      // frame directly, byte-identical to the original protocol. A
+      // malformed or unknown preamble drops the connection.
       auto first = ch.ReceiveFrame();
       if (!first.ok()) break;
+      net::Frame frame = std::move(first).value();
       bool has_deadline = false;
       Clock::time_point deadline{};
-      std::vector<uint8_t> query_payload;
-      if (first.value().type == net::MessageType::kControl) {
-        const std::string preamble(first.value().payload.begin(),
-                                   first.value().payload.end());
-        constexpr const char* kDeadlinePrefix = "deadline budget_ms=";
+      uint64_t trace_id = 0;
+      bool preamble_error = false;
+      for (int preambles = 0;
+           frame.type == net::MessageType::kControl; ++preambles) {
+        const std::string preamble(frame.payload.begin(),
+                                   frame.payload.end());
         uint64_t budget_ms = 0;
-        const size_t prefix_len = std::string(kDeadlinePrefix).size();
-        if (preamble.rfind(kDeadlinePrefix, 0) != 0) break;
-        const char* b = preamble.data() + prefix_len;
-        const char* e = preamble.data() + preamble.size();
-        auto [ptr, ec] = std::from_chars(b, e, budget_ms);
-        if (ec != std::errc() || ptr != e || b == e) break;
-        // The budget is relative on the wire (the two processes' clocks
-        // are not comparable); it becomes absolute at receipt, so queue
-        // wait counts against it from this moment.
-        has_deadline = true;
-        deadline = Clock::now() + std::chrono::milliseconds(budget_ms);
-        auto query_bytes = ch.ReceiveMessage(net::MessageType::kQuery);
-        if (!query_bytes.ok()) break;
-        query_payload = std::move(query_bytes).value();
-      } else if (first.value().type == net::MessageType::kQuery) {
-        query_payload = std::move(first.value().payload);
-      } else {
+        if (preambles >= kMaxPreambles) {
+          preamble_error = true;
+          break;
+        }
+        if (ParseDeadlinePreamble(preamble, &budget_ms)) {
+          // The budget is relative on the wire (the two processes' clocks
+          // are not comparable); it becomes absolute at receipt, so queue
+          // wait counts against it from this moment.
+          has_deadline = true;
+          deadline = Clock::now() + std::chrono::milliseconds(budget_ms);
+        } else if (!ParseTracePreamble(preamble, &trace_id)) {
+          preamble_error = true;
+          break;
+        }
+        auto next = ch.ReceiveFrame();
+        if (!next.ok()) {
+          preamble_error = true;
+          break;
+        }
+        frame = std::move(next).value();
+      }
+      if (preamble_error) break;
+      if (frame.type != net::MessageType::kQuery) {
         break;  // protocol violation: drop the connection
       }
+      std::vector<uint8_t> query_payload = std::move(frame.payload);
+      // Tag this connection thread's log lines (shed/expiry paths) with
+      // the query's id while we hold it.
+      trace::ScopedTraceId scoped_trace(trace_id);
       Status outcome;
       std::shared_ptr<Job> job = std::make_shared<Job>();
       auto ct = CtFromBytes(std::move(query_payload));
@@ -973,6 +1142,7 @@ void PartyAServer::ServeConnection(std::unique_ptr<net::SocketChannel> conn,
         job->enqueued_at = Clock::now();
         job->has_deadline = has_deadline;
         job->deadline = deadline;
+        job->trace_id = trace_id;
         ServerCounter("server.queries.accepted")->Increment();
         if (draining_.load(std::memory_order_relaxed) ||
             stop_.load(std::memory_order_relaxed)) {
@@ -1061,6 +1231,18 @@ Status RemoteClient::Reconnect() {
 StatusOr<std::vector<std::vector<uint64_t>>> RemoteClient::Query(
     const std::vector<uint64_t>& query, uint64_t deadline_ms) {
   ++queries_;
+  // Distributed trace identity: when the global tracer is on (or the
+  // caller already runs under a trace id), this query gets one 64-bit id
+  // that rides a kControl preamble to Party A and from there to Party B,
+  // tagging every process's spans/flight records/log lines. Untraced
+  // queries send no preamble — the wire stays byte-identical.
+  uint64_t trace_id = trace::CurrentTraceId();
+  if (trace_id == 0 && trace::Tracer::Global().enabled()) {
+    trace_id = trace::MintTraceId();
+  }
+  last_trace_id_ = trace_id;
+  trace::ScopedTraceId scoped_trace(trace_id);
+  trace::TraceSpan query_span("client.remote_query");
   // A previous exchange that was abandoned mid-reply (deadline expiry,
   // mid-stream disconnect) left an unconsumed — or half-consumed — reply
   // on the connection; start this query on a fresh one instead of
@@ -1087,11 +1269,17 @@ StatusOr<std::vector<std::vector<uint64_t>>> RemoteClient::Query(
   // From the first frame out until the last reply frame in, any failure
   // leaves the exchange incomplete on the wire.
   dirty_ = true;
+  if (trace_id != 0) {
+    const std::string preamble = TracePreamble(trace_id);
+    SKNN_RETURN_IF_ERROR(ch_->SendMessage(
+        net::MessageType::kControl,
+        std::vector<uint8_t>(preamble.begin(), preamble.end())));
+  }
   if (deadline_ms > 0) {
     // Relative budget on the wire: the server's clock is not ours, so it
     // anchors the absolute deadline at receipt (see ServeConnection).
     const std::string preamble =
-        "deadline budget_ms=" + std::to_string(deadline_ms);
+        std::string(kDeadlinePrefix) + std::to_string(deadline_ms);
     SKNN_RETURN_IF_ERROR(ch_->SendMessage(
         net::MessageType::kControl,
         std::vector<uint8_t>(preamble.begin(), preamble.end())));

@@ -220,6 +220,10 @@ class PartyBServer {
   void Drain(int deadline_ms = 0);
   void Shutdown();
 
+  // Readiness for the /readyz admin endpoint: a draining B must answer
+  // 503 so load balancers stop routing new A connections to it.
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+
  private:
   PartyBServer(Deployment deployment, ServerOptions options);
   void AcceptLoop();
@@ -261,6 +265,22 @@ class PartyAServer {
   void Drain(int deadline_ms = 0);
   void Shutdown();
 
+  // --- Readiness + link state for the /readyz and /varz admin endpoints.
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+  // Workers whose persistent B connection is currently up. 0 = every
+  // worker is in its reconnect loop (B down or unreachable): the server
+  // is alive but cannot serve, so /readyz answers 503.
+  int connected_workers() const {
+    return connected_workers_.load(std::memory_order_relaxed);
+  }
+  // Estimated (B steady clock) - (A steady clock) in ns, refreshed by
+  // every successful heartbeat probe from B's echoed clock sample and the
+  // probe RTT. 0 until the first probe completes. trace_stitch uses it to
+  // align the two parties' trace timelines.
+  int64_t b_clock_offset_ns() const {
+    return b_clock_offset_ns_.load(std::memory_order_relaxed);
+  }
+
   // Test hook: artificial per-query delay in the worker (exercises
   // backpressure deterministically).
   void set_worker_delay_ms_for_test(int ms) { worker_delay_ms_ = ms; }
@@ -296,6 +316,8 @@ class PartyAServer {
   std::atomic<int> in_flight_{0};
   std::atomic<int> worker_delay_ms_{0};
   std::atomic<int> inject_faults_{0};
+  std::atomic<int> connected_workers_{0};
+  std::atomic<int64_t> b_clock_offset_ns_{0};
 
   std::unique_ptr<AdmissionQueue<std::shared_ptr<Job>>> queue_;
   // Worker w owns b_raw_[w] (socket) wrapped by b_ch_[w] (resilient).
@@ -329,6 +351,13 @@ class RemoteClient {
   StatusOr<std::vector<std::vector<uint64_t>>> Query(
       const std::vector<uint64_t>& query, uint64_t deadline_ms = 0);
 
+  // The distributed trace id of the most recent Query call (0 when that
+  // query ran untraced). When the global tracer is enabled the client
+  // mints one id per query and ships it to Party A in a kControl preamble
+  // (PROTOCOL.md "Trace-id preamble"), so the same id tags the client's
+  // spans, A's flight record and spans, and B's spans for that query.
+  uint64_t last_trace_id() const { return last_trace_id_; }
+
  private:
   RemoteClient(const Deployment& deployment, const ServerOptions& options);
   // (Re)dials Party A and handshakes. Query calls this transparently when
@@ -348,6 +377,7 @@ class RemoteClient {
   std::unique_ptr<net::ResilientChannel> ch_;
   bool dirty_ = false;
   uint64_t queries_ = 0;
+  uint64_t last_trace_id_ = 0;
 };
 
 }  // namespace core

@@ -1,0 +1,443 @@
+#include "obs/telemetry_http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "common/flight_recorder.h"
+#include "common/json_writer.h"
+#include "common/logging.h"
+#include "common/metrics_registry.h"
+#include "common/trace_id.h"
+
+// Values baked in by src/obs/CMakeLists.txt at configure time; the
+// fallbacks keep the file compilable standalone.
+#ifndef SKNN_OBS_GIT_SHA
+#define SKNN_OBS_GIT_SHA "unknown"
+#endif
+#ifndef SKNN_OBS_BUILD_TYPE
+#define SKNN_OBS_BUILD_TYPE "unknown"
+#endif
+
+namespace sknn {
+namespace obs {
+namespace {
+
+// Request heads beyond this are rejected (414): admin requests are one
+// short line plus a handful of headers.
+constexpr size_t kMaxRequestBytes = 8192;
+// Per-connection budget for reading the request head and writing the
+// response. A stuck scraper must not wedge the accept thread for long.
+constexpr int kIoTimeoutMs = 2000;
+
+MetricsRegistry::Counter* HttpCounter(const std::string& name) {
+  return MetricsRegistry::Global().GetCounter(name);
+}
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 414: return "URI Too Long";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+// Reads from `fd` until the blank line ending the request head, EOF, the
+// byte cap, or the deadline. Returns false on any of the failure modes.
+bool ReadRequestHead(int fd, std::string* out) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(kIoTimeoutMs);
+  char buf[1024];
+  for (;;) {
+    if (out->find("\r\n\r\n") != std::string::npos) return true;
+    if (out->size() >= kMaxRequestBytes) return false;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    const int wait_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count());
+    struct pollfd pfd = {fd, POLLIN, 0};
+    const int pr = poll(&pfd, 1, wait_ms);
+    if (pr <= 0) return false;
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    out->append(buf, static_cast<size_t>(n));
+  }
+}
+
+// Writes the whole buffer, bounded by the per-connection deadline.
+bool WriteAll(int fd, const std::string& data) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(kIoTimeoutMs);
+  size_t off = 0;
+  while (off < data.size()) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    const int wait_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count());
+    struct pollfd pfd = {fd, POLLOUT, 0};
+    const int pr = poll(&pfd, 1, wait_ms);
+    if (pr <= 0) return false;
+    const ssize_t n =
+        send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Parses "GET /path?a=1&b=2 HTTP/1.1" into method/path/params. Returns
+// false when the request line is not of that three-token shape.
+bool ParseRequestLine(const std::string& head, HttpRequest* req) {
+  const size_t eol = head.find("\r\n");
+  if (eol == std::string::npos) return false;
+  const std::string line = head.substr(0, eol);
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return false;
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return false;
+  req->method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (target.empty() || target[0] != '/') return false;
+  const size_t q = target.find('?');
+  req->path = target.substr(0, q);
+  if (q != std::string::npos) {
+    std::string query = target.substr(q + 1);
+    size_t pos = 0;
+    while (pos <= query.size()) {
+      size_t amp = query.find('&', pos);
+      if (amp == std::string::npos) amp = query.size();
+      const std::string pair = query.substr(pos, amp - pos);
+      if (!pair.empty()) {
+        const size_t eq = pair.find('=');
+        if (eq == std::string::npos) {
+          req->params[pair] = "";
+        } else {
+          req->params[pair.substr(0, eq)] = pair.substr(eq + 1);
+        }
+      }
+      pos = amp + 1;
+    }
+  }
+  return true;
+}
+
+std::string RenderResponse(const HttpResponse& resp) {
+  std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                    ReasonPhrase(resp.status) + "\r\n";
+  out += "Content-Type: " + resp.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += resp.body;
+  return out;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<TelemetryHttpServer>> TelemetryHttpServer::Start(
+    const std::string& host, uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return InternalError(std::string("admin socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return InvalidArgumentError("admin host must be an IPv4 address: " + host);
+  }
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    close(fd);
+    return UnavailableError("admin bind " + host + ":" +
+                            std::to_string(port) + ": " + err);
+  }
+  if (listen(fd, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    close(fd);
+    return InternalError("admin listen: " + err);
+  }
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const std::string err = std::strerror(errno);
+    close(fd);
+    return InternalError("admin getsockname: " + err);
+  }
+  std::unique_ptr<TelemetryHttpServer> server(new TelemetryHttpServer());
+  server->listen_fd_ = fd;
+  server->port_ = ntohs(bound.sin_port);
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+TelemetryHttpServer::~TelemetryHttpServer() { Shutdown(); }
+
+void TelemetryHttpServer::Shutdown() {
+  bool expected = false;
+  if (!stop_.compare_exchange_strong(expected, true)) {
+    return;  // already shut down
+  }
+  // The accept loop polls with a short timeout, so flipping the flag is
+  // enough; shutdown() additionally unblocks any in-flight accept.
+  if (listen_fd_ >= 0) shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void TelemetryHttpServer::RegisterHandler(const std::string& path,
+                                          Handler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_[path] = std::move(handler);
+}
+
+std::vector<std::string> TelemetryHttpServer::RegisteredPaths() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> paths;
+  paths.reserve(handlers_.size());
+  for (const auto& kv : handlers_) paths.push_back(kv.first);
+  return paths;
+}
+
+void TelemetryHttpServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    struct pollfd pfd = {listen_fd_, POLLIN, 0};
+    const int pr = poll(&pfd, 1, 100);
+    if (pr <= 0) continue;
+    const int client = accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    ServeOne(client);
+    close(client);
+  }
+}
+
+void TelemetryHttpServer::ServeOne(int client_fd) {
+  HttpCounter("obs.http.requests")->Increment();
+  std::string head;
+  HttpResponse resp;
+  HttpRequest req;
+  if (!ReadRequestHead(client_fd, &head)) {
+    resp.status = head.size() >= kMaxRequestBytes ? 414 : 400;
+    resp.body = "bad request\n";
+  } else if (!ParseRequestLine(head, &req)) {
+    resp.status = 400;
+    resp.body = "malformed request line\n";
+  } else if (req.method != "GET" && req.method != "HEAD") {
+    resp.status = 405;
+    resp.body = "only GET is served\n";
+  } else {
+    Handler handler;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = handlers_.find(req.path);
+      if (it != handlers_.end()) handler = it->second;
+    }
+    if (!handler) {
+      resp.status = 404;
+      resp.body = "no handler for " + req.path + "\n";
+    } else {
+      resp = handler(req);
+    }
+  }
+  if (resp.status != 200) HttpCounter("obs.http.errors")->Increment();
+  if (req.method == "HEAD") resp.body.clear();
+  if (!WriteAll(client_fd, RenderResponse(resp))) {
+    HttpCounter("obs.http.write_failures")->Increment();
+  }
+}
+
+void RegisterStandardEndpoints(TelemetryHttpServer* server,
+                               const BuildInfo& info, ReadyCheck ready) {
+  BuildInfo filled = info;
+  if (filled.git_sha.empty()) filled.git_sha = SKNN_OBS_GIT_SHA;
+  if (filled.build_type.empty()) filled.build_type = SKNN_OBS_BUILD_TYPE;
+  const auto start = std::chrono::steady_clock::now();
+  const auto uptime_seconds = [start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  server->RegisterHandler("/metrics", [uptime_seconds](const HttpRequest&) {
+    // Refresh the uptime gauge first so every scrape carries it.
+    MetricsRegistry::Global()
+        .GetGauge("obs.uptime_seconds")
+        ->Set(uptime_seconds());
+    HttpResponse resp;
+    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    resp.body = MetricsRegistry::Global().PrometheusText();
+    return resp;
+  });
+
+  server->RegisterHandler("/healthz", [](const HttpRequest&) {
+    // Pure liveness: if this handler runs, the process is alive.
+    HttpResponse resp;
+    resp.body = "ok\n";
+    return resp;
+  });
+
+  server->RegisterHandler("/readyz", [ready](const HttpRequest&) {
+    HttpResponse resp;
+    const Status status = ready ? ready() : Status::Ok();
+    if (status.ok()) {
+      resp.body = "ready\n";
+    } else {
+      resp.status = 503;
+      resp.body = status.message() + "\n";
+    }
+    return resp;
+  });
+
+  server->RegisterHandler("/flightz", [](const HttpRequest& req) {
+    size_t n = 32;
+    auto it = req.params.find("n");
+    if (it != req.params.end()) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || it->second.empty()) {
+        HttpResponse bad;
+        bad.status = 400;
+        bad.body = "n must be a non-negative integer\n";
+        return bad;
+      }
+      n = static_cast<size_t>(v);
+    }
+    std::vector<FlightRecord> records = FlightRecorder::Global().Records();
+    const size_t begin = records.size() > n ? records.size() - n : 0;
+    std::vector<std::string> rows;
+    rows.reserve(records.size() - begin);
+    for (size_t i = begin; i < records.size(); ++i) {
+      rows.push_back(records[i].Json());
+    }
+    json::ObjectWriter out;
+    out.Int("total_in_ring", records.size())
+        .Raw("flight_records", json::Array(rows));
+    HttpResponse resp;
+    resp.content_type = "application/json";
+    resp.body = out.Render() + "\n";
+    return resp;
+  });
+
+  server->RegisterHandler(
+      "/varz", [filled, uptime_seconds, server](const HttpRequest&) {
+        json::ObjectWriter out;
+        out.Str("role", filled.role)
+            .Str("git_sha", filled.git_sha)
+            .Str("build_type", filled.build_type)
+            .Str("simd_backend", filled.simd_backend)
+            .Str("params_fingerprint", filled.params_fingerprint)
+            .Str("process_epoch", trace::TraceIdHex(trace::ProcessEpoch()))
+            .Int("pid", static_cast<uint64_t>(getpid()))
+            .Num("uptime_seconds", uptime_seconds());
+        std::vector<std::string> endpoints;
+        for (const std::string& p : server->RegisteredPaths()) {
+          endpoints.push_back("\"" + json::Escape(p) + "\"");
+        }
+        out.Raw("endpoints", json::Array(endpoints));
+        HttpResponse resp;
+        resp.content_type = "application/json";
+        resp.body = out.Render() + "\n";
+        return resp;
+      });
+}
+
+StatusOr<HttpGetResult> HttpGet(const std::string& host, uint16_t port,
+                                const std::string& path_and_query,
+                                int timeout_ms) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline = t0 + std::chrono::milliseconds(timeout_ms);
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return InternalError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return InvalidArgumentError("host must be an IPv4 address: " + host);
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    close(fd);
+    return UnavailableError("connect " + host + ":" + std::to_string(port) +
+                            ": " + err);
+  }
+  const std::string request = "GET " + path_and_query +
+                              " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  if (!WriteAll(fd, request)) {
+    close(fd);
+    return UnavailableError("request write failed");
+  }
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      close(fd);
+      return DeadlineExceededError("scrape timed out after " +
+                                   std::to_string(timeout_ms) + "ms");
+    }
+    const int wait_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count());
+    struct pollfd pfd = {fd, POLLIN, 0};
+    const int pr = poll(&pfd, 1, wait_ms);
+    if (pr <= 0) {
+      close(fd);
+      return DeadlineExceededError("scrape timed out waiting for response");
+    }
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      close(fd);
+      return UnavailableError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) break;  // server closed: response complete
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  const size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos || raw.size() < 12 ||
+      raw.compare(0, 5, "HTTP/") != 0) {
+    return DataLossError("malformed HTTP response");
+  }
+  HttpGetResult result;
+  // Status code: the token after the first space of the status line.
+  const size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > raw.size()) {
+    return DataLossError("malformed HTTP status line");
+  }
+  result.status = std::atoi(raw.c_str() + sp + 1);
+  result.body = raw.substr(head_end + 4);
+  result.latency_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count();
+  return result;
+}
+
+}  // namespace obs
+}  // namespace sknn

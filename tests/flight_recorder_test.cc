@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/flight_recorder.h"
+#include "common/trace_id.h"
 #include "core/session.h"
 #include "data/generators.h"
 #include "net/faulty_link.h"
@@ -189,6 +190,51 @@ TEST(FlightRecorderSession, FailedQueryRecordsErrorAndReplaySeed) {
   FlightRecord found;
   ASSERT_TRUE(FlightRecorder::Global().FindBySeed(4242, &found));
   EXPECT_FALSE(found.ok);
+}
+
+TEST(FlightRecorder, RecordsCarryRestartSafeIdentity) {
+  FlightRecorder recorder(/*capacity=*/8);
+  recorder.set_dump_on_error(false);
+  recorder.Add(MakeRecord(1, true));
+  recorder.Add(MakeRecord(2, true));
+  const auto records = recorder.Records();
+  ASSERT_EQ(records.size(), 2u);
+  // Every record is stamped with the live process epoch and a derived
+  // nonzero trace id; ids differ between records (the counter moves).
+  for (const FlightRecord& r : records) {
+    EXPECT_EQ(r.process_epoch, trace::ProcessEpoch());
+    EXPECT_NE(r.trace_id, 0u);
+  }
+  EXPECT_NE(records[0].trace_id, records[1].trace_id);
+  // A restarted process (different epoch) cannot alias these ids even
+  // at the same query ordinal.
+  const uint64_t other_epoch = trace::ProcessEpoch() ^ 0x5555555555555555ull;
+  EXPECT_NE(trace::DeriveTraceId(other_epoch, records[0].query_id),
+            records[0].trace_id);
+}
+
+TEST(FlightRecorder, ExplicitAndThreadLocalTraceIdsWin) {
+  FlightRecorder recorder(/*capacity=*/8);
+  recorder.set_dump_on_error(false);
+  // An explicitly-set trace id (the propagated distributed id) is kept.
+  FlightRecord explicit_id = MakeRecord(10, true);
+  explicit_id.trace_id = 0xdeadbeefcafef00dull;
+  recorder.Add(std::move(explicit_id));
+  // With no explicit id, the thread's active id is picked up.
+  {
+    trace::ScopedTraceId scoped(0x1122334455667788ull);
+    recorder.Add(MakeRecord(11, true));
+  }
+  const auto records = recorder.Records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].trace_id, 0xdeadbeefcafef00dull);
+  EXPECT_EQ(records[1].trace_id, 0x1122334455667788ull);
+  // The JSON emits the ids in the wire/log hex form.
+  const std::string json = recorder.Json();
+  EXPECT_NE(json.find("\"trace_id\":\"deadbeefcafef00d\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":\"1122334455667788\""),
+            std::string::npos);
 }
 
 }  // namespace

@@ -35,6 +35,7 @@
 #include "core/server.h"
 #include "data/generators.h"
 #include "knn/knn.h"
+#include "obs/telemetry_http.h"
 
 namespace sknn {
 namespace core {
@@ -531,6 +532,105 @@ TEST_F(ProcessChaosTest, SigtermDrainsAndFlushesObservability) {
   EXPECT_EQ(server_b.Wait(30000), 0) << server_b.captured();
   std::remove(metrics_path.c_str());
   std::remove(flight_path.c_str());
+}
+
+// The admin plane's readiness contract under real process faults:
+// Party A's /readyz must flip to 503 while its B-link is down (B
+// SIGKILLed) and while A itself is draining on SIGTERM, and /healthz
+// must stay 200 throughout — liveness and readiness are different
+// questions. Recovery (B restarted) must flip /readyz back to 200
+// with no operator action.
+TEST_F(ProcessChaosTest, AdminReadyzTracksDrainAndBOutage) {
+  const uint16_t b_port = PickFreePort();
+  auto server_b = std::make_unique<Subprocess>();
+  ASSERT_TRUE(StartServerB(server_b.get(), b_port, {"--admin-port=0"}));
+  ASSERT_TRUE(server_b->ReadUntil("admin listening on", 10000));
+  const int b_admin =
+      ParsePortAfter(server_b->captured(), "admin listening on");
+  ASSERT_GT(b_admin, 0) << server_b->captured();
+
+  Subprocess server_a;
+  const int a_port = StartServerA(
+      &server_a, b_port,
+      {"--admin-port=0", "--drain-ms=10000", "--test-worker-delay-ms=300"});
+  ASSERT_GT(a_port, 0) << server_a.captured();
+  ASSERT_TRUE(server_a.ReadUntil("admin listening on", 10000));
+  const int a_admin = ParsePortAfter(server_a.captured(), "admin listening on");
+  ASSERT_GT(a_admin, 0) << server_a.captured();
+
+  auto get = [](int port, const char* path) {
+    return obs::HttpGet("127.0.0.1", static_cast<uint16_t>(port), path,
+                        /*timeout_ms=*/3000);
+  };
+  // Polls `path` until it returns `want` or the budget runs out.
+  auto await_status = [&get](int port, const char* path, int want,
+                             int budget_ms) {
+    const auto deadline = Clock::now() + std::chrono::milliseconds(budget_ms);
+    int last = -1;
+    while (Clock::now() < deadline) {
+      auto res = obs::HttpGet("127.0.0.1", static_cast<uint16_t>(port), path,
+                              /*timeout_ms=*/3000);
+      if (res.ok()) {
+        last = res->status;
+        if (last == want) return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    ADD_FAILURE() << path << " on :" << port << " never reached " << want
+                  << " (last " << last << ")";
+    return false;
+  };
+
+  // Healthy steady state: both parties live and ready.
+  auto res = get(a_admin, "/readyz");
+  ASSERT_TRUE(res.ok()) << res.status();
+  EXPECT_EQ(res->status, 200) << res->body;
+  res = get(b_admin, "/readyz");
+  ASSERT_TRUE(res.ok()) << res.status();
+  EXPECT_EQ(res->status, 200) << res->body;
+
+  // --- B outage: A must report not-ready, but stay alive. ---
+  server_b->Signal(SIGKILL);
+  server_b->KillHard();  // reap
+  EXPECT_TRUE(await_status(a_admin, "/readyz", 503, 30000))
+      << "A never reported its dead B-link on /readyz";
+  res = get(a_admin, "/readyz");
+  ASSERT_TRUE(res.ok());
+  EXPECT_NE(res->body.find("B workers"), std::string::npos) << res->body;
+  res = get(a_admin, "/healthz");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->status, 200) << "/healthz is liveness; A is still alive";
+
+  // --- Recovery: restart B on the same port; /readyz flips back. ---
+  server_b = std::make_unique<Subprocess>();
+  ASSERT_TRUE(StartServerB(server_b.get(), b_port));
+  EXPECT_TRUE(await_status(a_admin, "/readyz", 200, 60000))
+      << "A never regained readiness after the B restart";
+
+  // --- Drain: SIGTERM with a query in flight (the injected worker
+  // delay holds it open); /readyz must flip to 503 while the admin
+  // plane itself stays up, then the process exits 0. ---
+  ServerOptions options;
+  auto client = RemoteClient::Connect(
+      *deployment_, "127.0.0.1", static_cast<uint16_t>(a_port), options);
+  ASSERT_TRUE(client.ok()) << client.status();
+  const std::vector<uint64_t> query = data::UniformQuery(kD, 15, 4004);
+  auto warm = (*client)->Query(query);
+  ASSERT_TRUE(warm.ok()) << warm.status();
+
+  StatusOr<std::vector<std::vector<uint64_t>>> racing =
+      UnavailableError("never ran");
+  std::thread racer([&] { racing = (*client)->Query(query); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server_a.Signal(SIGTERM);
+  EXPECT_TRUE(await_status(a_admin, "/readyz", 503, 5000))
+      << "draining A never reported 503 on /readyz";
+  racer.join();
+  ExpectExactOrTypedTransient(racing, query, "query racing SIGTERM drain");
+  EXPECT_EQ(server_a.Wait(30000), 0) << server_a.captured();
+
+  server_b->Signal(SIGTERM);
+  EXPECT_EQ(server_b->Wait(30000), 0) << server_b->captured();
 }
 
 }  // namespace

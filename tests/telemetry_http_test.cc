@@ -1,0 +1,376 @@
+// Tests for the admin/telemetry HTTP plane (src/obs/telemetry_http.h):
+// endpoint semantics (/healthz /readyz /flightz /varz, 404/405/400
+// paths), Prometheus exposition conformance of the live /metrics body
+// (metric-name charset, cumulative monotone `le` buckets ending in
+// +Inf, summary quantiles), and a scrape-while-recording hammer that
+// races live scrapes against metric writers — the same race a
+// Prometheus scraper runs against production traffic.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/flight_recorder.h"
+#include "common/metrics_registry.h"
+#include "common/trace_id.h"
+#include "obs/telemetry_http.h"
+
+namespace sknn {
+namespace {
+
+using obs::BuildInfo;
+using obs::HttpGet;
+using obs::TelemetryHttpServer;
+
+// Sends a raw HTTP request (for methods/framing HttpGet can't produce)
+// and returns the full response bytes.
+std::string RawRequest(uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  (void)::send(fd, request.data(), request.size(), MSG_NOSIGNAL);
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+// Starts a server with the standard endpoints and a toggleable ready
+// check shared between the test body and the handler.
+struct TestPlane {
+  std::unique_ptr<TelemetryHttpServer> server;
+  std::shared_ptr<std::atomic<bool>> ready =
+      std::make_shared<std::atomic<bool>>(true);
+
+  static TestPlane Start() {
+    TestPlane p;
+    auto server = TelemetryHttpServer::Start("127.0.0.1", 0);
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    p.server = std::move(server.value());
+    BuildInfo info;
+    info.role = "test";
+    info.params_fingerprint = "deadbeef";
+    auto ready = p.ready;
+    obs::RegisterStandardEndpoints(p.server.get(), info, [ready]() {
+      if (!ready->load()) return UnavailableError("not ready (test)");
+      return Status::Ok();
+    });
+    return p;
+  }
+  uint16_t port() const { return server->port(); }
+};
+
+// One `name value` or `name{labels} value` sample line.
+struct Sample {
+  std::string name;
+  std::string labels;  // between { and }, empty if none
+  double value = 0;
+};
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+// Parses an exposition body into sample lines, EXPECTing conformance of
+// every line along the way (names, comment structure, parseable values).
+std::vector<Sample> ParseExposition(const std::string& body) {
+  std::vector<Sample> samples;
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    const std::string line = body.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.compare(0, 7, "# TYPE ") == 0 ||
+                  line.compare(0, 7, "# HELP ") == 0)
+          << "bad comment line: " << line;
+      continue;
+    }
+    Sample s;
+    const size_t brace = line.find('{');
+    const size_t space = line.rfind(' ');
+    EXPECT_NE(space, std::string::npos) << "no value on line: " << line;
+    if (space == std::string::npos) continue;
+    if (brace != std::string::npos && brace < space) {
+      const size_t close = line.find('}', brace);
+      EXPECT_NE(close, std::string::npos) << "unclosed labels: " << line;
+      if (close == std::string::npos) continue;
+      s.name = line.substr(0, brace);
+      s.labels = line.substr(brace + 1, close - brace - 1);
+    } else {
+      s.name = line.substr(0, space);
+    }
+    EXPECT_TRUE(ValidMetricName(s.name)) << "bad metric name: " << s.name;
+    char* end = nullptr;
+    s.value = std::strtod(line.c_str() + space + 1, &end);
+    EXPECT_NE(end, line.c_str() + space + 1) << "bad value: " << line;
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+double LabelLe(const std::string& labels) {
+  // le="..."; "+Inf" maps to infinity.
+  const size_t q1 = labels.find('"');
+  const size_t q2 = labels.rfind('"');
+  const std::string v = labels.substr(q1 + 1, q2 - q1 - 1);
+  if (v == "+Inf") return std::numeric_limits<double>::infinity();
+  return std::strtod(v.c_str(), nullptr);
+}
+
+TEST(TelemetryHttp, HealthzAndUnknownPath) {
+  TestPlane p = TestPlane::Start();
+  auto res = HttpGet("127.0.0.1", p.port(), "/healthz");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res->status, 200);
+  EXPECT_EQ(res->body, "ok\n");
+
+  res = HttpGet("127.0.0.1", p.port(), "/no-such-endpoint");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->status, 404);
+}
+
+TEST(TelemetryHttp, MethodNotAllowedAndHead) {
+  TestPlane p = TestPlane::Start();
+  const std::string post = RawRequest(
+      p.port(), "POST /healthz HTTP/1.1\r\nHost: t\r\nContent-Length: 0"
+                "\r\n\r\n");
+  EXPECT_NE(post.find("405"), std::string::npos) << post;
+
+  // HEAD gets headers but no body.
+  const std::string head =
+      RawRequest(p.port(), "HEAD /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(head.find("200"), std::string::npos) << head;
+  const size_t body_at = head.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  EXPECT_EQ(head.substr(body_at + 4), "");
+}
+
+TEST(TelemetryHttp, ReadyzFollowsReadyCheck) {
+  TestPlane p = TestPlane::Start();
+  auto res = HttpGet("127.0.0.1", p.port(), "/readyz");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->status, 200);
+  EXPECT_EQ(res->body, "ready\n");
+
+  p.ready->store(false);
+  res = HttpGet("127.0.0.1", p.port(), "/readyz");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->status, 503);
+  EXPECT_NE(res->body.find("not ready (test)"), std::string::npos);
+
+  p.ready->store(true);
+  res = HttpGet("127.0.0.1", p.port(), "/readyz");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->status, 200);
+}
+
+TEST(TelemetryHttp, FlightzServesRecordsAndRejectsBadParam) {
+  TestPlane p = TestPlane::Start();
+  FlightRecord record;
+  record.seed = 4242;
+  record.trace_id = 0xabcdef0123456789ull;
+  record.ok = true;
+  record.status = "ok";
+  FlightRecorder::Global().Add(std::move(record));
+
+  auto res = HttpGet("127.0.0.1", p.port(), "/flightz?n=1");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->status, 200);
+  EXPECT_NE(res->body.find("\"flight_records\""), std::string::npos);
+  EXPECT_NE(res->body.find("abcdef0123456789"), std::string::npos)
+      << "flight record trace id missing from " << res->body;
+  EXPECT_NE(res->body.find("\"total_in_ring\""), std::string::npos);
+
+  res = HttpGet("127.0.0.1", p.port(), "/flightz?n=bogus");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->status, 400);
+}
+
+TEST(TelemetryHttp, VarzReportsBuildInfo) {
+  TestPlane p = TestPlane::Start();
+  auto res = HttpGet("127.0.0.1", p.port(), "/varz");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->status, 200);
+  EXPECT_NE(res->body.find("\"role\":\"test\""), std::string::npos)
+      << res->body;
+  EXPECT_NE(res->body.find("\"params_fingerprint\":\"deadbeef\""),
+            std::string::npos);
+  // The process epoch must match the live one (restart-safe identity).
+  EXPECT_NE(res->body.find(trace::TraceIdHex(trace::ProcessEpoch())),
+            std::string::npos);
+}
+
+TEST(PrometheusConformance, MetricsScrapeIsWellFormed) {
+  TestPlane p = TestPlane::Start();
+  auto& registry = MetricsRegistry::Global();
+  registry.GetCounter("test.promconf.requests")->Add(7);
+  registry.GetGauge("test.promconf.depth")->Set(3.5);
+  auto* hist = registry.GetHistogram("test.promconf.latency_us");
+  const uint64_t values[] = {1, 2, 3, 9, 120, 4096, 123456, 1ull << 33};
+  for (uint64_t v : values) hist->Record(v);
+
+  auto res = HttpGet("127.0.0.1", p.port(), "/metrics");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  ASSERT_EQ(res->status, 200);
+  // ParseExposition EXPECTs name/comment/value conformance per line.
+  const std::vector<Sample> samples = ParseExposition(res->body);
+  ASSERT_FALSE(samples.empty());
+  std::map<std::string, double> by_name;
+  for (const Sample& s : samples) {
+    if (s.labels.empty()) by_name[s.name] = s.value;
+  }
+  // Dotted registry names come out underscore-sanitized with the
+  // recorded values intact.
+  ASSERT_TRUE(by_name.count("test_promconf_requests"));
+  EXPECT_GE(by_name["test_promconf_requests"], 7);
+  ASSERT_TRUE(by_name.count("test_promconf_depth"));
+  EXPECT_DOUBLE_EQ(by_name["test_promconf_depth"], 3.5);
+  // The scrape itself shows up in the obs.http instrumentation.
+  ASSERT_TRUE(by_name.count("obs_http_requests"));
+  EXPECT_GE(by_name["obs_http_requests"], 1);
+}
+
+TEST(PrometheusConformance, HistogramBucketsAreCumulativeMonotone) {
+  TestPlane p = TestPlane::Start();
+  auto& registry = MetricsRegistry::Global();
+  auto* hist = registry.GetHistogram("test.promconf2.latency_us");
+  const uint64_t values[] = {1, 1, 2, 9, 120, 120, 4096, 123456, 1ull << 33};
+  for (uint64_t v : values) hist->Record(v);
+
+  auto res = HttpGet("127.0.0.1", p.port(), "/metrics");
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->status, 200);
+  const std::vector<Sample> samples = ParseExposition(res->body);
+  ASSERT_FALSE(samples.empty());
+
+  // Group histogram bucket series by base name; validate each.
+  std::map<std::string, std::vector<Sample>> buckets;
+  std::map<std::string, double> counts;
+  bool saw_quantile_summary = false;
+  for (const Sample& s : samples) {
+    if (s.name.size() > 7 &&
+        s.name.compare(s.name.size() - 7, 7, "_bucket") == 0) {
+      ASSERT_NE(s.labels.find("le="), std::string::npos) << s.name;
+      buckets[s.name.substr(0, s.name.size() - 7)].push_back(s);
+    } else if (s.name.size() > 6 &&
+               s.name.compare(s.name.size() - 6, 6, "_count") == 0) {
+      counts[s.name.substr(0, s.name.size() - 6)] = s.value;
+    } else if (s.labels.find("quantile=") != std::string::npos) {
+      saw_quantile_summary = true;
+      EXPECT_GE(s.value, 0) << s.name;
+    }
+  }
+  ASSERT_FALSE(buckets.empty());
+  EXPECT_TRUE(saw_quantile_summary);
+  for (const auto& [base, series] : buckets) {
+    double prev_le = -1, prev_count = -1;
+    for (const Sample& s : series) {
+      const double le = LabelLe(s.labels);
+      EXPECT_GT(le, prev_le) << base << ": le not increasing";
+      EXPECT_GE(s.value, prev_count) << base << ": counts not cumulative";
+      prev_le = le;
+      prev_count = s.value;
+    }
+    // The series must terminate in +Inf, and since no writers are racing
+    // this scrape, +Inf must equal the _count sample.
+    EXPECT_TRUE(std::isinf(prev_le)) << base << ": missing +Inf bucket";
+    ASSERT_TRUE(counts.count(base)) << base << ": missing _count";
+    EXPECT_EQ(prev_count, counts[base]) << base;
+  }
+
+  // Our freshly-recorded histogram is present with the right count.
+  ASSERT_TRUE(counts.count("test_promconf2_latency_us"));
+  EXPECT_GE(counts["test_promconf2_latency_us"], 9);
+}
+
+TEST(PrometheusConformance, ScrapeWhileRecordingHammer) {
+  TestPlane p = TestPlane::Start();
+  auto& registry = MetricsRegistry::Global();
+  std::atomic<bool> running{true};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 3; ++w) {
+    writers.emplace_back([&registry, &running, w]() {
+      auto* counter = registry.GetCounter("test.hammer.ops");
+      auto* hist = registry.GetHistogram("test.hammer.latency");
+      uint64_t v = 1 + static_cast<uint64_t>(w);
+      while (running.load(std::memory_order_relaxed)) {
+        counter->Increment();
+        hist->Record(v);
+        v = v * 2862933555777941757ull + 3037000493ull;  // cheap LCG
+        v %= (1ull << 40);
+      }
+    });
+  }
+
+  int scrapes = 0;
+  for (int i = 0; i < 25; ++i) {
+    auto res = HttpGet("127.0.0.1", p.port(), "/metrics");
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    ASSERT_EQ(res->status, 200);
+    // Every mid-write scrape must still be structurally conformant.
+    // (Bucket-vs-count equality is NOT asserted here: writers race the
+    // snapshot, so the totals may legitimately be in motion.)
+    const std::vector<Sample> samples = ParseExposition(res->body);
+    EXPECT_FALSE(samples.empty());
+    std::map<std::string, double> prev_le, prev_count;
+    for (const Sample& s : samples) {
+      if (s.name.size() > 7 &&
+          s.name.compare(s.name.size() - 7, 7, "_bucket") == 0) {
+        const double le = LabelLe(s.labels);
+        EXPECT_GT(le, prev_le.count(s.name) ? prev_le[s.name] : -1.0)
+            << s.name;
+        EXPECT_GE(s.value,
+                  prev_count.count(s.name) ? prev_count[s.name] : -1.0)
+            << s.name;
+        prev_le[s.name] = le;
+        prev_count[s.name] = s.value;
+      }
+    }
+    ++scrapes;
+  }
+  running.store(false);
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(scrapes, 25);
+}
+
+}  // namespace
+}  // namespace sknn

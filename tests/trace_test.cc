@@ -1,6 +1,7 @@
 #include "common/trace.h"
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -226,6 +227,100 @@ TEST(OpCountsExportTest, ExportsNonZeroFieldsUnderPrefix) {
   // A second export accumulates.
   ops.ExportTo(&reg, "core.party_a");
   EXPECT_EQ(reg.GetCounter("core.party_a.he_multiplications")->value(), 6u);
+}
+
+TEST(TraceIdTest, MintedIdsAreNonzeroAndDistinct) {
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 64; ++i) ids.push_back(trace::MintTraceId());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_NE(ids[i], 0u);
+    for (size_t j = i + 1; j < ids.size(); ++j) EXPECT_NE(ids[i], ids[j]);
+  }
+}
+
+TEST(TraceIdTest, HexRoundTripsAndRejectsMalformed) {
+  const uint64_t probes[] = {1, 0xF, 0xabcdef0123456789ull, ~0ull};
+  for (uint64_t id : probes) {
+    const std::string hex = trace::TraceIdHex(id);
+    EXPECT_EQ(trace::ParseTraceIdHex(hex.data(), hex.data() + hex.size()),
+              id);
+  }
+  EXPECT_EQ(trace::TraceIdHex(0), "0");
+  const char* bad[] = {"", "xyz", "123g", "0123456789abcdef0"};  // 17 digits
+  for (const char* s : bad) {
+    EXPECT_EQ(trace::ParseTraceIdHex(s, s + std::strlen(s)), 0u) << s;
+  }
+}
+
+TEST(TraceIdTest, DerivedIdsDifferAcrossProcessEpochs) {
+  // The flight recorder's cross-restart fix: the same record ordinal
+  // under different process epochs must not alias.
+  const uint64_t e1 = 0x1111111111111111ull, e2 = 0x2222222222222222ull;
+  for (uint64_t ordinal = 0; ordinal < 32; ++ordinal) {
+    EXPECT_NE(trace::DeriveTraceId(e1, ordinal),
+              trace::DeriveTraceId(e2, ordinal));
+    EXPECT_NE(trace::DeriveTraceId(e1, ordinal), 0u);
+  }
+  EXPECT_NE(trace::ProcessEpoch(), 0u);
+  EXPECT_EQ(trace::ProcessEpoch(), trace::ProcessEpoch());
+}
+
+TEST(TraceIdTest, ScopedTraceIdSetsAndRestores) {
+  EXPECT_EQ(trace::CurrentTraceId(), 0u);
+  {
+    trace::ScopedTraceId outer(0x1234);
+    EXPECT_EQ(trace::CurrentTraceId(), 0x1234u);
+    {
+      trace::ScopedTraceId inner(0x5678);
+      EXPECT_EQ(trace::CurrentTraceId(), 0x5678u);
+    }
+    EXPECT_EQ(trace::CurrentTraceId(), 0x1234u);
+  }
+  EXPECT_EQ(trace::CurrentTraceId(), 0u);
+}
+
+TEST_F(TraceTest, SpansCaptureTheActiveTraceId) {
+  {
+    trace::ScopedTraceId scoped(0xabcdef0123456789ull);
+    TraceSpan span("traced.work");
+  }
+  {
+    TraceSpan span("untraced.work");
+  }
+  uint64_t traced_id = 0, untraced_id = ~0ull;
+  for (const SpanRecord& r : Tracer::Global().Records()) {
+    if (r.path == "traced.work") traced_id = r.trace_id;
+    if (r.path == "untraced.work") untraced_id = r.trace_id;
+  }
+  EXPECT_EQ(traced_id, 0xabcdef0123456789ull);
+  EXPECT_EQ(untraced_id, 0u);
+}
+
+TEST_F(TraceTest, ChromeTraceTagsEventsWithTraceIdAndMeta) {
+  {
+    trace::ScopedTraceId scoped(0xfeedface12345678ull);
+    TraceSpan span("tagged.query");
+  }
+  const std::string path = ::testing::TempDir() + "trace_test_ids.json";
+  trace::TraceMeta meta;
+  meta.process = "unit_test";
+  meta.peer_clock_offset_ns = -42;
+  ASSERT_TRUE(trace::WriteGlobalTrace(meta, path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, got);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_NE(content.find("\"trace_id\":\"feedface12345678\""),
+            std::string::npos);
+  EXPECT_NE(content.find("\"traceMeta\""), std::string::npos);
+  EXPECT_NE(content.find("\"process\":\"unit_test\""), std::string::npos);
+  EXPECT_NE(content.find("\"peer_clock_offset_ns\":-42"), std::string::npos);
 }
 
 }  // namespace

@@ -8,11 +8,15 @@
 #      still exist — glob forms like `src/net/channel.*` are resolved with
 #      pathname expansion,
 #   3. every metric the serving layer exports (GetCounter/GetGauge/
-#      GetHistogram literals plus the SocketCounter/ServerCounter wrappers
-#      in src/net/socket_link.cc and src/core/server.cc) must appear in the
-#      README's metric inventory, and
+#      GetHistogram literals plus the SocketCounter/ServerCounter/
+#      HttpCounter wrappers in src/net/socket_link.cc, src/core/server.cc
+#      and src/obs/telemetry_http.cc) must appear in the README's metric
+#      inventory,
 #   4. every MessageType enumerator in src/net/frame.h must appear in
-#      PROTOCOL.md's socket-transport section.
+#      PROTOCOL.md's socket-transport section, and
+#   5. every admin endpoint the telemetry server registers
+#      (RegisterHandler("/...") in src/obs/telemetry_http.cc) must appear
+#      in OPERATIONS.md's endpoint table.
 #
 # Only the hand-written docs are scanned; SNIPPETS.md and PAPERS.md quote
 # other repositories and would produce false positives.
@@ -63,7 +67,7 @@ done
 #    Direct Get{Counter,Gauge,Histogram}("...") literals export the name
 #    verbatim; ServerCounter("...") is a passthrough; SocketCounter("...")
 #    prefixes "net.socket.".
-metric_sources="src/net/socket_link.cc src/core/server.cc"
+metric_sources="src/net/socket_link.cc src/core/server.cc src/obs/telemetry_http.cc"
 while IFS= read -r metric; do
   [ -z "$metric" ] && continue
   if ! grep -qF "\`$metric\`" README.md; then
@@ -78,8 +82,20 @@ done < <(
       | sed 's/.*("\(.*\)")/\1/'
     grep -hoE 'SocketCounter\("[^"]+"\)' $metric_sources \
       | sed 's/.*("\(.*\)")/net.socket.\1/'
+    grep -hoE 'HttpCounter\("[^"]+"\)' $metric_sources \
+      | sed 's/.*("\(.*\)")/\1/'
   } | sort -u
 )
+
+# 5. Every admin endpoint must be documented in OPERATIONS.md.
+while IFS= read -r endpoint; do
+  [ -z "$endpoint" ] && continue
+  if ! grep -qF "\`$endpoint\`" OPERATIONS.md; then
+    echo "OPERATIONS.md: undocumented admin endpoint \`$endpoint\` (registered in src/obs/telemetry_http.cc)"
+    fail=1
+  fi
+done < <(grep -A1 'RegisterHandler(' src/obs/telemetry_http.cc \
+           | grep -oE '"/[^"]+"' | tr -d '"' | sort -u)
 
 # 4. Every MessageType on the wire must be specified in PROTOCOL.md.
 while IFS= read -r msg; do

@@ -7,6 +7,16 @@
 //   sknn_cli kmeans   --n=200 --d=2 --clusters=3 [--iterations=5]
 //   sknn_cli baseline --n=50 --d=3 --k=3 [--paillier-bits=256]
 //   sknn_cli params   [--preset=...] [--levels=4] [--plain-bits=33]
+//   sknn_cli remote   --port=PORT [--host=127.0.0.1] [--queries=3]
+//                     [--deadline-ms=0] + the same deployment flags as the
+//                     running sknn_server_a/b (the derivation fingerprint
+//                     must agree or the handshake is rejected)
+//
+// `remote` drives a live PartyAServer as a protocol client. With --trace
+// it mints one distributed trace id per query (printed per query, and
+// propagated to both servers over kControl preambles); stitch this
+// process's trace with the servers' --trace files via
+// tools/trace_stitch.py to see one query across all three timelines.
 //
 // Any subcommand accepts --trace=FILE (before or after the subcommand):
 // the run executes with phase tracing enabled, writes a Chrome
@@ -18,6 +28,7 @@
 //
 // Every subcommand prints what it would leak and what it measured.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,7 +40,9 @@
 #include "common/json_writer.h"
 #include "common/metrics_registry.h"
 #include "common/trace.h"
+#include "common/trace_id.h"
 #include "core/config_advisor.h"
+#include "core/server.h"
 #include "core/session.h"
 #include "data/generators.h"
 #include "extensions/secure_kmeans.h"
@@ -270,6 +283,93 @@ int RunBaseline(const Flags& flags) {
   return 0;
 }
 
+int RunRemote(const Flags& flags) {
+  const uint16_t port = static_cast<uint16_t>(flags.U64("port", 0));
+  if (port == 0) {
+    std::fprintf(stderr,
+                 "remote needs --port (where sknn_server_a listens)\n");
+    return 2;
+  }
+  // The deployment derivation must mirror tools/sknn_server.cc exactly —
+  // same flags, same defaults — or the handshake fingerprint diverges and
+  // the server rejects us.
+  size_t d = flags.U64("d", 2);
+  const int coord_bits = static_cast<int>(flags.U64("coord-bits", 4));
+  const uint64_t seed = flags.U64("seed", 1);
+  const std::string dataset_name = flags.Str("dataset", "uniform");
+  data::Dataset dataset =
+      MakeDataset(dataset_name, flags.U64("n", 100), &d, coord_bits, seed);
+
+  core::ProtocolConfig cfg;
+  cfg.k = flags.U64("k", 5);
+  cfg.dims = d;
+  cfg.coord_bits = coord_bits;
+  cfg.poly_degree = flags.U64("degree", 2);
+  cfg.layout = flags.Str("layout", "packed") == std::string("per-point")
+                   ? core::Layout::kPerPoint
+                   : core::Layout::kPacked;
+  cfg.preset = PresetFromString(flags.Str("preset", "toy"));
+  cfg.levels = cfg.MinimumLevels();
+  cfg.threads = flags.U64("threads", 1);
+  cfg.compress_indicators = flags.U64("compress", 1) != 0;
+
+  std::printf("deriving client deployment (%s, seed %llu)...\n",
+              cfg.DebugString().c_str(),
+              static_cast<unsigned long long>(seed));
+  auto deployment =
+      core::Deployment::Derive(cfg, dataset, seed, /*role_a=*/false);
+  if (!deployment.ok()) {
+    std::fprintf(stderr, "derive: %s\n",
+                 deployment.status().ToString().c_str());
+    return 1;
+  }
+  const std::string host = flags.Str("host", "127.0.0.1");
+  core::ServerOptions options;
+  auto client = core::RemoteClient::Connect(*deployment, host, port, options);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect %s:%u: %s\n", host.c_str(), port,
+                 client.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("connected to %s:%u (fingerprint %llx)\n", host.c_str(), port,
+              static_cast<unsigned long long>(deployment->fingerprint));
+
+  const int queries = static_cast<int>(flags.U64("queries", 1));
+  const uint64_t deadline_ms = flags.U64("deadline-ms", 0);
+  int failed = 0;
+  for (int q = 0; q < queries; ++q) {
+    const auto query = data::UniformQuery(
+        d, (uint64_t{1} << coord_bits) - 1,
+        seed + 1000 + static_cast<uint64_t>(q));
+    const auto t0 = std::chrono::steady_clock::now();
+    auto result = (*client)->Query(query, deadline_ms);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const uint64_t trace_id = (*client)->last_trace_id();
+    if (!result.ok()) {
+      ++failed;
+      std::fprintf(stderr, "query %d (trace %s): %s\n", q,
+                   trace::TraceIdHex(trace_id).c_str(),
+                   result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("query %d: %.2fs, %zu neighbours, trace %s\n", q, seconds,
+                result->size(), trace::TraceIdHex(trace_id).c_str());
+    std::printf("  neighbours:");
+    for (const auto& p : *result) {
+      uint64_t dist = 0;
+      for (size_t j = 0; j < query.size(); ++j) {
+        uint64_t diff = p[j] > query[j] ? p[j] - query[j] : query[j] - p[j];
+        dist += diff * diff;
+      }
+      std::printf(" d2=%llu", static_cast<unsigned long long>(dist));
+    }
+    std::printf("\n");
+  }
+  return failed == 0 ? 0 : 1;
+}
+
 int RunAdvise(const Flags& flags) {
   core::WorkloadSpec w;
   w.num_points = flags.U64("n", 1000);
@@ -302,7 +402,8 @@ int RunParams(const Flags& flags) {
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: sknn_cli <knn|kmeans|baseline|params|advise> [--key=value...]\n"
+               "usage: sknn_cli <knn|kmeans|baseline|params|advise|remote> "
+               "[--key=value...]\n"
                "  knn      --n --d --k --layout --dataset --queries --preset\n"
                "           --fault-spec=MODE:PROB[,...] --fault-seed  inject\n"
                "           deterministic A<->B faults (drop|dup|flip|trunc|\n"
@@ -311,6 +412,11 @@ void Usage() {
                "  baseline --n --d --k --paillier-bits\n"
                "  params   --preset --levels --plain-bits\n"
                "  advise   --n --d --coord-bits --k --min-degree --preset\n"
+               "  remote   --port [--host] [--queries] [--deadline-ms] +\n"
+               "           the running servers' deployment flags; with\n"
+               "           --trace each query gets a distributed trace id\n"
+               "           propagated to both servers (tools/trace_stitch.py\n"
+               "           merges the three --trace files)\n"
                "common flags (any position):\n"
                "  --trace=FILE  write a Chrome trace_event JSON and print a\n"
                "                per-phase time/bytes summary\n"
@@ -372,13 +478,19 @@ int main(int argc, char** argv) {
     rc = RunParams(flags);
   } else if (cmd == "advise") {
     rc = RunAdvise(flags);
+  } else if (cmd == "remote") {
+    rc = RunRemote(flags);
   } else {
     Usage();
     return 2;
   }
 
   if (!trace_path.empty()) {
-    Status status = trace::WriteGlobalTrace(trace_path);
+    // Stitch metadata: a `remote` run is the client leg of a distributed
+    // trace, so name the process accordingly for trace_stitch.
+    trace::TraceMeta meta;
+    meta.process = cmd == "remote" ? "client" : "sknn_cli";
+    Status status = trace::WriteGlobalTrace(meta, trace_path);
     if (!status.ok()) {
       std::fprintf(stderr, "trace: %s\n", status.ToString().c_str());
       return rc == 0 ? 1 : rc;

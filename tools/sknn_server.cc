@@ -29,8 +29,11 @@
 #include "common/flight_recorder.h"
 #include "common/json_writer.h"
 #include "common/metrics_registry.h"
+#include "common/trace.h"
 #include "core/server.h"
 #include "data/generators.h"
+#include "math/simd/kernels.h"
+#include "obs/telemetry_http.h"
 
 namespace {
 
@@ -96,7 +99,12 @@ void Usage(const char* role) {
       "%s"
       "observability:\n"
       "  --metrics-out=FILE [--metrics-interval-s=5]  periodic Prometheus\n"
-      "  --flight-record=FILE  per-query flight records (JSON, at exit)\n",
+      "  --flight-record=FILE  per-query flight records (JSON, at exit)\n"
+      "  --admin-port=PORT [--admin-host=127.0.0.1]  live HTTP endpoints\n"
+      "      (/metrics /healthz /readyz /flightz /varz; port 0 = ephemeral,\n"
+      "      printed at startup; see OPERATIONS.md \"Monitoring\")\n"
+      "  --trace=FILE  enable tracing; Chrome trace written at exit\n"
+      "      (stitch per-process files with tools/trace_stitch.py)\n",
       role,
       std::strcmp(role, "a") == 0
           ? "  --peer-host=127.0.0.1 --peer-port=PORT  where server B "
@@ -198,6 +206,59 @@ int ServerMain(int argc, char** argv, bool role_a) {
               static_cast<unsigned long long>(deployment->fingerprint));
   std::fflush(stdout);
 
+  // Hidden test hook (process_chaos_test): an artificial per-query worker
+  // delay keeps queries in flight long enough that the drain window — and
+  // the /readyz 503 it causes — is observable from outside the process.
+  const int test_delay_ms =
+      static_cast<int>(flags.U64("test-worker-delay-ms", 0));
+  if (server_a && test_delay_ms > 0) {
+    server_a->set_worker_delay_ms_for_test(test_delay_ms);
+  }
+
+  const std::string trace_path = flags.Str("trace", "");
+  if (!trace_path.empty()) trace::Tracer::Global().Enable();
+
+  // Live telemetry plane (OPERATIONS.md "Monitoring"): /metrics, /healthz,
+  // /readyz, /flightz, /varz on a separate admin port. Stays up through
+  // the drain so probes watch readiness flip; torn down on process exit.
+  std::unique_ptr<obs::TelemetryHttpServer> admin;
+  if (!flags.Str("admin-port", "").empty()) {
+    const std::string admin_host = flags.Str("admin-host", "127.0.0.1");
+    auto started = obs::TelemetryHttpServer::Start(
+        admin_host, static_cast<uint16_t>(flags.U64("admin-port", 0)));
+    if (!started.ok()) {
+      std::fprintf(stderr, "--admin-port: %s\n",
+                   started.status().ToString().c_str());
+      return 1;
+    }
+    admin = std::move(started).value();
+    obs::BuildInfo info;
+    info.role = role_a ? "party_a" : "party_b";
+    info.simd_backend = simd::ActiveKernels().name;
+    char fp_hex[32];
+    std::snprintf(fp_hex, sizeof(fp_hex), "%llx",
+                  static_cast<unsigned long long>(deployment->fingerprint));
+    info.params_fingerprint = fp_hex;
+    core::PartyAServer* a = server_a.get();
+    core::PartyBServer* b = server_b.get();
+    obs::RegisterStandardEndpoints(admin.get(), info, [a, b]() -> Status {
+      if (g_stop) return UnavailableError("draining: stop signal received");
+      if (a != nullptr) {
+        if (a->draining()) return UnavailableError("draining");
+        if (a->connected_workers() == 0) {
+          return UnavailableError(
+              "no connected B workers (B down or unreachable; workers "
+              "reconnecting)");
+        }
+      }
+      if (b != nullptr && b->draining()) return UnavailableError("draining");
+      return Status::Ok();
+    });
+    std::printf("admin listening on %s:%u\n", admin_host.c_str(),
+                admin->port());
+    std::fflush(stdout);
+  }
+
   const std::string metrics_path = flags.Str("metrics-out", "");
   const int metrics_interval_s =
       static_cast<int>(flags.U64("metrics-interval-s", 5));
@@ -241,6 +302,21 @@ int ServerMain(int argc, char** argv, bool role_a) {
     } else {
       std::fprintf(stderr, "--flight-record: cannot write %s\n",
                    flight_path.c_str());
+    }
+  }
+  if (!trace_path.empty()) {
+    // Written after drain so every span is closed. The stitch metadata
+    // carries this process's steady-clock epoch (and, on A, the
+    // heartbeat-estimated B clock offset) so tools/trace_stitch.py can
+    // align the per-process files into one timeline.
+    trace::TraceMeta meta;
+    meta.process = role_a ? "party_a" : "party_b";
+    if (server_a) meta.peer_clock_offset_ns = server_a->b_clock_offset_ns();
+    const Status written = trace::WriteGlobalTrace(meta, trace_path);
+    if (written.ok()) {
+      std::printf("trace written to %s\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "--trace: %s\n", written.ToString().c_str());
     }
   }
   std::printf("drained; exiting\n");

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Merge per-process sknn Chrome traces into one cross-process timeline.
+
+Each sknn binary (--trace=FILE) writes a Chrome trace whose event `ts`
+fields are microseconds relative to that process's own steady-clock epoch
+(recorded in the file's `traceMeta.epoch_steady_ns`).  This tool rebases
+every file onto Party A's clock so spans from the client, Party A and
+Party B line up on a single timeline in chrome://tracing / Perfetto.
+
+Clock model:
+  - The client and Party A are assumed to share a steady clock (they
+    normally run on the same host; the client connects to A directly).
+  - Party B may be on another host.  Party A measures the B-clock offset
+    from heartbeat RTTs and records it as `peer_clock_offset_ns`
+    (B_now - A_now) in its own trace meta.  B events are shifted by
+    -offset to land on A's timeline.
+
+Usage:
+  trace_stitch.py [--trace-id HEX] [-o OUT.json] trace_a.json [more.json ...]
+
+The party role is taken from each file's `traceMeta.process` field
+("client", "party_a", "party_b", ...).  Files without meta are treated as
+sharing A's clock.  Output is a standard Chrome trace with one pid per
+input process and process_name metadata events.
+"""
+
+import argparse
+import json
+import sys
+
+# Stable pid assignment so the Perfetto track order is always
+# client / party_a / party_b regardless of argument order.
+KNOWN_PIDS = {"client": 1, "party_a": 2, "party_b": 3}
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if "traceEvents" not in doc:
+        raise ValueError(f"{path}: not a Chrome trace (no traceEvents)")
+    return doc
+
+
+def stitch(paths, trace_id=None):
+    docs = []
+    for path in paths:
+        doc = load(path)
+        meta = doc.get("traceMeta", {})
+        docs.append(
+            {
+                "path": path,
+                "process": meta.get("process", path),
+                "epoch_ns": int(meta.get("epoch_steady_ns", 0)),
+                "peer_offset_ns": int(meta.get("peer_clock_offset_ns", 0)),
+                "events": doc["traceEvents"],
+            }
+        )
+
+    # Party A's heartbeat-derived offset maps B's clock onto A's.
+    b_offset_ns = 0
+    for d in docs:
+        if d["process"] == "party_a" and d["peer_offset_ns"]:
+            b_offset_ns = d["peer_offset_ns"]
+
+    out = []
+    next_pid = max(KNOWN_PIDS.values()) + 1
+    matched = 0
+    for d in docs:
+        pid = KNOWN_PIDS.get(d["process"])
+        if pid is None:
+            pid, next_pid = next_pid, next_pid + 1
+        out.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": d["process"]},
+            }
+        )
+        # Absolute time on A's clock, in microseconds.
+        base_us = d["epoch_ns"] / 1000.0
+        if d["process"] == "party_b":
+            base_us -= b_offset_ns / 1000.0
+        for e in d["events"]:
+            if e.get("ph") == "M":
+                continue
+            if trace_id is not None:
+                if e.get("args", {}).get("trace_id") != trace_id:
+                    continue
+                matched += 1
+            e = dict(e)
+            e["pid"] = pid
+            e["ts"] = e.get("ts", 0.0) + base_us
+            out.append(e)
+
+    if trace_id is not None and matched == 0:
+        print(f"warning: no events matched trace id {trace_id}", file=sys.stderr)
+
+    # Rebase so the merged trace starts near zero (keeps Perfetto happy
+    # with multi-hour steady-clock epochs).
+    spans = [e for e in out if e.get("ph") != "M"]
+    if spans:
+        t0 = min(e["ts"] for e in spans)
+        for e in spans:
+            e["ts"] -= t0
+
+    return {
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+        "stitchMeta": {
+            "inputs": [{"path": d["path"], "process": d["process"]} for d in docs],
+            "b_clock_offset_ns": b_offset_ns,
+            "trace_id_filter": trace_id,
+        },
+    }
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Merge per-process sknn Chrome traces onto one timeline."
+    )
+    ap.add_argument("traces", nargs="+", help="per-process trace JSON files")
+    ap.add_argument(
+        "--trace-id",
+        help="keep only spans tagged with this 16-hex-digit query trace id",
+    )
+    ap.add_argument("-o", "--output", default="trace_stitched.json")
+    args = ap.parse_args()
+
+    trace_id = args.trace_id.lower() if args.trace_id else None
+    if trace_id and trace_id.startswith("0x"):
+        trace_id = trace_id[2:]
+    merged = stitch(args.traces, trace_id)
+    with open(args.output, "w") as f:
+        json.dump(merged, f)
+
+    n = sum(1 for e in merged["traceEvents"] if e.get("ph") != "M")
+    procs = ", ".join(i["process"] for i in merged["stitchMeta"]["inputs"])
+    print(f"wrote {args.output}: {n} spans from [{procs}]")
+    if merged["stitchMeta"]["b_clock_offset_ns"]:
+        off = merged["stitchMeta"]["b_clock_offset_ns"]
+        print(f"party_b rebased by {-off} ns (heartbeat clock offset)")
+
+
+if __name__ == "__main__":
+    main()
